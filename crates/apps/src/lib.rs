@@ -1,0 +1,26 @@
+//! # hbsp-apps — heterogeneous applications on the HBSP^k stack
+//!
+//! The paper's conclusion calls for "designing HBSP^k applications that
+//! can take advantage of our efficient heterogeneous communication
+//! algorithms". This crate does exactly that: complete SPMD
+//! applications written against `hbsplib` and the collectives, runnable
+//! on either engine, with the model's two design rules applied
+//! throughout (fastest machines coordinate; workloads follow `c_j`):
+//!
+//! * [`sort`] — heterogeneous parallel sample sort: balanced scatter,
+//!   local sort, splitter selection at `P_f`, bucket exchange, local
+//!   merge — ends with a globally sorted distributed array;
+//! * [`matvec`] — dense matrix–vector multiply: `c_j`-proportional
+//!   block-row distribution, all-gather of the vector, local compute,
+//!   gather of the result;
+//! * [`stencil`] — iterative 1-D Jacobi relaxation with halo exchange:
+//!   the repeated-superstep pattern, with heterogeneous domain
+//!   decomposition.
+
+pub mod matvec;
+pub mod sort;
+pub mod stencil;
+
+pub use matvec::{simulate_matvec, MatVecRun};
+pub use sort::{simulate_sample_sort, SampleSortRun};
+pub use stencil::{reference_jacobi, simulate_stencil, StencilRun};

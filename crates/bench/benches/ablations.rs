@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * hierarchical vs flat collectives on an HBSP^2 machine with slow
+//!   top-level links (the paper's future-work `r` extension via the
+//!   per-level bandwidth factor);
+//! * level-scoped (`sync_level`) vs global barriers;
+//! * balanced vs equal partitioning for gather.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbsp_bench::{hbsp2_testbed, input_kb};
+use hbsp_collectives::gather::{simulate_gather_with, GatherPlan};
+use hbsp_collectives::plan::{RootPolicy, Strategy};
+use hbsp_collectives::reduce::{simulate_reduce_with, ReduceOp};
+use hbsp_sim::NetConfig;
+use std::hint::black_box;
+
+/// A campus whose backbone is 8x slower per word than the LANs.
+fn wan_cfg() -> NetConfig {
+    NetConfig::pvm_like()
+        .with_bandwidth_factors(vec![1.0, 1.0, 8.0])
+        .with_latency(vec![0.0, 0.0, 5_000.0])
+}
+
+fn bench_hierarchy_ablation(c: &mut Criterion) {
+    let tree = hbsp2_testbed(20_000.0).expect("testbed builds");
+    let items = input_kb(100);
+    let vectors: Vec<Vec<u32>> = (0..tree.num_procs())
+        .map(|i| vec![i as u32; 4096])
+        .collect();
+    let mut group = c.benchmark_group("hierarchy_ablation");
+    group.bench_function("gather_hierarchical_wan", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_gather_with(&tree, wan_cfg(), &items, GatherPlan::hierarchical())
+                    .unwrap()
+                    .time,
+            )
+        })
+    });
+    group.bench_function("gather_flat_wan", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_gather_with(&tree, wan_cfg(), &items, GatherPlan::fast_root())
+                    .unwrap()
+                    .time,
+            )
+        })
+    });
+    group.bench_function("reduce_hierarchical_wan", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_reduce_with(
+                    &tree,
+                    wan_cfg(),
+                    vectors.clone(),
+                    ReduceOp::Sum,
+                    RootPolicy::Fastest,
+                    Strategy::Hierarchical,
+                )
+                .unwrap()
+                .time,
+            )
+        })
+    });
+    group.bench_function("reduce_flat_wan", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_reduce_with(
+                    &tree,
+                    wan_cfg(),
+                    vectors.clone(),
+                    ReduceOp::Sum,
+                    RootPolicy::Fastest,
+                    Strategy::Flat,
+                )
+                .unwrap()
+                .time,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_partitioning_ablation(c: &mut Criterion) {
+    let tree = hbsp_bench::testbed(10).expect("testbed builds");
+    let items = input_kb(200);
+    let mut group = c.benchmark_group("partitioning_ablation");
+    group.bench_function("gather_equal", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_gather(&tree, &items, GatherPlan::fast_root())
+                    .unwrap()
+                    .time,
+            )
+        })
+    });
+    group.bench_function("gather_balanced", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_gather(&tree, &items, GatherPlan::balanced())
+                    .unwrap()
+                    .time,
+            )
+        })
+    });
+    group.finish();
+}
+
+use hbsp_collectives::gather::simulate_gather;
+
+fn bench_barrier_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_ablation");
+    group.bench_function("sync_level_1_scoped", |b| {
+        b.iter(|| black_box(hbsp_bench::barrier_scope_ablation(&[4], 40_000.0).unwrap()[0].scoped))
+    });
+    group.bench_function("sync_global", |b| {
+        b.iter(|| black_box(hbsp_bench::barrier_scope_ablation(&[4], 40_000.0).unwrap()[0].global))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hierarchy_ablation,
+    bench_partitioning_ablation,
+    bench_barrier_ablation
+);
+criterion_main!(benches);

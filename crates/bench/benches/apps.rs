@@ -1,0 +1,56 @@
+//! Criterion benches for the complete applications on the testbed:
+//! sample sort, matrix-vector multiply, and the Jacobi stencil, each
+//! under equal vs balanced workloads (the end-to-end version of the
+//! paper's balanced-workload claim, on compute-bound programs where it
+//! actually pays).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbsp_apps::matvec::simulate_matvec;
+use hbsp_apps::sort::simulate_sample_sort;
+use hbsp_apps::stencil::simulate_stencil;
+use hbsp_bench::testbed;
+use hbsp_collectives::plan::WorkloadPolicy;
+use std::hint::black_box;
+
+fn bench_apps(c: &mut Criterion) {
+    let tree = testbed(6).expect("testbed builds");
+    let mut group = c.benchmark_group("apps");
+
+    let items: Vec<u32> = (0..50_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    for (name, wl) in [
+        ("equal", WorkloadPolicy::Equal),
+        ("balanced", WorkloadPolicy::Balanced),
+    ] {
+        group.bench_function(format!("sample_sort_50k_{name}"), |b| {
+            b.iter(|| black_box(simulate_sample_sort(&tree, &items, wl).unwrap().time))
+        });
+    }
+
+    let (n, m) = (300usize, 120usize);
+    let a = vec![1.5f64; n * m];
+    let x = vec![0.25f64; m];
+    for (name, wl) in [
+        ("equal", WorkloadPolicy::Equal),
+        ("balanced", WorkloadPolicy::Balanced),
+    ] {
+        group.bench_function(format!("matvec_300x120_{name}"), |b| {
+            b.iter(|| black_box(simulate_matvec(&tree, &a, &x, n, m, wl).unwrap().time))
+        });
+    }
+
+    let mut field = vec![0.0f64; 2048];
+    field[0] = 100.0;
+    group.bench_function("stencil_2048x20_balanced", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_stencil(&tree, &field, 20, WorkloadPolicy::Balanced)
+                    .unwrap()
+                    .time,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

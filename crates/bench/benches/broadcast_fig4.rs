@@ -1,0 +1,33 @@
+//! Criterion bench regenerating Figure 4 (E3/E4): broadcast plan
+//! variants on the testbed, 100 KB input.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbsp_bench::{input_kb, testbed};
+use hbsp_collectives::broadcast::{simulate_broadcast, BroadcastPlan};
+use std::hint::black_box;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_broadcast");
+    let items = input_kb(100);
+    for p in [2usize, 6, 10] {
+        let tree = testbed(p).expect("testbed builds");
+        for (name, plan) in [
+            ("two_phase_fast", BroadcastPlan::two_phase()),
+            ("two_phase_slow", BroadcastPlan::slow_root()),
+            ("balanced", BroadcastPlan::balanced()),
+            ("one_phase", BroadcastPlan::one_phase()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
+                b.iter(|| {
+                    let run =
+                        simulate_broadcast(black_box(&tree), black_box(&items), plan).unwrap();
+                    black_box(run.time)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

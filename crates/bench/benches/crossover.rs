@@ -1,0 +1,17 @@
+//! Criterion bench for the §4.4 crossover analyses (E6/E7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbsp_bench::{broadcast_crossover, hbsp2_phase_study};
+use std::hint::black_box;
+
+fn bench_crossover(c: &mut Criterion) {
+    c.bench_function("e6_flat_crossover_100kb", |b| {
+        b.iter(|| black_box(broadcast_crossover(&[2, 4, 8], black_box(100)).unwrap()))
+    });
+    c.bench_function("e7_hbsp2_phase_study_100kb", |b| {
+        b.iter(|| black_box(hbsp2_phase_study(&[10_000.0, 100_000.0], black_box(100)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

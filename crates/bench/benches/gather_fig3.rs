@@ -1,0 +1,36 @@
+//! Criterion bench regenerating Figure 3 (E1/E2): gather under the
+//! four plan variants on the 10-machine testbed, 100 KB input.
+//!
+//! Criterion measures the wall time of the *simulation*; the reported
+//! custom "model time" lives in the bin `fig3_gather`. What this bench
+//! pins is that the experiment pipeline stays fast enough to iterate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbsp_bench::{input_kb, testbed};
+use hbsp_collectives::gather::{simulate_gather, GatherPlan};
+use std::hint::black_box;
+
+fn bench_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_gather");
+    let items = input_kb(100);
+    for p in [2usize, 6, 10] {
+        let tree = testbed(p).expect("testbed builds");
+        for (name, plan) in [
+            ("fast_root", GatherPlan::fast_root()),
+            ("slow_root", GatherPlan::slow_root()),
+            ("balanced", GatherPlan::balanced()),
+            ("bsp_baseline", GatherPlan::bsp_baseline()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
+                b.iter(|| {
+                    let run = simulate_gather(black_box(&tree), black_box(&items), plan).unwrap();
+                    black_box(run.time)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gather);
+criterion_main!(benches);

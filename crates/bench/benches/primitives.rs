@@ -1,0 +1,90 @@
+//! Microbenches of the substrate primitives: the event queue, the
+//! superstep timing algebra, the threaded runtime's barrier, and the
+//! bytemark kernels (real wall time of one run each).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbsp_core::{ProcId, TreeBuilder};
+use hbsp_runtime::CentralBarrier;
+use hbsp_sim::timing::{superstep_timing, SendIntent};
+use hbsp_sim::{NetConfig, TimeQueue};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("time_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = TimeQueue::new();
+            for i in 0..10_000u64 {
+                // Deterministic pseudo-times.
+                q.push(((i.wrapping_mul(2654435761)) % 1000) as f64, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("superstep_timing");
+    for p in [4usize, 16, 64] {
+        let procs: Vec<(f64, f64)> = (0..p)
+            .map(|i| (1.0 + i as f64 * 0.05, 1.0 / (1.0 + i as f64 * 0.05)))
+            .collect();
+        let tree = TreeBuilder::flat(1.0, 100.0, &procs).unwrap();
+        let starts = vec![0.0; p];
+        let work = vec![10.0; p];
+        // All-to-all pattern.
+        let sends: Vec<SendIntent> = (0..p)
+            .flat_map(|i| {
+                (0..p).filter(move |&j| j != i).map(move |j| SendIntent {
+                    src: ProcId(i as u32),
+                    dst: ProcId(j as u32),
+                    words: 256,
+                })
+            })
+            .collect();
+        let cfg = NetConfig::pvm_like();
+        group.bench_with_input(BenchmarkId::new("alltoall", p), &p, |b, _| {
+            b.iter(|| black_box(superstep_timing(&tree, &cfg, &starts, &work, &sends)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    c.bench_function("central_barrier_4_threads_100_rounds", |b| {
+        b.iter(|| {
+            let barrier = CentralBarrier::new(4);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            barrier.wait();
+                        }
+                    });
+                }
+            });
+        })
+    });
+}
+
+fn bench_bytemark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bytemark");
+    for k in bytemark::kernels::quick() {
+        group.bench_function(k.name().replace(' ', "_").to_lowercase(), |b| {
+            b.iter(|| black_box(k.run(black_box(42))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_timing,
+    bench_barrier,
+    bench_bytemark
+);
+criterion_main!(benches);

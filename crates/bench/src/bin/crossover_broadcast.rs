@@ -1,0 +1,25 @@
+//! Regenerates the §4.4 analyses (E6/E7): one- vs two-phase broadcast.
+//!
+//! * flat (HBSP^1): the `g·n·m` vs `g·n(1 + r_s) + 2L` crossover across
+//!   processor counts, simulated and predicted;
+//! * `--level 2`: the HBSP^2 super²-step variants across campus
+//!   barrier costs.
+//!
+//! Usage: `cargo run -p hbsp-bench --bin crossover_broadcast [--level 2]`
+
+use hbsp_bench::figures::{crossover_table, hbsp2_phase_table};
+use hbsp_bench::{broadcast_crossover, hbsp2_phase_study};
+
+fn main() {
+    let level2 = std::env::args().any(|a| a == "2");
+    if level2 {
+        let rows = hbsp2_phase_study(&[1_000.0, 10_000.0, 50_000.0, 200_000.0], 400)
+            .expect("simulation succeeds");
+        println!("HBSP^2 broadcast: one- vs two-phase super^2-step (400 KB)");
+        println!("{}", hbsp2_phase_table(&rows));
+    } else {
+        let rows = broadcast_crossover(&[2, 3, 4, 6, 8, 10], 400).expect("simulation succeeds");
+        println!("HBSP^1 broadcast: one- vs two-phase crossover (400 KB)");
+        println!("{}", crossover_table(&rows));
+    }
+}

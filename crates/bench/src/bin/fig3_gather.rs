@@ -1,0 +1,45 @@
+//! Regenerates **Figure 3** of the paper: gather improvement factors on
+//! the simulated testbed.
+//!
+//! * `(a)` — `T_s / T_f`: slow root vs fast root, equal workloads (E1);
+//! * `(b)` — `T_u / T_b`: equal vs balanced workloads, fast root (E2);
+//! * `commaware` — `T_u / T_c`: the E10 extension weighting `c_j` by
+//!   compute *and* network ability.
+//!
+//! Usage: `cargo run -p hbsp-bench --bin fig3_gather [--experiment root|balance|commaware|all]`
+
+use hbsp_bench::figures::improvement_table;
+use hbsp_bench::{
+    gather_balance_improvement, gather_comm_aware_improvement, gather_root_improvement,
+    PAPER_SIZES_KB, TESTBED_PS,
+};
+
+fn main() {
+    let mode = std::env::args().nth(2).unwrap_or_else(|| "all".into());
+    let ps = TESTBED_PS;
+    let kbs = PAPER_SIZES_KB;
+    if mode == "root" || mode == "both" || mode == "all" {
+        let pts = gather_root_improvement(&ps, &kbs).expect("simulation succeeds");
+        println!(
+            "{}",
+            improvement_table("Figure 3(a) — gather, improvement factor T_s / T_f", &pts)
+        );
+    }
+    if mode == "balance" || mode == "both" || mode == "all" {
+        let pts = gather_balance_improvement(&ps, &kbs).expect("simulation succeeds");
+        println!(
+            "{}",
+            improvement_table("Figure 3(b) — gather, improvement factor T_u / T_b", &pts)
+        );
+    }
+    if mode == "commaware" || mode == "all" {
+        let pts = gather_comm_aware_improvement(&ps, &kbs).expect("simulation succeeds");
+        println!(
+            "{}",
+            improvement_table(
+                "E10 (extension) — gather, improvement factor T_u / T_c (comm-aware c_j)",
+                &pts
+            )
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Figure 4** of the paper: one-to-all broadcast
+//! improvement factors on the simulated testbed.
+//!
+//! * `(a)` — `T_s / T_f`: slow root vs fast root (E3);
+//! * `(b)` — `T_u / T_b`: equal vs balanced first-phase pieces (E4).
+//!
+//! Usage: `cargo run -p hbsp-bench --bin fig4_broadcast [--experiment root|balance|both]`
+
+use hbsp_bench::figures::improvement_table;
+use hbsp_bench::{
+    broadcast_balance_improvement, broadcast_root_improvement, PAPER_SIZES_KB, TESTBED_PS,
+};
+
+fn main() {
+    let mode = std::env::args().nth(2).unwrap_or_else(|| "both".into());
+    let ps = TESTBED_PS;
+    let kbs = PAPER_SIZES_KB;
+    if mode == "root" || mode == "both" {
+        let pts = broadcast_root_improvement(&ps, &kbs).expect("simulation succeeds");
+        println!(
+            "{}",
+            improvement_table(
+                "Figure 4(a) — broadcast, improvement factor T_s / T_f",
+                &pts
+            )
+        );
+    }
+    if mode == "balance" || mode == "both" {
+        let pts = broadcast_balance_improvement(&ps, &kbs).expect("simulation succeeds");
+        println!(
+            "{}",
+            improvement_table(
+                "Figure 4(b) — broadcast, improvement factor T_u / T_b",
+                &pts
+            )
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the §4.3 analysis (E8): HBSP^2 gather amortization —
+//! the overhead of the extra communication level over the `g·n` ideal
+//! must shrink as the problem grows.
+//!
+//! Usage: `cargo run -p hbsp-bench --bin hbsp2_amortization`
+
+use hbsp_bench::figures::amortization_table;
+use hbsp_bench::hbsp2_amortization;
+
+fn main() {
+    let rows = hbsp2_amortization(&[25, 50, 100, 200, 400, 800, 1600], 60_000.0)
+        .expect("simulation succeeds");
+    println!("HBSP^2 gather amortization (campus L_{{2,0}} = 60000)");
+    println!("{}", amortization_table(&rows));
+}

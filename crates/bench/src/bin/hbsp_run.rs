@@ -1,0 +1,254 @@
+//! `hbsp_run` — drive any collective on any machine from the command
+//! line.
+//!
+//! ```text
+//! hbsp_run <machine> <operation> [options]
+//!
+//! machine:
+//!   testbed:<p>        the simulated UCF testbed with p processors (1-10)
+//!   testbed2           the HBSP^2 campus testbed
+//!   <path>             a topology DSL file (see hbsp-core::topology)
+//!
+//! operation: gather | broadcast | scatter | allgather | alltoall | reduce | scan
+//!
+//! options:
+//!   --kb <n>           problem size in KB of u32s      (default 100)
+//!   --root <policy>    fastest | slowest | <rank>      (default fastest)
+//!   --workload <w>     equal | balanced | commaware    (default equal)
+//!   --strategy <s>     flat | hier                     (default flat)
+//!   --phase <p>        one | two      (broadcast only; default two)
+//!   --trace            print a Gantt chart of the run
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run -p hbsp-bench --bin hbsp_run -- testbed:6 gather --root slowest --trace
+//! cargo run -p hbsp-bench --bin hbsp_run -- machines/campus.hbsp broadcast --strategy hier
+//! ```
+
+use hbsp_bench::testbed::{hbsp2_testbed, input_kb, testbed};
+use hbsp_collectives::allgather::simulate_allgather;
+use hbsp_collectives::alltoall::{simulate_alltoall, simulate_alltoall_hier};
+use hbsp_collectives::broadcast::{simulate_broadcast, BroadcastPlan};
+use hbsp_collectives::gather::{simulate_gather, FlatGather, GatherPlan};
+use hbsp_collectives::plan::{PhasePolicy, RootPolicy, Strategy, WorkloadPolicy};
+use hbsp_collectives::reduce::{simulate_reduce, ReduceOp};
+use hbsp_collectives::scan::simulate_scan;
+use hbsp_collectives::scatter::simulate_scatter;
+use hbsp_collectives::shares_for;
+use hbsp_core::{topology, MachineTree};
+use hbsp_sim::{ascii_gantt, SimOutcome, Simulator, TraceSummary};
+use std::process::exit;
+use std::sync::Arc;
+
+struct Options {
+    kb: usize,
+    root: RootPolicy,
+    workload: WorkloadPolicy,
+    strategy: Strategy,
+    phase: PhasePolicy,
+    trace: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hbsp_run <machine> <operation> [--kb N] [--root fastest|slowest|RANK]\n\
+         \x20              [--workload equal|balanced|commaware] [--strategy flat|hier]\n\
+         \x20              [--phase one|two] [--trace]\n\
+         machine: testbed:<p> | testbed2 | <topology file>\n\
+         operation: gather | broadcast | scatter | allgather | reduce | scan"
+    );
+    exit(2)
+}
+
+fn parse_machine(spec: &str) -> MachineTree {
+    if let Some(p) = spec.strip_prefix("testbed:") {
+        let p: usize = p.parse().unwrap_or_else(|_| usage());
+        return testbed(p).expect("testbed builds");
+    }
+    if spec == "testbed2" {
+        return hbsp2_testbed(60_000.0).expect("testbed builds");
+    }
+    let text = std::fs::read_to_string(spec).unwrap_or_else(|e| {
+        eprintln!("cannot read machine file `{spec}`: {e}");
+        exit(1)
+    });
+    topology::parse(&text).unwrap_or_else(|e| {
+        eprintln!("invalid machine description `{spec}`: {e}");
+        exit(1)
+    })
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut o = Options {
+        kb: 100,
+        root: RootPolicy::Fastest,
+        workload: WorkloadPolicy::Equal,
+        strategy: Strategy::Flat,
+        phase: PhasePolicy::TwoPhase,
+        trace: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--kb" => {
+                o.kb = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--root" => {
+                o.root = match it.next().map(String::as_str) {
+                    Some("fastest") => RootPolicy::Fastest,
+                    Some("slowest") => RootPolicy::Slowest,
+                    Some(r) => RootPolicy::Rank(r.parse().unwrap_or_else(|_| usage())),
+                    None => usage(),
+                }
+            }
+            "--workload" => {
+                o.workload = match it.next().map(String::as_str) {
+                    Some("equal") => WorkloadPolicy::Equal,
+                    Some("balanced") => WorkloadPolicy::Balanced,
+                    Some("commaware") => WorkloadPolicy::CommAware,
+                    _ => usage(),
+                }
+            }
+            "--strategy" => {
+                o.strategy = match it.next().map(String::as_str) {
+                    Some("flat") => Strategy::Flat,
+                    Some("hier") => Strategy::Hierarchical,
+                    _ => usage(),
+                }
+            }
+            "--phase" => {
+                o.phase = match it.next().map(String::as_str) {
+                    Some("one") => PhasePolicy::OnePhase,
+                    Some("two") => PhasePolicy::TwoPhase,
+                    _ => usage(),
+                }
+            }
+            "--trace" => o.trace = true,
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn report(sim: &SimOutcome) {
+    println!("model time      : {:.0}", sim.total_time);
+    println!("supersteps      : {}", sim.num_steps());
+    println!("messages        : {}", sim.messages_delivered);
+    for (i, step) in sim.steps.iter().enumerate() {
+        println!(
+            "  step {i}: scope {:?}, h = {:.0}, duration = {:.0}, words by level = {:?}",
+            step.scope,
+            step.hrelation,
+            step.duration(),
+            step.traffic.iter().map(|t| t.words).collect::<Vec<_>>()
+        );
+    }
+    if let Some(tls) = &sim.timelines {
+        let s = TraceSummary::of(tls);
+        println!(
+            "activity        : compute {:.0}, send {:.0}, unpack {:.0}, wait {:.0} ({:.1}% idle)",
+            s.compute.max(0.0),
+            s.send.max(0.0),
+            s.unpack.max(0.0),
+            s.barrier_wait.max(0.0),
+            100.0 * s.wait_fraction()
+        );
+        println!("{}", ascii_gantt(tls, 72));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let tree = parse_machine(&args[0]);
+    let op = args[1].as_str();
+    let o = parse_options(&args[2..]);
+    let items = input_kb(o.kb);
+    println!(
+        "machine: HBSP^{} with {} processors; {} of {} KB ({} words)",
+        tree.height(),
+        tree.num_procs(),
+        op,
+        o.kb,
+        items.len()
+    );
+
+    let sim = match op {
+        "gather" => {
+            let plan = GatherPlan {
+                root: o.root,
+                workload: o.workload,
+                strategy: o.strategy,
+            };
+            if o.trace {
+                // Traced run via the raw simulator for timeline capture.
+                let shares = Arc::new(shares_for(&tree, &items, o.workload));
+                let root = o.root.resolve(&tree);
+                let sim = Simulator::new(Arc::new(tree.clone())).trace(true);
+                sim.run(&FlatGather::new(root, shares)).expect("run")
+            } else {
+                simulate_gather(&tree, &items, plan).expect("run").sim
+            }
+        }
+        "broadcast" => {
+            let plan = BroadcastPlan {
+                root: o.root,
+                strategy: o.strategy,
+                top_phase: o.phase,
+                cluster_phase: PhasePolicy::TwoPhase,
+                workload: o.workload,
+            };
+            simulate_broadcast(&tree, &items, plan).expect("run").sim
+        }
+        "scatter" => {
+            simulate_scatter(&tree, &items, o.root, o.workload)
+                .expect("run")
+                .sim
+        }
+        "allgather" => {
+            simulate_allgather(&tree, &items, o.workload, o.strategy)
+                .expect("run")
+                .sim
+        }
+        "alltoall" => {
+            let p = tree.num_procs();
+            let block = (items.len() / (p * p)).max(1);
+            let blocks: Vec<Vec<Vec<u32>>> = (0..p)
+                .map(|i| (0..p).map(|j| vec![(i * p + j) as u32; block]).collect())
+                .collect();
+            match o.strategy {
+                Strategy::Flat => simulate_alltoall(&tree, blocks).expect("run").sim,
+                Strategy::Hierarchical => simulate_alltoall_hier(&tree, blocks).expect("run").sim,
+            }
+        }
+        "reduce" => {
+            let p = tree.num_procs();
+            let len = items.len() / p.max(1);
+            let vectors: Vec<Vec<u32>> = (0..p)
+                .map(|i| items[i * len..(i + 1) * len].to_vec())
+                .collect();
+            simulate_reduce(&tree, vectors, ReduceOp::Sum, o.root, o.strategy)
+                .expect("run")
+                .sim
+        }
+        "scan" => {
+            let p = tree.num_procs();
+            let len = items.len() / p.max(1);
+            let vectors: Vec<Vec<u32>> = (0..p)
+                .map(|i| items[i * len..(i + 1) * len].to_vec())
+                .collect();
+            simulate_scan(&tree, vectors, ReduceOp::Sum)
+                .expect("run")
+                .sim
+        }
+        _ => usage(),
+    };
+    report(&sim);
+}

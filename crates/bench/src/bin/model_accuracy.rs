@@ -1,0 +1,17 @@
+//! Regenerates E9: cost-model predictability — §4's closed-form
+//! predictions against simulated execution, per collective.
+//!
+//! Usage: `cargo run -p hbsp-bench --bin model_accuracy`
+
+use hbsp_bench::figures::accuracy_table;
+use hbsp_bench::model_accuracy;
+
+fn main() {
+    for p in [4, 8, 10] {
+        for kb in [100, 500, 1000] {
+            let rows = model_accuracy(p, kb).expect("simulation succeeds");
+            println!("p = {p}, problem size = {kb} KB");
+            println!("{}", accuracy_table(&rows));
+        }
+    }
+}

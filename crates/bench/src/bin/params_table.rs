@@ -1,0 +1,36 @@
+//! Regenerates **Table 1** (E5): the model parameters, instantiated for
+//! the simulated testbed so every symbol has a concrete value.
+//!
+//! Usage: `cargo run -p hbsp-bench --bin params_table`
+
+use hbsp_bench::hbsp2_testbed;
+use hbsp_core::topology;
+
+fn main() {
+    let tree = hbsp2_testbed(60_000.0).expect("testbed builds");
+    println!("Table 1 — HBSP^k parameters of the simulated HBSP^2 testbed\n");
+    println!("g (fastest-machine time per word) = {}", tree.g());
+    println!("k (communication levels)          = {}", tree.height());
+    for level in (0..=tree.height()).rev() {
+        let nodes = tree.level_nodes(level).expect("level exists");
+        println!("\nlevel {level}: m_{level} = {} machines", nodes.len());
+        for &idx in nodes {
+            let node = tree.node(idx);
+            let p = node.params();
+            println!(
+                "  {:<10} {:<9} m_ij = {:<2} r = {:<5} L = {:<8} speed = {:.3}{}",
+                node.machine_id().to_string(),
+                node.name(),
+                node.num_children(),
+                p.r,
+                p.l_sync,
+                p.speed,
+                node.proc_id()
+                    .map(|id| format!("  ({id})"))
+                    .unwrap_or_default(),
+            );
+        }
+    }
+    println!("\nTopology DSL round-trip of the same machine:\n");
+    println!("{}", topology::to_dsl(&tree));
+}

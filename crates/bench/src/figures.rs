@@ -1,0 +1,200 @@
+//! Plain-text rendering of the regenerated figures and tables.
+
+use crate::experiments::{AccuracyRow, AmortizationRow, CrossoverRow, FigurePoint, Hbsp2PhaseRow};
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// Render a Figure-3/4-style table: rows = problem size (KB), columns =
+/// processor counts, cells = improvement factors.
+pub fn improvement_table(title: &str, points: &[FigurePoint]) -> String {
+    let ps: BTreeSet<usize> = points.iter().map(|pt| pt.p).collect();
+    let kbs: BTreeSet<usize> = points.iter().map(|pt| pt.kb).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:>8} |", "KB \\ p");
+    for p in &ps {
+        let _ = write!(out, "{p:>8}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(10 + 8 * ps.len()));
+    for kb in &kbs {
+        let _ = write!(out, "{kb:>8} |");
+        for p in &ps {
+            match points.iter().find(|pt| pt.p == *p && pt.kb == *kb) {
+                Some(pt) => {
+                    let _ = write!(out, "{:>8.3}", pt.factor);
+                }
+                None => {
+                    let _ = write!(out, "{:>8}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render the E6 crossover rows.
+pub fn crossover_table(rows: &[CrossoverRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>14} {:>14} {:>14} {:>14}  winner(sim/pred)",
+        "p", "r_s", "1-phase sim", "2-phase sim", "1-phase pred", "2-phase pred"
+    );
+    for r in rows {
+        let sim_w = if r.one_sim < r.two_sim {
+            "1-phase"
+        } else {
+            "2-phase"
+        };
+        let pred_w = if r.one_pred < r.two_pred {
+            "1-phase"
+        } else {
+            "2-phase"
+        };
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6.2} {:>14.0} {:>14.0} {:>14.0} {:>14.0}  {}/{}",
+            r.p, r.r_s, r.one_sim, r.two_sim, r.one_pred, r.two_pred, sim_w, pred_w
+        );
+    }
+    out
+}
+
+/// Render the E7 HBSP^2 phase-study rows.
+pub fn hbsp2_phase_table(rows: &[Hbsp2PhaseRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>14} {:>16} {:>16}",
+        "L_{2,0}", "1-phase sim", "2-phase sim", "1-ph pred(sup2)", "2-ph pred(sup2)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10.0} {:>14.0} {:>14.0} {:>16.0} {:>16.0}",
+            r.l2, r.one_sim, r.two_sim, r.one_pred, r.two_pred
+        );
+    }
+    out
+}
+
+/// Render the E8 amortization rows.
+pub fn amortization_table(rows: &[AmortizationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>14} {:>14} {:>12} {:>12} {:>14} {:>14}",
+        "KB",
+        "hier gather",
+        "flat gather",
+        "ideal g\u{b7}n",
+        "overhead",
+        "hier top msgs",
+        "flat top msgs"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>14.0} {:>14.0} {:>12.0} {:>12.3} {:>14} {:>14}",
+            r.kb,
+            r.hier,
+            r.flat,
+            r.ideal,
+            r.overhead(),
+            r.hier_top_msgs,
+            r.flat_top_msgs
+        );
+    }
+    out
+}
+
+/// Render the E9 accuracy rows.
+pub fn accuracy_table(rows: &[AccuracyRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>32} {:>14} {:>14} {:>8}",
+        "operation", "predicted", "simulated", "ratio"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>32} {:>14.0} {:>14.0} {:>8.3}",
+            r.op,
+            r.predicted,
+            r.simulated,
+            r.ratio()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_table_layout() {
+        let pts = vec![
+            FigurePoint {
+                p: 2,
+                kb: 100,
+                factor: 0.95,
+            },
+            FigurePoint {
+                p: 4,
+                kb: 100,
+                factor: 1.51,
+            },
+            FigurePoint {
+                p: 2,
+                kb: 200,
+                factor: 0.96,
+            },
+            FigurePoint {
+                p: 4,
+                kb: 200,
+                factor: 1.49,
+            },
+        ];
+        let s = improvement_table("Figure 3(a)", &pts);
+        assert!(s.contains("Figure 3(a)"));
+        assert!(s.contains("0.950"));
+        assert!(s.contains("1.490"));
+        assert_eq!(s.lines().count(), 5, "title + header + rule + 2 rows");
+    }
+
+    #[test]
+    fn missing_cells_render_as_dash() {
+        let pts = vec![
+            FigurePoint {
+                p: 2,
+                kb: 100,
+                factor: 1.0,
+            },
+            FigurePoint {
+                p: 4,
+                kb: 200,
+                factor: 2.0,
+            },
+        ];
+        let s = improvement_table("t", &pts);
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn crossover_names_winners() {
+        let rows = vec![CrossoverRow {
+            p: 4,
+            r_s: 2.0,
+            one_sim: 100.0,
+            two_sim: 50.0,
+            one_pred: 90.0,
+            two_pred: 40.0,
+        }];
+        let s = crossover_table(&rows);
+        assert!(s.contains("2-phase/2-phase"), "{s}");
+    }
+}

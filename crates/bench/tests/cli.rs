@@ -1,0 +1,77 @@
+//! End-to-end tests of the `hbsp_run` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hbsp_run"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn gather_on_testbed() {
+    let (stdout, _, ok) = run(&["testbed:4", "gather", "--kb", "10"]);
+    assert!(ok);
+    assert!(stdout.contains("HBSP^1 with 4 processors"), "{stdout}");
+    assert!(stdout.contains("model time"), "{stdout}");
+    assert!(stdout.contains("supersteps      : 2"), "{stdout}");
+}
+
+#[test]
+fn traced_gather_prints_gantt() {
+    let (stdout, _, ok) = run(&["testbed:4", "gather", "--kb", "10", "--trace"]);
+    assert!(ok);
+    assert!(stdout.contains("activity"), "{stdout}");
+    assert!(stdout.contains("P0 |"), "{stdout}");
+}
+
+#[test]
+fn hierarchical_reduce_on_testbed2() {
+    let (stdout, _, ok) = run(&["testbed2", "reduce", "--strategy", "hier", "--kb", "20"]);
+    assert!(ok);
+    assert!(stdout.contains("HBSP^2 with 10 processors"), "{stdout}");
+    // Hierarchical reduce: level-1 step then level-2 step.
+    assert!(stdout.contains("scope Level(1)"), "{stdout}");
+    assert!(stdout.contains("scope Level(2)"), "{stdout}");
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_usage() {
+    let (_, stderr, ok) = run(&["testbed:4"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (_, stderr, ok) = run(&["testbed:4", "gather", "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_machine_file_reports_cleanly() {
+    let (_, stderr, ok) = run(&["/nonexistent/machine.hbsp", "gather"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read machine file"), "{stderr}");
+}
+
+#[test]
+fn all_operations_run_on_a_machine_file() {
+    let machine = concat!(env!("CARGO_MANIFEST_DIR"), "/../../machines/campus.hbsp");
+    for op in [
+        "gather",
+        "broadcast",
+        "scatter",
+        "allgather",
+        "alltoall",
+        "reduce",
+        "scan",
+    ] {
+        let (stdout, stderr, ok) = run(&[machine, op, "--kb", "5"]);
+        assert!(ok, "{op} failed: {stderr}");
+        assert!(stdout.contains("model time"), "{op}: {stdout}");
+    }
+}

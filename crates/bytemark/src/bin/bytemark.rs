@@ -1,0 +1,37 @@
+//! Run the bytemark suite on the host machine with wall-clock timing —
+//! what the paper did with BYTEmark on each workstation.
+//!
+//! ```text
+//! cargo run --release -p bytemark --bin bytemark
+//! ```
+
+use bytemark::{MachineProfile, Suite, Timer};
+
+fn main() {
+    println!("bytemark — BYTEmark-style CPU suite (wall-clock timing)\n");
+    let suite = Suite::standard().timer(Timer::Wall);
+    let this_machine = MachineProfile::reference("this-machine");
+    let scores = suite.run(&this_machine);
+    println!(
+        "{:<18} {:>12} {:>12} {:>14} {:>18}",
+        "kernel", "ops", "time (ms)", "index (op/s)", "checksum"
+    );
+    let mut sum_ln = 0.0;
+    for s in &scores {
+        sum_ln += s.index.ln();
+        println!(
+            "{:<18} {:>12} {:>12.3} {:>14.0} {:>#18x}",
+            s.kernel,
+            s.ops,
+            s.time * 1e3,
+            s.index,
+            s.checksum
+        );
+    }
+    let index = (sum_ln / scores.len() as f64).exp();
+    println!("\ngeometric-mean index: {index:.0} op/s");
+    println!(
+        "(relative machine speed = this index divided by the fastest \
+         machine's index; see `rank()`)"
+    );
+}

@@ -1,0 +1,182 @@
+//! BITFIELD: set / clear / complement runs of bits in a large bitmap.
+
+use super::{checksum, Kernel};
+use crate::rng::SplitMix64;
+
+/// Bit-manipulation benchmark over a bitmap of `bits` bits, applying
+/// `ops_count` random range operations.
+#[derive(Debug, Clone)]
+pub struct BitField {
+    bits: usize,
+    ops_count: usize,
+}
+
+impl BitField {
+    /// A bitmap of `bits` bits with `ops_count` operations.
+    pub fn new(bits: usize, ops_count: usize) -> Self {
+        assert!(bits >= 64, "bitmap too small");
+        BitField { bits, ops_count }
+    }
+}
+
+impl Default for BitField {
+    fn default() -> Self {
+        BitField::new(1 << 17, 4096)
+    }
+}
+
+/// A simple bitmap supporting range set/clear/complement, exposed for
+/// direct testing.
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap of `bits` bits.
+    pub fn new(bits: usize) -> Self {
+        Bitmap {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// True if no bits exist.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Test one bit.
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set bits `start..start+len` (clamped to the bitmap).
+    pub fn set_range(&mut self, start: usize, len: usize) {
+        self.apply(start, len, |w, m| *w |= m);
+    }
+
+    /// Clear bits `start..start+len`.
+    pub fn clear_range(&mut self, start: usize, len: usize) {
+        self.apply(start, len, |w, m| *w &= !m);
+    }
+
+    /// Complement bits `start..start+len`.
+    pub fn flip_range(&mut self, start: usize, len: usize) {
+        self.apply(start, len, |w, m| *w ^= m);
+    }
+
+    /// Population count of the whole bitmap.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    fn apply(&mut self, start: usize, len: usize, f: impl Fn(&mut u64, u64)) {
+        let end = usize::min(start + len, self.bits);
+        let mut i = start.min(self.bits);
+        while i < end {
+            let word = i / 64;
+            let bit = i % 64;
+            let span = usize::min(64 - bit, end - i);
+            let mask = if span == 64 {
+                !0
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            f(&mut self.words[word], mask);
+            i += span;
+        }
+    }
+
+    /// Raw words for checksumming.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl Kernel for BitField {
+    fn name(&self) -> &'static str {
+        "BITFIELD"
+    }
+
+    fn ops(&self) -> u64 {
+        // Each op touches ~bits/64 words in the worst case; use the
+        // average range length (bits/2 bits => bits/128 words).
+        (self.ops_count as u64) * (self.bits as u64 / 128).max(1)
+    }
+
+    fn run(&self, seed: u64) -> u64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut bm = Bitmap::new(self.bits);
+        for _ in 0..self.ops_count {
+            let start = rng.next_below(self.bits as u64) as usize;
+            let len = rng.next_below((self.bits / 2) as u64) as usize + 1;
+            match rng.next_below(3) {
+                0 => bm.set_range(start, len),
+                1 => bm.clear_range(start, len),
+                _ => bm.flip_range(start, len),
+            }
+        }
+        checksum(bm.words().iter().copied().chain([bm.count_ones()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_get() {
+        let mut bm = Bitmap::new(200);
+        bm.set_range(10, 50);
+        assert!(!bm.get(9));
+        assert!(bm.get(10));
+        assert!(bm.get(59));
+        assert!(!bm.get(60));
+        assert_eq!(bm.count_ones(), 50);
+    }
+
+    #[test]
+    fn clear_and_flip() {
+        let mut bm = Bitmap::new(128);
+        bm.set_range(0, 128);
+        bm.clear_range(32, 64);
+        assert_eq!(bm.count_ones(), 64);
+        bm.flip_range(0, 128);
+        assert_eq!(bm.count_ones(), 64);
+        assert!(!bm.get(0));
+        assert!(bm.get(32));
+    }
+
+    #[test]
+    fn ranges_clamp_at_end() {
+        let mut bm = Bitmap::new(100);
+        bm.set_range(90, 1000);
+        assert_eq!(bm.count_ones(), 10);
+        bm.set_range(200, 5); // fully out of range: no-op
+        assert_eq!(bm.count_ones(), 10);
+    }
+
+    #[test]
+    fn cross_word_boundaries() {
+        let mut bm = Bitmap::new(256);
+        bm.set_range(60, 10); // spans words 0 and 1
+        assert_eq!(bm.count_ones(), 10);
+        assert!(bm.get(60) && bm.get(69) && !bm.get(70));
+    }
+
+    #[test]
+    fn full_word_mask() {
+        let mut bm = Bitmap::new(192);
+        bm.set_range(64, 64); // exactly word 1
+        assert_eq!(bm.words()[0], 0);
+        assert_eq!(bm.words()[1], !0);
+        assert_eq!(bm.words()[2], 0);
+    }
+}

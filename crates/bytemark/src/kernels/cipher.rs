@@ -1,0 +1,141 @@
+//! IDEA-analogue: an XTEA-style 64-bit block cipher round benchmark.
+//!
+//! BYTEmark's IDEA test measures integer multiply/add/xor round
+//! functions. We use the public-domain XTEA round structure (64-bit
+//! blocks, 128-bit key, 32 rounds) — the point is the instruction mix,
+//! not cryptographic strength.
+
+use super::{checksum, Kernel};
+use crate::rng::SplitMix64;
+
+const DELTA: u32 = 0x9E37_79B9;
+const ROUNDS: u32 = 32;
+
+/// Encrypt/decrypt benchmark over `blocks` 64-bit blocks.
+#[derive(Debug, Clone)]
+pub struct Cipher {
+    blocks: usize,
+}
+
+impl Cipher {
+    /// Process `blocks` blocks.
+    pub fn new(blocks: usize) -> Self {
+        assert!(blocks > 0);
+        Cipher { blocks }
+    }
+}
+
+impl Default for Cipher {
+    fn default() -> Self {
+        Cipher::new(8192)
+    }
+}
+
+/// Encrypt one 64-bit block under a 128-bit key.
+pub fn encrypt_block(v: [u32; 2], key: &[u32; 4]) -> [u32; 2] {
+    let [mut v0, mut v1] = v;
+    let mut sum = 0u32;
+    for _ in 0..ROUNDS {
+        v0 = v0.wrapping_add(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+        );
+        sum = sum.wrapping_add(DELTA);
+        v1 = v1.wrapping_add(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+        );
+    }
+    [v0, v1]
+}
+
+/// Decrypt one 64-bit block under a 128-bit key.
+pub fn decrypt_block(v: [u32; 2], key: &[u32; 4]) -> [u32; 2] {
+    let [mut v0, mut v1] = v;
+    let mut sum = DELTA.wrapping_mul(ROUNDS);
+    for _ in 0..ROUNDS {
+        v1 = v1.wrapping_sub(
+            (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+        );
+        sum = sum.wrapping_sub(DELTA);
+        v0 = v0.wrapping_sub(
+            (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+        );
+    }
+    [v0, v1]
+}
+
+impl Kernel for Cipher {
+    fn name(&self) -> &'static str {
+        "CIPHER"
+    }
+
+    fn ops(&self) -> u64 {
+        // ~11 integer ops per half-round, 2 half-rounds, 32 rounds, twice
+        // (encrypt + decrypt).
+        (self.blocks as u64) * 11 * 2 * ROUNDS as u64 * 2
+    }
+
+    fn run(&self, seed: u64) -> u64 {
+        let mut rng = SplitMix64::new(seed);
+        let key = [
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+        ];
+        let mut acc = 0u64;
+        let mut cs = Vec::with_capacity(self.blocks);
+        for _ in 0..self.blocks {
+            let block = [rng.next_u64() as u32, rng.next_u64() as u32];
+            let enc = encrypt_block(block, &key);
+            let dec = decrypt_block(enc, &key);
+            assert_eq!(dec, block, "cipher round trip");
+            acc ^= (enc[0] as u64) << 32 | enc[1] as u64;
+            cs.push(acc);
+        }
+        checksum(cs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_blocks() {
+        let key = [1, 2, 3, 4];
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..200 {
+            let block = [rng.next_u64() as u32, rng.next_u64() as u32];
+            assert_eq!(decrypt_block(encrypt_block(block, &key), &key), block);
+        }
+    }
+
+    #[test]
+    fn encryption_changes_data() {
+        let key = [9, 9, 9, 9];
+        let block = [0, 0];
+        assert_ne!(encrypt_block(block, &key), block);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let block = [123, 456];
+        assert_ne!(
+            encrypt_block(block, &[1, 2, 3, 4]),
+            encrypt_block(block, &[4, 3, 2, 1])
+        );
+    }
+
+    #[test]
+    fn xtea_reference_vector() {
+        // Published XTEA test vector: key = 00010203 04050607 08090a0b
+        // 0c0d0e0f, plaintext = 41424344 45464748 -> 497df3d0 72612cb5.
+        let key = [0x0001_0203, 0x0405_0607, 0x0809_0a0b, 0x0c0d_0e0f];
+        let ct = encrypt_block([0x4142_4344, 0x4546_4748], &key);
+        assert_eq!(ct, [0x497d_f3d0, 0x7261_2cb5]);
+    }
+}

@@ -1,0 +1,125 @@
+//! FOURIER: numerical integration of Fourier series coefficients.
+//!
+//! BYTEmark's FOURIER test computes coefficients of the Fourier series
+//! of `(x + 1)^x` on `[0, 2]` by trapezoidal integration; we do the
+//! same, which makes the kernel trig- and pow-heavy floating point.
+
+use super::Kernel;
+use crate::rng::SplitMix64;
+
+/// Fourier-coefficient benchmark computing `pairs` (aₙ, bₙ) pairs with
+/// `steps` integration steps each.
+#[derive(Debug, Clone)]
+pub struct Fourier {
+    pairs: usize,
+    steps: usize,
+}
+
+impl Fourier {
+    /// `pairs` coefficient pairs at `steps` trapezoid steps.
+    pub fn new(pairs: usize, steps: usize) -> Self {
+        assert!(pairs > 0 && steps > 1);
+        Fourier { pairs, steps }
+    }
+}
+
+impl Default for Fourier {
+    fn default() -> Self {
+        Fourier::new(32, 200)
+    }
+}
+
+fn f(x: f64) -> f64 {
+    (x + 1.0).powf(x)
+}
+
+/// Trapezoidal integral of `g` over `[lo, hi]` with `steps` intervals.
+pub fn trapezoid(lo: f64, hi: f64, steps: usize, g: impl Fn(f64) -> f64) -> f64 {
+    let dx = (hi - lo) / steps as f64;
+    let mut sum = 0.5 * (g(lo) + g(hi));
+    for i in 1..steps {
+        sum += g(lo + i as f64 * dx);
+    }
+    sum * dx
+}
+
+/// The `n`-th Fourier coefficient pair of `(x+1)^x` over `[0, 2]`.
+pub fn coefficient(n: usize, steps: usize) -> (f64, f64) {
+    let omega = std::f64::consts::PI; // 2π / period, period = 2
+    let a = trapezoid(0.0, 2.0, steps, |x| f(x) * (omega * n as f64 * x).cos());
+    let b = trapezoid(0.0, 2.0, steps, |x| f(x) * (omega * n as f64 * x).sin());
+    (a, b)
+}
+
+impl Kernel for Fourier {
+    fn name(&self) -> &'static str {
+        "FOURIER"
+    }
+
+    fn ops(&self) -> u64 {
+        // Two integrals per pair, each `steps` evaluations of pow+trig
+        // (~20 flops each).
+        (self.pairs * self.steps * 2 * 20) as u64
+    }
+
+    fn run(&self, seed: u64) -> u64 {
+        // The seed perturbs the interval slightly so different seeds
+        // yield different checksums while the workload stays identical.
+        let eps = SplitMix64::new(seed).next_f64() * 1e-6;
+        let mut acc = 0u64;
+        for n in 0..self.pairs {
+            let omega = std::f64::consts::PI;
+            let a = trapezoid(eps, 2.0 + eps, self.steps, |x| {
+                f(x) * (omega * n as f64 * x).cos()
+            });
+            let b = trapezoid(eps, 2.0 + eps, self.steps, |x| {
+                f(x) * (omega * n as f64 * x).sin()
+            });
+            acc = acc
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(a.to_bits() ^ b.to_bits());
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_integrates_polynomials() {
+        // ∫₀¹ x² dx = 1/3.
+        let v = trapezoid(0.0, 1.0, 10_000, |x| x * x);
+        assert!((v - 1.0 / 3.0).abs() < 1e-6, "got {v}");
+    }
+
+    #[test]
+    fn trapezoid_handles_constants_exactly() {
+        let v = trapezoid(0.0, 2.0, 3, |_| 5.0);
+        assert!((v - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeroth_coefficient_is_integral() {
+        // a₀ = ∫₀² (x+1)^x dx ≈ 5.7638 (converges with step refinement:
+        // check the value is stable between 20k and 40k steps).
+        let (a0, b0) = coefficient(0, 20_000);
+        let (a0_fine, _) = coefficient(0, 40_000);
+        assert!((a0 - 5.7638).abs() < 1e-3, "a0 = {a0}");
+        assert!((a0 - a0_fine).abs() < 1e-6, "integral must have converged");
+        assert!(b0.abs() < 1e-9, "sin(0·x) integral must vanish, got {b0}");
+    }
+
+    #[test]
+    fn coefficients_decay() {
+        let (a1, b1) = coefficient(1, 4000);
+        let (a8, b8) = coefficient(8, 4000);
+        let m1 = (a1 * a1 + b1 * b1).sqrt();
+        let m8 = (a8 * a8 + b8 * b8).sqrt();
+        assert!(
+            m8 < m1,
+            "high harmonics are smaller: |c8|={m8} vs |c1|={m1}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! The eight benchmark kernels.
+//!
+//! Every kernel implements [`Kernel`]: given a seed it generates its own
+//! input, does a fixed amount of work, and returns a checksum that the
+//! tests pin and that keeps the optimizer honest. `ops()` is the
+//! kernel's nominal operation count, used by the deterministic
+//! [`crate::Timer::OpCount`] timing mode.
+
+pub mod assignment;
+pub mod bitfield;
+pub mod cipher;
+pub mod fourier;
+pub mod huffman;
+pub mod lu;
+pub mod nnet;
+pub mod numsort;
+pub mod strsort;
+
+pub use assignment::Assignment;
+pub use bitfield::BitField;
+pub use cipher::Cipher;
+pub use fourier::Fourier;
+pub use huffman::Huffman;
+pub use lu::LuDecomposition;
+pub use nnet::NeuralNet;
+pub use numsort::NumericSort;
+pub use strsort::StringSort;
+
+/// A deterministic benchmark kernel.
+pub trait Kernel: Send + Sync {
+    /// Short uppercase name, BYTEmark style (e.g. `"NUMERIC SORT"`).
+    fn name(&self) -> &'static str;
+
+    /// Nominal operation count of one run — the deterministic "work"
+    /// this kernel represents, independent of the host CPU.
+    fn ops(&self) -> u64;
+
+    /// Run once with the given seed, returning a checksum of the result.
+    fn run(&self, seed: u64) -> u64;
+}
+
+/// The standard kernel set at the default problem sizes.
+pub fn standard() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(Assignment::default()),
+        Box::new(NumericSort::default()),
+        Box::new(StringSort::default()),
+        Box::new(BitField::default()),
+        Box::new(Fourier::default()),
+        Box::new(LuDecomposition::default()),
+        Box::new(Huffman::default()),
+        Box::new(Cipher::default()),
+        Box::new(NeuralNet::default()),
+    ]
+}
+
+/// A reduced kernel set with small problem sizes, for fast tests.
+pub fn quick() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(NumericSort::new(512)),
+        Box::new(BitField::new(1 << 10, 200)),
+        Box::new(LuDecomposition::new(12)),
+        Box::new(Cipher::new(64)),
+    ]
+}
+
+/// Fold a stream of words into a checksum (FNV-1a over u64 words).
+pub(crate) fn checksum(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_are_deterministic() {
+        for k in standard() {
+            assert_eq!(
+                k.run(1234),
+                k.run(1234),
+                "{} must be deterministic",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_checksums() {
+        for k in standard() {
+            assert_ne!(
+                k.run(1),
+                k.run(2),
+                "{} should depend on its input",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ops_are_positive() {
+        for k in standard() {
+            assert!(k.ops() > 0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let ks = standard();
+        let mut names: Vec<_> = ks.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ks.len());
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum([1, 2, 3]), checksum([3, 2, 1]));
+    }
+}

@@ -1,0 +1,238 @@
+//! NEURAL NET: forward/backward passes of a small fully-connected
+//! network, BYTEmark's back-propagation test.
+
+use super::{checksum, Kernel};
+use crate::rng::SplitMix64;
+
+/// Back-propagation benchmark: a `inputs → hidden → outputs` multilayer
+/// perceptron trained for `epochs` epochs on random patterns.
+#[derive(Debug, Clone)]
+pub struct NeuralNet {
+    inputs: usize,
+    hidden: usize,
+    outputs: usize,
+    patterns: usize,
+    epochs: usize,
+}
+
+impl NeuralNet {
+    /// Network of the given shape trained on `patterns` random patterns
+    /// for `epochs` epochs.
+    pub fn new(
+        inputs: usize,
+        hidden: usize,
+        outputs: usize,
+        patterns: usize,
+        epochs: usize,
+    ) -> Self {
+        assert!(inputs > 0 && hidden > 0 && outputs > 0 && patterns > 0 && epochs > 0);
+        NeuralNet {
+            inputs,
+            hidden,
+            outputs,
+            patterns,
+            epochs,
+        }
+    }
+}
+
+impl Default for NeuralNet {
+    fn default() -> Self {
+        // BYTEmark uses a 35-8-8 network.
+        NeuralNet::new(35, 8, 8, 16, 30)
+    }
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A two-layer MLP with sigmoid activations, exposed for tests.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    inputs: usize,
+    hidden: usize,
+    outputs: usize,
+    /// `w1[h][i]`: input→hidden weights (row-major, +1 bias column).
+    w1: Vec<f64>,
+    /// `w2[o][h]`: hidden→output weights (+1 bias column).
+    w2: Vec<f64>,
+}
+
+impl Mlp {
+    /// Random small weights.
+    pub fn random(inputs: usize, hidden: usize, outputs: usize, rng: &mut SplitMix64) -> Self {
+        let w1 = (0..hidden * (inputs + 1))
+            .map(|_| rng.next_f64() * 0.6 - 0.3)
+            .collect();
+        let w2 = (0..outputs * (hidden + 1))
+            .map(|_| rng.next_f64() * 0.6 - 0.3)
+            .collect();
+        Mlp {
+            inputs,
+            hidden,
+            outputs,
+            w1,
+            w2,
+        }
+    }
+
+    /// Forward pass; returns (hidden activations, output activations).
+    pub fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        debug_assert_eq!(x.len(), self.inputs);
+        let h: Vec<f64> = (0..self.hidden)
+            .map(|j| {
+                let row = &self.w1[j * (self.inputs + 1)..(j + 1) * (self.inputs + 1)];
+                let net: f64 = row[..self.inputs]
+                    .iter()
+                    .zip(x)
+                    .map(|(w, xi)| w * xi)
+                    .sum::<f64>()
+                    + row[self.inputs];
+                sigmoid(net)
+            })
+            .collect();
+        let o: Vec<f64> = (0..self.outputs)
+            .map(|k| {
+                let row = &self.w2[k * (self.hidden + 1)..(k + 1) * (self.hidden + 1)];
+                let net: f64 = row[..self.hidden]
+                    .iter()
+                    .zip(&h)
+                    .map(|(w, hi)| w * hi)
+                    .sum::<f64>()
+                    + row[self.hidden];
+                sigmoid(net)
+            })
+            .collect();
+        (h, o)
+    }
+
+    /// One backprop step with learning rate `eta`; returns the squared
+    /// error before the update.
+    pub fn train(&mut self, x: &[f64], target: &[f64], eta: f64) -> f64 {
+        let (h, o) = self.forward(x);
+        let err: f64 = o
+            .iter()
+            .zip(target)
+            .map(|(oi, ti)| (ti - oi) * (ti - oi))
+            .sum();
+        // Output deltas.
+        let delta_o: Vec<f64> = o
+            .iter()
+            .zip(target)
+            .map(|(oi, ti)| (ti - oi) * oi * (1.0 - oi))
+            .collect();
+        // Hidden deltas.
+        let delta_h: Vec<f64> = (0..self.hidden)
+            .map(|j| {
+                let back: f64 = (0..self.outputs)
+                    .map(|k| delta_o[k] * self.w2[k * (self.hidden + 1) + j])
+                    .sum();
+                back * h[j] * (1.0 - h[j])
+            })
+            .collect();
+        // Weight updates.
+        for (k, &dk) in delta_o.iter().enumerate() {
+            let row = &mut self.w2[k * (self.hidden + 1)..(k + 1) * (self.hidden + 1)];
+            for (w, &hj) in row.iter_mut().zip(&h) {
+                *w += eta * dk * hj;
+            }
+            row[self.hidden] += eta * dk;
+        }
+        for (j, &dj) in delta_h.iter().enumerate() {
+            let row = &mut self.w1[j * (self.inputs + 1)..(j + 1) * (self.inputs + 1)];
+            for (w, &xi) in row.iter_mut().zip(x) {
+                *w += eta * dj * xi;
+            }
+            row[self.inputs] += eta * dj;
+        }
+        err
+    }
+}
+
+impl Kernel for NeuralNet {
+    fn name(&self) -> &'static str {
+        "NEURAL NET"
+    }
+
+    fn ops(&self) -> u64 {
+        let fwd = self.hidden * (self.inputs + 1) + self.outputs * (self.hidden + 1);
+        // Backward is ~2x forward; 2 flops per weight visit.
+        (self.epochs * self.patterns * fwd * 3 * 2) as u64
+    }
+
+    fn run(&self, seed: u64) -> u64 {
+        let mut rng = SplitMix64::new(seed);
+        let mut net = Mlp::random(self.inputs, self.hidden, self.outputs, &mut rng);
+        let patterns: Vec<(Vec<f64>, Vec<f64>)> = (0..self.patterns)
+            .map(|_| {
+                let x: Vec<f64> = (0..self.inputs)
+                    .map(|_| if rng.next_below(2) == 1 { 1.0 } else { 0.0 })
+                    .collect();
+                let t: Vec<f64> = (0..self.outputs)
+                    .map(|_| if rng.next_below(2) == 1 { 0.9 } else { 0.1 })
+                    .collect();
+                (x, t)
+            })
+            .collect();
+        let mut last_err = 0.0;
+        for _ in 0..self.epochs {
+            last_err = patterns.iter().map(|(x, t)| net.train(x, t, 0.25)).sum();
+        }
+        checksum([last_err.to_bits()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!(sigmoid(-100.0) < 1e-9);
+        assert!(sigmoid(100.0) > 1.0 - 1e-9);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_reduces_error() {
+        let mut rng = SplitMix64::new(77);
+        let mut net = Mlp::random(4, 6, 1, &mut rng);
+        // Learn XOR of the first two inputs.
+        let data: Vec<(Vec<f64>, Vec<f64>)> = vec![
+            (vec![0.0, 0.0, 1.0, 0.0], vec![0.1]),
+            (vec![0.0, 1.0, 1.0, 0.0], vec![0.9]),
+            (vec![1.0, 0.0, 1.0, 0.0], vec![0.9]),
+            (vec![1.0, 1.0, 1.0, 0.0], vec![0.1]),
+        ];
+        let initial: f64 = data
+            .iter()
+            .map(|(x, t)| {
+                let (_, o) = net.forward(x);
+                (o[0] - t[0]).powi(2)
+            })
+            .sum();
+        for _ in 0..2000 {
+            for (x, t) in &data {
+                net.train(x, t, 0.5);
+            }
+        }
+        let fin: f64 = data
+            .iter()
+            .map(|(x, t)| {
+                let (_, o) = net.forward(x);
+                (o[0] - t[0]).powi(2)
+            })
+            .sum();
+        assert!(fin < initial / 10.0, "error must drop: {initial} -> {fin}");
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mut rng = SplitMix64::new(3);
+        let net = Mlp::random(5, 4, 2, &mut rng);
+        let x = vec![1.0, 0.0, 1.0, 0.5, 0.25];
+        assert_eq!(net.forward(&x), net.forward(&x));
+    }
+}

@@ -1,0 +1,39 @@
+//! # bytemark — a BYTEmark-style machine-ranking suite
+//!
+//! The paper ranks the processors of its testbed with the BYTEmark
+//! benchmark (BYTE Magazine, 1995), "which consists of tests such as
+//! sorting, floating-point manipulation, and numerical analysis", and
+//! derives the workload fractions `c_j` from the resulting indices.
+//! BYTEmark itself is a proprietary C suite; this crate is a from-scratch
+//! Rust suite in the same spirit with nine deterministic kernels:
+//!
+//! | kernel | BYTEmark analogue | exercises |
+//! |---|---|---|
+//! | [`kernels::Assignment`]   | ASSIGNMENT   | array-heavy integer control flow |
+//! | [`kernels::NumericSort`]  | NUMERIC SORT | integer comparison + swap |
+//! | [`kernels::StringSort`]   | STRING SORT  | byte-string comparison |
+//! | [`kernels::BitField`]     | BITFIELD     | bit manipulation |
+//! | [`kernels::Fourier`]      | FOURIER      | trig-heavy floating point |
+//! | [`kernels::LuDecomposition`] | LU DECOMPOSITION | dense linear algebra |
+//! | [`kernels::Huffman`]      | HUFFMAN      | tree building + bit I/O |
+//! | [`kernels::Cipher`]       | IDEA         | integer block rounds |
+//! | [`kernels::NeuralNet`]    | NEURAL NET   | dot products + sigmoid |
+//!
+//! Each kernel is deterministic (seeded by a [`rng::SplitMix64`]),
+//! returns a checksum so optimizers cannot delete the work, and reports a
+//! nominal operation count. [`Suite`] combines kernels into a geometric-
+//! mean *index* per machine; [`rank`] normalizes indices into the model's
+//! relative speeds (fastest = 1).
+//!
+//! Because the reproduction runs on simulated machines, timing comes in
+//! two flavors ([`Timer`]): deterministic op-counting (a machine with
+//! slowdown `s` takes `ops × s` time units — used by every experiment so
+//! results are reproducible) and wall-clock (provided for running the
+//! suite on real hardware).
+
+pub mod kernels;
+pub mod rng;
+pub mod suite;
+
+pub use kernels::Kernel;
+pub use suite::{rank, MachineProfile, Score, Suite, Timer};

@@ -1,0 +1,238 @@
+//! Running the kernel suite against (simulated) machines and turning the
+//! results into HBSP^k speed parameters.
+
+use crate::kernels::{self, Kernel};
+use std::time::Instant;
+
+/// How kernel time is measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timer {
+    /// Deterministic: one run of a kernel on a machine with compute
+    /// slowdown `s` is charged `ops × s` time units. Every experiment in
+    /// the reproduction uses this so results are bit-stable.
+    OpCount,
+    /// Wall-clock: actually time the kernel (then scale by the profile's
+    /// slowdown). For running the suite on real hardware; inherently
+    /// noisy.
+    Wall,
+}
+
+/// A (simulated) machine to be ranked: BYTEmark ranks real SUN/SGI
+/// boxes; we describe each testbed machine by how much slower than the
+/// reference machine it computes and communicates.
+///
+/// The two slowdowns are deliberately *separate*: BYTEmark (and our
+/// suite) measures only computation, while the model's `r` parameter is
+/// about communication. The imperfect correlation between the two is
+/// exactly what the paper observes in Figure 3(b), where the
+/// compute-derived `c_j` of the second-fastest machine overestimates its
+/// communication ability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineProfile {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Compute slowdown vs. the reference machine (1.0 = reference).
+    pub compute_slowdown: f64,
+    /// Communication slowdown vs. the reference machine — becomes the
+    /// model's `r` after normalization.
+    pub comm_slowdown: f64,
+}
+
+impl MachineProfile {
+    /// A profile with the given slowdowns.
+    pub fn new(name: impl Into<String>, compute_slowdown: f64, comm_slowdown: f64) -> Self {
+        assert!(
+            compute_slowdown >= 1.0,
+            "slowdown is relative to the fastest, so >= 1"
+        );
+        assert!(comm_slowdown >= 1.0);
+        MachineProfile {
+            name: name.into(),
+            compute_slowdown,
+            comm_slowdown,
+        }
+    }
+
+    /// The reference (fastest) machine.
+    pub fn reference(name: impl Into<String>) -> Self {
+        MachineProfile::new(name, 1.0, 1.0)
+    }
+}
+
+/// Result of one kernel on one machine.
+#[derive(Debug, Clone)]
+pub struct Score {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Nominal operation count.
+    pub ops: u64,
+    /// Charged time (model units for [`Timer::OpCount`], seconds for
+    /// [`Timer::Wall`]).
+    pub time: f64,
+    /// Throughput index `ops / time` — higher is faster.
+    pub index: f64,
+    /// Kernel checksum, for integrity assertions.
+    pub checksum: u64,
+}
+
+/// A configured benchmark suite.
+pub struct Suite {
+    kernels: Vec<Box<dyn Kernel>>,
+    seed: u64,
+    timer: Timer,
+}
+
+impl Suite {
+    /// The full eight-kernel suite with deterministic timing.
+    pub fn standard() -> Self {
+        Suite {
+            kernels: kernels::standard(),
+            seed: 0xB17E_0001,
+            timer: Timer::OpCount,
+        }
+    }
+
+    /// A small, fast suite for tests.
+    pub fn quick() -> Self {
+        Suite {
+            kernels: kernels::quick(),
+            seed: 0xB17E_0002,
+            timer: Timer::OpCount,
+        }
+    }
+
+    /// A suite over custom kernels.
+    pub fn with_kernels(kernels: Vec<Box<dyn Kernel>>) -> Self {
+        Suite {
+            kernels,
+            seed: 0xB17E_0003,
+            timer: Timer::OpCount,
+        }
+    }
+
+    /// Change the timing mode.
+    pub fn timer(mut self, timer: Timer) -> Self {
+        self.timer = timer;
+        self
+    }
+
+    /// Change the input seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run every kernel "on" `profile` and return per-kernel scores.
+    pub fn run(&self, profile: &MachineProfile) -> Vec<Score> {
+        self.kernels
+            .iter()
+            .map(|k| {
+                let start = Instant::now();
+                let checksum = k.run(self.seed);
+                let time = match self.timer {
+                    Timer::OpCount => k.ops() as f64 * profile.compute_slowdown,
+                    Timer::Wall => {
+                        start.elapsed().as_secs_f64().max(1e-9) * profile.compute_slowdown
+                    }
+                };
+                Score {
+                    kernel: k.name(),
+                    ops: k.ops(),
+                    time,
+                    index: k.ops() as f64 / time,
+                    checksum,
+                }
+            })
+            .collect()
+    }
+
+    /// The machine's overall index: geometric mean of per-kernel
+    /// indices, BYTEmark style.
+    pub fn index(&self, profile: &MachineProfile) -> f64 {
+        let scores = self.run(profile);
+        geometric_mean(scores.iter().map(|s| s.index))
+    }
+
+    /// Indices for a whole testbed.
+    pub fn indices(&self, profiles: &[MachineProfile]) -> Vec<f64> {
+        profiles.iter().map(|p| self.index(p)).collect()
+    }
+}
+
+fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (sum_ln, count) = values
+        .into_iter()
+        .fold((0.0, 0usize), |(s, c), v| (s + v.ln(), c + 1));
+    assert!(count > 0, "geometric mean of nothing");
+    (sum_ln / count as f64).exp()
+}
+
+/// Normalize benchmark indices into the model's relative compute speeds:
+/// the fastest machine gets 1.0, everything else its fraction of that.
+/// These are the `speed` values of `hbsp-core`'s `NodeParams` and the
+/// basis of the paper's `c_j` fractions.
+pub fn rank(indices: &[f64]) -> Vec<f64> {
+    let max = indices.iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!(max > 0.0, "cannot rank an empty or zero-index testbed");
+    indices.iter().map(|&i| i / max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcount_timing_is_deterministic() {
+        let suite = Suite::quick();
+        let p = MachineProfile::new("sun1", 2.0, 2.0);
+        let a = suite.run(&p);
+        let b = suite.run(&p);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.checksum, y.checksum);
+        }
+    }
+
+    #[test]
+    fn slower_machine_scores_lower() {
+        let suite = Suite::quick();
+        let fast = suite.index(&MachineProfile::reference("ref"));
+        let slow = suite.index(&MachineProfile::new("old", 3.0, 3.0));
+        assert!(
+            (fast / slow - 3.0).abs() < 1e-9,
+            "opcount mode scales exactly: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn rank_normalizes_to_fastest() {
+        let ranks = rank(&[100.0, 50.0, 25.0]);
+        assert_eq!(ranks, vec![1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn geometric_mean_of_equal_values() {
+        assert!((geometric_mean([4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_is_scale_invariant_per_kernel() {
+        // Doubling one kernel's index scales the mean by 2^(1/n).
+        let base = geometric_mean([1.0, 1.0]);
+        let bumped = geometric_mean([2.0, 1.0]);
+        assert!((bumped / base - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown is relative to the fastest")]
+    fn profile_rejects_speedup() {
+        MachineProfile::new("impossible", 0.5, 1.0);
+    }
+
+    #[test]
+    fn wall_timer_runs() {
+        let suite = Suite::quick().timer(Timer::Wall);
+        let scores = suite.run(&MachineProfile::reference("ref"));
+        assert!(scores.iter().all(|s| s.time > 0.0 && s.index > 0.0));
+    }
+}

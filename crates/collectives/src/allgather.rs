@@ -1,0 +1,201 @@
+//! All-gather: every processor ends with the concatenation of all
+//! pieces. Flat variant: direct total exchange of pieces (one
+//! superstep). Hierarchical variant: gather to the coordinators, then
+//! broadcast back down — trading supersteps for confinement of traffic
+//! to cheap links.
+
+use crate::broadcast::{BroadcastPlan, HierarchicalBroadcast};
+use crate::data::{decode_bundle, encode_bundle, reassemble, shares_for, Piece};
+use crate::gather::HierarchicalGather;
+use crate::plan::{PhasePolicy, Strategy, WorkloadPolicy};
+use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
+use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use std::sync::Arc;
+
+const TAG_ALLGATHER: u32 = 0x6D01;
+
+/// Flat all-gather: every processor sends its piece to every other.
+pub struct FlatAllGather {
+    shares: Arc<Vec<Piece>>,
+}
+
+impl FlatAllGather {
+    /// All-gather with `shares[rank]` as each processor's contribution.
+    pub fn new(shares: Arc<Vec<Piece>>) -> Self {
+        FlatAllGather { shares }
+    }
+}
+
+impl SpmdProgram for FlatAllGather {
+    type State = Vec<u32>;
+
+    fn init(&self, _env: &ProcEnv) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut Vec<u32>,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        match step {
+            0 => {
+                let mine = &self.shares[env.pid.rank()];
+                let bundle = encode_bundle(std::slice::from_ref(mine));
+                for j in 0..env.nprocs {
+                    let q = ProcId(j as u32);
+                    if q != env.pid {
+                        ctx.send(q, TAG_ALLGATHER, bundle.clone());
+                    }
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+            _ => {
+                let mut pieces = vec![self.shares[env.pid.rank()].clone()];
+                for m in ctx.messages() {
+                    pieces.extend(decode_bundle(&m.payload));
+                }
+                *state = reassemble(&pieces);
+                StepOutcome::Done
+            }
+        }
+    }
+}
+
+/// Outcome of a simulated all-gather.
+#[derive(Debug, Clone)]
+pub struct AllGatherRun {
+    /// The assembled array (identical on every processor).
+    pub result: Vec<u32>,
+    /// Model execution time.
+    pub time: f64,
+    /// Full simulation outcome.
+    pub sim: SimOutcome,
+}
+
+/// Run an all-gather of `items` (pre-split by `workload`).
+pub fn simulate_allgather(
+    tree: &MachineTree,
+    items: &[u32],
+    workload: WorkloadPolicy,
+    strategy: Strategy,
+) -> Result<AllGatherRun, SimError> {
+    simulate_allgather_with(tree, NetConfig::pvm_like(), items, workload, strategy)
+}
+
+/// All-gather with explicit microcosts.
+pub fn simulate_allgather_with(
+    tree: &MachineTree,
+    cfg: NetConfig,
+    items: &[u32],
+    workload: WorkloadPolicy,
+    strategy: Strategy,
+) -> Result<AllGatherRun, SimError> {
+    let tree_arc = Arc::new(tree.clone());
+    let shares = Arc::new(shares_for(&tree_arc, items, workload));
+    match strategy {
+        Strategy::Flat => {
+            let sim = Simulator::with_config(Arc::clone(&tree_arc), cfg);
+            let (outcome, states) = sim.run_with_states(&FlatAllGather::new(shares))?;
+            for st in &states {
+                assert_eq!(st, &items.to_vec(), "all-gather must assemble everywhere");
+            }
+            Ok(AllGatherRun {
+                result: items.to_vec(),
+                time: outcome.total_time,
+                sim: outcome,
+            })
+        }
+        Strategy::Hierarchical => {
+            // Gather to P_f via coordinators, then broadcast back down.
+            // Two programs composed back-to-back; times add (the paper's
+            // overall cost is the sum of super-step times).
+            let sim = Simulator::with_config(Arc::clone(&tree_arc), cfg.clone());
+            let (g_out, _) = sim.run_with_states(&HierarchicalGather::new(Arc::clone(&shares)))?;
+            let plan = BroadcastPlan::hierarchical(PhasePolicy::TwoPhase);
+            let prog = HierarchicalBroadcast::new(
+                plan.top_phase,
+                plan.cluster_phase,
+                plan.workload,
+                Arc::new(items.to_vec()),
+            );
+            let sim2 = Simulator::with_config(Arc::clone(&tree_arc), cfg);
+            let (b_out, states) = sim2.run_with_states(&prog)?;
+            for st in &states {
+                assert_eq!(st.full.as_deref(), Some(items));
+            }
+            let mut steps = g_out.steps.clone();
+            steps.extend(b_out.steps.iter().cloned());
+            Ok(AllGatherRun {
+                result: items.to_vec(),
+                time: g_out.total_time + b_out.total_time,
+                sim: SimOutcome {
+                    total_time: g_out.total_time + b_out.total_time,
+                    proc_finish: b_out.proc_finish.clone(),
+                    steps,
+                    messages_delivered: g_out.messages_delivered + b_out.messages_delivered,
+                    timelines: None,
+                },
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    #[test]
+    fn flat_allgather_assembles_everywhere() {
+        let t = TreeBuilder::flat(1.0, 20.0, &[(1.0, 1.0), (2.0, 0.5), (3.0, 0.3)]).unwrap();
+        let items: Vec<u32> = (0..99).map(|i| i * 7).collect();
+        let run = simulate_allgather(&t, &items, WorkloadPolicy::Balanced, Strategy::Flat).unwrap();
+        assert_eq!(run.result, items);
+        assert_eq!(run.sim.num_steps(), 2);
+    }
+
+    #[test]
+    fn hierarchical_allgather_on_hbsp2() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            200.0,
+            &[
+                (20.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                (30.0, vec![(2.0, 0.4), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap();
+        let items: Vec<u32> = (0..500).collect();
+        let run =
+            simulate_allgather(&t, &items, WorkloadPolicy::Equal, Strategy::Hierarchical).unwrap();
+        assert_eq!(run.result, items);
+    }
+
+    #[test]
+    fn hierarchical_confines_top_level_traffic() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            100.0,
+            &[
+                (10.0, vec![(1.0, 1.0), (1.5, 0.6), (1.5, 0.6)]),
+                (10.0, vec![(2.0, 0.5), (2.0, 0.5), (2.5, 0.4)]),
+            ],
+        )
+        .unwrap();
+        let items: Vec<u32> = (0..3000).collect();
+        let flat = simulate_allgather(&t, &items, WorkloadPolicy::Equal, Strategy::Flat).unwrap();
+        let hier =
+            simulate_allgather(&t, &items, WorkloadPolicy::Equal, Strategy::Hierarchical).unwrap();
+        let top =
+            |run: &AllGatherRun| -> u64 { run.sim.steps.iter().map(|s| s.traffic[2].words).sum() };
+        assert!(
+            top(&hier) < top(&flat),
+            "hierarchical all-gather moves less across level 2: {} vs {}",
+            top(&hier),
+            top(&flat)
+        );
+    }
+}

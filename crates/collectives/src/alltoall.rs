@@ -1,0 +1,416 @@
+//! Personalized all-to-all (total exchange): processor `i` holds a
+//! distinct block for every processor `j`; after the exchange, `j`
+//! holds the blocks addressed to it from everyone.
+//!
+//! Two variants:
+//!
+//! * [`AllToAll`] — flat: every pair exchanges directly (one
+//!   superstep, `p(p−1)` messages, every cross-cluster pair paying the
+//!   top-level link);
+//! * [`HierarchicalAllToAll`] — staged: blocks bound for another
+//!   cluster are first handed to the local coordinator, which bundles
+//!   them into *one* message per destination cluster; the destination
+//!   coordinator fans them out locally. Message count across the top
+//!   level drops from `O(p²)` to `O(clusters²)` at the price of two
+//!   extra supersteps and coordinator relay volume.
+
+use crate::data::{decode_bundle, encode_bundle, Piece};
+use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
+use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use std::sync::Arc;
+
+const TAG_A2A: u32 = 0x6E01;
+
+/// The all-to-all program. `blocks[i][j]` is the payload processor `i`
+/// sends to processor `j` (the diagonal stays local).
+pub struct AllToAll {
+    blocks: Arc<Vec<Vec<Vec<u32>>>>,
+}
+
+impl AllToAll {
+    /// Exchange `blocks` (`blocks[i][j]` from `i` to `j`; must be
+    /// `p × p`).
+    pub fn new(blocks: Arc<Vec<Vec<Vec<u32>>>>) -> Self {
+        AllToAll { blocks }
+    }
+}
+
+impl SpmdProgram for AllToAll {
+    /// `state[i]` = the block received from processor `i`.
+    type State = Vec<Vec<u32>>;
+
+    fn init(&self, env: &ProcEnv) -> Vec<Vec<u32>> {
+        vec![Vec::new(); env.nprocs]
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut Vec<Vec<u32>>,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        let me = env.pid.rank();
+        match step {
+            0 => {
+                for j in 0..env.nprocs {
+                    if j == me {
+                        state[me] = self.blocks[me][me].clone();
+                    } else {
+                        let piece = Piece {
+                            offset: me as u32,
+                            items: self.blocks[me][j].clone(),
+                        };
+                        ctx.send(ProcId(j as u32), TAG_A2A, encode_bundle(&[piece]));
+                    }
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+            _ => {
+                for m in ctx.messages() {
+                    for piece in decode_bundle(&m.payload) {
+                        state[piece.offset as usize] = piece.items;
+                    }
+                }
+                StepOutcome::Done
+            }
+        }
+    }
+}
+
+/// Wire format for staged blocks: piece offset encodes
+/// `src_rank * p + dst_rank` so any relay can recover the endpoints.
+fn pack_block(p: usize, src: usize, dst: usize, items: &[u32]) -> Piece {
+    Piece {
+        offset: (src * p + dst) as u32,
+        items: items.to_vec(),
+    }
+}
+
+/// The staged (HBSP^2) personalized all-to-all.
+pub struct HierarchicalAllToAll {
+    blocks: Arc<Vec<Vec<Vec<u32>>>>,
+}
+
+impl HierarchicalAllToAll {
+    /// Exchange `blocks` (`blocks[i][j]` from `i` to `j`) through the
+    /// level-1 cluster coordinators.
+    pub fn new(blocks: Arc<Vec<Vec<Vec<u32>>>>) -> Self {
+        HierarchicalAllToAll { blocks }
+    }
+}
+
+impl SpmdProgram for HierarchicalAllToAll {
+    /// `state[i]` = the block received from processor `i`.
+    type State = Vec<Vec<u32>>;
+
+    fn init(&self, env: &ProcEnv) -> Vec<Vec<u32>> {
+        vec![Vec::new(); env.nprocs]
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut Vec<Vec<u32>>,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        use hbsplib::TreeEnquiry;
+        let tree = &env.tree;
+        let p = env.nprocs;
+        let me = env.pid.rank();
+        let my_coord = tree.coordinator_of(env.pid, 1);
+        let members = tree.cluster_members(env.pid, 1);
+        match step {
+            // Stage 1 (super¹-step): local blocks go direct; foreign
+            // blocks go to my coordinator.
+            0 => {
+                for j in 0..p {
+                    let dst = ProcId(j as u32);
+                    if j == me {
+                        state[me] = self.blocks[me][me].clone();
+                    } else if members.contains(&dst) {
+                        let piece = pack_block(p, me, j, &self.blocks[me][j]);
+                        ctx.send(dst, TAG_A2A, encode_bundle(&[piece]));
+                    } else if env.pid == my_coord {
+                        // Coordinator keeps its own foreign blocks for
+                        // stage 2 — no self-send.
+                    } else {
+                        let piece = pack_block(p, me, j, &self.blocks[me][j]);
+                        ctx.send(my_coord, TAG_A2A, encode_bundle(&[piece]));
+                    }
+                }
+                StepOutcome::Continue(SyncScope::Level(1))
+            }
+            // Stage 2 (super²-step): coordinators bundle by destination
+            // cluster and exchange one message per peer coordinator.
+            1 => {
+                let mut foreign: Vec<Piece> = Vec::new();
+                for m in ctx.messages() {
+                    for piece in decode_bundle(&m.payload) {
+                        let dst = piece.offset as usize % p;
+                        if members.contains(&ProcId(dst as u32)) {
+                            // A local block delivered directly in stage 1.
+                            let src = piece.offset as usize / p;
+                            state[src] = piece.items;
+                        } else {
+                            foreign.push(piece);
+                        }
+                    }
+                }
+                if env.pid == my_coord {
+                    // Add the coordinator's own foreign blocks.
+                    for j in 0..p {
+                        let dst = ProcId(j as u32);
+                        if j != me && !members.contains(&dst) {
+                            foreign.push(pack_block(p, me, j, &self.blocks[me][j]));
+                        }
+                    }
+                    // Bundle per destination coordinator.
+                    let coords = tree.level_coordinators(1);
+                    for &peer in &coords {
+                        if peer == env.pid {
+                            continue;
+                        }
+                        let peer_members = tree.cluster_members(peer, 1);
+                        let bundle: Vec<Piece> = foreign
+                            .iter()
+                            .filter(|pc| {
+                                peer_members.contains(&ProcId((pc.offset as usize % p) as u32))
+                            })
+                            .cloned()
+                            .collect();
+                        if !bundle.is_empty() {
+                            ctx.send(peer, TAG_A2A, encode_bundle(&bundle));
+                        }
+                    }
+                }
+                StepOutcome::Continue(SyncScope::Level(tree.height().max(2)))
+            }
+            // Stage 3 (super¹-step): coordinators fan incoming bundles
+            // out to their cluster members.
+            2 => {
+                let incoming: Vec<Piece> = ctx
+                    .messages()
+                    .iter()
+                    .flat_map(|m| decode_bundle(&m.payload))
+                    .collect();
+                for piece in incoming {
+                    let src = piece.offset as usize / p;
+                    let dst = piece.offset as usize % p;
+                    if dst == me {
+                        state[src] = piece.items;
+                    } else {
+                        ctx.send(ProcId(dst as u32), TAG_A2A, encode_bundle(&[piece]));
+                    }
+                }
+                StepOutcome::Continue(SyncScope::Level(1))
+            }
+            // Final drain.
+            _ => {
+                for m in ctx.messages() {
+                    for piece in decode_bundle(&m.payload) {
+                        let src = piece.offset as usize / p;
+                        state[src] = piece.items;
+                    }
+                }
+                StepOutcome::Done
+            }
+        }
+    }
+}
+
+/// Outcome of a simulated all-to-all.
+#[derive(Debug, Clone)]
+pub struct AllToAllRun {
+    /// `received[j][i]` = block that `j` received from `i`.
+    pub received: Vec<Vec<Vec<u32>>>,
+    /// Model execution time.
+    pub time: f64,
+    /// Full simulation outcome.
+    pub sim: SimOutcome,
+}
+
+/// Run an all-to-all exchange of `blocks` (`blocks[i][j]` from `i` to
+/// `j`).
+pub fn simulate_alltoall(
+    tree: &MachineTree,
+    blocks: Vec<Vec<Vec<u32>>>,
+) -> Result<AllToAllRun, SimError> {
+    simulate_alltoall_with(tree, NetConfig::pvm_like(), blocks)
+}
+
+/// Run the staged hierarchical all-to-all (coordinator bundling).
+pub fn simulate_alltoall_hier(
+    tree: &MachineTree,
+    blocks: Vec<Vec<Vec<u32>>>,
+) -> Result<AllToAllRun, SimError> {
+    simulate_alltoall_hier_with(tree, NetConfig::pvm_like(), blocks)
+}
+
+/// Staged all-to-all with explicit microcosts.
+pub fn simulate_alltoall_hier_with(
+    tree: &MachineTree,
+    cfg: NetConfig,
+    blocks: Vec<Vec<Vec<u32>>>,
+) -> Result<AllToAllRun, SimError> {
+    let p = tree.num_procs();
+    assert_eq!(blocks.len(), p, "blocks must be p × p");
+    assert!(
+        blocks.iter().all(|row| row.len() == p),
+        "blocks must be p × p"
+    );
+    let tree = Arc::new(tree.clone());
+    let sim = Simulator::with_config(Arc::clone(&tree), cfg);
+    let (outcome, states) = sim.run_with_states(&HierarchicalAllToAll::new(Arc::new(blocks)))?;
+    Ok(AllToAllRun {
+        received: states,
+        time: outcome.total_time,
+        sim: outcome,
+    })
+}
+
+/// All-to-all with explicit microcosts.
+pub fn simulate_alltoall_with(
+    tree: &MachineTree,
+    cfg: NetConfig,
+    blocks: Vec<Vec<Vec<u32>>>,
+) -> Result<AllToAllRun, SimError> {
+    let p = tree.num_procs();
+    assert_eq!(blocks.len(), p, "blocks must be p × p");
+    assert!(
+        blocks.iter().all(|row| row.len() == p),
+        "blocks must be p × p"
+    );
+    let tree = Arc::new(tree.clone());
+    let sim = Simulator::with_config(Arc::clone(&tree), cfg);
+    let (outcome, states) = sim.run_with_states(&AllToAll::new(Arc::new(blocks)))?;
+    Ok(AllToAllRun {
+        received: states,
+        time: outcome.total_time,
+        sim: outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    fn blocks(p: usize) -> Vec<Vec<Vec<u32>>> {
+        (0..p)
+            .map(|i| {
+                (0..p)
+                    .map(|j| {
+                        (0..(i + 1) * (j + 1))
+                            .map(|x| (i * 100 + j * 10 + x) as u32)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn total_exchange_is_a_transpose() {
+        let t = TreeBuilder::flat(1.0, 10.0, &[(1.0, 1.0), (1.5, 0.7), (2.0, 0.5), (3.0, 0.3)])
+            .unwrap();
+        let b = blocks(4);
+        let run = simulate_alltoall(&t, b.clone()).unwrap();
+        for (j, row) in run.received.iter().enumerate() {
+            for (i, block) in row.iter().enumerate() {
+                assert_eq!(block, &b[i][j], "block {i}->{j}");
+            }
+        }
+        assert_eq!(run.sim.messages_delivered, 12, "p(p-1) messages");
+    }
+
+    #[test]
+    fn works_on_hierarchical_machines() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            100.0,
+            &[
+                (10.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                (10.0, vec![(2.0, 0.4)]),
+            ],
+        )
+        .unwrap();
+        let b = blocks(3);
+        let run = simulate_alltoall(&t, b.clone()).unwrap();
+        assert_eq!(run.received[2][0], b[0][2]);
+    }
+
+    #[test]
+    fn hierarchical_alltoall_transposes() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            100.0,
+            &[
+                (10.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                (10.0, vec![(2.0, 0.4), (2.5, 0.35)]),
+            ],
+        )
+        .unwrap();
+        let b = blocks(4);
+        let run = simulate_alltoall_hier(&t, b.clone()).unwrap();
+        for (j, row) in run.received.iter().enumerate() {
+            for (i, block) in row.iter().enumerate() {
+                assert_eq!(block, &b[i][j], "block {i}->{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_alltoall_sends_fewer_top_level_messages() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            100.0,
+            &[
+                (10.0, vec![(1.0, 1.0), (1.5, 0.7), (1.5, 0.6)]),
+                (10.0, vec![(2.0, 0.5), (2.0, 0.45), (2.5, 0.4)]),
+            ],
+        )
+        .unwrap();
+        let b = blocks(6);
+        let flat = simulate_alltoall(&t, b.clone()).unwrap();
+        let hier = simulate_alltoall_hier(&t, b).unwrap();
+        let top = |run: &AllToAllRun| -> u64 {
+            run.sim
+                .steps
+                .iter()
+                .map(|s| s.traffic.get(2).map_or(0, |t| t.messages))
+                .sum()
+        };
+        // Flat: 9 cross-cluster pairs in each direction = 18 messages.
+        // Hierarchical: one bundle each way = 2.
+        assert_eq!(top(&hier), 2, "one bundle per coordinator pair");
+        assert!(
+            top(&flat) > top(&hier) * 4,
+            "{} vs {}",
+            top(&flat),
+            top(&hier)
+        );
+    }
+
+    #[test]
+    fn hierarchical_alltoall_on_flat_machine() {
+        // k = 1: the whole machine is one cluster; stage 1 delivers
+        // everything directly and stages 2-3 are no-ops.
+        let t = TreeBuilder::flat(1.0, 10.0, &[(1.0, 1.0), (2.0, 0.5), (3.0, 0.3)]).unwrap();
+        let b = blocks(3);
+        let run = simulate_alltoall_hier(&t, b.clone()).unwrap();
+        for (j, row) in run.received.iter().enumerate() {
+            for (i, block) in row.iter().enumerate() {
+                assert_eq!(block, &b[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p × p")]
+    fn shape_mismatch_panics() {
+        let t = TreeBuilder::homogeneous(1.0, 0.0, 3).unwrap();
+        simulate_alltoall(&t, blocks(2)).unwrap();
+    }
+}

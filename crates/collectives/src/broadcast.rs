@@ -1,0 +1,707 @@
+//! The one-to-all broadcast (§4.4).
+//!
+//! Only the source holds the `n` items; at termination every processor
+//! holds a copy. The paper analyzes two flat variants —
+//!
+//! * **one-phase**: the root sends all `n` items to every processor
+//!   (`g·n·m` at the root);
+//! * **two-phase**: the root scatters `n/p` pieces, then everyone
+//!   all-gathers (`g·n(1 + r_s) + 2L`) — the better performer "for
+//!   reasonable values of `r_s`";
+//!
+//! — and the HBSP^2 algorithm: distribute across the top level (one- or
+//! two-phase among the cluster coordinators), then run the HBSP^1
+//! broadcast inside every cluster. [`HierarchicalBroadcast`] generalizes
+//! that to any HBSP^k machine, top-down one level at a time.
+//!
+//! The paper's conclusion — broadcast *cannot* exploit heterogeneity
+//! because the slowest machine must receive all `n` items — falls out of
+//! the simulation; see experiments E3/E4.
+
+use crate::data::{decode_bundle, encode_bundle, reassemble, Piece};
+use crate::plan::{PhasePolicy, RootPolicy, Strategy, WorkloadPolicy};
+use hbsp_core::{
+    apportion, Level, MachineTree, NodeIdx, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome,
+    SyncScope,
+};
+use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use std::sync::Arc;
+
+const TAG_BCAST: u32 = 0x6B01;
+
+/// Configuration of a broadcast run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastPlan {
+    /// Source processor (flat strategy; the hierarchical algorithm
+    /// sources at the machine's fastest processor).
+    pub root: RootPolicy,
+    /// Flat (§4.4's HBSP^1) or hierarchical (HBSP^k).
+    pub strategy: Strategy,
+    /// Distribution at the top level (the super^k-step choice the paper
+    /// analyzes for HBSP^2).
+    pub top_phase: PhasePolicy,
+    /// Distribution at every lower level (the in-cluster HBSP^1
+    /// broadcast; the paper fixes this to two-phase).
+    pub cluster_phase: PhasePolicy,
+    /// Scatter piece sizing in two-phase distributions (Figure 4b's
+    /// balanced variant).
+    pub workload: WorkloadPolicy,
+}
+
+impl BroadcastPlan {
+    /// The paper's recommended flat algorithm: two-phase from `P_f`.
+    pub fn two_phase() -> Self {
+        BroadcastPlan {
+            root: RootPolicy::Fastest,
+            strategy: Strategy::Flat,
+            top_phase: PhasePolicy::TwoPhase,
+            cluster_phase: PhasePolicy::TwoPhase,
+            workload: WorkloadPolicy::Equal,
+        }
+    }
+
+    /// Flat one-phase from `P_f` (the comparison point in §4.4).
+    pub fn one_phase() -> Self {
+        BroadcastPlan {
+            top_phase: PhasePolicy::OnePhase,
+            ..Self::two_phase()
+        }
+    }
+
+    /// Two-phase from the slowest processor (Figure 4a's `T_s`).
+    pub fn slow_root() -> Self {
+        BroadcastPlan {
+            root: RootPolicy::Slowest,
+            ..Self::two_phase()
+        }
+    }
+
+    /// Two-phase with `c_j`-balanced scatter pieces (Figure 4b's `T_b`).
+    pub fn balanced() -> Self {
+        BroadcastPlan {
+            workload: WorkloadPolicy::Balanced,
+            ..Self::two_phase()
+        }
+    }
+
+    /// The HBSP^k hierarchical broadcast with the given top-level phase
+    /// (§4.4's HBSP^2 analysis compares both).
+    pub fn hierarchical(top_phase: PhasePolicy) -> Self {
+        BroadcastPlan {
+            strategy: Strategy::Hierarchical,
+            top_phase,
+            ..Self::two_phase()
+        }
+    }
+
+    /// Builder-style: change the workload policy.
+    pub fn with_workload(mut self, workload: WorkloadPolicy) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Builder-style: change the root policy.
+    pub fn with_root(mut self, root: RootPolicy) -> Self {
+        self.root = root;
+        self
+    }
+}
+
+/// Per-processor broadcast state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastState {
+    /// The full array, once this processor has it.
+    pub full: Option<Vec<u32>>,
+    /// The piece assigned to this processor by a two-phase scatter.
+    assigned: Option<Piece>,
+    /// Pieces accumulated toward `full`.
+    partial: Vec<Piece>,
+}
+
+impl BroadcastState {
+    fn absorb(&mut self, ctx: &dyn SpmdContext, n: usize) {
+        for m in ctx.messages() {
+            self.partial.extend(decode_bundle(&m.payload));
+        }
+        if self.full.is_none() {
+            let have: usize = self.partial.iter().map(Piece::len).sum();
+            if have == n {
+                self.full = Some(reassemble(&self.partial));
+                self.partial.clear();
+            }
+        }
+    }
+}
+
+fn piece_weights(tree: &MachineTree, members: &[ProcId], workload: WorkloadPolicy) -> Vec<f64> {
+    match workload {
+        WorkloadPolicy::Equal => vec![1.0; members.len()],
+        WorkloadPolicy::Balanced => members
+            .iter()
+            .map(|&m| tree.leaf(m).params().speed)
+            .collect(),
+        WorkloadPolicy::CommAware => members
+            .iter()
+            .map(|&m| {
+                let p = tree.leaf(m).params();
+                (p.speed / p.r).sqrt()
+            })
+            .collect(),
+    }
+}
+
+fn split_full(full: &[u32], weights: &[f64]) -> Vec<Piece> {
+    let shares = apportion(full.len() as u64, weights);
+    let mut out = Vec::with_capacity(shares.len());
+    let mut off = 0usize;
+    for s in shares {
+        out.push(Piece {
+            offset: off as u32,
+            items: full[off..off + s as usize].to_vec(),
+        });
+        off += s as usize;
+    }
+    out
+}
+
+/// §4.4's flat (HBSP^1) broadcast, one- or two-phase.
+pub struct FlatBroadcast {
+    root: ProcId,
+    phase: PhasePolicy,
+    workload: WorkloadPolicy,
+    items: Arc<Vec<u32>>,
+}
+
+impl FlatBroadcast {
+    /// Broadcast `items` from `root` to every processor.
+    pub fn new(
+        root: ProcId,
+        phase: PhasePolicy,
+        workload: WorkloadPolicy,
+        items: Arc<Vec<u32>>,
+    ) -> Self {
+        FlatBroadcast {
+            root,
+            phase,
+            workload,
+            items,
+        }
+    }
+}
+
+impl SpmdProgram for FlatBroadcast {
+    type State = BroadcastState;
+
+    fn init(&self, env: &ProcEnv) -> BroadcastState {
+        BroadcastState {
+            full: (env.pid == self.root).then(|| self.items.as_ref().clone()),
+            assigned: None,
+            partial: Vec::new(),
+        }
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut BroadcastState,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        let n = self.items.len();
+        state.absorb(ctx, n);
+        let everyone: Vec<ProcId> = (0..env.nprocs).map(|i| ProcId(i as u32)).collect();
+        match (self.phase, step) {
+            (PhasePolicy::OnePhase, 0) => {
+                if env.pid == self.root {
+                    let full = state.full.as_ref().expect("root holds the data");
+                    let bundle = encode_bundle(&[Piece {
+                        offset: 0,
+                        items: full.clone(),
+                    }]);
+                    for &q in &everyone {
+                        if q != env.pid {
+                            ctx.send(q, TAG_BCAST, bundle.clone());
+                        }
+                    }
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+            (PhasePolicy::TwoPhase, 0) => {
+                if env.pid == self.root {
+                    let full = state.full.as_ref().expect("root holds the data");
+                    let weights = piece_weights(&env.tree, &everyone, self.workload);
+                    let pieces = split_full(full, &weights);
+                    for (piece, &q) in pieces.into_iter().zip(&everyone) {
+                        if q == env.pid {
+                            state.assigned = Some(piece);
+                        } else {
+                            ctx.send(q, TAG_BCAST, encode_bundle(&[piece]));
+                        }
+                    }
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+            (PhasePolicy::TwoPhase, 1) => {
+                // Second phase: everyone redistributes its piece. Take
+                // it from this step's scatter message directly — when a
+                // piece alone completes the array (tiny n), `absorb`
+                // already folded partial into `full` and cleared it, so
+                // `partial` is not a reliable source.
+                if state.assigned.is_none() {
+                    state.assigned = ctx
+                        .messages()
+                        .iter()
+                        .flat_map(|m| decode_bundle(&m.payload))
+                        .next();
+                }
+                if let Some(piece) = state.assigned.clone() {
+                    if state.full.is_none()
+                        && state.partial.iter().all(|p| p.offset != piece.offset)
+                    {
+                        state.partial.push(piece.clone());
+                    }
+                    let bundle = encode_bundle(&[piece]);
+                    for &q in &everyone {
+                        if q != env.pid {
+                            ctx.send(q, TAG_BCAST, bundle.clone());
+                        }
+                    }
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+            _ => {
+                // Final drain already happened in absorb().
+                debug_assert!(state.full.is_some() || n == 0);
+                if n == 0 {
+                    state.full.get_or_insert_with(Vec::new);
+                }
+                StepOutcome::Done
+            }
+        }
+    }
+}
+
+/// One scheduled distribution phase of the hierarchical broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// One-phase distribution at this level.
+    Full(Level),
+    /// Two-phase distribution at this level: the scatter half…
+    Scatter(Level),
+    /// …and the all-gather half.
+    AllGather(Level),
+}
+
+impl Stage {
+    fn level(self) -> Level {
+        match self {
+            Stage::Full(l) | Stage::Scatter(l) | Stage::AllGather(l) => l,
+        }
+    }
+}
+
+/// The HBSP^k broadcast: distribute from the machine's fastest
+/// processor down the hierarchy, one level at a time.
+pub struct HierarchicalBroadcast {
+    top_phase: PhasePolicy,
+    cluster_phase: PhasePolicy,
+    workload: WorkloadPolicy,
+    items: Arc<Vec<u32>>,
+}
+
+impl HierarchicalBroadcast {
+    /// Broadcast `items` from the machine's fastest processor.
+    pub fn new(
+        top_phase: PhasePolicy,
+        cluster_phase: PhasePolicy,
+        workload: WorkloadPolicy,
+        items: Arc<Vec<u32>>,
+    ) -> Self {
+        HierarchicalBroadcast {
+            top_phase,
+            cluster_phase,
+            workload,
+            items,
+        }
+    }
+
+    /// The per-level stage schedule, top level first.
+    fn schedule(&self, k: Level) -> Vec<Stage> {
+        let mut stages = Vec::new();
+        for level in (1..=k).rev() {
+            let phase = if level == k {
+                self.top_phase
+            } else {
+                self.cluster_phase
+            };
+            match phase {
+                PhasePolicy::OnePhase => stages.push(Stage::Full(level)),
+                PhasePolicy::TwoPhase => {
+                    stages.push(Stage::Scatter(level));
+                    stages.push(Stage::AllGather(level));
+                }
+            }
+        }
+        stages
+    }
+}
+
+/// The processors coordinating the children of `cluster`, in child
+/// order (deduplicated — a processor can represent several levels).
+fn child_reps(tree: &MachineTree, cluster: NodeIdx) -> Vec<ProcId> {
+    tree.node(cluster)
+        .children()
+        .iter()
+        .map(|&c| {
+            tree.node(tree.node(c).representative())
+                .proc_id()
+                .expect("leaf")
+        })
+        .collect()
+}
+
+impl SpmdProgram for HierarchicalBroadcast {
+    type State = BroadcastState;
+
+    fn init(&self, env: &ProcEnv) -> BroadcastState {
+        BroadcastState {
+            full: (env.pid == env.tree.fastest_proc()).then(|| self.items.as_ref().clone()),
+            assigned: None,
+            partial: Vec::new(),
+        }
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut BroadcastState,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        let tree = &env.tree;
+        let n = self.items.len();
+        state.absorb(ctx, n);
+        let stages = self.schedule(tree.height());
+        if step >= stages.len() {
+            if n == 0 {
+                state.full.get_or_insert_with(Vec::new);
+            }
+            debug_assert!(
+                state.full.is_some(),
+                "broadcast must complete at every leaf"
+            );
+            return StepOutcome::Done;
+        }
+        let stage = stages[step];
+        let level = stage.level();
+        let my_leaf = tree.leaves()[env.pid.rank()];
+        let my_cluster = tree.ancestor_at_level(my_leaf, level).unwrap_or(my_leaf);
+        match stage {
+            Stage::Full(_) => {
+                // Distributor: the coordinator of a level-`level`
+                // cluster, holding the data, sends it whole to each
+                // child coordinator.
+                if tree.node(my_cluster).representative() == my_leaf {
+                    if let Some(full) = &state.full {
+                        let bundle = encode_bundle(&[Piece {
+                            offset: 0,
+                            items: full.clone(),
+                        }]);
+                        for q in child_reps(tree, my_cluster) {
+                            if q != env.pid {
+                                ctx.send(q, TAG_BCAST, bundle.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            Stage::Scatter(_) => {
+                if tree.node(my_cluster).representative() == my_leaf {
+                    if let Some(full) = &state.full {
+                        let reps = child_reps(tree, my_cluster);
+                        if !reps.is_empty() {
+                            let weights = piece_weights(tree, &reps, self.workload);
+                            let pieces = split_full(full, &weights);
+                            for (piece, &q) in pieces.into_iter().zip(&reps) {
+                                if q == env.pid {
+                                    state.assigned = Some(piece);
+                                } else {
+                                    ctx.send(q, TAG_BCAST, encode_bundle(&[piece]));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Stage::AllGather(_) => {
+                // Participants: the child coordinators of this cluster.
+                let reps = child_reps(tree, my_cluster);
+                if reps.contains(&env.pid) {
+                    if state.assigned.is_none() {
+                        // From the scatter message directly (see the flat
+                        // two-phase variant for why `partial` can't be
+                        // trusted here).
+                        state.assigned = ctx
+                            .messages()
+                            .iter()
+                            .flat_map(|m| decode_bundle(&m.payload))
+                            .next();
+                    }
+                    if let Some(piece) = state.assigned.take() {
+                        if state.full.is_none()
+                            && state
+                                .partial
+                                .iter()
+                                .all(|p| p.offset != piece.offset || p.len() != piece.len())
+                        {
+                            state.partial.push(piece.clone());
+                        }
+                        let bundle = encode_bundle(&[piece]);
+                        for &q in &reps {
+                            if q != env.pid {
+                                ctx.send(q, TAG_BCAST, bundle.clone());
+                            }
+                        }
+                    }
+                    // Re-check completion with the own piece counted.
+                    if state.full.is_none() {
+                        let have: usize = state.partial.iter().map(Piece::len).sum();
+                        if have == n {
+                            state.full = Some(reassemble(&state.partial));
+                            state.partial.clear();
+                        }
+                    }
+                }
+            }
+        }
+        StepOutcome::Continue(SyncScope::Level(level))
+    }
+}
+
+/// Outcome of a simulated broadcast.
+#[derive(Debug, Clone)]
+pub struct BroadcastRun {
+    /// The array as received by every processor (validated identical).
+    pub result: Vec<u32>,
+    /// Model execution time `T`.
+    pub time: f64,
+    /// Full simulation outcome.
+    pub sim: SimOutcome,
+}
+
+/// Run a broadcast of `items` on `tree` under `plan` with default
+/// microcosts.
+pub fn simulate_broadcast(
+    tree: &MachineTree,
+    items: &[u32],
+    plan: BroadcastPlan,
+) -> Result<BroadcastRun, SimError> {
+    simulate_broadcast_with(tree, NetConfig::pvm_like(), items, plan)
+}
+
+/// Run a broadcast with explicit microcosts.
+pub fn simulate_broadcast_with(
+    tree: &MachineTree,
+    cfg: NetConfig,
+    items: &[u32],
+    plan: BroadcastPlan,
+) -> Result<BroadcastRun, SimError> {
+    let tree = Arc::new(tree.clone());
+    let items_arc = Arc::new(items.to_vec());
+    let sim = Simulator::with_config(Arc::clone(&tree), cfg);
+    let (outcome, states) = match plan.strategy {
+        Strategy::Flat => {
+            let root = plan.root.resolve(&tree);
+            let prog = FlatBroadcast::new(root, plan.top_phase, plan.workload, items_arc);
+            sim.run_with_states(&prog)?
+        }
+        Strategy::Hierarchical => {
+            let prog = HierarchicalBroadcast::new(
+                plan.top_phase,
+                plan.cluster_phase,
+                plan.workload,
+                items_arc,
+            );
+            sim.run_with_states(&prog)?
+        }
+    };
+    for (i, st) in states.iter().enumerate() {
+        assert_eq!(
+            st.full.as_deref(),
+            Some(items),
+            "processor {i} must end the broadcast with the full array"
+        );
+    }
+    Ok(BroadcastRun {
+        result: items.to_vec(),
+        time: outcome.total_time,
+        sim: outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    fn items(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| i ^ 0xA5A5).collect()
+    }
+
+    fn flat_machine() -> MachineTree {
+        TreeBuilder::flat(
+            1.0,
+            100.0,
+            &[(1.0, 1.0), (1.5, 0.7), (2.0, 0.5), (3.0, 0.35)],
+        )
+        .unwrap()
+    }
+
+    fn hbsp2_machine() -> MachineTree {
+        TreeBuilder::two_level(
+            1.0,
+            500.0,
+            &[
+                (50.0, vec![(1.0, 1.0), (2.0, 0.5), (2.0, 0.5)]),
+                (80.0, vec![(2.5, 0.4), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_flat_plans_deliver_everywhere() {
+        let t = flat_machine();
+        let data = items(997); // odd size exercises remainder handling
+        for plan in [
+            BroadcastPlan::one_phase(),
+            BroadcastPlan::two_phase(),
+            BroadcastPlan::slow_root(),
+            BroadcastPlan::balanced(),
+        ] {
+            let run = simulate_broadcast(&t, &data, plan).unwrap();
+            assert_eq!(run.result, data, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_delivers_on_hbsp2() {
+        let t = hbsp2_machine();
+        let data = items(1200);
+        for top in [PhasePolicy::OnePhase, PhasePolicy::TwoPhase] {
+            let run = simulate_broadcast(&t, &data, BroadcastPlan::hierarchical(top)).unwrap();
+            assert_eq!(run.result, data, "{top:?}");
+        }
+    }
+
+    #[test]
+    fn two_phase_beats_one_phase_with_enough_processors() {
+        // §4.4: one-phase costs g·n·m at the root; two-phase
+        // g·n(1 + r_s) + 2L. With m = 8 and r_s = 2 two-phase wins.
+        let t = TreeBuilder::flat(
+            1.0,
+            100.0,
+            &[
+                (1.0, 1.0),
+                (1.2, 0.9),
+                (1.4, 0.8),
+                (1.6, 0.7),
+                (1.8, 0.6),
+                (2.0, 0.5),
+                (2.0, 0.5),
+                (2.0, 0.5),
+            ],
+        )
+        .unwrap();
+        let data = items(16_000);
+        let one = simulate_broadcast(&t, &data, BroadcastPlan::one_phase())
+            .unwrap()
+            .time;
+        let two = simulate_broadcast(&t, &data, BroadcastPlan::two_phase())
+            .unwrap()
+            .time;
+        assert!(
+            two < one,
+            "two-phase {two} should beat one-phase {one} at p=8"
+        );
+    }
+
+    #[test]
+    fn one_phase_wins_at_tiny_p_with_slow_peer() {
+        // The crossover's other side: p = 2 with a very slow peer —
+        // two-phase pays the extra superstep + the slow machine's
+        // redistribution for nothing.
+        let t = TreeBuilder::flat(1.0, 500.0, &[(1.0, 1.0), (6.0, 0.2)]).unwrap();
+        let data = items(2_000);
+        let one = simulate_broadcast(&t, &data, BroadcastPlan::one_phase())
+            .unwrap()
+            .time;
+        let two = simulate_broadcast(&t, &data, BroadcastPlan::two_phase())
+            .unwrap()
+            .time;
+        assert!(
+            one < two,
+            "one-phase {one} should beat two-phase {two} at p=2, r_s=6"
+        );
+    }
+
+    #[test]
+    fn root_choice_barely_matters() {
+        // Figure 4(a): negligible improvement from a fast root — the
+        // slowest processor must receive all n items either way.
+        let t = flat_machine();
+        let data = items(40_000);
+        let tf = simulate_broadcast(&t, &data, BroadcastPlan::two_phase())
+            .unwrap()
+            .time;
+        let ts = simulate_broadcast(&t, &data, BroadcastPlan::slow_root())
+            .unwrap()
+            .time;
+        let factor = ts / tf;
+        assert!(
+            (0.8..1.4).contains(&factor),
+            "broadcast root choice should change little: T_s/T_f = {factor}"
+        );
+    }
+
+    #[test]
+    fn empty_broadcast() {
+        let t = flat_machine();
+        let run = simulate_broadcast(&t, &[], BroadcastPlan::two_phase()).unwrap();
+        assert!(run.result.is_empty());
+    }
+
+    #[test]
+    fn single_proc_broadcast() {
+        let mut b = TreeBuilder::new(1.0);
+        b.proc_root("solo", hbsp_core::NodeParams::fastest());
+        let t = b.build().unwrap();
+        let data = items(10);
+        let run = simulate_broadcast(
+            &t,
+            &data,
+            BroadcastPlan::hierarchical(PhasePolicy::TwoPhase),
+        )
+        .unwrap();
+        assert_eq!(run.result, data);
+    }
+
+    #[test]
+    fn hierarchical_crosses_top_level_once_per_cluster() {
+        let t = hbsp2_machine();
+        let data = items(5000);
+        let hier = simulate_broadcast(
+            &t,
+            &data,
+            BroadcastPlan::hierarchical(PhasePolicy::OnePhase),
+        )
+        .unwrap();
+        let flat = simulate_broadcast(&t, &data, BroadcastPlan::one_phase()).unwrap();
+        let hier_top: u64 = hier.sim.steps.iter().map(|s| s.traffic[2].words).sum();
+        let flat_top: u64 = flat.sim.steps.iter().map(|s| s.traffic[2].words).sum();
+        assert!(
+            hier_top < flat_top,
+            "hierarchy confines traffic: {hier_top} vs flat {flat_top} words at level 2"
+        );
+    }
+}

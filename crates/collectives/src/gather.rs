@@ -1,0 +1,426 @@
+//! The gather operation (§4.2 flat / §4.3 hierarchical).
+//!
+//! *Gather* collects every processor's piece at a single root. The flat
+//! (HBSP^1) algorithm is one superstep: every non-root processor sends
+//! its `x_j = c_j·n` items directly to the root. The hierarchical
+//! (HBSP^k) algorithm runs one super^i-step per level: each level-`i`
+//! cluster's coordinator collects its cluster's data, then forwards the
+//! bundle upward, so only one (fast) machine per cluster talks across
+//! the expensive high-level links.
+
+use crate::data::{decode_bundle, encode_bundle, reassemble, shares_for, Piece};
+use crate::plan::{RootPolicy, Strategy, WorkloadPolicy};
+use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
+use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use std::sync::Arc;
+
+/// Configuration of a gather run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatherPlan {
+    /// Destination processor (flat strategy only; the hierarchical
+    /// algorithm always collects at the coordinators, ending at `P_f`).
+    pub root: RootPolicy,
+    /// How the input is spread over processors before the gather.
+    pub workload: WorkloadPolicy,
+    /// Flat (§4.2) or hierarchical (§4.3).
+    pub strategy: Strategy,
+}
+
+impl GatherPlan {
+    /// The model's recommendation: fastest root, equal shares
+    /// (Figure 3a's `T_f` configuration).
+    pub fn fast_root() -> Self {
+        GatherPlan {
+            root: RootPolicy::Fastest,
+            workload: WorkloadPolicy::Equal,
+            strategy: Strategy::Flat,
+        }
+    }
+
+    /// Adversarial root: the slowest processor (Figure 3a's `T_s`).
+    pub fn slow_root() -> Self {
+        GatherPlan {
+            root: RootPolicy::Slowest,
+            workload: WorkloadPolicy::Equal,
+            strategy: Strategy::Flat,
+        }
+    }
+
+    /// Fastest root with speed-proportional shares (Figure 3b's `T_b`).
+    pub fn balanced() -> Self {
+        GatherPlan {
+            root: RootPolicy::Fastest,
+            workload: WorkloadPolicy::Balanced,
+            strategy: Strategy::Flat,
+        }
+    }
+
+    /// The HBSP^k hierarchical gather (§4.3).
+    pub fn hierarchical() -> Self {
+        GatherPlan {
+            root: RootPolicy::Fastest,
+            workload: WorkloadPolicy::Equal,
+            strategy: Strategy::Hierarchical,
+        }
+    }
+
+    /// What a heterogeneity-oblivious BSP program does: rank-0 root,
+    /// equal shares, flat.
+    pub fn bsp_baseline() -> Self {
+        GatherPlan {
+            root: RootPolicy::Rank(0),
+            workload: WorkloadPolicy::Equal,
+            strategy: Strategy::Flat,
+        }
+    }
+
+    /// Builder-style: change the workload policy.
+    pub fn with_workload(mut self, workload: WorkloadPolicy) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Builder-style: change the root policy.
+    pub fn with_root(mut self, root: RootPolicy) -> Self {
+        self.root = root;
+        self
+    }
+}
+
+/// Per-processor gather state: the pieces currently held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatherState {
+    held: Vec<Piece>,
+}
+
+impl GatherState {
+    /// The pieces this processor currently holds (origin-tagged).
+    pub fn pieces(&self) -> &[Piece] {
+        &self.held
+    }
+}
+
+/// §4.2's flat gather: one superstep of direct sends to the root.
+pub struct FlatGather {
+    root: ProcId,
+    shares: Arc<Vec<Piece>>,
+}
+
+impl FlatGather {
+    /// Gather to `root`; `shares[rank]` is each processor's initial
+    /// piece.
+    pub fn new(root: ProcId, shares: Arc<Vec<Piece>>) -> Self {
+        FlatGather { root, shares }
+    }
+}
+
+const TAG_GATHER: u32 = 0x6A01;
+
+impl SpmdProgram for FlatGather {
+    type State = GatherState;
+
+    fn init(&self, env: &ProcEnv) -> GatherState {
+        GatherState {
+            held: vec![self.shares[env.pid.rank()].clone()],
+        }
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut GatherState,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        match step {
+            0 => {
+                if env.pid != self.root {
+                    // "A processor does not send data to itself" (§5.2):
+                    // only non-roots transmit; the root's own share stays
+                    // put.
+                    let piece = state.held.remove(0);
+                    ctx.send(self.root, TAG_GATHER, encode_bundle(&[piece]));
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+            _ => {
+                if env.pid == self.root {
+                    for m in ctx.messages() {
+                        state.held.extend(decode_bundle(&m.payload));
+                    }
+                }
+                StepOutcome::Done
+            }
+        }
+    }
+}
+
+/// §4.3's hierarchical gather generalized to HBSP^k: at super^i-step
+/// `i`, the coordinator of every level-(i−1) machine forwards its
+/// accumulated bundle to its level-`i` coordinator.
+pub struct HierarchicalGather {
+    shares: Arc<Vec<Piece>>,
+}
+
+impl HierarchicalGather {
+    /// Gather to the machine's fastest processor via the cluster
+    /// coordinators.
+    pub fn new(shares: Arc<Vec<Piece>>) -> Self {
+        HierarchicalGather { shares }
+    }
+}
+
+impl SpmdProgram for HierarchicalGather {
+    type State = GatherState;
+
+    fn init(&self, env: &ProcEnv) -> GatherState {
+        GatherState {
+            held: vec![self.shares[env.pid.rank()].clone()],
+        }
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut GatherState,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        let tree = &env.tree;
+        let k = tree.height();
+        // Absorb whatever arrived from the previous level.
+        for m in ctx.messages() {
+            state.held.extend(decode_bundle(&m.payload));
+        }
+        if step as u32 >= k {
+            return StepOutcome::Done;
+        }
+        let level = step as u32 + 1; // this super^level-step
+        let my_leaf = tree.leaves()[env.pid.rank()];
+        // The machine I currently speak for: my ancestor on level-1 of
+        // this step (or myself, if I sit above it).
+        let unit = tree
+            .ancestor_at_level(my_leaf, level - 1)
+            .unwrap_or(my_leaf);
+        let i_am_coordinator = tree.node(unit).representative() == my_leaf;
+        if i_am_coordinator {
+            let dest_cluster = tree
+                .ancestor_at_level(my_leaf, level)
+                .expect("every processor has an ancestor at each level up to k");
+            let dest = tree
+                .node(tree.node(dest_cluster).representative())
+                .proc_id()
+                .expect("representative is a leaf");
+            if dest != env.pid {
+                let bundle = std::mem::take(&mut state.held);
+                ctx.send(dest, TAG_GATHER, encode_bundle(&bundle));
+            }
+        }
+        StepOutcome::Continue(SyncScope::Level(level))
+    }
+}
+
+/// Outcome of a simulated gather.
+#[derive(Debug, Clone)]
+pub struct GatherRun {
+    /// The gathered array, in item order, as held by the root.
+    pub result: Vec<u32>,
+    /// Model execution time `T`.
+    pub time: f64,
+    /// Full simulation outcome (per-step stats etc.).
+    pub sim: SimOutcome,
+    /// The processor that ended up holding the result.
+    pub root: ProcId,
+}
+
+/// Run a gather of `items` on `tree` under `plan`, with default
+/// (PVM-like) microcosts.
+pub fn simulate_gather(
+    tree: &MachineTree,
+    items: &[u32],
+    plan: GatherPlan,
+) -> Result<GatherRun, SimError> {
+    simulate_gather_with(tree, NetConfig::pvm_like(), items, plan)
+}
+
+/// Run a gather with explicit microcosts.
+pub fn simulate_gather_with(
+    tree: &MachineTree,
+    cfg: NetConfig,
+    items: &[u32],
+    plan: GatherPlan,
+) -> Result<GatherRun, SimError> {
+    let tree = Arc::new(tree.clone());
+    let shares = Arc::new(shares_for(&tree, items, plan.workload));
+    let sim = Simulator::with_config(Arc::clone(&tree), cfg);
+    let (root, outcome, states) = match plan.strategy {
+        Strategy::Flat => {
+            let root = plan.root.resolve(&tree);
+            let prog = FlatGather::new(root, shares);
+            let (o, s) = sim.run_with_states(&prog)?;
+            (root, o, s)
+        }
+        Strategy::Hierarchical => {
+            let prog = HierarchicalGather::new(shares);
+            let (o, s) = sim.run_with_states(&prog)?;
+            (tree.fastest_proc(), o, s)
+        }
+    };
+    let result = reassemble(&states[root.rank()].held);
+    Ok(GatherRun {
+        result,
+        time: outcome.total_time,
+        sim: outcome,
+        root,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    fn items(n: usize) -> Vec<u32> {
+        (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect()
+    }
+
+    fn flat_machine() -> MachineTree {
+        TreeBuilder::flat(
+            1.0,
+            100.0,
+            &[(1.0, 1.0), (1.5, 0.7), (2.0, 0.5), (3.0, 0.35)],
+        )
+        .unwrap()
+    }
+
+    fn hbsp2_machine() -> MachineTree {
+        TreeBuilder::two_level(
+            1.0,
+            500.0,
+            &[
+                (50.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                (80.0, vec![(2.5, 0.4), (3.0, 0.35), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flat_gather_collects_everything_in_order() {
+        let t = flat_machine();
+        let data = items(1000);
+        for plan in [
+            GatherPlan::fast_root(),
+            GatherPlan::slow_root(),
+            GatherPlan::balanced(),
+            GatherPlan::bsp_baseline(),
+        ] {
+            let run = simulate_gather(&t, &data, plan).unwrap();
+            assert_eq!(run.result, data, "{plan:?}");
+            assert_eq!(run.sim.num_steps(), 2);
+        }
+    }
+
+    #[test]
+    fn hierarchical_gather_collects_on_hbsp2() {
+        let t = hbsp2_machine();
+        let data = items(2000);
+        let run = simulate_gather(&t, &data, GatherPlan::hierarchical()).unwrap();
+        assert_eq!(run.result, data);
+        assert_eq!(run.root, t.fastest_proc());
+        // k supersteps + final drain.
+        assert_eq!(run.sim.num_steps(), 3);
+        // The super^1-step synchronizes clusters, the super^2-step the root.
+        assert_eq!(run.sim.steps[0].scope, SyncScope::Level(1));
+        assert_eq!(run.sim.steps[1].scope, SyncScope::Level(2));
+    }
+
+    #[test]
+    fn hierarchical_moves_less_data_across_the_top_level() {
+        let t = hbsp2_machine();
+        let data = items(4000);
+        let hier = simulate_gather(&t, &data, GatherPlan::hierarchical()).unwrap();
+        let flat = simulate_gather(&t, &data, GatherPlan::fast_root()).unwrap();
+        // The hierarchical gather sends one bundle per cluster across
+        // level 2; the flat gather pushes every non-root piece across it.
+        assert!(hier.sim.steps[1].traffic[2].messages < flat.sim.steps[0].traffic[2].messages);
+        assert_eq!(hier.result, flat.result);
+    }
+
+    #[test]
+    fn fast_root_beats_slow_root_at_scale() {
+        // Figure 3(a)'s headline: with several processors, rooting the
+        // gather at P_f wins.
+        let t = TreeBuilder::flat(
+            1.0,
+            100.0,
+            &[
+                (1.0, 1.0),
+                (2.0, 0.5),
+                (2.5, 0.42),
+                (3.0, 0.35),
+                (3.5, 0.3),
+                (4.0, 0.25),
+            ],
+        )
+        .unwrap();
+        let data = items(24_000);
+        let tf = simulate_gather(&t, &data, GatherPlan::fast_root())
+            .unwrap()
+            .time;
+        let ts = simulate_gather(&t, &data, GatherPlan::slow_root())
+            .unwrap()
+            .time;
+        assert!(ts > tf, "slow root {ts} should exceed fast root {tf}");
+    }
+
+    #[test]
+    fn p2_anomaly_slow_root_wins() {
+        // Figure 3(a) at p = 2: with no self-send, rooting at P_s means
+        // the slow machine only unpacks, which beats it packing+sending.
+        let t = TreeBuilder::flat(1.0, 100.0, &[(1.0, 1.0), (3.0, 0.33)]).unwrap();
+        let data = items(10_000);
+        let tf = simulate_gather(&t, &data, GatherPlan::fast_root())
+            .unwrap()
+            .time;
+        let ts = simulate_gather(&t, &data, GatherPlan::slow_root())
+            .unwrap()
+            .time;
+        assert!(
+            ts < tf,
+            "at p=2 the slow root should win: T_s={ts}, T_f={tf}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_on_flat_machine_equals_flat_fast_root() {
+        let t = flat_machine();
+        let data = items(500);
+        let h = simulate_gather(&t, &data, GatherPlan::hierarchical()).unwrap();
+        let f = simulate_gather(&t, &data, GatherPlan::fast_root()).unwrap();
+        assert_eq!(h.result, f.result);
+        assert_eq!(h.root, f.root);
+        assert!(
+            (h.time - f.time).abs() < 1e-9,
+            "same algorithm on an HBSP^1 machine"
+        );
+    }
+
+    #[test]
+    fn single_processor_gather_is_trivial() {
+        let mut b = TreeBuilder::new(1.0);
+        b.proc_root("solo", hbsp_core::NodeParams::fastest());
+        let t = b.build().unwrap();
+        let data = items(100);
+        let run = simulate_gather(&t, &data, GatherPlan::hierarchical()).unwrap();
+        assert_eq!(run.result, data);
+        assert_eq!(run.sim.messages_delivered, 0);
+    }
+
+    #[test]
+    fn empty_input_gathers_empty() {
+        let t = flat_machine();
+        let run = simulate_gather(&t, &[], GatherPlan::fast_root()).unwrap();
+        assert!(run.result.is_empty());
+    }
+}

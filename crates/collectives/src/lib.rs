@@ -1,0 +1,47 @@
+//! # hbsp-collectives — collective communication for HBSP^k machines
+//!
+//! The paper's Section 4 designs two collectives under the HBSP^k model —
+//! **gather** and **one-to-all broadcast** — and defers a larger suite to
+//! the companion dissertation \[20\]. This crate implements all of them as
+//! [`hbsp_core::SpmdProgram`]s runnable on either engine, each with an
+//! analytic cost prediction mirroring the paper's formulas:
+//!
+//! | module | operation | paper |
+//! |---|---|---|
+//! | [`gather`] | flat (HBSP^1) and hierarchical (HBSP^k) gather | §4.2, §4.3 |
+//! | [`broadcast`] | one-/two-phase flat broadcast, hierarchical broadcast | §4.4 |
+//! | [`scatter`] | root distributes `c_j·n` to each processor | \[20\] |
+//! | [`allgather`] | total data exchange of per-processor pieces | \[20\] |
+//! | [`alltoall`] | personalized all-to-all | \[20\] |
+//! | [`reduce`] | flat and hierarchical reduction (+ allreduce) | \[20\] |
+//! | [`scan`] | prefix reduction across ranks | \[20\] |
+//! | [`predict`] | closed-form HBSP^k cost predictions | §4 |
+//!
+//! The paper's two design rules run through every algorithm:
+//!
+//! 1. **faster machines do more**: operation roots and cluster
+//!    coordinators are the fastest processors (selectable via
+//!    [`plan::RootPolicy`] so experiments can compare against `P_s`);
+//! 2. **faster machines hold more**: workloads are distributed by the
+//!    `c_j` fractions ([`plan::WorkloadPolicy`]).
+//!
+//! BSP baselines (what a homogeneity-assuming program would do) are the
+//! same programs under `RootPolicy::Rank(0)` + `WorkloadPolicy::Equal`.
+//!
+//! Implementation note from §5.2, load-bearing for the paper's `p = 2`
+//! anomaly: *"a processor does not send data to itself"* — every
+//! algorithm here skips self-sends.
+
+pub mod allgather;
+pub mod alltoall;
+pub mod broadcast;
+pub mod data;
+pub mod gather;
+pub mod plan;
+pub mod predict;
+pub mod reduce;
+pub mod scan;
+pub mod scatter;
+
+pub use data::{decode_bundle, encode_bundle, reassemble, shares_for, Piece};
+pub use plan::{PhasePolicy, RootPolicy, Strategy, WorkloadPolicy};

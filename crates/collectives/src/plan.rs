@@ -1,0 +1,95 @@
+//! Algorithm plans: the knobs the paper's experiments turn.
+
+use hbsp_core::{MachineTree, ProcId};
+
+/// Which processor anchors a rooted collective (gather destination,
+/// broadcast source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootPolicy {
+    /// The machine-wide fastest processor `P_f` — the model's
+    /// recommendation.
+    Fastest,
+    /// The slowest processor `P_s` — the experiments' adversarial
+    /// choice (`T_s` in Figures 3a/4a).
+    Slowest,
+    /// A fixed rank — `Rank(0)` is what a heterogeneity-oblivious BSP
+    /// program does.
+    Rank(u32),
+}
+
+impl RootPolicy {
+    /// Resolve against a machine.
+    pub fn resolve(self, tree: &MachineTree) -> ProcId {
+        match self {
+            RootPolicy::Fastest => tree.fastest_proc(),
+            RootPolicy::Slowest => tree.slowest_proc(),
+            RootPolicy::Rank(r) => {
+                assert!(
+                    (r as usize) < tree.num_procs(),
+                    "root rank {r} out of range"
+                );
+                ProcId(r)
+            }
+        }
+    }
+}
+
+/// How the problem is split across processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadPolicy {
+    /// `c_j = 1/p` — the paper's *unbalanced* workload on a
+    /// heterogeneous machine (and the BSP baseline).
+    Equal,
+    /// `c_j` proportional to benchmark-derived compute speed — the
+    /// model's balanced workload.
+    Balanced,
+    /// `c_j` proportional to the geometric mean of compute and
+    /// communication speed — the paper's "computational and
+    /// communication abilities" taken literally, fixing the §5.2
+    /// mis-estimation (our extension; see experiment E10).
+    CommAware,
+}
+
+/// Whether an algorithm exploits the machine hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Single-superstep direct exchange with the root (§4.2's HBSP^1
+    /// algorithm; on a multi-level machine, the flat baseline).
+    Flat,
+    /// One super^i-step per level, staging data at cluster coordinators
+    /// (§4.3's HBSP^2 algorithm generalized to HBSP^k).
+    Hierarchical,
+}
+
+/// How a broadcast distributes at a given level (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhasePolicy {
+    /// Root sends all `n` items to every participant: one superstep,
+    /// `g·n·m` h-relation at the root.
+    OnePhase,
+    /// Root scatters `n/m` pieces, then participants all-gather: two
+    /// supersteps, `g·n(1 + r_s)` — the winner "for reasonable values
+    /// of `r_s`".
+    TwoPhase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    #[test]
+    fn root_policy_resolution() {
+        let t = TreeBuilder::flat(1.0, 0.0, &[(2.0, 0.5), (1.0, 1.0), (4.0, 0.2)]).unwrap();
+        assert_eq!(RootPolicy::Fastest.resolve(&t), ProcId(1));
+        assert_eq!(RootPolicy::Slowest.resolve(&t), ProcId(2));
+        assert_eq!(RootPolicy::Rank(0).resolve(&t), ProcId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_panics() {
+        let t = TreeBuilder::homogeneous(1.0, 0.0, 2).unwrap();
+        RootPolicy::Rank(5).resolve(&t);
+    }
+}

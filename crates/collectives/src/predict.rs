@@ -1,0 +1,370 @@
+//! Closed-form HBSP^k cost predictions — Section 4's analyses as code.
+//!
+//! Each function returns a [`CostReport`] whose supersteps follow the
+//! paper's derivations exactly (`T_i = w_i + g·h + L_{i,j}` with the
+//! heterogeneous h-relations of §4.2–4.4). These are *model*
+//! predictions: the model charges a superstep's communication once as
+//! `g·h`, abstracting the pack/unpack pipeline the simulator resolves —
+//! experiment E9 (`model_accuracy`) quantifies the gap.
+
+use crate::plan::WorkloadPolicy;
+use hbsp_core::{CostReport, Level, MachineTree, NodeIdx, Partition, ProcId, SuperstepCost};
+
+fn fractions(tree: &MachineTree, n: u64, workload: WorkloadPolicy) -> Vec<u64> {
+    match workload {
+        WorkloadPolicy::Equal => Partition::equal(n, tree.num_procs()),
+        WorkloadPolicy::Balanced => Partition::balanced_for(tree, n),
+        WorkloadPolicy::CommAware => Partition::comm_aware_for(tree, n),
+    }
+    .expect("non-empty machine")
+    .shares()
+    .to_vec()
+}
+
+fn r_of(tree: &MachineTree, pid: ProcId) -> f64 {
+    tree.leaf(pid).params().r
+}
+
+fn l_of(tree: &MachineTree, node: NodeIdx) -> f64 {
+    tree.node(node).params().l_sync
+}
+
+/// §4.2 — flat gather to `root`: one super¹-step with
+/// `h = max( max_j r_j·x_j , r_root·(n − x_root) )` (the root receives
+/// everything it doesn't already hold; no self-send).
+pub fn gather_flat(
+    tree: &MachineTree,
+    n: u64,
+    root: ProcId,
+    workload: WorkloadPolicy,
+) -> CostReport {
+    let shares = fractions(tree, n, workload);
+    let mut h: f64 = 0.0;
+    for (j, &x) in shares.iter().enumerate() {
+        let pid = ProcId(j as u32);
+        if pid != root {
+            h = h.max(r_of(tree, pid) * x as f64);
+        }
+    }
+    let received = n - shares[root.rank()];
+    h = h.max(r_of(tree, root) * received as f64);
+    let mut rep = CostReport::new();
+    rep.push(step(tree, tree.height(), h, l_of(tree, tree.root())));
+    rep
+}
+
+/// §4.3 — hierarchical gather on an HBSP^2 machine: the slowest
+/// cluster's internal gather, then one super²-step of coordinators
+/// sending bundles to the root (`h = max(r_{1,j}·x_{1,j}, r_{2,0}·n)`).
+///
+/// Works for any `k ≥ 1` by iterating levels; on a flat machine it
+/// reduces to [`gather_flat`] with the fastest root.
+pub fn gather_hierarchical(tree: &MachineTree, n: u64, workload: WorkloadPolicy) -> CostReport {
+    let shares = fractions(tree, n, workload);
+    let k = tree.height();
+    let mut rep = CostReport::new();
+    for level in 1..=k {
+        let mut h: f64 = 0.0;
+        let mut l_max: f64 = 0.0;
+        for &cluster in tree.level_nodes(level).expect("level exists") {
+            let node = tree.node(cluster);
+            if node.is_proc() {
+                continue;
+            }
+            let rep_pid = tree.node(node.representative()).proc_id().unwrap();
+            // Children coordinators send their subtree totals to the
+            // cluster coordinator (which already holds its own unit's
+            // data).
+            let mut received = 0u64;
+            for &child in node.children() {
+                let child_rep = tree
+                    .node(tree.node(child).representative())
+                    .proc_id()
+                    .unwrap();
+                let child_total: u64 = tree
+                    .subtree_leaves(child)
+                    .iter()
+                    .map(|&l| shares[tree.node(l).proc_id().unwrap().rank()])
+                    .sum();
+                if child_rep != rep_pid {
+                    h = h.max(r_of(tree, child_rep) * child_total as f64);
+                    received += child_total;
+                }
+            }
+            h = h.max(r_of(tree, rep_pid) * received as f64);
+            l_max = l_max.max(l_of(tree, cluster));
+        }
+        rep.push(step(tree, level, h, l_max));
+    }
+    rep
+}
+
+/// §4.4 — flat one-phase broadcast: `h = max(r_root·n·(p−1), max_j r_j·n)`
+/// (the paper writes `g·n·m + L` for the root-dominated case).
+pub fn broadcast_one_phase(tree: &MachineTree, n: u64, root: ProcId) -> CostReport {
+    let p = tree.num_procs();
+    let mut h = r_of(tree, root) * (n as f64) * (p as f64 - 1.0);
+    for pid in (0..p).map(|j| ProcId(j as u32)) {
+        if pid != root {
+            h = h.max(r_of(tree, pid) * n as f64);
+        }
+    }
+    let mut rep = CostReport::new();
+    rep.push(step(tree, tree.height(), h, l_of(tree, tree.root())));
+    rep
+}
+
+/// §4.4 — flat two-phase broadcast:
+/// phase 1 `h = max(r_root·n, max_j r_j·x_j)`, phase 2 `h = r_s·n`
+/// (the slowest processor must send and receive ~n words), giving the
+/// paper's `g·n(1 + r_{0,s}) + 2L` for equal shares.
+pub fn broadcast_two_phase(
+    tree: &MachineTree,
+    n: u64,
+    root: ProcId,
+    workload: WorkloadPolicy,
+) -> CostReport {
+    let shares = fractions(tree, n, workload);
+    let p = tree.num_procs();
+    let l = l_of(tree, tree.root());
+    // Phase 1: scatter.
+    let sent: u64 = n - shares[root.rank()];
+    let mut h1 = r_of(tree, root) * sent as f64;
+    for (j, &share) in shares.iter().enumerate() {
+        let pid = ProcId(j as u32);
+        if pid != root {
+            h1 = h1.max(r_of(tree, pid) * share as f64);
+        }
+    }
+    // Phase 2: all-gather of pieces; every processor sends its piece to
+    // p−1 peers and receives n − x_j words.
+    let mut h2: f64 = 0.0;
+    for (j, &share) in shares.iter().enumerate() {
+        let pid = ProcId(j as u32);
+        let out = share * (p as u64 - 1);
+        let inc = n - share;
+        h2 = h2.max(r_of(tree, pid) * out.max(inc) as f64);
+    }
+    let mut rep = CostReport::new();
+    rep.push(step(tree, tree.height(), h1, l));
+    rep.push(step(tree, tree.height(), h2, l));
+    rep
+}
+
+/// §4.4 — the HBSP^2 super²-step cost of distributing `n` items from
+/// the root coordinator to the `m` level-1 coordinators, one-phase:
+/// `g·max(r_{1,s}·n, r_{2,0}·n·m) + L_{2,0}`.
+pub fn hbsp2_top_one_phase(tree: &MachineTree, n: u64) -> CostReport {
+    let (root_r, slowest_coord_r, m, l) = top_level_params(tree);
+    let h = (root_r * n as f64 * (m as f64 - 1.0)).max(slowest_coord_r * n as f64);
+    let mut rep = CostReport::new();
+    rep.push(step(tree, tree.height(), h, l));
+    rep
+}
+
+/// §4.4 — the HBSP^2 super²-steps of the two-phase top-level
+/// distribution: `g·max(r_{1,s}·n/m, r_{2,0}·n) + g·r_{1,s}·n + 2L_{2,0}`.
+pub fn hbsp2_top_two_phase(tree: &MachineTree, n: u64) -> CostReport {
+    let (root_r, slowest_coord_r, m, l) = top_level_params(tree);
+    let piece = n as f64 / m as f64;
+    let h1 = (root_r * (n as f64 - piece)).max(slowest_coord_r * piece);
+    let h2 = slowest_coord_r * n as f64;
+    let mut rep = CostReport::new();
+    rep.push(step(tree, tree.height(), h1, l));
+    rep.push(step(tree, tree.height(), h2, l));
+    rep
+}
+
+/// `(r_{2,0}, r_{1,s}, m_{2,0}, L_{2,0})` of an HBSP^2 machine: the root
+/// coordinator's slowness, the slowest level-1 coordinator's slowness,
+/// the number of level-1 machines, and the top barrier cost.
+fn top_level_params(tree: &MachineTree) -> (f64, f64, usize, f64) {
+    let k = tree.height();
+    assert!(k >= 1, "top-level analysis needs a cluster machine");
+    let root = tree.node(tree.root());
+    let root_r = root.params().r;
+    let mut slowest = root_r;
+    for &child in root.children() {
+        let rep_leaf = tree.node(child).representative();
+        slowest = slowest.max(tree.node(rep_leaf).params().r);
+    }
+    (root_r, slowest, root.num_children(), root.params().l_sync)
+}
+
+fn step(tree: &MachineTree, level: Level, h: f64, l: f64) -> SuperstepCost {
+    SuperstepCost {
+        level,
+        w: 0.0,
+        h,
+        comm: tree.g() * h,
+        sync: l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    #[test]
+    fn balanced_gather_is_gn_plus_l() {
+        // §4.2: with r_j·c_j < 1 the gather costs g·n + L_{1,0} —
+        // approached as speeds are exactly 1/r and the root keeps a
+        // share.
+        let rs = [1.0f64, 2.0, 4.0, 8.0];
+        let procs: Vec<(f64, f64)> = rs.iter().map(|&r| (r, 1.0 / r)).collect();
+        let t = TreeBuilder::flat(2.0, 30.0, &procs).unwrap();
+        let n = 7500u64; // divisible by sum pattern; apportion handles rest
+        let rep = gather_flat(&t, n, ProcId(0), WorkloadPolicy::Balanced);
+        let bound = t.g() * n as f64 + 30.0;
+        assert!(rep.total() <= bound + 1e-6, "{} <= {bound}", rep.total());
+        // With c_j ∝ 1/r_j every sender term is r_j·x_j = n/Σ(1/r);
+        // the h-relation is that or the root's received words,
+        // whichever is larger.
+        let x_root = Partition::balanced_for(&t, n).unwrap().share(ProcId(0));
+        let sum_speeds: f64 = rs.iter().map(|r| 1.0 / r).sum();
+        let expect = t.g() * (n as f64 / sum_speeds).max((n - x_root) as f64) + 30.0;
+        assert!(
+            (rep.total() - expect).abs() < t.g() * 4.0,
+            "{} vs {expect}",
+            rep.total()
+        );
+    }
+
+    #[test]
+    fn oversized_share_dominates() {
+        // §4.2: if r_j·c_j > 1 the slow sender dominates the h-relation.
+        let t = TreeBuilder::flat(1.0, 0.0, &[(1.0, 1.0), (4.0, 0.9)]).unwrap();
+        // Equal shares give the r=4 machine x = n/2, so r·x = 2n > n.
+        let rep = gather_flat(&t, 1000, ProcId(0), WorkloadPolicy::Equal);
+        assert_eq!(rep.total(), 4.0 * 500.0);
+    }
+
+    #[test]
+    fn two_phase_formula_matches_paper() {
+        // Equal shares, slowest r_s: T = g·n(1 + r_s) + 2L, up to the
+        // (p−1)/p factors the paper rounds away.
+        let t = TreeBuilder::flat(
+            1.0,
+            50.0,
+            &[(1.0, 1.0), (2.0, 0.5), (3.0, 0.33), (4.0, 0.25)],
+        )
+        .unwrap();
+        let n = 4000u64;
+        let rep = broadcast_two_phase(&t, n, ProcId(0), WorkloadPolicy::Equal);
+        assert_eq!(rep.num_steps(), 2);
+        let paper = 1.0 * n as f64 * (1.0 + 4.0) + 2.0 * 50.0;
+        assert!(
+            (rep.total() - paper).abs() / paper < 0.3,
+            "{} should approximate the paper's {paper}",
+            rep.total()
+        );
+    }
+
+    #[test]
+    fn crossover_two_phase_wins_for_reasonable_rs() {
+        // §4.4: one-phase ~ g·n·m vs two-phase ~ g·n(1+r_s) + 2L; for
+        // m = 8, r_s = 2 two-phase is predicted to win.
+        let procs: Vec<(f64, f64)> = (0..8)
+            .map(|i| (1.0 + i as f64 / 7.0, 1.0 / (1.0 + i as f64 / 7.0)))
+            .collect();
+        let t = TreeBuilder::flat(1.0, 100.0, &procs).unwrap();
+        let n = 10_000;
+        let one = broadcast_one_phase(&t, n, ProcId(0)).total();
+        let two = broadcast_two_phase(&t, n, ProcId(0), WorkloadPolicy::Equal).total();
+        assert!(two < one, "predicted two-phase {two} < one-phase {one}");
+    }
+
+    #[test]
+    fn hbsp2_top_regimes_split_on_rs_vs_m() {
+        // §4.4: r_{1,s} > m_{2,0} makes the slow coordinator dominate
+        // both variants; otherwise the one-phase root term g·n·m
+        // dominates.
+        let mk = |r_slow: f64| {
+            TreeBuilder::two_level(
+                1.0,
+                100.0,
+                &[
+                    (10.0, vec![(1.0, 1.0)]),
+                    (10.0, vec![(r_slow, 1.0 / r_slow)]),
+                ],
+            )
+            .unwrap()
+        };
+        let n = 1000u64;
+        // m = 2; r_slow = 6 > m: both dominated by r_{1,s}.
+        let t = mk(6.0);
+        let one = hbsp2_top_one_phase(&t, n).total();
+        let two = hbsp2_top_two_phase(&t, n).total();
+        // One-phase: g·r_s·n + L = 6000 + 100. Two-phase:
+        // g·r_s·n(1/m + 1) + 2L = 6000·1.5 + 200.
+        assert_eq!(one, 6000.0 + 100.0);
+        assert!((two - (3000.0 + 6000.0 + 200.0)).abs() < 1e-9);
+        assert!(
+            one < two,
+            "with r_s > m the single phase is predicted cheaper"
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_model_evaluator_on_the_real_program() {
+        // Price the *actual* FlatGather program with the generic model
+        // evaluator: it must reproduce the §4.2 closed form exactly
+        // (same h-relation, same L), for every plan.
+        use crate::data::shares_for;
+        use crate::gather::FlatGather;
+        use hbsp_sim::ModelEvaluator;
+        use std::sync::Arc;
+
+        let t = TreeBuilder::flat(
+            1.5,
+            120.0,
+            &[(1.0, 1.0), (2.0, 0.55), (3.0, 0.4), (4.0, 0.25)],
+        )
+        .unwrap();
+        let items: Vec<u32> = (0..5000).collect();
+        for workload in [WorkloadPolicy::Equal, WorkloadPolicy::Balanced] {
+            for root in [ProcId(0), ProcId(3)] {
+                let closed = gather_flat(&t, items.len() as u64, root, workload);
+                let shares = Arc::new(shares_for(&t, &items, workload));
+                let program_cost = ModelEvaluator::new(Arc::new(t.clone()))
+                    .run(&FlatGather::new(root, shares))
+                    .unwrap();
+                // The program's first superstep carries the whole cost;
+                // its payload includes 3 bundle-header words per sender,
+                // weighted by the slowest participant's r — allow that
+                // bounded slack.
+                let got = program_cost.steps()[0];
+                let want = closed.steps()[0];
+                let slack = 3.0 * (t.num_procs() - 1) as f64 * 4.0;
+                assert!(
+                    (got.h - want.h).abs() <= slack,
+                    "{workload:?} root={root}: h {} vs {}",
+                    got.h,
+                    want.h
+                );
+                assert_eq!(got.sync, want.sync);
+                assert_eq!(program_cost.steps()[1].total(), 0.0, "final step is free");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_gather_prediction_has_k_steps() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            500.0,
+            &[
+                (50.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                (60.0, vec![(2.0, 0.4), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap();
+        let rep = gather_hierarchical(&t, 1000, WorkloadPolicy::Equal);
+        assert_eq!(rep.num_steps(), 2);
+        // Level-1 step pays the slower cluster's barrier.
+        assert_eq!(rep.steps()[0].sync, 60.0);
+        assert_eq!(rep.steps()[1].sync, 500.0);
+        assert!(rep.total() > 0.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Reduction: combine equal-length vectors elementwise at a root
+//! (reduce) or at everyone (allreduce). The hierarchical variant
+//! combines inside each cluster first, so only one already-reduced
+//! vector per cluster crosses the expensive links — unlike gather, the
+//! payload *shrinks* at each level, which is where hierarchy pays off
+//! most.
+
+use crate::plan::{RootPolicy, Strategy};
+use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
+use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use hbsplib::codec;
+use std::sync::Arc;
+
+const TAG_REDUCE: u32 = 0x6F01;
+
+/// The elementwise combining operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Wrapping sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Combine two values.
+    #[inline]
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Combine `b` into `a` elementwise.
+    pub fn fold_into(self, a: &mut [u32], b: &[u32]) {
+        assert_eq!(a.len(), b.len(), "reduce vectors must have equal length");
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x = self.apply(*x, y);
+        }
+    }
+
+    /// Sequential reference reduction.
+    pub fn reference(self, vectors: &[Vec<u32>]) -> Vec<u32> {
+        let mut acc = vectors[0].clone();
+        for v in &vectors[1..] {
+            self.fold_into(&mut acc, v);
+        }
+        acc
+    }
+}
+
+/// Nominal work units for combining one element pair (used for the
+/// model's `w` term).
+const COMBINE_COST: f64 = 1.0;
+
+/// Flat reduce: every processor sends its vector to the root, which
+/// combines all of them.
+pub struct FlatReduce {
+    root: ProcId,
+    op: ReduceOp,
+    vectors: Arc<Vec<Vec<u32>>>,
+}
+
+impl FlatReduce {
+    /// Reduce `vectors[rank]` to `root` with `op`.
+    pub fn new(root: ProcId, op: ReduceOp, vectors: Arc<Vec<Vec<u32>>>) -> Self {
+        FlatReduce { root, op, vectors }
+    }
+}
+
+impl SpmdProgram for FlatReduce {
+    type State = Vec<u32>;
+
+    fn init(&self, env: &ProcEnv) -> Vec<u32> {
+        self.vectors[env.pid.rank()].clone()
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut Vec<u32>,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        match step {
+            0 => {
+                if env.pid != self.root {
+                    ctx.send(self.root, TAG_REDUCE, codec::encode_u32s(state));
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+            _ => {
+                if env.pid == self.root {
+                    let incoming: Vec<Vec<u32>> = ctx
+                        .messages()
+                        .iter()
+                        .map(|m| codec::decode_u32s(&m.payload))
+                        .collect();
+                    for v in incoming {
+                        ctx.charge(v.len() as f64 * COMBINE_COST);
+                        self.op.fold_into(state, &v);
+                    }
+                }
+                StepOutcome::Done
+            }
+        }
+    }
+}
+
+/// Hierarchical reduce: combine at each cluster coordinator, one
+/// super^i-step per level, ending at the machine's fastest processor.
+pub struct HierarchicalReduce {
+    op: ReduceOp,
+    vectors: Arc<Vec<Vec<u32>>>,
+}
+
+impl HierarchicalReduce {
+    /// Reduce `vectors[rank]` with `op` to the machine's fastest
+    /// processor.
+    pub fn new(op: ReduceOp, vectors: Arc<Vec<Vec<u32>>>) -> Self {
+        HierarchicalReduce { op, vectors }
+    }
+}
+
+impl SpmdProgram for HierarchicalReduce {
+    type State = Vec<u32>;
+
+    fn init(&self, env: &ProcEnv) -> Vec<u32> {
+        self.vectors[env.pid.rank()].clone()
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut Vec<u32>,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        let tree = &env.tree;
+        let k = tree.height();
+        // Fold in whatever arrived from the level below.
+        let incoming: Vec<Vec<u32>> = ctx
+            .messages()
+            .iter()
+            .map(|m| codec::decode_u32s(&m.payload))
+            .collect();
+        for v in incoming {
+            ctx.charge(v.len() as f64 * COMBINE_COST);
+            self.op.fold_into(state, &v);
+        }
+        if step as u32 >= k {
+            return StepOutcome::Done;
+        }
+        let level = step as u32 + 1;
+        let my_leaf = tree.leaves()[env.pid.rank()];
+        let unit = tree
+            .ancestor_at_level(my_leaf, level - 1)
+            .unwrap_or(my_leaf);
+        if tree.node(unit).representative() == my_leaf {
+            let dest_cluster = tree
+                .ancestor_at_level(my_leaf, level)
+                .expect("ancestors exist up to the root");
+            let dest = tree
+                .node(tree.node(dest_cluster).representative())
+                .proc_id()
+                .expect("leaf");
+            if dest != env.pid {
+                ctx.send(dest, TAG_REDUCE, codec::encode_u32s(state));
+            }
+        }
+        StepOutcome::Continue(SyncScope::Level(level))
+    }
+}
+
+/// Outcome of a simulated reduce.
+#[derive(Debug, Clone)]
+pub struct ReduceRun {
+    /// The combined vector as held by the root.
+    pub result: Vec<u32>,
+    /// Model execution time.
+    pub time: f64,
+    /// Full simulation outcome.
+    pub sim: SimOutcome,
+    /// The processor holding the result.
+    pub root: ProcId,
+}
+
+/// Run a reduce of `vectors[rank]` (all equal length) with `op`.
+pub fn simulate_reduce(
+    tree: &MachineTree,
+    vectors: Vec<Vec<u32>>,
+    op: ReduceOp,
+    root: RootPolicy,
+    strategy: Strategy,
+) -> Result<ReduceRun, SimError> {
+    simulate_reduce_with(tree, NetConfig::pvm_like(), vectors, op, root, strategy)
+}
+
+/// Reduce with explicit microcosts.
+pub fn simulate_reduce_with(
+    tree: &MachineTree,
+    cfg: NetConfig,
+    vectors: Vec<Vec<u32>>,
+    op: ReduceOp,
+    root: RootPolicy,
+    strategy: Strategy,
+) -> Result<ReduceRun, SimError> {
+    let p = tree.num_procs();
+    assert_eq!(vectors.len(), p, "one vector per processor");
+    assert!(
+        vectors.windows(2).all(|w| w[0].len() == w[1].len()),
+        "reduce vectors must have equal length"
+    );
+    let tree = Arc::new(tree.clone());
+    let sim = Simulator::with_config(Arc::clone(&tree), cfg);
+    let vectors = Arc::new(vectors);
+    let (root, outcome, states) = match strategy {
+        Strategy::Flat => {
+            let root = root.resolve(&tree);
+            let (o, s) = sim.run_with_states(&FlatReduce::new(root, op, vectors))?;
+            (root, o, s)
+        }
+        Strategy::Hierarchical => {
+            let (o, s) = sim.run_with_states(&HierarchicalReduce::new(op, vectors))?;
+            (tree.fastest_proc(), o, s)
+        }
+    };
+    Ok(ReduceRun {
+        result: states[root.rank()].clone(),
+        time: outcome.total_time,
+        sim: outcome,
+        root,
+    })
+}
+
+/// Allreduce: reduce to `P_f`, then broadcast the result (two composed
+/// collectives, as in the dissertation's suite). Returns the combined
+/// vector and the summed time.
+pub fn simulate_allreduce(
+    tree: &MachineTree,
+    vectors: Vec<Vec<u32>>,
+    op: ReduceOp,
+    strategy: Strategy,
+) -> Result<ReduceRun, SimError> {
+    let reduce = simulate_reduce(tree, vectors, op, RootPolicy::Fastest, strategy)?;
+    let bc = crate::broadcast::simulate_broadcast(
+        tree,
+        &reduce.result,
+        match strategy {
+            Strategy::Flat => crate::broadcast::BroadcastPlan::two_phase(),
+            Strategy::Hierarchical => {
+                crate::broadcast::BroadcastPlan::hierarchical(crate::plan::PhasePolicy::TwoPhase)
+            }
+        },
+    )?;
+    Ok(ReduceRun {
+        result: reduce.result,
+        time: reduce.time + bc.time,
+        sim: reduce.sim,
+        root: reduce.root,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    fn vectors(p: usize, len: usize) -> Vec<Vec<u32>> {
+        (0..p)
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 31 + j * 17) % 1000) as u32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn machine() -> MachineTree {
+        TreeBuilder::two_level(
+            1.0,
+            200.0,
+            &[
+                (20.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                (30.0, vec![(2.0, 0.4), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reduce_matches_sequential_reference() {
+        let t = machine();
+        let vs = vectors(4, 128);
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            let want = op.reference(&vs);
+            for strat in [Strategy::Flat, Strategy::Hierarchical] {
+                let run = simulate_reduce(&t, vs.clone(), op, RootPolicy::Fastest, strat).unwrap();
+                assert_eq!(run.result, want, "{op:?} {strat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_wraps() {
+        assert_eq!(ReduceOp::Sum.apply(u32::MAX, 2), 1);
+    }
+
+    #[test]
+    fn hierarchical_reduce_shrinks_cross_cluster_traffic() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            100.0,
+            &[
+                (10.0, vec![(1.0, 1.0), (1.5, 0.6), (1.5, 0.6)]),
+                (10.0, vec![(2.0, 0.5), (2.0, 0.5), (2.5, 0.4)]),
+            ],
+        )
+        .unwrap();
+        let vs = vectors(6, 1024);
+        let flat = simulate_reduce(
+            &t,
+            vs.clone(),
+            ReduceOp::Sum,
+            RootPolicy::Fastest,
+            Strategy::Flat,
+        )
+        .unwrap();
+        let hier = simulate_reduce(
+            &t,
+            vs,
+            ReduceOp::Sum,
+            RootPolicy::Fastest,
+            Strategy::Hierarchical,
+        )
+        .unwrap();
+        let top =
+            |run: &ReduceRun| -> u64 { run.sim.steps.iter().map(|s| s.traffic[2].words).sum() };
+        assert!(top(&hier) < top(&flat), "{} vs {}", top(&hier), top(&flat));
+        assert_eq!(flat.result, hier.result);
+    }
+
+    #[test]
+    fn allreduce_delivers_same_result() {
+        let t = machine();
+        let vs = vectors(4, 64);
+        let want = ReduceOp::Max.reference(&vs);
+        for strat in [Strategy::Flat, Strategy::Hierarchical] {
+            let run = simulate_allreduce(&t, vs.clone(), ReduceOp::Max, strat).unwrap();
+            assert_eq!(run.result, want, "{strat:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_lengths_rejected() {
+        let t = TreeBuilder::homogeneous(1.0, 0.0, 2).unwrap();
+        simulate_reduce(
+            &t,
+            vec![vec![1, 2], vec![3]],
+            ReduceOp::Sum,
+            RootPolicy::Fastest,
+            Strategy::Flat,
+        )
+        .unwrap();
+    }
+}

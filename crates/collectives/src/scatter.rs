@@ -1,0 +1,160 @@
+//! Scatter: the root distributes a distinct `c_j·n`-item piece to every
+//! processor (the first phase of the two-phase broadcast, as its own
+//! collective — part of the suite the paper defers to \[20\]).
+
+use crate::data::{decode_bundle, encode_bundle, shares_for, Piece};
+use crate::plan::{RootPolicy, WorkloadPolicy};
+use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
+use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use std::sync::Arc;
+
+const TAG_SCATTER: u32 = 0x6C01;
+
+/// The scatter program: one superstep of root → processor pieces.
+pub struct Scatter {
+    root: ProcId,
+    /// `shares[rank]` — the piece destined for each processor.
+    shares: Arc<Vec<Piece>>,
+}
+
+impl Scatter {
+    /// Scatter `shares` from `root` (`shares[j]` goes to rank `j`).
+    pub fn new(root: ProcId, shares: Arc<Vec<Piece>>) -> Self {
+        Scatter { root, shares }
+    }
+}
+
+impl SpmdProgram for Scatter {
+    type State = Option<Piece>;
+
+    fn init(&self, env: &ProcEnv) -> Option<Piece> {
+        (env.pid == self.root).then(|| self.shares[env.pid.rank()].clone())
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut Option<Piece>,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        match step {
+            0 => {
+                if env.pid == self.root {
+                    for (j, piece) in self.shares.iter().enumerate() {
+                        let q = ProcId(j as u32);
+                        if q != env.pid {
+                            ctx.send(q, TAG_SCATTER, encode_bundle(std::slice::from_ref(piece)));
+                        }
+                    }
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+            _ => {
+                if env.pid != self.root {
+                    let mut pieces = Vec::new();
+                    for m in ctx.messages() {
+                        pieces.extend(decode_bundle(&m.payload));
+                    }
+                    assert_eq!(pieces.len(), 1, "scatter delivers exactly one piece");
+                    *state = pieces.pop();
+                }
+                StepOutcome::Done
+            }
+        }
+    }
+}
+
+/// Outcome of a simulated scatter.
+#[derive(Debug, Clone)]
+pub struct ScatterRun {
+    /// Each processor's received piece, by rank.
+    pub pieces: Vec<Piece>,
+    /// Model execution time.
+    pub time: f64,
+    /// Full simulation outcome.
+    pub sim: SimOutcome,
+}
+
+/// Scatter `items` from the root selected by `root` under the given
+/// workload policy.
+pub fn simulate_scatter(
+    tree: &MachineTree,
+    items: &[u32],
+    root: RootPolicy,
+    workload: WorkloadPolicy,
+) -> Result<ScatterRun, SimError> {
+    simulate_scatter_with(tree, NetConfig::pvm_like(), items, root, workload)
+}
+
+/// Scatter with explicit microcosts.
+pub fn simulate_scatter_with(
+    tree: &MachineTree,
+    cfg: NetConfig,
+    items: &[u32],
+    root: RootPolicy,
+    workload: WorkloadPolicy,
+) -> Result<ScatterRun, SimError> {
+    let tree = Arc::new(tree.clone());
+    let shares = Arc::new(shares_for(&tree, items, workload));
+    let root = root.resolve(&tree);
+    let sim = Simulator::with_config(Arc::clone(&tree), cfg);
+    let (outcome, states) = sim.run_with_states(&Scatter::new(root, shares))?;
+    let pieces = states
+        .into_iter()
+        .map(|s| s.expect("every processor receives a piece"))
+        .collect();
+    Ok(ScatterRun {
+        pieces,
+        time: outcome.total_time,
+        sim: outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::reassemble;
+    use hbsp_core::TreeBuilder;
+
+    #[test]
+    fn scatter_partitions_the_input() {
+        let t = TreeBuilder::flat(1.0, 50.0, &[(1.0, 1.0), (2.0, 0.5), (2.0, 0.4)]).unwrap();
+        let items: Vec<u32> = (0..300).collect();
+        for wl in [WorkloadPolicy::Equal, WorkloadPolicy::Balanced] {
+            let run = simulate_scatter(&t, &items, RootPolicy::Fastest, wl).unwrap();
+            assert_eq!(reassemble(&run.pieces), items, "{wl:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_scatter_weights_by_speed() {
+        let t = TreeBuilder::flat(1.0, 0.0, &[(1.0, 1.0), (3.0, 0.25)]).unwrap();
+        let items: Vec<u32> = (0..100).collect();
+        let run =
+            simulate_scatter(&t, &items, RootPolicy::Fastest, WorkloadPolicy::Balanced).unwrap();
+        assert_eq!(run.pieces[0].len(), 80);
+        assert_eq!(run.pieces[1].len(), 20);
+    }
+
+    #[test]
+    fn fast_root_scatter_is_cheaper() {
+        let t = TreeBuilder::flat(
+            1.0,
+            50.0,
+            &[(1.0, 1.0), (2.0, 0.5), (3.0, 0.35), (4.0, 0.25)],
+        )
+        .unwrap();
+        let items: Vec<u32> = (0..8000).collect();
+        let tf = simulate_scatter(&t, &items, RootPolicy::Fastest, WorkloadPolicy::Equal)
+            .unwrap()
+            .time;
+        let ts = simulate_scatter(&t, &items, RootPolicy::Slowest, WorkloadPolicy::Equal)
+            .unwrap()
+            .time;
+        assert!(
+            tf < ts,
+            "the root does all the sending: T_f={tf} < T_s={ts}"
+        );
+    }
+}

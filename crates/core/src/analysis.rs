@@ -1,0 +1,213 @@
+//! Heterogeneity penalty analysis (§3.4).
+//!
+//! "Besides analyzing execution time, the HBSP^k model can be used to
+//! determine the penalty associated with using a particular
+//! heterogeneous environment … additional overheads incurred by
+//! algorithms executing on HBSP^k platforms because of the
+//! synchronization and communication costs incurred at each level."
+//!
+//! [`Penalty`] decomposes a [`CostReport`] into compute, communication,
+//! and per-level synchronization shares, and [`heterogeneity`] gives
+//! summary statistics of a machine's spread — the quantities a
+//! developer uses to decide whether "the application \[can\] tolerate
+//! the latencies inherent in using hierarchical platforms".
+
+use crate::cost::CostReport;
+use crate::ids::Level;
+use crate::tree::MachineTree;
+use std::fmt;
+
+/// Decomposition of a program's predicted cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Penalty {
+    /// Total predicted time.
+    pub total: f64,
+    /// Time in local computation.
+    pub compute: f64,
+    /// Time in routing (`Σ g·h`).
+    pub comm: f64,
+    /// Synchronization time per level (`sync_by_level[i]` = `Σ L` over
+    /// the super^i-steps).
+    pub sync_by_level: Vec<f64>,
+}
+
+impl Penalty {
+    /// Decompose `report` over a machine of height `k`.
+    pub fn of(report: &CostReport, k: Level) -> Penalty {
+        let mut sync_by_level = vec![0.0; k as usize + 1];
+        for step in report.steps() {
+            let idx = (step.level as usize).min(sync_by_level.len().saturating_sub(1));
+            sync_by_level[idx] += step.sync;
+        }
+        Penalty {
+            total: report.total(),
+            compute: report.compute(),
+            comm: report.comm(),
+            sync_by_level,
+        }
+    }
+
+    /// Total synchronization time across levels.
+    pub fn sync(&self) -> f64 {
+        self.sync_by_level.iter().sum()
+    }
+
+    /// The hierarchy penalty: the fraction of total time spent on
+    /// synchronization and thus *not* on the problem. Zero for an
+    /// overhead-free run.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        self.sync() / self.total
+    }
+
+    /// Fraction of total time spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        self.comm / self.total
+    }
+
+    /// The extra cost of the levels above `base_level` — what moving
+    /// from an HBSP^`base_level` machine to this machine costs in
+    /// synchronization.
+    pub fn penalty_above(&self, base_level: Level) -> f64 {
+        self.sync_by_level
+            .iter()
+            .skip(base_level as usize + 1)
+            .sum()
+    }
+}
+
+impl fmt::Display for Penalty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total = {:.1}: compute {:.1} ({:.0}%), comm {:.1} ({:.0}%), sync {:.1} ({:.0}%)",
+            self.total,
+            self.compute,
+            100.0 * self.compute / self.total.max(1e-12),
+            self.comm,
+            100.0 * self.comm_fraction(),
+            self.sync(),
+            100.0 * self.overhead_fraction()
+        )?;
+        for (level, s) in self.sync_by_level.iter().enumerate() {
+            if *s > 0.0 {
+                writeln!(f, "  L at level {level}: {s:.1}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Summary statistics of a machine's heterogeneity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Heterogeneity {
+    /// Slowest communicator's `r` (fastest is 1 by normalization).
+    pub max_r: f64,
+    /// Mean `r` over processors.
+    pub mean_r: f64,
+    /// Slowest compute speed (fastest is 1).
+    pub min_speed: f64,
+    /// Sum of compute speeds — the machine's ideal speedup over its
+    /// fastest processor (the ceiling for perfectly balanced work).
+    pub aggregate_speed: f64,
+}
+
+/// Compute [`Heterogeneity`] statistics for `tree`.
+pub fn heterogeneity(tree: &MachineTree) -> Heterogeneity {
+    let leaves = tree.leaves();
+    let rs: Vec<f64> = leaves.iter().map(|&l| tree.node(l).params().r).collect();
+    let speeds: Vec<f64> = leaves
+        .iter()
+        .map(|&l| tree.node(l).params().speed)
+        .collect();
+    Heterogeneity {
+        max_r: rs.iter().cloned().fold(1.0, f64::max),
+        mean_r: rs.iter().sum::<f64>() / rs.len() as f64,
+        min_speed: speeds.iter().cloned().fold(1.0, f64::min),
+        aggregate_speed: speeds.iter().sum(),
+    }
+}
+
+impl Heterogeneity {
+    /// True for a perfectly homogeneous machine.
+    pub fn is_homogeneous(&self) -> bool {
+        (self.max_r - 1.0).abs() < 1e-12 && (self.min_speed - 1.0).abs() < 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::cost::{CostModel, CostReport};
+
+    fn report(tree: &MachineTree) -> CostReport {
+        let cm = CostModel::new(tree);
+        let mut rep = CostReport::new();
+        rep.push(cm.from_aggregates(1, 100.0, 500.0, 50.0));
+        rep.push(cm.from_aggregates(1, 0.0, 200.0, 50.0));
+        rep.push(cm.from_aggregates(2, 0.0, 300.0, 400.0));
+        rep
+    }
+
+    #[test]
+    fn decomposition_sums_to_total() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            400.0,
+            &[(50.0, vec![(1.0, 1.0)]), (50.0, vec![(2.0, 0.5)])],
+        )
+        .unwrap();
+        let p = Penalty::of(&report(&t), t.height());
+        assert_eq!(p.compute + p.comm + p.sync(), p.total);
+        assert_eq!(p.sync_by_level, vec![0.0, 100.0, 400.0]);
+        assert_eq!(
+            p.penalty_above(1),
+            400.0,
+            "the HBSP^2 level costs 400 extra"
+        );
+        assert_eq!(p.penalty_above(2), 0.0);
+    }
+
+    #[test]
+    fn fractions_are_fractions() {
+        let t = TreeBuilder::homogeneous(1.0, 10.0, 2).unwrap();
+        let p = Penalty::of(&report(&t), t.height());
+        assert!(p.overhead_fraction() > 0.0 && p.overhead_fraction() < 1.0);
+        assert!(p.comm_fraction() > 0.0 && p.comm_fraction() < 1.0);
+        let empty = Penalty::of(&CostReport::new(), 1);
+        assert_eq!(empty.overhead_fraction(), 0.0);
+        assert_eq!(empty.comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn heterogeneity_statistics() {
+        let t = TreeBuilder::flat(1.0, 0.0, &[(1.0, 1.0), (3.0, 0.5), (2.0, 0.25)]).unwrap();
+        let h = heterogeneity(&t);
+        assert_eq!(h.max_r, 3.0);
+        assert!((h.mean_r - 2.0).abs() < 1e-12);
+        assert_eq!(h.min_speed, 0.25);
+        assert!((h.aggregate_speed - 1.75).abs() < 1e-12);
+        assert!(!h.is_homogeneous());
+        let homo = TreeBuilder::homogeneous(1.0, 0.0, 4).unwrap();
+        assert!(heterogeneity(&homo).is_homogeneous());
+    }
+
+    #[test]
+    fn display_mentions_levels() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            1.0,
+            &[(1.0, vec![(1.0, 1.0)]), (1.0, vec![(1.5, 0.5)])],
+        )
+        .unwrap();
+        let p = Penalty::of(&report(&t), t.height());
+        let s = p.to_string();
+        assert!(s.contains("level 1") && s.contains("level 2"), "{s}");
+    }
+}

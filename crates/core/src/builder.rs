@@ -1,0 +1,369 @@
+//! Programmatic construction of HBSP^k machine trees.
+
+use crate::error::ModelError;
+use crate::ids::{Level, MachineId, NodeIdx, ProcId};
+use crate::params::NodeParams;
+use crate::tree::{MachineTree, Node, NodeKind};
+
+/// Builds a [`MachineTree`] node by node and validates it.
+///
+/// Create the root first (with [`TreeBuilder::cluster`] or
+/// [`TreeBuilder::proc_root`]), then attach children with
+/// [`TreeBuilder::child_cluster`] / [`TreeBuilder::child_proc`]. `build`
+/// computes levels, `M_{i,j}` coordinates, SPMD ranks, and cluster
+/// representatives (fastest leaf of each subtree, as the paper assumes
+/// for coordinator nodes), then validates every model invariant.
+///
+/// ```
+/// use hbsp_core::{TreeBuilder, NodeParams};
+/// let mut b = TreeBuilder::new(1.0);
+/// let root = b.cluster("lan", NodeParams::cluster(100.0));
+/// b.child_proc(root, "fast", NodeParams::proc(1.0, 1.0));
+/// b.child_proc(root, "slow", NodeParams::proc(3.0, 0.4));
+/// let machine = b.build().unwrap();
+/// assert_eq!(machine.height(), 1); // an HBSP^1 machine
+/// assert_eq!(machine.num_procs(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeBuilder {
+    g: f64,
+    nodes: Vec<ProtoNode>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct ProtoNode {
+    parent: Option<usize>,
+    children: Vec<usize>,
+    kind: NodeKind,
+    name: String,
+    params: NodeParams,
+}
+
+impl TreeBuilder {
+    /// Start a builder with bandwidth indicator `g` (time per word for
+    /// the fastest machine).
+    pub fn new(g: f64) -> Self {
+        TreeBuilder {
+            g,
+            nodes: Vec::new(),
+            root: None,
+        }
+    }
+
+    /// Create the root as a cluster. Must be the first node created.
+    ///
+    /// # Panics
+    /// Panics if a root already exists.
+    pub fn cluster(&mut self, name: impl Into<String>, params: NodeParams) -> NodeIdx {
+        assert!(self.root.is_none(), "root already created");
+        let idx = self.push(None, NodeKind::Cluster, name.into(), params);
+        self.root = Some(idx.index());
+        idx
+    }
+
+    /// Create the root as a single processor (an HBSP^0 machine).
+    ///
+    /// # Panics
+    /// Panics if a root already exists.
+    pub fn proc_root(&mut self, name: impl Into<String>, params: NodeParams) -> NodeIdx {
+        assert!(self.root.is_none(), "root already created");
+        let idx = self.push(None, NodeKind::Proc, name.into(), params);
+        self.root = Some(idx.index());
+        idx
+    }
+
+    /// Attach a sub-cluster to `parent`.
+    pub fn child_cluster(
+        &mut self,
+        parent: NodeIdx,
+        name: impl Into<String>,
+        params: NodeParams,
+    ) -> NodeIdx {
+        self.attach(parent, NodeKind::Cluster, name.into(), params)
+    }
+
+    /// Attach a processor to `parent`.
+    pub fn child_proc(
+        &mut self,
+        parent: NodeIdx,
+        name: impl Into<String>,
+        params: NodeParams,
+    ) -> NodeIdx {
+        self.attach(parent, NodeKind::Proc, name.into(), params)
+    }
+
+    fn attach(
+        &mut self,
+        parent: NodeIdx,
+        kind: NodeKind,
+        name: String,
+        params: NodeParams,
+    ) -> NodeIdx {
+        assert!(
+            matches!(self.nodes[parent.index()].kind, NodeKind::Cluster),
+            "cannot attach children to a processor"
+        );
+        let idx = self.push(Some(parent.index()), kind, name, params);
+        self.nodes[parent.index()].children.push(idx.index());
+        idx
+    }
+
+    fn push(
+        &mut self,
+        parent: Option<usize>,
+        kind: NodeKind,
+        name: String,
+        params: NodeParams,
+    ) -> NodeIdx {
+        let idx = NodeIdx::from_index(self.nodes.len());
+        self.nodes.push(ProtoNode {
+            parent,
+            children: Vec::new(),
+            kind,
+            name,
+            params,
+        });
+        idx
+    }
+
+    /// Finalize: compute levels, coordinates, ranks, representatives;
+    /// validate; and return the machine.
+    pub fn build(self) -> Result<MachineTree, ModelError> {
+        let root = self.root.ok_or(ModelError::EmptyMachine)?;
+
+        // Depth of every node by DFS pre-order from the root; the
+        // pre-order itself gives the left-to-right sweep used for both
+        // level indices and processor ranks.
+        let n = self.nodes.len();
+        let mut depth = vec![0u32; n];
+        let mut preorder = Vec::with_capacity(n);
+        let mut stack = vec![root];
+        while let Some(i) = stack.pop() {
+            preorder.push(i);
+            for &c in self.nodes[i].children.iter().rev() {
+                depth[c] = depth[i] + 1;
+                stack.push(c);
+            }
+        }
+        let height: Level = preorder.iter().map(|&i| depth[i]).max().unwrap_or(0);
+
+        // Level-major coordinates, leaves, ranks.
+        let mut levels: Vec<Vec<NodeIdx>> = vec![Vec::new(); height as usize + 1];
+        let mut machine_ids = vec![MachineId::new(0, 0); n];
+        let mut proc_ids: Vec<Option<ProcId>> = vec![None; n];
+        let mut leaves = Vec::new();
+        for &i in &preorder {
+            let level = height - depth[i];
+            let j = levels[level as usize].len() as u32;
+            machine_ids[i] = MachineId::new(level, j);
+            levels[level as usize].push(NodeIdx::from_index(i));
+            if matches!(self.nodes[i].kind, NodeKind::Proc) {
+                proc_ids[i] = Some(ProcId(leaves.len() as u32));
+                leaves.push(NodeIdx::from_index(i));
+            }
+        }
+
+        // Representatives: fastest leaf of each subtree (ties to lowest
+        // rank). Post-order = reverse pre-order works because children
+        // appear after parents in pre-order.
+        let mut representative: Vec<usize> = (0..n).collect();
+        for &i in preorder.iter().rev() {
+            if matches!(self.nodes[i].kind, NodeKind::Cluster) {
+                let best = self.nodes[i]
+                    .children
+                    .iter()
+                    .map(|&c| representative[c])
+                    .min_by(|&a, &b| {
+                        let sa = self.nodes[a].params.speed;
+                        let sb = self.nodes[b].params.speed;
+                        sb.partial_cmp(&sa)
+                            .unwrap()
+                            .then(proc_ids[a].cmp(&proc_ids[b]))
+                    });
+                if let Some(b) = best {
+                    representative[i] = b;
+                }
+            }
+        }
+
+        // Coordinator nodes inherit the communication/compute parameters
+        // of their representative: "they may represent the fastest
+        // machine in their subtree".
+        let mut nodes = Vec::with_capacity(n);
+        for (i, proto) in self.nodes.into_iter().enumerate() {
+            let params = proto.params;
+            nodes.push(Node {
+                idx: NodeIdx::from_index(i),
+                parent: proto.parent.map(NodeIdx::from_index),
+                children: proto
+                    .children
+                    .iter()
+                    .map(|&c| NodeIdx::from_index(c))
+                    .collect(),
+                level: machine_ids[i].level,
+                machine_id: machine_ids[i],
+                kind: proto.kind,
+                name: proto.name,
+                params,
+                proc_id: proc_ids[i],
+                representative: NodeIdx::from_index(representative[i]),
+            });
+        }
+        // Second pass: clusters take r/speed from their representative
+        // leaf (the coordinator is physically the fastest machine in the
+        // subtree).
+        for i in 0..n {
+            if !nodes[i].is_proc() {
+                let rep = nodes[i].representative.index();
+                nodes[i].params.r = nodes[rep].params.r;
+                nodes[i].params.speed = nodes[rep].params.speed;
+            }
+        }
+
+        let tree = MachineTree {
+            nodes,
+            root: NodeIdx::from_index(root),
+            height,
+            g: self.g,
+            levels,
+            leaves,
+        };
+        tree.validate()?;
+        Ok(tree)
+    }
+}
+
+/// Convenience constructors for the machine shapes the paper evaluates.
+impl TreeBuilder {
+    /// A flat HBSP^1 machine: `procs[j] = (r_j, speed_j)` under one
+    /// cluster with synchronization cost `l_sync`.
+    pub fn flat(g: f64, l_sync: f64, procs: &[(f64, f64)]) -> Result<MachineTree, ModelError> {
+        let mut b = TreeBuilder::new(g);
+        let root = b.cluster("cluster", NodeParams::cluster(l_sync));
+        for (j, &(r, speed)) in procs.iter().enumerate() {
+            b.child_proc(root, format!("p{j}"), NodeParams::proc(r, speed));
+        }
+        b.build()
+    }
+
+    /// A two-level HBSP^2 machine: `clusters[j]` is `(L_{1,j}, procs)`
+    /// with `procs` as in [`TreeBuilder::flat`]; `l2` is `L_{2,0}`.
+    pub fn two_level(
+        g: f64,
+        l2: f64,
+        clusters: &[(f64, Vec<(f64, f64)>)],
+    ) -> Result<MachineTree, ModelError> {
+        let mut b = TreeBuilder::new(g);
+        let root = b.cluster("root", NodeParams::cluster(l2));
+        for (cj, (l1, procs)) in clusters.iter().enumerate() {
+            let c = b.child_cluster(root, format!("c{cj}"), NodeParams::cluster(*l1));
+            for (j, &(r, speed)) in procs.iter().enumerate() {
+                b.child_proc(c, format!("c{cj}p{j}"), NodeParams::proc(r, speed));
+            }
+        }
+        b.build()
+    }
+
+    /// A homogeneous BSP machine: `p` identical fastest processors. The
+    /// degenerate case the original BSP model covers; used as the
+    /// baseline in ablation benches.
+    pub fn homogeneous(g: f64, l_sync: f64, p: usize) -> Result<MachineTree, ModelError> {
+        TreeBuilder::flat(g, l_sync, &vec![(1.0, 1.0); p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_builder_matches_manual() {
+        let t = TreeBuilder::flat(2.0, 30.0, &[(1.0, 1.0), (2.0, 0.5), (4.0, 0.25)]).unwrap();
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.g(), 2.0);
+        assert_eq!(t.num_procs(), 3);
+        let root = t.node(t.root());
+        assert_eq!(root.params().l_sync, 30.0);
+        // Coordinator takes the fastest leaf's r/speed.
+        assert_eq!(root.params().r, 1.0);
+        assert_eq!(root.params().speed, 1.0);
+    }
+
+    #[test]
+    fn two_level_shape() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            200.0,
+            &[
+                (10.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                (20.0, vec![(3.0, 0.3), (3.0, 0.3), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.machines_on_level(1).unwrap(), 2);
+        assert_eq!(t.machines_on_level(0).unwrap(), 5);
+        assert_eq!(t.num_procs(), 5);
+        // Root representative is the global fastest leaf.
+        assert_eq!(t.leaf(t.fastest_proc()).name(), "c0p0");
+    }
+
+    #[test]
+    fn homogeneous_is_bsp() {
+        let t = TreeBuilder::homogeneous(1.0, 10.0, 8).unwrap();
+        assert_eq!(t.num_procs(), 8);
+        assert!(t.leaves().iter().all(|&l| t.node(l).params().r == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot attach children to a processor")]
+    fn cannot_nest_under_proc() {
+        let mut b = TreeBuilder::new(1.0);
+        let root = b.cluster("c", NodeParams::cluster(0.0));
+        let p = b.child_proc(root, "p", NodeParams::fastest());
+        b.child_proc(p, "q", NodeParams::fastest());
+    }
+
+    #[test]
+    fn empty_builder_errors() {
+        assert!(matches!(
+            TreeBuilder::new(1.0).build(),
+            Err(ModelError::EmptyMachine)
+        ));
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        let mut b = TreeBuilder::new(1.0);
+        let root = b.cluster("c", NodeParams::cluster(0.0));
+        b.child_proc(root, "p", NodeParams::fastest());
+        b.child_cluster(root, "empty", NodeParams::cluster(0.0));
+        assert!(matches!(b.build(), Err(ModelError::EmptyCluster { .. })));
+    }
+
+    #[test]
+    fn invalid_g_rejected() {
+        let mut b = TreeBuilder::new(0.0);
+        b.proc_root("p", NodeParams::fastest());
+        assert!(matches!(b.build(), Err(ModelError::InvalidG { .. })));
+    }
+
+    #[test]
+    fn deep_unbalanced_tree_levels() {
+        // root -> (cluster -> (cluster -> proc, proc), proc)
+        let mut b = TreeBuilder::new(1.0);
+        let root = b.cluster("r", NodeParams::cluster(1.0));
+        let c1 = b.child_cluster(root, "c1", NodeParams::cluster(1.0));
+        let c2 = b.child_cluster(c1, "c2", NodeParams::cluster(1.0));
+        b.child_proc(c2, "deep", NodeParams::proc(1.0, 1.0));
+        b.child_proc(c1, "mid", NodeParams::proc(2.0, 0.5));
+        b.child_proc(root, "high", NodeParams::proc(2.0, 0.5));
+        let t = b.build().unwrap();
+        assert_eq!(t.height(), 3);
+        // Leaves sit on levels 0 ("deep"), 1 ("mid"), 2 ("high").
+        assert_eq!(t.leaf(crate::ProcId(0)).level(), 0);
+        assert_eq!(t.leaf(crate::ProcId(1)).level(), 1);
+        assert_eq!(t.leaf(crate::ProcId(2)).level(), 2);
+    }
+}

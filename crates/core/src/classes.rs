@@ -1,0 +1,95 @@
+//! The machine-class hierarchy HBSP^0 ⊂ HBSP^1 ⊂ … ⊂ HBSP^k.
+//!
+//! The paper defines HBSP^k as a *class* of machines with at most `k`
+//! levels of communication: a single processor is HBSP^0, a
+//! one-network heterogeneous cluster HBSP^1, a cluster of clusters
+//! HBSP^2, and so on, with every HBSP^{k-1} machine also an HBSP^k
+//! machine. [`MachineClass`] names a class; [`MachineClass::contains`]
+//! tests membership of a concrete [`MachineTree`].
+
+use crate::ids::Level;
+use crate::tree::MachineTree;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class HBSP^k for a given `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineClass(pub Level);
+
+impl MachineClass {
+    /// HBSP^0: single-processor systems.
+    pub const SEQUENTIAL: MachineClass = MachineClass(0);
+    /// HBSP^1: at most one communication network (traditional parallel
+    /// machines, heterogeneous workstation clusters).
+    pub const CLUSTER: MachineClass = MachineClass(1);
+    /// HBSP^2: heterogeneous collections of multiprocessors or clusters.
+    pub const CLUSTER_OF_CLUSTERS: MachineClass = MachineClass(2);
+
+    /// The number of communication levels `k`.
+    pub fn k(self) -> Level {
+        self.0
+    }
+
+    /// The *exact* class of a machine: its tree height.
+    pub fn of(tree: &MachineTree) -> MachineClass {
+        MachineClass(tree.height())
+    }
+
+    /// Class membership: a machine of height `h` belongs to HBSP^k for
+    /// every `k >= h` (the classes are nested).
+    pub fn contains(self, tree: &MachineTree) -> bool {
+        tree.height() <= self.0
+    }
+
+    /// Subclass relation: HBSP^a ⊆ HBSP^b iff `a <= b`.
+    pub fn is_subclass_of(self, other: MachineClass) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl fmt::Display for MachineClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HBSP^{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::params::NodeParams;
+
+    #[test]
+    fn single_proc_is_in_every_class() {
+        let mut b = TreeBuilder::new(1.0);
+        b.proc_root("solo", NodeParams::fastest());
+        let t = b.build().unwrap();
+        assert_eq!(MachineClass::of(&t), MachineClass::SEQUENTIAL);
+        for k in 0..5 {
+            assert!(MachineClass(k).contains(&t), "HBSP^0 ⊂ HBSP^{k}");
+        }
+    }
+
+    #[test]
+    fn cluster_is_hbsp1_not_hbsp0() {
+        let t = TreeBuilder::homogeneous(1.0, 1.0, 4).unwrap();
+        assert_eq!(MachineClass::of(&t), MachineClass::CLUSTER);
+        assert!(!MachineClass::SEQUENTIAL.contains(&t));
+        assert!(
+            MachineClass::CLUSTER_OF_CLUSTERS.contains(&t),
+            "HBSP^1 ⊂ HBSP^2"
+        );
+    }
+
+    #[test]
+    fn subclass_chain() {
+        assert!(MachineClass(0).is_subclass_of(MachineClass(3)));
+        assert!(MachineClass(3).is_subclass_of(MachineClass(3)));
+        assert!(!MachineClass(3).is_subclass_of(MachineClass(2)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MachineClass(2).to_string(), "HBSP^2");
+    }
+}

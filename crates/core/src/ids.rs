@@ -1,0 +1,149 @@
+//! Typed identifiers for machines in an HBSP^k tree.
+//!
+//! The paper addresses machines two ways and so do we:
+//!
+//! * **Arena index** ([`NodeIdx`]) — a dense index into the tree's node
+//!   arena; stable for the lifetime of the tree and cheap to copy.
+//! * **Model coordinates** ([`MachineId`]) — the paper's `M_{i,j}`: the
+//!   `j`-th machine (left-to-right) on level `i`. Level `k` is the root,
+//!   level 0 is the deepest layer.
+//!
+//! Leaves — the physical processors — additionally get a dense [`ProcId`]
+//! in left-to-right order, which is what the SPMD runtime and `hbsplib`
+//! use as the process rank (`bsp_pid`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A level of the machine hierarchy. Level `k` is the root of an HBSP^k
+/// machine, level 0 the deepest layer of individual processors.
+pub type Level = u32;
+
+/// Dense arena index of a node within a [`crate::MachineTree`].
+///
+/// Indices are assigned in insertion order and never reused; they are only
+/// meaningful for the tree that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeIdx(pub(crate) u32);
+
+impl NodeIdx {
+    /// Raw index into the node arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw arena index. Intended for serialization round
+    /// trips and test fixtures; an out-of-range index will panic on use.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeIdx(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The paper's `M_{i,j}` coordinates: machine `j` on level `i`.
+///
+/// `j` counts left-to-right across the whole level, *not* within a single
+/// cluster, matching Figure 2 of the paper (e.g. `M_{0,4}` is the fifth
+/// processor on level 0 even if it belongs to the second cluster).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineId {
+    /// Level `i` (0 = processors, `k` = root).
+    pub level: Level,
+    /// Index `j` on that level, left-to-right.
+    pub index: u32,
+}
+
+impl MachineId {
+    /// Construct `M_{level,index}`.
+    #[inline]
+    pub fn new(level: Level, index: u32) -> Self {
+        MachineId { level, index }
+    }
+}
+
+impl fmt::Debug for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M[{},{}]", self.level, self.index)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M_{{{},{}}}", self.level, self.index)
+    }
+}
+
+/// Dense rank of a *leaf* processor, in left-to-right tree order.
+///
+/// This is the SPMD process id (`bsp_pid()` in BSPlib terms): leaves are
+/// numbered `0..p` regardless of which level they sit on (an unbalanced
+/// tree may have leaves above level 0, like the lone SGI workstation in
+/// the paper's Figure 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The rank as a `usize`, for indexing.
+    #[inline]
+    pub fn rank(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u32> for ProcId {
+    fn from(v: u32) -> Self {
+        ProcId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_id_display_matches_paper_notation() {
+        assert_eq!(MachineId::new(1, 0).to_string(), "M_{1,0}");
+        assert_eq!(format!("{:?}", MachineId::new(2, 3)), "M[2,3]");
+    }
+
+    #[test]
+    fn machine_id_ordering_is_level_major() {
+        let a = MachineId::new(0, 9);
+        let b = MachineId::new(1, 0);
+        assert!(a < b, "level-0 ids sort before level-1 ids");
+        assert!(MachineId::new(1, 0) < MachineId::new(1, 1));
+    }
+
+    #[test]
+    fn node_idx_round_trips() {
+        let n = NodeIdx::from_index(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(format!("{n:?}"), "n7");
+    }
+
+    #[test]
+    fn proc_id_rank_and_from() {
+        let p: ProcId = 3u32.into();
+        assert_eq!(p.rank(), 3);
+        assert_eq!(p.to_string(), "P3");
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-machine model parameters (the paper's Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Default bandwidth indicator `g` used by convenience constructors:
+/// the time, in model time units, for the fastest machine to inject one
+/// word into the network.
+///
+/// The absolute value is arbitrary (the model reasons about ratios); the
+/// default of `1.0` makes `g·h` readable as "words at fastest-machine
+/// speed".
+pub const DEFAULT_G: f64 = 1.0;
+
+/// Parameters attached to a single machine `M_{i,j}` of an HBSP^k tree.
+///
+/// * `r` — relative *communication* slowness: time to inject a packet,
+///   relative to the fastest machine in the system. The fastest machine
+///   has `r = 1`; `r = t` means `M_{i,j}` communicates `t` times slower.
+/// * `l_sync` — `L_{i,j}`: overhead of barrier-synchronizing the machines
+///   in `M_{i,j}`'s subtree. Only meaningful for cluster (internal) nodes;
+///   leaves carry 0.
+/// * `speed` — relative *compute* speed in `(0, 1]` (1 = fastest). The
+///   paper derives machine ranks from the BYTEmark benchmark; the
+///   `bytemark` crate plays that role here. `c_{i,j}` fractions are
+///   typically derived from `speed` via [`crate::workload`].
+/// * `c` — fraction of the problem size assigned to this machine. `None`
+///   until a workload has been partitioned onto the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeParams {
+    /// Relative communication slowness `r_{i,j}` (fastest machine = 1).
+    pub r: f64,
+    /// Barrier synchronization overhead `L_{i,j}` of this node's subtree.
+    pub l_sync: f64,
+    /// Relative compute speed in `(0, 1]`, 1 = fastest.
+    pub speed: f64,
+    /// Problem fraction `c_{i,j}`, if a workload has been assigned.
+    pub c: Option<f64>,
+}
+
+impl NodeParams {
+    /// Parameters of an ideal fastest machine: `r = 1`, `speed = 1`,
+    /// no sync cost, no assigned workload.
+    pub fn fastest() -> Self {
+        NodeParams {
+            r: 1.0,
+            l_sync: 0.0,
+            speed: 1.0,
+            c: None,
+        }
+    }
+
+    /// Leaf processor with communication slowness `r` and compute speed
+    /// `speed`.
+    pub fn proc(r: f64, speed: f64) -> Self {
+        NodeParams {
+            r,
+            l_sync: 0.0,
+            speed,
+            c: None,
+        }
+    }
+
+    /// Cluster node with synchronization cost `l_sync`. `r` and `speed`
+    /// describe the cluster's coordinator (the paper sets the
+    /// coordinator's `r` to that of the fastest machine in the subtree;
+    /// [`crate::builder::TreeBuilder`] recomputes these on `build`).
+    pub fn cluster(l_sync: f64) -> Self {
+        NodeParams {
+            r: 1.0,
+            l_sync,
+            speed: 1.0,
+            c: None,
+        }
+    }
+
+    /// Builder-style: set `r`.
+    pub fn with_r(mut self, r: f64) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Builder-style: set compute speed.
+    pub fn with_speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Builder-style: set `L`.
+    pub fn with_l(mut self, l: f64) -> Self {
+        self.l_sync = l;
+        self
+    }
+
+    /// Builder-style: set problem fraction `c`.
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.c = Some(c);
+        self
+    }
+}
+
+impl Default for NodeParams {
+    fn default() -> Self {
+        NodeParams::fastest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fastest_is_normalized() {
+        let p = NodeParams::fastest();
+        assert_eq!(p.r, 1.0);
+        assert_eq!(p.speed, 1.0);
+        assert_eq!(p.l_sync, 0.0);
+        assert!(p.c.is_none());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let p = NodeParams::proc(2.0, 0.5).with_l(10.0).with_c(0.25);
+        assert_eq!(p.r, 2.0);
+        assert_eq!(p.speed, 0.5);
+        assert_eq!(p.l_sync, 10.0);
+        assert_eq!(p.c, Some(0.25));
+    }
+
+    #[test]
+    fn default_is_fastest() {
+        assert_eq!(NodeParams::default(), NodeParams::fastest());
+    }
+}

@@ -1,0 +1,210 @@
+//! The SPMD program abstraction shared by every execution engine.
+//!
+//! HBSP^k programs are *stepped* SPMD programs: every processor advances
+//! through the same sequence of supersteps; within a superstep it
+//! computes locally, sends messages, and reads the messages delivered at
+//! the end of the *previous* superstep; each superstep ends with a
+//! barrier at a chosen level of the machine (the paper's super^i-step).
+//!
+//! The two engines — `hbsp-sim`'s deterministic discrete-event simulator
+//! and `hbsp-runtime`'s threaded runtime — both execute this trait, so
+//! any program (including every collective in `hbsp-collectives`) runs
+//! unchanged on either and can be cross-checked.
+
+use crate::ids::{Level, ProcId};
+use crate::tree::MachineTree;
+use std::sync::Arc;
+
+/// A message between two processors. The payload is raw bytes; the cost
+/// model charges by 32-bit *words* ([`Message::words`]), matching the
+/// paper's experiments on buffers of integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending processor.
+    pub src: ProcId,
+    /// Destination processor.
+    pub dst: ProcId,
+    /// Program-defined tag for demultiplexing.
+    pub tag: u32,
+    /// Raw payload.
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// Construct a message.
+    pub fn new(src: ProcId, dst: ProcId, tag: u32, payload: Vec<u8>) -> Self {
+        Message {
+            src,
+            dst,
+            tag,
+            payload,
+        }
+    }
+
+    /// Number of 32-bit words charged by the cost model (at least 1 for
+    /// a non-empty payload; 0 only for empty control messages).
+    pub fn words(&self) -> u64 {
+        (self.payload.len() as u64).div_ceil(4)
+    }
+}
+
+/// Where a superstep's closing barrier synchronizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncScope {
+    /// Barrier every level-`i` cluster independently: each cluster pays
+    /// its own `L_{i,j}` and its members continue as soon as *their*
+    /// cluster is done. `Level(k)` is a global barrier. Messages sent in
+    /// a step that ends with `Level(i)` must stay within a level-`i`
+    /// cluster — the engines reject cross-cluster sends because their
+    /// delivery time would be undefined.
+    Level(Level),
+}
+
+impl SyncScope {
+    /// Global barrier of machine `tree` (level `k`).
+    pub fn global(tree: &MachineTree) -> SyncScope {
+        SyncScope::Level(tree.height())
+    }
+
+    /// The level of the barrier.
+    pub fn level(self) -> Level {
+        match self {
+            SyncScope::Level(l) => l,
+        }
+    }
+}
+
+/// What a processor wants after finishing a superstep body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Synchronize at the given scope and run another superstep.
+    Continue(SyncScope),
+    /// This processor is finished. All processors must return `Done` at
+    /// the same superstep (SPMD discipline; the engines verify this).
+    Done,
+}
+
+/// Immutable per-processor environment handed to programs.
+#[derive(Debug, Clone)]
+pub struct ProcEnv {
+    /// This processor's rank.
+    pub pid: ProcId,
+    /// Total number of processors.
+    pub nprocs: usize,
+    /// The machine being executed on.
+    pub tree: Arc<MachineTree>,
+}
+
+impl ProcEnv {
+    /// Relative compute speed of this processor (1 = fastest).
+    pub fn speed(&self) -> f64 {
+        self.tree.leaf(self.pid).params().speed
+    }
+
+    /// Relative communication slowness `r` of this processor.
+    pub fn r(&self) -> f64 {
+        self.tree.leaf(self.pid).params().r
+    }
+
+    /// True if this processor is the machine-wide fastest (the paper's
+    /// `P_f`, the root coordinator's representative).
+    pub fn is_fastest(&self) -> bool {
+        self.tree.fastest_proc() == self.pid
+    }
+}
+
+/// The mutable superstep context: message I/O and work accounting.
+///
+/// Object-safe so engines can hand out their own implementations.
+pub trait SpmdContext {
+    /// This processor's rank.
+    fn pid(&self) -> ProcId;
+
+    /// Total processors.
+    fn nprocs(&self) -> usize;
+
+    /// The machine.
+    fn tree(&self) -> &MachineTree;
+
+    /// Messages delivered at the end of the previous superstep, in
+    /// deterministic (arrival, src) order.
+    fn messages(&self) -> &[Message];
+
+    /// Queue a message for delivery at the start of the next superstep
+    /// (the BSP guarantee). Sending to self is a local move: delivered,
+    /// but free of communication cost.
+    fn send(&mut self, dst: ProcId, tag: u32, payload: Vec<u8>);
+
+    /// Charge `units` of local computation (units are at fastest-machine
+    /// speed; engines divide by this processor's speed).
+    fn charge(&mut self, units: f64);
+}
+
+/// A stepped SPMD program.
+///
+/// `State` is the per-processor local state threaded through supersteps.
+pub trait SpmdProgram: Sync {
+    /// Per-processor state.
+    type State: Send;
+
+    /// Create processor-local state before the first superstep.
+    fn init(&self, env: &ProcEnv) -> Self::State;
+
+    /// Execute superstep `step` on one processor. Read received
+    /// messages, compute, send; then request the closing barrier scope
+    /// or finish.
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut Self::State,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+
+    #[test]
+    fn message_words_round_up() {
+        let m = Message::new(ProcId(0), ProcId(1), 0, vec![0; 5]);
+        assert_eq!(m.words(), 2);
+        let empty = Message::new(ProcId(0), ProcId(1), 0, vec![]);
+        assert_eq!(empty.words(), 0);
+        let exact = Message::new(ProcId(0), ProcId(1), 0, vec![0; 8]);
+        assert_eq!(exact.words(), 2);
+    }
+
+    #[test]
+    fn global_scope_is_tree_height() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            1.0,
+            &[(1.0, vec![(1.0, 1.0)]), (1.0, vec![(2.0, 0.5)])],
+        )
+        .unwrap();
+        assert_eq!(SyncScope::global(&t), SyncScope::Level(2));
+        assert_eq!(SyncScope::Level(1).level(), 1);
+    }
+
+    #[test]
+    fn proc_env_queries() {
+        let t = Arc::new(TreeBuilder::flat(1.0, 0.0, &[(1.0, 1.0), (2.0, 0.5)]).unwrap());
+        let env = ProcEnv {
+            pid: ProcId(1),
+            nprocs: 2,
+            tree: Arc::clone(&t),
+        };
+        assert_eq!(env.speed(), 0.5);
+        assert_eq!(env.r(), 2.0);
+        assert!(!env.is_fastest());
+        let env0 = ProcEnv {
+            pid: ProcId(0),
+            nprocs: 2,
+            tree: t,
+        };
+        assert!(env0.is_fastest());
+    }
+}

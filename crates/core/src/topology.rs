@@ -1,0 +1,482 @@
+//! A small textual DSL for describing HBSP^k machines.
+//!
+//! Testbeds are easier to version and share as text than as builder
+//! code. The grammar:
+//!
+//! ```text
+//! machine  := ("g" "=" NUMBER)? node
+//! node     := "proc" IDENT attrs?
+//!           | "cluster" IDENT attrs? "{" node+ "}"
+//! attrs    := "(" pair ("," pair)* ")"
+//! pair     := ("r" | "speed" | "L" | "c") "=" NUMBER
+//! ```
+//!
+//! `#` starts a comment to end of line. Example — the paper's Figure 1
+//! machine:
+//!
+//! ```text
+//! g = 1.0
+//! cluster campus (L=500) {
+//!     cluster smp (L=50) {
+//!         proc smp0 (r=1, speed=1)
+//!         proc smp1 (r=1.5, speed=0.8)
+//!     }
+//!     proc sgi (r=1.5, speed=0.9)
+//!     cluster lan (L=100) {
+//!         proc ws0 (r=2, speed=0.5)
+//!         proc ws1 (r=3, speed=0.4)
+//!     }
+//! }
+//! ```
+//!
+//! [`parse`] builds a validated [`MachineTree`]; [`to_dsl`] renders one
+//! back to text (round-trip stable up to whitespace).
+
+use crate::builder::TreeBuilder;
+use crate::error::ModelError;
+use crate::ids::NodeIdx;
+use crate::params::{NodeParams, DEFAULT_G};
+use crate::tree::{MachineTree, NodeKind};
+use std::fmt::Write as _;
+
+/// Parse a machine description. See the module docs for the grammar.
+pub fn parse(input: &str) -> Result<MachineTree, ModelError> {
+    Parser::new(input).machine()
+}
+
+/// Render a machine back to DSL text.
+pub fn to_dsl(tree: &MachineTree) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "g = {}", fmt_num(tree.g()));
+    write_node(tree, tree.root(), 0, &mut out);
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_node(tree: &MachineTree, idx: NodeIdx, depth: usize, out: &mut String) {
+    let node = tree.node(idx);
+    let pad = "    ".repeat(depth);
+    let p = node.params();
+    match node.kind() {
+        NodeKind::Proc => {
+            let _ = write!(
+                out,
+                "{pad}proc {} (r={}, speed={}",
+                node.name(),
+                fmt_num(p.r),
+                fmt_num(p.speed)
+            );
+            if let Some(c) = p.c {
+                let _ = write!(out, ", c={}", fmt_num(c));
+            }
+            let _ = writeln!(out, ")");
+        }
+        NodeKind::Cluster => {
+            let _ = writeln!(
+                out,
+                "{pad}cluster {} (L={}) {{",
+                node.name(),
+                fmt_num(p.l_sync)
+            );
+            for &c in node.children() {
+                write_node(tree, c, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Eof,
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Position of the most recently produced token, for error messages.
+    tok_line: u32,
+    tok_col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tok_line: 1,
+            tok_col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ModelError {
+        ModelError::Parse {
+            line: self.tok_line,
+            col: self.tok_col,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.src.get(self.pos) {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Tok, ModelError> {
+        self.skip_ws();
+        self.tok_line = self.line;
+        self.tok_col = self.col;
+        let Some(&b) = self.src.get(self.pos) else {
+            return Ok(Tok::Eof);
+        };
+        match b {
+            b'{' => {
+                self.bump();
+                Ok(Tok::LBrace)
+            }
+            b'}' => {
+                self.bump();
+                Ok(Tok::RBrace)
+            }
+            b'(' => {
+                self.bump();
+                Ok(Tok::LParen)
+            }
+            b')' => {
+                self.bump();
+                Ok(Tok::RParen)
+            }
+            b',' => {
+                self.bump();
+                Ok(Tok::Comma)
+            }
+            b'=' => {
+                self.bump();
+                Ok(Tok::Eq)
+            }
+            b'0'..=b'9' | b'.' | b'-' | b'+' => {
+                let start = self.pos;
+                while matches!(
+                    self.src.get(self.pos),
+                    Some(b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+                ) {
+                    self.bump();
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                s.parse::<f64>()
+                    .map(Tok::Number)
+                    .map_err(|_| self.err(format!("invalid number `{s}`")))
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = self.pos;
+                while matches!(
+                    self.src.get(self.pos),
+                    Some(b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-')
+                ) {
+                    self.bump();
+                }
+                Ok(Tok::Ident(
+                    std::str::from_utf8(&self.src[start..self.pos])
+                        .unwrap()
+                        .to_string(),
+                ))
+            }
+            other => Err(self.err(format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn peek_tok(&mut self) -> Result<Tok, ModelError> {
+        let save = (self.pos, self.line, self.col);
+        let t = self.next_tok();
+        (self.pos, self.line, self.col) = save;
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ModelError> {
+        let got = self.next_tok()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {got:?}")))
+        }
+    }
+
+    fn machine(&mut self) -> Result<MachineTree, ModelError> {
+        // Optional leading `g = NUMBER`.
+        let mut g = DEFAULT_G;
+        if let Tok::Ident(id) = self.peek_tok()? {
+            if id == "g" {
+                self.next_tok()?;
+                self.expect(Tok::Eq, "`=` after `g`")?;
+                match self.next_tok()? {
+                    Tok::Number(v) => g = v,
+                    t => return Err(self.err(format!("expected number for g, found {t:?}"))),
+                }
+            }
+        }
+        let mut builder = TreeBuilder::new(g);
+        self.node(&mut builder, None)?;
+        match self.next_tok()? {
+            Tok::Eof => {}
+            t => return Err(self.err(format!("trailing input after machine: {t:?}"))),
+        }
+        builder.build()
+    }
+
+    fn node(
+        &mut self,
+        b: &mut TreeBuilder,
+        parent: Option<NodeIdx>,
+    ) -> Result<NodeIdx, ModelError> {
+        let kw = match self.next_tok()? {
+            Tok::Ident(k) => k,
+            t => return Err(self.err(format!("expected `proc` or `cluster`, found {t:?}"))),
+        };
+        let name = match self.next_tok()? {
+            Tok::Ident(n) => n,
+            t => return Err(self.err(format!("expected machine name, found {t:?}"))),
+        };
+        let attrs = self.attrs()?;
+        match kw.as_str() {
+            "proc" => {
+                let mut params = NodeParams::fastest();
+                for (k, v) in &attrs {
+                    match k.as_str() {
+                        "r" => params.r = *v,
+                        "speed" => params.speed = *v,
+                        "c" => params.c = Some(*v),
+                        "L" => return Err(self.err(
+                            "`L` is a cluster attribute; processors have no subtree to synchronize",
+                        )),
+                        other => return Err(self.err(format!("unknown attribute `{other}`"))),
+                    }
+                }
+                let idx = match parent {
+                    Some(p) => b.child_proc(p, name, params),
+                    None => b.proc_root(name, params),
+                };
+                Ok(idx)
+            }
+            "cluster" => {
+                let mut params = NodeParams::cluster(0.0);
+                for (k, v) in &attrs {
+                    match k.as_str() {
+                        "L" => params.l_sync = *v,
+                        "c" => params.c = Some(*v),
+                        "r" | "speed" => {
+                            return Err(self.err(format!(
+                                "`{k}` on a cluster is derived from its fastest member; set it on processors"
+                            )))
+                        }
+                        other => return Err(self.err(format!("unknown attribute `{other}`"))),
+                    }
+                }
+                let idx = match parent {
+                    Some(p) => b.child_cluster(p, name, params),
+                    None => b.cluster(name, params),
+                };
+                self.expect(Tok::LBrace, "`{` opening cluster body")?;
+                loop {
+                    match self.peek_tok()? {
+                        Tok::RBrace => {
+                            self.next_tok()?;
+                            break;
+                        }
+                        Tok::Eof => return Err(self.err("unterminated cluster body")),
+                        _ => {
+                            self.node(b, Some(idx))?;
+                        }
+                    }
+                }
+                Ok(idx)
+            }
+            other => Err(self.err(format!("expected `proc` or `cluster`, found `{other}`"))),
+        }
+    }
+
+    fn attrs(&mut self) -> Result<Vec<(String, f64)>, ModelError> {
+        let mut out = Vec::new();
+        if self.peek_tok()? != Tok::LParen {
+            return Ok(out);
+        }
+        self.next_tok()?; // consume '('
+        loop {
+            let key = match self.next_tok()? {
+                Tok::Ident(k) => k,
+                Tok::RParen if out.is_empty() => return Ok(out),
+                t => return Err(self.err(format!("expected attribute name, found {t:?}"))),
+            };
+            self.expect(Tok::Eq, "`=` in attribute")?;
+            let val = match self.next_tok()? {
+                Tok::Number(v) => v,
+                t => return Err(self.err(format!("expected number, found {t:?}"))),
+            };
+            out.push((key, val));
+            match self.next_tok()? {
+                Tok::Comma => continue,
+                Tok::RParen => return Ok(out),
+                t => return Err(self.err(format!("expected `,` or `)`, found {t:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MachineId;
+
+    const FIGURE1: &str = r#"
+# The paper's Figure 1 machine.
+g = 1.0
+cluster campus (L=500) {
+    cluster smp (L=50) {
+        proc smp0 (r=1, speed=1)
+        proc smp1 (r=1.5, speed=0.8)
+        proc smp2 (r=1.5, speed=0.8)
+        proc smp3 (r=2, speed=0.7)
+    }
+    proc sgi (r=1.5, speed=0.9)
+    cluster lan (L=100) {
+        proc ws0 (r=2, speed=0.5)
+        proc ws1 (r=3, speed=0.4)
+        proc ws2 (r=3, speed=0.4)
+        proc ws3 (r=4, speed=0.3)
+        proc ws4 (r=4, speed=0.3)
+    }
+}
+"#;
+
+    #[test]
+    fn parses_figure1() {
+        let t = parse(FIGURE1).unwrap();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.num_procs(), 10);
+        assert_eq!(t.machines_on_level(1).unwrap(), 3);
+        let sgi = t.resolve(MachineId::new(1, 1)).unwrap();
+        assert_eq!(t.node(sgi).name(), "sgi");
+        assert_eq!(t.node(sgi).params().r, 1.5);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let t = parse(FIGURE1).unwrap();
+        let text = to_dsl(&t);
+        let t2 = parse(&text).unwrap();
+        assert_eq!(t.height(), t2.height());
+        assert_eq!(t.num_procs(), t2.num_procs());
+        for (a, b) in t.nodes().zip(t2.nodes()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.machine_id(), b.machine_id());
+            assert_eq!(a.params().r, b.params().r);
+            assert_eq!(a.params().l_sync, b.params().l_sync);
+            assert_eq!(a.params().speed, b.params().speed);
+        }
+    }
+
+    #[test]
+    fn default_g_when_omitted() {
+        let t = parse("proc solo (r=1, speed=1)").unwrap();
+        assert_eq!(t.g(), DEFAULT_G);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn rejects_l_on_proc() {
+        let err = parse("proc solo (L=5)").unwrap_err();
+        assert!(matches!(err, ModelError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("cluster attribute"));
+    }
+
+    #[test]
+    fn rejects_r_on_cluster() {
+        let err = parse("cluster c (r=2) { proc p (r=1, speed=1) }").unwrap_err();
+        assert!(err.to_string().contains("fastest member"), "{err}");
+    }
+
+    #[test]
+    fn reports_position() {
+        let err = parse("cluster c (L=1) {\n  proc p (r=1, speed=1)\n").unwrap_err();
+        match err {
+            ModelError::Parse { line, .. } => assert_eq!(line, 3, "unterminated body at EOF"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse("proc p (r=1, speed=1) proc q").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let err = parse("proc p (bogus=1)").unwrap_err();
+        assert!(err.to_string().contains("unknown attribute"), "{err}");
+    }
+
+    #[test]
+    fn empty_attr_list_allowed() {
+        let t = parse("cluster c (L=0) { proc p () proc q (r=2, speed=0.5) }");
+        // p gets default fastest params.
+        let t = t.unwrap();
+        assert_eq!(t.num_procs(), 2);
+    }
+
+    #[test]
+    fn model_invariants_still_checked() {
+        // Parses fine but fails validation: no r=1 machine.
+        let err = parse("cluster c (L=0) { proc p (r=2, speed=1) }").unwrap_err();
+        assert!(matches!(err, ModelError::NoUnitR { .. }));
+    }
+
+    #[test]
+    fn comments_and_weird_whitespace() {
+        let t = parse("  # hi\n\tg=2.5 # bandwidth\n proc p(r=1,speed=1) # end\n").unwrap();
+        assert_eq!(t.g(), 2.5);
+    }
+}

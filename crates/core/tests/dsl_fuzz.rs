@@ -1,0 +1,59 @@
+//! Robustness tests for the topology DSL parser: arbitrary input must
+//! never panic — it either parses to a valid machine or returns a
+//! structured error.
+
+use hbsp_core::topology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(input in ".{0,200}") {
+        // Any outcome is fine; panicking is not.
+        let _ = topology::parse(&input);
+    }
+
+    #[test]
+    fn near_grammar_inputs_never_panic(
+        kw in prop_oneof![Just("proc"), Just("cluster"), Just("g"), Just("L"), Just("r")],
+        name in "[a-z]{0,8}",
+        num in proptest::num::f64::ANY,
+        brace in prop_oneof![Just("{"), Just("}"), Just("("), Just(")"), Just("")],
+    ) {
+        let input = format!("{kw} {name} (r={num}) {brace}");
+        let _ = topology::parse(&input);
+    }
+
+    #[test]
+    fn valid_inputs_round_trip(
+        procs in proptest::collection::vec((1.0f64..9.0, 0.1f64..=1.0), 1..6),
+        l in 0.0f64..1000.0,
+        g in 0.1f64..10.0,
+    ) {
+        let mut text = format!("g = {g}\ncluster c (L={l}) {{\n");
+        text.push_str("    proc p0 (r=1, speed=1)\n");
+        for (i, (r, speed)) in procs.iter().enumerate() {
+            text.push_str(&format!("    proc p{} (r={r}, speed={speed})\n", i + 1));
+        }
+        text.push_str("}\n");
+        let tree = topology::parse(&text).unwrap();
+        prop_assert_eq!(tree.num_procs(), procs.len() + 1);
+        prop_assert_eq!(tree.g(), g);
+        // Round trip.
+        let again = topology::parse(&topology::to_dsl(&tree)).unwrap();
+        prop_assert_eq!(tree.num_procs(), again.num_procs());
+        for (a, b) in tree.nodes().zip(again.nodes()) {
+            prop_assert_eq!(a.params().r, b.params().r);
+            prop_assert_eq!(a.params().speed, b.params().speed);
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_positions(garbage in "[#a-z ]{0,40}\\)") {
+        if let Err(hbsp_core::ModelError::Parse { line, col, .. }) = topology::parse(&garbage) {
+            prop_assert!(line >= 1);
+            prop_assert!(col >= 1);
+        }
+    }
+}

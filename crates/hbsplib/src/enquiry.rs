@@ -1,0 +1,160 @@
+//! Heterogeneity enquiry: the HBSPlib functions that "return the rank of
+//! a processor as well as guide the programmer toward balanced
+//! workloads".
+
+use hbsp_core::{Level, MachineTree, NodeIdx, ProcId};
+
+/// Enquiry extensions on [`MachineTree`], mirroring HBSPlib's enquiry
+/// API (plus the hierarchical queries an HBSP^k program needs).
+pub trait TreeEnquiry {
+    /// Relative compute speed of `pid` (1 = fastest).
+    fn speed_of(&self, pid: ProcId) -> f64;
+
+    /// Relative communication slowness `r` of `pid`.
+    fn r_of(&self, pid: ProcId) -> f64;
+
+    /// Processors sorted fastest-first (speed descending, rank ascending
+    /// on ties) — the "rank of a processor" enquiry.
+    fn speed_ranking(&self) -> Vec<ProcId>;
+
+    /// The coordinator (representative) processor of the cluster that
+    /// contains `pid` at `level`: the fastest leaf of that subtree. At
+    /// `level = k` this is the paper's `P_f` for every pid.
+    fn coordinator_of(&self, pid: ProcId, level: Level) -> ProcId;
+
+    /// All processors in `pid`'s level-`level` cluster, in rank order
+    /// (including `pid`).
+    fn cluster_members(&self, pid: ProcId, level: Level) -> Vec<ProcId>;
+
+    /// Index `j` of `pid`'s cluster among the level-`level` machines
+    /// (its `M_{level,j}` coordinate), if the cluster exists.
+    fn cluster_index(&self, pid: ProcId, level: Level) -> Option<u32>;
+
+    /// The coordinators of all level-`level` machines, in `M_{level,j}`
+    /// order — the participant set of a super^`level+1`-step.
+    fn level_coordinators(&self, level: Level) -> Vec<ProcId>;
+}
+
+impl TreeEnquiry for MachineTree {
+    fn speed_of(&self, pid: ProcId) -> f64 {
+        self.leaf(pid).params().speed
+    }
+
+    fn r_of(&self, pid: ProcId) -> f64 {
+        self.leaf(pid).params().r
+    }
+
+    fn speed_ranking(&self) -> Vec<ProcId> {
+        let mut pids: Vec<ProcId> = (0..self.num_procs()).map(|i| ProcId(i as u32)).collect();
+        pids.sort_by(|&a, &b| {
+            self.speed_of(b)
+                .partial_cmp(&self.speed_of(a))
+                .expect("speeds are finite")
+                .then(a.cmp(&b))
+        });
+        pids
+    }
+
+    fn coordinator_of(&self, pid: ProcId, level: Level) -> ProcId {
+        let cluster = self
+            .cluster_of(pid, level)
+            .unwrap_or_else(|| self.leaves()[pid.rank()]);
+        self.node(self.node(cluster).representative())
+            .proc_id()
+            .expect("representative is a leaf")
+    }
+
+    fn cluster_members(&self, pid: ProcId, level: Level) -> Vec<ProcId> {
+        let cluster: NodeIdx = match self.cluster_of(pid, level) {
+            Some(c) => c,
+            None => return vec![pid],
+        };
+        self.subtree_leaves(cluster)
+            .into_iter()
+            .map(|l| self.node(l).proc_id().expect("leaf"))
+            .collect()
+    }
+
+    fn cluster_index(&self, pid: ProcId, level: Level) -> Option<u32> {
+        self.cluster_of(pid, level)
+            .map(|c| self.node(c).machine_id().index)
+    }
+
+    fn level_coordinators(&self, level: Level) -> Vec<ProcId> {
+        self.level_nodes(level)
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .map(|&n| {
+                        self.node(self.node(n).representative())
+                            .proc_id()
+                            .expect("representative is a leaf")
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    fn hbsp2() -> MachineTree {
+        TreeBuilder::two_level(
+            1.0,
+            100.0,
+            &[
+                (10.0, vec![(2.0, 0.5), (1.0, 1.0)]),  // P0, P1 (P1 fastest)
+                (20.0, vec![(3.0, 0.4), (2.5, 0.45)]), // P2, P3
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn speed_ranking_is_fastest_first() {
+        let t = hbsp2();
+        let ranking = t.speed_ranking();
+        assert_eq!(ranking, vec![ProcId(1), ProcId(0), ProcId(3), ProcId(2)]);
+    }
+
+    #[test]
+    fn coordinators_are_fastest_in_cluster() {
+        let t = hbsp2();
+        assert_eq!(t.coordinator_of(ProcId(0), 1), ProcId(1));
+        assert_eq!(t.coordinator_of(ProcId(2), 1), ProcId(3));
+        // Global coordinator is P_f for everyone.
+        for i in 0..4 {
+            assert_eq!(t.coordinator_of(ProcId(i), 2), ProcId(1));
+        }
+    }
+
+    #[test]
+    fn cluster_membership() {
+        let t = hbsp2();
+        assert_eq!(t.cluster_members(ProcId(0), 1), vec![ProcId(0), ProcId(1)]);
+        assert_eq!(t.cluster_members(ProcId(3), 1), vec![ProcId(2), ProcId(3)]);
+        assert_eq!(t.cluster_members(ProcId(0), 2).len(), 4);
+        assert_eq!(t.cluster_index(ProcId(2), 1), Some(1));
+        assert_eq!(t.cluster_index(ProcId(0), 1), Some(0));
+    }
+
+    #[test]
+    fn level_coordinators_in_mij_order() {
+        let t = hbsp2();
+        assert_eq!(t.level_coordinators(1), vec![ProcId(1), ProcId(3)]);
+        assert_eq!(t.level_coordinators(2), vec![ProcId(1)]);
+        // Level 0: every level-0 processor is its own coordinator.
+        assert_eq!(t.level_coordinators(0).len(), 4);
+    }
+
+    #[test]
+    fn enquiry_on_flat_machine() {
+        let t = TreeBuilder::flat(1.0, 5.0, &[(1.0, 1.0), (4.0, 0.25)]).unwrap();
+        assert_eq!(t.speed_of(ProcId(1)), 0.25);
+        assert_eq!(t.r_of(ProcId(1)), 4.0);
+        assert_eq!(t.coordinator_of(ProcId(1), 1), ProcId(0));
+    }
+}

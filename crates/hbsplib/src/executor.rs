@@ -1,0 +1,170 @@
+//! Engine selection: run the same program on the simulator or on
+//! threads.
+
+use hbsp_core::{MachineTree, SpmdProgram};
+use hbsp_runtime::ThreadedRuntime;
+use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Outcome of an execution on either engine.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Virtual (model) time outcome — identical across engines.
+    pub sim: SimOutcome,
+    /// Wall-clock duration, present for threaded runs.
+    pub wall: Option<Duration>,
+}
+
+impl ExecOutcome {
+    /// Model execution time `T` of the program.
+    pub fn total_time(&self) -> f64 {
+        self.sim.total_time
+    }
+}
+
+/// A configured execution engine for one machine.
+pub enum Executor {
+    /// Deterministic discrete-event simulation (`hbsp-sim`).
+    Simulator(Simulator),
+    /// One OS thread per processor (`hbsp-runtime`).
+    Threads(ThreadedRuntime),
+}
+
+impl Executor {
+    /// Simulator with default (PVM-like) microcosts.
+    pub fn simulator(tree: Arc<MachineTree>) -> Self {
+        Executor::Simulator(Simulator::new(tree))
+    }
+
+    /// Simulator with explicit microcosts.
+    pub fn simulator_with(tree: Arc<MachineTree>, cfg: NetConfig) -> Self {
+        Executor::Simulator(Simulator::with_config(tree, cfg))
+    }
+
+    /// Threaded runtime with default microcosts (for its virtual
+    /// clock).
+    pub fn threads(tree: Arc<MachineTree>) -> Self {
+        Executor::Threads(ThreadedRuntime::new(tree))
+    }
+
+    /// Threaded runtime with explicit microcosts.
+    pub fn threads_with(tree: Arc<MachineTree>, cfg: NetConfig) -> Self {
+        Executor::Threads(ThreadedRuntime::with_config(tree, cfg))
+    }
+
+    /// The machine this executor runs on.
+    pub fn tree(&self) -> &Arc<MachineTree> {
+        match self {
+            Executor::Simulator(s) => s.tree(),
+            Executor::Threads(t) => t.tree(),
+        }
+    }
+
+    /// Run `prog` to completion; returns the outcome and every
+    /// processor's final state.
+    pub fn run<P: SpmdProgram>(&self, prog: &P) -> Result<(ExecOutcome, Vec<P::State>), SimError> {
+        match self {
+            Executor::Simulator(s) => {
+                let (out, states) = s.run_with_states(prog)?;
+                Ok((
+                    ExecOutcome {
+                        sim: out,
+                        wall: None,
+                    },
+                    states,
+                ))
+            }
+            Executor::Threads(t) => {
+                let (out, states) = t.run_with_states(prog)?;
+                Ok((
+                    ExecOutcome {
+                        sim: out.virtual_outcome,
+                        wall: Some(out.wall),
+                    },
+                    states,
+                ))
+            }
+        }
+    }
+}
+
+/// Price `prog` with the pure HBSP^k cost model (no microcosts): runs
+/// the program's supersteps through [`hbsp_sim::ModelEvaluator`] and
+/// returns the `Σ (w + g·h + L)` report. The analytic counterpart of
+/// [`Executor::run`].
+pub fn predict_program<P: SpmdProgram>(
+    tree: Arc<MachineTree>,
+    prog: &P,
+) -> Result<hbsp_core::CostReport, SimError> {
+    hbsp_sim::ModelEvaluator::new(tree).run(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::{ProcEnv, ProcId, SpmdContext, StepOutcome, SyncScope, TreeBuilder};
+
+    struct PingPong;
+    impl SpmdProgram for PingPong {
+        type State = u32;
+        fn init(&self, _env: &ProcEnv) -> u32 {
+            0
+        }
+        fn step(
+            &self,
+            step: usize,
+            env: &ProcEnv,
+            state: &mut u32,
+            ctx: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            *state += ctx.messages().len() as u32;
+            if step >= 2 {
+                return StepOutcome::Done;
+            }
+            let peer = ProcId(1 - env.pid.0);
+            ctx.send(peer, 0, vec![0; 16]);
+            StepOutcome::Continue(SyncScope::global(&env.tree))
+        }
+    }
+
+    fn tree() -> Arc<MachineTree> {
+        Arc::new(TreeBuilder::flat(1.0, 10.0, &[(1.0, 1.0), (2.0, 0.5)]).unwrap())
+    }
+
+    #[test]
+    fn engines_agree_through_executor() {
+        let prog = PingPong;
+        let (sim_out, sim_states) = Executor::simulator(tree()).run(&prog).unwrap();
+        let (thr_out, thr_states) = Executor::threads(tree()).run(&prog).unwrap();
+        assert_eq!(sim_states, thr_states);
+        assert_eq!(sim_out.total_time(), thr_out.total_time());
+        assert!(sim_out.wall.is_none());
+        assert!(thr_out.wall.is_some());
+    }
+
+    #[test]
+    fn predict_program_prices_the_same_program() {
+        let report = predict_program(tree(), &PingPong).unwrap();
+        assert_eq!(report.num_steps(), 3);
+        assert!(report.total() > 0.0);
+        // The model prediction is a lower bound on the simulated time
+        // (the simulator adds pack/wire/unpack and per-message
+        // overheads the model abstracts).
+        let (sim_out, _) = Executor::simulator(tree()).run(&PingPong).unwrap();
+        assert!(report.total() <= sim_out.total_time());
+    }
+
+    #[test]
+    fn custom_config_flows_through() {
+        let cfg = NetConfig::ideal();
+        let (a, _) = Executor::simulator_with(tree(), cfg.clone())
+            .run(&PingPong)
+            .unwrap();
+        let (b, _) = Executor::threads_with(tree(), cfg).run(&PingPong).unwrap();
+        assert_eq!(a.total_time(), b.total_time());
+        // Ideal network is cheaper than the PVM-like default.
+        let (c, _) = Executor::simulator(tree()).run(&PingPong).unwrap();
+        assert!(a.total_time() < c.total_time());
+    }
+}

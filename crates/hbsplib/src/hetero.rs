@@ -1,0 +1,44 @@
+//! Balanced-workload helpers: the library functions that "guide the
+//! programmer toward balanced workloads" (the paper's `c_j` feature).
+
+use hbsp_core::{MachineTree, ModelError, Partition, ProcId};
+
+/// A balanced partition of `n` items over the machine's processors:
+/// shares proportional to compute speed (the paper's
+/// `c_j` from benchmark indices). See
+/// [`hbsp_core::Partition::balanced_for`].
+pub fn balanced_partition(tree: &MachineTree, n: u64) -> Result<Partition, ModelError> {
+    Partition::balanced_for(tree, n)
+}
+
+/// The homogeneous split (`c_j = 1/p`) — the paper's *unbalanced*
+/// workload on a heterogeneous machine.
+pub fn equal_partition(tree: &MachineTree, n: u64) -> Result<Partition, ModelError> {
+    Partition::equal(n, tree.num_procs())
+}
+
+/// This processor's share of a balanced `n`-item workload.
+pub fn my_share(tree: &MachineTree, pid: ProcId, n: u64) -> Result<u64, ModelError> {
+    Ok(balanced_partition(tree, n)?.share(pid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    #[test]
+    fn balanced_respects_speeds() {
+        let t = TreeBuilder::flat(1.0, 0.0, &[(1.0, 1.0), (2.0, 0.5), (4.0, 0.25)]).unwrap();
+        let p = balanced_partition(&t, 700).unwrap();
+        assert_eq!(p.shares(), &[400, 200, 100]);
+        assert_eq!(my_share(&t, ProcId(2), 700).unwrap(), 100);
+    }
+
+    #[test]
+    fn equal_ignores_speeds() {
+        let t = TreeBuilder::flat(1.0, 0.0, &[(1.0, 1.0), (4.0, 0.25)]).unwrap();
+        let p = equal_partition(&t, 10).unwrap();
+        assert_eq!(p.shares(), &[5, 5]);
+    }
+}

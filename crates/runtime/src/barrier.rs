@@ -1,0 +1,128 @@
+//! A reusable sense-reversing central barrier with a leader hook.
+//!
+//! The last thread to arrive runs a closure (the "leader section")
+//! before anyone is released — the standard way to fold a small amount
+//! of sequential coordination (here: superstep bookkeeping) into a
+//! barrier without extra synchronization rounds.
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner {
+    arrived: usize,
+    generation: u64,
+}
+
+/// A barrier for a fixed set of `n` threads, reusable across
+/// generations.
+pub struct CentralBarrier {
+    n: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl CentralBarrier {
+    /// Barrier for `n` threads.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one thread");
+        CentralBarrier {
+            n,
+            inner: Mutex::new(Inner {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+
+    /// Wait for all `n` threads. The last to arrive runs `leader` (while
+    /// the others remain blocked), then everyone is released. Returns
+    /// `Some(result)` to the leader, `None` to the rest.
+    pub fn wait_leader<R>(&self, leader: impl FnOnce() -> R) -> Option<R> {
+        let mut guard = self.inner.lock();
+        guard.arrived += 1;
+        if guard.arrived == self.n {
+            // Leader: run the section, flip the generation, release.
+            let result = leader();
+            guard.arrived = 0;
+            guard.generation = guard.generation.wrapping_add(1);
+            self.cv.notify_all();
+            Some(result)
+        } else {
+            let gen = guard.generation;
+            while guard.generation == gen {
+                self.cv.wait(&mut guard);
+            }
+            None
+        }
+    }
+
+    /// Plain barrier wait with no leader work.
+    pub fn wait(&self) {
+        self.wait_leader(|| ());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_is_always_leader() {
+        let b = CentralBarrier::new(1);
+        assert_eq!(b.wait_leader(|| 42), Some(42));
+        assert_eq!(b.wait_leader(|| 7), Some(7));
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        const N: usize = 8;
+        const ROUNDS: usize = 50;
+        let b = CentralBarrier::new(N);
+        let leader_runs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        b.wait_leader(|| {
+                            leader_runs.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(leader_runs.load(Ordering::SeqCst), ROUNDS);
+    }
+
+    #[test]
+    fn leader_section_is_exclusive() {
+        // No thread may pass the barrier while the leader section runs:
+        // the leader writes a value; every thread must observe it after
+        // the wait.
+        const N: usize = 6;
+        const ROUNDS: usize = 40;
+        let b = CentralBarrier::new(N);
+        let value = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    for round in 1..=ROUNDS {
+                        b.wait_leader(|| value.store(round, Ordering::SeqCst));
+                        assert_eq!(value.load(Ordering::SeqCst), round);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_parties_rejected() {
+        CentralBarrier::new(0);
+    }
+}

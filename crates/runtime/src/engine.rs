@@ -1,0 +1,533 @@
+//! The threaded execution engine.
+
+use crate::barrier::CentralBarrier;
+use crate::mailbox::Mailbox;
+use hbsp_core::{MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome};
+use hbsp_sim::step::{analyze, resolve_outcomes};
+use hbsp_sim::timing::{barrier_release, superstep_timing};
+use hbsp_sim::{NetConfig, SimError, SimOutcome, StepStats};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Result of a threaded run: the same virtual-time outcome the
+/// simulator would produce, plus real wall-clock duration.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Virtual-time outcome (identical to `Simulator::run` for the same
+    /// program, machine, and config).
+    pub virtual_outcome: SimOutcome,
+    /// Real elapsed time of the threaded execution.
+    pub wall: Duration,
+}
+
+/// One OS thread per leaf processor, superstep-synchronized.
+pub struct ThreadedRuntime {
+    tree: Arc<MachineTree>,
+    cfg: NetConfig,
+    step_limit: usize,
+}
+
+/// Everything the coordination leader updates once per superstep.
+struct Coordination {
+    /// Per-processor contributions for the current step.
+    work: Vec<f64>,
+    sends: Vec<Vec<Message>>,
+    outcomes: Vec<Option<StepOutcome>>,
+    /// Virtual release times feeding the next step.
+    starts: Vec<f64>,
+    /// Per-processor finish times of the latest step.
+    finish: Vec<f64>,
+    /// Accumulated per-step statistics.
+    steps: Vec<StepStats>,
+    delivered: u64,
+    /// Per-thread contained panics, recorded with the step they
+    /// happened in. Only the *leader* (inside the barrier, when every
+    /// thread of the generation has arrived) translates these into the
+    /// shared `error` — publishing the error directly from the
+    /// panicking thread would let a racing peer observe it during the
+    /// *previous* step's check and exit before reaching the next
+    /// barrier, stranding everyone else there.
+    panicked: Vec<Option<usize>>,
+    /// Set when the SPMD discipline is violated; threads bail out.
+    error: Option<SimError>,
+    /// Set when every processor returned `Done`.
+    finished: bool,
+}
+
+impl ThreadedRuntime {
+    /// Runtime with PVM-like default microcosts.
+    pub fn new(tree: Arc<MachineTree>) -> Self {
+        ThreadedRuntime {
+            tree,
+            cfg: NetConfig::pvm_like(),
+            step_limit: 100_000,
+        }
+    }
+
+    /// Runtime with explicit microcosts.
+    pub fn with_config(tree: Arc<MachineTree>, cfg: NetConfig) -> Self {
+        ThreadedRuntime {
+            tree,
+            cfg,
+            step_limit: 100_000,
+        }
+    }
+
+    /// Override the runaway-program guard (default 100 000 supersteps).
+    pub fn step_limit(mut self, limit: usize) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// The machine being executed.
+    pub fn tree(&self) -> &Arc<MachineTree> {
+        &self.tree
+    }
+
+    /// Run `prog` on real threads; returns the outcome and every
+    /// processor's final state.
+    pub fn run_with_states<P: SpmdProgram>(
+        &self,
+        prog: &P,
+    ) -> Result<(RunOutcome, Vec<P::State>), SimError> {
+        self.cfg.validate()?;
+        let p = self.tree.num_procs();
+        let barrier = CentralBarrier::new(p);
+        let mailboxes: Vec<Mailbox> = (0..p).map(|_| Mailbox::new()).collect();
+        let coord = Mutex::new(Coordination {
+            work: vec![0.0; p],
+            sends: (0..p).map(|_| Vec::new()).collect(),
+            outcomes: vec![None; p],
+            panicked: vec![None; p],
+            starts: vec![0.0; p],
+            finish: vec![0.0; p],
+            steps: Vec::new(),
+            delivered: 0,
+            error: None,
+            finished: false,
+        });
+
+        let began = Instant::now();
+        let states: Vec<Result<P::State, SimError>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for i in 0..p {
+                let env = ProcEnv {
+                    pid: ProcId(i as u32),
+                    nprocs: p,
+                    tree: Arc::clone(&self.tree),
+                };
+                let barrier = &barrier;
+                let coord = &coord;
+                let mailboxes = &mailboxes;
+                let tree = &self.tree;
+                let cfg = &self.cfg;
+                let step_limit = self.step_limit;
+                handles.push(scope.spawn(move || {
+                    let mut state = prog.init(&env);
+                    for step in 0..step_limit {
+                        // Superstep body, in parallel with all peers. A
+                        // panicking body must not strand the other
+                        // threads at the barrier: contain it, report a
+                        // typed error, and let everyone unwind together.
+                        let mut ctx = ThreadCtx {
+                            env: &env,
+                            inbox: mailboxes[i].take(),
+                            outbox: Vec::new(),
+                            work: 0.0,
+                        };
+                        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            prog.step(step, &env, &mut state, &mut ctx)
+                        }));
+                        let outcome = match body {
+                            Ok(o) => o,
+                            Err(_) => {
+                                // Record the contained panic; the leader
+                                // publishes it as the run's error inside
+                                // the barrier (see `Coordination::panicked`).
+                                coord.lock().panicked[i] = Some(step);
+                                // Participate with a harmless outcome so
+                                // the barrier still completes.
+                                StepOutcome::Done
+                            }
+                        };
+                        {
+                            let mut c = coord.lock();
+                            c.work[i] = ctx.work;
+                            c.sends[i] = ctx.outbox;
+                            c.outcomes[i] = Some(outcome);
+                        }
+                        // Rendezvous; the last thread does the step's
+                        // sequential coordination.
+                        barrier.wait_leader(|| {
+                            let mut c = coord.lock();
+                            leader_step(tree, cfg, mailboxes, step, &mut c);
+                        });
+                        let (err, finished) = {
+                            let c = coord.lock();
+                            (c.error.clone(), c.finished)
+                        };
+                        if let Some(e) = err {
+                            return Err(e);
+                        }
+                        if finished {
+                            return Ok(state);
+                        }
+                    }
+                    Err(SimError::StepLimit { limit: step_limit })
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("processor thread panicked"))
+                .collect()
+        });
+        let wall = began.elapsed();
+
+        let mut out_states = Vec::with_capacity(p);
+        for s in states {
+            out_states.push(s?);
+        }
+        let c = coord.into_inner();
+        let total_time = c.finish.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Ok((
+            RunOutcome {
+                virtual_outcome: SimOutcome {
+                    total_time,
+                    proc_finish: c.finish,
+                    steps: c.steps,
+                    messages_delivered: c.delivered,
+                    // Tracing is a simulator feature; the threaded
+                    // runtime reports aggregate stats only.
+                    timelines: None,
+                },
+                wall,
+            },
+            out_states,
+        ))
+    }
+
+    /// Run `prog`, discarding final states.
+    pub fn run<P: SpmdProgram>(&self, prog: &P) -> Result<RunOutcome, SimError> {
+        self.run_with_states(prog).map(|(o, _)| o)
+    }
+}
+
+/// The per-superstep sequential coordination, identical in effect to one
+/// iteration of the simulator's main loop.
+fn leader_step(
+    tree: &MachineTree,
+    cfg: &NetConfig,
+    mailboxes: &[Mailbox],
+    step: usize,
+    c: &mut Coordination,
+) {
+    // Translate contained panics into the shared error now that every
+    // thread of this generation has arrived (lowest rank wins for
+    // determinism).
+    if c.error.is_none() {
+        if let Some((i, &Some(step))) = c.panicked.iter().enumerate().find(|(_, s)| s.is_some()) {
+            c.error = Some(SimError::ProgramPanicked {
+                pid: ProcId(i as u32),
+                step,
+            });
+        }
+    }
+    if c.error.is_some() {
+        // A processor failed; preserve the error and skip the step's
+        // bookkeeping.
+        for o in c.outcomes.iter_mut() {
+            o.take();
+        }
+        return;
+    }
+    let p = tree.num_procs();
+    // Flatten sends in pid order — the exact posting order the
+    // simulator sees when it runs processors sequentially.
+    let sends: Vec<Message> = c.sends.iter_mut().flat_map(std::mem::take).collect();
+    let outcomes: Vec<StepOutcome> = c
+        .outcomes
+        .iter_mut()
+        .map(|o| o.take().expect("all contributions in"))
+        .collect();
+
+    let scope = match resolve_outcomes(step, &outcomes) {
+        Ok(s) => s,
+        Err(e) => {
+            c.error = Some(e);
+            return;
+        }
+    };
+    let analysis = match analyze(tree, step, scope, &sends) {
+        Ok(a) => a,
+        Err(e) => {
+            c.error = Some(e);
+            return;
+        }
+    };
+    let timing = superstep_timing(tree, cfg, &c.starts, &c.work, &analysis.intents);
+    let finish_max = timing
+        .finish
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let start_min = c.starts.iter().cloned().fold(f64::INFINITY, f64::min);
+    let work_units: f64 = c.work.iter().sum();
+    c.work = vec![0.0; p];
+
+    match scope {
+        None => {
+            c.steps.push(StepStats {
+                step,
+                scope: hbsp_core::SyncScope::global(tree),
+                start_min,
+                finish_max,
+                release_max: finish_max,
+                traffic: analysis.traffic,
+                hrelation: analysis.hrelation,
+                work_units,
+            });
+            c.finish = timing.finish;
+            c.finished = true;
+        }
+        Some(s) => {
+            let releases = barrier_release(tree, s, &timing.finish);
+            let release_max = releases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            c.steps.push(StepStats {
+                step,
+                scope: s,
+                start_min,
+                finish_max,
+                release_max,
+                traffic: analysis.traffic,
+                hrelation: analysis.hrelation,
+                work_units,
+            });
+            // Deliver in (arrival, posting index) order.
+            let mut with_arrival: Vec<(f64, usize)> = timing
+                .messages
+                .iter()
+                .enumerate()
+                .map(|(mi, t)| (t.arrival, mi))
+                .collect();
+            with_arrival.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            for (_, mi) in with_arrival {
+                let m = sends[mi].clone();
+                mailboxes[m.dst.rank()].deposit(m);
+                c.delivered += 1;
+            }
+            c.finish = timing.finish.clone();
+            c.starts = releases;
+        }
+    }
+}
+
+/// The runtime's per-processor superstep context.
+struct ThreadCtx<'a> {
+    env: &'a ProcEnv,
+    inbox: Vec<Message>,
+    outbox: Vec<Message>,
+    work: f64,
+}
+
+impl SpmdContext for ThreadCtx<'_> {
+    fn pid(&self) -> ProcId {
+        self.env.pid
+    }
+    fn nprocs(&self) -> usize {
+        self.env.nprocs
+    }
+    fn tree(&self) -> &MachineTree {
+        &self.env.tree
+    }
+    fn messages(&self) -> &[Message] {
+        &self.inbox
+    }
+    fn send(&mut self, dst: ProcId, tag: u32, payload: Vec<u8>) {
+        self.outbox
+            .push(Message::new(self.env.pid, dst, tag, payload));
+    }
+    fn charge(&mut self, units: f64) {
+        assert!(
+            units >= 0.0 && units.is_finite(),
+            "charged work must be finite and non-negative"
+        );
+        self.work += units;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::{SyncScope, TreeBuilder};
+    use hbsp_sim::Simulator;
+
+    /// Total-exchange program: every processor sends its pid (as bytes)
+    /// to everyone else each round.
+    struct Exchange {
+        rounds: usize,
+    }
+
+    impl SpmdProgram for Exchange {
+        type State = Vec<(u32, u32)>; // (step received, src)
+        fn init(&self, _env: &ProcEnv) -> Self::State {
+            Vec::new()
+        }
+        fn step(
+            &self,
+            step: usize,
+            env: &ProcEnv,
+            state: &mut Self::State,
+            ctx: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            for m in ctx.messages() {
+                state.push((step as u32, m.src.0));
+            }
+            if step == self.rounds {
+                return StepOutcome::Done;
+            }
+            ctx.charge(10.0);
+            for q in 0..env.nprocs {
+                if q != env.pid.rank() {
+                    ctx.send(ProcId(q as u32), 7, env.pid.0.to_le_bytes().to_vec());
+                }
+            }
+            StepOutcome::Continue(SyncScope::global(&env.tree))
+        }
+    }
+
+    fn machine() -> Arc<MachineTree> {
+        Arc::new(
+            TreeBuilder::flat(
+                1.0,
+                25.0,
+                &[(1.0, 1.0), (1.5, 0.7), (2.0, 0.5), (3.0, 0.35)],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn threaded_delivery_matches_bsp_guarantee() {
+        let rt = ThreadedRuntime::new(machine());
+        let (out, states) = rt.run_with_states(&Exchange { rounds: 2 }).unwrap();
+        assert_eq!(out.virtual_outcome.num_steps(), 3);
+        for (i, st) in states.iter().enumerate() {
+            // Each proc gets 3 peers' messages per round, tagged with
+            // the receiving step (1 and 2).
+            assert_eq!(st.len(), 6, "proc {i}");
+            assert!(st.iter().filter(|(s, _)| *s == 1).count() == 3);
+            assert!(st.iter().all(|(_, src)| *src != i as u32));
+        }
+    }
+
+    #[test]
+    fn virtual_time_matches_simulator_exactly() {
+        let tree = machine();
+        let prog = Exchange { rounds: 4 };
+        let sim = Simulator::new(Arc::clone(&tree)).run(&prog).unwrap();
+        let thr = ThreadedRuntime::new(tree)
+            .run(&prog)
+            .unwrap()
+            .virtual_outcome;
+        assert_eq!(sim.total_time, thr.total_time);
+        assert_eq!(sim.proc_finish, thr.proc_finish);
+        assert_eq!(sim.messages_delivered, thr.messages_delivered);
+        for (a, b) in sim.steps.iter().zip(&thr.steps) {
+            assert_eq!(a.hrelation, b.hrelation);
+            assert_eq!(a.release_max, b.release_max);
+            assert_eq!(a.work_units, b.work_units);
+            assert_eq!(a.traffic, b.traffic);
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_leader() {
+        struct Mixed;
+        impl SpmdProgram for Mixed {
+            type State = ();
+            fn init(&self, _e: &ProcEnv) {}
+            fn step(
+                &self,
+                _s: usize,
+                env: &ProcEnv,
+                _st: &mut (),
+                _c: &mut dyn SpmdContext,
+            ) -> StepOutcome {
+                if env.pid.0.is_multiple_of(2) {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Continue(SyncScope::global(&env.tree))
+                }
+            }
+        }
+        let rt = ThreadedRuntime::new(machine());
+        assert_eq!(
+            rt.run(&Mixed).unwrap_err(),
+            SimError::TerminationMismatch { step: 0 }
+        );
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        struct Forever;
+        impl SpmdProgram for Forever {
+            type State = ();
+            fn init(&self, _e: &ProcEnv) {}
+            fn step(
+                &self,
+                _s: usize,
+                env: &ProcEnv,
+                _st: &mut (),
+                _c: &mut dyn SpmdContext,
+            ) -> StepOutcome {
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+        }
+        let rt = ThreadedRuntime::new(machine()).step_limit(5);
+        assert_eq!(
+            rt.run(&Forever).unwrap_err(),
+            SimError::StepLimit { limit: 5 }
+        );
+    }
+
+    #[test]
+    fn panicking_program_yields_typed_error_not_deadlock() {
+        struct Bomb;
+        impl SpmdProgram for Bomb {
+            type State = ();
+            fn init(&self, _e: &ProcEnv) {}
+            fn step(
+                &self,
+                step: usize,
+                env: &ProcEnv,
+                _st: &mut (),
+                _c: &mut dyn SpmdContext,
+            ) -> StepOutcome {
+                if step == 1 && env.pid.0 == 2 {
+                    panic!("boom");
+                }
+                if step == 3 {
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+        }
+        let rt = ThreadedRuntime::new(machine());
+        let err = rt.run(&Bomb).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ProgramPanicked {
+                pid: ProcId(2),
+                step: 1
+            }
+        );
+    }
+
+    #[test]
+    fn wall_clock_is_measured() {
+        let rt = ThreadedRuntime::new(machine());
+        let out = rt.run(&Exchange { rounds: 1 }).unwrap();
+        assert!(out.wall > Duration::ZERO);
+    }
+}

@@ -1,0 +1,27 @@
+//! # hbsp-runtime — a threaded SPMD superstep runtime
+//!
+//! Executes the same [`hbsp_core::SpmdProgram`]s as `hbsp-sim`, but on
+//! real OS threads: one thread per leaf processor, double-buffered
+//! mailboxes providing the BSP delivery guarantee (messages sent in
+//! superstep `s` are readable in `s + 1`), and a central sense-reversing
+//! barrier whose last arriver performs the per-superstep coordination
+//! (SPMD-discipline checks, message routing, virtual-time accounting).
+//!
+//! The runtime keeps a *virtual clock* using exactly the same timing
+//! algebra as the simulator ([`hbsp_sim::timing`]), so for any program
+//!
+//! ```text
+//! ThreadedRuntime::run(p).virtual_outcome  ==  Simulator::run(p)
+//! ```
+//!
+//! bit for bit — the cross-engine agreement tests in `/tests` rely on
+//! this. On top of that it reports real wall-clock duration, which is
+//! what the `criterion` benches measure.
+
+pub mod barrier;
+pub mod engine;
+pub mod mailbox;
+
+pub use barrier::CentralBarrier;
+pub use engine::{RunOutcome, ThreadedRuntime};
+pub use mailbox::Mailbox;

@@ -1,0 +1,73 @@
+//! Double-buffered per-processor mailboxes.
+//!
+//! The coordination leader deposits each superstep's messages into the
+//! receivers' mailboxes (already in deterministic arrival order); each
+//! processor thread takes its whole inbox at the start of its next
+//! superstep body. Because deposits happen only inside the barrier's
+//! leader section and takes happen only after release, there is never
+//! send/receive contention within a superstep — this is the BSP
+//! delivery guarantee made concrete.
+
+use hbsp_core::Message;
+use parking_lot::Mutex;
+
+/// One processor's incoming-message buffer.
+#[derive(Default)]
+pub struct Mailbox {
+    inbox: Mutex<Vec<Message>>,
+}
+
+impl Mailbox {
+    /// Empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Deposit a message (leader section only).
+    pub fn deposit(&self, m: Message) {
+        self.inbox.lock().push(m);
+    }
+
+    /// Take the entire inbox, leaving it empty.
+    pub fn take(&self) -> Vec<Message> {
+        std::mem::take(&mut *self.inbox.lock())
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inbox.lock().len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.inbox.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::ProcId;
+
+    #[test]
+    fn deposit_then_take_preserves_order() {
+        let mb = Mailbox::new();
+        for i in 0..5 {
+            mb.deposit(Message::new(ProcId(i), ProcId(0), i, vec![i as u8]));
+        }
+        assert_eq!(mb.len(), 5);
+        let msgs = mb.take();
+        assert_eq!(msgs.len(), 5);
+        assert!(msgs
+            .iter()
+            .enumerate()
+            .all(|(i, m)| m.src == ProcId(i as u32)));
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn take_on_empty_is_empty() {
+        let mb = Mailbox::new();
+        assert!(mb.take().is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Stress tests for the threaded runtime's synchronization machinery.
+
+use hbsp_core::{ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope, TreeBuilder};
+use hbsp_runtime::{CentralBarrier, Mailbox, ThreadedRuntime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn barrier_survives_many_generations_with_many_threads() {
+    const N: usize = 12;
+    const ROUNDS: usize = 500;
+    let barrier = CentralBarrier::new(N);
+    let leader_runs = AtomicU64::new(0);
+    let counter = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..N {
+            s.spawn(|| {
+                for round in 0..ROUNDS {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait_leader(|| {
+                        // The leader observes every thread's increment
+                        // for this generation.
+                        let seen = counter.load(Ordering::SeqCst);
+                        assert_eq!(seen as usize, (round + 1) * N);
+                        leader_runs.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(leader_runs.load(Ordering::SeqCst), ROUNDS as u64);
+}
+
+#[test]
+fn mailbox_is_safe_under_concurrent_deposits() {
+    // Deposits happen only in the leader section in production, but the
+    // mailbox itself must tolerate concurrency.
+    let mb = Arc::new(Mailbox::new());
+    std::thread::scope(|s| {
+        for t in 0..8u32 {
+            let mb = Arc::clone(&mb);
+            s.spawn(move || {
+                for i in 0..100u32 {
+                    mb.deposit(hbsp_core::Message::new(
+                        ProcId(t),
+                        ProcId(0),
+                        i,
+                        vec![t as u8],
+                    ));
+                }
+            });
+        }
+    });
+    assert_eq!(mb.len(), 800);
+    let msgs = mb.take();
+    assert_eq!(msgs.len(), 800);
+    for t in 0..8u32 {
+        assert_eq!(msgs.iter().filter(|m| m.src == ProcId(t)).count(), 100);
+    }
+}
+
+/// A program with many small supersteps, to shake out any ordering bug
+/// between body execution, contribution deposit, and leader work.
+struct Chatter {
+    rounds: usize,
+}
+impl SpmdProgram for Chatter {
+    type State = u64;
+    fn init(&self, _env: &ProcEnv) -> u64 {
+        0
+    }
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        digest: &mut u64,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        for m in ctx.messages() {
+            *digest = digest
+                .wrapping_mul(31)
+                .wrapping_add(m.src.0 as u64 + m.payload.len() as u64);
+        }
+        if step == self.rounds {
+            return StepOutcome::Done;
+        }
+        let p = env.nprocs;
+        // Talk to two pseudo-random peers each round.
+        for k in 1..=2usize {
+            let dst = (env.pid.rank() + step * k + k) % p;
+            if dst != env.pid.rank() {
+                ctx.send(ProcId(dst as u32), 0, vec![0u8; (step % 7 + 1) * 4]);
+            }
+        }
+        ctx.charge((step % 5) as f64);
+        StepOutcome::Continue(SyncScope::global(&env.tree))
+    }
+}
+
+/// Regression: a thread that panics can race ahead of peers still in
+/// the previous step's bookkeeping; publishing the error from the
+/// panicking thread (instead of from the barrier leader) once let a
+/// racing peer exit early and strand everyone else at the barrier.
+/// Hammer the scenario; any hang fails via the harness timeout.
+#[test]
+fn contained_panics_never_strand_the_barrier() {
+    struct Bomb;
+    impl SpmdProgram for Bomb {
+        type State = ();
+        fn init(&self, _e: &ProcEnv) {}
+        fn step(
+            &self,
+            step: usize,
+            env: &ProcEnv,
+            _st: &mut (),
+            _c: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            if step == 1 && env.pid.0 == 2 {
+                panic!("boom");
+            }
+            if step == 3 {
+                return StepOutcome::Done;
+            }
+            StepOutcome::Continue(SyncScope::global(&env.tree))
+        }
+    }
+    // Silence the default hook's per-iteration backtrace spam.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let tree = Arc::new(
+        TreeBuilder::flat(
+            1.0,
+            25.0,
+            &[(1.0, 1.0), (1.5, 0.7), (2.0, 0.5), (3.0, 0.35)],
+        )
+        .unwrap(),
+    );
+    for _ in 0..300 {
+        let err = ThreadedRuntime::new(Arc::clone(&tree))
+            .run(&Bomb)
+            .unwrap_err();
+        assert!(matches!(err, hbsp_sim::SimError::ProgramPanicked { pid, step: 1 } if pid.0 == 2));
+    }
+    std::panic::set_hook(prev);
+}
+
+#[test]
+fn hundreds_of_supersteps_stay_deterministic_across_engines() {
+    let tree = Arc::new(
+        TreeBuilder::flat(
+            1.0,
+            20.0,
+            &[
+                (1.0, 1.0),
+                (1.3, 0.8),
+                (1.9, 0.55),
+                (2.4, 0.4),
+                (3.1, 0.3),
+                (4.0, 0.22),
+            ],
+        )
+        .unwrap(),
+    );
+    let prog = Chatter { rounds: 300 };
+    let (thr1, states1) = ThreadedRuntime::new(Arc::clone(&tree))
+        .run_with_states(&prog)
+        .unwrap();
+    let (thr2, states2) = ThreadedRuntime::new(Arc::clone(&tree))
+        .run_with_states(&prog)
+        .unwrap();
+    assert_eq!(states1, states2, "threaded runs are reproducible");
+    assert_eq!(
+        thr1.virtual_outcome.total_time,
+        thr2.virtual_outcome.total_time
+    );
+    let (sim, sim_states) = hbsp_sim::Simulator::new(Arc::clone(&tree))
+        .run_with_states(&prog)
+        .unwrap();
+    assert_eq!(sim_states, states1, "and agree with the simulator");
+    assert_eq!(sim.total_time, thr1.virtual_outcome.total_time);
+    assert_eq!(sim.num_steps(), 301);
+}

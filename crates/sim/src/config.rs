@@ -1,0 +1,189 @@
+//! Microcost configuration of the simulated network.
+
+use hbsp_core::Level;
+
+/// Tunable microcosts of the simulated PVM-style message-passing layer.
+///
+/// All per-word costs are multiplied by the machine's `g` (time per word
+/// at fastest-machine speed) and the endpoint's `r` (relative
+/// communication slowness), so the *model-level* parameters stay in
+/// charge; this config only shapes the constant factors a real
+/// messaging stack adds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Sender-side cost per word (pack + inject), in units of `r·g`.
+    pub send_word_cost: f64,
+    /// Receiver-side cost per word (unpack), in units of `r·g`. Smaller
+    /// than [`NetConfig::send_word_cost`] by default: receiving is one
+    /// pass over the data, sending is pack *and* inject.
+    pub recv_word_cost: f64,
+    /// Fixed per-message overhead charged to the sender (connection
+    /// setup, headers), in absolute model time.
+    pub msg_overhead: f64,
+    /// Shared-medium transmission cost per word, in units of `g`
+    /// (machine-independent: the wire is the wire). Each cluster's
+    /// network is one shared segment — think the testbed's 100 Mbit/s
+    /// Ethernet — so all messages whose endpoints meet at that cluster
+    /// serialize through it in sender-completion order. `0` disables
+    /// the medium (infinite-fabric model).
+    pub medium_word_cost: f64,
+    /// Link latency added to a message whose sender/receiver LCA sits on
+    /// level `l` (`latency[l]`, absolute model time). Missing levels
+    /// default to the last entry (or 0 if empty). Level 0 is unused —
+    /// two distinct processors always meet at level ≥ 1.
+    pub level_latency: Vec<f64>,
+    /// Per-word bandwidth penalty for crossing a level-`l` link
+    /// (`bandwidth_factor[l]`, multiplies the per-word costs; defaults
+    /// to 1). This implements the paper's future-work extension of
+    /// `r_{i,j}` toward destination-dependent communication cost, and
+    /// drives the hierarchy ablation (slow wide-area links).
+    pub level_bandwidth_factor: Vec<f64>,
+}
+
+impl NetConfig {
+    /// The defaults used by all paper-reproduction experiments.
+    pub fn pvm_like() -> Self {
+        NetConfig {
+            send_word_cost: 1.0,
+            recv_word_cost: 0.85,
+            msg_overhead: 50.0,
+            medium_word_cost: 1.0,
+            level_latency: Vec::new(),
+            level_bandwidth_factor: Vec::new(),
+        }
+    }
+
+    /// A frictionless network: no per-message overhead, no latency,
+    /// symmetric unit word costs. Useful for tests that want times to
+    /// match the analytic cost model exactly.
+    pub fn ideal() -> Self {
+        NetConfig {
+            send_word_cost: 1.0,
+            recv_word_cost: 1.0,
+            msg_overhead: 0.0,
+            medium_word_cost: 0.0,
+            level_latency: Vec::new(),
+            level_bandwidth_factor: Vec::new(),
+        }
+    }
+
+    /// Latency of a link whose LCA is on `level`.
+    pub fn latency(&self, level: Level) -> f64 {
+        match self.level_latency.get(level as usize) {
+            Some(&l) => l,
+            None => self.level_latency.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Bandwidth penalty factor for a link whose LCA is on `level`.
+    pub fn bandwidth_factor(&self, level: Level) -> f64 {
+        match self.level_bandwidth_factor.get(level as usize) {
+            Some(&f) => f,
+            None => self.level_bandwidth_factor.last().copied().unwrap_or(1.0),
+        }
+    }
+
+    /// Builder-style: set per-level latencies (index = level).
+    pub fn with_latency(mut self, latency: Vec<f64>) -> Self {
+        self.level_latency = latency;
+        self
+    }
+
+    /// Builder-style: set per-level bandwidth factors (index = level).
+    pub fn with_bandwidth_factors(mut self, factors: Vec<f64>) -> Self {
+        self.level_bandwidth_factor = factors;
+        self
+    }
+
+    /// Builder-style: set the fixed per-message overhead.
+    pub fn with_msg_overhead(mut self, overhead: f64) -> Self {
+        self.msg_overhead = overhead;
+        self
+    }
+
+    /// Builder-style: set the shared-medium per-word cost.
+    pub fn with_medium(mut self, medium_word_cost: f64) -> Self {
+        self.medium_word_cost = medium_word_cost;
+        self
+    }
+
+    /// Sanity-check all costs are finite and non-negative, with positive
+    /// bandwidth factors.
+    pub fn validate(&self) -> Result<(), crate::SimError> {
+        let ok = self.send_word_cost >= 0.0
+            && self.recv_word_cost >= 0.0
+            && self.msg_overhead >= 0.0
+            && self.medium_word_cost >= 0.0
+            && self.medium_word_cost.is_finite()
+            && self.send_word_cost.is_finite()
+            && self.recv_word_cost.is_finite()
+            && self.msg_overhead.is_finite()
+            && self
+                .level_latency
+                .iter()
+                .all(|l| *l >= 0.0 && l.is_finite())
+            && self
+                .level_bandwidth_factor
+                .iter()
+                .all(|f| *f > 0.0 && f.is_finite());
+        if ok {
+            Ok(())
+        } else {
+            Err(crate::SimError::InvalidConfig)
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::pvm_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_pvm_like() {
+        let c = NetConfig::default();
+        assert!(
+            c.recv_word_cost < c.send_word_cost,
+            "receive is cheaper than send"
+        );
+        assert!(c.msg_overhead > 0.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn latency_lookup_clamps() {
+        let c = NetConfig::ideal().with_latency(vec![0.0, 10.0, 500.0]);
+        assert_eq!(c.latency(1), 10.0);
+        assert_eq!(c.latency(2), 500.0);
+        assert_eq!(
+            c.latency(7),
+            500.0,
+            "levels beyond the table use the last entry"
+        );
+        let empty = NetConfig::ideal();
+        assert_eq!(empty.latency(3), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_lookup_clamps() {
+        let c = NetConfig::ideal().with_bandwidth_factors(vec![1.0, 1.0, 8.0]);
+        assert_eq!(c.bandwidth_factor(2), 8.0);
+        assert_eq!(c.bandwidth_factor(5), 8.0);
+        assert_eq!(NetConfig::ideal().bandwidth_factor(2), 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let mut c = NetConfig::ideal();
+        c.send_word_cost = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = NetConfig::ideal();
+        c.level_bandwidth_factor = vec![0.0];
+        assert!(c.validate().is_err());
+    }
+}

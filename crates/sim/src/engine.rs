@@ -1,0 +1,563 @@
+//! The simulation engine: executes an [`SpmdProgram`] superstep by
+//! superstep, computing model time with the [`crate::timing`] algebra.
+
+use crate::config::NetConfig;
+use crate::error::SimError;
+use crate::stats::StepStats;
+use crate::step::{analyze, resolve_outcomes};
+use crate::timing::{barrier_release, superstep_timing};
+use crate::trace::{step_spans, ProcTimeline};
+use hbsp_core::{
+    MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope,
+};
+use std::sync::Arc;
+
+/// Result of a simulated program run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Model time at which the last processor finished (the paper's
+    /// execution time `T`).
+    pub total_time: f64,
+    /// Per-processor finish times.
+    pub proc_finish: Vec<f64>,
+    /// Per-superstep statistics.
+    pub steps: Vec<StepStats>,
+    /// Total messages delivered across the run.
+    pub messages_delivered: u64,
+    /// Per-processor activity timelines, when tracing was enabled.
+    pub timelines: Option<Vec<ProcTimeline>>,
+}
+
+impl SimOutcome {
+    /// Number of supersteps executed.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total words that crossed links at `level` over the whole run.
+    pub fn words_at_level(&self, level: hbsp_core::Level) -> u64 {
+        self.steps.iter().map(|s| s.words_at(level)).sum()
+    }
+}
+
+/// Deterministic discrete-event simulator for one machine.
+///
+/// ```
+/// use hbsp_core::{ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope, TreeBuilder};
+/// use hbsp_sim::Simulator;
+/// use std::sync::Arc;
+///
+/// /// Rank 1 pings rank 0 once.
+/// struct Ping;
+/// impl SpmdProgram for Ping {
+///     type State = usize;
+///     fn init(&self, _e: &ProcEnv) -> usize { 0 }
+///     fn step(&self, step: usize, env: &ProcEnv, got: &mut usize,
+///             ctx: &mut dyn SpmdContext) -> StepOutcome {
+///         if step == 0 {
+///             if env.pid == ProcId(1) { ctx.send(ProcId(0), 0, vec![1, 2, 3, 4]); }
+///             StepOutcome::Continue(SyncScope::global(&env.tree))
+///         } else {
+///             *got = ctx.messages().len();
+///             StepOutcome::Done
+///         }
+///     }
+/// }
+///
+/// let tree = Arc::new(TreeBuilder::flat(1.0, 10.0, &[(1.0, 1.0), (2.0, 0.5)]).unwrap());
+/// let (outcome, states) = Simulator::new(tree).run_with_states(&Ping).unwrap();
+/// assert_eq!(states, vec![1, 0]);
+/// assert!(outcome.total_time > 0.0);
+/// ```
+pub struct Simulator {
+    tree: Arc<MachineTree>,
+    cfg: NetConfig,
+    step_limit: usize,
+    trace: bool,
+}
+
+impl Simulator {
+    /// Simulator with the PVM-like default microcosts.
+    pub fn new(tree: Arc<MachineTree>) -> Self {
+        Simulator {
+            tree,
+            cfg: NetConfig::pvm_like(),
+            step_limit: 100_000,
+            trace: false,
+        }
+    }
+
+    /// Simulator with explicit microcosts.
+    pub fn with_config(tree: Arc<MachineTree>, cfg: NetConfig) -> Self {
+        Simulator {
+            tree,
+            cfg,
+            step_limit: 100_000,
+            trace: false,
+        }
+    }
+
+    /// Override the runaway-program guard (default 100 000 supersteps).
+    pub fn step_limit(mut self, limit: usize) -> Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Record per-processor activity timelines (see [`crate::trace`]).
+    pub fn trace(mut self, enable: bool) -> Self {
+        self.trace = enable;
+        self
+    }
+
+    /// The machine being simulated.
+    pub fn tree(&self) -> &Arc<MachineTree> {
+        &self.tree
+    }
+
+    /// The network configuration in effect.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Execute `prog` to completion and also return each processor's
+    /// final state (for result extraction).
+    pub fn run_with_states<P: SpmdProgram>(
+        &self,
+        prog: &P,
+    ) -> Result<(SimOutcome, Vec<P::State>), SimError> {
+        self.cfg.validate()?;
+        let p = self.tree.num_procs();
+        let envs: Vec<ProcEnv> = (0..p)
+            .map(|i| ProcEnv {
+                pid: ProcId(i as u32),
+                nprocs: p,
+                tree: Arc::clone(&self.tree),
+            })
+            .collect();
+        let mut states: Vec<P::State> = envs.iter().map(|e| prog.init(e)).collect();
+        let mut starts = vec![0.0f64; p];
+        let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); p];
+        let mut steps: Vec<StepStats> = Vec::new();
+        let mut delivered = 0u64;
+        let mut timelines: Option<Vec<ProcTimeline>> = self.trace.then(|| {
+            (0..p)
+                .map(|i| ProcTimeline {
+                    pid: ProcId(i as u32),
+                    spans: Vec::new(),
+                })
+                .collect()
+        });
+
+        for step in 0..self.step_limit {
+            // Run every processor's superstep body.
+            let mut sends: Vec<Message> = Vec::new();
+            let mut work = vec![0.0f64; p];
+            let mut outcomes: Vec<StepOutcome> = Vec::with_capacity(p);
+            for i in 0..p {
+                let mut ctx = SimCtx {
+                    env: &envs[i],
+                    inbox: std::mem::take(&mut inboxes[i]),
+                    outbox: Vec::new(),
+                    work: 0.0,
+                };
+                let outcome = prog.step(step, &envs[i], &mut states[i], &mut ctx);
+                work[i] = ctx.work;
+                sends.extend(ctx.outbox);
+                outcomes.push(outcome);
+            }
+
+            // SPMD discipline + message validation (shared with the
+            // threaded runtime).
+            let scope = resolve_outcomes(step, &outcomes)?;
+            let analysis = analyze(&self.tree, step, scope, &sends)?;
+
+            // Timing.
+            let timing = superstep_timing(&self.tree, &self.cfg, &starts, &work, &analysis.intents);
+            let finish_max = timing
+                .finish
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            let start_min = starts.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hrelation = analysis.hrelation;
+
+            match scope {
+                None => {
+                    // Program over. Messages posted in the final step have
+                    // no next superstep to land in; count them as traffic
+                    // but they are never readable.
+                    steps.push(StepStats {
+                        step,
+                        scope: SyncScope::global(&self.tree),
+                        start_min,
+                        finish_max,
+                        release_max: finish_max,
+                        traffic: analysis.traffic,
+                        hrelation,
+                        work_units: work.iter().sum(),
+                    });
+                    if let Some(tls) = &mut timelines {
+                        step_spans(tls, &starts, &timing, &timing.finish);
+                    }
+                    return Ok((
+                        SimOutcome {
+                            total_time: finish_max,
+                            proc_finish: timing.finish,
+                            steps,
+                            messages_delivered: delivered,
+                            timelines,
+                        },
+                        states,
+                    ));
+                }
+                Some(s) => {
+                    let releases = barrier_release(&self.tree, s, &timing.finish);
+                    if let Some(tls) = &mut timelines {
+                        step_spans(tls, &starts, &timing, &releases);
+                    }
+                    let release_max = releases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    steps.push(StepStats {
+                        step,
+                        scope: s,
+                        start_min,
+                        finish_max,
+                        release_max,
+                        traffic: analysis.traffic,
+                        hrelation,
+                        work_units: work.iter().sum(),
+                    });
+                    // Deliver messages for the next superstep, ordered by
+                    // (arrival, posting index) per receiver.
+                    let mut with_arrival: Vec<(f64, usize)> = timing
+                        .messages
+                        .iter()
+                        .enumerate()
+                        .map(|(mi, t)| (t.arrival, mi))
+                        .collect();
+                    with_arrival.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                    for (_, mi) in with_arrival {
+                        let m = &sends[mi];
+                        inboxes[m.dst.rank()].push(m.clone());
+                        delivered += 1;
+                    }
+                    starts = releases;
+                }
+            }
+        }
+        Err(SimError::StepLimit {
+            limit: self.step_limit,
+        })
+    }
+
+    /// Execute `prog` to completion, discarding final states.
+    pub fn run<P: SpmdProgram>(&self, prog: &P) -> Result<SimOutcome, SimError> {
+        self.run_with_states(prog).map(|(o, _)| o)
+    }
+}
+
+/// The simulator's per-processor superstep context.
+struct SimCtx<'a> {
+    env: &'a ProcEnv,
+    inbox: Vec<Message>,
+    outbox: Vec<Message>,
+    work: f64,
+}
+
+impl SpmdContext for SimCtx<'_> {
+    fn pid(&self) -> ProcId {
+        self.env.pid
+    }
+    fn nprocs(&self) -> usize {
+        self.env.nprocs
+    }
+    fn tree(&self) -> &MachineTree {
+        &self.env.tree
+    }
+    fn messages(&self) -> &[Message] {
+        &self.inbox
+    }
+    fn send(&mut self, dst: ProcId, tag: u32, payload: Vec<u8>) {
+        self.outbox
+            .push(Message::new(self.env.pid, dst, tag, payload));
+    }
+    fn charge(&mut self, units: f64) {
+        assert!(
+            units >= 0.0 && units.is_finite(),
+            "charged work must be finite and non-negative"
+        );
+        self.work += units;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    /// Every processor sends its pid to the next rank for `rounds`
+    /// supersteps, then checks what it received.
+    struct RingShift {
+        rounds: usize,
+    }
+
+    impl SpmdProgram for RingShift {
+        type State = Vec<u32>;
+        fn init(&self, _env: &ProcEnv) -> Vec<u32> {
+            Vec::new()
+        }
+        fn step(
+            &self,
+            step: usize,
+            env: &ProcEnv,
+            state: &mut Vec<u32>,
+            ctx: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            for m in ctx.messages() {
+                state.push(m.src.0);
+            }
+            if step == self.rounds {
+                return StepOutcome::Done;
+            }
+            let next = ProcId(((env.pid.0 as usize + 1) % env.nprocs) as u32);
+            ctx.send(next, 0, vec![1, 2, 3, 4]);
+            StepOutcome::Continue(SyncScope::global(&env.tree))
+        }
+    }
+
+    fn flat4() -> Arc<MachineTree> {
+        Arc::new(
+            TreeBuilder::flat(1.0, 10.0, &[(1.0, 1.0), (2.0, 0.5), (2.0, 0.5), (3.0, 0.3)])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn delivery_guarantee_messages_arrive_next_step() {
+        let sim = Simulator::new(flat4());
+        let (out, states) = sim.run_with_states(&RingShift { rounds: 3 }).unwrap();
+        assert_eq!(out.num_steps(), 4, "3 sending steps + 1 final drain step");
+        for (i, st) in states.iter().enumerate() {
+            let prev = ((i + 4 - 1) % 4) as u32;
+            assert_eq!(
+                st,
+                &vec![prev; 3],
+                "proc {i} got 3 messages from its left neighbour"
+            );
+        }
+        assert_eq!(out.messages_delivered, 12);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let sim = Simulator::new(flat4());
+        let a = sim.run(&RingShift { rounds: 5 }).unwrap();
+        let b = sim.run(&RingShift { rounds: 5 }).unwrap();
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.proc_finish, b.proc_finish);
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(x.hrelation, y.hrelation);
+            assert_eq!(x.release_max, y.release_max);
+        }
+    }
+
+    #[test]
+    fn time_advances_with_rounds() {
+        let sim = Simulator::new(flat4());
+        let t1 = sim.run(&RingShift { rounds: 1 }).unwrap().total_time;
+        let t5 = sim.run(&RingShift { rounds: 5 }).unwrap().total_time;
+        assert!(
+            t5 > t1 * 3.0,
+            "5 rounds should cost ~5x one round: {t1} vs {t5}"
+        );
+    }
+
+    /// Deliberately divergent program: proc 0 finishes early.
+    struct Divergent;
+    impl SpmdProgram for Divergent {
+        type State = ();
+        fn init(&self, _env: &ProcEnv) {}
+        fn step(
+            &self,
+            _step: usize,
+            env: &ProcEnv,
+            _state: &mut (),
+            _ctx: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            if env.pid.0 == 0 {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+        }
+    }
+
+    #[test]
+    fn termination_mismatch_detected() {
+        let sim = Simulator::new(flat4());
+        assert_eq!(
+            sim.run(&Divergent).unwrap_err(),
+            SimError::TerminationMismatch { step: 0 }
+        );
+    }
+
+    /// Program whose processors disagree on sync scope.
+    struct ScopeFight;
+    impl SpmdProgram for ScopeFight {
+        type State = ();
+        fn init(&self, _env: &ProcEnv) {}
+        fn step(
+            &self,
+            step: usize,
+            env: &ProcEnv,
+            _state: &mut (),
+            _ctx: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            if step == 1 {
+                return StepOutcome::Done;
+            }
+            StepOutcome::Continue(SyncScope::Level(if env.pid.0 == 0 { 1 } else { 0 }))
+        }
+    }
+
+    #[test]
+    fn scope_mismatch_detected() {
+        let sim = Simulator::new(flat4());
+        assert!(matches!(
+            sim.run(&ScopeFight),
+            Err(SimError::ScopeMismatch { step: 0, .. })
+        ));
+    }
+
+    /// Cross-cluster message under a cluster-local barrier.
+    struct BadCrossSend;
+    impl SpmdProgram for BadCrossSend {
+        type State = ();
+        fn init(&self, _env: &ProcEnv) {}
+        fn step(
+            &self,
+            step: usize,
+            env: &ProcEnv,
+            _state: &mut (),
+            ctx: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            if step == 1 {
+                return StepOutcome::Done;
+            }
+            if env.pid.0 == 0 {
+                // P0 is in cluster 0; the last proc is in cluster 1.
+                ctx.send(ProcId(env.nprocs as u32 - 1), 0, vec![0; 4]);
+            }
+            StepOutcome::Continue(SyncScope::Level(1))
+        }
+    }
+
+    #[test]
+    fn cross_cluster_send_under_local_sync_rejected() {
+        let tree = Arc::new(
+            TreeBuilder::two_level(
+                1.0,
+                50.0,
+                &[(5.0, vec![(1.0, 1.0), (2.0, 0.5)]), (5.0, vec![(2.0, 0.5)])],
+            )
+            .unwrap(),
+        );
+        let sim = Simulator::new(tree);
+        assert!(matches!(
+            sim.run(&BadCrossSend),
+            Err(SimError::CrossClusterSend { step: 0, .. })
+        ));
+    }
+
+    /// Never-terminating program hits the step limit.
+    struct Forever;
+    impl SpmdProgram for Forever {
+        type State = ();
+        fn init(&self, _env: &ProcEnv) {}
+        fn step(
+            &self,
+            _step: usize,
+            env: &ProcEnv,
+            _state: &mut (),
+            _ctx: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            StepOutcome::Continue(SyncScope::global(&env.tree))
+        }
+    }
+
+    #[test]
+    fn step_limit_guards_runaway_programs() {
+        let sim = Simulator::new(flat4()).step_limit(10);
+        assert_eq!(
+            sim.run(&Forever).unwrap_err(),
+            SimError::StepLimit { limit: 10 }
+        );
+    }
+
+    #[test]
+    fn stats_capture_traffic_by_level() {
+        let sim = Simulator::new(flat4());
+        let out = sim.run(&RingShift { rounds: 1 }).unwrap();
+        // One round: 4 messages of 1 word each, all at level 1.
+        assert_eq!(out.steps[0].words_at(1), 4);
+        assert_eq!(out.steps[0].traffic[1].messages, 4);
+        assert!(out.steps[0].hrelation > 0.0);
+    }
+
+    #[test]
+    fn tracing_records_consistent_timelines() {
+        let sim = Simulator::new(flat4()).trace(true);
+        let out = sim.run(&RingShift { rounds: 3 }).unwrap();
+        let tls = out.timelines.as_ref().expect("tracing enabled");
+        assert_eq!(tls.len(), 4);
+        for tl in tls {
+            // Spans are time-ordered, non-overlapping, and end by the
+            // run's total time.
+            for w in tl.spans.windows(2) {
+                assert!(w[0].end <= w[1].start + 1e-9, "{:?}", tl);
+            }
+            let last = tl.spans.last().unwrap();
+            assert!(last.end <= out.total_time + 1e-9);
+            // Everyone spends some time waiting at barriers except
+            // possibly the straggler.
+            assert!(
+                tl.time_in(crate::trace::SpanKind::Send) > 0.0,
+                "everyone sends"
+            );
+        }
+        // Untraced runs carry no timelines.
+        let plain = Simulator::new(flat4())
+            .run(&RingShift { rounds: 3 })
+            .unwrap();
+        assert!(plain.timelines.is_none());
+        // The Gantt chart renders one row per processor.
+        let chart = crate::trace::ascii_gantt(tls, 40);
+        assert_eq!(chart.lines().count(), 5);
+    }
+
+    #[test]
+    fn bad_destination_rejected() {
+        struct BadDst;
+        impl SpmdProgram for BadDst {
+            type State = ();
+            fn init(&self, _env: &ProcEnv) {}
+            fn step(
+                &self,
+                _s: usize,
+                env: &ProcEnv,
+                _st: &mut (),
+                ctx: &mut dyn SpmdContext,
+            ) -> StepOutcome {
+                ctx.send(ProcId(99), 0, vec![]);
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+        }
+        let sim = Simulator::new(flat4());
+        assert_eq!(
+            sim.run(&BadDst).unwrap_err(),
+            SimError::NoSuchProc {
+                step: 0,
+                dst: ProcId(99)
+            }
+        );
+    }
+}

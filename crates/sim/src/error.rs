@@ -1,0 +1,99 @@
+//! Simulation errors.
+
+use hbsp_core::{ProcId, SyncScope};
+use std::fmt;
+
+/// Errors raised while executing a program on the simulator (or the
+/// threaded runtime, which shares the same SPMD discipline).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Processors disagreed on the superstep's closing barrier scope.
+    /// SPMD programs must request the same scope everywhere.
+    ScopeMismatch {
+        step: usize,
+        a: SyncScope,
+        b: SyncScope,
+    },
+    /// Some processors returned `Done` while others continued — SPMD
+    /// programs must terminate together.
+    TerminationMismatch { step: usize },
+    /// A message crossed a cluster boundary in a superstep that ends
+    /// with a cluster-local barrier; its delivery time would be
+    /// undefined. Use a higher-level sync for cross-cluster traffic.
+    CrossClusterSend {
+        step: usize,
+        src: ProcId,
+        dst: ProcId,
+        scope: SyncScope,
+    },
+    /// A destination rank outside `0..nprocs`.
+    NoSuchProc { step: usize, dst: ProcId },
+    /// The program exceeded the engine's superstep budget (runaway
+    /// loop guard).
+    StepLimit { limit: usize },
+    /// A processor's superstep body panicked (threaded runtime only —
+    /// the simulator lets panics propagate to the caller directly).
+    ProgramPanicked { pid: ProcId, step: usize },
+    /// Microcost configuration failed validation.
+    InvalidConfig,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ScopeMismatch { step, a, b } => {
+                write!(
+                    f,
+                    "superstep {step}: processors disagree on sync scope ({a:?} vs {b:?})"
+                )
+            }
+            SimError::TerminationMismatch { step } => {
+                write!(
+                    f,
+                    "superstep {step}: some processors finished while others continued"
+                )
+            }
+            SimError::CrossClusterSend {
+                step,
+                src,
+                dst,
+                scope,
+            } => write!(
+                f,
+                "superstep {step}: {src} -> {dst} crosses a cluster boundary under {scope:?}"
+            ),
+            SimError::NoSuchProc { step, dst } => {
+                write!(f, "superstep {step}: no such processor {dst}")
+            }
+            SimError::StepLimit { limit } => {
+                write!(f, "program exceeded the {limit}-superstep budget")
+            }
+            SimError::ProgramPanicked { pid, step } => {
+                write!(f, "processor {pid} panicked during superstep {step}")
+            }
+            SimError::InvalidConfig => write!(f, "invalid network configuration"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_step() {
+        let e = SimError::CrossClusterSend {
+            step: 3,
+            src: ProcId(1),
+            dst: ProcId(5),
+            scope: SyncScope::Level(1),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("superstep 3") && s.contains("P1") && s.contains("P5"),
+            "{s}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-superstep and per-level statistics collected during simulation.
+
+use hbsp_core::{Level, SyncScope};
+
+/// Words and messages that crossed links at one level of the hierarchy
+/// (level = LCA level of sender and receiver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelTraffic {
+    /// Total payload words.
+    pub words: u64,
+    /// Message count.
+    pub messages: u64,
+}
+
+/// Everything measured about one executed superstep.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    /// Superstep index.
+    pub step: usize,
+    /// The closing barrier scope.
+    pub scope: SyncScope,
+    /// Earliest processor start.
+    pub start_min: f64,
+    /// Latest processor finish (before the barrier overhead).
+    pub finish_max: f64,
+    /// Latest barrier release (start of the next superstep).
+    pub release_max: f64,
+    /// Traffic by LCA level (`traffic[l]` = words/messages whose
+    /// endpoints meet at level `l`). Index 0 counts self-sends.
+    pub traffic: Vec<LevelTraffic>,
+    /// The heterogeneous h-relation the step actually performed —
+    /// comparable against the cost model's prediction.
+    pub hrelation: f64,
+    /// Total charged computation (work units, fastest-machine scale).
+    pub work_units: f64,
+}
+
+impl StepStats {
+    /// Observed wall duration of the superstep (release − start).
+    pub fn duration(&self) -> f64 {
+        self.release_max - self.start_min
+    }
+
+    /// Total words over all levels.
+    pub fn total_words(&self) -> u64 {
+        self.traffic.iter().map(|t| t.words).sum()
+    }
+
+    /// Words that crossed level `l` links.
+    pub fn words_at(&self, level: Level) -> u64 {
+        self.traffic
+            .get(level as usize)
+            .map(|t| t.words)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_and_totals() {
+        let s = StepStats {
+            step: 0,
+            scope: SyncScope::Level(1),
+            start_min: 10.0,
+            finish_max: 90.0,
+            release_max: 100.0,
+            traffic: vec![
+                LevelTraffic {
+                    words: 5,
+                    messages: 1,
+                },
+                LevelTraffic {
+                    words: 20,
+                    messages: 2,
+                },
+            ],
+            hrelation: 20.0,
+            work_units: 0.0,
+        };
+        assert_eq!(s.duration(), 90.0);
+        assert_eq!(s.total_words(), 25);
+        assert_eq!(s.words_at(1), 20);
+        assert_eq!(s.words_at(9), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Superstep analysis shared by the simulator and the threaded runtime:
+//! SPMD-discipline checks, scope confinement, send intents, and traffic
+//! accounting.
+
+use crate::error::SimError;
+use crate::stats::LevelTraffic;
+use crate::timing::SendIntent;
+use hbsp_core::{HRelation, MachineTree, Message, StepOutcome, SyncScope};
+
+/// The validated, cost-relevant view of one superstep's communication.
+#[derive(Debug, Clone)]
+pub struct StepAnalysis {
+    /// Per-message send intents in posting order.
+    pub intents: Vec<SendIntent>,
+    /// Traffic bucketed by LCA level.
+    pub traffic: Vec<LevelTraffic>,
+    /// Observed heterogeneous h-relation of the step.
+    pub hrelation: f64,
+}
+
+/// Check that all processors agreed on what happens after this
+/// superstep. Returns the common scope, or `None` if everyone finished.
+pub fn resolve_outcomes(
+    step: usize,
+    outcomes: &[StepOutcome],
+) -> Result<Option<SyncScope>, SimError> {
+    assert!(!outcomes.is_empty());
+    let done = outcomes
+        .iter()
+        .filter(|o| matches!(o, StepOutcome::Done))
+        .count();
+    if done == outcomes.len() {
+        return Ok(None);
+    }
+    if done != 0 {
+        return Err(SimError::TerminationMismatch { step });
+    }
+    let mut scope = None;
+    for o in outcomes {
+        if let StepOutcome::Continue(s) = o {
+            match scope {
+                None => scope = Some(*s),
+                Some(prev) if prev != *s => {
+                    return Err(SimError::ScopeMismatch {
+                        step,
+                        a: prev,
+                        b: *s,
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(scope)
+}
+
+/// Validate every message of a superstep against the machine and the
+/// closing scope (`None` = final step, no confinement), producing the
+/// cost-relevant analysis.
+pub fn analyze(
+    tree: &MachineTree,
+    step: usize,
+    scope: Option<SyncScope>,
+    msgs: &[Message],
+) -> Result<StepAnalysis, SimError> {
+    let p = tree.num_procs();
+    let mut traffic = vec![LevelTraffic::default(); tree.height() as usize + 1];
+    let mut hr = HRelation::new();
+    let mut intents = Vec::with_capacity(msgs.len());
+    for m in msgs {
+        if m.dst.rank() >= p {
+            return Err(SimError::NoSuchProc { step, dst: m.dst });
+        }
+        let src_leaf = tree.leaves()[m.src.rank()];
+        let dst_leaf = tree.leaves()[m.dst.rank()];
+        let lca_level = tree.node(tree.lca(src_leaf, dst_leaf)).level();
+        if let Some(s) = scope {
+            if m.src != m.dst && lca_level > s.level() {
+                return Err(SimError::CrossClusterSend {
+                    step,
+                    src: m.src,
+                    dst: m.dst,
+                    scope: s,
+                });
+            }
+        }
+        let t = &mut traffic[lca_level as usize];
+        t.words += m.words();
+        t.messages += 1;
+        if m.src != m.dst {
+            hr.send(
+                tree.node(src_leaf).machine_id(),
+                tree.node(dst_leaf).machine_id(),
+                m.words(),
+            );
+        }
+        intents.push(SendIntent {
+            src: m.src,
+            dst: m.dst,
+            words: m.words(),
+        });
+    }
+    let hrelation = hr.h_on(tree);
+    Ok(StepAnalysis {
+        intents,
+        traffic,
+        hrelation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::{ProcId, TreeBuilder};
+
+    #[test]
+    fn resolve_agreement() {
+        let all_go = vec![StepOutcome::Continue(SyncScope::Level(1)); 3];
+        assert_eq!(
+            resolve_outcomes(0, &all_go).unwrap(),
+            Some(SyncScope::Level(1))
+        );
+        let all_done = vec![StepOutcome::Done; 3];
+        assert_eq!(resolve_outcomes(0, &all_done).unwrap(), None);
+    }
+
+    #[test]
+    fn resolve_rejects_mixed_termination() {
+        let mixed = vec![
+            StepOutcome::Done,
+            StepOutcome::Continue(SyncScope::Level(1)),
+        ];
+        assert_eq!(
+            resolve_outcomes(4, &mixed).unwrap_err(),
+            SimError::TerminationMismatch { step: 4 }
+        );
+    }
+
+    #[test]
+    fn resolve_rejects_scope_disagreement() {
+        let fight = vec![
+            StepOutcome::Continue(SyncScope::Level(1)),
+            StepOutcome::Continue(SyncScope::Level(2)),
+        ];
+        assert!(matches!(
+            resolve_outcomes(0, &fight),
+            Err(SimError::ScopeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn analyze_counts_traffic_and_h() {
+        let t = TreeBuilder::flat(1.0, 0.0, &[(1.0, 1.0), (2.0, 0.5)]).unwrap();
+        let msgs = vec![
+            Message::new(ProcId(1), ProcId(0), 0, vec![0; 40]), // 10 words, slow sender
+            Message::new(ProcId(0), ProcId(0), 0, vec![0; 8]),  // self-send
+        ];
+        let a = analyze(&t, 0, Some(SyncScope::Level(1)), &msgs).unwrap();
+        assert_eq!(a.intents.len(), 2);
+        assert_eq!(a.traffic[1].words, 10);
+        assert_eq!(
+            a.traffic[0].words, 2,
+            "self-send recorded at the leaf's own level"
+        );
+        assert_eq!(a.hrelation, 20.0, "r=2 sender of 10 words dominates");
+    }
+
+    #[test]
+    fn analyze_confines_to_scope() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            0.0,
+            &[(0.0, vec![(1.0, 1.0)]), (0.0, vec![(2.0, 0.5)])],
+        )
+        .unwrap();
+        let msgs = vec![Message::new(ProcId(0), ProcId(1), 0, vec![0; 4])];
+        assert!(matches!(
+            analyze(&t, 2, Some(SyncScope::Level(1)), &msgs),
+            Err(SimError::CrossClusterSend { step: 2, .. })
+        ));
+        // Level-2 scope allows it; final step (None) allows it too.
+        assert!(analyze(&t, 2, Some(SyncScope::Level(2)), &msgs).is_ok());
+        assert!(analyze(&t, 2, None, &msgs).is_ok());
+    }
+}

@@ -1,0 +1,326 @@
+//! Execution timelines: what every processor was doing when.
+//!
+//! When tracing is enabled ([`crate::Simulator::trace`]), the engine
+//! records per-processor activity spans for every superstep — compute,
+//! send (pack+post), unpack, and barrier wait — which is the raw
+//! material for diagnosing imbalance ("faster machines typically sit
+//! idle waiting for slower nodes", §4.1). [`ascii_gantt`] renders the
+//! timelines as a terminal Gantt chart.
+
+use crate::timing::StepTiming;
+use hbsp_core::ProcId;
+use std::fmt::Write as _;
+
+/// What a processor was doing during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Charged local computation.
+    Compute,
+    /// Packing and posting outgoing messages.
+    Send,
+    /// Unpacking incoming messages (includes waiting for arrivals).
+    Unpack,
+    /// Waiting at the closing barrier.
+    BarrierWait,
+}
+
+impl SpanKind {
+    /// One-character glyph for the Gantt rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            SpanKind::Compute => 'C',
+            SpanKind::Send => 'S',
+            SpanKind::Unpack => 'U',
+            SpanKind::BarrierWait => '.',
+        }
+    }
+}
+
+/// A half-open activity interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Activity.
+    pub kind: SpanKind,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+impl Span {
+    /// Span length.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// One processor's activity over the whole run.
+#[derive(Debug, Clone)]
+pub struct ProcTimeline {
+    /// The processor.
+    pub pid: ProcId,
+    /// Non-overlapping spans in time order (zero-length spans elided).
+    pub spans: Vec<Span>,
+}
+
+impl ProcTimeline {
+    /// Total time spent in `kind`.
+    pub fn time_in(&self, kind: SpanKind) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(Span::duration)
+            .sum()
+    }
+
+    /// Fraction of `[0, horizon)` spent waiting at barriers — the
+    /// "sitting idle" measure.
+    pub fn idle_fraction(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        self.time_in(SpanKind::BarrierWait) / horizon
+    }
+}
+
+/// Build per-processor spans for one superstep from its timing and the
+/// barrier releases (`releases = finish` for the final step).
+pub(crate) fn step_spans(
+    timelines: &mut [ProcTimeline],
+    starts: &[f64],
+    timing: &StepTiming,
+    releases: &[f64],
+) {
+    for (i, tl) in timelines.iter_mut().enumerate() {
+        let mut push = |kind, start: f64, end: f64| {
+            if end > start {
+                tl.spans.push(Span { kind, start, end });
+            }
+        };
+        push(SpanKind::Compute, starts[i], timing.compute_done[i]);
+        push(SpanKind::Send, timing.compute_done[i], timing.send_done[i]);
+        push(SpanKind::Unpack, timing.send_done[i], timing.finish[i]);
+        push(SpanKind::BarrierWait, timing.finish[i], releases[i]);
+    }
+}
+
+/// Aggregate observed activity across all processors — the measured
+/// counterpart of the cost model's §3.4 penalty decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// Total processor-time computing.
+    pub compute: f64,
+    /// Total processor-time packing/posting sends.
+    pub send: f64,
+    /// Total processor-time unpacking (incl. waiting for arrivals).
+    pub unpack: f64,
+    /// Total processor-time waiting at barriers.
+    pub barrier_wait: f64,
+}
+
+impl TraceSummary {
+    /// Summarize a set of timelines.
+    pub fn of(timelines: &[ProcTimeline]) -> TraceSummary {
+        let total = |kind| timelines.iter().map(|t| t.time_in(kind)).sum();
+        TraceSummary {
+            compute: total(SpanKind::Compute),
+            send: total(SpanKind::Send),
+            unpack: total(SpanKind::Unpack),
+            barrier_wait: total(SpanKind::BarrierWait),
+        }
+    }
+
+    /// All accounted processor-time.
+    pub fn total(&self) -> f64 {
+        self.compute + self.send + self.unpack + self.barrier_wait
+    }
+
+    /// Fraction of processor-time lost to barrier waits — the observed
+    /// heterogeneity penalty.
+    pub fn wait_fraction(&self) -> f64 {
+        if self.total() <= 0.0 {
+            0.0
+        } else {
+            self.barrier_wait / self.total()
+        }
+    }
+}
+
+/// Render timelines as an ASCII Gantt chart of `width` columns.
+///
+/// Each row is a processor; each cell shows the dominant activity in
+/// that time bucket (`C`ompute, `S`end, `U`npack, `.` barrier wait,
+/// space = before start/after finish).
+pub fn ascii_gantt(timelines: &[ProcTimeline], width: usize) -> String {
+    assert!(width > 0, "zero-width chart");
+    let horizon = timelines
+        .iter()
+        .flat_map(|t| t.spans.iter().map(|s| s.end))
+        .fold(0.0f64, f64::max);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "0 {:>width$.0}",
+        horizon,
+        width = width.saturating_sub(2)
+    );
+    for tl in timelines {
+        let mut row = vec![' '; width];
+        for span in &tl.spans {
+            if horizon <= 0.0 {
+                break;
+            }
+            let a = ((span.start / horizon) * width as f64).floor() as usize;
+            let b = ((span.end / horizon) * width as f64).ceil() as usize;
+            for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                // Later spans overwrite earlier ones within a bucket;
+                // spans are time-ordered so the last activity wins.
+                *cell = span.kind.glyph();
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:>4} |{}|",
+            tl.pid.to_string(),
+            row.iter().collect::<String>()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl(pid: u32, spans: Vec<Span>) -> ProcTimeline {
+        ProcTimeline {
+            pid: ProcId(pid),
+            spans,
+        }
+    }
+
+    #[test]
+    fn time_accounting() {
+        let t = tl(
+            0,
+            vec![
+                Span {
+                    kind: SpanKind::Compute,
+                    start: 0.0,
+                    end: 10.0,
+                },
+                Span {
+                    kind: SpanKind::Send,
+                    start: 10.0,
+                    end: 15.0,
+                },
+                Span {
+                    kind: SpanKind::BarrierWait,
+                    start: 15.0,
+                    end: 40.0,
+                },
+                Span {
+                    kind: SpanKind::Compute,
+                    start: 40.0,
+                    end: 45.0,
+                },
+            ],
+        );
+        assert_eq!(t.time_in(SpanKind::Compute), 15.0);
+        assert_eq!(t.time_in(SpanKind::Send), 5.0);
+        assert_eq!(t.idle_fraction(50.0), 0.5);
+        assert_eq!(t.idle_fraction(0.0), 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let tls = vec![
+            tl(
+                0,
+                vec![Span {
+                    kind: SpanKind::Compute,
+                    start: 0.0,
+                    end: 50.0,
+                }],
+            ),
+            tl(
+                1,
+                vec![
+                    Span {
+                        kind: SpanKind::Compute,
+                        start: 0.0,
+                        end: 100.0,
+                    },
+                    Span {
+                        kind: SpanKind::BarrierWait,
+                        start: 100.0,
+                        end: 200.0,
+                    },
+                ],
+            ),
+        ];
+        let chart = ascii_gantt(&tls, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two rows");
+        assert!(lines[1].contains('C'));
+        assert!(lines[2].contains('.'), "P1 waits at the barrier");
+        // P0's row is blank after its finish at t=50 (quarter of 200).
+        let p0_row = lines[1];
+        assert!(
+            p0_row.contains("  "),
+            "P0's row has trailing idle space: {p0_row}"
+        );
+    }
+
+    #[test]
+    fn summary_totals_activities() {
+        let tls = vec![
+            tl(
+                0,
+                vec![
+                    Span {
+                        kind: SpanKind::Compute,
+                        start: 0.0,
+                        end: 10.0,
+                    },
+                    Span {
+                        kind: SpanKind::BarrierWait,
+                        start: 10.0,
+                        end: 30.0,
+                    },
+                ],
+            ),
+            tl(
+                1,
+                vec![Span {
+                    kind: SpanKind::Send,
+                    start: 0.0,
+                    end: 30.0,
+                }],
+            ),
+        ];
+        let s = TraceSummary::of(&tls);
+        assert_eq!(s.compute, 10.0);
+        assert_eq!(s.send, 30.0);
+        assert_eq!(s.barrier_wait, 20.0);
+        assert_eq!(s.total(), 60.0);
+        assert!((s.wait_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_spans_elide_empty() {
+        let timing = StepTiming {
+            compute_done: vec![5.0],
+            send_done: vec![5.0], // no sends
+            finish: vec![9.0],
+            messages: vec![],
+        };
+        let mut tls = vec![tl(0, vec![])];
+        step_spans(&mut tls, &[0.0], &timing, &[12.0]);
+        let kinds: Vec<SpanKind> = tls[0].spans.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SpanKind::Compute, SpanKind::Unpack, SpanKind::BarrierWait]
+        );
+    }
+}

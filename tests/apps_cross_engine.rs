@@ -1,0 +1,67 @@
+//! The applications run unchanged on the threaded runtime and agree
+//! with the simulator — end-to-end cross-engine checks at the app
+//! level.
+
+use hbsp::apps::sort::SampleSort;
+use hbsp::apps::stencil::Stencil;
+use hbsp::collectives::plan::WorkloadPolicy;
+use hbsp::prelude::*;
+use hbsp::runtime::ThreadedRuntime;
+use hbsp::sim::Simulator;
+use std::sync::Arc;
+
+fn machine() -> Arc<MachineTree> {
+    Arc::new(
+        TreeBuilder::flat(
+            1.0,
+            500.0,
+            &[(1.0, 1.0), (1.5, 0.7), (2.0, 0.5), (3.0, 0.35)],
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn sample_sort_agrees_across_engines() {
+    let tree = machine();
+    let items: Vec<u32> = (0..30_000u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    let prog = SampleSort::new(Arc::new(items.clone()), WorkloadPolicy::Balanced);
+    let (sim, sim_states) = Simulator::new(Arc::clone(&tree))
+        .run_with_states(&prog)
+        .unwrap();
+    let (thr, thr_states) = ThreadedRuntime::new(Arc::clone(&tree))
+        .run_with_states(&prog)
+        .unwrap();
+    assert_eq!(sim.total_time, thr.virtual_outcome.total_time);
+    let mut expected = items;
+    expected.sort_unstable();
+    let collect = |states: &[hbsp::apps::sort::SortState]| -> Vec<u32> {
+        states
+            .iter()
+            .flat_map(|s| s.bucket.iter().copied())
+            .collect()
+    };
+    assert_eq!(collect(&sim_states), expected);
+    assert_eq!(collect(&thr_states), expected);
+}
+
+#[test]
+fn stencil_agrees_across_engines() {
+    let tree = machine();
+    let mut field = vec![0.0f64; 200];
+    field[0] = 100.0;
+    let prog = Stencil::new(Arc::new(field.clone()), 25, WorkloadPolicy::Balanced);
+    let (sim, sim_states) = Simulator::new(Arc::clone(&tree))
+        .run_with_states(&prog)
+        .unwrap();
+    let (thr, thr_states) = ThreadedRuntime::new(Arc::clone(&tree))
+        .run_with_states(&prog)
+        .unwrap();
+    assert_eq!(sim.total_time, thr.virtual_outcome.total_time);
+    let root = tree.fastest_proc().rank();
+    assert_eq!(sim_states[root].result, thr_states[root].result);
+    assert_eq!(
+        sim_states[root].result,
+        hbsp::apps::reference_jacobi(&field, 25)
+    );
+}

@@ -1,0 +1,73 @@
+//! Cross-engine execution of the collectives themselves: the paper's
+//! algorithms (which use level-scoped syncs and coordinator roles) run
+//! on the threaded runtime and produce exactly the simulator's times
+//! and results.
+
+mod common;
+
+use common::{arb_items, arb_machine};
+use hbsp::collectives::broadcast::{BroadcastPlan, FlatBroadcast, HierarchicalBroadcast};
+use hbsp::collectives::data::{reassemble, shares_for};
+use hbsp::collectives::gather::HierarchicalGather;
+use hbsp::collectives::plan::{RootPolicy, WorkloadPolicy};
+use hbsp::runtime::ThreadedRuntime;
+use hbsp::sim::Simulator;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hierarchical_gather_runs_on_threads((tree, items) in (arb_machine(), arb_items())) {
+        let tree = Arc::new(tree);
+        let shares = Arc::new(shares_for(&tree, &items, WorkloadPolicy::Balanced));
+        let prog = HierarchicalGather::new(shares);
+        let (sim, sim_states) =
+            Simulator::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        let (thr, thr_states) =
+            ThreadedRuntime::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        prop_assert_eq!(sim.total_time, thr.virtual_outcome.total_time);
+        let root = tree.fastest_proc();
+        prop_assert_eq!(&sim_states[root.rank()], &thr_states[root.rank()]);
+        prop_assert_eq!(reassemble(sim_states[root.rank()].pieces()), items);
+    }
+
+    #[test]
+    fn broadcast_runs_on_threads((tree, items) in (arb_machine(), arb_items())) {
+        let tree = Arc::new(tree);
+        let plan = BroadcastPlan::hierarchical(hbsp::collectives::plan::PhasePolicy::TwoPhase);
+        let prog = HierarchicalBroadcast::new(
+            plan.top_phase,
+            plan.cluster_phase,
+            plan.workload,
+            Arc::new(items.clone()),
+        );
+        let (sim, _) = Simulator::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        let (thr, states) =
+            ThreadedRuntime::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        prop_assert_eq!(sim.total_time, thr.virtual_outcome.total_time);
+        for st in &states {
+            prop_assert_eq!(st.full.as_deref(), Some(items.as_slice()));
+        }
+    }
+
+    #[test]
+    fn flat_broadcast_runs_on_threads((tree, items) in (arb_machine(), arb_items())) {
+        let tree = Arc::new(tree);
+        let root = RootPolicy::Slowest.resolve(&tree);
+        let prog = FlatBroadcast::new(
+            root,
+            hbsp::collectives::plan::PhasePolicy::TwoPhase,
+            WorkloadPolicy::Equal,
+            Arc::new(items.clone()),
+        );
+        let (sim, _) = Simulator::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        let (thr, states) =
+            ThreadedRuntime::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        prop_assert_eq!(sim.total_time, thr.virtual_outcome.total_time);
+        for st in &states {
+            prop_assert_eq!(st.full.as_deref(), Some(items.as_slice()));
+        }
+    }
+}

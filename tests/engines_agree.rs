@@ -1,0 +1,99 @@
+//! Property test: the discrete-event simulator and the threaded runtime
+//! produce bit-identical virtual times, states, and statistics for the
+//! same program on the same machine — the cross-engine guarantee the
+//! whole experiment suite relies on.
+
+mod common;
+
+use common::arb_machine;
+use hbsp::prelude::*;
+use hbsp::runtime::ThreadedRuntime;
+use hbsp::sim::Simulator;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A randomized-but-deterministic exchange program: in each of `rounds`
+/// supersteps, processor `i` sends `payload` words to `(i + shift)
+/// % p` and charges `work` units; everyone records a digest of what it
+/// received.
+struct ShiftExchange {
+    rounds: usize,
+    shift: usize,
+    payload: usize,
+    work: f64,
+}
+
+impl Program for ShiftExchange {
+    type State = u64;
+
+    fn init(&self, _env: &ProcEnv) -> u64 {
+        0xcbf2_9ce4_8422_2325
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        digest: &mut u64,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        for m in ctx.messages() {
+            *digest ^= (m.src.0 as u64) << 32 | m.payload.len() as u64;
+            *digest = digest.wrapping_mul(0x100000001B3);
+        }
+        if step == self.rounds {
+            return StepOutcome::Done;
+        }
+        ctx.charge(self.work);
+        let p = env.nprocs;
+        let dst = ProcId(((env.pid.rank() + self.shift) % p) as u32);
+        if dst != env.pid {
+            ctx.send(dst, 0, vec![step as u8; self.payload]);
+        }
+        StepOutcome::Continue(SyncScope::global(&env.tree))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn virtual_time_and_states_match(
+        tree in arb_machine(),
+        rounds in 1usize..6,
+        shift in 1usize..5,
+        payload in 0usize..300,
+        work in 0.0f64..500.0,
+    ) {
+        let tree = Arc::new(tree);
+        let prog = ShiftExchange { rounds, shift, payload, work };
+        let (sim, sim_states) =
+            Simulator::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        let (thr, thr_states) =
+            ThreadedRuntime::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        let thr = thr.virtual_outcome;
+
+        prop_assert_eq!(sim_states, thr_states);
+        prop_assert_eq!(sim.total_time, thr.total_time);
+        prop_assert_eq!(sim.proc_finish, thr.proc_finish);
+        prop_assert_eq!(sim.messages_delivered, thr.messages_delivered);
+        prop_assert_eq!(sim.steps.len(), thr.steps.len());
+        for (a, b) in sim.steps.iter().zip(&thr.steps) {
+            prop_assert_eq!(a.hrelation, b.hrelation);
+            prop_assert_eq!(a.finish_max, b.finish_max);
+            prop_assert_eq!(a.release_max, b.release_max);
+            prop_assert_eq!(a.work_units, b.work_units);
+            prop_assert_eq!(&a.traffic, &b.traffic);
+        }
+    }
+
+    #[test]
+    fn simulator_is_deterministic(tree in arb_machine(), rounds in 1usize..5) {
+        let tree = Arc::new(tree);
+        let prog = ShiftExchange { rounds, shift: 1, payload: 64, work: 10.0 };
+        let a = Simulator::new(Arc::clone(&tree)).run(&prog).unwrap();
+        let b = Simulator::new(tree).run(&prog).unwrap();
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.proc_finish, b.proc_finish);
+    }
+}

@@ -1,0 +1,38 @@
+//! The shipped machine description files stay parseable and valid.
+
+use hbsp::core::topology;
+
+#[test]
+fn campus_file_parses() {
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/machines/campus.hbsp"))
+            .expect("campus.hbsp exists");
+    let tree = topology::parse(&text).expect("valid machine");
+    assert_eq!(tree.height(), 2);
+    assert_eq!(tree.num_procs(), 8);
+    assert_eq!(tree.leaf(tree.fastest_proc()).name(), "cs-ultra2");
+    tree.validate().unwrap();
+}
+
+#[test]
+fn grid3_file_parses() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/machines/grid3.hbsp"))
+        .expect("grid3.hbsp exists");
+    let tree = topology::parse(&text).expect("valid machine");
+    assert_eq!(tree.height(), 3);
+    assert_eq!(tree.num_procs(), 9);
+    assert_eq!(tree.machines_on_level(2).unwrap(), 2, "two campuses");
+    tree.validate().unwrap();
+}
+
+#[test]
+fn files_round_trip_through_the_dsl() {
+    for f in ["machines/campus.hbsp", "machines/grid3.hbsp"] {
+        let text =
+            std::fs::read_to_string(format!("{}/{}", env!("CARGO_MANIFEST_DIR"), f)).unwrap();
+        let tree = topology::parse(&text).unwrap();
+        let again = topology::parse(&topology::to_dsl(&tree)).unwrap();
+        assert_eq!(tree.num_procs(), again.num_procs(), "{f}");
+        assert_eq!(tree.height(), again.height(), "{f}");
+    }
+}
