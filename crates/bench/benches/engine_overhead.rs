@@ -1,0 +1,79 @@
+//! Per-superstep overhead of the threaded runtime's synchronization
+//! path, as a function of processor count and barrier implementation.
+//!
+//! The program under test does nothing per step — no work charged, no
+//! messages — so the measured wall time is pure engine overhead: thread
+//! rendezvous, leader-section coordination, and release. Each iteration
+//! runs `ROUNDS` supersteps; divide the reported time by `ROUNDS` for
+//! the per-superstep figure.
+//!
+//! Machines are two-level HBSP^2 trees in clusters of at most 4, so the
+//! hierarchical barrier's combining tree has real interior nodes to
+//! exploit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbsp_core::{
+    MachineTree, ProcEnv, SpmdContext, SpmdProgram, StepOutcome, SyncScope, TreeBuilder,
+};
+use hbsp_runtime::{BarrierKind, ThreadedRuntime};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROUNDS: usize = 200;
+
+/// `ROUNDS` empty globally-synchronized supersteps.
+struct Spin;
+
+impl SpmdProgram for Spin {
+    type State = ();
+    fn init(&self, _env: &ProcEnv) {}
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        _state: &mut (),
+        _ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        if step == ROUNDS {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Continue(SyncScope::global(&env.tree))
+        }
+    }
+}
+
+/// A two-level machine with `p` identical processors grouped in
+/// clusters of at most 4.
+fn clustered(p: usize) -> Arc<MachineTree> {
+    let mut clusters: Vec<(f64, Vec<(f64, f64)>)> = Vec::new();
+    let mut left = p;
+    while left > 0 {
+        let take = left.min(4);
+        clusters.push((10.0, vec![(1.0, 1.0); take]));
+        left -= take;
+    }
+    Arc::new(TreeBuilder::two_level(1.0, 50.0, &clusters).expect("valid machine"))
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(300));
+    for p in [2usize, 4, 8, 16] {
+        let tree = clustered(p);
+        for (name, kind) in [
+            ("central", BarrierKind::Central),
+            ("hierarchical", BarrierKind::Hierarchical),
+        ] {
+            let rt = ThreadedRuntime::new(Arc::clone(&tree)).barrier(kind);
+            group.bench_with_input(BenchmarkId::new(name, p), &rt, |b, rt| {
+                b.iter(|| black_box(rt.run(&Spin).expect("spin program runs")).wall)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_overhead);
+criterion_main!(benches);

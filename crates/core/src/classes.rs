@@ -9,11 +9,10 @@
 
 use crate::ids::Level;
 use crate::tree::MachineTree;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The class HBSP^k for a given `k`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MachineClass(pub Level);
 
 impl MachineClass {

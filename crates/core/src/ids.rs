@@ -12,7 +12,6 @@
 //! in left-to-right order, which is what the SPMD runtime and `hbsplib`
 //! use as the process rank (`bsp_pid`).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A level of the machine hierarchy. Level `k` is the root of an HBSP^k
@@ -23,7 +22,7 @@ pub type Level = u32;
 ///
 /// Indices are assigned in insertion order and never reused; they are only
 /// meaningful for the tree that produced them.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeIdx(pub(crate) u32);
 
 impl NodeIdx {
@@ -52,7 +51,7 @@ impl fmt::Debug for NodeIdx {
 /// `j` counts left-to-right across the whole level, *not* within a single
 /// cluster, matching Figure 2 of the paper (e.g. `M_{0,4}` is the fifth
 /// processor on level 0 even if it belongs to the second cluster).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MachineId {
     /// Level `i` (0 = processors, `k` = root).
     pub level: Level,
@@ -86,7 +85,7 @@ impl fmt::Display for MachineId {
 /// numbered `0..p` regardless of which level they sit on (an unbalanced
 /// tree may have leaves above level 0, like the lone SGI workstation in
 /// the paper's Figure 2).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub u32);
 
 impl ProcId {

@@ -1,7 +1,5 @@
 //! Per-machine model parameters (the paper's Table 1).
 
-use serde::{Deserialize, Serialize};
-
 /// Default bandwidth indicator `g` used by convenience constructors:
 /// the time, in model time units, for the fastest machine to inject one
 /// word into the network.
@@ -25,7 +23,7 @@ pub const DEFAULT_G: f64 = 1.0;
 ///   typically derived from `speed` via [`crate::workload`].
 /// * `c` — fraction of the problem size assigned to this machine. `None`
 ///   until a workload has been partitioned onto the tree.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeParams {
     /// Relative communication slowness `r_{i,j}` (fastest machine = 1).
     pub r: f64,

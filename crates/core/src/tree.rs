@@ -14,10 +14,9 @@
 use crate::error::ModelError;
 use crate::ids::{Level, MachineId, NodeIdx, ProcId};
 use crate::params::NodeParams;
-use serde::{Deserialize, Serialize};
 
 /// Whether a node is a physical processor or a cluster of machines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// A leaf: an actual processor (an HBSP^0 machine in its own right).
     Proc,
@@ -27,7 +26,7 @@ pub enum NodeKind {
 }
 
 /// One machine `M_{i,j}` in the tree.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     pub(crate) idx: NodeIdx,
     pub(crate) parent: Option<NodeIdx>,
@@ -99,7 +98,7 @@ impl Node {
 
 /// An HBSP^k machine: a validated tree of processors and clusters plus
 /// the global bandwidth indicator `g`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineTree {
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeIdx,

@@ -1,18 +1,38 @@
-//! A reusable sense-reversing central barrier with a leader hook.
+//! Superstep barriers with a leader hook.
 //!
-//! The last thread to arrive runs a closure (the "leader section")
-//! before anyone is released — the standard way to fold a small amount
-//! of sequential coordination (here: superstep bookkeeping) into a
-//! barrier without extra synchronization rounds.
+//! Two implementations of the same rendezvous contract:
+//!
+//! * [`CentralBarrier`] — the classic flat sense-reversing barrier: one
+//!   mutex + condvar that every thread hammers. Kept as the baseline the
+//!   `engine_overhead` bench compares against.
+//! * [`HierBarrier`] — a hierarchical sense-reversing barrier whose
+//!   combining tree mirrors an [`hbsp_core::MachineTree`]: leaf
+//!   processors arrive at their cluster's combining node, the last
+//!   arriver of a cluster arrives at the parent cluster, and the thread
+//!   that completes the root arrival becomes the generation's leader.
+//!   Arrival is a single relaxed-contention `fetch_add` per tree level
+//!   (so threads of different clusters never touch the same cache
+//!   line), and waiting is spin-then-park on the *cluster's* gate, so
+//!   both the arrival counters and the wait queues are c-way, not
+//!   p-way — release is one broadcast per cluster, not one syscall per
+//!   thread.
+//!
+//! In both, the last thread to arrive runs a closure (the "leader
+//! section") before anyone is released — the standard way to fold a
+//! small amount of sequential coordination (here: superstep
+//! bookkeeping) into a barrier without extra synchronization rounds.
+//! Exactly one thread per generation runs the leader section.
 
-use parking_lot::{Condvar, Mutex};
+use hbsp_core::MachineTree;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 struct Inner {
     arrived: usize,
     generation: u64,
 }
 
-/// A barrier for a fixed set of `n` threads, reusable across
+/// A flat barrier for a fixed set of `n` threads, reusable across
 /// generations.
 pub struct CentralBarrier {
     n: usize,
@@ -43,7 +63,7 @@ impl CentralBarrier {
     /// the others remain blocked), then everyone is released. Returns
     /// `Some(result)` to the leader, `None` to the rest.
     pub fn wait_leader<R>(&self, leader: impl FnOnce() -> R) -> Option<R> {
-        let mut guard = self.inner.lock();
+        let mut guard = self.inner.lock().unwrap();
         guard.arrived += 1;
         if guard.arrived == self.n {
             // Leader: run the section, flip the generation, release.
@@ -55,7 +75,7 @@ impl CentralBarrier {
         } else {
             let gen = guard.generation;
             while guard.generation == gen {
-                self.cv.wait(&mut guard);
+                guard = self.cv.wait(guard).unwrap();
             }
             None
         }
@@ -67,9 +87,235 @@ impl CentralBarrier {
     }
 }
 
+/// Pad to two cache lines so neighbouring slots never false-share (128
+/// covers adjacent-line prefetch on common x86 parts).
+#[repr(align(128))]
+struct Padded<T>(T);
+
+/// One combining node: a cluster of the machine tree.
+struct TreeNode {
+    /// Parent combining node, `None` for the root.
+    parent: Option<usize>,
+    /// Arrivals this node waits for: one per machine-tree child (a
+    /// processor child arrives itself; a sub-cluster child is
+    /// represented by its own last arriver).
+    expected: usize,
+    /// Arrivals so far in the current generation.
+    count: Padded<AtomicUsize>,
+    /// Gate the node's waiters park behind: threads whose arrival
+    /// stopped at this node block here, so wait queues are as wide as a
+    /// cluster, and the leader releases with one broadcast per cluster.
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+/// Iterations of generation-polling before a waiter parks, when the
+/// host has a core per thread. Kept short: superstep leader sections do
+/// real work (timing, message routing), so a long-spinning waiter only
+/// burns power. When threads outnumber cores the barrier does not spin
+/// at all — a spinning waiter then *delays* the very threads it is
+/// waiting for, so parking immediately is strictly better.
+const SPIN_LIMIT: u32 = 64;
+
+/// A hierarchical sense-reversing barrier whose combining tree mirrors
+/// a machine tree's cluster structure.
+///
+/// Each processor rank arrives at the combining node of its parent
+/// cluster; the last arriver of a cluster propagates the arrival to the
+/// parent cluster, and the thread completing the root arrival runs the
+/// leader section, advances the generation (the sense word), and wakes
+/// all parked waiters.
+///
+/// The generation counter plays the role of the classic sense flag:
+/// waiters watch for it to move rather than for a boolean to flip,
+/// which makes the barrier trivially reusable across generations.
+pub struct HierBarrier {
+    nodes: Vec<TreeNode>,
+    /// Per processor rank: the combining node it arrives at (`None`
+    /// only for a single-processor machine, which has no clusters).
+    start: Vec<Option<usize>>,
+    /// The sense word. Even a relaxed reader can never confuse two
+    /// generations: a release flip happens-after every arrival of its
+    /// generation.
+    generation: AtomicU64,
+    /// Generation-poll iterations before parking ([`SPIN_LIMIT`] with a
+    /// core per thread, 0 when oversubscribed).
+    spin: u32,
+}
+
+impl HierBarrier {
+    /// Barrier for the processor threads of `tree`, one per leaf, with
+    /// a combining node per cluster.
+    pub fn new(tree: &MachineTree) -> Self {
+        let arena = tree.nodes().count();
+        let mut map = vec![usize::MAX; arena];
+        let mut nodes = Vec::new();
+        for n in tree.nodes() {
+            if !n.is_proc() {
+                map[n.idx().index()] = nodes.len();
+                nodes.push(TreeNode {
+                    parent: None,
+                    expected: n.num_children(),
+                    count: Padded(AtomicUsize::new(0)),
+                    gate: Mutex::new(()),
+                    cv: Condvar::new(),
+                });
+            }
+        }
+        for n in tree.nodes() {
+            if !n.is_proc() {
+                if let Some(par) = n.parent() {
+                    nodes[map[n.idx().index()]].parent = Some(map[par.index()]);
+                }
+            }
+        }
+        let start = tree
+            .leaves()
+            .iter()
+            .map(|&leaf| tree.node(leaf).parent().map(|par| map[par.index()]))
+            .collect();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        HierBarrier {
+            nodes,
+            start,
+            generation: AtomicU64::new(0),
+            spin: if cores >= tree.num_procs() {
+                SPIN_LIMIT
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Number of participating threads (one per leaf processor).
+    pub fn parties(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Wait for every rank. The thread that completes the root arrival
+    /// runs `leader` (while the others remain blocked), then everyone
+    /// is released. Returns `Some(result)` to the leader, `None` to the
+    /// rest.
+    ///
+    /// `rank` must be this thread's processor rank; each rank must
+    /// arrive exactly once per generation.
+    pub fn wait_leader<R>(&self, rank: usize, leader: impl FnOnce() -> R) -> Option<R> {
+        // Pin the generation *before* arriving: the flip can only
+        // happen after this thread's own arrival reaches the root.
+        let gen = self.generation.load(Ordering::Acquire);
+        let mut node = match self.start[rank] {
+            Some(n) => n,
+            None => {
+                // Single-processor machine: the lone thread is always
+                // the leader.
+                let result = leader();
+                self.generation.fetch_add(1, Ordering::AcqRel);
+                return Some(result);
+            }
+        };
+        loop {
+            let n = &self.nodes[node];
+            // AcqRel chains every earlier arriver's writes (its
+            // contribution slot, its subtree's counts) into this
+            // thread's view before it proceeds upward.
+            if n.count.0.fetch_add(1, Ordering::AcqRel) + 1 == n.expected {
+                // Last arriver of this cluster: reset for the next
+                // generation (safe: nobody re-arrives here until after
+                // the release flip, which happens-after this store) and
+                // represent the cluster one level up.
+                n.count.0.store(0, Ordering::Relaxed);
+                match n.parent {
+                    Some(parent) => node = parent,
+                    None => {
+                        let result = leader();
+                        self.generation.fetch_add(1, Ordering::AcqRel);
+                        self.release_all();
+                        return Some(result);
+                    }
+                }
+            } else {
+                self.wait_for_flip(gen, node);
+                return None;
+            }
+        }
+    }
+
+    /// Plain barrier wait with no leader work.
+    pub fn wait(&self, rank: usize) {
+        self.wait_leader(rank, || ());
+    }
+
+    /// Park behind the gate of the combining node our arrival stopped
+    /// at. No lost wakeup is possible: the generation is re-checked
+    /// under the gate mutex, and the leader takes (and drops) the same
+    /// mutex after flipping the generation but before broadcasting — so
+    /// either we entered `cv.wait` before the leader's broadcast (and
+    /// it wakes us), or our lock acquisition ordered after the leader's
+    /// unlock made the flip visible and we never wait.
+    fn wait_for_flip(&self, gen: u64, node: usize) {
+        for _ in 0..self.spin {
+            if self.generation.load(Ordering::Acquire) != gen {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let n = &self.nodes[node];
+        let mut guard = n.gate.lock().unwrap();
+        while self.generation.load(Ordering::Acquire) == gen {
+            guard = n.cv.wait(guard).unwrap();
+        }
+    }
+
+    /// Release every waiter: one broadcast per combining node (a
+    /// waiter's queue is its cluster's, so there are as many broadcasts
+    /// as clusters, not as threads).
+    fn release_all(&self) {
+        for n in &self.nodes {
+            // Lock-then-broadcast pairs with the waiter's locked
+            // re-check (see `wait_for_flip`).
+            drop(n.gate.lock().unwrap());
+            n.cv.notify_all();
+        }
+    }
+}
+
+/// Which barrier the threaded engine synchronizes supersteps with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierKind {
+    /// Flat mutex+condvar barrier (the pre-hierarchical baseline).
+    Central,
+    /// Combining-tree barrier mirroring the machine's cluster
+    /// structure.
+    #[default]
+    Hierarchical,
+}
+
+/// The engine-facing barrier: either implementation behind one call.
+pub(crate) enum StepBarrier {
+    Central(CentralBarrier),
+    Hier(HierBarrier),
+}
+
+impl StepBarrier {
+    pub(crate) fn new(kind: BarrierKind, tree: &MachineTree) -> Self {
+        match kind {
+            BarrierKind::Central => StepBarrier::Central(CentralBarrier::new(tree.num_procs())),
+            BarrierKind::Hierarchical => StepBarrier::Hier(HierBarrier::new(tree)),
+        }
+    }
+
+    pub(crate) fn wait_leader<R>(&self, rank: usize, leader: impl FnOnce() -> R) -> Option<R> {
+        match self {
+            StepBarrier::Central(b) => b.wait_leader(leader),
+            StepBarrier::Hier(b) => b.wait_leader(rank, leader),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hbsp_core::{NodeParams, TreeBuilder};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -124,5 +370,118 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_parties_rejected() {
         CentralBarrier::new(0);
+    }
+
+    /// An HBSP^2 machine: three clusters of 3, 2, and 4 processors.
+    fn clustered() -> MachineTree {
+        TreeBuilder::two_level(
+            1.0,
+            100.0,
+            &[
+                (10.0, vec![(1.0, 1.0), (2.0, 0.5), (1.5, 0.8)]),
+                (10.0, vec![(2.0, 0.5), (3.0, 0.4)]),
+                (10.0, vec![(1.2, 0.9), (2.5, 0.45), (2.0, 0.5), (4.0, 0.2)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hier_mirrors_machine_tree() {
+        let t = clustered();
+        let b = HierBarrier::new(&t);
+        assert_eq!(b.parties(), 9);
+        // One combining node per cluster: the root plus three LANs.
+        assert_eq!(b.nodes.len(), 4);
+        let root = b
+            .nodes
+            .iter()
+            .position(|n| n.parent.is_none())
+            .expect("one root");
+        assert_eq!(b.nodes[root].expected, 3, "root waits for its clusters");
+    }
+
+    #[test]
+    fn hier_exactly_one_leader_per_generation() {
+        const ROUNDS: usize = 200;
+        let t = clustered();
+        let b = HierBarrier::new(&t);
+        let p = b.parties();
+        let leader_runs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for rank in 0..p {
+                let b = &b;
+                let leader_runs = &leader_runs;
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        b.wait_leader(rank, || {
+                            leader_runs.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(leader_runs.load(Ordering::SeqCst), ROUNDS);
+    }
+
+    #[test]
+    fn hier_leader_section_is_exclusive() {
+        const ROUNDS: usize = 100;
+        let t = clustered();
+        let b = HierBarrier::new(&t);
+        let p = b.parties();
+        let value = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for rank in 0..p {
+                let b = &b;
+                let value = &value;
+                s.spawn(move || {
+                    for round in 1..=ROUNDS {
+                        b.wait_leader(rank, || value.store(round, Ordering::SeqCst));
+                        assert_eq!(value.load(Ordering::SeqCst), round);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn hier_handles_unbalanced_trees() {
+        // Figure-2-like machine: a leaf sitting directly under the root
+        // next to two clusters arrives straight at the root node.
+        let mut builder = TreeBuilder::new(1.0);
+        let root = builder.cluster("campus", NodeParams::cluster(500.0));
+        let smp = builder.child_cluster(root, "smp", NodeParams::cluster(50.0));
+        builder.child_proc(smp, "smp0", NodeParams::proc(1.0, 1.0));
+        builder.child_proc(smp, "smp1", NodeParams::proc(2.0, 0.5));
+        builder.child_proc(root, "sgi", NodeParams::proc(1.5, 0.9));
+        let t = builder.build().unwrap();
+        let b = HierBarrier::new(&t);
+        assert_eq!(b.parties(), 3);
+        let leader_runs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for rank in 0..3 {
+                let b = &b;
+                let leader_runs = &leader_runs;
+                s.spawn(move || {
+                    for _ in 0..150 {
+                        b.wait_leader(rank, || {
+                            leader_runs.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(leader_runs.load(Ordering::SeqCst), 150);
+    }
+
+    #[test]
+    fn hier_single_proc_is_always_leader() {
+        let mut builder = TreeBuilder::new(1.0);
+        builder.proc_root("solo", NodeParams::fastest());
+        let t = builder.build().unwrap();
+        let b = HierBarrier::new(&t);
+        assert_eq!(b.wait_leader(0, || 42), Some(42));
+        assert_eq!(b.wait_leader(0, || 7), Some(7));
     }
 }

@@ -1,13 +1,30 @@
 //! The threaded execution engine.
+//!
+//! One OS thread per leaf processor, synchronized per superstep by a
+//! hierarchical combining-tree barrier (see [`crate::barrier`]). The
+//! per-step hot path is lock-free for the processor threads:
+//!
+//! * each thread writes its superstep contribution (charged work,
+//!   posted messages, outcome) into its own cache-line-padded
+//!   [`ProcSlot`] — no shared lock is taken between barriers;
+//! * the barrier's leader section gathers all slots, runs the shared
+//!   timing algebra, and *moves* every message into its receiver's
+//!   mailbox (payloads are never copied), batched so each mailbox is
+//!   locked exactly once per superstep;
+//! * run-level coordination state lives in a [`LeaderState`] mutex that
+//!   only the leader section locks (uncontended by construction), with
+//!   two atomics (`finished`, `failed`) publishing the step's verdict
+//!   to the released threads.
 
-use crate::barrier::CentralBarrier;
+use crate::barrier::{BarrierKind, StepBarrier};
 use crate::mailbox::Mailbox;
 use hbsp_core::{MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome};
-use hbsp_sim::step::{analyze, resolve_outcomes};
+use hbsp_sim::step::{analyze, delivery_order, resolve_outcomes};
 use hbsp_sim::timing::{barrier_release, superstep_timing};
 use hbsp_sim::{NetConfig, SimError, SimOutcome, StepStats};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Result of a threaded run: the same virtual-time outcome the
@@ -26,14 +43,76 @@ pub struct ThreadedRuntime {
     tree: Arc<MachineTree>,
     cfg: NetConfig,
     step_limit: usize,
+    barrier_kind: BarrierKind,
 }
 
-/// Everything the coordination leader updates once per superstep.
-struct Coordination {
-    /// Per-processor contributions for the current step.
-    work: Vec<f64>,
-    sends: Vec<Vec<Message>>,
-    outcomes: Vec<Option<StepOutcome>>,
+/// One processor's per-superstep contribution, padded to its own cache
+/// lines so neighbouring writers never false-share.
+///
+/// Access protocol (this is what makes the `UnsafeCell` sound):
+///
+/// * between a barrier release and its next barrier arrival, slot `i`
+///   is touched only by processor thread `i` (via [`ProcSlot::slot`]);
+/// * inside the barrier's leader section — when every thread of the
+///   generation has arrived and none has been released — all slots are
+///   touched only by the leader.
+///
+/// The barrier's acquire/release edges order the two phases: every
+/// owner write happens-before the leader's reads (the arrival chain),
+/// and every leader write happens-before the owners' next writes (the
+/// release flip).
+#[repr(align(128))]
+struct ProcSlot {
+    data: UnsafeCell<SlotData>,
+}
+
+// SAFETY: shared access is mediated by the superstep barrier per the
+// protocol documented on `ProcSlot` — at any instant at most one thread
+// holds a reference into the cell.
+unsafe impl Sync for ProcSlot {}
+
+impl ProcSlot {
+    fn new() -> Self {
+        ProcSlot {
+            data: UnsafeCell::new(SlotData::default()),
+        }
+    }
+
+    /// Access the slot's contents.
+    ///
+    /// # Safety
+    /// The caller must hold the slot per the [`ProcSlot`] protocol:
+    /// either it is processor thread `i` outside the leader section, or
+    /// it is the leader inside the leader section.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot(&self) -> &mut SlotData {
+        &mut *self.data.get()
+    }
+}
+
+#[derive(Default)]
+struct SlotData {
+    /// Charged work units of the current step.
+    work: f64,
+    /// Messages posted in the current step, in posting order.
+    sends: Vec<Message>,
+    /// The step body's outcome; consumed by the leader.
+    outcome: Option<StepOutcome>,
+    /// A contained panic, recorded with the step it happened in. Only
+    /// the *leader* (inside the barrier, when every thread of the
+    /// generation has arrived) translates these into the shared error —
+    /// publishing the error directly from the panicking thread would
+    /// let a racing peer observe it during the *previous* step's check
+    /// and exit before reaching the next barrier, stranding everyone
+    /// else there.
+    panicked: Option<usize>,
+}
+
+/// Run-level coordination state. Locked only inside the barrier's
+/// leader section (and once after the run), so the mutex is always
+/// uncontended — it exists to satisfy the borrow checker, not to
+/// arbitrate threads.
+struct LeaderState {
     /// Virtual release times feeding the next step.
     starts: Vec<f64>,
     /// Per-processor finish times of the latest step.
@@ -41,18 +120,8 @@ struct Coordination {
     /// Accumulated per-step statistics.
     steps: Vec<StepStats>,
     delivered: u64,
-    /// Per-thread contained panics, recorded with the step they
-    /// happened in. Only the *leader* (inside the barrier, when every
-    /// thread of the generation has arrived) translates these into the
-    /// shared `error` — publishing the error directly from the
-    /// panicking thread would let a racing peer observe it during the
-    /// *previous* step's check and exit before reaching the next
-    /// barrier, stranding everyone else there.
-    panicked: Vec<Option<usize>>,
     /// Set when the SPMD discipline is violated; threads bail out.
     error: Option<SimError>,
-    /// Set when every processor returned `Done`.
-    finished: bool,
 }
 
 impl ThreadedRuntime {
@@ -62,6 +131,7 @@ impl ThreadedRuntime {
             tree,
             cfg: NetConfig::pvm_like(),
             step_limit: 100_000,
+            barrier_kind: BarrierKind::default(),
         }
     }
 
@@ -71,12 +141,21 @@ impl ThreadedRuntime {
             tree,
             cfg,
             step_limit: 100_000,
+            barrier_kind: BarrierKind::default(),
         }
     }
 
     /// Override the runaway-program guard (default 100 000 supersteps).
     pub fn step_limit(mut self, limit: usize) -> Self {
         self.step_limit = limit;
+        self
+    }
+
+    /// Choose the superstep barrier implementation (default:
+    /// [`BarrierKind::Hierarchical`]). The central barrier is kept as
+    /// the baseline for the `engine_overhead` bench.
+    pub fn barrier(mut self, kind: BarrierKind) -> Self {
+        self.barrier_kind = kind;
         self
     }
 
@@ -93,20 +172,18 @@ impl ThreadedRuntime {
     ) -> Result<(RunOutcome, Vec<P::State>), SimError> {
         self.cfg.validate()?;
         let p = self.tree.num_procs();
-        let barrier = CentralBarrier::new(p);
+        let barrier = StepBarrier::new(self.barrier_kind, &self.tree);
         let mailboxes: Vec<Mailbox> = (0..p).map(|_| Mailbox::new()).collect();
-        let coord = Mutex::new(Coordination {
-            work: vec![0.0; p],
-            sends: (0..p).map(|_| Vec::new()).collect(),
-            outcomes: vec![None; p],
-            panicked: vec![None; p],
+        let slots: Vec<ProcSlot> = (0..p).map(|_| ProcSlot::new()).collect();
+        let leader_state = Mutex::new(LeaderState {
             starts: vec![0.0; p],
             finish: vec![0.0; p],
             steps: Vec::new(),
             delivered: 0,
             error: None,
-            finished: false,
         });
+        let finished = AtomicBool::new(false);
+        let failed = AtomicBool::new(false);
 
         let began = Instant::now();
         let states: Vec<Result<P::State, SimError>> = std::thread::scope(|scope| {
@@ -118,8 +195,11 @@ impl ThreadedRuntime {
                     tree: Arc::clone(&self.tree),
                 };
                 let barrier = &barrier;
-                let coord = &coord;
+                let leader_state = &leader_state;
+                let finished = &finished;
+                let failed = &failed;
                 let mailboxes = &mailboxes;
+                let slots = &slots;
                 let tree = &self.tree;
                 let cfg = &self.cfg;
                 let step_limit = self.step_limit;
@@ -139,38 +219,42 @@ impl ThreadedRuntime {
                         let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             prog.step(step, &env, &mut state, &mut ctx)
                         }));
-                        let outcome = match body {
-                            Ok(o) => o,
-                            Err(_) => {
-                                // Record the contained panic; the leader
-                                // publishes it as the run's error inside
-                                // the barrier (see `Coordination::panicked`).
-                                coord.lock().panicked[i] = Some(step);
-                                // Participate with a harmless outcome so
-                                // the barrier still completes.
-                                StepOutcome::Done
-                            }
-                        };
                         {
-                            let mut c = coord.lock();
-                            c.work[i] = ctx.work;
-                            c.sends[i] = ctx.outbox;
-                            c.outcomes[i] = Some(outcome);
+                            // SAFETY: this thread owns slot `i` outside
+                            // the leader section (ProcSlot protocol).
+                            let slot = unsafe { slots[i].slot() };
+                            slot.work = ctx.work;
+                            slot.sends = ctx.outbox;
+                            slot.outcome = Some(match body {
+                                Ok(o) => o,
+                                Err(_) => {
+                                    slot.panicked = Some(step);
+                                    // Participate with a harmless
+                                    // outcome so the barrier still
+                                    // completes.
+                                    StepOutcome::Done
+                                }
+                            });
                         }
-                        // Rendezvous; the last thread does the step's
-                        // sequential coordination.
-                        barrier.wait_leader(|| {
-                            let mut c = coord.lock();
-                            leader_step(tree, cfg, mailboxes, step, &mut c);
+                        // Rendezvous; the thread completing the root
+                        // arrival does the step's sequential
+                        // coordination.
+                        barrier.wait_leader(i, || {
+                            let mut ls = leader_state.lock().unwrap();
+                            leader_step(
+                                tree, cfg, mailboxes, slots, step, &mut ls, finished, failed,
+                            );
                         });
-                        let (err, finished) = {
-                            let c = coord.lock();
-                            (c.error.clone(), c.finished)
-                        };
-                        if let Some(e) = err {
+                        if failed.load(Ordering::Acquire) {
+                            let e = leader_state
+                                .lock()
+                                .unwrap()
+                                .error
+                                .clone()
+                                .expect("failed implies a recorded error");
                             return Err(e);
                         }
-                        if finished {
+                        if finished.load(Ordering::Acquire) {
                             return Ok(state);
                         }
                     }
@@ -188,15 +272,15 @@ impl ThreadedRuntime {
         for s in states {
             out_states.push(s?);
         }
-        let c = coord.into_inner();
-        let total_time = c.finish.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let ls = leader_state.into_inner().unwrap();
+        let total_time = ls.finish.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         Ok((
             RunOutcome {
                 virtual_outcome: SimOutcome {
                     total_time,
-                    proc_finish: c.finish,
-                    steps: c.steps,
-                    messages_delivered: c.delivered,
+                    proc_finish: ls.finish,
+                    steps: ls.steps,
+                    messages_delivered: ls.delivered,
                     // Tracing is a simulator feature; the threaded
                     // runtime reports aggregate stats only.
                     timelines: None,
@@ -213,71 +297,110 @@ impl ThreadedRuntime {
     }
 }
 
-/// The per-superstep sequential coordination, identical in effect to one
-/// iteration of the simulator's main loop.
+/// Record `error` and scrub every queue: an aborted step must leave no
+/// stale contribution or undelivered message behind. Runs inside the
+/// leader section.
+fn abort_step(
+    error: SimError,
+    mailboxes: &[Mailbox],
+    slots: &[ProcSlot],
+    ls: &mut LeaderState,
+    failed: &AtomicBool,
+) {
+    if ls.error.is_none() {
+        ls.error = Some(error);
+    }
+    for s in slots {
+        // SAFETY: leader section — the leader owns every slot.
+        let slot = unsafe { s.slot() };
+        slot.sends.clear();
+        slot.outcome = None;
+        slot.work = 0.0;
+    }
+    for mb in mailboxes {
+        mb.take();
+    }
+    failed.store(true, Ordering::Release);
+}
+
+/// The per-superstep sequential coordination, identical in effect to
+/// one iteration of the simulator's main loop. Runs inside the
+/// barrier's leader section; `slots` are all leader-owned here (see
+/// [`ProcSlot`]).
+#[allow(clippy::too_many_arguments)]
 fn leader_step(
     tree: &MachineTree,
     cfg: &NetConfig,
     mailboxes: &[Mailbox],
+    slots: &[ProcSlot],
     step: usize,
-    c: &mut Coordination,
+    ls: &mut LeaderState,
+    finished: &AtomicBool,
+    failed: &AtomicBool,
 ) {
+    let p = tree.num_procs();
     // Translate contained panics into the shared error now that every
     // thread of this generation has arrived (lowest rank wins for
     // determinism).
-    if c.error.is_none() {
-        if let Some((i, &Some(step))) = c.panicked.iter().enumerate().find(|(_, s)| s.is_some()) {
-            c.error = Some(SimError::ProgramPanicked {
-                pid: ProcId(i as u32),
-                step,
-            });
+    for i in 0..p {
+        // SAFETY: leader section — the leader owns every slot.
+        if let Some(pstep) = unsafe { slots[i].slot() }.panicked {
+            abort_step(
+                SimError::ProgramPanicked {
+                    pid: ProcId(i as u32),
+                    step: pstep,
+                },
+                mailboxes,
+                slots,
+                ls,
+                failed,
+            );
+            return;
         }
     }
-    if c.error.is_some() {
-        // A processor failed; preserve the error and skip the step's
-        // bookkeeping.
-        for o in c.outcomes.iter_mut() {
-            o.take();
-        }
-        return;
+
+    // Gather contributions: flatten sends in pid order — the exact
+    // posting order the simulator sees when it runs processors
+    // sequentially. Messages are *moved* out of the per-proc buffers;
+    // payload bytes are never copied on the delivery path.
+    let mut work = vec![0.0f64; p];
+    let mut sends: Vec<Message> = Vec::new();
+    let mut outcomes: Vec<StepOutcome> = Vec::with_capacity(p);
+    for (i, w) in work.iter_mut().enumerate() {
+        // SAFETY: leader section — the leader owns every slot.
+        let slot = unsafe { slots[i].slot() };
+        *w = slot.work;
+        slot.work = 0.0;
+        sends.append(&mut slot.sends);
+        outcomes.push(slot.outcome.take().expect("all contributions in"));
     }
-    let p = tree.num_procs();
-    // Flatten sends in pid order — the exact posting order the
-    // simulator sees when it runs processors sequentially.
-    let sends: Vec<Message> = c.sends.iter_mut().flat_map(std::mem::take).collect();
-    let outcomes: Vec<StepOutcome> = c
-        .outcomes
-        .iter_mut()
-        .map(|o| o.take().expect("all contributions in"))
-        .collect();
 
     let scope = match resolve_outcomes(step, &outcomes) {
         Ok(s) => s,
         Err(e) => {
-            c.error = Some(e);
+            abort_step(e, mailboxes, slots, ls, failed);
             return;
         }
     };
     let analysis = match analyze(tree, step, scope, &sends) {
         Ok(a) => a,
         Err(e) => {
-            c.error = Some(e);
+            abort_step(e, mailboxes, slots, ls, failed);
             return;
         }
     };
-    let timing = superstep_timing(tree, cfg, &c.starts, &c.work, &analysis.intents);
+    let timing = superstep_timing(tree, cfg, &ls.starts, &work, &analysis.intents);
     let finish_max = timing
         .finish
         .iter()
         .cloned()
         .fold(f64::NEG_INFINITY, f64::max);
-    let start_min = c.starts.iter().cloned().fold(f64::INFINITY, f64::min);
-    let work_units: f64 = c.work.iter().sum();
-    c.work = vec![0.0; p];
+    let start_min = ls.starts.iter().cloned().fold(f64::INFINITY, f64::min);
+    let work_units: f64 = work.iter().sum();
 
     match scope {
         None => {
-            c.steps.push(StepStats {
+            ls.steps.push(StepStats {
                 step,
                 scope: hbsp_core::SyncScope::global(tree),
                 start_min,
@@ -287,13 +410,13 @@ fn leader_step(
                 hrelation: analysis.hrelation,
                 work_units,
             });
-            c.finish = timing.finish;
-            c.finished = true;
+            ls.finish = timing.finish;
+            finished.store(true, Ordering::Release);
         }
         Some(s) => {
             let releases = barrier_release(tree, s, &timing.finish);
             let release_max = releases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            c.steps.push(StepStats {
+            ls.steps.push(StepStats {
                 step,
                 scope: s,
                 start_min,
@@ -303,21 +426,23 @@ fn leader_step(
                 hrelation: analysis.hrelation,
                 work_units,
             });
-            // Deliver in (arrival, posting index) order.
-            let mut with_arrival: Vec<(f64, usize)> = timing
-                .messages
-                .iter()
-                .enumerate()
-                .map(|(mi, t)| (t.arrival, mi))
-                .collect();
-            with_arrival.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-            for (_, mi) in with_arrival {
-                let m = sends[mi].clone();
-                mailboxes[m.dst.rank()].deposit(m);
-                c.delivered += 1;
+            // Deliver in (arrival, posting index) order, moving each
+            // message into a per-destination batch so every mailbox is
+            // locked once per superstep rather than once per message.
+            let mut batches: Vec<Vec<Message>> = (0..p).map(|_| Vec::new()).collect();
+            let mut sends: Vec<Option<Message>> = sends.into_iter().map(Some).collect();
+            for mi in delivery_order(&timing.messages) {
+                let m = sends[mi].take().expect("each message delivered once");
+                batches[m.dst.rank()].push(m);
+                ls.delivered += 1;
             }
-            c.finish = timing.finish.clone();
-            c.starts = releases;
+            for (q, batch) in batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    mailboxes[q].deposit_batch(batch);
+                }
+            }
+            ls.finish = timing.finish;
+            ls.starts = releases;
         }
     }
 }
@@ -407,6 +532,22 @@ mod tests {
         )
     }
 
+    /// An HBSP^2 machine so the hierarchical barrier has real clusters.
+    fn clustered_machine() -> Arc<MachineTree> {
+        Arc::new(
+            TreeBuilder::two_level(
+                1.0,
+                100.0,
+                &[
+                    (10.0, vec![(1.0, 1.0), (2.0, 0.5), (1.5, 0.8)]),
+                    (15.0, vec![(2.0, 0.5), (3.0, 0.4)]),
+                    (12.0, vec![(1.2, 0.9), (2.5, 0.45), (4.0, 0.2)]),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
     #[test]
     fn threaded_delivery_matches_bsp_guarantee() {
         let rt = ThreadedRuntime::new(machine());
@@ -442,6 +583,23 @@ mod tests {
     }
 
     #[test]
+    fn both_barriers_agree_with_simulator_on_clustered_machine() {
+        let tree = clustered_machine();
+        let prog = Exchange { rounds: 5 };
+        let sim = Simulator::new(Arc::clone(&tree)).run(&prog).unwrap();
+        for kind in [BarrierKind::Central, BarrierKind::Hierarchical] {
+            let thr = ThreadedRuntime::new(Arc::clone(&tree))
+                .barrier(kind)
+                .run(&prog)
+                .unwrap()
+                .virtual_outcome;
+            assert_eq!(sim.total_time, thr.total_time, "{kind:?}");
+            assert_eq!(sim.proc_finish, thr.proc_finish, "{kind:?}");
+            assert_eq!(sim.messages_delivered, thr.messages_delivered, "{kind:?}");
+        }
+    }
+
+    #[test]
     fn errors_propagate_from_leader() {
         struct Mixed;
         impl SpmdProgram for Mixed {
@@ -466,6 +624,59 @@ mod tests {
             rt.run(&Mixed).unwrap_err(),
             SimError::TerminationMismatch { step: 0 }
         );
+    }
+
+    /// Regression for the take-after-error audit: an aborting step must
+    /// drain every mailbox and per-proc send buffer, leaving no queued
+    /// messages behind.
+    #[test]
+    fn aborted_step_leaves_no_queued_messages() {
+        let tree = machine();
+        let p = tree.num_procs();
+        let mailboxes: Vec<Mailbox> = (0..p).map(|_| Mailbox::new()).collect();
+        let slots: Vec<ProcSlot> = (0..p).map(|_| ProcSlot::new()).collect();
+        // Simulate mid-run state: pending deliveries and posted sends.
+        mailboxes[1].deposit(Message::new(ProcId(0), ProcId(1), 0, vec![1, 2, 3]));
+        for (i, s) in slots.iter().enumerate() {
+            let slot = unsafe { s.slot() };
+            slot.sends
+                .push(Message::new(ProcId(i as u32), ProcId(0), 0, vec![9; 16]));
+            // Mixed outcomes: a termination mismatch.
+            slot.outcome = Some(if i == 0 {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue(SyncScope::global(&tree))
+            });
+        }
+        let mut ls = LeaderState {
+            starts: vec![0.0; p],
+            finish: vec![0.0; p],
+            steps: Vec::new(),
+            delivered: 0,
+            error: None,
+        };
+        let finished = AtomicBool::new(false);
+        let failed = AtomicBool::new(false);
+        leader_step(
+            &tree,
+            &NetConfig::pvm_like(),
+            &mailboxes,
+            &slots,
+            3,
+            &mut ls,
+            &finished,
+            &failed,
+        );
+        assert!(failed.load(Ordering::Acquire));
+        assert_eq!(ls.error, Some(SimError::TerminationMismatch { step: 3 }));
+        for (q, mb) in mailboxes.iter().enumerate() {
+            assert!(mb.is_empty(), "mailbox {q} must be drained");
+        }
+        for (i, s) in slots.iter().enumerate() {
+            let slot = unsafe { s.slot() };
+            assert!(slot.sends.is_empty(), "send buffer {i} must be cleared");
+            assert!(slot.outcome.is_none(), "stale outcome {i} must be cleared");
+        }
     }
 
     #[test]

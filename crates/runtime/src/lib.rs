@@ -3,9 +3,14 @@
 //! Executes the same [`hbsp_core::SpmdProgram`]s as `hbsp-sim`, but on
 //! real OS threads: one thread per leaf processor, double-buffered
 //! mailboxes providing the BSP delivery guarantee (messages sent in
-//! superstep `s` are readable in `s + 1`), and a central sense-reversing
-//! barrier whose last arriver performs the per-superstep coordination
-//! (SPMD-discipline checks, message routing, virtual-time accounting).
+//! superstep `s` are readable in `s + 1`), and a hierarchical
+//! sense-reversing barrier whose combining tree mirrors the machine's
+//! cluster structure; the thread completing the root arrival performs
+//! the per-superstep coordination (SPMD-discipline checks, message
+//! routing, virtual-time accounting). A flat central barrier is kept as
+//! the measurable baseline ([`BarrierKind::Central`]), selectable via
+//! [`ThreadedRuntime::barrier`]. See `docs/runtime.md` for the
+//! architecture.
 //!
 //! The runtime keeps a *virtual clock* using exactly the same timing
 //! algebra as the simulator ([`hbsp_sim::timing`]), so for any program
@@ -22,6 +27,6 @@ pub mod barrier;
 pub mod engine;
 pub mod mailbox;
 
-pub use barrier::CentralBarrier;
+pub use barrier::{BarrierKind, CentralBarrier, HierBarrier};
 pub use engine::{RunOutcome, ThreadedRuntime};
 pub use mailbox::Mailbox;

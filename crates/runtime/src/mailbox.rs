@@ -9,7 +9,7 @@
 //! delivery guarantee made concrete.
 
 use hbsp_core::Message;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One processor's incoming-message buffer.
 #[derive(Default)]
@@ -25,22 +25,37 @@ impl Mailbox {
 
     /// Deposit a message (leader section only).
     pub fn deposit(&self, m: Message) {
-        self.inbox.lock().push(m);
+        self.inbox.lock().unwrap().push(m);
+    }
+
+    /// Deposit a whole superstep's worth of messages for this receiver,
+    /// preserving their order, with a single lock acquisition. The
+    /// leader batches deliveries per destination so each mailbox is
+    /// locked once per superstep rather than once per message.
+    pub fn deposit_batch(&self, mut batch: Vec<Message>) {
+        let mut inbox = self.inbox.lock().unwrap();
+        if inbox.is_empty() {
+            // Common case: the receiver drained last step's inbox, so
+            // the batch becomes the inbox without copying any message.
+            *inbox = batch;
+        } else {
+            inbox.append(&mut batch);
+        }
     }
 
     /// Take the entire inbox, leaving it empty.
     pub fn take(&self) -> Vec<Message> {
-        std::mem::take(&mut *self.inbox.lock())
+        std::mem::take(&mut *self.inbox.lock().unwrap())
     }
 
     /// Number of queued messages.
     pub fn len(&self) -> usize {
-        self.inbox.lock().len()
+        self.inbox.lock().unwrap().len()
     }
 
     /// True if no messages are queued.
     pub fn is_empty(&self) -> bool {
-        self.inbox.lock().is_empty()
+        self.inbox.lock().unwrap().is_empty()
     }
 }
 
@@ -69,5 +84,26 @@ mod tests {
     fn take_on_empty_is_empty() {
         let mb = Mailbox::new();
         assert!(mb.take().is_empty());
+    }
+
+    #[test]
+    fn batch_deposit_preserves_order_and_appends() {
+        let mb = Mailbox::new();
+        mb.deposit_batch(
+            (0..3)
+                .map(|i| Message::new(ProcId(i), ProcId(0), i, vec![]))
+                .collect(),
+        );
+        assert_eq!(mb.len(), 3);
+        // A second batch lands after the first.
+        mb.deposit_batch(
+            (3..5)
+                .map(|i| Message::new(ProcId(i), ProcId(0), i, vec![]))
+                .collect(),
+        );
+        let msgs = mb.take();
+        let srcs: Vec<u32> = msgs.iter().map(|m| m.src.0).collect();
+        assert_eq!(srcs, vec![0, 1, 2, 3, 4]);
+        assert!(mb.is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! Stress tests for the threaded runtime's synchronization machinery.
 
 use hbsp_core::{ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope, TreeBuilder};
-use hbsp_runtime::{CentralBarrier, Mailbox, ThreadedRuntime};
+use hbsp_runtime::{CentralBarrier, HierBarrier, Mailbox, ThreadedRuntime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +22,46 @@ fn barrier_survives_many_generations_with_many_threads() {
                         // for this generation.
                         let seen = counter.load(Ordering::SeqCst);
                         assert_eq!(seen as usize, (round + 1) * N);
+                        leader_runs.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(leader_runs.load(Ordering::SeqCst), ROUNDS as u64);
+}
+
+#[test]
+fn hier_barrier_survives_many_generations_with_many_threads() {
+    const ROUNDS: usize = 500;
+    // Three clusters of 4: arrivals combine per cluster before the root.
+    let tree = TreeBuilder::two_level(
+        1.0,
+        50.0,
+        &[
+            (10.0, vec![(1.0, 1.0); 4]),
+            (10.0, vec![(1.5, 0.8); 4]),
+            (10.0, vec![(2.0, 0.5); 4]),
+        ],
+    )
+    .unwrap();
+    let n = tree.num_procs();
+    let barrier = HierBarrier::new(&tree);
+    let leader_runs = AtomicU64::new(0);
+    let counter = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for rank in 0..n {
+            let barrier = &barrier;
+            let leader_runs = &leader_runs;
+            let counter = &counter;
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait_leader(rank, || {
+                        // The leader observes every thread's increment
+                        // for this generation.
+                        let seen = counter.load(Ordering::SeqCst);
+                        assert_eq!(seen as usize, (round + 1) * n);
                         leader_runs.fetch_add(1, Ordering::SeqCst);
                     });
                 }

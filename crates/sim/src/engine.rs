@@ -4,7 +4,7 @@
 use crate::config::NetConfig;
 use crate::error::SimError;
 use crate::stats::StepStats;
-use crate::step::{analyze, resolve_outcomes};
+use crate::step::{analyze, delivery_order, resolve_outcomes};
 use crate::timing::{barrier_release, superstep_timing};
 use crate::trace::{step_spans, ProcTimeline};
 use hbsp_core::{
@@ -226,18 +226,14 @@ impl Simulator {
                         hrelation,
                         work_units: work.iter().sum(),
                     });
-                    // Deliver messages for the next superstep, ordered by
-                    // (arrival, posting index) per receiver.
-                    let mut with_arrival: Vec<(f64, usize)> = timing
-                        .messages
-                        .iter()
-                        .enumerate()
-                        .map(|(mi, t)| (t.arrival, mi))
-                        .collect();
-                    with_arrival.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
-                    for (_, mi) in with_arrival {
-                        let m = &sends[mi];
-                        inboxes[m.dst.rank()].push(m.clone());
+                    // Deliver messages for the next superstep, ordered
+                    // by (arrival, posting index) per receiver. Moved,
+                    // not cloned: each payload travels sender → inbox
+                    // without being copied.
+                    let mut sends: Vec<Option<Message>> = sends.into_iter().map(Some).collect();
+                    for mi in delivery_order(&timing.messages) {
+                        let m = sends[mi].take().expect("each message delivered once");
+                        inboxes[m.dst.rank()].push(m);
                         delivered += 1;
                     }
                     starts = releases;

@@ -43,5 +43,5 @@ pub use error::SimError;
 pub use event::TimeQueue;
 pub use model_engine::ModelEvaluator;
 pub use stats::{LevelTraffic, StepStats};
-pub use step::{analyze, resolve_outcomes, StepAnalysis};
+pub use step::{analyze, delivery_order, resolve_outcomes, StepAnalysis};
 pub use trace::{ascii_gantt, ProcTimeline, Span, SpanKind, TraceSummary};

@@ -4,7 +4,7 @@
 
 use crate::error::SimError;
 use crate::stats::LevelTraffic;
-use crate::timing::SendIntent;
+use crate::timing::{MsgTiming, SendIntent};
 use hbsp_core::{HRelation, MachineTree, Message, StepOutcome, SyncScope};
 
 /// The validated, cost-relevant view of one superstep's communication.
@@ -52,6 +52,27 @@ pub fn resolve_outcomes(
         }
     }
     Ok(scope)
+}
+
+/// The deterministic delivery order of one superstep's messages: by
+/// (arrival time, posting index). Shared by the simulator and the
+/// threaded runtime so both engines deliver bit-identically.
+///
+/// Ordering uses [`f64::total_cmp`], never `partial_cmp(..).unwrap()`:
+/// a NaN arrival would indicate an upstream timing bug, but it must
+/// still produce a total, deterministic order rather than a panic — in
+/// the threaded runtime this code runs inside the barrier's leader
+/// section, where a panic would strand every other processor thread at
+/// the barrier forever.
+pub fn delivery_order(messages: &[MsgTiming]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..messages.len()).collect();
+    order.sort_by(|&a, &b| {
+        messages[a]
+            .arrival
+            .total_cmp(&messages[b].arrival)
+            .then(a.cmp(&b))
+    });
+    order
 }
 
 /// Validate every message of a superstep against the machine and the
@@ -163,6 +184,35 @@ mod tests {
             "self-send recorded at the leaf's own level"
         );
         assert_eq!(a.hrelation, 20.0, "r=2 sender of 10 words dominates");
+    }
+
+    /// Regression: arrival sorting once used `partial_cmp(..).unwrap()`,
+    /// which panics on NaN — inside the threaded runtime's leader
+    /// section that deadlocks the barrier. `total_cmp` must give a
+    /// deterministic total order instead.
+    #[test]
+    fn delivery_order_is_total_even_with_nan_arrivals() {
+        let t = |arrival| MsgTiming {
+            arrival,
+            unpack_done: 0.0,
+        };
+        let msgs = vec![t(5.0), t(f64::NAN), t(1.0), t(f64::NAN), t(-0.0)];
+        let order = delivery_order(&msgs);
+        // total_cmp sorts positive NaN above every number; equal keys
+        // keep posting order.
+        assert_eq!(order, vec![4, 2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn delivery_order_breaks_ties_by_posting_index() {
+        let msgs = vec![
+            MsgTiming {
+                arrival: 3.0,
+                unpack_done: 0.0,
+            };
+            4
+        ];
+        assert_eq!(delivery_order(&msgs), vec![0, 1, 2, 3]);
     }
 
     #[test]

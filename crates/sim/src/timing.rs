@@ -137,7 +137,11 @@ pub fn superstep_timing(
     // LCA node serialize through it in sender-completion order (ties by
     // posting index), like the testbed's shared Ethernet.
     let mut inbox: Vec<TimeQueue<(usize, f64)>> = (0..p).map(|_| TimeQueue::new()).collect();
-    posted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    // total_cmp, not partial_cmp().unwrap(): a NaN completion time is
+    // an upstream bug, but it must not panic mid-coordination (in the
+    // threaded runtime this algebra runs inside the barrier's leader
+    // section, where a panic strands every other thread).
+    posted.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     let mut wire_free: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
     for (mi, done, wire, latency, segment) in posted {
         let s = &sends[mi];

@@ -54,6 +54,89 @@ impl Program for ShiftExchange {
     }
 }
 
+/// splitmix64: a tiny deterministic mixer so every processor can derive
+/// the same pseudo-random decisions from `(seed, step)` without shared
+/// state.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded random SPMD program: each superstep picks a sync scope from
+/// `(seed, step)` alone (so every processor agrees, as the SPMD
+/// discipline demands), then each processor posts a random number of
+/// randomly sized messages to random destinations *within its cluster
+/// at that scope* and charges random work.
+struct RandomProgram {
+    rounds: usize,
+    seed: u64,
+    /// When true (and the machine has depth), steps may close with
+    /// level-scoped barriers instead of always syncing globally.
+    local_sync: bool,
+}
+
+impl RandomProgram {
+    /// The scope closing superstep `step` — a pure function of the
+    /// program parameters so all processors derive the same answer.
+    fn scope(&self, step: usize, tree: &MachineTree) -> SyncScope {
+        let height = tree.height();
+        if self.local_sync && height > 1 {
+            SyncScope::Level(1 + (mix(self.seed ^ step as u64) % height as u64) as u32)
+        } else {
+            SyncScope::global(tree)
+        }
+    }
+}
+
+impl Program for RandomProgram {
+    type State = u64;
+
+    fn init(&self, _env: &ProcEnv) -> u64 {
+        0x6a09_e667_f3bc_c908
+    }
+
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        digest: &mut u64,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        for m in ctx.messages() {
+            *digest ^= (m.src.0 as u64) << 40 | (m.tag as u64) << 20 | m.payload.len() as u64;
+            *digest = mix(*digest);
+        }
+        if step == self.rounds {
+            return StepOutcome::Done;
+        }
+        let scope = self.scope(step, &env.tree);
+        // Destinations legal for this step: the leaves of this
+        // processor's cluster at the closing scope's level.
+        let cluster = env
+            .tree
+            .cluster_of(env.pid, scope.level())
+            .expect("scope level never exceeds the tree height");
+        let peers: Vec<ProcId> = env
+            .tree
+            .subtree_leaves(cluster)
+            .into_iter()
+            .map(|l| env.tree.node(l).proc_id().expect("leaves are procs"))
+            .collect();
+        let base = mix(self.seed ^ ((step as u64) << 24) ^ env.pid.0 as u64);
+        let nmsgs = (base % 4) as usize;
+        for j in 0..nmsgs as u64 {
+            let h = mix(base ^ (j << 8));
+            let dst = peers[(h % peers.len() as u64) as usize];
+            let len = (mix(h) % 96) as usize;
+            ctx.send(dst, (h % 17) as u32, vec![(h >> 32) as u8; len]);
+        }
+        ctx.charge((base % 1000) as f64 / 8.0);
+        StepOutcome::Continue(scope)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -79,6 +162,40 @@ proptest! {
         prop_assert_eq!(sim.messages_delivered, thr.messages_delivered);
         prop_assert_eq!(sim.steps.len(), thr.steps.len());
         for (a, b) in sim.steps.iter().zip(&thr.steps) {
+            prop_assert_eq!(a.hrelation, b.hrelation);
+            prop_assert_eq!(a.finish_max, b.finish_max);
+            prop_assert_eq!(a.release_max, b.release_max);
+            prop_assert_eq!(a.work_units, b.work_units);
+            prop_assert_eq!(&a.traffic, &b.traffic);
+        }
+    }
+
+    /// Random machines x random SPMD exchange programs (random scopes,
+    /// fan-outs, payloads, work): the two engines must agree on every
+    /// observable — states, total time, per-proc finish times, per-step
+    /// h-relations, and delivered-message counts.
+    #[test]
+    fn random_programs_agree_across_engines(
+        tree in arb_machine(),
+        rounds in 1usize..7,
+        seed in any::<u64>(),
+        local_sync in any::<bool>(),
+    ) {
+        let tree = Arc::new(tree);
+        let prog = RandomProgram { rounds, seed, local_sync };
+        let (sim, sim_states) =
+            Simulator::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        let (thr, thr_states) =
+            ThreadedRuntime::new(Arc::clone(&tree)).run_with_states(&prog).unwrap();
+        let thr = thr.virtual_outcome;
+
+        prop_assert_eq!(sim_states, thr_states);
+        prop_assert_eq!(sim.total_time, thr.total_time);
+        prop_assert_eq!(sim.proc_finish, thr.proc_finish);
+        prop_assert_eq!(sim.messages_delivered, thr.messages_delivered);
+        prop_assert_eq!(sim.steps.len(), thr.steps.len());
+        for (a, b) in sim.steps.iter().zip(&thr.steps) {
+            prop_assert_eq!(a.scope, b.scope);
             prop_assert_eq!(a.hrelation, b.hrelation);
             prop_assert_eq!(a.finish_max, b.finish_max);
             prop_assert_eq!(a.release_max, b.release_max);

@@ -1,0 +1,232 @@
+//! An offline, dependency-free subset of the `criterion` crate.
+//!
+//! The real `criterion` cannot be vendored here (no network access at
+//! build time), so this shim reimplements the API the workspace's
+//! benches use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! median-of-samples measurement loop instead of criterion's full
+//! statistical machinery.
+//!
+//! Tuning via environment variables (all optional):
+//!
+//! * `CRITERION_SAMPLES` — samples per benchmark (default 15)
+//! * `CRITERION_SAMPLE_MS` — target milliseconds per sample (default 40)
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Top-level benchmark driver (a stand-in for criterion's).
+pub struct Criterion {
+    samples: usize,
+    sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: env_usize("CRITERION_SAMPLES", 15),
+            sample_time: Duration::from_millis(env_usize("CRITERION_SAMPLE_MS", 40) as u64),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.samples, self.sample_time, |b| f(b));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            sample_time: self.sample_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    sample_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Override the per-sample measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.sample_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&id, self.samples, self.sample_time, |b| f(b));
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.0);
+        run_benchmark(&id, self.samples, self.sample_time, |b| f(b, input));
+        self
+    }
+
+    /// End the group (a no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// A function-plus-parameter benchmark name.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    sample_time: Duration,
+    mut f: F,
+) {
+    // Calibration: find an iteration count that fills ~one sample window.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        f(&mut b);
+        if b.elapsed >= sample_time || b.iters >= 1 << 30 {
+            break;
+        }
+        let per_iter = (b.elapsed.as_nanos() as u64 / b.iters).max(1);
+        let target = (sample_time.as_nanos() as u64 / per_iter).max(1);
+        // Grow at most 100x per round so one mis-measured fast iteration
+        // cannot jump straight to a multi-minute sample.
+        b.iters = target.min(b.iters * 100).max(b.iters + 1);
+    }
+    let iters = b.iters;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let min = per_iter_ns.first().copied().unwrap_or(0.0);
+    let max = per_iter_ns.last().copied().unwrap_or(0.0);
+    println!("{id:<60} time: [{min:>12.2} ns {median:>12.2} ns {max:>12.2} ns]");
+}
+
+/// Declare a group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,121 @@
+//! An offline, dependency-free subset of the `proptest` crate.
+//!
+//! The real `proptest` cannot be vendored here (no network access at
+//! build time), so this shim reimplements exactly the API surface the
+//! workspace's property tests use: the [`Strategy`] trait with
+//! `prop_map`, range/tuple/`Just`/regex-string strategies,
+//! `proptest::collection::vec`, `proptest::num::f64::ANY`, and the
+//! `proptest!` / `prop_assert*!` / `prop_oneof!` macros.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * **Deterministic**: each test function derives its RNG seed from its
+//!   own path (override with `PROPTEST_SEED`), so CI runs are
+//!   reproducible without `.proptest-regressions` files (which this shim
+//!   ignores).
+//! * **No shrinking**: a failing case reports the seed and case index
+//!   instead of a minimized input.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Strategies for collections (only `vec` is provided).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size specification for [`vec`]: an exact length or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)` — random-length vectors.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Numeric strategies beyond plain ranges.
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Generates arbitrary `f64`s, including zeros, subnormals,
+        /// infinities and NaN — raw bit patterns, like upstream's
+        /// all-classes `ANY`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// Any `f64` whatsoever.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                match rng.next_u64() % 8 {
+                    // Mostly "reasonable" magnitudes so formatted output
+                    // exercises ordinary parsing paths too.
+                    0..=3 => (rng.next_f64() - 0.5) * 2.0e6,
+                    4 => f64::from_bits(rng.next_u64()),
+                    5 => 0.0,
+                    6 => f64::INFINITY,
+                    _ => f64::NAN,
+                }
+            }
+        }
+    }
+}
+
+/// The glob-import surface used by every test: traits, common
+/// strategies, config types, and the macros.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

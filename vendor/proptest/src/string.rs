@@ -1,0 +1,177 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest accepts any string literal as a strategy and
+//! generates matching strings from the full regex grammar. This shim
+//! supports the subset the workspace's tests use: literal characters,
+//! `.`, character classes (`[a-z#]`, with ranges), escapes (`\)`), and
+//! the repetition operators `{m,n}`, `{n}`, `*`, `+`, `?`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// A fixed character.
+    Lit(char),
+    /// `.` — any printable ASCII character (plus a few surprises).
+    Dot,
+    /// `[...]` — inclusive character ranges (single chars are `(c, c)`).
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern; one `Piece` per atom-with-repetition.
+#[derive(Clone, Debug)]
+pub struct RegexStrategy {
+    pieces: Vec<Piece>,
+}
+
+fn parse(pattern: &str) -> RegexStrategy {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '\\' => Atom::Lit(chars.next().expect("dangling escape in pattern")),
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let c = chars.next().expect("unterminated character class");
+                    if c == ']' {
+                        break;
+                    }
+                    let lo = if c == '\\' {
+                        chars.next().expect("dangling escape in class")
+                    } else {
+                        c
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().expect("unterminated class range");
+                        assert!(hi != ']', "class range missing upper bound");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class");
+                Atom::Class(ranges)
+            }
+            c => Atom::Lit(c),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition lower bound"),
+                        hi.parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    RegexStrategy { pieces }
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Lit(c) => *c,
+            Atom::Dot => {
+                // Mostly printable ASCII; occasionally something rude.
+                match rng.next_u64() % 16 {
+                    0 => '\t',
+                    1 => 'λ',
+                    2 => '\u{1F980}',
+                    _ => (0x20 + (rng.next_u64() % 0x5f) as u8) as char,
+                }
+            }
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.usize_in(0, ranges.len() - 1)];
+                char::from_u32(rng.usize_in(lo as usize, hi as usize) as u32)
+                    .expect("class range spans invalid codepoints")
+            }
+        }
+    }
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = rng.usize_in(piece.min, piece.max);
+            for _ in 0..n {
+                out.push(piece.atom.generate(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per draw keeps the API dependency-free; patterns are
+        // tiny, so this is nowhere near the profile.
+        parse(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = Strategy::generate(&"[#a-z ]{0,40}\\)", &mut rng);
+            assert!(s.ends_with(')'));
+            let body = &s[..s.len() - 1];
+            assert!(body
+                .chars()
+                .all(|c| c == '#' || c == ' ' || c.is_ascii_lowercase()));
+
+            let s = Strategy::generate(&".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+}

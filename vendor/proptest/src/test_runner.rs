@@ -1,0 +1,213 @@
+//! Test-runner plumbing: the RNG, per-test configuration, and the error
+//! type `prop_assert*!` produces.
+
+use std::fmt;
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases (the common constructor).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed `prop_assert*!` inside a test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Failure with the given explanation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// SplitMix64: tiny, fast, and plenty for test-input generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Deterministic RNG for the named test. The seed is the FNV-1a hash
+    /// of the test path, XORed with `PROPTEST_SEED` when set, so a
+    /// failure report's seed can be replayed exactly.
+    pub fn for_test(test_path: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.trim().parse::<u64>() {
+                h ^= extra;
+            }
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The current internal state (reported on failure for replay).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+}
+
+/// `proptest! { ... }` — run each contained test function over many
+/// random inputs drawn from the `in` strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident
+        ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let path = concat!(module_path!(), "::", stringify!($name));
+                let mut rng = $crate::test_runner::TestRng::for_test(path);
+                for case in 0..cfg.cases {
+                    let seed = rng.state();
+                    let vals = ( $( $crate::strategy::Strategy::generate(&$strat, &mut rng), )+ );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move ||
+                            -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            let ( $($pat,)+ ) = vals;
+                            $body
+                            ::std::result::Result::Ok(())
+                        }),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => panic!(
+                            "proptest case {case}/{} failed: {e}\n\
+                             replay: PROPTEST_SEED such that rng state = {seed:#x} ({path})",
+                            cfg.cases,
+                        ),
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest case {case}/{} panicked \
+                                 (rng state {seed:#x}, {path})",
+                                cfg.cases,
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond, args…)` — fail the current case (not the whole
+/// process) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b, args…)` — equality assertion for test cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert_ne!(a, b, args…)` — inequality assertion for test cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_oneof![s1, s2, …]` — pick one of several same-valued strategies
+/// uniformly at random per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::boxed($strat),)+
+        ])
+    };
+}
