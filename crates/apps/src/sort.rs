@@ -90,7 +90,10 @@ impl SpmdProgram for SampleSort {
         state: &mut SortState,
         ctx: &mut dyn SpmdContext,
     ) -> StepOutcome {
-        let root = self.root.resolve(&env.tree);
+        let root = self
+            .root
+            .resolve(&env.tree)
+            .expect("sort root must be a valid rank");
         let p = env.nprocs;
         match step {
             // Phase 1: scatter shares from the root.
@@ -112,7 +115,11 @@ impl SpmdProgram for SampleSort {
             1 => {
                 for m in ctx.messages() {
                     if m.tag == TAG_SHARE {
-                        state.run = decode_bundle(&m.payload).pop().expect("one share").items;
+                        state.run = decode_bundle(&m.payload)
+                            .expect("own wire format")
+                            .pop()
+                            .expect("one share")
+                            .items;
                     }
                 }
                 let run = std::mem::take(&mut state.run);

@@ -190,7 +190,7 @@ fn main() {
             if o.trace {
                 // Traced run via the raw simulator for timeline capture.
                 let shares = Arc::new(shares_for(&tree, &items, o.workload));
-                let root = o.root.resolve(&tree);
+                let root = o.root.resolve(&tree).expect("valid root rank");
                 let sim = Simulator::new(Arc::new(tree.clone())).trace(true);
                 sim.run(&FlatGather::new(root, shares)).expect("run")
             } else {

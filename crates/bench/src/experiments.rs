@@ -6,8 +6,8 @@ use hbsp_collectives::broadcast::{simulate_broadcast, BroadcastPlan};
 use hbsp_collectives::gather::{simulate_gather, GatherPlan};
 use hbsp_collectives::plan::{PhasePolicy, RootPolicy, WorkloadPolicy};
 use hbsp_collectives::predict;
-use hbsp_core::MachineTree;
-use hbsp_sim::SimError;
+use hbsp_collectives::CollectiveError;
+use hbsp_core::{CostReport, Level, MachineTree, SuperstepCost};
 
 /// One point of a Figure-3/4-style plot: processor count, problem size
 /// (KB), and the improvement factor `T_A / T_B`.
@@ -24,8 +24,8 @@ pub struct FigurePoint {
 fn sweep(
     ps: &[usize],
     kbs: &[usize],
-    mut f: impl FnMut(&MachineTree, &[u32]) -> Result<f64, SimError>,
-) -> Result<Vec<FigurePoint>, SimError> {
+    mut f: impl FnMut(&MachineTree, &[u32]) -> Result<f64, CollectiveError>,
+) -> Result<Vec<FigurePoint>, CollectiveError> {
     let mut out = Vec::with_capacity(ps.len() * kbs.len());
     for &p in ps {
         let tree = testbed(p).expect("testbed builds");
@@ -43,7 +43,10 @@ fn sweep(
 
 /// **E1 / Figure 3(a)** — gather improvement from rooting at `P_f`
 /// instead of `P_s`: the factor `T_s / T_f` with equal workloads.
-pub fn gather_root_improvement(ps: &[usize], kbs: &[usize]) -> Result<Vec<FigurePoint>, SimError> {
+pub fn gather_root_improvement(
+    ps: &[usize],
+    kbs: &[usize],
+) -> Result<Vec<FigurePoint>, CollectiveError> {
     sweep(ps, kbs, |tree, items| {
         let tf = simulate_gather(tree, items, GatherPlan::fast_root())?.time;
         let ts = simulate_gather(tree, items, GatherPlan::slow_root())?.time;
@@ -56,7 +59,7 @@ pub fn gather_root_improvement(ps: &[usize], kbs: &[usize]) -> Result<Vec<Figure
 pub fn gather_balance_improvement(
     ps: &[usize],
     kbs: &[usize],
-) -> Result<Vec<FigurePoint>, SimError> {
+) -> Result<Vec<FigurePoint>, CollectiveError> {
     sweep(ps, kbs, |tree, items| {
         let tu = simulate_gather(tree, items, GatherPlan::fast_root())?.time;
         let tb = simulate_gather(tree, items, GatherPlan::balanced())?.time;
@@ -69,7 +72,7 @@ pub fn gather_balance_improvement(
 pub fn broadcast_root_improvement(
     ps: &[usize],
     kbs: &[usize],
-) -> Result<Vec<FigurePoint>, SimError> {
+) -> Result<Vec<FigurePoint>, CollectiveError> {
     sweep(ps, kbs, |tree, items| {
         let tf = simulate_broadcast(tree, items, BroadcastPlan::two_phase())?.time;
         let ts = simulate_broadcast(tree, items, BroadcastPlan::slow_root())?.time;
@@ -82,7 +85,7 @@ pub fn broadcast_root_improvement(
 pub fn broadcast_balance_improvement(
     ps: &[usize],
     kbs: &[usize],
-) -> Result<Vec<FigurePoint>, SimError> {
+) -> Result<Vec<FigurePoint>, CollectiveError> {
     sweep(ps, kbs, |tree, items| {
         let tu = simulate_broadcast(tree, items, BroadcastPlan::two_phase())?.time;
         let tb = simulate_broadcast(tree, items, BroadcastPlan::balanced())?.time;
@@ -117,13 +120,15 @@ impl CrossoverRow {
 
 /// **E6** — flat one- vs two-phase broadcast across processor counts
 /// (§4.4's `g·n·m` vs `g·n(1 + r_s) + 2L` crossover).
-pub fn broadcast_crossover(ps: &[usize], kb: usize) -> Result<Vec<CrossoverRow>, SimError> {
+pub fn broadcast_crossover(ps: &[usize], kb: usize) -> Result<Vec<CrossoverRow>, CollectiveError> {
     let items = input_kb(kb);
     let n = items.len() as u64;
     let mut rows = Vec::new();
     for &p in ps {
         let tree = testbed(p).expect("testbed builds");
-        let root = RootPolicy::Fastest.resolve(&tree);
+        let root = RootPolicy::Fastest
+            .resolve(&tree)
+            .expect("fastest root always resolves");
         let one_sim = simulate_broadcast(&tree, &items, BroadcastPlan::one_phase())?.time;
         let two_sim = simulate_broadcast(&tree, &items, BroadcastPlan::two_phase())?.time;
         let one_pred = predict::broadcast_one_phase(&tree, n, root).total();
@@ -156,9 +161,59 @@ pub struct Hbsp2PhaseRow {
     pub two_pred: f64,
 }
 
+/// §4.4's closed form for the *top-level* super²-step of a one-phase
+/// hierarchical broadcast: the root coordinator ships the full array to
+/// the `m − 1` other coordinators. Kept here (not in
+/// `hbsp_collectives::predict`) because it prices only the top phase of
+/// the operation — an analysis device for E7, not a whole schedule.
+pub fn hbsp2_top_one_phase(tree: &MachineTree, n: u64) -> CostReport {
+    let (root_r, slowest_coord_r, m, l) = top_level_params(tree);
+    let h = (root_r * n as f64 * (m as f64 - 1.0)).max(slowest_coord_r * n as f64);
+    let mut rep = CostReport::new();
+    rep.push(top_step(tree, tree.height(), h, l));
+    rep
+}
+
+/// §4.4's closed form for the top-level super²-steps of a two-phase
+/// hierarchical broadcast: scatter pieces to the coordinators, then
+/// all-gather among them.
+pub fn hbsp2_top_two_phase(tree: &MachineTree, n: u64) -> CostReport {
+    let (root_r, slowest_coord_r, m, l) = top_level_params(tree);
+    let piece = n as f64 / m as f64;
+    let h1 = (root_r * (n as f64 - piece)).max(slowest_coord_r * piece);
+    let h2 = slowest_coord_r * n as f64;
+    let mut rep = CostReport::new();
+    rep.push(top_step(tree, tree.height(), h1, l));
+    rep.push(top_step(tree, tree.height(), h2, l));
+    rep
+}
+
+fn top_level_params(tree: &MachineTree) -> (f64, f64, usize, f64) {
+    let k = tree.height();
+    assert!(k >= 1, "top-level analysis needs a cluster machine");
+    let root = tree.node(tree.root());
+    let root_r = root.params().r;
+    let mut slowest = root_r;
+    for &child in root.children() {
+        let rep_leaf = tree.node(child).representative();
+        slowest = slowest.max(tree.node(rep_leaf).params().r);
+    }
+    (root_r, slowest, root.num_children(), root.params().l_sync)
+}
+
+fn top_step(tree: &MachineTree, level: Level, h: f64, l: f64) -> SuperstepCost {
+    SuperstepCost {
+        level,
+        w: 0.0,
+        h,
+        comm: tree.g() * h,
+        sync: l,
+    }
+}
+
 /// **E7** — HBSP^2 one- vs two-phase super²-step distribution over a
 /// range of campus barrier costs.
-pub fn hbsp2_phase_study(l2s: &[f64], kb: usize) -> Result<Vec<Hbsp2PhaseRow>, SimError> {
+pub fn hbsp2_phase_study(l2s: &[f64], kb: usize) -> Result<Vec<Hbsp2PhaseRow>, CollectiveError> {
     let items = input_kb(kb);
     let n = items.len() as u64;
     let mut rows = Vec::new();
@@ -176,8 +231,8 @@ pub fn hbsp2_phase_study(l2s: &[f64], kb: usize) -> Result<Vec<Hbsp2PhaseRow>, S
             BroadcastPlan::hierarchical(PhasePolicy::TwoPhase),
         )?
         .time;
-        let one_pred = predict::hbsp2_top_one_phase(&tree, n).total();
-        let two_pred = predict::hbsp2_top_two_phase(&tree, n).total();
+        let one_pred = hbsp2_top_one_phase(&tree, n).total();
+        let two_pred = hbsp2_top_two_phase(&tree, n).total();
         rows.push(Hbsp2PhaseRow {
             l2,
             one_sim,
@@ -223,7 +278,7 @@ impl AmortizationRow {
 /// over the `g·n` ideal must shrink as `n` grows, and the hierarchy
 /// must cross the campus links with fewer messages than the flat
 /// gather.
-pub fn hbsp2_amortization(kbs: &[usize], l2: f64) -> Result<Vec<AmortizationRow>, SimError> {
+pub fn hbsp2_amortization(kbs: &[usize], l2: f64) -> Result<Vec<AmortizationRow>, CollectiveError> {
     let tree = crate::testbed::hbsp2_testbed(l2).expect("testbed builds");
     let mut rows = Vec::new();
     for &kb in kbs {
@@ -258,7 +313,7 @@ pub fn hbsp2_amortization(kbs: &[usize], l2: f64) -> Result<Vec<AmortizationRow>
 pub fn gather_comm_aware_improvement(
     ps: &[usize],
     kbs: &[usize],
-) -> Result<Vec<FigurePoint>, SimError> {
+) -> Result<Vec<FigurePoint>, CollectiveError> {
     sweep(ps, kbs, |tree, items| {
         let tu = simulate_gather(tree, items, GatherPlan::fast_root())?.time;
         let tc = simulate_gather(
@@ -290,7 +345,7 @@ pub struct BarrierAblationRow {
 pub fn barrier_scope_ablation(
     rounds_list: &[usize],
     l2: f64,
-) -> Result<Vec<BarrierAblationRow>, SimError> {
+) -> Result<Vec<BarrierAblationRow>, CollectiveError> {
     use hbsp_core::{ProcEnv, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
     use std::sync::Arc;
 
@@ -363,7 +418,7 @@ pub struct AccuracyRow {
 /// [`hbsp_sim::ModelEvaluator`] and compare against the closed forms —
 /// the two prediction paths must agree (up to the few header words per
 /// message the closed forms don't count).
-pub fn model_evaluator_agreement(p: usize, kb: usize) -> Result<Vec<(f64, f64)>, SimError> {
+pub fn model_evaluator_agreement(p: usize, kb: usize) -> Result<Vec<(f64, f64)>, CollectiveError> {
     use hbsp_collectives::data::shares_for;
     use hbsp_collectives::gather::FlatGather;
     use std::sync::Arc;
@@ -371,7 +426,9 @@ pub fn model_evaluator_agreement(p: usize, kb: usize) -> Result<Vec<(f64, f64)>,
     let tree = testbed(p).expect("testbed builds");
     let items = input_kb(kb);
     let n = items.len() as u64;
-    let root = RootPolicy::Fastest.resolve(&tree);
+    let root = RootPolicy::Fastest
+        .resolve(&tree)
+        .expect("fastest root always resolves");
     let mut pairs = Vec::new();
     for wl in [WorkloadPolicy::Equal, WorkloadPolicy::Balanced] {
         let closed = predict::gather_flat(&tree, n, root, wl).total();
@@ -397,11 +454,13 @@ impl AccuracyRow {
 /// around a constant greater than 1; the claim under test is that the
 /// model *ranks* designs correctly and tracks scale, not that it
 /// predicts absolute microcosts.
-pub fn model_accuracy(p: usize, kb: usize) -> Result<Vec<AccuracyRow>, SimError> {
+pub fn model_accuracy(p: usize, kb: usize) -> Result<Vec<AccuracyRow>, CollectiveError> {
     let tree = testbed(p).expect("testbed builds");
     let items = input_kb(kb);
     let n = items.len() as u64;
-    let root = RootPolicy::Fastest.resolve(&tree);
+    let root = RootPolicy::Fastest
+        .resolve(&tree)
+        .expect("fastest root always resolves");
     let rows = vec![
         AccuracyRow {
             op: "gather (fast root, equal)",

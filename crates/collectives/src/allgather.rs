@@ -4,17 +4,23 @@
 //! broadcast back down — trading supersteps for confinement of traffic
 //! to cheap links.
 
-use crate::broadcast::{BroadcastPlan, HierarchicalBroadcast};
-use crate::data::{decode_bundle, encode_bundle, reassemble, shares_for, Piece};
-use crate::gather::HierarchicalGather;
+use crate::broadcast::lower_hierarchical_broadcast;
+use crate::data::{decode_bundle, encode_bundle, partition_for, reassemble, Piece};
+use crate::error::CollectiveError;
+use crate::gather::lower_hierarchical_gather;
 use crate::plan::{PhasePolicy, Strategy, WorkloadPolicy};
+use crate::schedule::{
+    self, share_unit, CommSchedule, Role, ScheduleProgram, ScheduleStep, Transfer, UnitId,
+};
 use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
-use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use hbsp_sim::{NetConfig, SimOutcome, Simulator};
 use std::sync::Arc;
 
 const TAG_ALLGATHER: u32 = 0x6D01;
 
-/// Flat all-gather: every processor sends its piece to every other.
+/// The hand-written flat all-gather (every processor sends its piece to
+/// every other), kept as the reference implementation the schedule
+/// interpreter is property-tested against.
 pub struct FlatAllGather {
     shares: Arc<Vec<Piece>>,
 }
@@ -55,13 +61,66 @@ impl SpmdProgram for FlatAllGather {
             _ => {
                 let mut pieces = vec![self.shares[env.pid.rank()].clone()];
                 for m in ctx.messages() {
-                    pieces.extend(decode_bundle(&m.payload));
+                    pieces.extend(decode_bundle(&m.payload).expect("own wire format"));
                 }
                 *state = reassemble(&pieces);
                 StepOutcome::Done
             }
         }
     }
+}
+
+/// Flat all-gather as a schedule: one global superstep of total
+/// exchange, every processor bundling its share to every other.
+pub fn lower_flat_allgather(tree: &MachineTree, n: u64, workload: WorkloadPolicy) -> CommSchedule {
+    let partition = partition_for(tree, n, workload);
+    let mut step = ScheduleStep::at(SyncScope::global(tree));
+    let p = tree.num_procs();
+    for s in 0..p {
+        let src = ProcId(s as u32);
+        for d in 0..p {
+            let dst = ProcId(d as u32);
+            if dst != src {
+                step.transfers.push(Transfer {
+                    src,
+                    dst,
+                    words: partition.share(src),
+                    role: Role::Bundle(vec![share_unit(&partition, src)]),
+                });
+            }
+        }
+    }
+    let mut sched = CommSchedule::new();
+    sched.push(step);
+    sched.push(ScheduleStep::drain());
+    sched
+}
+
+/// Hierarchical all-gather as one schedule: the hierarchical gather's
+/// upward supersteps followed by the hierarchical broadcast's downward
+/// ones — what used to be two separately simulated programs glued by
+/// hand is now plain step concatenation on the IR.
+pub fn lower_hierarchical_allgather(
+    tree: &MachineTree,
+    n: u64,
+    workload: WorkloadPolicy,
+) -> CommSchedule {
+    let mut sched = CommSchedule::new();
+    let up = lower_hierarchical_gather(tree, n, workload);
+    let down = lower_hierarchical_broadcast(
+        tree,
+        n,
+        PhasePolicy::TwoPhase,
+        PhasePolicy::TwoPhase,
+        WorkloadPolicy::Equal,
+    );
+    for step in up.steps.into_iter().filter(|s| s.scope.is_some()) {
+        sched.push(step);
+    }
+    for step in down.steps {
+        sched.push(step);
+    }
+    sched
 }
 
 /// Outcome of a simulated all-gather.
@@ -81,66 +140,42 @@ pub fn simulate_allgather(
     items: &[u32],
     workload: WorkloadPolicy,
     strategy: Strategy,
-) -> Result<AllGatherRun, SimError> {
+) -> Result<AllGatherRun, CollectiveError> {
     simulate_allgather_with(tree, NetConfig::pvm_like(), items, workload, strategy)
 }
 
-/// All-gather with explicit microcosts.
+/// All-gather with explicit microcosts: lower to a schedule and
+/// interpret it on the simulator.
 pub fn simulate_allgather_with(
     tree: &MachineTree,
     cfg: NetConfig,
     items: &[u32],
     workload: WorkloadPolicy,
     strategy: Strategy,
-) -> Result<AllGatherRun, SimError> {
+) -> Result<AllGatherRun, CollectiveError> {
     let tree_arc = Arc::new(tree.clone());
-    let shares = Arc::new(shares_for(&tree_arc, items, workload));
-    match strategy {
-        Strategy::Flat => {
-            let sim = Simulator::with_config(Arc::clone(&tree_arc), cfg);
-            let (outcome, states) = sim.run_with_states(&FlatAllGather::new(shares))?;
-            for st in &states {
-                assert_eq!(st, &items.to_vec(), "all-gather must assemble everywhere");
-            }
-            Ok(AllGatherRun {
-                result: items.to_vec(),
-                time: outcome.total_time,
-                sim: outcome,
-            })
-        }
-        Strategy::Hierarchical => {
-            // Gather to P_f via coordinators, then broadcast back down.
-            // Two programs composed back-to-back; times add (the paper's
-            // overall cost is the sum of super-step times).
-            let sim = Simulator::with_config(Arc::clone(&tree_arc), cfg.clone());
-            let (g_out, _) = sim.run_with_states(&HierarchicalGather::new(Arc::clone(&shares)))?;
-            let plan = BroadcastPlan::hierarchical(PhasePolicy::TwoPhase);
-            let prog = HierarchicalBroadcast::new(
-                plan.top_phase,
-                plan.cluster_phase,
-                plan.workload,
-                Arc::new(items.to_vec()),
-            );
-            let sim2 = Simulator::with_config(Arc::clone(&tree_arc), cfg);
-            let (b_out, states) = sim2.run_with_states(&prog)?;
-            for st in &states {
-                assert_eq!(st.full.as_deref(), Some(items));
-            }
-            let mut steps = g_out.steps.clone();
-            steps.extend(b_out.steps.iter().cloned());
-            Ok(AllGatherRun {
-                result: items.to_vec(),
-                time: g_out.total_time + b_out.total_time,
-                sim: SimOutcome {
-                    total_time: g_out.total_time + b_out.total_time,
-                    proc_finish: b_out.proc_finish.clone(),
-                    steps,
-                    messages_delivered: g_out.messages_delivered + b_out.messages_delivered,
-                    timelines: None,
-                },
-            })
-        }
+    let n = items.len() as u64;
+    let sched = match strategy {
+        Strategy::Flat => lower_flat_allgather(&tree_arc, n, workload),
+        Strategy::Hierarchical => lower_hierarchical_allgather(&tree_arc, n, workload),
+    };
+    let init = schedule::share_inits(&tree_arc, items, workload);
+    let prog = ScheduleProgram::new(Arc::new(sched), Arc::new(init), None);
+    let sim = Simulator::with_config(Arc::clone(&tree_arc), cfg);
+    let (outcome, states) = schedule::run_on_simulator(&sim, &prog)?;
+    let full = UnitId::new(0, items.len() as u32);
+    for (i, st) in states.iter().enumerate() {
+        assert_eq!(
+            st.unit(full),
+            items,
+            "all-gather must assemble everywhere (processor {i})"
+        );
     }
+    Ok(AllGatherRun {
+        result: items.to_vec(),
+        time: outcome.total_time,
+        sim: outcome,
+    })
 }
 
 #[cfg(test)]

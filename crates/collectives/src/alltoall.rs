@@ -15,8 +15,13 @@
 //!   extra supersteps and coordinator relay volume.
 
 use crate::data::{decode_bundle, encode_bundle, Piece};
+use crate::error::CollectiveError;
+use crate::schedule::{
+    self, CommSchedule, ProcInit, Role, ScheduleProgram, ScheduleStep, Transfer, UnitId,
+};
 use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
-use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use hbsp_sim::{NetConfig, SimOutcome, Simulator};
+use hbsplib::TreeEnquiry;
 use std::sync::Arc;
 
 const TAG_A2A: u32 = 0x6E01;
@@ -68,7 +73,7 @@ impl SpmdProgram for AllToAll {
             }
             _ => {
                 for m in ctx.messages() {
-                    for piece in decode_bundle(&m.payload) {
+                    for piece in decode_bundle(&m.payload).expect("own wire format") {
                         state[piece.offset as usize] = piece.items;
                     }
                 }
@@ -147,7 +152,7 @@ impl SpmdProgram for HierarchicalAllToAll {
             1 => {
                 let mut foreign: Vec<Piece> = Vec::new();
                 for m in ctx.messages() {
-                    for piece in decode_bundle(&m.payload) {
+                    for piece in decode_bundle(&m.payload).expect("own wire format") {
                         let dst = piece.offset as usize % p;
                         if members.contains(&ProcId(dst as u32)) {
                             // A local block delivered directly in stage 1.
@@ -193,7 +198,7 @@ impl SpmdProgram for HierarchicalAllToAll {
                 let incoming: Vec<Piece> = ctx
                     .messages()
                     .iter()
-                    .flat_map(|m| decode_bundle(&m.payload))
+                    .flat_map(|m| decode_bundle(&m.payload).expect("own wire format"))
                     .collect();
                 for piece in incoming {
                     let src = piece.offset as usize / p;
@@ -209,7 +214,7 @@ impl SpmdProgram for HierarchicalAllToAll {
             // Final drain.
             _ => {
                 for m in ctx.messages() {
-                    for piece in decode_bundle(&m.payload) {
+                    for piece in decode_bundle(&m.payload).expect("own wire format") {
                         let src = piece.offset as usize / p;
                         state[src] = piece.items;
                     }
@@ -218,6 +223,129 @@ impl SpmdProgram for HierarchicalAllToAll {
             }
         }
     }
+}
+
+/// The unit id of the block `src → dst` in a `p`-processor exchange:
+/// block ids are `src·p + dst`.
+fn block_unit(p: usize, src: usize, dst: usize, len: usize) -> UnitId {
+    UnitId::new((src * p + dst) as u32, len as u32)
+}
+
+/// Flat all-to-all as a schedule: one global superstep, every ordered
+/// pair exchanging its block directly. `sizes[i][j]` is the word count
+/// of the block `i → j`.
+pub fn lower_alltoall(tree: &MachineTree, sizes: &[Vec<u64>]) -> CommSchedule {
+    let p = tree.num_procs();
+    let mut step = ScheduleStep::at(SyncScope::global(tree));
+    for (i, row) in sizes.iter().enumerate().take(p) {
+        for (j, &words) in row.iter().enumerate().take(p) {
+            if i != j {
+                step.transfers.push(Transfer {
+                    src: ProcId(i as u32),
+                    dst: ProcId(j as u32),
+                    words,
+                    role: Role::Bundle(vec![block_unit(p, i, j, words as usize)]),
+                });
+            }
+        }
+    }
+    let mut sched = CommSchedule::new();
+    sched.push(step);
+    sched.push(ScheduleStep::drain());
+    sched
+}
+
+/// Staged hierarchical all-to-all as a schedule: local delivery +
+/// hand-up to coordinators (super¹-step), one bundle per coordinator
+/// pair (super²-step), local fan-out (super¹-step), drain.
+pub fn lower_alltoall_hier(tree: &MachineTree, sizes: &[Vec<u64>]) -> CommSchedule {
+    let p = tree.num_procs();
+    let unit = |i: usize, j: usize| block_unit(p, i, j, sizes[i][j] as usize);
+    let coords = tree.level_coordinators(1);
+    let coord_of: Vec<ProcId> = (0..p)
+        .map(|i| tree.coordinator_of(ProcId(i as u32), 1))
+        .collect();
+    let mut sched = CommSchedule::new();
+
+    // Stage 1: local blocks direct, foreign blocks to my coordinator.
+    let mut local = ScheduleStep::at(SyncScope::Level(1));
+    for i in 0..p {
+        let src = ProcId(i as u32);
+        for j in 0..p {
+            if i == j {
+                continue;
+            }
+            let dst = ProcId(j as u32);
+            let relay = if coord_of[i] == coord_of[j] {
+                dst // same cluster: deliver directly
+            } else {
+                coord_of[i] // foreign: hand up (coordinators keep theirs)
+            };
+            if relay != src {
+                local.transfers.push(Transfer {
+                    src,
+                    dst: relay,
+                    words: sizes[i][j],
+                    role: Role::Bundle(vec![unit(i, j)]),
+                });
+            }
+        }
+    }
+    sched.push(local);
+
+    // Stage 2: one bundle per ordered coordinator pair.
+    let mut exchange = ScheduleStep::at(SyncScope::Level(tree.height().max(2)));
+    for &c in &coords {
+        let members = tree.cluster_members(c, 1);
+        for &peer in &coords {
+            if peer == c {
+                continue;
+            }
+            let peer_members = tree.cluster_members(peer, 1);
+            let uids: Vec<UnitId> = members
+                .iter()
+                .flat_map(|&m| {
+                    peer_members
+                        .iter()
+                        .map(move |&q| (m.rank(), q.rank()))
+                        .map(|(i, j)| unit(i, j))
+                })
+                .collect();
+            if !uids.is_empty() {
+                exchange.transfers.push(Transfer {
+                    src: c,
+                    dst: peer,
+                    words: uids.iter().map(|u| u.len as u64).sum(),
+                    role: Role::Bundle(uids),
+                });
+            }
+        }
+    }
+    sched.push(exchange);
+
+    // Stage 3: coordinators fan foreign blocks out to their members.
+    let mut fanout = ScheduleStep::at(SyncScope::Level(1));
+    for &c in &coords {
+        let members = tree.cluster_members(c, 1);
+        for &q in &members {
+            if q == c {
+                continue;
+            }
+            for i in 0..p {
+                if coord_of[i] != c {
+                    fanout.transfers.push(Transfer {
+                        src: c,
+                        dst: q,
+                        words: sizes[i][q.rank()],
+                        role: Role::Bundle(vec![unit(i, q.rank())]),
+                    });
+                }
+            }
+        }
+    }
+    sched.push(fanout);
+    sched.push(ScheduleStep::drain());
+    sched
 }
 
 /// Outcome of a simulated all-to-all.
@@ -236,7 +364,7 @@ pub struct AllToAllRun {
 pub fn simulate_alltoall(
     tree: &MachineTree,
     blocks: Vec<Vec<Vec<u32>>>,
-) -> Result<AllToAllRun, SimError> {
+) -> Result<AllToAllRun, CollectiveError> {
     simulate_alltoall_with(tree, NetConfig::pvm_like(), blocks)
 }
 
@@ -244,7 +372,7 @@ pub fn simulate_alltoall(
 pub fn simulate_alltoall_hier(
     tree: &MachineTree,
     blocks: Vec<Vec<Vec<u32>>>,
-) -> Result<AllToAllRun, SimError> {
+) -> Result<AllToAllRun, CollectiveError> {
     simulate_alltoall_hier_with(tree, NetConfig::pvm_like(), blocks)
 }
 
@@ -253,21 +381,8 @@ pub fn simulate_alltoall_hier_with(
     tree: &MachineTree,
     cfg: NetConfig,
     blocks: Vec<Vec<Vec<u32>>>,
-) -> Result<AllToAllRun, SimError> {
-    let p = tree.num_procs();
-    assert_eq!(blocks.len(), p, "blocks must be p × p");
-    assert!(
-        blocks.iter().all(|row| row.len() == p),
-        "blocks must be p × p"
-    );
-    let tree = Arc::new(tree.clone());
-    let sim = Simulator::with_config(Arc::clone(&tree), cfg);
-    let (outcome, states) = sim.run_with_states(&HierarchicalAllToAll::new(Arc::new(blocks)))?;
-    Ok(AllToAllRun {
-        received: states,
-        time: outcome.total_time,
-        sim: outcome,
-    })
+) -> Result<AllToAllRun, CollectiveError> {
+    run_lowered(tree, cfg, blocks, lower_alltoall_hier)
 }
 
 /// All-to-all with explicit microcosts.
@@ -275,7 +390,16 @@ pub fn simulate_alltoall_with(
     tree: &MachineTree,
     cfg: NetConfig,
     blocks: Vec<Vec<Vec<u32>>>,
-) -> Result<AllToAllRun, SimError> {
+) -> Result<AllToAllRun, CollectiveError> {
+    run_lowered(tree, cfg, blocks, lower_alltoall)
+}
+
+fn run_lowered(
+    tree: &MachineTree,
+    cfg: NetConfig,
+    blocks: Vec<Vec<Vec<u32>>>,
+    lower: fn(&MachineTree, &[Vec<u64>]) -> CommSchedule,
+) -> Result<AllToAllRun, CollectiveError> {
     let p = tree.num_procs();
     assert_eq!(blocks.len(), p, "blocks must be p × p");
     assert!(
@@ -283,10 +407,37 @@ pub fn simulate_alltoall_with(
         "blocks must be p × p"
     );
     let tree = Arc::new(tree.clone());
+    let sizes: Vec<Vec<u64>> = blocks
+        .iter()
+        .map(|row| row.iter().map(|b| b.len() as u64).collect())
+        .collect();
+    let sched = lower(&tree, &sizes);
+    let init: Vec<ProcInit> = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, row)| ProcInit {
+            units: row
+                .iter()
+                .enumerate()
+                .map(|(j, b)| (block_unit(p, i, j, b.len()), b.clone()))
+                .collect(),
+            acc: None,
+        })
+        .collect();
+    let prog = ScheduleProgram::new(Arc::new(sched), Arc::new(init), None);
     let sim = Simulator::with_config(Arc::clone(&tree), cfg);
-    let (outcome, states) = sim.run_with_states(&AllToAll::new(Arc::new(blocks)))?;
+    let (outcome, states) = schedule::run_on_simulator(&sim, &prog)?;
+    let received = states
+        .iter()
+        .enumerate()
+        .map(|(j, st)| {
+            (0..p)
+                .map(|i| st.unit(block_unit(p, i, j, blocks[i][j].len())))
+                .collect()
+        })
+        .collect();
     Ok(AllToAllRun {
-        received: states,
+        received,
         time: outcome.total_time,
         sim: outcome,
     })

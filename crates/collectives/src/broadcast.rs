@@ -18,13 +18,18 @@
 //! because the slowest machine must receive all `n` items — falls out of
 //! the simulation; see experiments E3/E4.
 
-use crate::data::{decode_bundle, encode_bundle, reassemble, Piece};
-use crate::plan::{PhasePolicy, RootPolicy, Strategy, WorkloadPolicy};
+use crate::data::{decode_bundle, encode_bundle, partition_for, reassemble, Piece};
+use crate::error::CollectiveError;
+use crate::plan::{PhasePolicy, RankOutOfRange, RootPolicy, Strategy, WorkloadPolicy};
+use crate::schedule::{
+    self, rep_of, share_unit, CommSchedule, ProcInit, Role, ScheduleProgram, ScheduleStep,
+    Transfer, UnitId,
+};
 use hbsp_core::{
     apportion, Level, MachineTree, NodeIdx, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome,
     SyncScope,
 };
-use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use hbsp_sim::{NetConfig, SimOutcome, Simulator};
 use std::sync::Arc;
 
 const TAG_BCAST: u32 = 0x6B01;
@@ -121,7 +126,8 @@ pub struct BroadcastState {
 impl BroadcastState {
     fn absorb(&mut self, ctx: &dyn SpmdContext, n: usize) {
         for m in ctx.messages() {
-            self.partial.extend(decode_bundle(&m.payload));
+            self.partial
+                .extend(decode_bundle(&m.payload).expect("own wire format"));
         }
         if self.full.is_none() {
             let have: usize = self.partial.iter().map(Piece::len).sum();
@@ -251,7 +257,7 @@ impl SpmdProgram for FlatBroadcast {
                     state.assigned = ctx
                         .messages()
                         .iter()
-                        .flat_map(|m| decode_bundle(&m.payload))
+                        .flat_map(|m| decode_bundle(&m.payload).expect("own wire format"))
                         .next();
                 }
                 if let Some(piece) = state.assigned.clone() {
@@ -327,23 +333,25 @@ impl HierarchicalBroadcast {
 
     /// The per-level stage schedule, top level first.
     fn schedule(&self, k: Level) -> Vec<Stage> {
-        let mut stages = Vec::new();
-        for level in (1..=k).rev() {
-            let phase = if level == k {
-                self.top_phase
-            } else {
-                self.cluster_phase
-            };
-            match phase {
-                PhasePolicy::OnePhase => stages.push(Stage::Full(level)),
-                PhasePolicy::TwoPhase => {
-                    stages.push(Stage::Scatter(level));
-                    stages.push(Stage::AllGather(level));
-                }
+        stage_schedule(k, self.top_phase, self.cluster_phase)
+    }
+}
+
+/// The hierarchical broadcast's distribution stages, top level first —
+/// shared by the legacy program and the schedule lowering.
+fn stage_schedule(k: Level, top_phase: PhasePolicy, cluster_phase: PhasePolicy) -> Vec<Stage> {
+    let mut stages = Vec::new();
+    for level in (1..=k).rev() {
+        let phase = if level == k { top_phase } else { cluster_phase };
+        match phase {
+            PhasePolicy::OnePhase => stages.push(Stage::Full(level)),
+            PhasePolicy::TwoPhase => {
+                stages.push(Stage::Scatter(level));
+                stages.push(Stage::AllGather(level));
             }
         }
-        stages
     }
+    stages
 }
 
 /// The processors coordinating the children of `cluster`, in child
@@ -444,7 +452,7 @@ impl SpmdProgram for HierarchicalBroadcast {
                         state.assigned = ctx
                             .messages()
                             .iter()
-                            .flat_map(|m| decode_bundle(&m.payload))
+                            .flat_map(|m| decode_bundle(&m.payload).expect("own wire format"))
                             .next();
                     }
                     if let Some(piece) = state.assigned.take() {
@@ -478,6 +486,183 @@ impl SpmdProgram for HierarchicalBroadcast {
     }
 }
 
+/// The scatter units a two-phase stage deals to `reps`: `n` items
+/// apportioned by the stage's piece weights, in rep order.
+fn cluster_units(
+    tree: &MachineTree,
+    reps: &[ProcId],
+    n: u64,
+    workload: WorkloadPolicy,
+) -> Vec<UnitId> {
+    let weights = piece_weights(tree, reps, workload);
+    let shares = apportion(n, &weights);
+    let mut out = Vec::with_capacity(shares.len());
+    let mut off = 0u64;
+    for s in shares {
+        out.push(UnitId::new(off as u32, s as u32));
+        off += s;
+    }
+    out
+}
+
+/// Lower a broadcast plan to a communication schedule. Returns the
+/// schedule and the source processor holding the data at step 0.
+pub fn lower_broadcast(
+    tree: &MachineTree,
+    n: u64,
+    plan: &BroadcastPlan,
+) -> Result<(CommSchedule, ProcId), RankOutOfRange> {
+    match plan.strategy {
+        Strategy::Flat => {
+            let root = plan.root.resolve(tree)?;
+            Ok((
+                lower_flat_broadcast(tree, n, root, plan.top_phase, plan.workload),
+                root,
+            ))
+        }
+        Strategy::Hierarchical => Ok((
+            lower_hierarchical_broadcast(
+                tree,
+                n,
+                plan.top_phase,
+                plan.cluster_phase,
+                plan.workload,
+            ),
+            tree.fastest_proc(),
+        )),
+    }
+}
+
+/// §4.4's flat (HBSP^1) broadcast as a schedule: one global superstep
+/// for one-phase, scatter + all-gather supersteps for two-phase.
+pub fn lower_flat_broadcast(
+    tree: &MachineTree,
+    n: u64,
+    root: ProcId,
+    phase: PhasePolicy,
+    workload: WorkloadPolicy,
+) -> CommSchedule {
+    let mut sched = CommSchedule::new();
+    let global = SyncScope::global(tree);
+    let everyone: Vec<ProcId> = (0..tree.num_procs()).map(|i| ProcId(i as u32)).collect();
+    match phase {
+        PhasePolicy::OnePhase => {
+            let mut step = ScheduleStep::at(global);
+            for &q in &everyone {
+                if q != root {
+                    step.transfers.push(Transfer {
+                        src: root,
+                        dst: q,
+                        words: n,
+                        role: Role::Bundle(vec![UnitId::new(0, n as u32)]),
+                    });
+                }
+            }
+            sched.push(step);
+        }
+        PhasePolicy::TwoPhase => {
+            let partition = partition_for(tree, n, workload);
+            let mut scatter = ScheduleStep::at(global);
+            for &q in &everyone {
+                if q != root {
+                    scatter.transfers.push(Transfer {
+                        src: root,
+                        dst: q,
+                        words: partition.share(q),
+                        role: Role::Bundle(vec![share_unit(&partition, q)]),
+                    });
+                }
+            }
+            sched.push(scatter);
+            let mut allgather = ScheduleStep::at(global);
+            for &src in &everyone {
+                for &dst in &everyone {
+                    if dst != src {
+                        allgather.transfers.push(Transfer {
+                            src,
+                            dst,
+                            words: partition.share(src),
+                            role: Role::Bundle(vec![share_unit(&partition, src)]),
+                        });
+                    }
+                }
+            }
+            sched.push(allgather);
+        }
+    }
+    sched.push(ScheduleStep::drain());
+    sched
+}
+
+/// The HBSP^k hierarchical broadcast as a schedule: one superstep per
+/// distribution stage, data flowing from the machine's fastest
+/// processor down the hierarchy one level at a time.
+pub fn lower_hierarchical_broadcast(
+    tree: &MachineTree,
+    n: u64,
+    top_phase: PhasePolicy,
+    cluster_phase: PhasePolicy,
+    workload: WorkloadPolicy,
+) -> CommSchedule {
+    let mut sched = CommSchedule::new();
+    let full = UnitId::new(0, n as u32);
+    for stage in stage_schedule(tree.height(), top_phase, cluster_phase) {
+        let level = stage.level();
+        let mut step = ScheduleStep::at(SyncScope::Level(level));
+        for &idx in tree.level_nodes(level).unwrap_or(&[]) {
+            if tree.node(idx).is_proc() {
+                continue;
+            }
+            let rep = rep_of(tree, idx);
+            let reps = child_reps(tree, idx);
+            match stage {
+                Stage::Full(_) => {
+                    for &q in &reps {
+                        if q != rep {
+                            step.transfers.push(Transfer {
+                                src: rep,
+                                dst: q,
+                                words: n,
+                                role: Role::Bundle(vec![full]),
+                            });
+                        }
+                    }
+                }
+                Stage::Scatter(_) => {
+                    for (unit, &q) in cluster_units(tree, &reps, n, workload).iter().zip(&reps) {
+                        if q != rep {
+                            step.transfers.push(Transfer {
+                                src: rep,
+                                dst: q,
+                                words: unit.len as u64,
+                                role: Role::Bundle(vec![*unit]),
+                            });
+                        }
+                    }
+                }
+                Stage::AllGather(_) => {
+                    let units = cluster_units(tree, &reps, n, workload);
+                    for (i, &src) in reps.iter().enumerate() {
+                        for &dst in &reps {
+                            if dst != src {
+                                step.transfers.push(Transfer {
+                                    src,
+                                    dst,
+                                    words: units[i].len as u64,
+                                    role: Role::Bundle(vec![units[i]]),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        sched.push(step);
+    }
+    sched.push(ScheduleStep::drain());
+    sched
+}
+
 /// Outcome of a simulated broadcast.
 #[derive(Debug, Clone)]
 pub struct BroadcastRun {
@@ -495,40 +680,30 @@ pub fn simulate_broadcast(
     tree: &MachineTree,
     items: &[u32],
     plan: BroadcastPlan,
-) -> Result<BroadcastRun, SimError> {
+) -> Result<BroadcastRun, CollectiveError> {
     simulate_broadcast_with(tree, NetConfig::pvm_like(), items, plan)
 }
 
-/// Run a broadcast with explicit microcosts.
+/// Run a broadcast with explicit microcosts: lower the plan to a
+/// [`CommSchedule`] and interpret it on the simulator.
 pub fn simulate_broadcast_with(
     tree: &MachineTree,
     cfg: NetConfig,
     items: &[u32],
     plan: BroadcastPlan,
-) -> Result<BroadcastRun, SimError> {
+) -> Result<BroadcastRun, CollectiveError> {
     let tree = Arc::new(tree.clone());
-    let items_arc = Arc::new(items.to_vec());
+    let (sched, source) = lower_broadcast(&tree, items.len() as u64, &plan)?;
+    let full = UnitId::new(0, items.len() as u32);
+    let mut init = vec![ProcInit::default(); tree.num_procs()];
+    init[source.rank()].units.push((full, items.to_vec()));
+    let prog = ScheduleProgram::new(Arc::new(sched), Arc::new(init), None);
     let sim = Simulator::with_config(Arc::clone(&tree), cfg);
-    let (outcome, states) = match plan.strategy {
-        Strategy::Flat => {
-            let root = plan.root.resolve(&tree);
-            let prog = FlatBroadcast::new(root, plan.top_phase, plan.workload, items_arc);
-            sim.run_with_states(&prog)?
-        }
-        Strategy::Hierarchical => {
-            let prog = HierarchicalBroadcast::new(
-                plan.top_phase,
-                plan.cluster_phase,
-                plan.workload,
-                items_arc,
-            );
-            sim.run_with_states(&prog)?
-        }
-    };
+    let (outcome, states) = schedule::run_on_simulator(&sim, &prog)?;
     for (i, st) in states.iter().enumerate() {
         assert_eq!(
-            st.full.as_deref(),
-            Some(items),
+            st.unit(full),
+            items,
             "processor {i} must end the broadcast with the full array"
         );
     }

@@ -9,6 +9,38 @@
 use crate::plan::WorkloadPolicy;
 use hbsp_core::{MachineTree, Partition, ProcId};
 use hbsplib::codec;
+use std::fmt;
+
+/// A malformed piece or bundle payload. Collectives surface this through
+/// their result instead of aborting the run: a truncated message is a
+/// data error, not a programming error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A piece payload without even an offset word.
+    MissingOffset,
+    /// A bundle payload without even a count word.
+    MissingCount,
+    /// A bundle ended inside a piece header.
+    TruncatedHeader,
+    /// A bundle ended inside a piece body.
+    TruncatedBody,
+    /// A bundle carried words past its last declared piece.
+    TrailingWords,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::MissingOffset => write!(f, "piece payload must carry an offset word"),
+            DecodeError::MissingCount => write!(f, "bundle payload must carry a count"),
+            DecodeError::TruncatedHeader => write!(f, "truncated bundle header"),
+            DecodeError::TruncatedBody => write!(f, "truncated bundle body"),
+            DecodeError::TrailingWords => write!(f, "trailing words in bundle"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// A contiguous run of the global array.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,16 +61,15 @@ impl Piece {
     }
 
     /// Decode from a payload produced by [`Piece::encode`].
-    ///
-    /// # Panics
-    /// Panics on an empty or misaligned payload.
-    pub fn decode(payload: &[u8]) -> Piece {
+    pub fn decode(payload: &[u8]) -> Result<Piece, DecodeError> {
         let words = codec::decode_u32s(payload);
-        assert!(!words.is_empty(), "piece payload must carry an offset word");
-        Piece {
+        if words.is_empty() {
+            return Err(DecodeError::MissingOffset);
+        }
+        Ok(Piece {
             offset: words[0],
             items: words[1..].to_vec(),
-        }
+        })
     }
 
     /// Number of items.
@@ -69,41 +100,52 @@ pub fn encode_bundle(pieces: &[Piece]) -> Vec<u8> {
 }
 
 /// Decode a payload produced by [`encode_bundle`].
-///
-/// # Panics
-/// Panics on a malformed payload.
-pub fn decode_bundle(payload: &[u8]) -> Vec<Piece> {
+pub fn decode_bundle(payload: &[u8]) -> Result<Vec<Piece>, DecodeError> {
     let words = codec::decode_u32s(payload);
-    assert!(!words.is_empty(), "bundle payload must carry a count");
+    if words.is_empty() {
+        return Err(DecodeError::MissingCount);
+    }
     let count = words[0] as usize;
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count.min(words.len()));
     let mut i = 1;
     for _ in 0..count {
-        assert!(i + 2 <= words.len(), "truncated bundle header");
+        if i + 2 > words.len() {
+            return Err(DecodeError::TruncatedHeader);
+        }
         let offset = words[i];
         let len = words[i + 1] as usize;
         i += 2;
-        assert!(i + len <= words.len(), "truncated bundle body");
+        if i + len > words.len() {
+            return Err(DecodeError::TruncatedBody);
+        }
         out.push(Piece {
             offset,
             items: words[i..i + len].to_vec(),
         });
         i += len;
     }
-    assert_eq!(i, words.len(), "trailing words in bundle");
-    out
+    if i != words.len() {
+        return Err(DecodeError::TrailingWords);
+    }
+    Ok(out)
+}
+
+/// The block [`Partition`] of `n` items a workload policy induces on
+/// `tree` — the single source of the `c_j` fractions used by both the
+/// schedule lowerings and the data placement.
+pub fn partition_for(tree: &MachineTree, n: u64, workload: WorkloadPolicy) -> Partition {
+    match workload {
+        WorkloadPolicy::Equal => Partition::equal(n, tree.num_procs()),
+        WorkloadPolicy::Balanced => Partition::balanced_for(tree, n),
+        WorkloadPolicy::CommAware => Partition::comm_aware_for(tree, n),
+    }
+    .expect("machine has at least one processor")
 }
 
 /// Split `items` into per-processor shares according to the workload
 /// policy, returning each processor's [`Piece`] (indexed by rank).
 pub fn shares_for(tree: &MachineTree, items: &[u32], workload: WorkloadPolicy) -> Vec<Piece> {
-    let n = items.len() as u64;
-    let partition = match workload {
-        WorkloadPolicy::Equal => Partition::equal(n, tree.num_procs()),
-        WorkloadPolicy::Balanced => Partition::balanced_for(tree, n),
-        WorkloadPolicy::CommAware => Partition::comm_aware_for(tree, n),
-    }
-    .expect("machine has at least one processor");
+    let partition = partition_for(tree, items.len() as u64, workload);
     (0..tree.num_procs())
         .map(|i| {
             let range = partition.range(ProcId(i as u32));
@@ -152,13 +194,14 @@ mod tests {
             offset: 1000,
             items: vec![1, 2, 3],
         };
-        assert_eq!(Piece::decode(&p.encode()), p);
+        assert_eq!(Piece::decode(&p.encode()), Ok(p));
         let empty = Piece {
             offset: 5,
             items: vec![],
         };
-        assert_eq!(Piece::decode(&empty.encode()), empty);
+        assert_eq!(Piece::decode(&empty.encode()), Ok(empty.clone()));
         assert!(empty.is_empty());
+        assert_eq!(Piece::decode(&[]), Err(DecodeError::MissingOffset));
     }
 
     #[test]
@@ -177,19 +220,33 @@ mod tests {
                 items: vec![4],
             },
         ];
-        assert_eq!(decode_bundle(&encode_bundle(&pieces)), pieces);
-        assert_eq!(decode_bundle(&encode_bundle(&[])), vec![]);
+        assert_eq!(decode_bundle(&encode_bundle(&pieces)), Ok(pieces));
+        assert_eq!(decode_bundle(&encode_bundle(&[])), Ok(vec![]));
     }
 
     #[test]
-    #[should_panic(expected = "truncated bundle")]
-    fn truncated_bundle_detected() {
-        let mut payload = encode_bundle(&[Piece {
+    fn malformed_bundles_are_typed_errors() {
+        let well_formed = encode_bundle(&[Piece {
             offset: 0,
             items: vec![1, 2, 3],
         }]);
-        payload.truncate(payload.len() - 4);
-        decode_bundle(&payload);
+        // Cut into the piece body.
+        let mut truncated = well_formed.clone();
+        truncated.truncate(truncated.len() - 4);
+        assert_eq!(decode_bundle(&truncated), Err(DecodeError::TruncatedBody));
+        // Cut into the piece header.
+        let mut headerless = well_formed.clone();
+        headerless.truncate(8);
+        assert_eq!(
+            decode_bundle(&headerless),
+            Err(DecodeError::TruncatedHeader)
+        );
+        // No count word at all.
+        assert_eq!(decode_bundle(&[]), Err(DecodeError::MissingCount));
+        // Extra words past the declared pieces.
+        let mut trailing = well_formed;
+        trailing.extend_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(decode_bundle(&trailing), Err(DecodeError::TrailingWords));
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! The error type shared by every collective entry point.
+
+use crate::data::DecodeError;
+use crate::plan::RankOutOfRange;
+use hbsp_core::ProcId;
+use hbsp_sim::SimError;
+use std::fmt;
+
+/// Why a collective run could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectiveError {
+    /// The engine rejected the program (SPMD violation, step limit, …).
+    Sim(SimError),
+    /// The plan named a root rank the machine does not have.
+    Root(RankOutOfRange),
+    /// A processor received a malformed payload.
+    Decode {
+        /// The processor that failed to decode.
+        pid: ProcId,
+        /// What was wrong with the payload.
+        error: DecodeError,
+    },
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::Sim(e) => write!(f, "engine error: {e}"),
+            CollectiveError::Root(e) => write!(f, "{e}"),
+            CollectiveError::Decode { pid, error } => {
+                write!(f, "processor {pid} received a malformed payload: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+impl From<SimError> for CollectiveError {
+    fn from(e: SimError) -> Self {
+        CollectiveError::Sim(e)
+    }
+}
+
+impl From<RankOutOfRange> for CollectiveError {
+    fn from(e: RankOutOfRange) -> Self {
+        CollectiveError::Root(e)
+    }
+}

@@ -8,10 +8,15 @@
 //! bundle upward, so only one (fast) machine per cluster talks across
 //! the expensive high-level links.
 
-use crate::data::{decode_bundle, encode_bundle, reassemble, shares_for, Piece};
-use crate::plan::{RootPolicy, Strategy, WorkloadPolicy};
+use crate::data::{decode_bundle, encode_bundle, partition_for, Piece};
+use crate::error::CollectiveError;
+use crate::plan::{RankOutOfRange, RootPolicy, Strategy, WorkloadPolicy};
+use crate::schedule::{
+    self, rep_of, subtree_units, CommSchedule, Role, ScheduleProgram, ScheduleStep, Transfer,
+    UnitId,
+};
 use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
-use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use hbsp_sim::{NetConfig, SimOutcome, Simulator};
 use std::sync::Arc;
 
 /// Configuration of a gather run.
@@ -87,6 +92,93 @@ impl GatherPlan {
     }
 }
 
+/// Lower a gather plan to its communication schedule, resolving the
+/// root. The flat strategy is one global superstep of direct sends; the
+/// hierarchical strategy runs one super^i-step per level with each
+/// cluster's coordinator forwarding its accumulated bundle upward.
+pub fn lower_gather(
+    tree: &MachineTree,
+    n: u64,
+    plan: GatherPlan,
+) -> Result<(CommSchedule, ProcId), RankOutOfRange> {
+    match plan.strategy {
+        Strategy::Flat => {
+            let root = plan.root.resolve(tree)?;
+            Ok((lower_flat_gather(tree, n, root, plan.workload), root))
+        }
+        Strategy::Hierarchical => Ok((
+            lower_hierarchical_gather(tree, n, plan.workload),
+            tree.fastest_proc(),
+        )),
+    }
+}
+
+/// §4.2's flat gather as a schedule: every non-root sends its share to
+/// `root` in one global superstep (no self-send), then the root drains.
+pub fn lower_flat_gather(
+    tree: &MachineTree,
+    n: u64,
+    root: ProcId,
+    workload: WorkloadPolicy,
+) -> CommSchedule {
+    let partition = partition_for(tree, n, workload);
+    let mut step = ScheduleStep::at(SyncScope::global(tree));
+    for j in 0..tree.num_procs() {
+        let pid = ProcId(j as u32);
+        if pid == root {
+            continue;
+        }
+        step.transfers.push(Transfer {
+            src: pid,
+            dst: root,
+            words: partition.share(pid),
+            role: Role::Bundle(vec![schedule::share_unit(&partition, pid)]),
+        });
+    }
+    let mut sched = CommSchedule::new();
+    sched.push(step);
+    sched.push(ScheduleStep::drain());
+    sched
+}
+
+/// §4.3's hierarchical gather as a schedule: at super^i-step `i`, the
+/// coordinator of every level-(i−1) unit forwards its accumulated
+/// bundle to its level-`i` coordinator.
+pub fn lower_hierarchical_gather(
+    tree: &MachineTree,
+    n: u64,
+    workload: WorkloadPolicy,
+) -> CommSchedule {
+    let partition = partition_for(tree, n, workload);
+    let mut sched = CommSchedule::new();
+    for level in 1..=tree.height() {
+        let mut step = ScheduleStep::at(SyncScope::Level(level));
+        for &cluster in tree.level_nodes(level).expect("level exists") {
+            let node = tree.node(cluster);
+            if node.is_proc() {
+                continue;
+            }
+            let rep_pid = rep_of(tree, cluster);
+            for &child in node.children() {
+                let child_rep = rep_of(tree, child);
+                if child_rep == rep_pid {
+                    continue;
+                }
+                let (units, words) = subtree_units(tree, child, &partition);
+                step.transfers.push(Transfer {
+                    src: child_rep,
+                    dst: rep_pid,
+                    words,
+                    role: Role::Bundle(units),
+                });
+            }
+        }
+        sched.push(step);
+    }
+    sched.push(ScheduleStep::drain());
+    sched
+}
+
 /// Per-processor gather state: the pieces currently held.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GatherState {
@@ -146,7 +238,9 @@ impl SpmdProgram for FlatGather {
             _ => {
                 if env.pid == self.root {
                     for m in ctx.messages() {
-                        state.held.extend(decode_bundle(&m.payload));
+                        state
+                            .held
+                            .extend(decode_bundle(&m.payload).expect("own wire format"));
                     }
                 }
                 StepOutcome::Done
@@ -190,7 +284,9 @@ impl SpmdProgram for HierarchicalGather {
         let k = tree.height();
         // Absorb whatever arrived from the previous level.
         for m in ctx.messages() {
-            state.held.extend(decode_bundle(&m.payload));
+            state
+                .held
+                .extend(decode_bundle(&m.payload).expect("own wire format"));
         }
         if step as u32 >= k {
             return StepOutcome::Done;
@@ -239,34 +335,25 @@ pub fn simulate_gather(
     tree: &MachineTree,
     items: &[u32],
     plan: GatherPlan,
-) -> Result<GatherRun, SimError> {
+) -> Result<GatherRun, CollectiveError> {
     simulate_gather_with(tree, NetConfig::pvm_like(), items, plan)
 }
 
-/// Run a gather with explicit microcosts.
+/// Run a gather with explicit microcosts: lower the plan to its
+/// schedule, interpret the schedule, read the result off the root.
 pub fn simulate_gather_with(
     tree: &MachineTree,
     cfg: NetConfig,
     items: &[u32],
     plan: GatherPlan,
-) -> Result<GatherRun, SimError> {
+) -> Result<GatherRun, CollectiveError> {
     let tree = Arc::new(tree.clone());
-    let shares = Arc::new(shares_for(&tree, items, plan.workload));
+    let (sched, root) = lower_gather(&tree, items.len() as u64, plan)?;
+    let init = schedule::share_inits(&tree, items, plan.workload);
+    let prog = ScheduleProgram::new(Arc::new(sched), Arc::new(init), None);
     let sim = Simulator::with_config(Arc::clone(&tree), cfg);
-    let (root, outcome, states) = match plan.strategy {
-        Strategy::Flat => {
-            let root = plan.root.resolve(&tree);
-            let prog = FlatGather::new(root, shares);
-            let (o, s) = sim.run_with_states(&prog)?;
-            (root, o, s)
-        }
-        Strategy::Hierarchical => {
-            let prog = HierarchicalGather::new(shares);
-            let (o, s) = sim.run_with_states(&prog)?;
-            (tree.fastest_proc(), o, s)
-        }
-    };
-    let result = reassemble(&states[root.rank()].held);
+    let (outcome, states) = schedule::run_on_simulator(&sim, &prog)?;
+    let result = states[root.rank()].unit(UnitId::new(0, items.len() as u32));
     Ok(GatherRun {
         result,
         time: outcome.total_time,

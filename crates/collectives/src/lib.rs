@@ -15,7 +15,15 @@
 //! | [`alltoall`] | personalized all-to-all | \[20\] |
 //! | [`reduce`] | flat and hierarchical reduction (+ allreduce) | \[20\] |
 //! | [`scan`] | prefix reduction across ranks | \[20\] |
-//! | [`predict`] | closed-form HBSP^k cost predictions | §4 |
+//! | [`schedule`] | the communication-schedule IR every collective lowers to | §4 |
+//! | [`mod@predict`] | cost predictions derived from communication schedules | §4 |
+//! | [`tune`] | pick the cheapest strategy for a machine by predicted cost | §4.4 |
+//!
+//! Every collective is a pure *lowering* `plan → CommSchedule`
+//! ([`schedule::CommSchedule`]): the same artifact is executed by the
+//! generic [`schedule::ScheduleProgram`] interpreter on either engine,
+//! priced by [`predict::predict`], and compared by [`tune`] — so the
+//! implementation and its cost model cannot drift apart.
 //!
 //! The paper's two design rules run through every algorithm:
 //!
@@ -36,12 +44,19 @@ pub mod allgather;
 pub mod alltoall;
 pub mod broadcast;
 pub mod data;
+pub mod error;
 pub mod gather;
 pub mod plan;
 pub mod predict;
 pub mod reduce;
 pub mod scan;
 pub mod scatter;
+pub mod schedule;
+pub mod tune;
 
-pub use data::{decode_bundle, encode_bundle, reassemble, shares_for, Piece};
-pub use plan::{PhasePolicy, RootPolicy, Strategy, WorkloadPolicy};
+pub use data::{decode_bundle, encode_bundle, reassemble, shares_for, DecodeError, Piece};
+pub use error::CollectiveError;
+pub use plan::{PhasePolicy, RankOutOfRange, RootPolicy, Strategy, WorkloadPolicy};
+pub use predict::predict;
+pub use schedule::{CommSchedule, Role, ScheduleProgram, ScheduleStep, Transfer, UnitId};
+pub use tune::{best_broadcast, best_strategy, rank_broadcast, Candidate};

@@ -1,6 +1,28 @@
 //! Algorithm plans: the knobs the paper's experiments turn.
 
 use hbsp_core::{MachineTree, ProcId};
+use std::fmt;
+
+/// A [`RootPolicy::Rank`] naming a processor the machine does not have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankOutOfRange {
+    /// The requested rank.
+    pub rank: u32,
+    /// Processors available on the machine.
+    pub nprocs: usize,
+}
+
+impl fmt::Display for RankOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "root rank {} out of range for a {}-processor machine",
+            self.rank, self.nprocs
+        )
+    }
+}
+
+impl std::error::Error for RankOutOfRange {}
 
 /// Which processor anchors a rooted collective (gather destination,
 /// broadcast source).
@@ -18,17 +40,21 @@ pub enum RootPolicy {
 }
 
 impl RootPolicy {
-    /// Resolve against a machine.
-    pub fn resolve(self, tree: &MachineTree) -> ProcId {
+    /// Resolve against a machine. An out-of-range [`RootPolicy::Rank`]
+    /// is an error the collective entry points propagate to the caller.
+    pub fn resolve(self, tree: &MachineTree) -> Result<ProcId, RankOutOfRange> {
         match self {
-            RootPolicy::Fastest => tree.fastest_proc(),
-            RootPolicy::Slowest => tree.slowest_proc(),
+            RootPolicy::Fastest => Ok(tree.fastest_proc()),
+            RootPolicy::Slowest => Ok(tree.slowest_proc()),
             RootPolicy::Rank(r) => {
-                assert!(
-                    (r as usize) < tree.num_procs(),
-                    "root rank {r} out of range"
-                );
-                ProcId(r)
+                if (r as usize) < tree.num_procs() {
+                    Ok(ProcId(r))
+                } else {
+                    Err(RankOutOfRange {
+                        rank: r,
+                        nprocs: tree.num_procs(),
+                    })
+                }
             }
         }
     }
@@ -81,15 +107,16 @@ mod tests {
     #[test]
     fn root_policy_resolution() {
         let t = TreeBuilder::flat(1.0, 0.0, &[(2.0, 0.5), (1.0, 1.0), (4.0, 0.2)]).unwrap();
-        assert_eq!(RootPolicy::Fastest.resolve(&t), ProcId(1));
-        assert_eq!(RootPolicy::Slowest.resolve(&t), ProcId(2));
-        assert_eq!(RootPolicy::Rank(0).resolve(&t), ProcId(0));
+        assert_eq!(RootPolicy::Fastest.resolve(&t), Ok(ProcId(1)));
+        assert_eq!(RootPolicy::Slowest.resolve(&t), Ok(ProcId(2)));
+        assert_eq!(RootPolicy::Rank(0).resolve(&t), Ok(ProcId(0)));
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_rank_panics() {
+    fn bad_rank_is_an_error() {
         let t = TreeBuilder::homogeneous(1.0, 0.0, 2).unwrap();
-        RootPolicy::Rank(5).resolve(&t);
+        let err = RootPolicy::Rank(5).resolve(&t).unwrap_err();
+        assert_eq!(err, RankOutOfRange { rank: 5, nprocs: 2 });
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 }

@@ -1,122 +1,71 @@
-//! Closed-form HBSP^k cost predictions — Section 4's analyses as code.
+//! HBSP^k cost predictions derived from communication schedules.
 //!
-//! Each function returns a [`CostReport`] whose supersteps follow the
-//! paper's derivations exactly (`T_i = w_i + g·h + L_{i,j}` with the
-//! heterogeneous h-relations of §4.2–4.4). These are *model*
-//! predictions: the model charges a superstep's communication once as
-//! `g·h`, abstracting the pack/unpack pipeline the simulator resolves —
-//! experiment E9 (`model_accuracy`) quantifies the gap.
+//! Section 4 of the paper derives each collective's cost by hand from
+//! the same structure the algorithm executes. Here that derivation is
+//! mechanical: [`predict`] folds a [`CommSchedule`]'s per-step
+//! heterogeneous h-relation (`h = max r_j·h_j`) and work charges through
+//! [`hbsp_core::CostModel::schedule_step`] (`T_i = w_i + g·h +
+//! L_{i,j}`), so the prediction is computed from the very artifact the
+//! interpreter runs. The per-collective helpers below lower a plan and
+//! price it in one call; they reproduce the paper's §4.2–4.4 closed
+//! forms exactly (property-tested in `tests/schedule_equivalence.rs`).
+//!
+//! These are *model* predictions: the model charges a superstep's
+//! communication once as `g·h`, abstracting the pack/unpack pipeline the
+//! simulator resolves — experiment E9 (`model_accuracy`) quantifies the
+//! gap.
 
-use crate::plan::WorkloadPolicy;
-use hbsp_core::{CostReport, Level, MachineTree, NodeIdx, Partition, ProcId, SuperstepCost};
+use crate::broadcast::lower_flat_broadcast;
+use crate::gather::{lower_flat_gather, lower_hierarchical_gather};
+use crate::plan::{PhasePolicy, WorkloadPolicy};
+use crate::schedule::{step_hrelation, CommSchedule};
+use hbsp_core::{CostModel, CostReport, MachineTree, ProcId};
 
-fn fractions(tree: &MachineTree, n: u64, workload: WorkloadPolicy) -> Vec<u64> {
-    match workload {
-        WorkloadPolicy::Equal => Partition::equal(n, tree.num_procs()),
-        WorkloadPolicy::Balanced => Partition::balanced_for(tree, n),
-        WorkloadPolicy::CommAware => Partition::comm_aware_for(tree, n),
+/// Price a communication schedule under the HBSP^k model: one
+/// [`hbsp_core::SuperstepCost`] per scheduled step. A final drain step
+/// that neither communicates nor computes is free and is omitted, so
+/// the report's step count matches the paper's analyses.
+pub fn predict(tree: &MachineTree, schedule: &CommSchedule) -> CostReport {
+    let cm = CostModel::new(tree);
+    let mut rep = CostReport::new();
+    for step in &schedule.steps {
+        if step.scope.is_none() && step.is_free() {
+            continue;
+        }
+        let hr = step_hrelation(tree, step);
+        rep.push(cm.schedule_step(step.scope.map(|s| s.level()), &step.work, &hr));
     }
-    .expect("non-empty machine")
-    .shares()
-    .to_vec()
+    rep
 }
 
-fn r_of(tree: &MachineTree, pid: ProcId) -> f64 {
-    tree.leaf(pid).params().r
-}
-
-fn l_of(tree: &MachineTree, node: NodeIdx) -> f64 {
-    tree.node(node).params().l_sync
-}
-
-/// §4.2 — flat gather to `root`: one super¹-step with
-/// `h = max( max_j r_j·x_j , r_root·(n − x_root) )` (the root receives
-/// everything it doesn't already hold; no self-send).
+/// §4.2 — flat gather to `root`:
+/// `h = max( max_j r_j·x_j , r_root·(n − x_root) )`.
 pub fn gather_flat(
     tree: &MachineTree,
     n: u64,
     root: ProcId,
     workload: WorkloadPolicy,
 ) -> CostReport {
-    let shares = fractions(tree, n, workload);
-    let mut h: f64 = 0.0;
-    for (j, &x) in shares.iter().enumerate() {
-        let pid = ProcId(j as u32);
-        if pid != root {
-            h = h.max(r_of(tree, pid) * x as f64);
-        }
-    }
-    let received = n - shares[root.rank()];
-    h = h.max(r_of(tree, root) * received as f64);
-    let mut rep = CostReport::new();
-    rep.push(step(tree, tree.height(), h, l_of(tree, tree.root())));
-    rep
+    predict(tree, &lower_flat_gather(tree, n, root, workload))
 }
 
-/// §4.3 — hierarchical gather on an HBSP^2 machine: the slowest
-/// cluster's internal gather, then one super²-step of coordinators
-/// sending bundles to the root (`h = max(r_{1,j}·x_{1,j}, r_{2,0}·n)`).
-///
-/// Works for any `k ≥ 1` by iterating levels; on a flat machine it
-/// reduces to [`gather_flat`] with the fastest root.
+/// §4.3 — hierarchical gather: one super^i-step per level, coordinators
+/// forwarding bundles upward (`h = max(r_{1,j}·x_{1,j}, r_{2,0}·n)` on
+/// an HBSP^2 machine).
 pub fn gather_hierarchical(tree: &MachineTree, n: u64, workload: WorkloadPolicy) -> CostReport {
-    let shares = fractions(tree, n, workload);
-    let k = tree.height();
-    let mut rep = CostReport::new();
-    for level in 1..=k {
-        let mut h: f64 = 0.0;
-        let mut l_max: f64 = 0.0;
-        for &cluster in tree.level_nodes(level).expect("level exists") {
-            let node = tree.node(cluster);
-            if node.is_proc() {
-                continue;
-            }
-            let rep_pid = tree.node(node.representative()).proc_id().unwrap();
-            // Children coordinators send their subtree totals to the
-            // cluster coordinator (which already holds its own unit's
-            // data).
-            let mut received = 0u64;
-            for &child in node.children() {
-                let child_rep = tree
-                    .node(tree.node(child).representative())
-                    .proc_id()
-                    .unwrap();
-                let child_total: u64 = tree
-                    .subtree_leaves(child)
-                    .iter()
-                    .map(|&l| shares[tree.node(l).proc_id().unwrap().rank()])
-                    .sum();
-                if child_rep != rep_pid {
-                    h = h.max(r_of(tree, child_rep) * child_total as f64);
-                    received += child_total;
-                }
-            }
-            h = h.max(r_of(tree, rep_pid) * received as f64);
-            l_max = l_max.max(l_of(tree, cluster));
-        }
-        rep.push(step(tree, level, h, l_max));
-    }
-    rep
+    predict(tree, &lower_hierarchical_gather(tree, n, workload))
 }
 
-/// §4.4 — flat one-phase broadcast: `h = max(r_root·n·(p−1), max_j r_j·n)`
-/// (the paper writes `g·n·m + L` for the root-dominated case).
+/// §4.4 — flat one-phase broadcast:
+/// `h = max(r_root·n·(p−1), max_j r_j·n)`.
 pub fn broadcast_one_phase(tree: &MachineTree, n: u64, root: ProcId) -> CostReport {
-    let p = tree.num_procs();
-    let mut h = r_of(tree, root) * (n as f64) * (p as f64 - 1.0);
-    for pid in (0..p).map(|j| ProcId(j as u32)) {
-        if pid != root {
-            h = h.max(r_of(tree, pid) * n as f64);
-        }
-    }
-    let mut rep = CostReport::new();
-    rep.push(step(tree, tree.height(), h, l_of(tree, tree.root())));
-    rep
+    predict(
+        tree,
+        &lower_flat_broadcast(tree, n, root, PhasePolicy::OnePhase, WorkloadPolicy::Equal),
+    )
 }
 
-/// §4.4 — flat two-phase broadcast:
-/// phase 1 `h = max(r_root·n, max_j r_j·x_j)`, phase 2 `h = r_s·n`
-/// (the slowest processor must send and receive ~n words), giving the
+/// §4.4 — flat two-phase broadcast: scatter then all-gather, the
 /// paper's `g·n(1 + r_{0,s}) + 2L` for equal shares.
 pub fn broadcast_two_phase(
     tree: &MachineTree,
@@ -124,87 +73,16 @@ pub fn broadcast_two_phase(
     root: ProcId,
     workload: WorkloadPolicy,
 ) -> CostReport {
-    let shares = fractions(tree, n, workload);
-    let p = tree.num_procs();
-    let l = l_of(tree, tree.root());
-    // Phase 1: scatter.
-    let sent: u64 = n - shares[root.rank()];
-    let mut h1 = r_of(tree, root) * sent as f64;
-    for (j, &share) in shares.iter().enumerate() {
-        let pid = ProcId(j as u32);
-        if pid != root {
-            h1 = h1.max(r_of(tree, pid) * share as f64);
-        }
-    }
-    // Phase 2: all-gather of pieces; every processor sends its piece to
-    // p−1 peers and receives n − x_j words.
-    let mut h2: f64 = 0.0;
-    for (j, &share) in shares.iter().enumerate() {
-        let pid = ProcId(j as u32);
-        let out = share * (p as u64 - 1);
-        let inc = n - share;
-        h2 = h2.max(r_of(tree, pid) * out.max(inc) as f64);
-    }
-    let mut rep = CostReport::new();
-    rep.push(step(tree, tree.height(), h1, l));
-    rep.push(step(tree, tree.height(), h2, l));
-    rep
-}
-
-/// §4.4 — the HBSP^2 super²-step cost of distributing `n` items from
-/// the root coordinator to the `m` level-1 coordinators, one-phase:
-/// `g·max(r_{1,s}·n, r_{2,0}·n·m) + L_{2,0}`.
-pub fn hbsp2_top_one_phase(tree: &MachineTree, n: u64) -> CostReport {
-    let (root_r, slowest_coord_r, m, l) = top_level_params(tree);
-    let h = (root_r * n as f64 * (m as f64 - 1.0)).max(slowest_coord_r * n as f64);
-    let mut rep = CostReport::new();
-    rep.push(step(tree, tree.height(), h, l));
-    rep
-}
-
-/// §4.4 — the HBSP^2 super²-steps of the two-phase top-level
-/// distribution: `g·max(r_{1,s}·n/m, r_{2,0}·n) + g·r_{1,s}·n + 2L_{2,0}`.
-pub fn hbsp2_top_two_phase(tree: &MachineTree, n: u64) -> CostReport {
-    let (root_r, slowest_coord_r, m, l) = top_level_params(tree);
-    let piece = n as f64 / m as f64;
-    let h1 = (root_r * (n as f64 - piece)).max(slowest_coord_r * piece);
-    let h2 = slowest_coord_r * n as f64;
-    let mut rep = CostReport::new();
-    rep.push(step(tree, tree.height(), h1, l));
-    rep.push(step(tree, tree.height(), h2, l));
-    rep
-}
-
-/// `(r_{2,0}, r_{1,s}, m_{2,0}, L_{2,0})` of an HBSP^2 machine: the root
-/// coordinator's slowness, the slowest level-1 coordinator's slowness,
-/// the number of level-1 machines, and the top barrier cost.
-fn top_level_params(tree: &MachineTree) -> (f64, f64, usize, f64) {
-    let k = tree.height();
-    assert!(k >= 1, "top-level analysis needs a cluster machine");
-    let root = tree.node(tree.root());
-    let root_r = root.params().r;
-    let mut slowest = root_r;
-    for &child in root.children() {
-        let rep_leaf = tree.node(child).representative();
-        slowest = slowest.max(tree.node(rep_leaf).params().r);
-    }
-    (root_r, slowest, root.num_children(), root.params().l_sync)
-}
-
-fn step(tree: &MachineTree, level: Level, h: f64, l: f64) -> SuperstepCost {
-    SuperstepCost {
-        level,
-        w: 0.0,
-        h,
-        comm: tree.g() * h,
-        sync: l,
-    }
+    predict(
+        tree,
+        &lower_flat_broadcast(tree, n, root, PhasePolicy::TwoPhase, workload),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hbsp_core::TreeBuilder;
+    use hbsp_core::{Partition, TreeBuilder};
 
     #[test]
     fn balanced_gather_is_gn_plus_l() {
@@ -273,37 +151,6 @@ mod tests {
         let one = broadcast_one_phase(&t, n, ProcId(0)).total();
         let two = broadcast_two_phase(&t, n, ProcId(0), WorkloadPolicy::Equal).total();
         assert!(two < one, "predicted two-phase {two} < one-phase {one}");
-    }
-
-    #[test]
-    fn hbsp2_top_regimes_split_on_rs_vs_m() {
-        // §4.4: r_{1,s} > m_{2,0} makes the slow coordinator dominate
-        // both variants; otherwise the one-phase root term g·n·m
-        // dominates.
-        let mk = |r_slow: f64| {
-            TreeBuilder::two_level(
-                1.0,
-                100.0,
-                &[
-                    (10.0, vec![(1.0, 1.0)]),
-                    (10.0, vec![(r_slow, 1.0 / r_slow)]),
-                ],
-            )
-            .unwrap()
-        };
-        let n = 1000u64;
-        // m = 2; r_slow = 6 > m: both dominated by r_{1,s}.
-        let t = mk(6.0);
-        let one = hbsp2_top_one_phase(&t, n).total();
-        let two = hbsp2_top_two_phase(&t, n).total();
-        // One-phase: g·r_s·n + L = 6000 + 100. Two-phase:
-        // g·r_s·n(1/m + 1) + 2L = 6000·1.5 + 200.
-        assert_eq!(one, 6000.0 + 100.0);
-        assert!((two - (3000.0 + 6000.0 + 200.0)).abs() < 1e-9);
-        assert!(
-            one < two,
-            "with r_s > m the single phase is predicted cheaper"
-        );
     }
 
     #[test]

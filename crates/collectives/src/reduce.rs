@@ -5,9 +5,13 @@
 //! payload *shrinks* at each level, which is where hierarchy pays off
 //! most.
 
+use crate::error::CollectiveError;
 use crate::plan::{RootPolicy, Strategy};
+use crate::schedule::{
+    self, rep_of, CommSchedule, ProcInit, Role, ScheduleProgram, ScheduleStep, Transfer,
+};
 use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
-use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use hbsp_sim::{NetConfig, SimOutcome, Simulator};
 use hbsplib::codec;
 use std::sync::Arc;
 
@@ -176,6 +180,80 @@ impl SpmdProgram for HierarchicalReduce {
     }
 }
 
+/// Flat reduce as a schedule: one global superstep of partial vectors
+/// to the root, whose combining work is charged on the drain step
+/// (where the hand-written program folds them).
+pub fn lower_flat_reduce(tree: &MachineTree, veclen: u64, root: ProcId) -> CommSchedule {
+    let mut step = ScheduleStep::at(SyncScope::global(tree));
+    let mut senders = 0u64;
+    for j in 0..tree.num_procs() {
+        let q = ProcId(j as u32);
+        if q != root {
+            step.transfers.push(Transfer {
+                src: q,
+                dst: root,
+                words: veclen,
+                role: Role::Partial,
+            });
+            senders += 1;
+        }
+    }
+    let mut drain = ScheduleStep::drain();
+    if senders > 0 && veclen > 0 {
+        drain
+            .work
+            .push((root, senders as f64 * veclen as f64 * COMBINE_COST));
+    }
+    let mut sched = CommSchedule::new();
+    sched.push(step);
+    sched.push(drain);
+    sched
+}
+
+/// Hierarchical reduce as a schedule: one super^i-step per level,
+/// cluster coordinators folding their children's partials (charged on
+/// the step after the vectors arrive) and forwarding one combined
+/// vector upward — the payload shrinks at every level.
+pub fn lower_hierarchical_reduce(tree: &MachineTree, veclen: u64) -> CommSchedule {
+    let k = tree.height();
+    let mut steps: Vec<ScheduleStep> = (1..=k)
+        .map(|level| ScheduleStep::at(SyncScope::Level(level)))
+        .collect();
+    steps.push(ScheduleStep::drain());
+    for level in 1..=k {
+        let s = (level - 1) as usize;
+        for &idx in tree.level_nodes(level).unwrap_or(&[]) {
+            if tree.node(idx).is_proc() {
+                continue;
+            }
+            let rep = rep_of(tree, idx);
+            let mut received = 0u64;
+            for &child in tree.node(idx).children() {
+                let child_rep = rep_of(tree, child);
+                if child_rep != rep {
+                    steps[s].transfers.push(Transfer {
+                        src: child_rep,
+                        dst: rep,
+                        words: veclen,
+                        role: Role::Partial,
+                    });
+                    received += 1;
+                }
+            }
+            if received > 0 && veclen > 0 {
+                steps[s + 1]
+                    .work
+                    .push((rep, received as f64 * veclen as f64 * COMBINE_COST));
+            }
+        }
+    }
+    let mut sched = CommSchedule::new();
+    for step in steps {
+        sched.push(step);
+    }
+    sched
+}
+
 /// Outcome of a simulated reduce.
 #[derive(Debug, Clone)]
 pub struct ReduceRun {
@@ -196,11 +274,12 @@ pub fn simulate_reduce(
     op: ReduceOp,
     root: RootPolicy,
     strategy: Strategy,
-) -> Result<ReduceRun, SimError> {
+) -> Result<ReduceRun, CollectiveError> {
     simulate_reduce_with(tree, NetConfig::pvm_like(), vectors, op, root, strategy)
 }
 
-/// Reduce with explicit microcosts.
+/// Reduce with explicit microcosts: lower the strategy to a schedule
+/// and interpret it on the simulator.
 pub fn simulate_reduce_with(
     tree: &MachineTree,
     cfg: NetConfig,
@@ -208,7 +287,7 @@ pub fn simulate_reduce_with(
     op: ReduceOp,
     root: RootPolicy,
     strategy: Strategy,
-) -> Result<ReduceRun, SimError> {
+) -> Result<ReduceRun, CollectiveError> {
     let p = tree.num_procs();
     assert_eq!(vectors.len(), p, "one vector per processor");
     assert!(
@@ -216,21 +295,32 @@ pub fn simulate_reduce_with(
         "reduce vectors must have equal length"
     );
     let tree = Arc::new(tree.clone());
-    let sim = Simulator::with_config(Arc::clone(&tree), cfg);
-    let vectors = Arc::new(vectors);
-    let (root, outcome, states) = match strategy {
+    let veclen = vectors[0].len() as u64;
+    let (sched, root) = match strategy {
         Strategy::Flat => {
-            let root = root.resolve(&tree);
-            let (o, s) = sim.run_with_states(&FlatReduce::new(root, op, vectors))?;
-            (root, o, s)
+            let root = root.resolve(&tree)?;
+            (lower_flat_reduce(&tree, veclen, root), root)
         }
-        Strategy::Hierarchical => {
-            let (o, s) = sim.run_with_states(&HierarchicalReduce::new(op, vectors))?;
-            (tree.fastest_proc(), o, s)
-        }
+        Strategy::Hierarchical => (
+            lower_hierarchical_reduce(&tree, veclen),
+            tree.fastest_proc(),
+        ),
     };
+    let init: Vec<ProcInit> = vectors
+        .into_iter()
+        .map(|v| ProcInit {
+            units: Vec::new(),
+            acc: Some(v),
+        })
+        .collect();
+    let prog = ScheduleProgram::new(Arc::new(sched), Arc::new(init), Some(op));
+    let sim = Simulator::with_config(Arc::clone(&tree), cfg);
+    let (outcome, states) = schedule::run_on_simulator(&sim, &prog)?;
     Ok(ReduceRun {
-        result: states[root.rank()].clone(),
+        result: states[root.rank()]
+            .accumulator()
+            .expect("reduce root holds an accumulator")
+            .to_vec(),
         time: outcome.total_time,
         sim: outcome,
         root,
@@ -245,7 +335,7 @@ pub fn simulate_allreduce(
     vectors: Vec<Vec<u32>>,
     op: ReduceOp,
     strategy: Strategy,
-) -> Result<ReduceRun, SimError> {
+) -> Result<ReduceRun, CollectiveError> {
     let reduce = simulate_reduce(tree, vectors, op, RootPolicy::Fastest, strategy)?;
     let bc = crate::broadcast::simulate_broadcast(
         tree,

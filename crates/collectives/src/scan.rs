@@ -4,9 +4,13 @@
 //! order — the direct BSP scan of Juurlink & Wijshoff's communication
 //! primitives, adapted to the heterogeneous cost model.
 
+use crate::error::CollectiveError;
 use crate::reduce::ReduceOp;
+use crate::schedule::{
+    self, CommSchedule, ProcInit, Role, ScheduleProgram, ScheduleStep, Transfer,
+};
 use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
-use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use hbsp_sim::{NetConfig, SimOutcome, Simulator};
 use hbsplib::codec;
 use std::sync::Arc;
 
@@ -67,6 +71,37 @@ impl SpmdProgram for Scan {
     }
 }
 
+/// The direct BSP scan as a schedule: one global superstep where every
+/// rank sends its partial vector to all higher ranks; rank `j`'s
+/// `j·veclen` folding work is charged on the drain step, where the
+/// hand-written program folds its contributions.
+pub fn lower_scan(tree: &MachineTree, veclen: u64) -> CommSchedule {
+    let p = tree.num_procs();
+    let mut step = ScheduleStep::at(SyncScope::global(tree));
+    let mut drain = ScheduleStep::drain();
+    for i in 0..p {
+        for j in i + 1..p {
+            step.transfers.push(Transfer {
+                src: ProcId(i as u32),
+                dst: ProcId(j as u32),
+                words: veclen,
+                role: Role::Partial,
+            });
+        }
+    }
+    for j in 1..p {
+        if veclen > 0 {
+            drain
+                .work
+                .push((ProcId(j as u32), j as f64 * veclen as f64));
+        }
+    }
+    let mut sched = CommSchedule::new();
+    sched.push(step);
+    sched.push(drain);
+    sched
+}
+
 /// Outcome of a simulated scan.
 #[derive(Debug, Clone)]
 pub struct ScanRun {
@@ -83,23 +118,42 @@ pub fn simulate_scan(
     tree: &MachineTree,
     vectors: Vec<Vec<u32>>,
     op: ReduceOp,
-) -> Result<ScanRun, SimError> {
+) -> Result<ScanRun, CollectiveError> {
     simulate_scan_with(tree, NetConfig::pvm_like(), vectors, op)
 }
 
-/// Scan with explicit microcosts.
+/// Scan with explicit microcosts: lower to a schedule and interpret it
+/// on the simulator.
 pub fn simulate_scan_with(
     tree: &MachineTree,
     cfg: NetConfig,
     vectors: Vec<Vec<u32>>,
     op: ReduceOp,
-) -> Result<ScanRun, SimError> {
+) -> Result<ScanRun, CollectiveError> {
     assert_eq!(vectors.len(), tree.num_procs(), "one vector per processor");
+    assert!(
+        vectors.windows(2).all(|w| w[0].len() == w[1].len()),
+        "scan vectors must have equal length"
+    );
     let tree = Arc::new(tree.clone());
+    let veclen = vectors.first().map_or(0, Vec::len) as u64;
+    let sched = lower_scan(&tree, veclen);
+    let init: Vec<ProcInit> = vectors
+        .into_iter()
+        .map(|v| ProcInit {
+            units: Vec::new(),
+            acc: Some(v),
+        })
+        .collect();
+    let prog = ScheduleProgram::new(Arc::new(sched), Arc::new(init), Some(op));
     let sim = Simulator::with_config(Arc::clone(&tree), cfg);
-    let (outcome, states) = sim.run_with_states(&Scan::new(op, Arc::new(vectors)))?;
+    let (outcome, states) = schedule::run_on_simulator(&sim, &prog)?;
+    let prefixes = states
+        .iter()
+        .map(|s| s.accumulator().expect("every rank holds a prefix").to_vec())
+        .collect();
     Ok(ScanRun {
-        prefixes: states,
+        prefixes,
         time: outcome.total_time,
         sim: outcome,
     })

@@ -2,15 +2,20 @@
 //! processor (the first phase of the two-phase broadcast, as its own
 //! collective — part of the suite the paper defers to \[20\]).
 
-use crate::data::{decode_bundle, encode_bundle, shares_for, Piece};
+use crate::data::{decode_bundle, encode_bundle, partition_for, Piece};
+use crate::error::CollectiveError;
 use crate::plan::{RootPolicy, WorkloadPolicy};
+use crate::schedule::{
+    self, share_unit, CommSchedule, ProcInit, Role, ScheduleProgram, ScheduleStep, Transfer, UnitId,
+};
 use hbsp_core::{MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
-use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use hbsp_sim::{NetConfig, SimOutcome, Simulator};
 use std::sync::Arc;
 
 const TAG_SCATTER: u32 = 0x6C01;
 
-/// The scatter program: one superstep of root → processor pieces.
+/// The hand-written scatter program, kept as the reference
+/// implementation the schedule interpreter is property-tested against.
 pub struct Scatter {
     root: ProcId,
     /// `shares[rank]` — the piece destined for each processor.
@@ -54,7 +59,7 @@ impl SpmdProgram for Scatter {
                 if env.pid != self.root {
                     let mut pieces = Vec::new();
                     for m in ctx.messages() {
-                        pieces.extend(decode_bundle(&m.payload));
+                        pieces.extend(decode_bundle(&m.payload).expect("own wire format"));
                     }
                     assert_eq!(pieces.len(), 1, "scatter delivers exactly one piece");
                     *state = pieces.pop();
@@ -63,6 +68,33 @@ impl SpmdProgram for Scatter {
             }
         }
     }
+}
+
+/// Lower a scatter of `n` items from `root` to a schedule: one global
+/// superstep of root → processor share bundles, then the drain.
+pub fn lower_scatter(
+    tree: &MachineTree,
+    n: u64,
+    root: ProcId,
+    workload: WorkloadPolicy,
+) -> CommSchedule {
+    let partition = partition_for(tree, n, workload);
+    let mut step = ScheduleStep::at(SyncScope::global(tree));
+    for j in 0..tree.num_procs() {
+        let q = ProcId(j as u32);
+        if q != root {
+            step.transfers.push(Transfer {
+                src: root,
+                dst: q,
+                words: partition.share(q),
+                role: Role::Bundle(vec![share_unit(&partition, q)]),
+            });
+        }
+    }
+    let mut sched = CommSchedule::new();
+    sched.push(step);
+    sched.push(ScheduleStep::drain());
+    sched
 }
 
 /// Outcome of a simulated scatter.
@@ -83,26 +115,41 @@ pub fn simulate_scatter(
     items: &[u32],
     root: RootPolicy,
     workload: WorkloadPolicy,
-) -> Result<ScatterRun, SimError> {
+) -> Result<ScatterRun, CollectiveError> {
     simulate_scatter_with(tree, NetConfig::pvm_like(), items, root, workload)
 }
 
-/// Scatter with explicit microcosts.
+/// Scatter with explicit microcosts: lower to a schedule and interpret
+/// it on the simulator.
 pub fn simulate_scatter_with(
     tree: &MachineTree,
     cfg: NetConfig,
     items: &[u32],
     root: RootPolicy,
     workload: WorkloadPolicy,
-) -> Result<ScatterRun, SimError> {
+) -> Result<ScatterRun, CollectiveError> {
     let tree = Arc::new(tree.clone());
-    let shares = Arc::new(shares_for(&tree, items, workload));
-    let root = root.resolve(&tree);
+    let root = root.resolve(&tree)?;
+    let n = items.len() as u64;
+    let sched = lower_scatter(&tree, n, root, workload);
+    let mut init = vec![ProcInit::default(); tree.num_procs()];
+    init[root.rank()]
+        .units
+        .push((UnitId::new(0, items.len() as u32), items.to_vec()));
+    let prog = ScheduleProgram::new(Arc::new(sched), Arc::new(init), None);
     let sim = Simulator::with_config(Arc::clone(&tree), cfg);
-    let (outcome, states) = sim.run_with_states(&Scatter::new(root, shares))?;
+    let (outcome, states) = schedule::run_on_simulator(&sim, &prog)?;
+    let partition = partition_for(&tree, n, workload);
     let pieces = states
-        .into_iter()
-        .map(|s| s.expect("every processor receives a piece"))
+        .iter()
+        .enumerate()
+        .map(|(j, s)| {
+            let uid = share_unit(&partition, ProcId(j as u32));
+            Piece {
+                offset: uid.offset,
+                items: s.unit(uid),
+            }
+        })
         .collect();
     Ok(ScatterRun {
         pieces,
@@ -156,5 +203,13 @@ mod tests {
             tf < ts,
             "the root does all the sending: T_f={tf} < T_s={ts}"
         );
+    }
+
+    #[test]
+    fn bad_root_rank_is_an_error() {
+        let t = TreeBuilder::flat(1.0, 0.0, &[(1.0, 1.0), (2.0, 0.5)]).unwrap();
+        let err = simulate_scatter(&t, &[1, 2, 3], RootPolicy::Rank(9), WorkloadPolicy::Equal)
+            .unwrap_err();
+        assert!(matches!(err, CollectiveError::Root(_)), "{err}");
     }
 }

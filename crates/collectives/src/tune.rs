@@ -1,0 +1,101 @@
+//! Strategy autotuning: enumerate candidate plans, lower each to a
+//! [`crate::schedule::CommSchedule`], and pick the cheapest by predicted
+//! cost — §4.4's "for reasonable values of r_s" arguments made
+//! machine-specific and automatic.
+//!
+//! Because lowering and prediction run on the same IR the executor
+//! interprets, the tuner's ranking is a ranking of the *actual*
+//! programs, not of separately maintained formulas.
+
+use crate::broadcast::{lower_broadcast, BroadcastPlan};
+use crate::plan::{PhasePolicy, Strategy};
+use crate::predict::predict;
+use hbsp_core::MachineTree;
+
+/// A candidate broadcast plan with its predicted cost.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The plan that was lowered and priced.
+    pub plan: BroadcastPlan,
+    /// Predicted HBSP^k execution time of its schedule.
+    pub cost: f64,
+}
+
+/// Every broadcast plan the tuner considers, flat strategies first (so
+/// ties — e.g. on a homogeneous flat machine, where the hierarchical
+/// lowering degenerates to the flat one — resolve to the simpler plan).
+fn broadcast_candidates() -> Vec<BroadcastPlan> {
+    let mut plans = vec![BroadcastPlan::one_phase(), BroadcastPlan::two_phase()];
+    for top in [PhasePolicy::OnePhase, PhasePolicy::TwoPhase] {
+        for cluster in [PhasePolicy::OnePhase, PhasePolicy::TwoPhase] {
+            let mut plan = BroadcastPlan::hierarchical(top);
+            plan.cluster_phase = cluster;
+            plans.push(plan);
+        }
+    }
+    plans
+}
+
+/// Lower and price every candidate broadcast plan for `n` items on
+/// `tree`, cheapest first (stable: flat plans sort before hierarchical
+/// ones of equal cost).
+pub fn rank_broadcast(tree: &MachineTree, n: u64) -> Vec<Candidate> {
+    let mut ranked: Vec<Candidate> = broadcast_candidates()
+        .into_iter()
+        .map(|plan| {
+            let (sched, _) = lower_broadcast(tree, n, &plan)
+                .expect("candidate plans use resolvable root policies");
+            Candidate {
+                plan,
+                cost: predict(tree, &sched).total(),
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    ranked
+}
+
+/// The cheapest broadcast plan for `n` items on `tree` by predicted
+/// cost.
+pub fn best_broadcast(tree: &MachineTree, n: u64) -> Candidate {
+    rank_broadcast(tree, n)
+        .into_iter()
+        .next()
+        .expect("there is always at least one candidate")
+}
+
+/// The winning strategy for broadcasting `n` items on `tree`:
+/// [`Strategy::Hierarchical`] only when some hierarchical plan strictly
+/// beats every flat one.
+pub fn best_strategy(tree: &MachineTree, n: u64) -> Strategy {
+    best_broadcast(tree, n).plan.strategy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    #[test]
+    fn homogeneous_flat_machine_tunes_to_flat() {
+        let t = TreeBuilder::homogeneous(1.0, 100.0, 8).unwrap();
+        assert_eq!(best_strategy(&t, 10_000), Strategy::Flat);
+    }
+
+    #[test]
+    fn ranking_is_exhaustive_and_sorted() {
+        let t = TreeBuilder::two_level(
+            1.0,
+            500.0,
+            &[
+                (50.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                (60.0, vec![(2.0, 0.4), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap();
+        let ranked = rank_broadcast(&t, 2000);
+        assert_eq!(ranked.len(), 6, "2 flat + 4 hierarchical candidates");
+        assert!(ranked.windows(2).all(|w| w[0].cost <= w[1].cost));
+        assert_eq!(best_broadcast(&t, 2000).cost, ranked[0].cost);
+    }
+}

@@ -177,9 +177,7 @@ impl TreeBuilder {
                     .min_by(|&a, &b| {
                         let sa = self.nodes[a].params.speed;
                         let sb = self.nodes[b].params.speed;
-                        sb.partial_cmp(&sa)
-                            .unwrap()
-                            .then(proc_ids[a].cmp(&proc_ids[b]))
+                        sb.total_cmp(&sa).then(proc_ids[a].cmp(&proc_ids[b]))
                     });
                 if let Some(b) = best {
                     representative[i] = b;

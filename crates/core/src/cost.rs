@@ -16,7 +16,7 @@
 //! "predicted" column of the model-accuracy experiment (E9).
 
 use crate::hrelation::HRelation;
-use crate::ids::{Level, MachineId, NodeIdx};
+use crate::ids::{Level, MachineId, NodeIdx, ProcId};
 use crate::tree::MachineTree;
 use std::fmt;
 
@@ -173,7 +173,8 @@ impl<'t> CostModel<'t> {
                 let n = self.tree.node(self.tree.resolve(id).expect("participant"));
                 units / n.params().speed
             })
-            .fold(0.0, f64::max);
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0);
         let h = hr.h_on(self.tree);
         SuperstepCost {
             level,
@@ -199,6 +200,65 @@ impl<'t> CostModel<'t> {
             h,
             comm: self.tree.g() * h,
             sync: l,
+        }
+    }
+
+    /// The barrier overhead `L_{i,j}` of a level-`level` synchronization:
+    /// the largest `L` among the level's *clusters* — every cluster at
+    /// that level releases independently, so the slowest one bounds the
+    /// step (§4.3). A lone processor sitting at the level pays nothing;
+    /// on a single-processor machine the global barrier degenerates to
+    /// the root's own `L`.
+    pub fn level_sync(&self, level: Level) -> f64 {
+        let mut l: Option<f64> = None;
+        if let Ok(nodes) = self.tree.level_nodes(level) {
+            for &idx in nodes {
+                let node = self.tree.node(idx);
+                if node.is_proc() {
+                    continue;
+                }
+                let cand = node.params().l_sync;
+                l = Some(match l {
+                    Some(cur) if cand.total_cmp(&cur).is_le() => cur,
+                    _ => cand,
+                });
+            }
+        }
+        l.unwrap_or_else(|| {
+            if level == self.tree.height() {
+                self.tree.node(self.tree.root()).params().l_sync
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Price one step of a communication schedule from its barrier scope,
+    /// per-processor work charges (fastest-speed units), and traffic.
+    /// `scope` of `None` is a final drain step: messages are read and
+    /// folds charged, but no barrier is paid.
+    pub fn schedule_step(
+        &self,
+        scope: Option<Level>,
+        work: &[(ProcId, f64)],
+        hr: &HRelation,
+    ) -> SuperstepCost {
+        let w = work
+            .iter()
+            .map(|&(pid, units)| units / self.tree.leaf(pid).params().speed)
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        let h = hr.h_on(self.tree);
+        let (level, sync) = match scope {
+            Some(level) => (level, self.level_sync(level)),
+            None => (self.tree.height(), 0.0),
+        };
+        SuperstepCost {
+            level,
+            w,
+            h,
+            comm: self.tree.g() * h,
+            sync,
         }
     }
 }

@@ -82,7 +82,8 @@ impl HRelation {
         self.traffic
             .iter()
             .map(|(&id, t)| r(id) * t.h() as f64)
-            .fold(0.0, f64::max)
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0)
     }
 
     /// The heterogeneous h-relation using the `r` values of `tree`.
@@ -113,7 +114,11 @@ impl HRelation {
 /// `(r_{i,j}, h_{i,j})` pairs — the exact form of the paper's definition
 /// `h = max{ r_{i,j} · h_{i,j} }`.
 pub fn hrelation(parts: &[(f64, u64)]) -> f64 {
-    parts.iter().map(|&(r, h)| r * h as f64).fold(0.0, f64::max)
+    parts
+        .iter()
+        .map(|&(r, h)| r * h as f64)
+        .max_by(f64::total_cmp)
+        .unwrap_or(0.0)
 }
 
 #[cfg(test)]

@@ -269,8 +269,7 @@ impl MachineTree {
             .min_by(|&a, &b| {
                 let sa = self.node(a).params.speed;
                 let sb = self.node(b).params.speed;
-                sa.partial_cmp(&sb)
-                    .unwrap()
+                sa.total_cmp(&sb)
                     .then(self.node(a).proc_id.cmp(&self.node(b).proc_id))
             })
             .expect("non-empty machine");

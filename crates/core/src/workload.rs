@@ -39,7 +39,7 @@ pub fn apportion(n: u64, weights: &[f64]) -> Vec<u64> {
     order.sort_by(|&a, &b| {
         let fa = quotas[a] - quotas[a].floor();
         let fb = quotas[b] - quotas[b].floor();
-        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        fb.total_cmp(&fa).then(a.cmp(&b))
     });
     for &i in order.iter().take((n - assigned) as usize) {
         shares[i] += 1;

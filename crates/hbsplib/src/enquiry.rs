@@ -48,8 +48,7 @@ impl TreeEnquiry for MachineTree {
         let mut pids: Vec<ProcId> = (0..self.num_procs()).map(|i| ProcId(i as u32)).collect();
         pids.sort_by(|&a, &b| {
             self.speed_of(b)
-                .partial_cmp(&self.speed_of(a))
-                .expect("speeds are finite")
+                .total_cmp(&self.speed_of(a))
                 .then(a.cmp(&b))
         });
         pids

@@ -53,6 +53,16 @@ impl Executor {
         Executor::Threads(ThreadedRuntime::with_config(tree, cfg))
     }
 
+    /// Record per-processor activity timelines on either engine (the
+    /// raw material for §4.1's "faster machines sit idle" Gantt
+    /// charts); retrieve them from [`ExecOutcome`]'s `sim.timelines`.
+    pub fn trace(self, enable: bool) -> Self {
+        match self {
+            Executor::Simulator(s) => Executor::Simulator(s.trace(enable)),
+            Executor::Threads(t) => Executor::Threads(t.trace(enable)),
+        }
+    }
+
     /// The machine this executor runs on.
     pub fn tree(&self) -> &Arc<MachineTree> {
         match self {
@@ -153,6 +163,18 @@ mod tests {
         // overheads the model abstracts).
         let (sim_out, _) = Executor::simulator(tree()).run(&PingPong).unwrap();
         assert!(report.total() <= sim_out.total_time());
+    }
+
+    #[test]
+    fn trace_flows_through_both_engines() {
+        for exec in [Executor::simulator(tree()), Executor::threads(tree())] {
+            let (out, _) = exec.trace(true).run(&PingPong).unwrap();
+            let tls = out.sim.timelines.expect("tracing enabled");
+            assert_eq!(tls.len(), 2);
+            assert!(tls.iter().all(|t| !t.spans.is_empty()));
+        }
+        let (plain, _) = Executor::simulator(tree()).run(&PingPong).unwrap();
+        assert!(plain.sim.timelines.is_none());
     }
 
     #[test]

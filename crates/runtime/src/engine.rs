@@ -6,12 +6,12 @@
 //!
 //! * each thread writes its superstep contribution (charged work,
 //!   posted messages, outcome) into its own cache-line-padded
-//!   [`ProcSlot`] — no shared lock is taken between barriers;
+//!   `ProcSlot` — no shared lock is taken between barriers;
 //! * the barrier's leader section gathers all slots, runs the shared
 //!   timing algebra, and *moves* every message into its receiver's
 //!   mailbox (payloads are never copied), batched so each mailbox is
 //!   locked exactly once per superstep;
-//! * run-level coordination state lives in a [`LeaderState`] mutex that
+//! * run-level coordination state lives in a `LeaderState` mutex that
 //!   only the leader section locks (uncontended by construction), with
 //!   two atomics (`finished`, `failed`) publishing the step's verdict
 //!   to the released threads.
@@ -21,6 +21,7 @@ use crate::mailbox::Mailbox;
 use hbsp_core::{MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome};
 use hbsp_sim::step::{analyze, delivery_order, resolve_outcomes};
 use hbsp_sim::timing::{barrier_release, superstep_timing};
+use hbsp_sim::trace::{step_spans, ProcTimeline};
 use hbsp_sim::{NetConfig, SimError, SimOutcome, StepStats};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,6 +45,7 @@ pub struct ThreadedRuntime {
     cfg: NetConfig,
     step_limit: usize,
     barrier_kind: BarrierKind,
+    trace: bool,
 }
 
 /// One processor's per-superstep contribution, padded to its own cache
@@ -120,6 +122,8 @@ struct LeaderState {
     /// Accumulated per-step statistics.
     steps: Vec<StepStats>,
     delivered: u64,
+    /// Per-processor activity timelines, accumulated when tracing.
+    timelines: Option<Vec<ProcTimeline>>,
     /// Set when the SPMD discipline is violated; threads bail out.
     error: Option<SimError>,
 }
@@ -132,6 +136,7 @@ impl ThreadedRuntime {
             cfg: NetConfig::pvm_like(),
             step_limit: 100_000,
             barrier_kind: BarrierKind::default(),
+            trace: false,
         }
     }
 
@@ -142,7 +147,17 @@ impl ThreadedRuntime {
             cfg,
             step_limit: 100_000,
             barrier_kind: BarrierKind::default(),
+            trace: false,
         }
+    }
+
+    /// Record per-processor activity timelines (see [`hbsp_sim::trace`]).
+    /// The spans are built from the same timing algebra the simulator
+    /// uses, so a traced threaded run and a traced simulation of the
+    /// same program produce identical timelines.
+    pub fn trace(mut self, enable: bool) -> Self {
+        self.trace = enable;
+        self
     }
 
     /// Override the runaway-program guard (default 100 000 supersteps).
@@ -180,6 +195,14 @@ impl ThreadedRuntime {
             finish: vec![0.0; p],
             steps: Vec::new(),
             delivered: 0,
+            timelines: self.trace.then(|| {
+                (0..p)
+                    .map(|i| ProcTimeline {
+                        pid: ProcId(i as u32),
+                        spans: Vec::new(),
+                    })
+                    .collect()
+            }),
             error: None,
         });
         let finished = AtomicBool::new(false);
@@ -281,9 +304,7 @@ impl ThreadedRuntime {
                     proc_finish: ls.finish,
                     steps: ls.steps,
                     messages_delivered: ls.delivered,
-                    // Tracing is a simulator feature; the threaded
-                    // runtime reports aggregate stats only.
-                    timelines: None,
+                    timelines: ls.timelines,
                 },
                 wall,
             },
@@ -410,12 +431,18 @@ fn leader_step(
                 hrelation: analysis.hrelation,
                 work_units,
             });
+            if let Some(tls) = ls.timelines.as_mut() {
+                step_spans(tls, &ls.starts, &timing, &timing.finish);
+            }
             ls.finish = timing.finish;
             finished.store(true, Ordering::Release);
         }
         Some(s) => {
             let releases = barrier_release(tree, s, &timing.finish);
             let release_max = releases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if let Some(tls) = ls.timelines.as_mut() {
+                step_spans(tls, &ls.starts, &timing, &releases);
+            }
             ls.steps.push(StepStats {
                 step,
                 scope: s,
@@ -653,6 +680,7 @@ mod tests {
             finish: vec![0.0; p],
             steps: Vec::new(),
             delivered: 0,
+            timelines: None,
             error: None,
         };
         let finished = AtomicBool::new(false);
@@ -733,6 +761,34 @@ mod tests {
                 step: 1
             }
         );
+    }
+
+    #[test]
+    fn traced_timelines_match_the_simulator() {
+        let tree = machine();
+        let prog = Exchange { rounds: 3 };
+        let sim = Simulator::new(Arc::clone(&tree))
+            .trace(true)
+            .run(&prog)
+            .unwrap();
+        let thr = ThreadedRuntime::new(Arc::clone(&tree))
+            .trace(true)
+            .run(&prog)
+            .unwrap()
+            .virtual_outcome;
+        let sim_tls = sim.timelines.expect("simulator traced");
+        let thr_tls = thr.timelines.expect("runtime traced");
+        assert_eq!(sim_tls.len(), thr_tls.len());
+        for (a, b) in sim_tls.iter().zip(&thr_tls) {
+            assert_eq!(a.pid, b.pid);
+            assert_eq!(a.spans, b.spans, "P{} timelines diverge", a.pid.0);
+        }
+        // Untraced runs stay lean.
+        let plain = ThreadedRuntime::new(tree)
+            .run(&prog)
+            .unwrap()
+            .virtual_outcome;
+        assert!(plain.timelines.is_none());
     }
 
     #[test]

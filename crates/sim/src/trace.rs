@@ -84,8 +84,10 @@ impl ProcTimeline {
 }
 
 /// Build per-processor spans for one superstep from its timing and the
-/// barrier releases (`releases = finish` for the final step).
-pub(crate) fn step_spans(
+/// barrier releases (`releases = finish` for the final step). Shared by
+/// the simulator and the threaded runtime so both engines produce
+/// identical timelines for the same program.
+pub fn step_spans(
     timelines: &mut [ProcTimeline],
     starts: &[f64],
     timing: &StepTiming,

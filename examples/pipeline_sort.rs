@@ -83,7 +83,7 @@ impl Program for ParallelSort {
             1 => {
                 let mut run = std::mem::take(state);
                 for m in ctx.messages() {
-                    let mut pieces = decode_bundle(&m.payload);
+                    let mut pieces = decode_bundle(&m.payload).expect("own wire format");
                     run = pieces.pop().expect("exactly one share").items;
                 }
                 ctx.charge(sort_work(run.len()));

@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn flat_broadcast_runs_on_threads((tree, items) in (arb_machine(), arb_items())) {
         let tree = Arc::new(tree);
-        let root = RootPolicy::Slowest.resolve(&tree);
+        let root = RootPolicy::Slowest.resolve(&tree).expect("slowest root resolves");
         let prog = FlatBroadcast::new(
             root,
             hbsp::collectives::plan::PhasePolicy::TwoPhase,

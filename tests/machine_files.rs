@@ -1,6 +1,10 @@
-//! The shipped machine description files stay parseable and valid.
+//! The shipped machine description files stay parseable and valid —
+//! and the autotuner draws the right conclusions from them.
 
+use hbsp::collectives::plan::Strategy;
+use hbsp::collectives::tune;
 use hbsp::core::topology;
+use hbsp::core::TreeBuilder;
 
 #[test]
 fn campus_file_parses() {
@@ -23,6 +27,32 @@ fn grid3_file_parses() {
     assert_eq!(tree.num_procs(), 9);
     assert_eq!(tree.machines_on_level(2).unwrap(), 2, "two campuses");
     tree.validate().unwrap();
+}
+
+/// The tuner's machine-specific verdicts (the whole point of deriving
+/// cost from the executable schedule): on the paper's campus machine a
+/// mid-size broadcast should go hierarchical — confining traffic and
+/// synchronization below the 60 000-cycle backbone — while on a
+/// homogeneous flat machine hierarchy has nothing to offer and the
+/// tuner must keep the flat plan.
+#[test]
+fn tuner_goes_hierarchical_on_campus_and_flat_on_flat() {
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/machines/campus.hbsp"))
+            .expect("campus.hbsp exists");
+    let campus = topology::parse(&text).expect("valid machine");
+    assert_eq!(
+        tune::best_strategy(&campus, 10_000),
+        Strategy::Hierarchical,
+        "campus backbone favours the hierarchical broadcast"
+    );
+
+    let flat = TreeBuilder::homogeneous(1.0, 2_000.0, 8).unwrap();
+    assert_eq!(
+        tune::best_strategy(&flat, 10_000),
+        Strategy::Flat,
+        "a homogeneous flat machine gains nothing from hierarchy"
+    );
 }
 
 #[test]

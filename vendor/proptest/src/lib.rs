@@ -2,7 +2,7 @@
 //!
 //! The real `proptest` cannot be vendored here (no network access at
 //! build time), so this shim reimplements exactly the API surface the
-//! workspace's property tests use: the [`Strategy`] trait with
+//! workspace's property tests use: the [`Strategy`](strategy::Strategy) trait with
 //! `prop_map`, range/tuple/`Just`/regex-string strategies,
 //! `proptest::collection::vec`, `proptest::num::f64::ANY`, and the
 //! `proptest!` / `prop_assert*!` / `prop_oneof!` macros.
@@ -25,7 +25,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Size specification for [`vec`]: an exact length or a range.
+    /// Size specification for [`vec()`]: an exact length or a range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,

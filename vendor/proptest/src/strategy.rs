@@ -23,6 +23,17 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Strategy that draws a value, builds a second strategy from it,
+    /// and draws from that (upstream's dependent-value combinator).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// See [`Strategy::prop_map`].
@@ -35,6 +46,19 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
