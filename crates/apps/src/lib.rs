@@ -17,6 +17,8 @@
 //!   the repeated-superstep pattern, with heterogeneous domain
 //!   decomposition.
 
+#![forbid(unsafe_code)]
+
 pub mod matvec;
 pub mod sort;
 pub mod stencil;

@@ -20,6 +20,8 @@
 //! and a standalone binary (`src/bin/`) that prints the regenerated
 //! figure.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod figures;
 pub mod testbed;

@@ -31,6 +31,8 @@
 //! results are reproducible) and wall-clock (provided for running the
 //! suite on real hardware).
 
+#![forbid(unsafe_code)]
+
 pub mod kernels;
 pub mod rng;
 pub mod suite;

@@ -1,0 +1,41 @@
+//! `hbsp-check` — static verification for HBSP^k programs and machines.
+//!
+//! Three check layers, none of which executes anything:
+//!
+//! 1. **Schedule verification** ([`verify_schedule`]): a communication
+//!    schedule (as a neutral [`ScheduleView`]) is checked against its
+//!    target [`MachineTree`](hbsp_core::MachineTree) for rank bounds,
+//!    word conservation, barrier-scope containment, self-sends and
+//!    duplicate transfers, drain-step placement, and valid work charges.
+//! 2. **Dataflow analysis** ([`verify_dataflow`]): a conservative
+//!    matched-send/receive pass under BSP delivery semantics (data sent
+//!    in superstep `i` is usable from superstep `i + 1`) that proves
+//!    every transfer sends data its source actually holds — the static
+//!    analogue of "no unmatched receive, no deadlocked barrier".
+//! 3. **Machine linting** ([`lint_machine`]): the paper's Table-1
+//!    parameter rules (fastest `r = 1`, `c` fractions partition each
+//!    cluster, coordinator fastest in its subtree, positive `L` and `g`,
+//!    declared `k` matches tree height) as span-tagged diagnostics.
+//!
+//! Every finding is a typed [`Violation`] carrying the step index,
+//! offending transfer, and a fix hint in its `Display` rendering.
+//! [`Violation::is_fatal`] separates hard errors (the engines would
+//! panic, hang, or mis-deliver) from lint-grade advice (self-sends are
+//! legal free local moves).
+//!
+//! This crate deliberately depends only on `hbsp-core`: the schedule IR
+//! lives in `hbsp-collectives`, which converts into [`ScheduleView`] and
+//! re-exports the checks (see `hbsp_collectives::verify`).
+
+#![forbid(unsafe_code)]
+
+mod machine;
+mod schedule;
+mod violation;
+
+pub use machine::{lint_machine, lint_with_spans, Diagnostic};
+pub use schedule::{
+    implied_hrelation, verify_dataflow, verify_schedule, Payload, ProcHoldings, ScheduleView,
+    StepView, TransferView,
+};
+pub use violation::Violation;

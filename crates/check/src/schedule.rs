@@ -1,0 +1,459 @@
+//! Schedule verification and conservative dataflow analysis.
+//!
+//! The checks operate on [`ScheduleView`], an engine-neutral projection
+//! of a communication schedule: per-superstep barrier scope, work
+//! charges, and `(src, dst, words, payload)` transfers. The producer
+//! (`hbsp_collectives::verify`) converts its `CommSchedule` IR into this
+//! view; keeping the view here lets the checker live below the crate
+//! that defines the IR.
+
+use crate::violation::Violation;
+use hbsp_core::{Level, MachineTree, ProcId};
+use std::collections::HashSet;
+
+/// What a transfer carries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// Addressable item ranges `(offset, len)` out of the collective's
+    /// logical item space.
+    Units(Vec<(u64, u64)>),
+    /// A partial reduction result (dynamic length, combined on arrival).
+    Partial,
+}
+
+/// One point-to-point transfer in a superstep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferView {
+    /// Sending processor.
+    pub src: ProcId,
+    /// Receiving processor.
+    pub dst: ProcId,
+    /// Words the cost model charges for this transfer.
+    pub words: u64,
+    /// The data carried.
+    pub payload: Payload,
+}
+
+/// One superstep of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepView {
+    /// Barrier level closing the step; `None` marks the final drain
+    /// step (absorb-only, no barrier).
+    pub scope: Option<Level>,
+    /// Work charges `(processor, units at fastest-machine speed)`.
+    pub work: Vec<(ProcId, f64)>,
+    /// Transfers posted during the step, in posting order.
+    pub transfers: Vec<TransferView>,
+}
+
+/// An engine-neutral projection of a communication schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleView {
+    /// The supersteps in execution order.
+    pub steps: Vec<StepView>,
+}
+
+/// What one processor holds before the first superstep.
+#[derive(Debug, Clone, Default)]
+pub struct ProcHoldings {
+    /// Item ranges `(offset, len)` the processor starts with.
+    pub units: Vec<(u64, u64)>,
+    /// True if the processor starts with a reduction accumulator.
+    pub has_acc: bool,
+}
+
+/// A set of merged, disjoint half-open intervals `[start, end)`.
+#[derive(Debug, Clone, Default)]
+struct IntervalSet {
+    spans: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    fn insert(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let (start, end) = (offset, offset + len);
+        let mut merged = Vec::with_capacity(self.spans.len() + 1);
+        let mut new = (start, end);
+        for &(s, e) in &self.spans {
+            if e < new.0 || s > new.1 {
+                merged.push((s, e));
+            } else {
+                new = (new.0.min(s), new.1.max(e));
+            }
+        }
+        merged.push(new);
+        merged.sort_unstable();
+        self.spans = merged;
+    }
+
+    fn covers(&self, offset: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let end = offset + len;
+        self.spans.iter().any(|&(s, e)| s <= offset && end <= e)
+    }
+}
+
+/// Structural verification of a schedule against its target machine:
+/// drain placement, rank bounds, scope containment and range, word
+/// conservation, self-sends, duplicates, and work-charge validity.
+///
+/// Returns every violation found (empty = clean). Use
+/// [`Violation::is_fatal`] to separate hard errors from lint findings.
+pub fn verify_schedule(tree: &MachineTree, view: &ScheduleView) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if view.steps.is_empty() {
+        out.push(Violation::EmptySchedule);
+        return out;
+    }
+    let nprocs = tree.num_procs();
+    let height = tree.height();
+    let last = view.steps.len() - 1;
+    let in_range = |pid: ProcId| pid.rank() < nprocs;
+
+    for (i, step) in view.steps.iter().enumerate() {
+        match step.scope {
+            None if i != last => out.push(Violation::MisplacedDrain { step: i }),
+            None => {
+                if let Some(t) = step.transfers.first() {
+                    out.push(Violation::TransferInDrain {
+                        step: i,
+                        src: t.src,
+                        dst: t.dst,
+                    });
+                }
+            }
+            Some(level) => {
+                if i == last {
+                    out.push(Violation::MissingDrain);
+                }
+                if level > height {
+                    out.push(Violation::ScopeOutOfRange {
+                        step: i,
+                        scope: level,
+                        height,
+                    });
+                }
+            }
+        }
+
+        for &(pid, units) in &step.work {
+            if !in_range(pid) {
+                out.push(Violation::RankOutOfBounds {
+                    step: i,
+                    pid,
+                    nprocs,
+                });
+            }
+            if units < 0.0 || !units.is_finite() {
+                out.push(Violation::InvalidWork {
+                    step: i,
+                    pid,
+                    units,
+                });
+            }
+        }
+
+        let mut seen: HashSet<(usize, usize, u64, Payload)> = HashSet::new();
+        for t in &step.transfers {
+            let mut endpoints_ok = true;
+            for pid in [t.src, t.dst] {
+                if !in_range(pid) {
+                    out.push(Violation::RankOutOfBounds {
+                        step: i,
+                        pid,
+                        nprocs,
+                    });
+                    endpoints_ok = false;
+                }
+            }
+            if let Payload::Units(units) = &t.payload {
+                let carried: u64 = units.iter().map(|&(_, len)| len).sum();
+                if carried != t.words {
+                    out.push(Violation::WordMismatch {
+                        step: i,
+                        src: t.src,
+                        dst: t.dst,
+                        words: t.words,
+                        payload: carried,
+                    });
+                }
+            }
+            if !seen.insert((t.src.rank(), t.dst.rank(), t.words, t.payload.clone())) {
+                out.push(Violation::DuplicateTransfer {
+                    step: i,
+                    src: t.src,
+                    dst: t.dst,
+                });
+            }
+            if !endpoints_ok {
+                continue;
+            }
+            if t.src == t.dst {
+                out.push(Violation::SelfSend {
+                    step: i,
+                    pid: t.src,
+                });
+                continue;
+            }
+            if let Some(scope) = step.scope {
+                if scope <= height {
+                    let a = tree.leaves()[t.src.rank()];
+                    let b = tree.leaves()[t.dst.rank()];
+                    let crossing = tree.node(tree.lca(a, b)).level();
+                    if crossing > scope {
+                        out.push(Violation::ScopeEscape {
+                            step: i,
+                            src: t.src,
+                            dst: t.dst,
+                            crossing,
+                            scope,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Conservative matched-send/receive analysis under BSP delivery
+/// semantics: starting from `init` (what each processor holds before
+/// step 0), every transfer must send data its source holds at that
+/// superstep; deliveries from step `i` become usable at step `i + 1`.
+/// Partial-combine transfers need a source accumulator and a schedule
+/// reduction operator (`has_op`).
+///
+/// Holdings are tracked as merged item intervals, which is strictly more
+/// permissive than the runtime's exact-unit lookup — a clean result here
+/// never flags a schedule the engines would execute, and every flagged
+/// transfer is one the engines would panic or mis-deliver on.
+pub fn verify_dataflow(
+    tree: &MachineTree,
+    view: &ScheduleView,
+    init: &[ProcHoldings],
+    has_op: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let nprocs = tree.num_procs();
+    if init.len() != nprocs {
+        out.push(Violation::InitMismatch {
+            got: init.len(),
+            expected: nprocs,
+        });
+        return out;
+    }
+    let mut held: Vec<IntervalSet> = init
+        .iter()
+        .map(|h| {
+            let mut set = IntervalSet::default();
+            for &(off, len) in &h.units {
+                set.insert(off, len);
+            }
+            set
+        })
+        .collect();
+    let mut has_acc: Vec<bool> = init.iter().map(|h| h.has_acc).collect();
+    let mut reported_no_op = false;
+
+    // Deliveries queued during the current step, absorbed at the next.
+    let mut pending: Vec<(usize, Payload)> = Vec::new();
+
+    for (i, step) in view.steps.iter().enumerate() {
+        for (dst, payload) in pending.drain(..) {
+            match payload {
+                Payload::Units(units) => {
+                    for (off, len) in units {
+                        held[dst].insert(off, len);
+                    }
+                }
+                Payload::Partial => has_acc[dst] = true,
+            }
+        }
+        for t in &step.transfers {
+            if t.src.rank() >= nprocs || t.dst.rank() >= nprocs {
+                continue; // already a RankOutOfBounds in verify_schedule
+            }
+            match &t.payload {
+                Payload::Units(units) => {
+                    for &(off, len) in units {
+                        if len > 0 && !held[t.src.rank()].covers(off, len) {
+                            out.push(Violation::UnmatchedReceive {
+                                step: i,
+                                src: t.src,
+                                dst: t.dst,
+                                offset: off,
+                                len,
+                            });
+                        }
+                    }
+                }
+                Payload::Partial => {
+                    if !has_op && !reported_no_op {
+                        out.push(Violation::PartialWithoutOp { step: i });
+                        reported_no_op = true;
+                    }
+                    if !has_acc[t.src.rank()] {
+                        out.push(Violation::PartialWithoutAccumulator {
+                            step: i,
+                            pid: t.src,
+                        });
+                    }
+                }
+            }
+            // Queue the delivery even when flagged, so one missing hop
+            // does not cascade into spurious downstream findings.
+            pending.push((t.dst.rank(), t.payload.clone()));
+        }
+    }
+    out
+}
+
+/// The heterogeneous h-relation a step's transfers imply, recomputed
+/// from first principles: per processor the words it sends and receives
+/// (self-sends are free local moves and excluded), scaled by its
+/// communication slowness `r`, maximized over the machine. This is the
+/// quantity the cost model should charge `g · h` for.
+pub fn implied_hrelation(tree: &MachineTree, step: &StepView) -> f64 {
+    let nprocs = tree.num_procs();
+    let mut sent = vec![0u64; nprocs];
+    let mut recv = vec![0u64; nprocs];
+    for t in &step.transfers {
+        if t.src == t.dst || t.src.rank() >= nprocs || t.dst.rank() >= nprocs {
+            continue;
+        }
+        sent[t.src.rank()] += t.words;
+        recv[t.dst.rank()] += t.words;
+    }
+    let mut h = 0.0f64;
+    for (pid, &leaf) in tree.leaves().iter().enumerate() {
+        let r = tree.node(leaf).params().r;
+        h = h.max(r * sent[pid].max(recv[pid]) as f64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    fn flat3() -> MachineTree {
+        TreeBuilder::flat(1.0, 10.0, &[(1.0, 1.0), (2.0, 0.5), (3.0, 0.25)]).unwrap()
+    }
+
+    fn units(spans: &[(u64, u64)]) -> Payload {
+        Payload::Units(spans.to_vec())
+    }
+
+    fn step(scope: Option<Level>, transfers: Vec<TransferView>) -> StepView {
+        StepView {
+            scope,
+            work: vec![],
+            transfers,
+        }
+    }
+
+    fn xfer(src: u32, dst: u32, words: u64, payload: Payload) -> TransferView {
+        TransferView {
+            src: ProcId(src),
+            dst: ProcId(dst),
+            words,
+            payload,
+        }
+    }
+
+    #[test]
+    fn clean_two_step_schedule_passes() {
+        let t = flat3();
+        let view = ScheduleView {
+            steps: vec![
+                step(Some(1), vec![xfer(1, 0, 4, units(&[(4, 4)]))]),
+                step(None, vec![]),
+            ],
+        };
+        assert!(verify_schedule(&t, &view).is_empty());
+        let init = vec![
+            ProcHoldings {
+                units: vec![(0, 4)],
+                ..Default::default()
+            },
+            ProcHoldings {
+                units: vec![(4, 4)],
+                ..Default::default()
+            },
+            ProcHoldings::default(),
+        ];
+        assert!(verify_dataflow(&t, &view, &init, false).is_empty());
+    }
+
+    #[test]
+    fn interval_coverage_merges_adjacent_spans() {
+        let mut s = IntervalSet::default();
+        s.insert(0, 4);
+        s.insert(4, 4);
+        s.insert(10, 2);
+        assert!(s.covers(0, 8), "adjacent spans merge: {:?}", s.spans);
+        assert!(s.covers(2, 4));
+        assert!(!s.covers(7, 4), "gap [8,10) is uncovered");
+        assert!(s.covers(11, 0), "empty ranges are trivially covered");
+    }
+
+    #[test]
+    fn bsp_timing_data_sent_now_is_not_usable_now() {
+        let t = flat3();
+        // Step 0 sends [0,4) from 0 to 1; step 0 also has 1 forwarding
+        // the same span — too early, it only lands at step 1.
+        let view = ScheduleView {
+            steps: vec![
+                step(
+                    Some(1),
+                    vec![
+                        xfer(0, 1, 4, units(&[(0, 4)])),
+                        xfer(1, 2, 4, units(&[(0, 4)])),
+                    ],
+                ),
+                step(None, vec![]),
+            ],
+        };
+        let init = vec![
+            ProcHoldings {
+                units: vec![(0, 4)],
+                ..Default::default()
+            },
+            ProcHoldings::default(),
+            ProcHoldings::default(),
+        ];
+        let v = verify_dataflow(&t, &view, &init, false);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::UnmatchedReceive { step: 0, .. })),
+            "{v:?}"
+        );
+        // Moving the forward to step 1 is fine.
+        let ok = ScheduleView {
+            steps: vec![
+                step(Some(1), vec![xfer(0, 1, 4, units(&[(0, 4)]))]),
+                step(Some(1), vec![xfer(1, 2, 4, units(&[(0, 4)]))]),
+                step(None, vec![]),
+            ],
+        };
+        assert!(verify_dataflow(&t, &ok, &init, false).is_empty());
+    }
+
+    #[test]
+    fn implied_h_skips_self_sends_and_scales_by_r() {
+        let t = flat3();
+        let s = step(
+            Some(1),
+            vec![
+                xfer(0, 2, 10, units(&[(0, 10)])),   // P2 (r=3) receives 10
+                xfer(1, 1, 100, units(&[(0, 100)])), // self-send: free
+            ],
+        );
+        assert_eq!(implied_hrelation(&t, &s), 30.0);
+    }
+}

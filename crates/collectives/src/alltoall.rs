@@ -190,7 +190,7 @@ impl SpmdProgram for HierarchicalAllToAll {
                         }
                     }
                 }
-                StepOutcome::Continue(SyncScope::Level(tree.height().max(2)))
+                StepOutcome::Continue(SyncScope::global(tree))
             }
             // Stage 3 (super¹-step): coordinators fan incoming bundles
             // out to their cluster members.
@@ -294,7 +294,7 @@ pub fn lower_alltoall_hier(tree: &MachineTree, sizes: &[Vec<u64>]) -> CommSchedu
     sched.push(local);
 
     // Stage 2: one bundle per ordered coordinator pair.
-    let mut exchange = ScheduleStep::at(SyncScope::Level(tree.height().max(2)));
+    let mut exchange = ScheduleStep::at(SyncScope::global(tree));
     for &c in &coords {
         let members = tree.cluster_members(c, 1);
         for &peer in &coords {

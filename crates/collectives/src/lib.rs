@@ -40,6 +40,8 @@
 //! anomaly: *"a processor does not send data to itself"* — every
 //! algorithm here skips self-sends.
 
+#![forbid(unsafe_code)]
+
 pub mod allgather;
 pub mod alltoall;
 pub mod broadcast;
@@ -53,10 +55,12 @@ pub mod scan;
 pub mod scatter;
 pub mod schedule;
 pub mod tune;
+pub mod verify;
 
 pub use data::{decode_bundle, encode_bundle, reassemble, shares_for, DecodeError, Piece};
 pub use error::CollectiveError;
 pub use plan::{PhasePolicy, RankOutOfRange, RootPolicy, Strategy, WorkloadPolicy};
 pub use predict::predict;
 pub use schedule::{CommSchedule, Role, ScheduleProgram, ScheduleStep, Transfer, UnitId};
-pub use tune::{best_broadcast, best_strategy, rank_broadcast, Candidate};
+pub use tune::{best_broadcast, best_strategy, rank_broadcast, Candidate, TuneError};
+pub use verify::Violation;

@@ -441,6 +441,25 @@ impl SpmdProgram for ScheduleProgram {
             None => StepOutcome::Done,
         }
     }
+
+    /// Static pre-flight: run the full `hbsp-check` schedule analysis
+    /// (structure, dataflow, h-consistency) and reject on any fatal
+    /// violation. Engines call this at submit time, so a schedule that
+    /// would panic the interpreter or hang a barrier fails loudly with
+    /// a diagnostic instead.
+    fn preflight(&self, tree: &MachineTree) -> Result<(), hbsp_core::PreflightError> {
+        let violations: Vec<String> =
+            crate::verify::verify(tree, &self.schedule, &self.init, self.op.is_some())
+                .into_iter()
+                .filter(|v| v.is_fatal())
+                .map(|v| v.to_string())
+                .collect();
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(hbsp_core::PreflightError { violations })
+        }
+    }
 }
 
 /// Surface the first decode error recorded in any processor's state.

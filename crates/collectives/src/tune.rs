@@ -8,9 +8,10 @@
 //! programs, not of separately maintained formulas.
 
 use crate::broadcast::{lower_broadcast, BroadcastPlan};
-use crate::plan::{PhasePolicy, Strategy};
+use crate::plan::{PhasePolicy, RankOutOfRange, Strategy};
 use crate::predict::predict;
 use hbsp_core::MachineTree;
+use std::fmt;
 
 /// A candidate broadcast plan with its predicted cost.
 #[derive(Debug, Clone)]
@@ -21,10 +22,42 @@ pub struct Candidate {
     pub cost: f64,
 }
 
-/// Every broadcast plan the tuner considers, flat strategies first (so
-/// ties — e.g. on a homogeneous flat machine, where the hierarchical
-/// lowering degenerates to the flat one — resolve to the simpler plan).
-fn broadcast_candidates() -> Vec<BroadcastPlan> {
+/// Why the tuner could not produce a ranking. An empty ranking used to
+/// be returned silently; callers that `.first()`ed it then picked a
+/// nonexistent "best" plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// No candidate plans were supplied.
+    NoCandidates,
+    /// The machine has no processors, so no plan can have a root.
+    NoProcessors,
+    /// A candidate's root policy does not resolve on this machine.
+    Root(RankOutOfRange),
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::NoCandidates => write!(f, "no candidate plans to rank"),
+            TuneError::NoProcessors => write!(f, "machine has no processors to tune for"),
+            TuneError::Root(e) => write!(f, "candidate root does not resolve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<RankOutOfRange> for TuneError {
+    fn from(e: RankOutOfRange) -> Self {
+        TuneError::Root(e)
+    }
+}
+
+/// Every broadcast plan the tuner considers by default, flat strategies
+/// first (so ties — e.g. on a homogeneous flat machine, where the
+/// hierarchical lowering degenerates to the flat one — resolve to the
+/// simpler plan).
+pub fn broadcast_candidates() -> Vec<BroadcastPlan> {
     let mut plans = vec![BroadcastPlan::one_phase(), BroadcastPlan::two_phase()];
     for top in [PhasePolicy::OnePhase, PhasePolicy::TwoPhase] {
         for cluster in [PhasePolicy::OnePhase, PhasePolicy::TwoPhase] {
@@ -36,39 +69,52 @@ fn broadcast_candidates() -> Vec<BroadcastPlan> {
     plans
 }
 
-/// Lower and price every candidate broadcast plan for `n` items on
-/// `tree`, cheapest first (stable: flat plans sort before hierarchical
-/// ones of equal cost).
-pub fn rank_broadcast(tree: &MachineTree, n: u64) -> Vec<Candidate> {
-    let mut ranked: Vec<Candidate> = broadcast_candidates()
-        .into_iter()
-        .map(|plan| {
-            let (sched, _) = lower_broadcast(tree, n, &plan)
-                .expect("candidate plans use resolvable root policies");
-            Candidate {
-                plan,
-                cost: predict(tree, &sched).total(),
-            }
-        })
-        .collect();
+/// Lower and price an explicit list of candidate plans for `n` items on
+/// `tree`, cheapest first (stable: earlier plans sort before later ones
+/// of equal cost). Errors instead of silently ranking nothing.
+pub fn rank_broadcast_with(
+    tree: &MachineTree,
+    n: u64,
+    plans: Vec<BroadcastPlan>,
+) -> Result<Vec<Candidate>, TuneError> {
+    if tree.num_procs() == 0 {
+        return Err(TuneError::NoProcessors);
+    }
+    if plans.is_empty() {
+        return Err(TuneError::NoCandidates);
+    }
+    let mut ranked = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let (sched, _) = lower_broadcast(tree, n, &plan)?;
+        ranked.push(Candidate {
+            plan,
+            cost: predict(tree, &sched).total(),
+        });
+    }
     ranked.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-    ranked
+    Ok(ranked)
+}
+
+/// Lower and price every default candidate broadcast plan
+/// ([`broadcast_candidates`]) for `n` items on `tree`, cheapest first.
+pub fn rank_broadcast(tree: &MachineTree, n: u64) -> Result<Vec<Candidate>, TuneError> {
+    rank_broadcast_with(tree, n, broadcast_candidates())
 }
 
 /// The cheapest broadcast plan for `n` items on `tree` by predicted
 /// cost.
-pub fn best_broadcast(tree: &MachineTree, n: u64) -> Candidate {
-    rank_broadcast(tree, n)
+pub fn best_broadcast(tree: &MachineTree, n: u64) -> Result<Candidate, TuneError> {
+    Ok(rank_broadcast(tree, n)?
         .into_iter()
         .next()
-        .expect("there is always at least one candidate")
+        .expect("rank_broadcast errors instead of returning an empty ranking"))
 }
 
 /// The winning strategy for broadcasting `n` items on `tree`:
 /// [`Strategy::Hierarchical`] only when some hierarchical plan strictly
 /// beats every flat one.
-pub fn best_strategy(tree: &MachineTree, n: u64) -> Strategy {
-    best_broadcast(tree, n).plan.strategy
+pub fn best_strategy(tree: &MachineTree, n: u64) -> Result<Strategy, TuneError> {
+    Ok(best_broadcast(tree, n)?.plan.strategy)
 }
 
 #[cfg(test)]
@@ -79,7 +125,7 @@ mod tests {
     #[test]
     fn homogeneous_flat_machine_tunes_to_flat() {
         let t = TreeBuilder::homogeneous(1.0, 100.0, 8).unwrap();
-        assert_eq!(best_strategy(&t, 10_000), Strategy::Flat);
+        assert_eq!(best_strategy(&t, 10_000).unwrap(), Strategy::Flat);
     }
 
     #[test]
@@ -93,9 +139,29 @@ mod tests {
             ],
         )
         .unwrap();
-        let ranked = rank_broadcast(&t, 2000);
+        let ranked = rank_broadcast(&t, 2000).unwrap();
         assert_eq!(ranked.len(), 6, "2 flat + 4 hierarchical candidates");
         assert!(ranked.windows(2).all(|w| w[0].cost <= w[1].cost));
-        assert_eq!(best_broadcast(&t, 2000).cost, ranked[0].cost);
+        assert_eq!(best_broadcast(&t, 2000).unwrap().cost, ranked[0].cost);
+    }
+
+    #[test]
+    fn zero_candidates_is_a_typed_error_not_an_empty_ranking() {
+        let t = TreeBuilder::homogeneous(1.0, 100.0, 4).unwrap();
+        assert_eq!(
+            rank_broadcast_with(&t, 1000, vec![]).unwrap_err(),
+            TuneError::NoCandidates
+        );
+    }
+
+    #[test]
+    fn unresolvable_root_is_a_typed_error() {
+        let t = TreeBuilder::homogeneous(1.0, 100.0, 2).unwrap();
+        let mut plan = BroadcastPlan::one_phase();
+        plan.root = crate::plan::RootPolicy::Rank(99);
+        assert!(matches!(
+            rank_broadcast_with(&t, 1000, vec![plan]).unwrap_err(),
+            TuneError::Root(_)
+        ));
     }
 }

@@ -130,6 +130,20 @@ impl TreeBuilder {
     /// Finalize: compute levels, coordinates, ranks, representatives;
     /// validate; and return the machine.
     pub fn build(self) -> Result<MachineTree, ModelError> {
+        let tree = self.build_unvalidated()?;
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    /// Like [`TreeBuilder::build`] but skipping invariant validation.
+    ///
+    /// Structural derivation (levels, coordinates, ranks,
+    /// representatives) still runs, so the only remaining error is a
+    /// builder with no root. This exists for tooling that wants to lint
+    /// a broken machine exhaustively (`hbsp-check`) instead of failing
+    /// on the first invariant; engines and the cost model expect
+    /// validated trees.
+    pub fn build_unvalidated(self) -> Result<MachineTree, ModelError> {
         let root = self.root.ok_or(ModelError::EmptyMachine)?;
 
         // Depth of every node by DFS pre-order from the root; the
@@ -219,16 +233,14 @@ impl TreeBuilder {
             }
         }
 
-        let tree = MachineTree {
+        Ok(MachineTree {
             nodes,
             root: NodeIdx::from_index(root),
             height,
             g: self.g,
             levels,
             leaves,
-        };
-        tree.validate()?;
-        Ok(tree)
+        })
     }
 }
 

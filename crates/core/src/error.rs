@@ -44,6 +44,8 @@ pub enum ModelError {
     },
     /// A tree must have at least one processor.
     EmptyMachine,
+    /// A machine file declared `k = N` but the tree has another height.
+    HeightMismatch { declared: Level, actual: Level },
     /// Requested a partition over zero machines or with zero total speed.
     DegeneratePartition { reason: &'static str },
 }
@@ -97,6 +99,12 @@ impl fmt::Display for ModelError {
                 write!(f, "topology parse error at {line}:{col}: {message}")
             }
             ModelError::EmptyMachine => write!(f, "machine tree has no processors"),
+            ModelError::HeightMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "file declares k = {declared} but the machine tree has height {actual}"
+                )
+            }
             ModelError::DegeneratePartition { reason } => {
                 write!(f, "degenerate partition request: {reason}")
             }

@@ -32,6 +32,8 @@
 //! simulator) and `hbsp-runtime` (threaded runtime); the programming API in
 //! `hbsplib`; the paper's collective algorithms in `hbsp-collectives`.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod builder;
 pub mod classes;
@@ -53,6 +55,8 @@ pub use error::ModelError;
 pub use hrelation::{hrelation, HRelation, Traffic};
 pub use ids::{Level, MachineId, NodeIdx, ProcId};
 pub use params::{NodeParams, DEFAULT_G};
-pub use spmd::{Message, ProcEnv, SpmdContext, SpmdProgram, StepOutcome, SyncScope};
+pub use spmd::{
+    Message, PreflightError, ProcEnv, SpmdContext, SpmdProgram, StepOutcome, SyncScope,
+};
 pub use tree::{MachineTree, Node, NodeKind};
 pub use workload::{apportion, Partition};

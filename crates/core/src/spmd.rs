@@ -140,6 +140,37 @@ pub trait SpmdContext {
     fn charge(&mut self, units: f64);
 }
 
+/// A static pre-flight rejection: the program proved, before running a
+/// single superstep, that it would panic, hang a barrier, or
+/// mis-deliver on the given machine.
+///
+/// Each entry is one rendered violation (see `hbsp-check`'s typed
+/// `Violation` for the structured form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreflightError {
+    /// The fatal findings, in schedule order.
+    pub violations: Vec<String>,
+}
+
+impl std::fmt::Display for PreflightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "preflight found {} fatal violation(s): ",
+            self.violations.len()
+        )?;
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PreflightError {}
+
 /// A stepped SPMD program.
 ///
 /// `State` is the per-processor local state threaded through supersteps.
@@ -160,6 +191,20 @@ pub trait SpmdProgram: Sync {
         state: &mut Self::State,
         ctx: &mut dyn SpmdContext,
     ) -> StepOutcome;
+
+    /// Statically verify this program against `tree` before execution.
+    ///
+    /// Engines call this at submit time (on by default in debug builds,
+    /// toggled with their `.check(bool)` builders) so malformed
+    /// programs fail loudly instead of hanging a barrier mid-run.
+    /// Programs whose communication is a data structure (like
+    /// `hbsp-collectives`' `ScheduleProgram`) override this with a real
+    /// analysis; the default accepts, because an opaque step function
+    /// cannot be checked without running it.
+    fn preflight(&self, tree: &MachineTree) -> Result<(), PreflightError> {
+        let _ = tree;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -4,12 +4,17 @@
 //! code. The grammar:
 //!
 //! ```text
-//! machine  := ("g" "=" NUMBER)? node
+//! machine  := header* node
+//! header   := ("g" | "k") "=" NUMBER
 //! node     := "proc" IDENT attrs?
 //!           | "cluster" IDENT attrs? "{" node+ "}"
 //! attrs    := "(" pair ("," pair)* ")"
 //! pair     := ("r" | "speed" | "L" | "c") "=" NUMBER
 //! ```
+//!
+//! The optional `k = N` header declares the machine class; [`parse`]
+//! rejects the file if the tree's height disagrees (and `hbsp_check`
+//! lints it as a [`ModelError::HeightMismatch`]-shaped violation).
 //!
 //! `#` starts a comment to end of line. Example — the paper's Figure 1
 //! machine:
@@ -39,8 +44,43 @@ use crate::params::{NodeParams, DEFAULT_G};
 use crate::tree::{MachineTree, NodeKind};
 use std::fmt::Write as _;
 
-/// Parse a machine description. See the module docs for the grammar.
+/// Parse a machine description into a validated tree. See the module
+/// docs for the grammar. A declared `k` header must match the tree's
+/// height.
 pub fn parse(input: &str) -> Result<MachineTree, ModelError> {
+    let parsed = parse_unvalidated(input)?;
+    parsed.tree.validate()?;
+    if let Some(declared) = parsed.declared_k {
+        if declared != parsed.tree.height() {
+            return Err(ModelError::HeightMismatch {
+                declared,
+                actual: parsed.tree.height(),
+            });
+        }
+    }
+    Ok(parsed.tree)
+}
+
+/// The result of [`parse_unvalidated`]: a structurally complete but
+/// invariant-unchecked machine, plus the source information a linter
+/// needs for exhaustive, span-accurate diagnostics.
+#[derive(Debug, Clone)]
+pub struct ParsedMachine {
+    /// The machine tree. Levels, coordinates, ranks, and
+    /// representatives are derived, but `validate()` has *not* run.
+    pub tree: MachineTree,
+    /// The `k = N` header, if present.
+    pub declared_k: Option<crate::ids::Level>,
+    /// 1-based `(line, column)` of each node's `proc`/`cluster`
+    /// keyword, indexed by node arena order.
+    pub spans: Vec<(u32, u32)>,
+}
+
+/// Parse a machine description without validating model invariants.
+/// Only syntax errors are reported; broken parameters (bad `r`, `c`
+/// sums, …) survive into the returned tree so a linter can report all
+/// of them at once.
+pub fn parse_unvalidated(input: &str) -> Result<ParsedMachine, ModelError> {
     Parser::new(input).machine()
 }
 
@@ -48,6 +88,7 @@ pub fn parse(input: &str) -> Result<MachineTree, ModelError> {
 pub fn to_dsl(tree: &MachineTree) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "g = {}", fmt_num(tree.g()));
+    let _ = writeln!(out, "k = {}", tree.height());
     write_node(tree, tree.root(), 0, &mut out);
     out
 }
@@ -245,37 +286,60 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn machine(&mut self) -> Result<MachineTree, ModelError> {
-        // Optional leading `g = NUMBER`.
-        let mut g = DEFAULT_G;
-        if let Tok::Ident(id) = self.peek_tok()? {
-            if id == "g" {
-                self.next_tok()?;
-                self.expect(Tok::Eq, "`=` after `g`")?;
-                match self.next_tok()? {
-                    Tok::Number(v) => g = v,
-                    t => return Err(self.err(format!("expected number for g, found {t:?}"))),
-                }
+    fn machine(&mut self) -> Result<ParsedMachine, ModelError> {
+        // Optional leading `g = NUMBER` / `k = NUMBER` headers, in any
+        // order, each at most once.
+        let mut g = None;
+        let mut declared_k = None;
+        while let Tok::Ident(id) = self.peek_tok()? {
+            if id != "g" && id != "k" {
+                break;
+            }
+            self.next_tok()?;
+            self.expect(Tok::Eq, &format!("`=` after `{id}`"))?;
+            let v = match self.next_tok()? {
+                Tok::Number(v) => v,
+                t => return Err(self.err(format!("expected number for {id}, found {t:?}"))),
+            };
+            let slot: &mut Option<f64> = if id == "g" { &mut g } else { &mut declared_k };
+            if slot.replace(v).is_some() {
+                return Err(self.err(format!("duplicate `{id}` header")));
             }
         }
-        let mut builder = TreeBuilder::new(g);
-        self.node(&mut builder, None)?;
+        let declared_k = match declared_k {
+            None => None,
+            Some(v) if v >= 0.0 && v.fract() == 0.0 && v <= u32::MAX as f64 => {
+                Some(v as crate::ids::Level)
+            }
+            Some(v) => return Err(self.err(format!("k must be a non-negative integer, got {v}"))),
+        };
+        let mut builder = TreeBuilder::new(g.unwrap_or(DEFAULT_G));
+        let mut spans = Vec::new();
+        self.node(&mut builder, None, &mut spans)?;
         match self.next_tok()? {
             Tok::Eof => {}
             t => return Err(self.err(format!("trailing input after machine: {t:?}"))),
         }
-        builder.build()
+        Ok(ParsedMachine {
+            tree: builder.build_unvalidated()?,
+            declared_k,
+            spans,
+        })
     }
 
     fn node(
         &mut self,
         b: &mut TreeBuilder,
         parent: Option<NodeIdx>,
+        spans: &mut Vec<(u32, u32)>,
     ) -> Result<NodeIdx, ModelError> {
         let kw = match self.next_tok()? {
             Tok::Ident(k) => k,
             t => return Err(self.err(format!("expected `proc` or `cluster`, found {t:?}"))),
         };
+        // Nodes enter the builder's arena in parse order, so pushing
+        // here keeps `spans` indexed by arena index.
+        let span = (self.tok_line, self.tok_col);
         let name = match self.next_tok()? {
             Tok::Ident(n) => n,
             t => return Err(self.err(format!("expected machine name, found {t:?}"))),
@@ -299,6 +363,7 @@ impl<'a> Parser<'a> {
                     Some(p) => b.child_proc(p, name, params),
                     None => b.proc_root(name, params),
                 };
+                spans.push(span);
                 Ok(idx)
             }
             "cluster" => {
@@ -319,6 +384,7 @@ impl<'a> Parser<'a> {
                     Some(p) => b.child_cluster(p, name, params),
                     None => b.cluster(name, params),
                 };
+                spans.push(span);
                 self.expect(Tok::LBrace, "`{` opening cluster body")?;
                 loop {
                     match self.peek_tok()? {
@@ -328,7 +394,7 @@ impl<'a> Parser<'a> {
                         }
                         Tok::Eof => return Err(self.err("unterminated cluster body")),
                         _ => {
-                            self.node(b, Some(idx))?;
+                            self.node(b, Some(idx), spans)?;
                         }
                     }
                 }
@@ -478,5 +544,50 @@ cluster campus (L=500) {
     fn comments_and_weird_whitespace() {
         let t = parse("  # hi\n\tg=2.5 # bandwidth\n proc p(r=1,speed=1) # end\n").unwrap();
         assert_eq!(t.g(), 2.5);
+    }
+
+    #[test]
+    fn k_header_checked_against_height() {
+        let t = parse("k = 1\ncluster c (L=0) { proc p (r=1, speed=1) }").unwrap();
+        assert_eq!(t.height(), 1);
+        // Headers in either order.
+        parse("k = 1\ng = 2\ncluster c (L=0) { proc p (r=1, speed=1) }").unwrap();
+        let err = parse("k = 2\ncluster c (L=0) { proc p (r=1, speed=1) }").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ModelError::HeightMismatch {
+                    declared: 2,
+                    actual: 1
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn k_header_must_be_integer_and_unique() {
+        let err = parse("k = 1.5\nproc p (r=1, speed=1)").unwrap_err();
+        assert!(err.to_string().contains("non-negative integer"), "{err}");
+        let err = parse("g = 1\ng = 2\nproc p (r=1, speed=1)").unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn to_dsl_declares_k() {
+        let t = parse(FIGURE1).unwrap();
+        let text = to_dsl(&t);
+        assert!(text.contains("k = 2"), "{text}");
+        parse(&text).unwrap();
+    }
+
+    #[test]
+    fn unvalidated_parse_keeps_broken_params_and_spans() {
+        let src = "cluster c (L=0) {\n    proc p (r=2, speed=1)\n}";
+        let parsed = parse_unvalidated(src).unwrap();
+        assert!(parsed.tree.validate().is_err(), "no r=1 leaf");
+        assert_eq!(parsed.declared_k, None);
+        // Arena order is parse order: the cluster then the proc.
+        assert_eq!(parsed.spans, vec![(1, 1), (2, 5)]);
     }
 }

@@ -63,6 +63,19 @@ impl Executor {
         }
     }
 
+    /// Toggle the static pre-flight check ([`SpmdProgram::preflight`])
+    /// on either engine. On by default in debug builds: a fatally
+    /// malformed program — e.g. a schedule transferring data its source
+    /// never holds — is rejected at submit time with
+    /// `SimError::Preflight` instead of deadlocking or mis-delivering
+    /// mid-run.
+    pub fn check(self, enable: bool) -> Self {
+        match self {
+            Executor::Simulator(s) => Executor::Simulator(s.check(enable)),
+            Executor::Threads(t) => Executor::Threads(t.check(enable)),
+        }
+    }
+
     /// The machine this executor runs on.
     pub fn tree(&self) -> &Arc<MachineTree> {
         match self {

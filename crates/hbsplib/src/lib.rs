@@ -56,6 +56,8 @@
 //! assert!(outcome.total_time() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod closure;
 pub mod codec;
 pub mod ctx;

@@ -46,6 +46,7 @@ pub struct ThreadedRuntime {
     step_limit: usize,
     barrier_kind: BarrierKind,
     trace: bool,
+    check: bool,
 }
 
 /// One processor's per-superstep contribution, padded to its own cache
@@ -88,7 +89,10 @@ impl ProcSlot {
     /// it is the leader inside the leader section.
     #[allow(clippy::mut_from_ref)]
     unsafe fn slot(&self) -> &mut SlotData {
-        &mut *self.data.get()
+        // SAFETY: per this function's contract the caller is the slot's
+        // unique holder for the current barrier phase, so no other
+        // reference into the cell exists while this one lives.
+        unsafe { &mut *self.data.get() }
     }
 }
 
@@ -137,6 +141,7 @@ impl ThreadedRuntime {
             step_limit: 100_000,
             barrier_kind: BarrierKind::default(),
             trace: false,
+            check: cfg!(debug_assertions),
         }
     }
 
@@ -148,6 +153,7 @@ impl ThreadedRuntime {
             step_limit: 100_000,
             barrier_kind: BarrierKind::default(),
             trace: false,
+            check: cfg!(debug_assertions),
         }
     }
 
@@ -163,6 +169,16 @@ impl ThreadedRuntime {
     /// Override the runaway-program guard (default 100 000 supersteps).
     pub fn step_limit(mut self, limit: usize) -> Self {
         self.step_limit = limit;
+        self
+    }
+
+    /// Toggle the static pre-flight check (`SpmdProgram::preflight`)
+    /// run before any thread spawns. On by default in debug builds: a
+    /// malformed program fails at submit time with
+    /// [`SimError::Preflight`] instead of panicking a worker or
+    /// hanging a barrier mid-run.
+    pub fn check(mut self, enable: bool) -> Self {
+        self.check = enable;
         self
     }
 
@@ -186,6 +202,12 @@ impl ThreadedRuntime {
         prog: &P,
     ) -> Result<(RunOutcome, Vec<P::State>), SimError> {
         self.cfg.validate()?;
+        if self.check {
+            prog.preflight(&self.tree)
+                .map_err(|e| SimError::Preflight {
+                    message: e.to_string(),
+                })?;
+        }
         let p = self.tree.num_procs();
         let barrier = StepBarrier::new(self.barrier_kind, &self.tree);
         let mailboxes: Vec<Mailbox> = (0..p).map(|_| Mailbox::new()).collect();
@@ -665,6 +687,7 @@ mod tests {
         // Simulate mid-run state: pending deliveries and posted sends.
         mailboxes[1].deposit(Message::new(ProcId(0), ProcId(1), 0, vec![1, 2, 3]));
         for (i, s) in slots.iter().enumerate() {
+            // SAFETY: single-threaded test — no concurrent slot holder.
             let slot = unsafe { s.slot() };
             slot.sends
                 .push(Message::new(ProcId(i as u32), ProcId(0), 0, vec![9; 16]));
@@ -701,6 +724,7 @@ mod tests {
             assert!(mb.is_empty(), "mailbox {q} must be drained");
         }
         for (i, s) in slots.iter().enumerate() {
+            // SAFETY: single-threaded test — no concurrent slot holder.
             let slot = unsafe { s.slot() };
             assert!(slot.sends.is_empty(), "send buffer {i} must be cleared");
             assert!(slot.outcome.is_none(), "stale outcome {i} must be cleared");

@@ -23,6 +23,8 @@
 //! this. On top of that it reports real wall-clock duration, which is
 //! what the `criterion` benches measure.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod barrier;
 pub mod engine;
 pub mod mailbox;

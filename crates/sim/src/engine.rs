@@ -74,6 +74,7 @@ pub struct Simulator {
     cfg: NetConfig,
     step_limit: usize,
     trace: bool,
+    check: bool,
 }
 
 impl Simulator {
@@ -84,6 +85,7 @@ impl Simulator {
             cfg: NetConfig::pvm_like(),
             step_limit: 100_000,
             trace: false,
+            check: cfg!(debug_assertions),
         }
     }
 
@@ -94,6 +96,7 @@ impl Simulator {
             cfg,
             step_limit: 100_000,
             trace: false,
+            check: cfg!(debug_assertions),
         }
     }
 
@@ -106,6 +109,16 @@ impl Simulator {
     /// Record per-processor activity timelines (see [`crate::trace`]).
     pub fn trace(mut self, enable: bool) -> Self {
         self.trace = enable;
+        self
+    }
+
+    /// Toggle the static pre-flight check (`SpmdProgram::preflight`)
+    /// run before the first superstep. On by default in debug builds:
+    /// a malformed program fails at submit time with
+    /// [`SimError::Preflight`] instead of panicking or hanging a
+    /// barrier mid-run.
+    pub fn check(mut self, enable: bool) -> Self {
+        self.check = enable;
         self
     }
 
@@ -126,6 +139,12 @@ impl Simulator {
         prog: &P,
     ) -> Result<(SimOutcome, Vec<P::State>), SimError> {
         self.cfg.validate()?;
+        if self.check {
+            prog.preflight(&self.tree)
+                .map_err(|e| SimError::Preflight {
+                    message: e.to_string(),
+                })?;
+        }
         let p = self.tree.num_procs();
         let envs: Vec<ProcEnv> = (0..p)
             .map(|i| ProcEnv {

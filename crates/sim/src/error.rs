@@ -36,6 +36,10 @@ pub enum SimError {
     ProgramPanicked { pid: ProcId, step: usize },
     /// Microcost configuration failed validation.
     InvalidConfig,
+    /// The program's static pre-flight check rejected it before any
+    /// superstep ran (see `SpmdProgram::preflight`; toggled with the
+    /// engines' `.check(bool)` builders).
+    Preflight { message: String },
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +76,9 @@ impl fmt::Display for SimError {
                 write!(f, "processor {pid} panicked during superstep {step}")
             }
             SimError::InvalidConfig => write!(f, "invalid network configuration"),
+            SimError::Preflight { message } => {
+                write!(f, "program rejected before execution: {message}")
+            }
         }
     }
 }

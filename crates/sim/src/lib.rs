@@ -27,6 +27,8 @@
 //! Everything is deterministic: same program + machine + config ⇒ the
 //! same event order, times, and statistics, bit for bit.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod engine;
 pub mod error;

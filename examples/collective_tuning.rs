@@ -55,7 +55,7 @@ fn main() {
     for p in [2usize, 3, 4, 6, 8, 12, 16] {
         for r_s in [1.5f64, 3.0, 6.0] {
             let m = machine(p, r_s);
-            let best = tune::best_broadcast(&m, n);
+            let best = tune::best_broadcast(&m, n).expect("rankable");
             let sim_one = simulate_broadcast(&m, &items, BroadcastPlan::one_phase())
                 .expect("run")
                 .time;
@@ -101,10 +101,10 @@ fn main() {
         hbsp_core::topology::parse(include_str!("../machines/campus.hbsp")).expect("valid machine");
     let n_campus = 10_000u64;
     println!("candidate ranking on machines/campus.hbsp at n = {n_campus}:");
-    for c in tune::rank_broadcast(&campus, n_campus) {
+    for c in tune::rank_broadcast(&campus, n_campus).expect("rankable") {
         println!("  {:>12}  predicted {:>12.0}", plan_name(&c.plan), c.cost);
     }
-    let strategy = tune::best_strategy(&campus, n_campus);
+    let strategy = tune::best_strategy(&campus, n_campus).expect("rankable");
     println!("\ntuned strategy: {strategy:?}");
     assert_eq!(strategy, Strategy::Hierarchical);
 }

@@ -43,9 +43,12 @@
 //! assert!(out.time > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use bytemark;
 pub use hbsp_apps as apps;
 pub use hbsp_bench as bench;
+pub use hbsp_check as check;
 pub use hbsp_collectives as collectives;
 pub use hbsp_core as core;
 pub use hbsp_runtime as runtime;

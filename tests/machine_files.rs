@@ -42,14 +42,14 @@ fn tuner_goes_hierarchical_on_campus_and_flat_on_flat() {
             .expect("campus.hbsp exists");
     let campus = topology::parse(&text).expect("valid machine");
     assert_eq!(
-        tune::best_strategy(&campus, 10_000),
+        tune::best_strategy(&campus, 10_000).expect("rankable"),
         Strategy::Hierarchical,
         "campus backbone favours the hierarchical broadcast"
     );
 
     let flat = TreeBuilder::homogeneous(1.0, 2_000.0, 8).unwrap();
     assert_eq!(
-        tune::best_strategy(&flat, 10_000),
+        tune::best_strategy(&flat, 10_000).expect("rankable"),
         Strategy::Flat,
         "a homogeneous flat machine gains nothing from hierarchy"
     );
@@ -64,5 +64,88 @@ fn files_round_trip_through_the_dsl() {
         let again = topology::parse(&topology::to_dsl(&tree)).unwrap();
         assert_eq!(tree.num_procs(), again.num_procs(), "{f}");
         assert_eq!(tree.height(), again.height(), "{f}");
+    }
+}
+
+/// The shipped machine files satisfy every Table-1 invariant the linter
+/// enforces (not just the fail-fast subset `validate()` checks).
+#[test]
+fn shipped_machines_lint_clean() {
+    for f in ["machines/campus.hbsp", "machines/grid3.hbsp"] {
+        let text =
+            std::fs::read_to_string(format!("{}/{}", env!("CARGO_MANIFEST_DIR"), f)).unwrap();
+        let parsed = topology::parse_unvalidated(&text).unwrap();
+        let diags = hbsp::check::lint_with_spans(&parsed.tree, parsed.declared_k, &parsed.spans);
+        assert!(diags.is_empty(), "{f}: {diags:?}");
+    }
+}
+
+/// Each broken fixture trips exactly the Violation variant it was
+/// written to demonstrate, with a source span where the violation is
+/// anchored to a node.
+#[test]
+fn broken_fixtures_name_their_defect() {
+    use hbsp::check::Violation;
+
+    let lint = |f: &str| {
+        let text = std::fs::read_to_string(format!(
+            "{}/machines/broken/{}",
+            env!("CARGO_MANIFEST_DIR"),
+            f
+        ))
+        .unwrap();
+        let parsed = topology::parse_unvalidated(&text).unwrap();
+        hbsp::check::lint_with_spans(&parsed.tree, parsed.declared_k, &parsed.spans)
+    };
+
+    let d = lint("bad_c_sum.hbsp");
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(
+        matches!(d[0].violation, Violation::FractionSum { sum, expected, .. }
+            if (sum - 0.9).abs() < 1e-9 && expected == 1.0),
+        "{d:?}"
+    );
+    assert!(d[0].span.is_some(), "fraction sums anchor to the cluster");
+
+    let d = lint("non_unit_r.hbsp");
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(
+        matches!(d[0].violation, Violation::NonUnitFastestR { min_r } if min_r == 2.0),
+        "{d:?}"
+    );
+
+    let d = lint("wrong_coordinator.hbsp");
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert!(
+        matches!(
+            d[0].violation,
+            Violation::CoordinatorNotFastest { rep_r, min_r, .. } if rep_r == 3.0 && min_r == 1.0
+        ),
+        "{d:?}"
+    );
+
+    let d = lint("bad_k.hbsp");
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(
+        d[0].violation,
+        Violation::HeightMismatch {
+            declared: 2,
+            actual: 1
+        }
+    );
+}
+
+/// `topology::parse` (the validating entry point) refuses the same
+/// files the linter flags, so nothing downstream ever sees them.
+#[test]
+fn validating_parse_rejects_broken_fixtures() {
+    for f in ["bad_c_sum.hbsp", "bad_k.hbsp"] {
+        let text = std::fs::read_to_string(format!(
+            "{}/machines/broken/{}",
+            env!("CARGO_MANIFEST_DIR"),
+            f
+        ))
+        .unwrap();
+        assert!(topology::parse(&text).is_err(), "{f} must not parse");
     }
 }
