@@ -1,0 +1,210 @@
+//! `hbsp_chaos` — randomized fault-injection harness for the HBSP^k
+//! stack.
+//!
+//! ```text
+//! hbsp_chaos [--seed S] [--runs N] <machine.hbsp>...
+//!
+//! options:
+//!   --seed S   base seed for fault-plan generation   (default 0)
+//!   --runs N   fault plans per machine               (default 64)
+//! ```
+//!
+//! For every machine × seed, a deterministic random [`FaultPlan`]
+//! (crashes, stalls, stragglers, message drops/truncation) is scripted
+//! into both engines and the same panic-free workload is run twice:
+//!
+//! 1. **Fail-fast parity** — the discrete-event simulator and the
+//!    threaded runtime must produce the *same* result: the identical
+//!    typed [`SimError`] or the identical virtual time and final
+//!    states. A hang is impossible by construction (scripted stalls arm
+//!    the barrier watchdog) and any divergence is a property violation.
+//! 2. **Graceful degradation** — the same plan under
+//!    [`RecoveryPolicy::Degrade`] must either complete on a survivor
+//!    machine whose tree passes the `hbsp_check` machine lints, or
+//!    refuse with a typed error (e.g. a cluster lost every leaf).
+//!
+//! Exit status: 0 when every run terminated with a verified outcome,
+//! 1 on any property violation, 2 on usage errors.
+//!
+//! Example:
+//!
+//! ```text
+//! cargo run -p hbsp-bench --bin hbsp_chaos -- --seed 0 --runs 64 machines/*.hbsp
+//! ```
+
+use hbsp_check::lint_machine;
+use hbsp_core::{topology, MachineTree, ProcEnv, ProcId, SpmdContext, StepOutcome, SyncScope};
+use hbsp_sim::{FaultPlan, SimError};
+use hbsplib::{Executor, Program, RecoveryPolicy};
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hbsp_chaos [--seed S] [--runs N] <machine.hbsp>...\n\
+         \x20 --seed S   base seed for fault-plan generation (default 0)\n\
+         \x20 --runs N   fault plans per machine (default 64)"
+    );
+    exit(2)
+}
+
+/// The chaos workload: every processor gossips a word to every peer for
+/// a few supersteps and counts what it hears. Machine-shape-agnostic
+/// (it re-reads `nprocs` each step, so it runs unchanged on a degraded
+/// tree) and panic-free (fault handling must come from the engines, not
+/// from the program noticing odd inputs).
+struct Gossip;
+
+impl Program for Gossip {
+    type State = u64;
+    fn init(&self, _env: &ProcEnv) -> u64 {
+        0
+    }
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut u64,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        for m in ctx.messages() {
+            *state = state.wrapping_mul(31).wrapping_add(m.payload.len() as u64);
+        }
+        if step >= 3 {
+            return StepOutcome::Done;
+        }
+        for p in 0..env.nprocs {
+            if p != env.pid.rank() {
+                ctx.send(ProcId(p as u32), 0, vec![0x5A; 8]);
+            }
+        }
+        StepOutcome::Continue(SyncScope::global(&env.tree))
+    }
+}
+
+/// A comparable digest of one fail-fast run.
+#[derive(Debug, PartialEq)]
+enum RunDigest {
+    Completed { time: f64, states: Vec<u64> },
+    Failed(SimError),
+}
+
+fn digest(result: Result<(hbsplib::ExecOutcome, Vec<u64>), SimError>) -> RunDigest {
+    match result {
+        Ok((out, states)) => RunDigest::Completed {
+            time: out.total_time(),
+            states,
+        },
+        Err(e) => RunDigest::Failed(e),
+    }
+}
+
+/// One machine × one seed. Returns a violation description, or None.
+fn chaos_run(tree: &Arc<MachineTree>, seed: u64) -> Option<String> {
+    let plan = FaultPlan::random(seed, tree);
+
+    // Property 1: both engines fail fast with identical outcomes.
+    let sim = digest(
+        Executor::simulator(tree.clone())
+            .faults(plan.clone())
+            .run(&Gossip),
+    );
+    let thr = digest(
+        Executor::threads(tree.clone())
+            .faults(plan.clone())
+            .run(&Gossip),
+    );
+    if sim != thr {
+        return Some(format!(
+            "engine divergence under plan {plan:?}: simulator {sim:?} vs threads {thr:?}"
+        ));
+    }
+
+    // Property 2: degradation either verifiably completes or refuses
+    // with a typed error.
+    let recovering = Executor::simulator(tree.clone())
+        .faults(plan.clone())
+        .recovery(RecoveryPolicy::Degrade)
+        .run_recovering(|_| Ok(Gossip));
+    match recovering {
+        Ok(rec) => {
+            let lints = lint_machine(&rec.tree, None);
+            if !lints.is_empty() {
+                return Some(format!(
+                    "degraded tree fails machine lints under plan {plan:?}: {lints:?}"
+                ));
+            }
+            if let Err(e) = rec.tree.validate() {
+                return Some(format!("degraded tree fails validate: {e}"));
+            }
+            None
+        }
+        // A typed refusal is a verified outcome: the machine could not
+        // be degraded (or the fault was not a death), never a hang.
+        Err(_) => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 0;
+    let mut runs: u64 = 64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            f if f.starts_with('-') => usage(),
+            f => files.push(f.to_string()),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+
+    let mut violations = 0usize;
+    for file in &files {
+        let tree = match std::fs::read_to_string(file)
+            .map_err(|e| e.to_string())
+            .and_then(|t| topology::parse(&t).map_err(|e| e.to_string()))
+        {
+            Ok(t) => Arc::new(t),
+            Err(e) => {
+                eprintln!("{file}: error: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        let mut ok_runs = 0u64;
+        for i in 0..runs {
+            if let Some(v) = chaos_run(&tree, seed.wrapping_add(i)) {
+                eprintln!("{file}: seed {}: VIOLATION: {v}", seed.wrapping_add(i));
+                violations += 1;
+            } else {
+                ok_runs += 1;
+            }
+        }
+        println!(
+            "{file}: {ok_runs}/{runs} chaos runs terminated with verified outcomes \
+             (HBSP^{}, {} processors)",
+            tree.height(),
+            tree.num_procs()
+        );
+    }
+    if violations > 0 {
+        eprintln!("hbsp_chaos: {violations} violation(s) found");
+        exit(1);
+    }
+}

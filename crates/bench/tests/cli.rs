@@ -1,4 +1,4 @@
-//! End-to-end tests of the `hbsp_run` CLI binary.
+//! End-to-end tests of the `hbsp_run` and `hbsp_chaos` CLI binaries.
 
 use std::process::Command;
 
@@ -56,6 +56,36 @@ fn missing_machine_file_reports_cleanly() {
     let (_, stderr, ok) = run(&["/nonexistent/machine.hbsp", "gather"]);
     assert!(!ok);
     assert!(stderr.contains("cannot read machine file"), "{stderr}");
+}
+
+fn chaos(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hbsp_chaos"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn chaos_terminates_with_verified_outcomes_on_shipped_machines() {
+    let campus = concat!(env!("CARGO_MANIFEST_DIR"), "/../../machines/campus.hbsp");
+    let (stdout, stderr, ok) = chaos(&["--seed", "7", "--runs", "8", campus]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("8/8 chaos runs terminated"), "{stdout}");
+}
+
+#[test]
+fn chaos_usage_and_bad_files_exit_nonzero() {
+    let (_, stderr, ok) = chaos(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (_, stderr, ok) = chaos(&["/nonexistent/machine.hbsp"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
 }
 
 #[test]

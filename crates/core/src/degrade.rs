@@ -1,0 +1,375 @@
+//! Graceful degradation: rebuild a machine around its dead processors.
+//!
+//! When leaves die mid-run, the natural HBSP^k answer is to re-apply
+//! the paper's own design rules to the surviving tree:
+//!
+//! * **coordinator-fastest** — each cluster's coordinator is re-elected
+//!   among the survivors (by minimal `r`, the Table-1 notion of
+//!   "fastest communicator"; ties go to the higher compute speed, then
+//!   the lower rank);
+//! * **balanced workload** — the `c_{i,j}` fractions are renormalized
+//!   over the survivors, speed-proportional at every level
+//!   ([`crate::workload::hierarchical_fractions`]);
+//! * **unit-normalized `r`** — Table 1 fixes the fastest machine at
+//!   `r = 1`, so if the fastest communicator died, every surviving `r`
+//!   is rescaled by the new minimum and `g` absorbs the factor
+//!   (`g' = g·min_r`), keeping each survivor's absolute per-word cost
+//!   `r·g` bit-identical.
+//!
+//! Degradation is *structure-preserving*: clusters keep their names,
+//! `L` parameters, and child order. A cluster that loses every leaf
+//! cannot be preserved — that is a typed [`DegradeError::ClusterEmptied`],
+//! never a silently dropped subtree.
+
+use crate::builder::TreeBuilder;
+use crate::ids::{NodeIdx, ProcId};
+use crate::tree::MachineTree;
+use crate::workload::hierarchical_fractions;
+use crate::NodeParams;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a machine could not be degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeError {
+    /// A reported-dead pid does not exist on this machine.
+    NoSuchProc { pid: ProcId },
+    /// Every processor died: there is nothing left to run on.
+    AllProcessorsLost,
+    /// A cluster lost all of its leaves; the surviving tree would
+    /// contain an empty cluster, which no HBSP^k machine allows.
+    ClusterEmptied { name: String },
+}
+
+impl fmt::Display for DegradeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeError::NoSuchProc { pid } => {
+                write!(f, "no such processor {pid} on this machine")
+            }
+            DegradeError::AllProcessorsLost => write!(f, "every processor is dead"),
+            DegradeError::ClusterEmptied { name } => {
+                write!(f, "cluster `{name}` lost all of its processors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DegradeError {}
+
+/// A successfully degraded machine.
+#[derive(Debug, Clone)]
+pub struct Degraded {
+    /// The surviving machine: validated, unit-normalized, coordinators
+    /// re-elected, fractions renormalized.
+    pub tree: MachineTree,
+    /// Old rank → new [`ProcId`] (`None` for dead processors).
+    /// Survivors keep their relative order.
+    pub rank_map: Vec<Option<ProcId>>,
+}
+
+impl MachineTree {
+    /// Drop `dead` processors and rebuild the machine per the paper's
+    /// rules (see the [module docs](self)). The original tree is
+    /// untouched; on success the returned [`Degraded::rank_map`] tells
+    /// callers how surviving ranks were renumbered.
+    pub fn degrade(&self, dead: &[ProcId]) -> Result<Degraded, DegradeError> {
+        let p = self.num_procs();
+        let mut dead_ranks: BTreeSet<usize> = BTreeSet::new();
+        for &pid in dead {
+            if pid.rank() >= p {
+                return Err(DegradeError::NoSuchProc { pid });
+            }
+            dead_ranks.insert(pid.rank());
+        }
+        if dead_ranks.len() == p {
+            return Err(DegradeError::AllProcessorsLost);
+        }
+
+        // Any cluster whose whole subtree died is unrecoverable.
+        let alive = |idx: NodeIdx| -> bool {
+            self.subtree_leaves(idx)
+                .iter()
+                .any(|&l| !dead_ranks.contains(&self.node(l).proc_id().unwrap().rank()))
+        };
+        for node in self.nodes() {
+            if !node.is_proc() && !alive(node.idx()) {
+                return Err(DegradeError::ClusterEmptied {
+                    name: node.name().to_string(),
+                });
+            }
+        }
+
+        // New unit normalization: the surviving minimum r becomes 1 and
+        // g absorbs the factor, so every survivor's absolute per-word
+        // cost r·g is preserved exactly (r/min_r is exact for the new
+        // fastest machine: x/x == 1.0 in IEEE arithmetic).
+        let min_r = self
+            .leaves()
+            .iter()
+            .filter(|&&l| !dead_ranks.contains(&self.node(l).proc_id().unwrap().rank()))
+            .map(|&l| self.node(l).params().r)
+            .fold(f64::INFINITY, f64::min);
+
+        // Structure-preserving rebuild: DFS from the root keeping child
+        // order, skipping dead leaves. Clusters keep name and L.
+        let mut b = TreeBuilder::new(self.g() * min_r);
+        let root = self.node(self.root());
+        let new_root = if root.is_proc() {
+            b.proc_root(
+                root.name(),
+                NodeParams::proc(root.params().r / min_r, root.params().speed),
+            )
+        } else {
+            b.cluster(root.name(), NodeParams::cluster(root.params().l_sync))
+        };
+        let mut stack: Vec<(NodeIdx, NodeIdx)> = root
+            .children()
+            .iter()
+            .rev()
+            .map(|&c| (c, new_root))
+            .collect();
+        while let Some((old_idx, new_parent)) = stack.pop() {
+            let node = self.node(old_idx);
+            if node.is_proc() {
+                if !dead_ranks.contains(&node.proc_id().unwrap().rank()) {
+                    b.child_proc(
+                        new_parent,
+                        node.name(),
+                        NodeParams::proc(node.params().r / min_r, node.params().speed),
+                    );
+                }
+            } else {
+                let new_idx = b.child_cluster(
+                    new_parent,
+                    node.name(),
+                    NodeParams::cluster(node.params().l_sync),
+                );
+                for &c in node.children().iter().rev() {
+                    stack.push((c, new_idx));
+                }
+            }
+        }
+        let mut tree = b
+            .build()
+            .expect("a structure-preserving rebuild of a valid machine stays valid");
+
+        // Re-elect coordinators by the coordinator-fastest rule in its
+        // Table-1 sense: minimal r (the builder's default election is
+        // by compute speed, which can disagree once leaves died). Ties
+        // prefer the higher speed, then the lower rank.
+        elect_by_min_r(&mut tree);
+
+        // Renormalize c over the survivors, speed-proportional at every
+        // level (the balanced-workload heuristic).
+        let fractions = hierarchical_fractions(&tree);
+        tree.set_fractions(&fractions);
+        debug_assert!(tree.validate().is_ok());
+
+        // Old rank → new rank: survivors keep their relative order
+        // (both rank assignments come from the same DFS sweep).
+        let mut rank_map = Vec::with_capacity(p);
+        let mut next = 0u32;
+        for old in 0..p {
+            if dead_ranks.contains(&old) {
+                rank_map.push(None);
+            } else {
+                rank_map.push(Some(ProcId(next)));
+                next += 1;
+            }
+        }
+        Ok(Degraded { tree, rank_map })
+    }
+}
+
+/// Overwrite every cluster's representative (and its inherited
+/// `r`/`speed`) with its subtree's best *communicator*: minimal `r`,
+/// ties to maximal speed, then lowest rank.
+fn elect_by_min_r(tree: &mut MachineTree) {
+    // Leaves before parents: process nodes in decreasing level order so
+    // a cluster can rely on its children's already-final choices.
+    let mut order: Vec<usize> = (0..tree.nodes.len()).collect();
+    order.sort_by_key(|&i| tree.nodes[i].level);
+    for i in order {
+        if tree.nodes[i].is_proc() {
+            continue;
+        }
+        let best = tree.nodes[i]
+            .children
+            .iter()
+            .map(|&c| tree.nodes[c.index()].representative)
+            .min_by(|&a, &b| {
+                let (na, nb) = (&tree.nodes[a.index()], &tree.nodes[b.index()]);
+                na.params
+                    .r
+                    .total_cmp(&nb.params.r)
+                    .then(nb.params.speed.total_cmp(&na.params.speed))
+                    .then(na.proc_id.cmp(&nb.proc_id))
+            });
+        if let Some(rep) = best {
+            tree.nodes[i].representative = rep;
+            tree.nodes[i].params.r = tree.nodes[rep.index()].params.r;
+            tree.nodes[i].params.speed = tree.nodes[rep.index()].params.speed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeBuilder;
+
+    fn campus_like() -> MachineTree {
+        TreeBuilder::two_level(
+            2.0,
+            1000.0,
+            &[
+                // speed and r deliberately disagree in cluster 0: the
+                // fastest computer (P1) is not the fastest communicator
+                // once P0 dies (that's P2, r=2.0).
+                (50.0, vec![(1.0, 1.0), (2.4, 0.9), (2.0, 0.5)]),
+                (60.0, vec![(1.6, 0.8), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dropping_a_leaf_preserves_structure_and_costs() {
+        let t = campus_like();
+        let d = t.degrade(&[ProcId(4)]).unwrap();
+        assert_eq!(d.tree.num_procs(), 4);
+        assert_eq!(d.tree.height(), 2);
+        d.tree.validate().unwrap();
+        assert_eq!(
+            d.rank_map,
+            vec![
+                Some(ProcId(0)),
+                Some(ProcId(1)),
+                Some(ProcId(2)),
+                Some(ProcId(3)),
+                None
+            ]
+        );
+        // Fastest survivor still r=1, so g is untouched and names map.
+        assert_eq!(d.tree.g(), t.g());
+        assert_eq!(d.tree.leaf(ProcId(0)).name(), t.leaf(ProcId(0)).name());
+        assert_eq!(d.tree.leaf(ProcId(3)).name(), t.leaf(ProcId(3)).name());
+    }
+
+    #[test]
+    fn killing_the_fastest_renormalizes_r_and_g() {
+        let t = campus_like();
+        let d = t.degrade(&[ProcId(0)]).unwrap();
+        d.tree.validate().unwrap();
+        // New min r is 1.6 (old P3): it must be *exactly* 1 now.
+        assert_eq!(d.tree.leaf(ProcId(2)).params().r, 1.0);
+        assert_eq!(d.tree.g(), 2.0 * 1.6);
+        // Every survivor's absolute per-word cost r·g is preserved.
+        for (old, new) in [(1usize, 0usize), (2, 1), (3, 2), (4, 3)] {
+            let before = t.leaf(ProcId(old as u32)).params().r * t.g();
+            let after = d.tree.leaf(ProcId(new as u32)).params().r * d.tree.g();
+            assert!((before - after).abs() < 1e-12, "{old}->{new}");
+        }
+    }
+
+    #[test]
+    fn coordinators_reelected_by_min_r() {
+        let t = campus_like();
+        // Kill P0 (r=1, speed=1). Cluster 0's survivors: P1 (r=2.4,
+        // speed=0.9) and P2 (r=2.0, speed=0.5). The paper's
+        // coordinator-fastest rule in Table-1 terms picks the fastest
+        // *communicator* P2 — even though P1 computes faster.
+        let d = t.degrade(&[ProcId(0)]).unwrap();
+        let cluster0 = d.tree.node(d.tree.leaf(ProcId(0)).parent().unwrap());
+        let rep = d.tree.node(cluster0.representative());
+        assert_eq!(rep.proc_id(), Some(ProcId(1)), "old P2 is the coordinator");
+        assert_eq!(cluster0.params().r, 2.0 / 1.6, "cluster inherits rep's r");
+        // Root coordinator: global min r is old P3 (1.6 -> 1.0).
+        let root_rep = d.tree.node(d.tree.node(d.tree.root()).representative());
+        assert_eq!(root_rep.params().r, 1.0);
+    }
+
+    #[test]
+    fn fractions_renormalize_speed_proportionally() {
+        let t = campus_like();
+        let d = t.degrade(&[ProcId(1), ProcId(4)]).unwrap();
+        let total_speed: f64 = (0..d.tree.num_procs())
+            .map(|i| d.tree.leaf(ProcId(i as u32)).params().speed)
+            .sum();
+        let mut sum = 0.0;
+        for i in 0..d.tree.num_procs() {
+            let leaf = d.tree.leaf(ProcId(i as u32));
+            let c = leaf.params().c.expect("degrade assigns fractions");
+            assert!(
+                (c - leaf.params().speed / total_speed).abs() < 1e-12,
+                "speed-proportional"
+            );
+            sum += c;
+        }
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emptied_cluster_is_a_typed_error() {
+        let t = campus_like();
+        assert_eq!(
+            t.degrade(&[ProcId(3), ProcId(4)]).unwrap_err(),
+            DegradeError::ClusterEmptied {
+                name: "c1".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn losing_everyone_and_bad_pids_are_typed_errors() {
+        let t = campus_like();
+        let all: Vec<ProcId> = (0..5).map(ProcId).collect();
+        assert_eq!(
+            t.degrade(&all).unwrap_err(),
+            DegradeError::AllProcessorsLost
+        );
+        assert_eq!(
+            t.degrade(&[ProcId(99)]).unwrap_err(),
+            DegradeError::NoSuchProc { pid: ProcId(99) }
+        );
+    }
+
+    #[test]
+    fn degrading_nothing_is_an_identity_renumbering() {
+        let t = campus_like();
+        let d = t.degrade(&[]).unwrap();
+        assert_eq!(d.tree.num_procs(), 5);
+        assert!(d
+            .rank_map
+            .iter()
+            .enumerate()
+            .all(|(i, m)| *m == Some(ProcId(i as u32))));
+        d.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn repeated_degradation_composes() {
+        let t = campus_like();
+        let d1 = t.degrade(&[ProcId(0)]).unwrap();
+        let d2 = d1.tree.degrade(&[ProcId(3)]).unwrap();
+        d2.tree.validate().unwrap();
+        assert_eq!(d2.tree.num_procs(), 3);
+        // r stays unit-normalized through the composition.
+        let min_r = (0..3)
+            .map(|i| d2.tree.leaf(ProcId(i)).params().r)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(min_r, 1.0);
+    }
+
+    #[test]
+    fn single_proc_machine_degrades_to_nothing_only() {
+        let mut b = TreeBuilder::new(1.0);
+        b.proc_root("solo", NodeParams::fastest());
+        let t = b.build().unwrap();
+        assert_eq!(
+            t.degrade(&[ProcId(0)]).unwrap_err(),
+            DegradeError::AllProcessorsLost
+        );
+    }
+}

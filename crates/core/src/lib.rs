@@ -26,7 +26,9 @@
 //! * [`mod@hrelation`] — heterogeneous h-relations `h = max r_{i,j} · h_{i,j}`;
 //! * [`cost`] — the superstep cost model `T_i(λ) = w_i + g·h + L_{i,j}`;
 //! * [`workload`] — balanced workload partitioning (the `c_{i,j}` feature);
-//! * [`classes`] — the machine-class hierarchy HBSP^0 ⊂ HBSP^1 ⊂ … ⊂ HBSP^k.
+//! * [`classes`] — the machine-class hierarchy HBSP^0 ⊂ HBSP^1 ⊂ … ⊂ HBSP^k;
+//! * [`degrade`] — graceful degradation: rebuild a machine around dead
+//!   processors, re-electing coordinators and renormalizing `r`/`c`.
 //!
 //! Execution engines live in the sibling crates `hbsp-sim` (discrete-event
 //! simulator) and `hbsp-runtime` (threaded runtime); the programming API in
@@ -38,6 +40,7 @@ pub mod analysis;
 pub mod builder;
 pub mod classes;
 pub mod cost;
+pub mod degrade;
 pub mod error;
 pub mod hrelation;
 pub mod ids;
@@ -51,6 +54,7 @@ pub use analysis::{heterogeneity, Heterogeneity, Penalty};
 pub use builder::TreeBuilder;
 pub use classes::MachineClass;
 pub use cost::{CostModel, CostReport, SuperstepCost};
+pub use degrade::{DegradeError, Degraded};
 pub use error::ModelError;
 pub use hrelation::{hrelation, HRelation, Traffic};
 pub use ids::{Level, MachineId, NodeIdx, ProcId};

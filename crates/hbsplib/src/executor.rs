@@ -1,9 +1,26 @@
-//! Engine selection: run the same program on the simulator or on
-//! threads.
+//! Engine selection and fault recovery: run the same program on the
+//! simulator or on threads, optionally degrading around dead
+//! processors.
+//!
+//! [`Executor`] is a *configuration*: engine kind, machine, microcosts,
+//! tracing, pre-flight checking, an injected [`FaultPlan`], and a
+//! [`RecoveryPolicy`]. Each [`Executor::run`] /
+//! [`Executor::run_recovering`] call builds a fresh engine from that
+//! configuration, so a recovering run can rebuild the engine on a
+//! degraded machine between attempts.
+//!
+//! Recovery follows the superstep-boundary contract (`docs/faults.md`):
+//! both engines fail *fast* with a typed [`SimError`] naming the dead
+//! or absent processors; under [`RecoveryPolicy::Degrade`] the executor
+//! catches that error, calls [`MachineTree::degrade`], re-makes the
+//! program for the surviving machine (so collectives re-lower their
+//! schedules), remaps the fault plan, and re-runs. The per-run
+//! [`FaultReport`] records every recovery step.
 
-use hbsp_core::{MachineTree, SpmdProgram};
+use hbsp_core::degrade::Degraded;
+use hbsp_core::{MachineTree, ProcId, SpmdProgram};
 use hbsp_runtime::ThreadedRuntime;
-use hbsp_sim::{NetConfig, SimError, SimOutcome, Simulator};
+use hbsp_sim::{FaultPlan, NetConfig, SimError, SimOutcome, Simulator};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,44 +40,126 @@ impl ExecOutcome {
     }
 }
 
+/// Which engine an [`Executor`] builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineKind {
+    Simulator,
+    Threads,
+}
+
+/// What to do when a run dies with a fault-typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Surface the typed error to the caller (the default).
+    #[default]
+    FailFast,
+    /// Degrade the machine around the dead processors and re-run from
+    /// the superstep boundary ([`Executor::run_recovering`]).
+    Degrade,
+}
+
+/// One recovery step taken by [`Executor::run_recovering`].
+#[derive(Debug, Clone)]
+pub struct RecoveryEvent {
+    /// Superstep at which the fault was detected.
+    pub step: usize,
+    /// The typed error the engine raised.
+    pub error: SimError,
+    /// Processors declared dead and dropped from the machine.
+    pub dead: Vec<ProcId>,
+    /// Processors surviving after degradation.
+    pub remaining: usize,
+}
+
+/// What happened across a whole [`Executor::run_recovering`] call.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Faults scripted into the executor's plan (before any remapping).
+    pub faults_injected: usize,
+    /// Every degradation performed, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// Number of engine runs performed (1 = fault-free).
+    pub attempts: usize,
+    /// Supersteps re-executed across all restarts: each recovery
+    /// restarts from superstep 0, so the steps completed before each
+    /// detection are replayed on the surviving machine.
+    pub steps_replayed: usize,
+}
+
+impl FaultReport {
+    /// True if the run needed no recovery at all.
+    pub fn clean(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A completed (possibly degraded) recovering run.
+#[derive(Debug, Clone)]
+pub struct Recovered<S> {
+    /// Outcome of the final, successful attempt.
+    pub outcome: ExecOutcome,
+    /// Final per-processor states, indexed by the *final* machine's
+    /// ranks.
+    pub states: Vec<S>,
+    /// Everything that went wrong and how it was handled.
+    pub report: FaultReport,
+    /// The machine the successful attempt ran on (the original tree if
+    /// `report.clean()`, otherwise the degraded survivor tree).
+    pub tree: Arc<MachineTree>,
+}
+
 /// A configured execution engine for one machine.
-pub enum Executor {
-    /// Deterministic discrete-event simulation (`hbsp-sim`).
-    Simulator(Simulator),
-    /// One OS thread per processor (`hbsp-runtime`).
-    Threads(ThreadedRuntime),
+#[derive(Clone)]
+pub struct Executor {
+    tree: Arc<MachineTree>,
+    cfg: Option<NetConfig>,
+    kind: EngineKind,
+    trace: bool,
+    check: Option<bool>,
+    faults: FaultPlan,
+    recovery: RecoveryPolicy,
 }
 
 impl Executor {
+    fn new(tree: Arc<MachineTree>, kind: EngineKind, cfg: Option<NetConfig>) -> Self {
+        Executor {
+            tree,
+            cfg,
+            kind,
+            trace: false,
+            check: None,
+            faults: FaultPlan::new(),
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
     /// Simulator with default (PVM-like) microcosts.
     pub fn simulator(tree: Arc<MachineTree>) -> Self {
-        Executor::Simulator(Simulator::new(tree))
+        Executor::new(tree, EngineKind::Simulator, None)
     }
 
     /// Simulator with explicit microcosts.
     pub fn simulator_with(tree: Arc<MachineTree>, cfg: NetConfig) -> Self {
-        Executor::Simulator(Simulator::with_config(tree, cfg))
+        Executor::new(tree, EngineKind::Simulator, Some(cfg))
     }
 
     /// Threaded runtime with default microcosts (for its virtual
     /// clock).
     pub fn threads(tree: Arc<MachineTree>) -> Self {
-        Executor::Threads(ThreadedRuntime::new(tree))
+        Executor::new(tree, EngineKind::Threads, None)
     }
 
     /// Threaded runtime with explicit microcosts.
     pub fn threads_with(tree: Arc<MachineTree>, cfg: NetConfig) -> Self {
-        Executor::Threads(ThreadedRuntime::with_config(tree, cfg))
+        Executor::new(tree, EngineKind::Threads, Some(cfg))
     }
 
     /// Record per-processor activity timelines on either engine (the
     /// raw material for §4.1's "faster machines sit idle" Gantt
     /// charts); retrieve them from [`ExecOutcome`]'s `sim.timelines`.
-    pub fn trace(self, enable: bool) -> Self {
-        match self {
-            Executor::Simulator(s) => Executor::Simulator(s.trace(enable)),
-            Executor::Threads(t) => Executor::Threads(t.trace(enable)),
-        }
+    pub fn trace(mut self, enable: bool) -> Self {
+        self.trace = enable;
+        self
     }
 
     /// Toggle the static pre-flight check ([`SpmdProgram::preflight`])
@@ -69,27 +168,52 @@ impl Executor {
     /// never holds — is rejected at submit time with
     /// `SimError::Preflight` instead of deadlocking or mis-delivering
     /// mid-run.
-    pub fn check(self, enable: bool) -> Self {
-        match self {
-            Executor::Simulator(s) => Executor::Simulator(s.check(enable)),
-            Executor::Threads(t) => Executor::Threads(t.check(enable)),
-        }
+    pub fn check(mut self, enable: bool) -> Self {
+        self.check = Some(enable);
+        self
+    }
+
+    /// Script deterministic faults into every run (see
+    /// [`hbsp_sim::FaultPlan`]). Both engines honor the same plan with
+    /// bit-identical outcomes.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Choose what happens when a run dies with a fault-typed error.
+    /// [`RecoveryPolicy::Degrade`] only takes effect through
+    /// [`Executor::run_recovering`]; plain [`Executor::run`] always
+    /// fails fast.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
     }
 
     /// The machine this executor runs on.
     pub fn tree(&self) -> &Arc<MachineTree> {
-        match self {
-            Executor::Simulator(s) => s.tree(),
-            Executor::Threads(t) => t.tree(),
-        }
+        &self.tree
     }
 
-    /// Run `prog` to completion; returns the outcome and every
-    /// processor's final state.
-    pub fn run<P: SpmdProgram>(&self, prog: &P) -> Result<(ExecOutcome, Vec<P::State>), SimError> {
-        match self {
-            Executor::Simulator(s) => {
-                let (out, states) = s.run_with_states(prog)?;
+    /// Run `prog` once on `tree` with `faults`, building a fresh engine
+    /// from this configuration.
+    fn run_once<P: SpmdProgram>(
+        &self,
+        tree: &Arc<MachineTree>,
+        faults: &FaultPlan,
+        prog: &P,
+    ) -> Result<(ExecOutcome, Vec<P::State>), SimError> {
+        match self.kind {
+            EngineKind::Simulator => {
+                let mut sim = match &self.cfg {
+                    Some(cfg) => Simulator::with_config(tree.clone(), cfg.clone()),
+                    None => Simulator::new(tree.clone()),
+                };
+                sim = sim.trace(self.trace).faults(faults.clone());
+                if let Some(chk) = self.check {
+                    sim = sim.check(chk);
+                }
+                let (out, states) = sim.run_with_states(prog)?;
                 Ok((
                     ExecOutcome {
                         sim: out,
@@ -98,8 +222,16 @@ impl Executor {
                     states,
                 ))
             }
-            Executor::Threads(t) => {
-                let (out, states) = t.run_with_states(prog)?;
+            EngineKind::Threads => {
+                let mut rt = match &self.cfg {
+                    Some(cfg) => ThreadedRuntime::with_config(tree.clone(), cfg.clone()),
+                    None => ThreadedRuntime::new(tree.clone()),
+                };
+                rt = rt.trace(self.trace).faults(faults.clone());
+                if let Some(chk) = self.check {
+                    rt = rt.check(chk);
+                }
+                let (out, states) = rt.run_with_states(prog)?;
                 Ok((
                     ExecOutcome {
                         sim: out.virtual_outcome,
@@ -109,6 +241,80 @@ impl Executor {
                 ))
             }
         }
+    }
+
+    /// Run `prog` to completion; returns the outcome and every
+    /// processor's final state. Always fails fast: faults surface as
+    /// typed [`SimError`]s regardless of the configured policy.
+    pub fn run<P: SpmdProgram>(&self, prog: &P) -> Result<(ExecOutcome, Vec<P::State>), SimError> {
+        self.run_once(&self.tree, &self.faults, prog)
+    }
+
+    /// Run with graceful degradation: on a fault-typed error
+    /// ([`SimError::ProcCrashed`] or [`SimError::BarrierTimeout`]) and
+    /// [`RecoveryPolicy::Degrade`], drop the dead processors from the
+    /// machine ([`MachineTree::degrade`]), re-make the program via
+    /// `factory` on the surviving tree (collectives re-lower their
+    /// schedules here), remap the fault plan onto the new ranks, and
+    /// re-run from the superstep boundary. Under
+    /// [`RecoveryPolicy::FailFast`] this behaves exactly like
+    /// [`Executor::run`] (plus a clean [`FaultReport`]).
+    ///
+    /// Degradation that is itself impossible (a cluster lost every
+    /// leaf, or no processor survives) surfaces as
+    /// [`SimError::DegradeFailed`].
+    pub fn run_recovering<P, F>(&self, factory: F) -> Result<Recovered<P::State>, SimError>
+    where
+        P: SpmdProgram,
+        F: Fn(&Arc<MachineTree>) -> Result<P, SimError>,
+    {
+        let mut tree = self.tree.clone();
+        let mut faults = self.faults.clone();
+        let mut report = FaultReport {
+            faults_injected: self.faults.faults().len(),
+            ..FaultReport::default()
+        };
+        // Each degradation removes at least one processor, so p
+        // attempts is a hard bound; the loop normally exits far
+        // earlier.
+        for _ in 0..=self.tree.num_procs() {
+            let prog = factory(&tree)?;
+            report.attempts += 1;
+            match self.run_once(&tree, &faults, &prog) {
+                Ok((outcome, states)) => {
+                    return Ok(Recovered {
+                        outcome,
+                        states,
+                        report,
+                        tree,
+                    });
+                }
+                Err(err) if self.recovery == RecoveryPolicy::Degrade => {
+                    let (dead, step) = match &err {
+                        SimError::ProcCrashed { pids, step } => (pids.clone(), *step),
+                        SimError::BarrierTimeout { missing, step } => (missing.clone(), *step),
+                        _ => return Err(err),
+                    };
+                    let Degraded {
+                        tree: survivor,
+                        rank_map,
+                    } = tree.degrade(&dead).map_err(|de| SimError::DegradeFailed {
+                        message: de.to_string(),
+                    })?;
+                    faults = faults.remap(&rank_map);
+                    report.steps_replayed += step;
+                    report.events.push(RecoveryEvent {
+                        step,
+                        error: err,
+                        dead,
+                        remaining: survivor.num_procs(),
+                    });
+                    tree = Arc::new(survivor);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        unreachable!("each degradation removes a processor, so p+1 attempts cannot all fail");
     }
 }
 
@@ -201,5 +407,163 @@ mod tests {
         // Ideal network is cheaper than the PVM-like default.
         let (c, _) = Executor::simulator(tree()).run(&PingPong).unwrap();
         assert!(a.total_time() < c.total_time());
+    }
+
+    /// A machine-shape-agnostic program: every processor counts the
+    /// messages it hears from its peers each superstep, so it runs
+    /// unchanged on any (possibly degraded) tree.
+    struct Gossip {
+        rounds: usize,
+    }
+    impl SpmdProgram for Gossip {
+        type State = u32;
+        fn init(&self, _env: &ProcEnv) -> u32 {
+            0
+        }
+        fn step(
+            &self,
+            step: usize,
+            env: &ProcEnv,
+            state: &mut u32,
+            ctx: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            *state += ctx.messages().len() as u32;
+            if step >= self.rounds {
+                return StepOutcome::Done;
+            }
+            for p in 0..env.nprocs {
+                if p != env.pid.rank() {
+                    ctx.send(ProcId(p as u32), 0, vec![0; 4]);
+                }
+            }
+            StepOutcome::Continue(SyncScope::global(&env.tree))
+        }
+    }
+
+    fn clustered() -> Arc<MachineTree> {
+        Arc::new(
+            TreeBuilder::two_level(
+                2.0,
+                500.0,
+                &[
+                    (50.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                    (60.0, vec![(1.5, 0.8), (3.0, 0.3)]),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn fail_fast_surfaces_the_typed_error() {
+        let exec = Executor::simulator(clustered()).faults(FaultPlan::new().crash(ProcId(1), 1));
+        let err = exec.run(&Gossip { rounds: 3 }).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ProcCrashed {
+                pids: vec![ProcId(1)],
+                step: 1
+            }
+        );
+        // run_recovering under FailFast surfaces the same error.
+        let err2 = exec
+            .run_recovering(|_| Ok(Gossip { rounds: 3 }))
+            .unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn degrade_policy_completes_on_the_survivor_tree() {
+        for exec in [
+            Executor::simulator(clustered()),
+            Executor::threads(clustered()),
+        ] {
+            let exec = exec
+                .faults(FaultPlan::new().crash(ProcId(1), 1))
+                .recovery(RecoveryPolicy::Degrade);
+            let rec = exec
+                .run_recovering(|_| Ok(Gossip { rounds: 3 }))
+                .expect("degrades and completes");
+            assert_eq!(rec.tree.num_procs(), 3);
+            assert_eq!(rec.states.len(), 3);
+            // Each survivor heard 2 peers for 3 rounds on the replay.
+            assert!(rec.states.iter().all(|&s| s == 6));
+            assert_eq!(rec.report.attempts, 2);
+            assert_eq!(rec.report.events.len(), 1);
+            assert_eq!(rec.report.events[0].dead, vec![ProcId(1)]);
+            assert_eq!(rec.report.events[0].step, 1);
+            assert_eq!(rec.report.steps_replayed, 1);
+            rec.tree.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn clean_runs_report_clean() {
+        let rec = Executor::simulator(clustered())
+            .recovery(RecoveryPolicy::Degrade)
+            .run_recovering(|_| Ok(Gossip { rounds: 2 }))
+            .unwrap();
+        assert!(rec.report.clean());
+        assert_eq!(rec.report.attempts, 1);
+        assert_eq!(rec.report.steps_replayed, 0);
+        assert_eq!(rec.tree.num_procs(), 4);
+    }
+
+    #[test]
+    fn cascading_crashes_degrade_repeatedly() {
+        // P1 dies at step 1; after degradation old P3 is rank 2 and its
+        // remapped crash at step 2 kills the second attempt too.
+        let plan = FaultPlan::new().crash(ProcId(1), 1).crash(ProcId(3), 2);
+        let rec = Executor::simulator(clustered())
+            .faults(plan)
+            .recovery(RecoveryPolicy::Degrade)
+            .run_recovering(|_| Ok(Gossip { rounds: 4 }))
+            .unwrap();
+        assert_eq!(rec.report.attempts, 3);
+        assert_eq!(rec.report.events.len(), 2);
+        assert_eq!(rec.tree.num_procs(), 2);
+        assert_eq!(rec.report.steps_replayed, 1 + 2);
+        rec.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn impossible_degradation_is_a_typed_error() {
+        // Kill both processors of cluster 0 at once: the cluster
+        // empties and degradation must refuse with a typed error.
+        let plan = FaultPlan::new().crash(ProcId(0), 1).crash(ProcId(1), 1);
+        let err = Executor::simulator(clustered())
+            .faults(plan)
+            .recovery(RecoveryPolicy::Degrade)
+            .run_recovering(|_| Ok(Gossip { rounds: 3 }))
+            .unwrap_err();
+        match err {
+            SimError::DegradeFailed { message } => {
+                assert!(
+                    message.contains("c0"),
+                    "names the emptied cluster: {message}"
+                )
+            }
+            other => panic!("expected DegradeFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_processors_are_degraded_like_crashes() {
+        let plan = FaultPlan::new().stall(ProcId(3), 0);
+        for exec in [
+            Executor::simulator(clustered()),
+            Executor::threads(clustered()),
+        ] {
+            let rec = exec
+                .faults(plan.clone())
+                .recovery(RecoveryPolicy::Degrade)
+                .run_recovering(|_| Ok(Gossip { rounds: 2 }))
+                .unwrap();
+            assert_eq!(rec.tree.num_procs(), 3);
+            assert!(matches!(
+                rec.report.events[0].error,
+                SimError::BarrierTimeout { .. }
+            ));
+        }
     }
 }

@@ -16,7 +16,9 @@
 //! * [`hetero`] — balanced-workload helpers (`balanced_partition`,
 //!   `my_share`) implementing the paper's `c_j` guidance;
 //! * [`Executor`] — run the same [`Program`] on the discrete-event
-//!   simulator (`hbsp-sim`) or on real threads (`hbsp-runtime`);
+//!   simulator (`hbsp-sim`) or on real threads (`hbsp-runtime`), with
+//!   optional fault injection and graceful degradation
+//!   ([`RecoveryPolicy`], `docs/faults.md`);
 //! * [`closure`] — build programs from closures without hand-writing a
 //!   state machine.
 //!
@@ -70,7 +72,9 @@ pub use closure::ClosureProgram;
 pub use ctx::Ctx;
 pub use drma::{GetReply, Region};
 pub use enquiry::TreeEnquiry;
-pub use executor::{predict_program, ExecOutcome, Executor};
+pub use executor::{
+    predict_program, ExecOutcome, Executor, FaultReport, Recovered, RecoveryEvent, RecoveryPolicy,
+};
 pub use hetero::{balanced_partition, equal_partition, my_share};
 
 // The program surface is defined in hbsp-core; re-export under the

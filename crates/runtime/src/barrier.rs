@@ -23,13 +23,39 @@
 //! bookkeeping) into a barrier without extra synchronization rounds.
 //! Exactly one thread per generation runs the leader section.
 
+//! ## Watchdogs and aborts
+//!
+//! Both barriers also offer a *watched* wait
+//! ([`CentralBarrier::wait_leader_watched`],
+//! [`HierBarrier::wait_leader_watched`]): a waiter that outlives the
+//! given deadline without seeing the generation flip claims the abort
+//! (exactly one claimant per barrier lifetime), runs an `on_timeout`
+//! closure (the engine's drain-and-fail path), and permanently kills
+//! the barrier — every current and future waiter returns `None`
+//! immediately instead of hanging. This is what turns a stalled or
+//! vanished peer into a typed `BarrierTimeout` error. All internal
+//! locks are poison-tolerant: a panicking thread elsewhere must not
+//! cascade `PoisonError` panics through surviving waiters.
+
 use hbsp_core::MachineTree;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Poison-tolerant lock: a panic in some other thread while it held
+/// the mutex must not take the survivors down with it. Shared with the
+/// engine and mailboxes — every runtime lock maps poisoning into the
+/// typed abort path instead of cascading `PoisonError` unwraps.
+pub(crate) fn lock_anyway<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 struct Inner {
     arrived: usize,
     generation: u64,
+    /// Permanently true once a watched wait timed out: the barrier is
+    /// dead and every wait returns `None` immediately.
+    aborted: bool,
 }
 
 /// A flat barrier for a fixed set of `n` threads, reusable across
@@ -49,6 +75,7 @@ impl CentralBarrier {
             inner: Mutex::new(Inner {
                 arrived: 0,
                 generation: 0,
+                aborted: false,
             }),
             cv: Condvar::new(),
         }
@@ -63,7 +90,24 @@ impl CentralBarrier {
     /// the others remain blocked), then everyone is released. Returns
     /// `Some(result)` to the leader, `None` to the rest.
     pub fn wait_leader<R>(&self, leader: impl FnOnce() -> R) -> Option<R> {
-        let mut guard = self.inner.lock().unwrap();
+        self.wait_leader_watched(None, || (), leader)
+    }
+
+    /// [`Self::wait_leader`] with a watchdog: a waiter still blocked
+    /// `timeout` after arriving claims the abort, runs `on_timeout`
+    /// (exactly once per barrier, while holding the barrier lock — the
+    /// same exclusivity the leader section gets), and kills the
+    /// barrier. Every wait on a dead barrier returns `None` at once.
+    pub fn wait_leader_watched<R>(
+        &self,
+        timeout: Option<Duration>,
+        on_timeout: impl FnOnce(),
+        leader: impl FnOnce() -> R,
+    ) -> Option<R> {
+        let mut guard = lock_anyway(&self.inner);
+        if guard.aborted {
+            return None;
+        }
         guard.arrived += 1;
         if guard.arrived == self.n {
             // Leader: run the section, flip the generation, release.
@@ -74,10 +118,32 @@ impl CentralBarrier {
             Some(result)
         } else {
             let gen = guard.generation;
-            while guard.generation == gen {
-                guard = self.cv.wait(guard).unwrap();
+            let deadline = timeout.map(|t| Instant::now() + t);
+            loop {
+                if guard.generation != gen || guard.aborted {
+                    return None;
+                }
+                match deadline {
+                    None => guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            // Claim the abort: `on_timeout` runs under
+                            // the barrier lock, so its effects are
+                            // visible to every waiter before they wake.
+                            guard.aborted = true;
+                            on_timeout();
+                            self.cv.notify_all();
+                            return None;
+                        }
+                        guard = self
+                            .cv
+                            .wait_timeout(guard, d - now)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0;
+                    }
+                }
             }
-            None
         }
     }
 
@@ -141,7 +207,16 @@ pub struct HierBarrier {
     /// Generation-poll iterations before parking ([`SPIN_LIMIT`] with a
     /// core per thread, 0 when oversubscribed).
     spin: u32,
+    /// Watchdog state: [`ABORT_LIVE`] → [`ABORT_CLAIMED`] (one timed-out
+    /// waiter won the CAS and is running its `on_timeout`) →
+    /// [`ABORT_DEAD`] (abort effects published; every wait returns
+    /// `None` immediately).
+    abort: AtomicU8,
 }
+
+const ABORT_LIVE: u8 = 0;
+const ABORT_CLAIMED: u8 = 1;
+const ABORT_DEAD: u8 = 2;
 
 impl HierBarrier {
     /// Barrier for the processor threads of `tree`, one per leaf, with
@@ -184,6 +259,7 @@ impl HierBarrier {
             } else {
                 0
             },
+            abort: AtomicU8::new(ABORT_LIVE),
         }
     }
 
@@ -200,6 +276,24 @@ impl HierBarrier {
     /// `rank` must be this thread's processor rank; each rank must
     /// arrive exactly once per generation.
     pub fn wait_leader<R>(&self, rank: usize, leader: impl FnOnce() -> R) -> Option<R> {
+        self.wait_leader_watched(rank, None, || (), leader)
+    }
+
+    /// [`Self::wait_leader`] with a watchdog: a parked waiter still
+    /// blocked `timeout` after arriving races a CAS for the abort claim;
+    /// the winner runs `on_timeout` (exactly once per barrier), marks
+    /// the barrier dead, and wakes every gate. Waits on a dead barrier
+    /// return `None` immediately.
+    pub fn wait_leader_watched<R>(
+        &self,
+        rank: usize,
+        timeout: Option<Duration>,
+        on_timeout: impl FnOnce(),
+        leader: impl FnOnce() -> R,
+    ) -> Option<R> {
+        if self.abort.load(Ordering::Acquire) == ABORT_DEAD {
+            return None;
+        }
         // Pin the generation *before* arriving: the flip can only
         // happen after this thread's own arrival reaches the root.
         let gen = self.generation.load(Ordering::Acquire);
@@ -234,7 +328,7 @@ impl HierBarrier {
                     }
                 }
             } else {
-                self.wait_for_flip(gen, node);
+                self.wait_for_flip(gen, node, timeout, on_timeout);
                 return None;
             }
         }
@@ -252,7 +346,13 @@ impl HierBarrier {
     /// either we entered `cv.wait` before the leader's broadcast (and
     /// it wakes us), or our lock acquisition ordered after the leader's
     /// unlock made the flip visible and we never wait.
-    fn wait_for_flip(&self, gen: u64, node: usize) {
+    fn wait_for_flip(
+        &self,
+        gen: u64,
+        node: usize,
+        timeout: Option<Duration>,
+        on_timeout: impl FnOnce(),
+    ) {
         for _ in 0..self.spin {
             if self.generation.load(Ordering::Acquire) != gen {
                 return;
@@ -260,9 +360,49 @@ impl HierBarrier {
             std::hint::spin_loop();
         }
         let n = &self.nodes[node];
-        let mut guard = n.gate.lock().unwrap();
-        while self.generation.load(Ordering::Acquire) == gen {
-            guard = n.cv.wait(guard).unwrap();
+        let mut deadline = timeout.map(|t| Instant::now() + t);
+        let mut guard = lock_anyway(&n.gate);
+        loop {
+            if self.generation.load(Ordering::Acquire) != gen
+                || self.abort.load(Ordering::Acquire) == ABORT_DEAD
+            {
+                return;
+            }
+            match deadline {
+                None => guard = n.cv.wait(guard).unwrap_or_else(PoisonError::into_inner),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        if self
+                            .abort
+                            .compare_exchange(
+                                ABORT_LIVE,
+                                ABORT_CLAIMED,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            // Claim won: publish the abort effects
+                            // before any waiter can observe the dead
+                            // barrier (they park until `release_all`).
+                            drop(guard);
+                            on_timeout();
+                            self.abort.store(ABORT_DEAD, Ordering::Release);
+                            self.release_all();
+                            return;
+                        }
+                        // Lost the claim: another waiter is aborting.
+                        // Park without a deadline until it finishes.
+                        deadline = None;
+                        continue;
+                    }
+                    guard =
+                        n.cv.wait_timeout(guard, d - now)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0;
+                }
+            }
         }
     }
 
@@ -273,7 +413,7 @@ impl HierBarrier {
         for n in &self.nodes {
             // Lock-then-broadcast pairs with the waiter's locked
             // re-check (see `wait_for_flip`).
-            drop(n.gate.lock().unwrap());
+            drop(lock_anyway(&n.gate));
             n.cv.notify_all();
         }
     }
@@ -304,10 +444,16 @@ impl StepBarrier {
         }
     }
 
-    pub(crate) fn wait_leader<R>(&self, rank: usize, leader: impl FnOnce() -> R) -> Option<R> {
+    pub(crate) fn wait_leader_watched<R>(
+        &self,
+        rank: usize,
+        timeout: Option<Duration>,
+        on_timeout: impl FnOnce(),
+        leader: impl FnOnce() -> R,
+    ) -> Option<R> {
         match self {
-            StepBarrier::Central(b) => b.wait_leader(leader),
-            StepBarrier::Hier(b) => b.wait_leader(rank, leader),
+            StepBarrier::Central(b) => b.wait_leader_watched(timeout, on_timeout, leader),
+            StepBarrier::Hier(b) => b.wait_leader_watched(rank, timeout, on_timeout, leader),
         }
     }
 }
@@ -473,6 +619,90 @@ mod tests {
             }
         });
         assert_eq!(leader_runs.load(Ordering::SeqCst), 150);
+    }
+
+    #[test]
+    fn central_watchdog_fires_once_and_kills_the_barrier() {
+        // 3 parties, only 2 arrive: both time out, exactly one claims
+        // the abort, both return None, and later arrivals fail fast.
+        let b = CentralBarrier::new(3);
+        let aborts = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let r = b.wait_leader_watched(
+                        Some(std::time::Duration::from_millis(20)),
+                        || {
+                            aborts.fetch_add(1, Ordering::SeqCst);
+                        },
+                        || 1,
+                    );
+                    assert_eq!(r, None);
+                });
+            }
+        });
+        assert_eq!(aborts.load(Ordering::SeqCst), 1);
+        // The straggler finally shows up: dead barrier, immediate None.
+        assert_eq!(b.wait_leader_watched(None, || (), || 1), None);
+        assert_eq!(b.wait_leader(|| 1), None);
+    }
+
+    #[test]
+    fn hier_watchdog_fires_once_and_kills_the_barrier() {
+        let t = clustered();
+        let b = HierBarrier::new(&t);
+        let p = b.parties();
+        let aborts = AtomicUsize::new(0);
+        // Everyone but rank 0 arrives; every waiter carries a deadline.
+        std::thread::scope(|s| {
+            for rank in 1..p {
+                let b = &b;
+                let aborts = &aborts;
+                s.spawn(move || {
+                    let r = b.wait_leader_watched(
+                        rank,
+                        Some(std::time::Duration::from_millis(20)),
+                        || {
+                            aborts.fetch_add(1, Ordering::SeqCst);
+                        },
+                        || 1,
+                    );
+                    assert_eq!(r, None);
+                });
+            }
+        });
+        assert_eq!(aborts.load(Ordering::SeqCst), 1);
+        assert_eq!(b.wait_leader(0, || 1), None, "dead barrier fails fast");
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_when_everyone_arrives() {
+        let t = clustered();
+        let b = HierBarrier::new(&t);
+        let p = b.parties();
+        let aborts = AtomicUsize::new(0);
+        let leads = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for rank in 0..p {
+                let (b, aborts, leads) = (&b, &aborts, &leads);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        b.wait_leader_watched(
+                            rank,
+                            Some(std::time::Duration::from_secs(60)),
+                            || {
+                                aborts.fetch_add(1, Ordering::SeqCst);
+                            },
+                            || {
+                                leads.fetch_add(1, Ordering::SeqCst);
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(aborts.load(Ordering::SeqCst), 0);
+        assert_eq!(leads.load(Ordering::SeqCst), 50);
     }
 
     #[test]

@@ -16,17 +16,29 @@
 //!   two atomics (`finished`, `failed`) publishing the step's verdict
 //!   to the released threads.
 
-use crate::barrier::{BarrierKind, StepBarrier};
+use crate::barrier::{lock_anyway, BarrierKind, StepBarrier};
 use crate::mailbox::Mailbox;
 use hbsp_core::{MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome};
 use hbsp_sim::step::{analyze, delivery_order, resolve_outcomes};
-use hbsp_sim::timing::{barrier_release, superstep_timing};
+use hbsp_sim::timing::{barrier_release, superstep_timing_faulted};
 use hbsp_sim::trace::{step_spans, ProcTimeline};
-use hbsp_sim::{NetConfig, SimError, SimOutcome, StepStats};
+use hbsp_sim::{FaultPlan, NetConfig, SimError, SimOutcome, StepStats};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Watchdog armed at any step with a *scripted* barrier stall: peers
+/// need not wait for a user deadline (possibly unlimited) to diagnose
+/// a stall the fault plan guarantees will happen. Long enough that a
+/// loaded CI machine still gets every healthy thread to the barrier
+/// first; short enough that chaos runs stay fast.
+const STALL_WATCHDOG: Duration = Duration::from_millis(100);
+
+/// How long a scripted-stalled thread waits for its peers' watchdog
+/// verdict before recording the (identical) timeout itself — the
+/// fallback that keeps a stall of *every* processor from hanging.
+const STALL_SELF_REPORT: Duration = Duration::from_millis(400);
 
 /// Result of a threaded run: the same virtual-time outcome the
 /// simulator would produce, plus real wall-clock duration.
@@ -47,6 +59,8 @@ pub struct ThreadedRuntime {
     barrier_kind: BarrierKind,
     trace: bool,
     check: bool,
+    faults: FaultPlan,
+    step_deadline: Option<Duration>,
 }
 
 /// One processor's per-superstep contribution, padded to its own cache
@@ -112,6 +126,11 @@ struct SlotData {
     /// and exit before reaching the next barrier, stranding everyone
     /// else there.
     panicked: Option<usize>,
+    /// A scripted crash, recorded with the step it fired at. Like
+    /// `panicked`, only the leader translates it (into
+    /// [`SimError::ProcCrashed`], gathering *all* crashed ranks of the
+    /// step), for the same publication-order reason.
+    crashed: Option<usize>,
 }
 
 /// Run-level coordination state. Locked only inside the barrier's
@@ -142,6 +161,8 @@ impl ThreadedRuntime {
             barrier_kind: BarrierKind::default(),
             trace: false,
             check: cfg!(debug_assertions),
+            faults: FaultPlan::new(),
+            step_deadline: None,
         }
     }
 
@@ -154,6 +175,8 @@ impl ThreadedRuntime {
             barrier_kind: BarrierKind::default(),
             trace: false,
             check: cfg!(debug_assertions),
+            faults: FaultPlan::new(),
+            step_deadline: None,
         }
     }
 
@@ -187,6 +210,27 @@ impl ThreadedRuntime {
     /// the baseline for the `engine_overhead` bench.
     pub fn barrier(mut self, kind: BarrierKind) -> Self {
         self.barrier_kind = kind;
+        self
+    }
+
+    /// Inject a scripted [`FaultPlan`]. Both engines honor the same
+    /// plan at the same protocol points, in the same order (stall →
+    /// crash → bodies → message corruption → straggle timing), so a
+    /// fault run here yields the same typed error or virtual-time
+    /// outcome as `Simulator` under the same plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Wall-clock watchdog on barrier arrival (default: unlimited): if
+    /// any peer is still missing `deadline` after a thread started
+    /// waiting, the run aborts with [`SimError::BarrierTimeout`]
+    /// naming the absent pids instead of hanging. The deadline should
+    /// comfortably exceed a superstep's real compute time. Mirrored in
+    /// virtual time by `Simulator::step_deadline`.
+    pub fn step_deadline(mut self, deadline: Duration) -> Self {
+        self.step_deadline = Some(deadline);
         self
     }
 
@@ -229,6 +273,12 @@ impl ThreadedRuntime {
         });
         let finished = AtomicBool::new(false);
         let failed = AtomicBool::new(false);
+        // Arrival board: rank `i` stores `step + 1` right before its
+        // barrier arrival. A watchdog firing on an *unscripted* stall
+        // (a hung body under `step_deadline`) derives the missing-pid
+        // list from it; scripted stalls use the plan's own list so the
+        // error value matches the simulator's bit for bit.
+        let arrived: Vec<AtomicUsize> = (0..p).map(|_| AtomicUsize::new(0)).collect();
 
         let began = Instant::now();
         let states: Vec<Result<P::State, SimError>> = std::thread::scope(|scope| {
@@ -245,26 +295,65 @@ impl ThreadedRuntime {
                 let failed = &failed;
                 let mailboxes = &mailboxes;
                 let slots = &slots;
+                let arrived = &arrived;
                 let tree = &self.tree;
                 let cfg = &self.cfg;
+                let faults = &self.faults;
                 let step_limit = self.step_limit;
+                let user_deadline = self.step_deadline;
                 handles.push(scope.spawn(move || {
                     let mut state = prog.init(&env);
                     for step in 0..step_limit {
-                        // Superstep body, in parallel with all peers. A
-                        // panicking body must not strand the other
-                        // threads at the barrier: contain it, report a
-                        // typed error, and let everyone unwind together.
-                        let mut ctx = ThreadCtx {
-                            env: &env,
-                            inbox: mailboxes[i].take(),
-                            outbox: Vec::new(),
-                            work: 0.0,
-                        };
-                        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            prog.step(step, &env, &mut state, &mut ctx)
-                        }));
-                        {
+                        // Scripted stall: never arrive at this step's
+                        // barrier. The peers' watchdog (or, if every
+                        // processor stalled, our own fallback below)
+                        // converts the absence into a typed timeout.
+                        if faults.stalls(env.pid, step) {
+                            let give_up = Instant::now() + STALL_SELF_REPORT;
+                            while !failed.load(Ordering::Acquire) {
+                                if Instant::now() >= give_up {
+                                    record_timeout(
+                                        faults.stalled_at(step),
+                                        step,
+                                        leader_state,
+                                        mailboxes,
+                                        failed,
+                                    );
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            let e = lock_anyway(leader_state)
+                                .error
+                                .clone()
+                                .expect("failed implies a recorded error");
+                            return Err(e);
+                        }
+
+                        if faults.crashes(env.pid, step) {
+                            // Scripted crash: the body never runs. Mark
+                            // the slot and make one last barrier
+                            // arrival so the leader can diagnose every
+                            // crashed rank of the step at once.
+                            // SAFETY: this thread owns slot `i` outside
+                            // the leader section (ProcSlot protocol).
+                            unsafe { slots[i].slot() }.crashed = Some(step);
+                        } else {
+                            // Superstep body, in parallel with all
+                            // peers. A panicking body must not strand
+                            // the other threads at the barrier: contain
+                            // it, report a typed error, and let
+                            // everyone unwind together.
+                            let mut ctx = ThreadCtx {
+                                env: &env,
+                                inbox: mailboxes[i].take(),
+                                outbox: Vec::new(),
+                                work: 0.0,
+                            };
+                            let body =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    prog.step(step, &env, &mut state, &mut ctx)
+                                }));
                             // SAFETY: this thread owns slot `i` outside
                             // the leader section (ProcSlot protocol).
                             let slot = unsafe { slots[i].slot() };
@@ -281,19 +370,67 @@ impl ThreadedRuntime {
                                 }
                             });
                         }
+                        arrived[i].store(step + 1, Ordering::Release);
+                        // Watchdog: at a step with a scripted stall the
+                        // plan *guarantees* a missing peer, so a short
+                        // internal deadline applies even when the user
+                        // set none (or a long one).
+                        let scripted_stall = !faults.stalled_at(step).is_empty();
+                        let timeout = if scripted_stall {
+                            Some(user_deadline.map_or(STALL_WATCHDOG, |d| d.min(STALL_WATCHDOG)))
+                        } else {
+                            user_deadline
+                        };
                         // Rendezvous; the thread completing the root
                         // arrival does the step's sequential
-                        // coordination.
-                        barrier.wait_leader(i, || {
-                            let mut ls = leader_state.lock().unwrap();
-                            leader_step(
-                                tree, cfg, mailboxes, slots, step, &mut ls, finished, failed,
-                            );
-                        });
+                        // coordination. The leader section is itself
+                        // panic-contained: an unwinding leader would
+                        // otherwise wedge every waiter.
+                        barrier.wait_leader_watched(
+                            i,
+                            timeout,
+                            || {
+                                let missing = if scripted_stall {
+                                    faults.stalled_at(step)
+                                } else {
+                                    (0..p)
+                                        .filter(|&j| arrived[j].load(Ordering::Acquire) != step + 1)
+                                        .map(|j| ProcId(j as u32))
+                                        .collect()
+                                };
+                                record_timeout(missing, step, leader_state, mailboxes, failed);
+                            },
+                            || {
+                                let ok =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        let mut ls = lock_anyway(leader_state);
+                                        if ls.error.is_some() {
+                                            // A watchdog abort raced us
+                                            // here: don't stack step
+                                            // work on a dying run.
+                                            failed.store(true, Ordering::Release);
+                                            return;
+                                        }
+                                        leader_step(
+                                            tree, cfg, faults, mailboxes, slots, step, &mut ls,
+                                            finished, failed,
+                                        );
+                                    }));
+                                if ok.is_err() {
+                                    let mut ls = lock_anyway(leader_state);
+                                    if ls.error.is_none() {
+                                        ls.error = Some(SimError::LeaderPanicked { step });
+                                    }
+                                    drop(ls);
+                                    for mb in mailboxes {
+                                        mb.take();
+                                    }
+                                    failed.store(true, Ordering::Release);
+                                }
+                            },
+                        );
                         if failed.load(Ordering::Acquire) {
-                            let e = leader_state
-                                .lock()
-                                .unwrap()
+                            let e = lock_anyway(leader_state)
                                 .error
                                 .clone()
                                 .expect("failed implies a recorded error");
@@ -317,7 +454,9 @@ impl ThreadedRuntime {
         for s in states {
             out_states.push(s?);
         }
-        let ls = leader_state.into_inner().unwrap();
+        let ls = leader_state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         let total_time = ls.finish.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         Ok((
             RunOutcome {
@@ -338,6 +477,30 @@ impl ThreadedRuntime {
     pub fn run<P: SpmdProgram>(&self, prog: &P) -> Result<RunOutcome, SimError> {
         self.run_with_states(prog).map(|(o, _)| o)
     }
+}
+
+/// The watchdog's abort path: record a [`SimError::BarrierTimeout`]
+/// (first writer wins) and drain the mailboxes. Unlike [`abort_step`]
+/// this does NOT touch the `ProcSlot`s: the watchdog may fire while a
+/// straggling thread is still writing its own slot, so only
+/// mutex-protected state is safe to reach from here. Nobody reads the
+/// slots again — the run is over once `failed` flips.
+fn record_timeout(
+    missing: Vec<ProcId>,
+    step: usize,
+    leader_state: &Mutex<LeaderState>,
+    mailboxes: &[Mailbox],
+    failed: &AtomicBool,
+) {
+    let mut ls = lock_anyway(leader_state);
+    if ls.error.is_none() {
+        ls.error = Some(SimError::BarrierTimeout { missing, step });
+    }
+    drop(ls);
+    for mb in mailboxes {
+        mb.take();
+    }
+    failed.store(true, Ordering::Release);
 }
 
 /// Record `error` and scrub every queue: an aborted step must leave no
@@ -374,6 +537,7 @@ fn abort_step(
 fn leader_step(
     tree: &MachineTree,
     cfg: &NetConfig,
+    faults: &FaultPlan,
     mailboxes: &[Mailbox],
     slots: &[ProcSlot],
     step: usize,
@@ -382,6 +546,31 @@ fn leader_step(
     failed: &AtomicBool,
 ) {
     let p = tree.num_procs();
+    // Translate scripted crashes first — the simulator diagnoses a
+    // crash before any body runs, so a crash outranks a panic that
+    // happened in the same step's surviving bodies.
+    let mut crashed: Vec<ProcId> = Vec::new();
+    let mut crash_step = step;
+    for (i, slot) in slots.iter().enumerate().take(p) {
+        // SAFETY: leader section — the leader owns every slot.
+        if let Some(cstep) = unsafe { slot.slot() }.crashed {
+            crashed.push(ProcId(i as u32));
+            crash_step = cstep;
+        }
+    }
+    if !crashed.is_empty() {
+        abort_step(
+            SimError::ProcCrashed {
+                pids: crashed,
+                step: crash_step,
+            },
+            mailboxes,
+            slots,
+            ls,
+            failed,
+        );
+        return;
+    }
     // Translate contained panics into the shared error now that every
     // thread of this generation has arrived (lowest rank wins for
     // determinism).
@@ -418,6 +607,10 @@ fn leader_step(
         outcomes.push(slot.outcome.take().expect("all contributions in"));
     }
 
+    // Network faults hit the posted messages before validation and
+    // costing, exactly like the simulator's per-step order.
+    let sends = faults.corrupt_sends(step, sends);
+
     let scope = match resolve_outcomes(step, &outcomes) {
         Ok(s) => s,
         Err(e) => {
@@ -432,7 +625,17 @@ fn leader_step(
             return;
         }
     };
-    let timing = superstep_timing(tree, cfg, &ls.starts, &work, &analysis.intents);
+    let r_scale = faults
+        .straggles_at(step)
+        .then(|| faults.r_multipliers(step, p));
+    let timing = superstep_timing_faulted(
+        tree,
+        cfg,
+        &ls.starts,
+        &work,
+        &analysis.intents,
+        r_scale.as_deref(),
+    );
     let finish_max = timing
         .finish
         .iter()
@@ -711,6 +914,7 @@ mod tests {
         leader_step(
             &tree,
             &NetConfig::pvm_like(),
+            &FaultPlan::new(),
             &mailboxes,
             &slots,
             3,
@@ -820,5 +1024,143 @@ mod tests {
         let rt = ThreadedRuntime::new(machine());
         let out = rt.run(&Exchange { rounds: 1 }).unwrap();
         assert!(out.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn scripted_crash_matches_simulator() {
+        let tree = clustered_machine();
+        let prog = Exchange { rounds: 5 };
+        let plan = FaultPlan::new().crash(ProcId(3), 2).crash(ProcId(6), 2);
+        let sim_err = Simulator::new(Arc::clone(&tree))
+            .faults(plan.clone())
+            .run(&prog)
+            .unwrap_err();
+        for kind in [BarrierKind::Central, BarrierKind::Hierarchical] {
+            let thr_err = ThreadedRuntime::new(Arc::clone(&tree))
+                .barrier(kind)
+                .faults(plan.clone())
+                .run(&prog)
+                .unwrap_err();
+            assert_eq!(sim_err, thr_err, "{kind:?}");
+        }
+        assert_eq!(
+            sim_err,
+            SimError::ProcCrashed {
+                pids: vec![ProcId(3), ProcId(6)],
+                step: 2
+            }
+        );
+    }
+
+    #[test]
+    fn scripted_stall_times_out_identically_on_both_engines() {
+        let tree = clustered_machine();
+        let prog = Exchange { rounds: 5 };
+        let plan = FaultPlan::new().stall(ProcId(4), 1);
+        let sim_err = Simulator::new(Arc::clone(&tree))
+            .faults(plan.clone())
+            .run(&prog)
+            .unwrap_err();
+        for kind in [BarrierKind::Central, BarrierKind::Hierarchical] {
+            let thr_err = ThreadedRuntime::new(Arc::clone(&tree))
+                .barrier(kind)
+                .faults(plan.clone())
+                .run(&prog)
+                .unwrap_err();
+            assert_eq!(sim_err, thr_err, "{kind:?}");
+        }
+        assert_eq!(
+            sim_err,
+            SimError::BarrierTimeout {
+                missing: vec![ProcId(4)],
+                step: 1
+            }
+        );
+    }
+
+    #[test]
+    fn every_processor_stalling_still_terminates() {
+        let tree = machine();
+        let p = tree.num_procs();
+        let mut plan = FaultPlan::new();
+        for i in 0..p {
+            plan = plan.stall(ProcId(i as u32), 1);
+        }
+        let err = ThreadedRuntime::new(Arc::clone(&tree))
+            .faults(plan.clone())
+            .run(&Exchange { rounds: 4 })
+            .unwrap_err();
+        let sim_err = Simulator::new(tree)
+            .faults(plan)
+            .run(&Exchange { rounds: 4 })
+            .unwrap_err();
+        assert_eq!(err, sim_err);
+        assert!(matches!(err, SimError::BarrierTimeout { step: 1, .. }));
+    }
+
+    #[test]
+    fn straggle_and_corruption_match_simulator_bit_for_bit() {
+        let tree = clustered_machine();
+        let prog = Exchange { rounds: 4 };
+        let plan = FaultPlan::new()
+            .straggle(ProcId(2), 1, 8.0)
+            .drop_msgs(ProcId(5), 2)
+            .truncate(ProcId(0), 3, 0);
+        let sim = Simulator::new(Arc::clone(&tree))
+            .faults(plan.clone())
+            .run(&prog)
+            .unwrap();
+        for kind in [BarrierKind::Central, BarrierKind::Hierarchical] {
+            let thr = ThreadedRuntime::new(Arc::clone(&tree))
+                .barrier(kind)
+                .faults(plan.clone())
+                .run(&prog)
+                .unwrap()
+                .virtual_outcome;
+            assert_eq!(sim.total_time, thr.total_time, "{kind:?}");
+            assert_eq!(sim.proc_finish, thr.proc_finish, "{kind:?}");
+            assert_eq!(sim.messages_delivered, thr.messages_delivered, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn generous_step_deadline_never_fires() {
+        let rt = ThreadedRuntime::new(clustered_machine()).step_deadline(Duration::from_secs(120));
+        let out = rt.run(&Exchange { rounds: 5 }).unwrap();
+        assert_eq!(out.virtual_outcome.num_steps(), 6);
+    }
+
+    #[test]
+    fn step_deadline_catches_a_hung_body() {
+        /// Rank 1's body sleeps far past the deadline at step 1.
+        struct Hang;
+        impl SpmdProgram for Hang {
+            type State = ();
+            fn init(&self, _e: &ProcEnv) {}
+            fn step(
+                &self,
+                step: usize,
+                env: &ProcEnv,
+                _st: &mut (),
+                _c: &mut dyn SpmdContext,
+            ) -> StepOutcome {
+                if step == 1 && env.pid.0 == 1 {
+                    std::thread::sleep(Duration::from_secs(5));
+                }
+                if step == 2 {
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Continue(SyncScope::global(&env.tree))
+            }
+        }
+        let rt = ThreadedRuntime::new(machine()).step_deadline(Duration::from_millis(50));
+        let err = rt.run(&Hang).unwrap_err();
+        match err {
+            SimError::BarrierTimeout { missing, step } => {
+                assert_eq!(step, 1);
+                assert_eq!(missing, vec![ProcId(1)], "the sleeper is named");
+            }
+            other => panic!("expected BarrierTimeout, got {other:?}"),
+        }
     }
 }

@@ -7,7 +7,14 @@
 //! leader section and takes happen only after release, there is never
 //! send/receive contention within a superstep — this is the BSP
 //! delivery guarantee made concrete.
+//!
+//! Every lock here is poison-tolerant (`barrier::lock_anyway`):
+//! a peer that panicked while a mailbox was locked must not cascade
+//! `PoisonError` panics through the surviving threads — the panic
+//! itself is already mapped into the step's typed abort path by the
+//! engine, and the abort drains every mailbox anyway.
 
+use crate::barrier::lock_anyway;
 use hbsp_core::Message;
 use std::sync::Mutex;
 
@@ -25,7 +32,7 @@ impl Mailbox {
 
     /// Deposit a message (leader section only).
     pub fn deposit(&self, m: Message) {
-        self.inbox.lock().unwrap().push(m);
+        lock_anyway(&self.inbox).push(m);
     }
 
     /// Deposit a whole superstep's worth of messages for this receiver,
@@ -33,7 +40,7 @@ impl Mailbox {
     /// leader batches deliveries per destination so each mailbox is
     /// locked once per superstep rather than once per message.
     pub fn deposit_batch(&self, mut batch: Vec<Message>) {
-        let mut inbox = self.inbox.lock().unwrap();
+        let mut inbox = lock_anyway(&self.inbox);
         if inbox.is_empty() {
             // Common case: the receiver drained last step's inbox, so
             // the batch becomes the inbox without copying any message.
@@ -45,17 +52,17 @@ impl Mailbox {
 
     /// Take the entire inbox, leaving it empty.
     pub fn take(&self) -> Vec<Message> {
-        std::mem::take(&mut *self.inbox.lock().unwrap())
+        std::mem::take(&mut *lock_anyway(&self.inbox))
     }
 
     /// Number of queued messages.
     pub fn len(&self) -> usize {
-        self.inbox.lock().unwrap().len()
+        lock_anyway(&self.inbox).len()
     }
 
     /// True if no messages are queued.
     pub fn is_empty(&self) -> bool {
-        self.inbox.lock().unwrap().is_empty()
+        lock_anyway(&self.inbox).is_empty()
     }
 }
 
@@ -84,6 +91,27 @@ mod tests {
     fn take_on_empty_is_empty() {
         let mb = Mailbox::new();
         assert!(mb.take().is_empty());
+    }
+
+    /// Poison audit: a thread that panics while holding a mailbox lock
+    /// must not cascade `PoisonError` panics through survivors — every
+    /// subsequent operation keeps working on the recovered inner state.
+    #[test]
+    fn poisoned_mailbox_stays_usable() {
+        let mb = Mailbox::new();
+        mb.deposit(Message::new(ProcId(0), ProcId(1), 0, vec![1]));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mb.inbox.lock().unwrap();
+            panic!("die while holding the mailbox lock");
+        }));
+        assert!(result.is_err());
+        assert!(mb.inbox.is_poisoned(), "the mutex really was poisoned");
+        assert_eq!(mb.len(), 1, "len survives poisoning");
+        mb.deposit(Message::new(ProcId(2), ProcId(1), 0, vec![2]));
+        mb.deposit_batch(vec![Message::new(ProcId(3), ProcId(1), 0, vec![3])]);
+        let msgs = mb.take();
+        assert_eq!(msgs.len(), 3, "deposits and takes survive poisoning");
+        assert!(mb.is_empty());
     }
 
     #[test]

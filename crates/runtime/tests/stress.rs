@@ -1,7 +1,8 @@
 //! Stress tests for the threaded runtime's synchronization machinery.
 
 use hbsp_core::{ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope, TreeBuilder};
-use hbsp_runtime::{CentralBarrier, HierBarrier, Mailbox, ThreadedRuntime};
+use hbsp_runtime::{BarrierKind, CentralBarrier, HierBarrier, Mailbox, ThreadedRuntime};
+use hbsp_sim::{FaultPlan, SimError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -182,6 +183,104 @@ fn contained_panics_never_strand_the_barrier() {
         assert!(matches!(err, hbsp_sim::SimError::ProgramPanicked { pid, step: 1 } if pid.0 == 2));
     }
     std::panic::set_hook(prev);
+}
+
+/// A clustered machine so the hierarchical barrier actually combines
+/// arrivals per cluster before the root.
+fn clustered() -> Arc<hbsp_core::MachineTree> {
+    Arc::new(
+        TreeBuilder::two_level(
+            1.0,
+            100.0,
+            &[
+                (10.0, vec![(1.0, 1.0), (1.5, 0.7), (2.0, 0.5)]),
+                (12.0, vec![(1.2, 0.9), (2.5, 0.4), (3.0, 0.3)]),
+                (15.0, vec![(1.8, 0.6), (4.0, 0.2)]),
+            ],
+        )
+        .unwrap(),
+    )
+}
+
+/// Hammer every abort path — body panic, scripted crash, scripted
+/// stall — under the *hierarchical* barrier, where the abort must
+/// propagate through per-cluster combining nodes rather than one
+/// central generation counter. Any stranding fails via the harness
+/// timeout; any untyped error fails the match.
+#[test]
+fn abort_paths_drain_cleanly_under_the_hierarchical_barrier() {
+    struct Bomb;
+    impl SpmdProgram for Bomb {
+        type State = ();
+        fn init(&self, _e: &ProcEnv) {}
+        fn step(
+            &self,
+            step: usize,
+            env: &ProcEnv,
+            _st: &mut (),
+            ctx: &mut dyn SpmdContext,
+        ) -> StepOutcome {
+            if step == 1 && env.pid.0 == 4 {
+                panic!("boom");
+            }
+            // Keep traffic flowing so aborts race in-flight messages.
+            ctx.send(
+                ProcId(((env.pid.rank() + 1) % env.nprocs) as u32),
+                0,
+                vec![0; 8],
+            );
+            if step == 3 {
+                return StepOutcome::Done;
+            }
+            StepOutcome::Continue(SyncScope::global(&env.tree))
+        }
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let tree = clustered();
+    for _ in 0..150 {
+        let err = ThreadedRuntime::new(Arc::clone(&tree))
+            .barrier(BarrierKind::Hierarchical)
+            .run(&Bomb)
+            .unwrap_err();
+        assert!(matches!(err, SimError::ProgramPanicked { pid, step: 1 } if pid.0 == 4));
+    }
+    std::panic::set_hook(prev);
+
+    // Scripted crashes: the dead threads never run their bodies; the
+    // leader translates the markers into one typed error.
+    for _ in 0..150 {
+        let err = ThreadedRuntime::new(Arc::clone(&tree))
+            .barrier(BarrierKind::Hierarchical)
+            .faults(FaultPlan::new().crash(ProcId(2), 1).crash(ProcId(7), 1))
+            .run(&Chatter { rounds: 3 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ProcCrashed {
+                pids: vec![ProcId(2), ProcId(7)],
+                step: 1
+            }
+        );
+    }
+
+    // Scripted stalls: the internal watchdog must fire on the
+    // hierarchical barrier and name the absent processors (wall-clock
+    // bound, so only a handful of iterations).
+    for _ in 0..5 {
+        let err = ThreadedRuntime::new(Arc::clone(&tree))
+            .barrier(BarrierKind::Hierarchical)
+            .faults(FaultPlan::new().stall(ProcId(5), 2))
+            .run(&Chatter { rounds: 4 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BarrierTimeout {
+                missing: vec![ProcId(5)],
+                step: 2
+            }
+        );
+    }
 }
 
 #[test]

@@ -3,9 +3,10 @@
 
 use crate::config::NetConfig;
 use crate::error::SimError;
+use crate::faults::FaultPlan;
 use crate::stats::StepStats;
 use crate::step::{analyze, delivery_order, resolve_outcomes};
-use crate::timing::{barrier_release, superstep_timing};
+use crate::timing::{barrier_release, superstep_timing_faulted};
 use crate::trace::{step_spans, ProcTimeline};
 use hbsp_core::{
     MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope,
@@ -75,6 +76,8 @@ pub struct Simulator {
     step_limit: usize,
     trace: bool,
     check: bool,
+    faults: FaultPlan,
+    step_deadline: Option<f64>,
 }
 
 impl Simulator {
@@ -86,6 +89,8 @@ impl Simulator {
             step_limit: 100_000,
             trace: false,
             check: cfg!(debug_assertions),
+            faults: FaultPlan::new(),
+            step_deadline: None,
         }
     }
 
@@ -97,6 +102,8 @@ impl Simulator {
             step_limit: 100_000,
             trace: false,
             check: cfg!(debug_assertions),
+            faults: FaultPlan::new(),
+            step_deadline: None,
         }
     }
 
@@ -119,6 +126,26 @@ impl Simulator {
     /// barrier mid-run.
     pub fn check(mut self, enable: bool) -> Self {
         self.check = enable;
+        self
+    }
+
+    /// Inject a scripted [`FaultPlan`]. Both engines honor the same
+    /// plan at the same protocol points, in the same order (stall →
+    /// crash → bodies → message corruption → straggle timing), so
+    /// fault runs stay reproducible across engines.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Virtual-time guard on superstep duration (default: unlimited):
+    /// a superstep whose slowest processor finishes more than
+    /// `deadline` model-time units after the step's earliest release
+    /// aborts with [`SimError::BarrierTimeout`] naming the laggards.
+    /// Mirrors the threaded runtime's wall-clock
+    /// `ThreadedRuntime::step_deadline`.
+    pub fn step_deadline(mut self, deadline: f64) -> Self {
+        self.step_deadline = Some(deadline);
         self
     }
 
@@ -168,6 +195,25 @@ impl Simulator {
         });
 
         for step in 0..self.step_limit {
+            // Scripted faults fire in a fixed order shared with the
+            // threaded runtime: a stalled peer trips the watchdog
+            // before a crash can be diagnosed, and a crash is seen
+            // before any body runs.
+            let stalled = self.faults.stalled_at(step);
+            if !stalled.is_empty() {
+                return Err(SimError::BarrierTimeout {
+                    missing: stalled,
+                    step,
+                });
+            }
+            let crashed = self.faults.crashed_at(step);
+            if !crashed.is_empty() {
+                return Err(SimError::ProcCrashed {
+                    pids: crashed,
+                    step,
+                });
+            }
+
             // Run every processor's superstep body.
             let mut sends: Vec<Message> = Vec::new();
             let mut work = vec![0.0f64; p];
@@ -185,13 +231,28 @@ impl Simulator {
                 outcomes.push(outcome);
             }
 
+            // The network faults hit posted messages before validation
+            // and costing, exactly like the runtime's leader section.
+            let sends = self.faults.corrupt_sends(step, sends);
+
             // SPMD discipline + message validation (shared with the
             // threaded runtime).
             let scope = resolve_outcomes(step, &outcomes)?;
             let analysis = analyze(&self.tree, step, scope, &sends)?;
 
-            // Timing.
-            let timing = superstep_timing(&self.tree, &self.cfg, &starts, &work, &analysis.intents);
+            // Timing, with any scripted stragglers inflating r.
+            let r_scale = self
+                .faults
+                .straggles_at(step)
+                .then(|| self.faults.r_multipliers(step, p));
+            let timing = superstep_timing_faulted(
+                &self.tree,
+                &self.cfg,
+                &starts,
+                &work,
+                &analysis.intents,
+                r_scale.as_deref(),
+            );
             let finish_max = timing
                 .finish
                 .iter()
@@ -199,6 +260,18 @@ impl Simulator {
                 .fold(f64::NEG_INFINITY, f64::max);
             let start_min = starts.iter().cloned().fold(f64::INFINITY, f64::min);
             let hrelation = analysis.hrelation;
+
+            // Virtual-time mirror of the runtime's wall-clock step
+            // deadline: laggards past the budget are "missing".
+            if let Some(d) = self.step_deadline {
+                let missing: Vec<ProcId> = (0..p)
+                    .filter(|&i| timing.finish[i] > start_min + d)
+                    .map(|i| ProcId(i as u32))
+                    .collect();
+                if !missing.is_empty() {
+                    return Err(SimError::BarrierTimeout { missing, step });
+                }
+            }
 
             match scope {
                 None => {
@@ -547,6 +620,109 @@ mod tests {
         // The Gantt chart renders one row per processor.
         let chart = crate::trace::ascii_gantt(tls, 40);
         assert_eq!(chart.lines().count(), 5);
+    }
+
+    #[test]
+    fn scripted_crash_and_stall_yield_typed_errors() {
+        use crate::faults::FaultPlan;
+        let sim = Simulator::new(flat4()).faults(FaultPlan::new().crash(ProcId(2), 1));
+        assert_eq!(
+            sim.run(&RingShift { rounds: 3 }).unwrap_err(),
+            SimError::ProcCrashed {
+                pids: vec![ProcId(2)],
+                step: 1
+            }
+        );
+        let sim = Simulator::new(flat4()).faults(FaultPlan::new().stall(ProcId(1), 2));
+        assert_eq!(
+            sim.run(&RingShift { rounds: 3 }).unwrap_err(),
+            SimError::BarrierTimeout {
+                missing: vec![ProcId(1)],
+                step: 2
+            }
+        );
+        // A stall scripted alongside a crash at the same step wins: the
+        // watchdog fires before the crash can be diagnosed (the same
+        // order the threaded runtime observes).
+        let sim = Simulator::new(flat4())
+            .faults(FaultPlan::new().crash(ProcId(0), 1).stall(ProcId(3), 1));
+        assert!(matches!(
+            sim.run(&RingShift { rounds: 3 }).unwrap_err(),
+            SimError::BarrierTimeout { step: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn straggler_inflates_time_without_changing_results() {
+        use crate::faults::FaultPlan;
+        let clean = Simulator::new(flat4())
+            .run(&RingShift { rounds: 3 })
+            .unwrap();
+        let slow = Simulator::new(flat4())
+            .faults(FaultPlan::new().straggle(ProcId(0), 1, 50.0))
+            .run_with_states(&RingShift { rounds: 3 })
+            .unwrap();
+        assert!(
+            slow.0.total_time > clean.total_time,
+            "{} vs {}",
+            slow.0.total_time,
+            clean.total_time
+        );
+        assert_eq!(slow.0.messages_delivered, 12, "delivery unaffected");
+        for (i, st) in slow.1.iter().enumerate() {
+            assert_eq!(st.len(), 3, "proc {i} still got every message");
+        }
+    }
+
+    #[test]
+    fn dropped_and_truncated_messages_are_scripted_losses() {
+        use crate::faults::FaultPlan;
+        let sim = Simulator::new(flat4()).faults(FaultPlan::new().drop_msgs(ProcId(0), 1));
+        let (out, states) = sim.run_with_states(&RingShift { rounds: 3 }).unwrap();
+        assert_eq!(out.messages_delivered, 11, "one message lost");
+        assert_eq!(states[1].len(), 2, "P1 misses P0's step-1 send");
+        assert_eq!(states[0].len(), 3, "everyone else unaffected");
+
+        let sim = Simulator::new(flat4()).faults(FaultPlan::new().truncate(ProcId(2), 0, 0));
+        let (out, _) = sim.run_with_states(&RingShift { rounds: 1 }).unwrap();
+        assert_eq!(out.messages_delivered, 4, "truncated but delivered");
+        assert_eq!(out.steps[0].words_at(1), 3, "P2's word is gone");
+    }
+
+    #[test]
+    fn virtual_step_deadline_names_laggards() {
+        let sim = Simulator::new(flat4()).step_deadline(1e9);
+        assert!(sim.run(&RingShift { rounds: 3 }).is_ok(), "generous budget");
+        let sim = Simulator::new(flat4()).step_deadline(0.5);
+        let err = sim.run(&RingShift { rounds: 3 }).unwrap_err();
+        match err {
+            SimError::BarrierTimeout { missing, step } => {
+                assert_eq!(step, 0);
+                assert!(!missing.is_empty());
+            }
+            other => panic!("expected BarrierTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_seed_reproducible() {
+        use crate::faults::FaultPlan;
+        let tree = flat4();
+        let plan = FaultPlan::random(7, &tree);
+        let run = || {
+            Simulator::new(Arc::clone(&tree))
+                .faults(plan.clone())
+                .run(&RingShift { rounds: 3 })
+        };
+        let (a, b) = (run(), run());
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.total_time, y.total_time);
+                assert_eq!(x.proc_finish, y.proc_finish);
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            (x, y) => panic!("runs diverged: {x:?} vs {y:?}"),
+        }
     }
 
     #[test]

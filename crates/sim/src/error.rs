@@ -34,6 +34,23 @@ pub enum SimError {
     /// A processor's superstep body panicked (threaded runtime only —
     /// the simulator lets panics propagate to the caller directly).
     ProgramPanicked { pid: ProcId, step: usize },
+    /// One or more processors never arrived at superstep `step`'s
+    /// barrier before the watchdog deadline (a scripted stall, a hung
+    /// body, or a `step_deadline` overrun). `missing` names the
+    /// absent pids, sorted by rank.
+    BarrierTimeout { missing: Vec<ProcId>, step: usize },
+    /// One or more processors died at the start of superstep `step`
+    /// (scripted via [`crate::FaultPlan`]): their bodies never ran and
+    /// they will never contribute again. `pids` is sorted by rank.
+    /// Recoverable by degrading the machine to the survivors.
+    ProcCrashed { pids: Vec<ProcId>, step: usize },
+    /// The leader section itself panicked while closing superstep
+    /// `step` (threaded runtime only). The step is aborted and drained
+    /// rather than wedging peers at the barrier.
+    LeaderPanicked { step: usize },
+    /// Graceful degradation was requested but the surviving machine is
+    /// not a valid HBSP^k tree (e.g. a cluster lost all of its leaves).
+    DegradeFailed { message: String },
     /// Microcost configuration failed validation.
     InvalidConfig,
     /// The program's static pre-flight check rejected it before any
@@ -75,6 +92,21 @@ impl fmt::Display for SimError {
             SimError::ProgramPanicked { pid, step } => {
                 write!(f, "processor {pid} panicked during superstep {step}")
             }
+            SimError::BarrierTimeout { missing, step } => {
+                write!(f, "superstep {step}: barrier timed out waiting for ")?;
+                fmt_pids(f, missing)
+            }
+            SimError::ProcCrashed { pids, step } => {
+                write!(f, "superstep {step}: ")?;
+                fmt_pids(f, pids)?;
+                write!(f, " crashed")
+            }
+            SimError::LeaderPanicked { step } => {
+                write!(f, "leader section panicked while closing superstep {step}")
+            }
+            SimError::DegradeFailed { message } => {
+                write!(f, "cannot degrade machine: {message}")
+            }
             SimError::InvalidConfig => write!(f, "invalid network configuration"),
             SimError::Preflight { message } => {
                 write!(f, "program rejected before execution: {message}")
@@ -84,6 +116,16 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+fn fmt_pids(f: &mut fmt::Formatter<'_>, pids: &[ProcId]) -> fmt::Result {
+    for (i, pid) in pids.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{pid}")?;
+    }
+    Ok(())
+}
 
 #[cfg(test)]
 mod tests {
@@ -102,5 +144,26 @@ mod tests {
             s.contains("superstep 3") && s.contains("P1") && s.contains("P5"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn fault_errors_name_every_absent_pid() {
+        let e = SimError::BarrierTimeout {
+            missing: vec![ProcId(2), ProcId(5)],
+            step: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("superstep 4") && s.contains("P2, P5"), "{s}");
+
+        let e = SimError::ProcCrashed {
+            pids: vec![ProcId(1)],
+            step: 0,
+        };
+        assert!(e.to_string().contains("P1 crashed"), "{e}");
+
+        let e = SimError::DegradeFailed {
+            message: "cluster `lan0` lost all of its processors".into(),
+        };
+        assert!(e.to_string().contains("lan0"), "{e}");
     }
 }

@@ -1,0 +1,423 @@
+//! Deterministic fault injection: seeded scripts of crashes,
+//! stragglers, message corruption, and barrier stalls.
+//!
+//! A [`FaultPlan`] is a *script*, not a random process: every fault
+//! names the processor it hits and the superstep at which it fires.
+//! Both engines consult the same plan at the same points of the
+//! superstep protocol, in the same fixed order (stall → crash → run
+//! bodies → drop/truncate sends → straggle timing → deadline), so a
+//! fault run produces bit-identical outcomes on the virtual-time
+//! [`crate::Simulator`] and the threaded runtime.
+//!
+//! Randomized plans ([`FaultPlan::random`]) derive everything from a
+//! `u64` seed through an in-crate SplitMix64 generator — no external
+//! RNG dependency, and the same seed always yields the same plan.
+
+use hbsp_core::{MachineTree, Message, ProcId};
+
+/// One scripted fault event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// `pid` dies at the start of superstep `step`: its body never
+    /// runs and it never arrives at the closing barrier. Detected as
+    /// [`crate::SimError::ProcCrashed`].
+    Crash { pid: ProcId, step: usize },
+    /// `pid` stalls indefinitely at superstep `step`'s barrier without
+    /// dying. Detected by the watchdog as
+    /// [`crate::SimError::BarrierTimeout`].
+    Stall { pid: ProcId, step: usize },
+    /// `pid`'s communication slows down transiently: its `r` is
+    /// multiplied by `factor` (≥ 1) for superstep `step` only.
+    Straggle {
+        pid: ProcId,
+        step: usize,
+        factor: f64,
+    },
+    /// Every message `pid` posts during superstep `step` is silently
+    /// dropped by the network.
+    DropMsgs { pid: ProcId, step: usize },
+    /// Every message `pid` posts during superstep `step` is truncated
+    /// to at most `max_words` words (4 bytes each).
+    Truncate {
+        pid: ProcId,
+        step: usize,
+        max_words: usize,
+    },
+}
+
+impl Fault {
+    /// The processor this fault targets.
+    pub fn pid(&self) -> ProcId {
+        match *self {
+            Fault::Crash { pid, .. }
+            | Fault::Stall { pid, .. }
+            | Fault::Straggle { pid, .. }
+            | Fault::DropMsgs { pid, .. }
+            | Fault::Truncate { pid, .. } => pid,
+        }
+    }
+
+    /// The superstep at which this fault fires.
+    pub fn step(&self) -> usize {
+        match *self {
+            Fault::Crash { step, .. }
+            | Fault::Stall { step, .. }
+            | Fault::Straggle { step, .. }
+            | Fault::DropMsgs { step, .. }
+            | Fault::Truncate { step, .. } => step,
+        }
+    }
+}
+
+/// A deterministic script of faults, consulted by both engines.
+///
+/// ```
+/// use hbsp_sim::{Fault, FaultPlan};
+/// use hbsp_core::ProcId;
+///
+/// let plan = FaultPlan::new()
+///     .crash(ProcId(2), 3)
+///     .straggle(ProcId(1), 0, 4.0);
+/// assert_eq!(plan.crashed_at(3), vec![ProcId(2)]);
+/// assert_eq!(plan.r_multipliers(0, 4), vec![1.0, 4.0, 1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan scripts no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scripted faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Add an arbitrary fault event.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Script a crash: `pid` dies at the start of superstep `step`.
+    pub fn crash(self, pid: ProcId, step: usize) -> Self {
+        self.with(Fault::Crash { pid, step })
+    }
+
+    /// Script a barrier stall: `pid` never arrives at superstep
+    /// `step`'s barrier (until the watchdog aborts the run).
+    pub fn stall(self, pid: ProcId, step: usize) -> Self {
+        self.with(Fault::Stall { pid, step })
+    }
+
+    /// Script a transient slowdown: `pid`'s `r` is scaled by `factor`
+    /// (clamped to ≥ 1) during superstep `step`.
+    pub fn straggle(self, pid: ProcId, step: usize, factor: f64) -> Self {
+        let factor = if factor.is_finite() {
+            factor.max(1.0)
+        } else {
+            1.0
+        };
+        self.with(Fault::Straggle { pid, step, factor })
+    }
+
+    /// Script message loss: everything `pid` sends at `step` vanishes.
+    pub fn drop_msgs(self, pid: ProcId, step: usize) -> Self {
+        self.with(Fault::DropMsgs { pid, step })
+    }
+
+    /// Script message truncation: everything `pid` sends at `step` is
+    /// cut to `max_words` words.
+    pub fn truncate(self, pid: ProcId, step: usize, max_words: usize) -> Self {
+        self.with(Fault::Truncate {
+            pid,
+            step,
+            max_words,
+        })
+    }
+
+    /// A randomized plan derived deterministically from `seed` for the
+    /// given machine: 1–3 faults over the first few supersteps, with
+    /// every fault kind reachable. The same `(seed, machine shape)`
+    /// always produces the same plan.
+    pub fn random(seed: u64, tree: &MachineTree) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let p = tree.num_procs() as u64;
+        let n_faults = 1 + rng.below(3); // 1..=3
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_faults {
+            let pid = ProcId(rng.below(p) as u32);
+            let step = rng.below(4) as usize;
+            plan = match rng.below(5) {
+                0 => plan.crash(pid, step),
+                1 => plan.stall(pid, step),
+                2 => {
+                    // factor in [1.5, 9.5), quantized to halves so the
+                    // plan prints cleanly.
+                    let factor = 1.5 + 0.5 * rng.below(16) as f64;
+                    plan.straggle(pid, step, factor)
+                }
+                3 => plan.drop_msgs(pid, step),
+                _ => plan.truncate(pid, step, rng.below(3) as usize),
+            };
+        }
+        plan
+    }
+
+    /// Pids scripted to crash at `step` (sorted, deduplicated).
+    pub fn crashed_at(&self, step: usize) -> Vec<ProcId> {
+        self.pids_matching(step, |f| matches!(f, Fault::Crash { .. }))
+    }
+
+    /// Pids scripted to stall at `step`'s barrier (sorted, dedup'd).
+    pub fn stalled_at(&self, step: usize) -> Vec<ProcId> {
+        self.pids_matching(step, |f| matches!(f, Fault::Stall { .. }))
+    }
+
+    /// True when any step scripts a barrier stall (the engines arm
+    /// their watchdog only when this holds or a deadline is set).
+    pub fn has_stalls(&self) -> bool {
+        self.faults.iter().any(|f| matches!(f, Fault::Stall { .. }))
+    }
+
+    /// True when `pid` is scripted to crash at `step`.
+    pub fn crashes(&self, pid: ProcId, step: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::Crash { pid: p, step: s } if *p == pid && *s == step))
+    }
+
+    /// True when `pid` is scripted to stall at `step`'s barrier.
+    pub fn stalls(&self, pid: ProcId, step: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::Stall { pid: p, step: s } if *p == pid && *s == step))
+    }
+
+    /// Per-processor `r` multipliers in effect during `step` (1.0 =
+    /// unaffected). Multiple straggles on one pid compound.
+    pub fn r_multipliers(&self, step: usize, nprocs: usize) -> Vec<f64> {
+        let mut scale = vec![1.0f64; nprocs];
+        for f in &self.faults {
+            if let Fault::Straggle {
+                pid,
+                step: s,
+                factor,
+            } = *f
+            {
+                if s == step && pid.rank() < nprocs {
+                    scale[pid.rank()] *= factor;
+                }
+            }
+        }
+        scale
+    }
+
+    /// True when `step` scripts any straggler.
+    pub fn straggles_at(&self, step: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::Straggle { step: s, .. } if *s == step))
+    }
+
+    /// Apply this step's drop/truncate faults to a batch of posted
+    /// messages (keyed by each message's `src`). Returns the surviving
+    /// messages in their original relative order.
+    pub fn corrupt_sends(&self, step: usize, sends: Vec<Message>) -> Vec<Message> {
+        if !self.faults.iter().any(|f| {
+            f.step() == step && matches!(f, Fault::DropMsgs { .. } | Fault::Truncate { .. })
+        }) {
+            return sends;
+        }
+        sends
+            .into_iter()
+            .filter_map(|mut m| {
+                for f in &self.faults {
+                    if f.step() != step || f.pid() != m.src {
+                        continue;
+                    }
+                    match *f {
+                        Fault::DropMsgs { .. } => return None,
+                        Fault::Truncate { max_words, .. } => {
+                            m.payload.truncate(max_words * 4);
+                        }
+                        _ => {}
+                    }
+                }
+                Some(m)
+            })
+            .collect()
+    }
+
+    /// Rewrite the plan for a degraded machine: `rank_map[old]` gives
+    /// each old rank's new [`ProcId`] (or `None` when that leaf was
+    /// dropped). Faults aimed at dead processors are discarded —
+    /// they already fired.
+    pub fn remap(&self, rank_map: &[Option<ProcId>]) -> FaultPlan {
+        let faults = self
+            .faults
+            .iter()
+            .filter_map(|f| {
+                let new_pid = *rank_map.get(f.pid().rank())?;
+                new_pid.map(|pid| {
+                    let mut f = f.clone();
+                    match &mut f {
+                        Fault::Crash { pid: p, .. }
+                        | Fault::Stall { pid: p, .. }
+                        | Fault::Straggle { pid: p, .. }
+                        | Fault::DropMsgs { pid: p, .. }
+                        | Fault::Truncate { pid: p, .. } => *p = pid,
+                    }
+                    f
+                })
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    fn pids_matching(&self, step: usize, kind: impl Fn(&Fault) -> bool) -> Vec<ProcId> {
+        let mut pids: Vec<ProcId> = self
+            .faults
+            .iter()
+            .filter(|f| f.step() == step && kind(f))
+            .map(Fault::pid)
+            .collect();
+        pids.sort_unstable_by_key(|p| p.0);
+        pids.dedup();
+        pids
+    }
+}
+
+/// SplitMix64: tiny, high-quality, dependency-free PRNG. Used only to
+/// expand chaos seeds into fault plans — never for anything
+/// cryptographic.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (bound > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_core::TreeBuilder;
+
+    #[test]
+    fn queries_filter_by_step_and_kind() {
+        let plan = FaultPlan::new()
+            .crash(ProcId(3), 1)
+            .crash(ProcId(1), 1)
+            .crash(ProcId(1), 1) // duplicate
+            .stall(ProcId(2), 1)
+            .crash(ProcId(0), 2);
+        assert_eq!(plan.crashed_at(1), vec![ProcId(1), ProcId(3)]);
+        assert_eq!(plan.crashed_at(2), vec![ProcId(0)]);
+        assert_eq!(plan.stalled_at(1), vec![ProcId(2)]);
+        assert!(plan.crashed_at(0).is_empty());
+        assert!(plan.has_stalls());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn straggle_multipliers_compound_and_clamp() {
+        let plan = FaultPlan::new()
+            .straggle(ProcId(1), 0, 2.0)
+            .straggle(ProcId(1), 0, 3.0)
+            .straggle(ProcId(2), 1, 0.1); // clamped up to 1.0
+        assert_eq!(plan.r_multipliers(0, 3), vec![1.0, 6.0, 1.0]);
+        assert_eq!(plan.r_multipliers(1, 3), vec![1.0, 1.0, 1.0]);
+        assert!(plan.straggles_at(0));
+        assert!(!plan.straggles_at(2));
+    }
+
+    #[test]
+    fn corrupt_sends_drops_and_truncates_by_source() {
+        let plan = FaultPlan::new()
+            .drop_msgs(ProcId(0), 2)
+            .truncate(ProcId(1), 2, 1);
+        let sends = vec![
+            Message::new(ProcId(0), ProcId(2), 0, vec![9; 8]),
+            Message::new(ProcId(1), ProcId(2), 0, vec![7; 12]),
+            Message::new(ProcId(2), ProcId(0), 0, vec![5; 8]),
+        ];
+        let out = plan.corrupt_sends(2, sends.clone());
+        assert_eq!(out.len(), 2, "P0's message dropped");
+        assert_eq!(out[0].src, ProcId(1));
+        assert_eq!(out[0].payload.len(), 4, "truncated to one word");
+        assert_eq!(out[1].payload.len(), 8, "P2 untouched");
+        // Wrong step: everything passes through unchanged.
+        assert_eq!(plan.corrupt_sends(0, sends.clone()), sends);
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let tree = TreeBuilder::homogeneous(1.0, 100.0, 6).unwrap();
+        for seed in 0..64 {
+            let a = FaultPlan::random(seed, &tree);
+            let b = FaultPlan::random(seed, &tree);
+            assert_eq!(a, b, "seed {seed}");
+            assert!(!a.is_empty());
+            assert!(a.faults().len() <= 3);
+            for f in a.faults() {
+                assert!(f.pid().rank() < 6);
+                assert!(f.step() < 4);
+            }
+        }
+        assert_ne!(
+            FaultPlan::random(0, &tree),
+            FaultPlan::random(1, &tree),
+            "different seeds diverge"
+        );
+    }
+
+    #[test]
+    fn remap_translates_survivors_and_drops_the_dead() {
+        let plan = FaultPlan::new()
+            .crash(ProcId(1), 0)
+            .straggle(ProcId(2), 1, 2.0)
+            .stall(ProcId(0), 3);
+        // Rank 1 died: survivors 0 and 2 renumber to 0 and 1.
+        let map = vec![Some(ProcId(0)), None, Some(ProcId(1))];
+        let remapped = plan.remap(&map);
+        assert_eq!(
+            remapped.faults(),
+            &[
+                Fault::Straggle {
+                    pid: ProcId(1),
+                    step: 1,
+                    factor: 2.0
+                },
+                Fault::Stall {
+                    pid: ProcId(0),
+                    step: 3
+                },
+            ]
+        );
+    }
+}

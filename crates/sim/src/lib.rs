@@ -33,6 +33,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod model_engine;
 pub mod stats;
 pub mod step;
@@ -43,6 +44,7 @@ pub use config::NetConfig;
 pub use engine::{SimOutcome, Simulator};
 pub use error::SimError;
 pub use event::TimeQueue;
+pub use faults::{Fault, FaultPlan};
 pub use model_engine::ModelEvaluator;
 pub use stats::{LevelTraffic, StepStats};
 pub use step::{analyze, delivery_order, resolve_outcomes, StepAnalysis};

@@ -86,7 +86,24 @@ pub fn superstep_timing(
     work_units: &[f64],
     sends: &[SendIntent],
 ) -> StepTiming {
+    superstep_timing_faulted(tree, cfg, starts, work_units, sends, None)
+}
+
+/// [`superstep_timing`] with transient per-processor `r` inflation
+/// (fault injection's straggler model): `r_scale[p]` multiplies
+/// processor `p`'s `r` for this superstep only, scaling its pack and
+/// unpack word costs. `None` (or all-ones) is the fault-free algebra,
+/// bit for bit.
+pub fn superstep_timing_faulted(
+    tree: &MachineTree,
+    cfg: &NetConfig,
+    starts: &[f64],
+    work_units: &[f64],
+    sends: &[SendIntent],
+    r_scale: Option<&[f64]>,
+) -> StepTiming {
     let p = tree.num_procs();
+    let scale = |pid: ProcId| r_scale.map_or(1.0, |s| s[pid.rank()]);
     assert_eq!(starts.len(), p);
     assert_eq!(work_units.len(), p);
     let g = tree.g();
@@ -123,8 +140,8 @@ pub fn superstep_timing(
         let segment = tree.lca(src_leaf.idx(), dst_leaf.idx());
         let level = tree.node(segment).level();
         let bw = cfg.bandwidth_factor(level);
-        let send_cost =
-            cfg.msg_overhead + cfg.send_word_cost * src_leaf.params().r * g * s.words as f64 * bw;
+        let send_cost = cfg.msg_overhead
+            + cfg.send_word_cost * src_leaf.params().r * scale(s.src) * g * s.words as f64 * bw;
         let done = cursor[s.src.rank()] + send_cost;
         cursor[s.src.rank()] = done;
         let wire = cfg.medium_word_cost * g * s.words as f64 * bw;
@@ -156,7 +173,8 @@ pub fn superstep_timing(
             .node(tree.lca(tree.leaf(s.src).idx(), dst_leaf.idx()))
             .level();
         let bw = cfg.bandwidth_factor(level);
-        let unpack_cost = cfg.recv_word_cost * dst_leaf.params().r * g * s.words as f64 * bw;
+        let unpack_cost =
+            cfg.recv_word_cost * dst_leaf.params().r * scale(s.dst) * g * s.words as f64 * bw;
         inbox[s.dst.rank()].push(arrival, (mi, unpack_cost));
     }
 
@@ -372,6 +390,40 @@ mod tests {
         ];
         let st = superstep_timing(&t, &cfg, &[0.0, 0.0], &[0.0, 0.0], &sends);
         assert_eq!(st.send_done[0], 14.0);
+    }
+
+    #[test]
+    fn straggle_scale_inflates_send_and_unpack_only() {
+        let t = two_proc(1.0);
+        let cfg = NetConfig::ideal();
+        let sends = [SendIntent {
+            src: ProcId(0),
+            dst: ProcId(1),
+            words: 10,
+        }];
+        // P0's r is tripled for this step: send cost 30 instead of 10.
+        let st = superstep_timing_faulted(
+            &t,
+            &cfg,
+            &[0.0, 0.0],
+            &[50.0, 0.0],
+            &sends,
+            Some(&[3.0, 1.0]),
+        );
+        assert_eq!(st.compute_done, vec![50.0, 0.0], "compute unaffected");
+        assert_eq!(st.messages[0].arrival, 80.0, "50 + 3·1·10 words");
+        assert_eq!(st.finish[1], 90.0, "receiver unpacks at its own r");
+        // All-ones scale is bit-identical to the fault-free algebra.
+        let a = superstep_timing_faulted(
+            &t,
+            &cfg,
+            &[0.0, 0.0],
+            &[50.0, 0.0],
+            &sends,
+            Some(&[1.0, 1.0]),
+        );
+        let b = superstep_timing(&t, &cfg, &[0.0, 0.0], &[50.0, 0.0], &sends);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub mod prelude {
         MachineTree, ModelError, NodeIdx, NodeParams, Partition, ProcId, SuperstepCost,
         TreeBuilder,
     };
+    pub use hbsp_sim::{FaultPlan, SimError};
     pub use hbsplib::{
-        Ctx, Executor, Message, ProcEnv, Program, SpmdContext, StepOutcome, SyncScope,
+        Ctx, Executor, Message, ProcEnv, Program, RecoveryPolicy, SpmdContext, StepOutcome,
+        SyncScope,
     };
 }

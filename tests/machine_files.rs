@@ -135,6 +135,42 @@ fn broken_fixtures_name_their_defect() {
     );
 }
 
+/// The `undegradable.hbsp` fixture is the odd one out in `broken/`: it
+/// is *lint-clean* (a fully valid machine) but cannot survive every
+/// failure — its `solo` cluster has one processor, so that death
+/// empties the cluster and degradation must refuse with a typed error
+/// naming it.
+#[test]
+fn undegradable_fixture_is_valid_but_refuses_degradation() {
+    use hbsp::core::degrade::DegradeError;
+    use hbsp::prelude::*;
+
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/machines/broken/undegradable.hbsp"
+    ))
+    .unwrap();
+    let parsed = topology::parse_unvalidated(&text).unwrap();
+    let diags = hbsp::check::lint_with_spans(&parsed.tree, parsed.declared_k, &parsed.spans);
+    assert!(
+        diags.is_empty(),
+        "the fixture itself is lint-clean: {diags:?}"
+    );
+    let tree = topology::parse(&text).unwrap();
+
+    // Losing `solo`'s only processor is unrecoverable...
+    assert_eq!(
+        tree.degrade(&[ProcId(2)]).unwrap_err(),
+        DegradeError::ClusterEmptied {
+            name: "solo".to_string()
+        }
+    );
+    // ...while any death inside the two-processor `lan` degrades fine.
+    let d = tree.degrade(&[ProcId(0)]).unwrap();
+    d.tree.validate().unwrap();
+    assert_eq!(d.tree.num_procs(), 2);
+}
+
 /// `topology::parse` (the validating entry point) refuses the same
 /// files the linter flags, so nothing downstream ever sees them.
 #[test]
