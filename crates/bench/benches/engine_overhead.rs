@@ -1,28 +1,40 @@
 //! Per-superstep overhead of the threaded runtime's synchronization
-//! path, as a function of processor count and barrier implementation.
+//! path, as a function of processor count, barrier implementation, and
+//! telemetry probe state.
 //!
 //! The program under test does nothing per step — no work charged, no
 //! messages — so the measured wall time is pure engine overhead: thread
-//! rendezvous, leader-section coordination, and release. Each iteration
-//! runs `ROUNDS` supersteps; divide the reported time by `ROUNDS` for
-//! the per-superstep figure.
+//! rendezvous, leader-section coordination, release, and (in the
+//! probe-on rows) telemetry assembly. The probe-off column is the
+//! regression guard for the no-op probe path: attaching a disabled
+//! probe must not put telemetry on the hot path.
+//!
+//! ```text
+//! cargo bench -p hbsp-bench --bench engine_overhead -- \
+//!     [--json PATH] [--check BASELINE [--tolerance 0.05]] [--quick]
+//! ```
+//!
+//! `--json` writes the medians as a machine-readable baseline;
+//! `--check` compares this run's probe-off medians against a committed
+//! baseline (see `BENCH_engine_overhead.json`) and exits non-zero when
+//! any regresses by more than the tolerance.
 //!
 //! Machines are two-level HBSP^2 trees in clusters of at most 4, so the
 //! hierarchical barrier's combining tree has real interior nodes to
 //! exploit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hbsp_core::{
     MachineTree, ProcEnv, SpmdContext, SpmdProgram, StepOutcome, SyncScope, TreeBuilder,
 };
+use hbsp_obs::json::{parse, Value};
+use hbsp_obs::Recorder;
 use hbsp_runtime::{BarrierKind, ThreadedRuntime};
-use std::hint::black_box;
+use std::process::exit;
 use std::sync::Arc;
-use std::time::Duration;
 
 const ROUNDS: usize = 200;
 
-/// `ROUNDS` empty globally-synchronized supersteps.
+/// `ROUNDS` empty globally-synchronized supersteps (plus the drain).
 struct Spin;
 
 impl SpmdProgram for Spin {
@@ -56,24 +68,172 @@ fn clustered(p: usize) -> Arc<MachineTree> {
     Arc::new(TreeBuilder::two_level(1.0, 50.0, &clusters).expect("valid machine"))
 }
 
-fn bench_engine_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_overhead");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_millis(300));
+/// Median wall nanoseconds per superstep over `samples` runs.
+fn median_ns_per_step(rt: &ThreadedRuntime, samples: usize) -> f64 {
+    let steps = (ROUNDS + 1) as f64;
+    let mut measured: Vec<f64> = (0..samples)
+        .map(|_| {
+            let out = rt.run(&Spin).expect("spin program runs");
+            out.wall.as_nanos() as f64 / steps
+        })
+        .collect();
+    measured.sort_by(f64::total_cmp);
+    measured[measured.len() / 2]
+}
+
+struct Row {
+    p: usize,
+    barrier: &'static str,
+    probe: &'static str,
+    ns: f64,
+}
+
+fn run_matrix(samples: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
     for p in [2usize, 4, 8, 16] {
         let tree = clustered(p);
-        for (name, kind) in [
+        for (barrier, kind) in [
             ("central", BarrierKind::Central),
             ("hierarchical", BarrierKind::Hierarchical),
         ] {
-            let rt = ThreadedRuntime::new(Arc::clone(&tree)).barrier(kind);
-            group.bench_with_input(BenchmarkId::new(name, p), &rt, |b, rt| {
-                b.iter(|| black_box(rt.run(&Spin).expect("spin program runs")).wall)
-            });
+            for probe in ["off", "on"] {
+                let mut rt = ThreadedRuntime::new(Arc::clone(&tree)).barrier(kind);
+                if probe == "on" {
+                    rt = rt.probe(Arc::new(Recorder::new()));
+                }
+                let ns = median_ns_per_step(&rt, samples);
+                println!("p={p:>2} barrier={barrier:<12} probe={probe:<3} {ns:>10.0} ns/superstep");
+                rows.push(Row {
+                    p,
+                    barrier,
+                    probe,
+                    ns,
+                });
+            }
         }
     }
-    group.finish();
+    rows
 }
 
-criterion_group!(benches, bench_engine_overhead);
-criterion_main!(benches);
+fn to_json(rows: &[Row], samples: usize) -> String {
+    let mut out = String::from("{\"bench\":\"engine_overhead\",");
+    out.push_str(&format!("\"rounds\":{ROUNDS},\"samples\":{samples},"));
+    out.push_str("\"results\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"p\":{},\"barrier\":\"{}\",\"probe\":\"{}\",\"ns_per_superstep\":{:.1}}}",
+            r.p, r.barrier, r.probe, r.ns
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Compare this run's probe-off medians against a committed baseline;
+/// returns the regressions found.
+fn check_against(rows: &[Row], baseline: &Value, tolerance: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let empty = Vec::new();
+    let results = baseline
+        .get("results")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty);
+    for row in rows.iter().filter(|r| r.probe == "off") {
+        let base = results.iter().find_map(|v| {
+            let p = v.get("p").and_then(Value::as_f64)? as usize;
+            let barrier = v.get("barrier").and_then(Value::as_str)?;
+            let probe = v.get("probe").and_then(Value::as_str)?;
+            (p == row.p && barrier == row.barrier && probe == "off")
+                .then(|| v.get("ns_per_superstep").and_then(Value::as_f64))
+                .flatten()
+        });
+        let Some(base) = base else {
+            regressions.push(format!(
+                "baseline has no probe-off entry for p={} barrier={}",
+                row.p, row.barrier
+            ));
+            continue;
+        };
+        let limit = base * (1.0 + tolerance);
+        if row.ns > limit {
+            regressions.push(format!(
+                "p={} barrier={}: {:.0} ns/superstep exceeds baseline {:.0} by more than {:.0}%",
+                row.p,
+                row.barrier,
+                row.ns,
+                base,
+                tolerance * 100.0
+            ));
+        }
+    }
+    regressions
+}
+
+/// `cargo bench` runs with the package directory as cwd; resolve
+/// baseline paths that do not exist there against the workspace root so
+/// `--check BENCH_engine_overhead.json` works from either.
+fn resolve(path: &str) -> std::path::PathBuf {
+    let direct = std::path::PathBuf::from(path);
+    if direct.exists() {
+        return direct;
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(path);
+    if root.exists() {
+        root
+    } else {
+        direct
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.05f64;
+    let mut samples = 15usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_out = it.next().cloned(),
+            "--check" => check = it.next().cloned(),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance takes a fraction, e.g. 0.05")
+            }
+            "--quick" => samples = 5,
+            // `cargo bench` passes --bench; ignore it and any filter.
+            "--bench" => {}
+            _ => {}
+        }
+    }
+
+    let rows = run_matrix(samples);
+
+    if let Some(path) = &json_out {
+        std::fs::write(path, to_json(&rows, samples)).expect("write json baseline");
+        println!("baseline written to {path}");
+    }
+    if let Some(path) = &check {
+        let text = std::fs::read_to_string(resolve(path)).expect("read baseline");
+        let baseline = parse(&text).expect("baseline parses as JSON");
+        let regressions = check_against(&rows, &baseline, tolerance);
+        if regressions.is_empty() {
+            println!(
+                "probe-off medians within {:.0}% of {path}",
+                tolerance * 100.0
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("REGRESSION: {r}");
+            }
+            exit(1);
+        }
+    }
+}

@@ -2,11 +2,12 @@
 //! stack.
 //!
 //! ```text
-//! hbsp_chaos [--seed S] [--runs N] <machine.hbsp>...
+//! hbsp_chaos [--seed S] [--runs N] [--json] <machine.hbsp>...
 //!
 //! options:
 //!   --seed S   base seed for fault-plan generation   (default 0)
 //!   --runs N   fault plans per machine               (default 64)
+//!   --json     one JSONL record per machine × seed on stdout
 //! ```
 //!
 //! For every machine × seed, a deterministic random [`FaultPlan`]
@@ -41,9 +42,10 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hbsp_chaos [--seed S] [--runs N] <machine.hbsp>...\n\
+        "usage: hbsp_chaos [--seed S] [--runs N] [--json] <machine.hbsp>...\n\
          \x20 --seed S   base seed for fault-plan generation (default 0)\n\
-         \x20 --runs N   fault plans per machine (default 64)"
+         \x20 --runs N   fault plans per machine (default 64)\n\
+         \x20 --json     one JSONL record per machine × seed on stdout"
     );
     exit(2)
 }
@@ -99,9 +101,27 @@ fn digest(result: Result<(hbsplib::ExecOutcome, Vec<u64>), SimError>) -> RunDige
     }
 }
 
-/// One machine × one seed. Returns a violation description, or None.
-fn chaos_run(tree: &Arc<MachineTree>, seed: u64) -> Option<String> {
+/// What one machine × seed chaos run produced (for reporting).
+struct ChaosRecord {
+    /// A property-violation description, or None for a verified outcome.
+    violation: Option<String>,
+    /// Degradations performed by the recovering run.
+    recovery_events: usize,
+    /// Engine runs the recovering attempt needed (0 on typed refusal).
+    attempts: usize,
+    /// Supersteps of the final successful attempt (0 on refusal).
+    steps: usize,
+}
+
+/// One machine × one seed.
+fn chaos_run(tree: &Arc<MachineTree>, seed: u64) -> ChaosRecord {
     let plan = FaultPlan::random(seed, tree);
+    let mut rec_out = ChaosRecord {
+        violation: None,
+        recovery_events: 0,
+        attempts: 0,
+        steps: 0,
+    };
 
     // Property 1: both engines fail fast with identical outcomes.
     let sim = digest(
@@ -115,9 +135,10 @@ fn chaos_run(tree: &Arc<MachineTree>, seed: u64) -> Option<String> {
             .run(&Gossip),
     );
     if sim != thr {
-        return Some(format!(
+        rec_out.violation = Some(format!(
             "engine divergence under plan {plan:?}: simulator {sim:?} vs threads {thr:?}"
         ));
+        return rec_out;
     }
 
     // Property 2: degradation either verifiably completes or refuses
@@ -128,31 +149,35 @@ fn chaos_run(tree: &Arc<MachineTree>, seed: u64) -> Option<String> {
         .run_recovering(|_| Ok(Gossip));
     match recovering {
         Ok(rec) => {
+            rec_out.recovery_events = rec.report.events.len();
+            rec_out.attempts = rec.report.attempts;
+            rec_out.steps = rec.outcome.sim.num_steps();
             let lints = lint_machine(&rec.tree, None);
             if !lints.is_empty() {
-                return Some(format!(
+                rec_out.violation = Some(format!(
                     "degraded tree fails machine lints under plan {plan:?}: {lints:?}"
                 ));
+            } else if let Err(e) = rec.tree.validate() {
+                rec_out.violation = Some(format!("degraded tree fails validate: {e}"));
             }
-            if let Err(e) = rec.tree.validate() {
-                return Some(format!("degraded tree fails validate: {e}"));
-            }
-            None
         }
         // A typed refusal is a verified outcome: the machine could not
         // be degraded (or the fault was not a death), never a hang.
-        Err(_) => None,
+        Err(_) => {}
     }
+    rec_out
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 0;
     let mut runs: u64 = 64;
+    let mut json = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--json" => json = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -189,19 +214,39 @@ fn main() {
         };
         let mut ok_runs = 0u64;
         for i in 0..runs {
-            if let Some(v) = chaos_run(&tree, seed.wrapping_add(i)) {
-                eprintln!("{file}: seed {}: VIOLATION: {v}", seed.wrapping_add(i));
+            let s = seed.wrapping_add(i);
+            let rec = chaos_run(&tree, s);
+            if json {
+                use hbsp_obs::json::escape;
+                let (outcome, viol) = match &rec.violation {
+                    Some(v) => ("violation", format!(",\"violation\":\"{}\"", escape(v))),
+                    None => ("ok", String::new()),
+                };
+                println!(
+                    "{{\"kind\":\"chaos\",\"machine\":\"{}\",\"seed\":{s},\
+                     \"outcome\":\"{outcome}\"{viol},\"recovery_events\":{},\
+                     \"attempts\":{},\"steps\":{}}}",
+                    escape(file),
+                    rec.recovery_events,
+                    rec.attempts,
+                    rec.steps
+                );
+            }
+            if let Some(v) = rec.violation {
+                eprintln!("{file}: seed {s}: VIOLATION: {v}");
                 violations += 1;
             } else {
                 ok_runs += 1;
             }
         }
-        println!(
-            "{file}: {ok_runs}/{runs} chaos runs terminated with verified outcomes \
-             (HBSP^{}, {} processors)",
-            tree.height(),
-            tree.num_procs()
-        );
+        if !json {
+            println!(
+                "{file}: {ok_runs}/{runs} chaos runs terminated with verified outcomes \
+                 (HBSP^{}, {} processors)",
+                tree.height(),
+                tree.num_procs()
+            );
+        }
     }
     if violations > 0 {
         eprintln!("hbsp_chaos: {violations} violation(s) found");

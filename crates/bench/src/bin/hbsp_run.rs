@@ -18,6 +18,7 @@
 //!   --strategy <s>     flat | hier                     (default flat)
 //!   --phase <p>        one | two      (broadcast only; default two)
 //!   --trace            print a Gantt chart of the run
+//!   --json             emit one machine-readable JSON line instead
 //! ```
 //!
 //! Examples:
@@ -49,13 +50,14 @@ struct Options {
     strategy: Strategy,
     phase: PhasePolicy,
     trace: bool,
+    json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: hbsp_run <machine> <operation> [--kb N] [--root fastest|slowest|RANK]\n\
          \x20              [--workload equal|balanced|commaware] [--strategy flat|hier]\n\
-         \x20              [--phase one|two] [--trace]\n\
+         \x20              [--phase one|two] [--trace] [--json]\n\
          machine: testbed:<p> | testbed2 | <topology file>\n\
          operation: gather | broadcast | scatter | allgather | reduce | scan"
     );
@@ -88,6 +90,7 @@ fn parse_options(args: &[String]) -> Options {
         strategy: Strategy::Flat,
         phase: PhasePolicy::TwoPhase,
         trace: false,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -129,10 +132,25 @@ fn parse_options(args: &[String]) -> Options {
                 }
             }
             "--trace" => o.trace = true,
+            "--json" => o.json = true,
             _ => usage(),
         }
     }
     o
+}
+
+/// One machine-readable line (the JSONL record for `--json`).
+fn report_json(machine: &str, op: &str, sim: &SimOutcome) {
+    use hbsp_obs::json::{escape, num};
+    println!(
+        "{{\"kind\":\"run\",\"machine\":\"{}\",\"operation\":\"{}\",\
+         \"outcome\":\"ok\",\"model_time\":{},\"steps\":{},\"messages\":{}}}",
+        escape(machine),
+        escape(op),
+        num(sim.total_time),
+        sim.num_steps(),
+        sim.messages_delivered
+    );
 }
 
 fn report(sim: &SimOutcome) {
@@ -171,14 +189,16 @@ fn main() {
     let op = args[1].as_str();
     let o = parse_options(&args[2..]);
     let items = input_kb(o.kb);
-    println!(
-        "machine: HBSP^{} with {} processors; {} of {} KB ({} words)",
-        tree.height(),
-        tree.num_procs(),
-        op,
-        o.kb,
-        items.len()
-    );
+    if !o.json {
+        println!(
+            "machine: HBSP^{} with {} processors; {} of {} KB ({} words)",
+            tree.height(),
+            tree.num_procs(),
+            op,
+            o.kb,
+            items.len()
+        );
+    }
 
     let sim = match op {
         "gather" => {
@@ -250,5 +270,9 @@ fn main() {
         }
         _ => usage(),
     };
-    report(&sim);
+    if o.json {
+        report_json(&args[0], op, &sim);
+    } else {
+        report(&sim);
+    }
 }

@@ -1,0 +1,321 @@
+//! `hbsp_trace` — run a collective with telemetry on and export the
+//! evidence: spans, metrics, and a cost-model drift report.
+//!
+//! ```text
+//! hbsp_trace <machine> <operation> [options]
+//! hbsp_trace --validate <trace.json>
+//!
+//! machine:
+//!   testbed:<p>        the simulated UCF testbed with p processors (1-10)
+//!   testbed2           the HBSP^2 campus testbed
+//!   <path>             a topology DSL file (see hbsp-core::topology)
+//!
+//! operation: gather | broadcast | scatter | allgather
+//!
+//! options:
+//!   --kb <n>           problem size in KB of u32s      (default 100)
+//!   --strategy <s>     flat | hier                     (default flat)
+//!   --engine <e>       sim | threads                   (default sim)
+//!   --format <f>       chrome | jsonl                  (default chrome)
+//!   --out <file>       write the trace there instead of stdout
+//!   --gantt            also print the ASCII Gantt chart
+//!   --calibrate        also back-fit g, L, speeds and r from the run
+//! ```
+//!
+//! The run always prints the drift table (predicted vs observed per
+//! superstep) and the metrics snapshot to stderr, so stdout stays a
+//! clean trace stream when `--out` is omitted. `--format chrome` loads
+//! in Perfetto / `chrome://tracing`; `--validate` checks any Chrome
+//! trace file for well-formedness (sorted timestamps, balanced B/E or
+//! complete X events) and exits non-zero on violations.
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run -p hbsp-bench --bin hbsp_trace -- machines/campus.hbsp gather \
+//!     --strategy hier --engine threads --out trace.json
+//! cargo run -p hbsp-bench --bin hbsp_trace -- --validate trace.json
+//! ```
+
+use hbsp_bench::testbed::{hbsp2_testbed, input_kb, testbed};
+use hbsp_collectives::allgather::{lower_flat_allgather, lower_hierarchical_allgather};
+use hbsp_collectives::broadcast::{lower_broadcast, BroadcastPlan};
+use hbsp_collectives::drift::predicted_steps;
+use hbsp_collectives::gather::lower_gather;
+use hbsp_collectives::plan::{PhasePolicy, RootPolicy, Strategy, WorkloadPolicy};
+use hbsp_collectives::scatter::lower_scatter;
+use hbsp_collectives::schedule::{
+    execute, share_inits, CommSchedule, ProcInit, ScheduleProgram, UnitId,
+};
+use hbsp_core::{topology, MachineTree, ProcId};
+use hbsp_obs::{calibrate, DriftReport, Recorder};
+use hbsp_sim::{ascii_gantt, ProcTimeline};
+use hbsplib::Executor;
+use std::io::Write as _;
+use std::process::exit;
+use std::sync::Arc;
+
+struct Options {
+    kb: usize,
+    strategy: Strategy,
+    threads: bool,
+    chrome: bool,
+    out: Option<String>,
+    gantt: bool,
+    calibrate: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hbsp_trace <machine> <operation> [--kb N] [--strategy flat|hier]\n\
+         \x20                [--engine sim|threads] [--format chrome|jsonl]\n\
+         \x20                [--out FILE] [--gantt] [--calibrate]\n\
+         \x20      hbsp_trace --validate <trace.json>\n\
+         machine: testbed:<p> | testbed2 | <topology file>\n\
+         operation: gather | broadcast | scatter | allgather"
+    );
+    exit(2)
+}
+
+fn parse_machine(spec: &str) -> MachineTree {
+    if let Some(p) = spec.strip_prefix("testbed:") {
+        let p: usize = p.parse().unwrap_or_else(|_| usage());
+        return testbed(p).expect("testbed builds");
+    }
+    if spec == "testbed2" {
+        return hbsp2_testbed(60_000.0).expect("testbed builds");
+    }
+    let text = std::fs::read_to_string(spec).unwrap_or_else(|e| {
+        eprintln!("cannot read machine file `{spec}`: {e}");
+        exit(1)
+    });
+    topology::parse(&text).unwrap_or_else(|e| {
+        eprintln!("invalid machine description `{spec}`: {e}");
+        exit(1)
+    })
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut o = Options {
+        kb: 100,
+        strategy: Strategy::Flat,
+        threads: false,
+        chrome: true,
+        out: None,
+        gantt: false,
+        calibrate: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--kb" => {
+                o.kb = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--strategy" => {
+                o.strategy = match it.next().map(String::as_str) {
+                    Some("flat") => Strategy::Flat,
+                    Some("hier") => Strategy::Hierarchical,
+                    _ => usage(),
+                }
+            }
+            "--engine" => {
+                o.threads = match it.next().map(String::as_str) {
+                    Some("sim") => false,
+                    Some("threads") => true,
+                    _ => usage(),
+                }
+            }
+            "--format" => {
+                o.chrome = match it.next().map(String::as_str) {
+                    Some("chrome") => true,
+                    Some("jsonl") => false,
+                    _ => usage(),
+                }
+            }
+            "--out" => o.out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--gantt" => o.gantt = true,
+            "--calibrate" => o.calibrate = true,
+            _ => usage(),
+        }
+    }
+    o
+}
+
+/// Standalone validation mode: check a Chrome trace file and report.
+fn validate(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        exit(1)
+    });
+    match hbsp_obs::validate_chrome_trace(&text) {
+        Ok(check) => {
+            println!(
+                "{path}: OK — {} events ({} complete, {} begin/end pairs)",
+                check.events, check.complete, check.pairs
+            );
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            exit(1)
+        }
+    }
+}
+
+/// Lower `op` on `tree`, producing the schedule and each processor's
+/// initial data. The source-rooted collectives start with the fastest
+/// processor holding all `items`; the others start from per-processor
+/// shares.
+fn lower(
+    tree: &MachineTree,
+    op: &str,
+    items: &[u32],
+    strategy: Strategy,
+) -> (CommSchedule, Vec<ProcInit>) {
+    let n = items.len() as u64;
+    let full_at = |src: ProcId| -> Vec<ProcInit> {
+        (0..tree.num_procs())
+            .map(|j| {
+                if j == src.rank() {
+                    ProcInit {
+                        units: vec![(UnitId::new(0, n as u32), items.to_vec())],
+                        acc: None,
+                    }
+                } else {
+                    ProcInit::default()
+                }
+            })
+            .collect()
+    };
+    match op {
+        "gather" => {
+            let plan = hbsp_collectives::gather::GatherPlan {
+                root: RootPolicy::Fastest,
+                workload: WorkloadPolicy::Equal,
+                strategy,
+            };
+            let (sched, _root) = lower_gather(tree, n, plan).expect("fastest root resolves");
+            (sched, share_inits(tree, items, WorkloadPolicy::Equal))
+        }
+        "broadcast" => {
+            let plan = BroadcastPlan {
+                root: RootPolicy::Fastest,
+                strategy,
+                top_phase: PhasePolicy::TwoPhase,
+                cluster_phase: PhasePolicy::TwoPhase,
+                workload: WorkloadPolicy::Equal,
+            };
+            let (sched, src) = lower_broadcast(tree, n, &plan).expect("fastest root resolves");
+            (sched, full_at(src))
+        }
+        "scatter" => {
+            let root = RootPolicy::Fastest.resolve(tree).expect("fastest resolves");
+            let sched = lower_scatter(tree, n, root, WorkloadPolicy::Equal);
+            (sched, full_at(root))
+        }
+        "allgather" => {
+            let sched = match strategy {
+                Strategy::Flat => lower_flat_allgather(tree, n, WorkloadPolicy::Equal),
+                Strategy::Hierarchical => {
+                    lower_hierarchical_allgather(tree, n, WorkloadPolicy::Equal)
+                }
+            };
+            (sched, share_inits(tree, items, WorkloadPolicy::Equal))
+        }
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--validate") {
+        match args.get(1) {
+            Some(path) if args.len() == 2 => validate(path),
+            _ => usage(),
+        }
+    }
+    if args.len() < 2 {
+        usage();
+    }
+    let tree = parse_machine(&args[0]);
+    let op = args[1].as_str();
+    let o = parse_options(&args[2..]);
+    let items = input_kb(o.kb);
+
+    let (sched, inits) = lower(&tree, op, &items, o.strategy);
+    let predicted = predicted_steps(&tree, &sched);
+    let prog = ScheduleProgram::new(Arc::new(sched), Arc::new(inits), None);
+
+    let recorder = Arc::new(Recorder::new());
+    let tree = Arc::new(tree);
+    let exec = if o.threads {
+        Executor::threads(tree.clone())
+    } else {
+        Executor::simulator(tree.clone())
+    };
+    let (outcome, _states) = execute(&exec.probe(recorder.clone()), &prog).unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        exit(1)
+    });
+
+    eprintln!(
+        "machine: HBSP^{} with {} processors; {} of {} KB on the {}",
+        tree.height(),
+        tree.num_procs(),
+        op,
+        o.kb,
+        if o.threads {
+            "threaded runtime"
+        } else {
+            "simulator"
+        }
+    );
+    eprintln!("model time: {:.0}", outcome.total_time());
+
+    let steps = recorder.steps();
+    match DriftReport::new(&steps, &predicted) {
+        Ok(report) => eprintln!("\n{}", report.render()),
+        Err(e) => eprintln!("drift report unavailable: {e}"),
+    }
+    eprintln!("{}", recorder.metrics_text());
+
+    if o.gantt {
+        let timelines: Vec<ProcTimeline> = recorder
+            .timelines()
+            .into_iter()
+            .map(|(pid, spans)| ProcTimeline {
+                pid: ProcId(pid as u32),
+                spans,
+            })
+            .collect();
+        eprintln!("{}", ascii_gantt(&timelines, 72));
+    }
+    if o.calibrate {
+        match calibrate(&steps) {
+            Ok(cal) => eprintln!("{}", cal.render()),
+            Err(e) => eprintln!("calibration unavailable: {e}"),
+        }
+    }
+
+    let trace = if o.chrome {
+        recorder.chrome_trace()
+    } else {
+        recorder.jsonl()
+    };
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &trace).unwrap_or_else(|e| {
+                eprintln!("cannot write `{path}`: {e}");
+                exit(1)
+            });
+            eprintln!("trace written to {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            stdout.write_all(trace.as_bytes()).expect("stdout");
+        }
+    }
+}

@@ -46,6 +46,7 @@ pub mod allgather;
 pub mod alltoall;
 pub mod broadcast;
 pub mod data;
+pub mod drift;
 pub mod error;
 pub mod gather;
 pub mod plan;

@@ -19,6 +19,7 @@
 
 use hbsp_core::degrade::Degraded;
 use hbsp_core::{MachineTree, ProcId, SpmdProgram};
+use hbsp_obs::{ObsEvent, Probe};
 use hbsp_runtime::ThreadedRuntime;
 use hbsp_sim::{FaultPlan, NetConfig, SimError, SimOutcome, Simulator};
 use std::sync::Arc;
@@ -118,6 +119,7 @@ pub struct Executor {
     check: Option<bool>,
     faults: FaultPlan,
     recovery: RecoveryPolicy,
+    probe: Option<Arc<dyn Probe>>,
 }
 
 impl Executor {
@@ -130,6 +132,7 @@ impl Executor {
             check: None,
             faults: FaultPlan::new(),
             recovery: RecoveryPolicy::default(),
+            probe: None,
         }
     }
 
@@ -181,6 +184,17 @@ impl Executor {
         self
     }
 
+    /// Attach a telemetry [`Probe`] (e.g. [`hbsp_obs::Recorder`]):
+    /// every engine built by this executor publishes per-superstep
+    /// [`hbsp_obs::StepRecord`]s through it, and
+    /// [`Executor::run_recovering`] additionally reports degradations
+    /// and restart attempts as [`ObsEvent`]s. Both engines emit the
+    /// same schema; the threaded runtime adds wall-clock marks.
+    pub fn probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Choose what happens when a run dies with a fault-typed error.
     /// [`RecoveryPolicy::Degrade`] only takes effect through
     /// [`Executor::run_recovering`]; plain [`Executor::run`] always
@@ -213,6 +227,9 @@ impl Executor {
                 if let Some(chk) = self.check {
                     sim = sim.check(chk);
                 }
+                if let Some(p) = &self.probe {
+                    sim = sim.probe(p.clone());
+                }
                 let (out, states) = sim.run_with_states(prog)?;
                 Ok((
                     ExecOutcome {
@@ -230,6 +247,9 @@ impl Executor {
                 rt = rt.trace(self.trace).faults(faults.clone());
                 if let Some(chk) = self.check {
                     rt = rt.check(chk);
+                }
+                if let Some(p) = &self.probe {
+                    rt = rt.probe(p.clone());
                 }
                 let (out, states) = rt.run_with_states(prog)?;
                 Ok((
@@ -277,9 +297,17 @@ impl Executor {
         // Each degradation removes at least one processor, so p
         // attempts is a hard bound; the loop normally exits far
         // earlier.
+        let observing = self.probe.as_ref().is_some_and(|p| p.enabled());
         for _ in 0..=self.tree.num_procs() {
             let prog = factory(&tree)?;
             report.attempts += 1;
+            if observing && report.attempts > 1 {
+                if let Some(p) = &self.probe {
+                    p.on_event(&ObsEvent::RecoveryAttempt {
+                        attempt: report.attempts,
+                    });
+                }
+            }
             match self.run_once(&tree, &faults, &prog) {
                 Ok((outcome, states)) => {
                     return Ok(Recovered {
@@ -303,6 +331,15 @@ impl Executor {
                     })?;
                     faults = faults.remap(&rank_map);
                     report.steps_replayed += step;
+                    if observing {
+                        if let Some(p) = &self.probe {
+                            p.on_event(&ObsEvent::Degraded {
+                                step,
+                                dead: &dead,
+                                remaining: survivor.num_procs(),
+                            });
+                        }
+                    }
                     report.events.push(RecoveryEvent {
                         step,
                         error: err,

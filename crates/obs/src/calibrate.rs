@@ -1,0 +1,336 @@
+//! Closed-loop back-calibration of machine parameters from observed
+//! runs — the §5 BYTEmark idea in reverse.
+//!
+//! The paper *measures* `r_j` by benchmarking and then predicts; this
+//! module closes the loop: given recorded supersteps it recovers the
+//! parameters a cost model would have needed to produce the observed
+//! times.
+//!
+//! * `g` and the per-level `L` come from least squares over the step
+//!   equation `T_s − w_s = g·h_s + L_{level(s)}` (a drain step
+//!   contributes a `g`-only equation);
+//! * per-processor speeds come from charged work over observed compute
+//!   time, normalized so the fastest is 1;
+//! * per-processor `r` comes from observed send time over `ĝ·words`,
+//!   normalized so the smallest is 1 (the machine-file convention).
+//!
+//! The absolute scale of `r̂` depends on the sender-side pack constant
+//! (`NetConfig::send_byte_factor`), so its *ranking* is the trustworthy
+//! output — exactly how the paper uses BYTEmark.
+
+use crate::record::StepTrace;
+use hbsp_core::Level;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Parameters recovered from an observed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Fitted communication gap `ĝ`.
+    pub g: f64,
+    /// Fitted per-level synchronization cost `L̂`, for each barrier
+    /// level that appeared in the run.
+    pub l_by_level: Vec<(Level, f64)>,
+    /// Per-processor relative speed (fastest = 1; 0 when the processor
+    /// did no observable compute).
+    pub speed_by_proc: Vec<f64>,
+    /// Per-processor relative `r` (smallest = 1; 0 when the processor
+    /// sent no observable words).
+    pub r_by_proc: Vec<f64>,
+    /// Root-mean-square residual of the `g`/`L` fit, in model time.
+    pub residual_rms: f64,
+}
+
+impl Calibration {
+    /// Fitted `L` for `level`, if that level synchronized in the run.
+    pub fn l_at(&self, level: Level) -> Option<f64> {
+        self.l_by_level
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|(_, v)| *v)
+    }
+
+    /// Processor ranks ordered fastest-communicator first (by fitted
+    /// `r`, unobserved processors excluded) — the BYTEmark ranking.
+    pub fn r_ranking(&self) -> Vec<usize> {
+        let mut ranked: Vec<usize> = (0..self.r_by_proc.len())
+            .filter(|&i| self.r_by_proc[i] > 0.0)
+            .collect();
+        ranked.sort_by(|&a, &b| self.r_by_proc[a].total_cmp(&self.r_by_proc[b]));
+        ranked
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "calibrated g = {:.4}  (rms residual {:.3})",
+            self.g, self.residual_rms
+        );
+        for (level, l) in &self.l_by_level {
+            let _ = writeln!(out, "calibrated L[level {level}] = {l:.3}");
+        }
+        for (i, (s, r)) in self.speed_by_proc.iter().zip(&self.r_by_proc).enumerate() {
+            let _ = writeln!(out, "P{i}: speed {s:.4}, r {r:.4}");
+        }
+        out
+    }
+}
+
+/// Solve `min ‖Ax − y‖₂` via the normal equations (`A` is small: one
+/// row per superstep, one column per parameter). Returns `None` when
+/// the system is under-determined or numerically singular.
+fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let n = rows.first()?.len();
+    if rows.len() < n {
+        return None;
+    }
+    // ata = AᵀA (n×n), aty = Aᵀy.
+    let mut ata = vec![vec![0.0f64; n]; n];
+    let mut aty = vec![0.0f64; n];
+    for (row, &yi) in rows.iter().zip(y) {
+        for i in 0..n {
+            aty[i] += row[i] * yi;
+            for j in 0..n {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut m = ata;
+    let mut b = aty;
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&a, &c| m[a][col].abs().total_cmp(&m[c][col].abs()))?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        let pivot_row = m[col].clone();
+        for r in col + 1..n {
+            let f = m[r][col] / pivot_row[col];
+            for (mc, pc) in m[r][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *mc -= f * pc;
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut v = b[col];
+        for c in col + 1..n {
+            v -= m[col][c] * x[c];
+        }
+        x[col] = v / m[col][col];
+    }
+    Some(x)
+}
+
+/// Fit a [`Calibration`] to an observed run. Needs at least as many
+/// steps as unknowns (1 + number of distinct barrier levels) and
+/// enough variation in `h` to separate `g` from the `L`s.
+pub fn calibrate(steps: &[StepTrace]) -> Result<Calibration, String> {
+    if steps.is_empty() {
+        return Err("no observed steps to calibrate from".to_string());
+    }
+    let levels: BTreeSet<Level> = steps.iter().filter_map(|s| s.barrier).collect();
+    let level_col: Vec<Level> = levels.into_iter().collect();
+    let ncols = 1 + level_col.len();
+
+    let mut rows = Vec::with_capacity(steps.len());
+    let mut y = Vec::with_capacity(steps.len());
+    for st in steps {
+        let mut row = vec![0.0f64; ncols];
+        row[0] = st.hrelation;
+        if let Some(level) = st.barrier {
+            let idx = level_col.iter().position(|&l| l == level).unwrap();
+            row[1 + idx] = 1.0;
+        }
+        rows.push(row);
+        y.push(st.duration() - st.observed_work_time());
+    }
+    let x = least_squares(&rows, &y).ok_or_else(|| {
+        format!(
+            "calibration under-determined: {} steps cannot separate g from {} barrier level(s)",
+            steps.len(),
+            level_col.len()
+        )
+    })?;
+    let g = x[0];
+    let l_by_level: Vec<(Level, f64)> = level_col
+        .iter()
+        .zip(&x[1..])
+        .map(|(&l, &v)| (l, v))
+        .collect();
+
+    let residual_rms = {
+        let ss: f64 = rows
+            .iter()
+            .zip(&y)
+            .map(|(row, &yi)| {
+                let pred: f64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+                (yi - pred).powi(2)
+            })
+            .sum();
+        (ss / rows.len() as f64).sqrt()
+    };
+
+    let procs = steps.iter().map(StepTrace::procs).max().unwrap_or(0);
+    let mut work_units = vec![0.0f64; procs];
+    let mut compute_time = vec![0.0f64; procs];
+    let mut send_time = vec![0.0f64; procs];
+    let mut sent_words = vec![0u64; procs];
+    for st in steps {
+        for i in 0..st.procs() {
+            work_units[i] += st.work[i];
+            compute_time[i] += st.compute_done[i] - st.starts[i];
+            send_time[i] += st.send_done[i] - st.compute_done[i];
+            sent_words[i] += st.sent_words[i];
+        }
+    }
+    let mut speed_by_proc: Vec<f64> = (0..procs)
+        .map(|i| {
+            if compute_time[i] > 0.0 && work_units[i] > 0.0 {
+                work_units[i] / compute_time[i]
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let fastest = speed_by_proc.iter().copied().fold(0.0f64, f64::max);
+    if fastest > 0.0 {
+        for s in &mut speed_by_proc {
+            *s /= fastest;
+        }
+    }
+
+    let mut r_by_proc: Vec<f64> = (0..procs)
+        .map(|i| {
+            if g > 0.0 && sent_words[i] > 0 && send_time[i] > 0.0 {
+                send_time[i] / (g * sent_words[i] as f64)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let smallest = r_by_proc
+        .iter()
+        .copied()
+        .filter(|&r| r > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if smallest.is_finite() && smallest > 0.0 {
+        for r in &mut r_by_proc {
+            *r /= smallest;
+        }
+    }
+
+    Ok(Calibration {
+        g,
+        l_by_level,
+        speed_by_proc,
+        r_by_proc,
+        residual_rms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a synthetic barriered step consistent with parameters
+    /// `g`, `L`, per-proc speed and r: proc i computes `work/speed`,
+    /// sends for `r·g·words`, and the step lasts `w + g·h + L`.
+    fn synth_step(
+        step: usize,
+        level: Level,
+        g: f64,
+        l: f64,
+        h: f64,
+        work: &[f64],
+        speeds: &[f64],
+        rs: &[f64],
+        words: &[u64],
+        t0: f64,
+    ) -> StepTrace {
+        let p = work.len();
+        let starts = vec![t0; p];
+        let compute_done: Vec<f64> = (0..p).map(|i| t0 + work[i] / speeds[i]).collect();
+        let send_done: Vec<f64> = (0..p)
+            .map(|i| compute_done[i] + rs[i] * g * words[i] as f64)
+            .collect();
+        let w = (0..p).map(|i| work[i] / speeds[i]).fold(0.0f64, f64::max);
+        let release = t0 + w + g * h + l;
+        let finish = send_done.clone();
+        StepTrace {
+            step,
+            barrier: Some(level),
+            starts,
+            compute_done,
+            send_done,
+            finish,
+            releases: vec![release; p],
+            words_by_level: vec![0, words.iter().sum()],
+            messages_by_level: vec![0, p as u64],
+            hrelation: h,
+            work: work.to_vec(),
+            sent_words: words.to_vec(),
+            wall: None,
+        }
+    }
+
+    #[test]
+    fn recovers_exact_parameters_from_synthetic_run() {
+        let g = 2.5;
+        let l1 = 40.0;
+        let l2 = 300.0;
+        let speeds = [1.0, 0.5, 0.25];
+        let rs = [1.0, 2.0, 4.0];
+        let mut steps = Vec::new();
+        let mut t0 = 0.0;
+        for (i, (h, level)) in [(100.0, 1), (40.0, 1), (250.0, 2), (10.0, 2), (77.0, 1)]
+            .into_iter()
+            .enumerate()
+        {
+            let l = if level == 1 { l1 } else { l2 };
+            let work = [30.0, 20.0, 10.0];
+            let words = [50u64, 20, 5];
+            let st = synth_step(i, level, g, l, h, &work, &speeds, &rs, &words, t0);
+            t0 = st.releases[0];
+            steps.push(st);
+        }
+        let cal = calibrate(&steps).expect("fit succeeds");
+        assert!((cal.g - g).abs() < 1e-9, "ĝ = {}", cal.g);
+        assert!((cal.l_at(1).unwrap() - l1).abs() < 1e-9);
+        assert!((cal.l_at(2).unwrap() - l2).abs() < 1e-6);
+        assert!(cal.residual_rms < 1e-9);
+        for (i, &s) in speeds.iter().enumerate() {
+            assert!((cal.speed_by_proc[i] - s).abs() < 1e-9, "speed P{i}");
+        }
+        for (i, &r) in rs.iter().enumerate() {
+            assert!((cal.r_by_proc[i] - r).abs() < 1e-9, "r P{i}");
+        }
+        assert_eq!(cal.r_ranking(), vec![0, 1, 2]);
+        let text = cal.render();
+        assert!(text.contains("calibrated g"), "{text}");
+    }
+
+    #[test]
+    fn under_determined_fit_is_an_error() {
+        let st = synth_step(0, 1, 1.0, 5.0, 10.0, &[1.0], &[1.0], &[1.0], &[4], 0.0);
+        // One step, two unknowns (g and L[1]).
+        let err = calibrate(&[st]).unwrap_err();
+        assert!(err.contains("under-determined"), "{err}");
+        assert!(calibrate(&[]).is_err());
+    }
+
+    #[test]
+    fn constant_h_cannot_separate_g_from_l() {
+        // Two steps with identical h and level: infinitely many (g, L)
+        // fit; the normal equations are singular.
+        let a = synth_step(0, 1, 1.0, 5.0, 10.0, &[1.0], &[1.0], &[1.0], &[4], 0.0);
+        let mut b = a.clone();
+        b.step = 1;
+        assert!(calibrate(&[a, b]).is_err());
+    }
+}

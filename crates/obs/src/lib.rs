@@ -1,0 +1,44 @@
+//! # hbsp-obs — unified telemetry for both HBSP^k engines
+//!
+//! Section 5 of the paper validates the HBSP^k cost model by
+//! *measuring*: improvement factors over real runs, `r_j` rankings from
+//! BYTEmark. This crate is the measuring apparatus for our two engines:
+//!
+//! * **[`Probe`]** — one observation trait consumed by the virtual-time
+//!   `Simulator` and the wall-clock `ThreadedRuntime`. Both populate
+//!   the same [`StepRecord`] schema; the threaded engine adds
+//!   wall-clock marks. The default [`NoopProbe`] keeps the disabled
+//!   path off the hot path: engines assemble nothing unless
+//!   [`Probe::enabled`] returns true.
+//! * **[`Recorder`]** — the shipped probe: owned [`StepTrace`]s, a
+//!   lock-free [`metrics`] registry with stable names, and exporters to
+//!   Chrome trace-event JSON ([`chrome_trace`], loads in Perfetto) and
+//!   JSONL ([`jsonl`]).
+//! * **[`DriftReport`]** — observed supersteps folded against the cost
+//!   model's predictions for the same schedule: per-step and aggregate
+//!   model error.
+//! * **[`calibrate()`]** — least-squares back-calibration of `g`, the
+//!   per-level `L`, per-processor speeds and `r` from an observed run
+//!   (the closed loop on §5's benchmark-then-predict methodology).
+//!
+//! [`Span`]/[`SpanKind`] live here and are re-exported by `hbsp-sim`,
+//! so both engines and the exporters agree on one span schema.
+
+#![forbid(unsafe_code)]
+
+pub mod calibrate;
+pub mod drift;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod probe;
+pub mod record;
+pub mod span;
+
+pub use calibrate::{calibrate, Calibration};
+pub use drift::{DriftReport, DriftRow};
+pub use export::{chrome_trace, jsonl, validate_chrome_trace, TraceCheck};
+pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, Registry};
+pub use probe::{noop, NoopProbe, ObsEvent, Probe, StepRecord, StepWall};
+pub use record::{check_span_invariants, EventTrace, Recorder, StepTrace, StepWallTrace};
+pub use span::{Span, SpanKind};

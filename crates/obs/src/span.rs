@@ -1,0 +1,92 @@
+//! Activity spans — the atom of both engines' timelines.
+//!
+//! [`Span`] and [`SpanKind`] are the schema shared by the virtual-time
+//! `Simulator` and the wall-clock `ThreadedRuntime`: a processor's
+//! superstep decomposes into compute → send → unpack → barrier-wait
+//! intervals. `hbsp-sim` re-exports these types so existing
+//! `ProcTimeline` users are unaffected.
+
+/// What a processor was doing during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Charged local computation.
+    Compute,
+    /// Packing and posting outgoing messages.
+    Send,
+    /// Unpacking incoming messages (includes waiting for arrivals).
+    Unpack,
+    /// Waiting at the closing barrier.
+    BarrierWait,
+}
+
+impl SpanKind {
+    /// One-character glyph for the Gantt rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            SpanKind::Compute => 'C',
+            SpanKind::Send => 'S',
+            SpanKind::Unpack => 'U',
+            SpanKind::BarrierWait => '.',
+        }
+    }
+
+    /// Stable lowercase name used by the exporters (`compute`, `send`,
+    /// `unpack`, `barrier_wait`). Part of the telemetry contract.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::Send => "send",
+            SpanKind::Unpack => "unpack",
+            SpanKind::BarrierWait => "barrier_wait",
+        }
+    }
+}
+
+/// A half-open activity interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Activity.
+    pub kind: SpanKind,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+impl Span {
+    /// Span length.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_and_names_are_distinct() {
+        let kinds = [
+            SpanKind::Compute,
+            SpanKind::Send,
+            SpanKind::Unpack,
+            SpanKind::BarrierWait,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in kinds.iter().skip(i + 1) {
+                assert_ne!(a.glyph(), b.glyph());
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        let s = Span {
+            kind: SpanKind::Send,
+            start: 2.5,
+            end: 7.0,
+        };
+        assert_eq!(s.duration(), 4.5);
+    }
+}

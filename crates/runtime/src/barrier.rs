@@ -47,7 +47,12 @@ use std::time::{Duration, Instant};
 /// engine and mailboxes — every runtime lock maps poisoning into the
 /// typed abort path instead of cascading `PoisonError` unwraps.
 pub(crate) fn lock_anyway<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+    m.lock().unwrap_or_else(|e| {
+        // Count the recovery (process-global: the poisoning thread is
+        // gone, so nobody else can attribute it to a run).
+        hbsp_obs::metrics::record_poison_recovery();
+        e.into_inner()
+    })
 }
 
 struct Inner {

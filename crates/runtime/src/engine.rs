@@ -19,6 +19,7 @@
 use crate::barrier::{lock_anyway, BarrierKind, StepBarrier};
 use crate::mailbox::Mailbox;
 use hbsp_core::{MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome};
+use hbsp_obs::{ObsEvent, Probe, StepRecord, StepWall};
 use hbsp_sim::step::{analyze, delivery_order, resolve_outcomes};
 use hbsp_sim::timing::{barrier_release, superstep_timing_faulted};
 use hbsp_sim::trace::{step_spans, ProcTimeline};
@@ -61,6 +62,7 @@ pub struct ThreadedRuntime {
     check: bool,
     faults: FaultPlan,
     step_deadline: Option<Duration>,
+    probe: Arc<dyn Probe>,
 }
 
 /// One processor's per-superstep contribution, padded to its own cache
@@ -131,6 +133,12 @@ struct SlotData {
     /// [`SimError::ProcCrashed`], gathering *all* crashed ranks of the
     /// step), for the same publication-order reason.
     crashed: Option<usize>,
+    /// Wall-clock body start of the current step (ns since the run
+    /// began). Written by the owner thread only when a probe is
+    /// enabled; read by the leader when emitting a [`StepRecord`].
+    body_start_ns: u64,
+    /// Wall-clock body end (barrier arrival) of the current step.
+    body_end_ns: u64,
 }
 
 /// Run-level coordination state. Locked only inside the barrier's
@@ -163,6 +171,7 @@ impl ThreadedRuntime {
             check: cfg!(debug_assertions),
             faults: FaultPlan::new(),
             step_deadline: None,
+            probe: hbsp_obs::noop(),
         }
     }
 
@@ -177,7 +186,19 @@ impl ThreadedRuntime {
             check: cfg!(debug_assertions),
             faults: FaultPlan::new(),
             step_deadline: None,
+            probe: hbsp_obs::noop(),
         }
+    }
+
+    /// Attach a telemetry [`Probe`] (default: the no-op probe). When
+    /// enabled, the leader section emits one [`StepRecord`] per
+    /// superstep carrying the same virtual-time schema the simulator
+    /// produces *plus* wall-clock marks ([`StepWall`]) measured with
+    /// `Instant`; watchdog aborts surface as [`ObsEvent`]s. When
+    /// disabled nothing is assembled and the hot path is untouched.
+    pub fn probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Record per-processor activity timelines (see [`hbsp_sim::trace`]).
@@ -299,6 +320,8 @@ impl ThreadedRuntime {
                 let tree = &self.tree;
                 let cfg = &self.cfg;
                 let faults = &self.faults;
+                let probe = &self.probe;
+                let observing = self.probe.enabled();
                 let step_limit = self.step_limit;
                 let user_deadline = self.step_deadline;
                 handles.push(scope.spawn(move || {
@@ -318,6 +341,7 @@ impl ThreadedRuntime {
                                         leader_state,
                                         mailboxes,
                                         failed,
+                                        &**probe,
                                     );
                                     break;
                                 }
@@ -344,6 +368,13 @@ impl ThreadedRuntime {
                             // the other threads at the barrier: contain
                             // it, report a typed error, and let
                             // everyone unwind together.
+                            if observing {
+                                // SAFETY: this thread owns slot `i`
+                                // outside the leader section (ProcSlot
+                                // protocol).
+                                unsafe { slots[i].slot() }.body_start_ns =
+                                    began.elapsed().as_nanos() as u64;
+                            }
                             let mut ctx = ThreadCtx {
                                 env: &env,
                                 inbox: mailboxes[i].take(),
@@ -357,6 +388,9 @@ impl ThreadedRuntime {
                             // SAFETY: this thread owns slot `i` outside
                             // the leader section (ProcSlot protocol).
                             let slot = unsafe { slots[i].slot() };
+                            if observing {
+                                slot.body_end_ns = began.elapsed().as_nanos() as u64;
+                            }
                             slot.work = ctx.work;
                             slot.sends = ctx.outbox;
                             slot.outcome = Some(match body {
@@ -398,7 +432,14 @@ impl ThreadedRuntime {
                                         .map(|j| ProcId(j as u32))
                                         .collect()
                                 };
-                                record_timeout(missing, step, leader_state, mailboxes, failed);
+                                record_timeout(
+                                    missing,
+                                    step,
+                                    leader_state,
+                                    mailboxes,
+                                    failed,
+                                    &**probe,
+                                );
                             },
                             || {
                                 let ok =
@@ -413,7 +454,7 @@ impl ThreadedRuntime {
                                         }
                                         leader_step(
                                             tree, cfg, faults, mailboxes, slots, step, &mut ls,
-                                            finished, failed,
+                                            finished, failed, &**probe, began,
                                         );
                                     }));
                                 if ok.is_err() {
@@ -491,9 +532,18 @@ fn record_timeout(
     leader_state: &Mutex<LeaderState>,
     mailboxes: &[Mailbox],
     failed: &AtomicBool,
+    probe: &dyn Probe,
 ) {
     let mut ls = lock_anyway(leader_state);
     if ls.error.is_none() {
+        // First writer wins for the event too: the self-report fallback
+        // runs the same path, and the firing must be counted once.
+        if probe.enabled() {
+            probe.on_event(&ObsEvent::WatchdogFired {
+                step,
+                missing: &missing,
+            });
+        }
         ls.error = Some(SimError::BarrierTimeout { missing, step });
     }
     drop(ls);
@@ -544,6 +594,8 @@ fn leader_step(
     ls: &mut LeaderState,
     finished: &AtomicBool,
     failed: &AtomicBool,
+    probe: &dyn Probe,
+    began: Instant,
 ) {
     let p = tree.num_procs();
     // Translate scripted crashes first — the simulator diagnoses a
@@ -646,6 +698,18 @@ fn leader_step(
 
     match scope {
         None => {
+            emit_step_record(
+                probe,
+                step,
+                None,
+                &ls.starts,
+                &timing,
+                &timing.finish,
+                &analysis,
+                &work,
+                slots,
+                began,
+            );
             ls.steps.push(StepStats {
                 step,
                 scope: hbsp_core::SyncScope::global(tree),
@@ -668,6 +732,18 @@ fn leader_step(
             if let Some(tls) = ls.timelines.as_mut() {
                 step_spans(tls, &ls.starts, &timing, &releases);
             }
+            emit_step_record(
+                probe,
+                step,
+                Some(s.level()),
+                &ls.starts,
+                &timing,
+                &releases,
+                &analysis,
+                &work,
+                slots,
+                began,
+            );
             ls.steps.push(StepStats {
                 step,
                 scope: s,
@@ -697,6 +773,63 @@ fn leader_step(
             ls.starts = releases;
         }
     }
+}
+
+/// Assemble and publish the superstep's telemetry record, pairing the
+/// shared virtual-time decomposition with this engine's wall-clock
+/// marks. Runs inside the leader section (the body marks in the slots
+/// are leader-readable there); when the probe is disabled nothing is
+/// assembled at all, keeping telemetry off the per-step cost.
+#[allow(clippy::too_many_arguments)]
+fn emit_step_record(
+    probe: &dyn Probe,
+    step: usize,
+    barrier: Option<hbsp_core::Level>,
+    starts: &[f64],
+    timing: &hbsp_sim::timing::StepTiming,
+    releases: &[f64],
+    analysis: &hbsp_sim::step::StepAnalysis,
+    work: &[f64],
+    slots: &[ProcSlot],
+    began: Instant,
+) {
+    if !probe.enabled() {
+        return;
+    }
+    let p = starts.len();
+    let words: Vec<u64> = analysis.traffic.iter().map(|t| t.words).collect();
+    let messages: Vec<u64> = analysis.traffic.iter().map(|t| t.messages).collect();
+    let mut sent = vec![0u64; p];
+    for intent in &analysis.intents {
+        sent[intent.src.rank()] += intent.words;
+    }
+    let mut body_start_ns = vec![0u64; p];
+    let mut body_end_ns = vec![0u64; p];
+    for (i, slot) in slots.iter().enumerate().take(p) {
+        // SAFETY: leader section — the leader owns every slot.
+        let slot = unsafe { slot.slot() };
+        body_start_ns[i] = slot.body_start_ns;
+        body_end_ns[i] = slot.body_end_ns;
+    }
+    probe.on_step(&StepRecord {
+        step,
+        barrier,
+        starts,
+        compute_done: &timing.compute_done,
+        send_done: &timing.send_done,
+        finish: &timing.finish,
+        releases,
+        words_by_level: &words,
+        messages_by_level: &messages,
+        hrelation: analysis.hrelation,
+        work,
+        sent_words: &sent,
+        wall: Some(StepWall {
+            body_start_ns: &body_start_ns,
+            body_end_ns: &body_end_ns,
+            leader_done_ns: began.elapsed().as_nanos() as u64,
+        }),
+    });
 }
 
 /// The runtime's per-processor superstep context.
@@ -921,6 +1054,8 @@ mod tests {
             &mut ls,
             &finished,
             &failed,
+            &hbsp_obs::NoopProbe,
+            Instant::now(),
         );
         assert!(failed.load(Ordering::Acquire));
         assert_eq!(ls.error, Some(SimError::TerminationMismatch { step: 3 }));

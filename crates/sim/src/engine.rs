@@ -11,6 +11,7 @@ use crate::trace::{step_spans, ProcTimeline};
 use hbsp_core::{
     MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope,
 };
+use hbsp_obs::{ObsEvent, Probe, StepRecord};
 use std::sync::Arc;
 
 /// Result of a simulated program run.
@@ -78,6 +79,7 @@ pub struct Simulator {
     check: bool,
     faults: FaultPlan,
     step_deadline: Option<f64>,
+    probe: Arc<dyn Probe>,
 }
 
 impl Simulator {
@@ -91,6 +93,7 @@ impl Simulator {
             check: cfg!(debug_assertions),
             faults: FaultPlan::new(),
             step_deadline: None,
+            probe: hbsp_obs::noop(),
         }
     }
 
@@ -104,6 +107,7 @@ impl Simulator {
             check: cfg!(debug_assertions),
             faults: FaultPlan::new(),
             step_deadline: None,
+            probe: hbsp_obs::noop(),
         }
     }
 
@@ -135,6 +139,17 @@ impl Simulator {
     /// fault runs stay reproducible across engines.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self
+    }
+
+    /// Attach a telemetry [`Probe`] (default: the no-op probe). When
+    /// the probe reports itself enabled the simulator emits one
+    /// [`StepRecord`] per superstep in **virtual time** (the same
+    /// schema the threaded runtime fills with wall-clock marks added)
+    /// plus [`ObsEvent`]s for watchdog aborts; when disabled nothing
+    /// is assembled.
+    pub fn probe(mut self, probe: Arc<dyn Probe>) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -201,6 +216,12 @@ impl Simulator {
             // before any body runs.
             let stalled = self.faults.stalled_at(step);
             if !stalled.is_empty() {
+                if self.probe.enabled() {
+                    self.probe.on_event(&ObsEvent::WatchdogFired {
+                        step,
+                        missing: &stalled,
+                    });
+                }
                 return Err(SimError::BarrierTimeout {
                     missing: stalled,
                     step,
@@ -269,6 +290,12 @@ impl Simulator {
                     .map(|i| ProcId(i as u32))
                     .collect();
                 if !missing.is_empty() {
+                    if self.probe.enabled() {
+                        self.probe.on_event(&ObsEvent::WatchdogFired {
+                            step,
+                            missing: &missing,
+                        });
+                    }
                     return Err(SimError::BarrierTimeout { missing, step });
                 }
             }
@@ -278,6 +305,15 @@ impl Simulator {
                     // Program over. Messages posted in the final step have
                     // no next superstep to land in; count them as traffic
                     // but they are never readable.
+                    self.emit_step_record(
+                        step,
+                        None,
+                        &starts,
+                        &timing,
+                        &timing.finish,
+                        &analysis,
+                        &work,
+                    );
                     steps.push(StepStats {
                         step,
                         scope: SyncScope::global(&self.tree),
@@ -307,6 +343,15 @@ impl Simulator {
                     if let Some(tls) = &mut timelines {
                         step_spans(tls, &starts, &timing, &releases);
                     }
+                    self.emit_step_record(
+                        step,
+                        Some(s.level()),
+                        &starts,
+                        &timing,
+                        &releases,
+                        &analysis,
+                        &work,
+                    );
                     let release_max = releases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                     steps.push(StepStats {
                         step,
@@ -340,6 +385,45 @@ impl Simulator {
     /// Execute `prog` to completion, discarding final states.
     pub fn run<P: SpmdProgram>(&self, prog: &P) -> Result<SimOutcome, SimError> {
         self.run_with_states(prog).map(|(o, _)| o)
+    }
+
+    /// Assemble and emit one [`StepRecord`] — only when the probe asks
+    /// for it, keeping the disabled path allocation-free.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_step_record(
+        &self,
+        step: usize,
+        barrier: Option<hbsp_core::Level>,
+        starts: &[f64],
+        timing: &crate::timing::StepTiming,
+        releases: &[f64],
+        analysis: &crate::step::StepAnalysis,
+        work: &[f64],
+    ) {
+        if !self.probe.enabled() {
+            return;
+        }
+        let words: Vec<u64> = analysis.traffic.iter().map(|t| t.words).collect();
+        let messages: Vec<u64> = analysis.traffic.iter().map(|t| t.messages).collect();
+        let mut sent = vec![0u64; starts.len()];
+        for intent in &analysis.intents {
+            sent[intent.src.rank()] += intent.words;
+        }
+        self.probe.on_step(&StepRecord {
+            step,
+            barrier,
+            starts,
+            compute_done: &timing.compute_done,
+            send_done: &timing.send_done,
+            finish: &timing.finish,
+            releases,
+            words_by_level: &words,
+            messages_by_level: &messages,
+            hrelation: analysis.hrelation,
+            work,
+            sent_words: &sent,
+            wall: None,
+        });
     }
 }
 

@@ -11,48 +11,10 @@ use crate::timing::StepTiming;
 use hbsp_core::ProcId;
 use std::fmt::Write as _;
 
-/// What a processor was doing during a span.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SpanKind {
-    /// Charged local computation.
-    Compute,
-    /// Packing and posting outgoing messages.
-    Send,
-    /// Unpacking incoming messages (includes waiting for arrivals).
-    Unpack,
-    /// Waiting at the closing barrier.
-    BarrierWait,
-}
-
-impl SpanKind {
-    /// One-character glyph for the Gantt rendering.
-    pub fn glyph(self) -> char {
-        match self {
-            SpanKind::Compute => 'C',
-            SpanKind::Send => 'S',
-            SpanKind::Unpack => 'U',
-            SpanKind::BarrierWait => '.',
-        }
-    }
-}
-
-/// A half-open activity interval `[start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Span {
-    /// Activity.
-    pub kind: SpanKind,
-    /// Start time.
-    pub start: f64,
-    /// End time.
-    pub end: f64,
-}
-
-impl Span {
-    /// Span length.
-    pub fn duration(&self) -> f64 {
-        self.end - self.start
-    }
-}
+// The span schema lives in `hbsp-obs` (both engines and the exporters
+// share it); re-exported here so `hbsp_sim::{Span, SpanKind}` keeps
+// working.
+pub use hbsp_obs::{Span, SpanKind};
 
 /// One processor's activity over the whole run.
 #[derive(Debug, Clone)]

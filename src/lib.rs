@@ -12,6 +12,9 @@
 //!   simulator standing in for the paper's PVM testbed;
 //! * [`hbsp_runtime`] (`hbsp::runtime`) — a threaded SPMD superstep runtime with
 //!   hierarchical barriers;
+//! * [`hbsp_obs`] (`hbsp::obs`) — unified telemetry for both engines: the
+//!   `Probe` trait, span/metric schemas, Chrome-trace/JSONL exporters,
+//!   cost-model drift reports, and parameter back-calibration;
 //! * [`hbsplib`] (`hbsp::lib`) — HBSPlib, a BSPlib-style programming API that runs
 //!   the same program on either engine;
 //! * [`hbsp_collectives`] (`hbsp::collectives`) — the paper's gather and one-/two-
@@ -51,6 +54,7 @@ pub use hbsp_bench as bench;
 pub use hbsp_check as check;
 pub use hbsp_collectives as collectives;
 pub use hbsp_core as core;
+pub use hbsp_obs as obs;
 pub use hbsp_runtime as runtime;
 pub use hbsp_sim as sim;
 pub use hbsplib as lib;
@@ -65,6 +69,7 @@ pub mod prelude {
         MachineTree, ModelError, NodeIdx, NodeParams, Partition, ProcId, SuperstepCost,
         TreeBuilder,
     };
+    pub use hbsp_obs::{Probe, Recorder};
     pub use hbsp_sim::{FaultPlan, SimError};
     pub use hbsplib::{
         Ctx, Executor, Message, ProcEnv, Program, RecoveryPolicy, SpmdContext, StepOutcome,

@@ -1,0 +1,288 @@
+//! Telemetry contract tests: both engines publish the same span and
+//! metric schema through one [`Probe`], the observed h-relation agrees
+//! with every other h the stack computes, span invariants hold on
+//! random machines, and calibration recovers parameter rankings.
+
+mod common;
+
+use common::arb_machine;
+use hbsp::prelude::*;
+use hbsp_collectives::drift::predicted_steps;
+use hbsp_collectives::gather::lower_hierarchical_gather;
+use hbsp_collectives::plan::WorkloadPolicy;
+use hbsp_collectives::schedule::{execute, share_inits, ScheduleProgram};
+use hbsp_core::topology;
+use hbsp_obs::{calibrate, check_span_invariants, DriftReport, MetricValue, SpanKind};
+use hbsp_sim::NetConfig;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small mixed workload: every processor charges pid-dependent work
+/// and exchanges pid-and-step-dependent payloads, so compute, send,
+/// unpack and barrier-wait spans are all non-trivial.
+struct Exchange {
+    rounds: usize,
+}
+
+impl Program for Exchange {
+    type State = u64;
+    fn init(&self, _env: &ProcEnv) -> u64 {
+        0
+    }
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut u64,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        for m in ctx.messages() {
+            *state = state.wrapping_add(m.payload.len() as u64);
+        }
+        if step >= self.rounds {
+            return StepOutcome::Done;
+        }
+        ctx.charge(10.0 * (env.pid.rank() + 1) as f64);
+        let peer = ProcId(((env.pid.rank() + 1) % env.nprocs) as u32);
+        ctx.send(peer, 7, vec![0xAB; 8 * (step + 1) * (env.pid.rank() + 1)]);
+        StepOutcome::Continue(SyncScope::global(&env.tree))
+    }
+}
+
+fn clustered() -> Arc<MachineTree> {
+    Arc::new(
+        TreeBuilder::two_level(
+            2.0,
+            500.0,
+            &[
+                (50.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                (60.0, vec![(1.5, 0.8), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap(),
+    )
+}
+
+fn campus() -> Arc<MachineTree> {
+    let text = std::fs::read_to_string("machines/campus.hbsp").expect("campus machine file");
+    Arc::new(topology::parse(&text).expect("campus machine parses"))
+}
+
+/// Satellite: both engines produce the same span *sequence* — same
+/// kinds in the same per-step order for every processor — and in fact
+/// identical virtual-time telemetry records; only the wall-clock marks
+/// differ (absent on the simulator, present on the threaded runtime).
+#[test]
+fn engines_emit_identical_virtual_telemetry() {
+    let prog = Exchange { rounds: 3 };
+    let sim_rec = Arc::new(Recorder::new());
+    let thr_rec = Arc::new(Recorder::new());
+    Executor::simulator(clustered())
+        .probe(sim_rec.clone())
+        .run(&prog)
+        .unwrap();
+    Executor::threads(clustered())
+        .probe(thr_rec.clone())
+        .run(&prog)
+        .unwrap();
+
+    let sim_steps = sim_rec.steps();
+    let thr_steps = thr_rec.steps();
+    assert_eq!(sim_steps.len(), thr_steps.len());
+    assert!(!sim_steps.is_empty());
+    for (s, t) in sim_steps.iter().zip(&thr_steps) {
+        // Same span sequence per processor: kinds and ordering.
+        for pid in 0..s.procs() {
+            let sim_kinds: Vec<SpanKind> = s.spans(pid).iter().map(|sp| sp.kind).collect();
+            let thr_kinds: Vec<SpanKind> = t.spans(pid).iter().map(|sp| sp.kind).collect();
+            assert_eq!(sim_kinds, thr_kinds, "step {} pid {pid}", s.step);
+            // Virtual times are bit-identical across engines.
+            assert_eq!(s.spans(pid), t.spans(pid), "step {} pid {pid}", s.step);
+        }
+        // The whole virtual-time record matches field by field.
+        assert_eq!(s.step, t.step);
+        assert_eq!(s.barrier, t.barrier);
+        assert_eq!(s.starts, t.starts);
+        assert_eq!(s.compute_done, t.compute_done);
+        assert_eq!(s.send_done, t.send_done);
+        assert_eq!(s.finish, t.finish);
+        assert_eq!(s.releases, t.releases);
+        assert_eq!(s.words_by_level, t.words_by_level);
+        assert_eq!(s.messages_by_level, t.messages_by_level);
+        assert_eq!(s.hrelation, t.hrelation);
+        assert_eq!(s.work, t.work);
+        assert_eq!(s.sent_words, t.sent_words);
+        // Wall marks are the engines' one legitimate difference.
+        assert!(s.wall.is_none(), "simulator has no wall clock");
+        let wall = t.wall.as_ref().expect("threaded runtime records wall");
+        assert_eq!(wall.body_start_ns.len(), t.procs());
+        assert!(t.wall_spans(0).last().unwrap().kind == SpanKind::BarrierWait);
+    }
+}
+
+/// The observed h-relation must be one number, however you ask for it:
+/// the probe's [`hbsp_obs::StepTrace`], the engine's `StepStats`, and —
+/// for a lowered `CommSchedule` interpreted by `ScheduleProgram` — the
+/// cost model's `predict()`-consistent per-step h, up to the bundle
+/// headers the wire adds and the model abstracts.
+#[test]
+fn three_sources_agree_on_hrelation() {
+    let tree = campus();
+    let items: Vec<u32> = (0..20_000).collect();
+    let sched = lower_hierarchical_gather(&tree, items.len() as u64, WorkloadPolicy::Equal);
+    let predicted = predicted_steps(&tree, &sched);
+    let inits = share_inits(&tree, &items, WorkloadPolicy::Equal);
+    let prog = ScheduleProgram::new(Arc::new(sched), Arc::new(inits), None);
+
+    let rec = Arc::new(Recorder::new());
+    let exec = Executor::simulator(tree.clone()).probe(rec.clone());
+    let (outcome, _) = execute(&exec, &prog).unwrap();
+
+    let steps = rec.steps();
+    assert_eq!(steps.len(), outcome.sim.steps.len());
+    assert_eq!(steps.len(), predicted.len());
+    for (i, trace) in steps.iter().enumerate() {
+        // Source 1 == source 2, exactly: the probe observes the same
+        // analysis the engine reports in StepStats.
+        assert_eq!(trace.hrelation, outcome.sim.steps[i].hrelation, "step {i}");
+        // Source 3: the model's h for the same schedule step differs
+        // only by the r-weighted wire headers of the step's bundles
+        // (1 + 2·units words each) — under 1% of 20k data words here.
+        let slack = 0.01 * predicted[i].h + 1e-9;
+        assert!(
+            (trace.hrelation - predicted[i].h).abs() <= slack,
+            "step {i}: observed h {} vs predicted h {} (slack {slack})",
+            trace.hrelation,
+            predicted[i].h
+        );
+    }
+
+    // The drift report binds them: per-step rows plus aggregate error.
+    let report = DriftReport::new(&steps, &predicted).unwrap();
+    assert_eq!(report.rows.len(), steps.len());
+    assert!(report.aggregate_rel_error().is_finite());
+    let rendered = report.render();
+    assert!(rendered.contains("aggregate:"), "{rendered}");
+}
+
+/// Metric counters must agree with the outcome the engine reports.
+#[test]
+fn metrics_match_outcome() {
+    let rec = Arc::new(Recorder::new());
+    let (out, _) = Executor::simulator(clustered())
+        .probe(rec.clone())
+        .run(&Exchange { rounds: 3 })
+        .unwrap();
+    let find = |name: &str| -> u64 {
+        match rec
+            .metrics()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("metric {name} published"))
+            .value
+        {
+            MetricValue::Counter(v) => v,
+            other => panic!("{name} is {other:?}"),
+        }
+    };
+    assert_eq!(find("hbsp_steps_total") as usize, out.sim.num_steps());
+    assert_eq!(find("hbsp_messages_total"), out.sim.messages_delivered);
+    assert_eq!(find("hbsp_watchdog_firings_total"), 0);
+    let total_words: u64 = rec.steps().iter().map(|s| s.total_words()).sum();
+    assert_eq!(find("hbsp_words_total"), total_words);
+    assert!(total_words > 0);
+}
+
+/// Watchdog firings and degradations surface as events and counters.
+#[test]
+fn recovery_shows_up_in_telemetry() {
+    let rec = Arc::new(Recorder::new());
+    let recovered = Executor::threads(clustered())
+        .faults(FaultPlan::new().stall(ProcId(3), 1))
+        .recovery(RecoveryPolicy::Degrade)
+        .probe(rec.clone())
+        .run_recovering(|_| Ok(Exchange { rounds: 2 }))
+        .unwrap();
+    assert!(!recovered.report.clean());
+    let names: Vec<String> = rec
+        .metrics()
+        .into_iter()
+        .filter(|s| matches!(s.value, MetricValue::Counter(v) if v > 0))
+        .map(|s| s.name)
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "hbsp_watchdog_firings_total"),
+        "watchdog fired: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "hbsp_degrade_events_total"),
+        "degrade counted: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "hbsp_recovery_attempts_total"),
+        "restart counted: {names:?}"
+    );
+}
+
+/// Calibration under an ideal network recovers the machine's `r`
+/// ranking from observed spans alone.
+#[test]
+fn calibration_ranks_r_under_ideal_network() {
+    let tree =
+        Arc::new(TreeBuilder::flat(2.0, 100.0, &[(1.0, 1.0), (2.0, 1.0), (4.0, 1.0)]).unwrap());
+    let rec = Arc::new(Recorder::new());
+    Executor::simulator_with(tree, NetConfig::ideal())
+        .probe(rec.clone())
+        .run(&Exchange { rounds: 4 })
+        .unwrap();
+    let cal = calibrate(&rec.steps()).expect("enough observations to fit");
+    let ranking = cal.r_ranking();
+    assert_eq!(
+        ranking,
+        vec![0, 1, 2],
+        "fitted r ascends with true r: {ranking:?}"
+    );
+    assert!(cal.g > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Span invariants on the simulator, over random HBSP^1–3 machines:
+    /// per-processor spans are non-overlapping, monotonically ordered,
+    /// cover `[start, release)` with no gaps, and every barriered step
+    /// ends in a BarrierWait span.
+    #[test]
+    fn span_invariants_hold_on_simulator(tree in arb_machine(), rounds in 1usize..4) {
+        let rec = Arc::new(Recorder::new());
+        Executor::simulator(Arc::new(tree))
+            .probe(rec.clone())
+            .run(&Exchange { rounds })
+            .unwrap();
+        let steps = rec.steps();
+        prop_assert_eq!(steps.len(), rounds + 1);
+        if let Err(e) = check_span_invariants(&steps) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same invariants on the threaded runtime (fewer cases: each
+    /// run spawns real threads).
+    #[test]
+    fn span_invariants_hold_on_threads(tree in arb_machine(), rounds in 1usize..3) {
+        let rec = Arc::new(Recorder::new());
+        Executor::threads(Arc::new(tree))
+            .probe(rec.clone())
+            .run(&Exchange { rounds })
+            .unwrap();
+        let steps = rec.steps();
+        prop_assert_eq!(steps.len(), rounds + 1);
+        if let Err(e) = check_span_invariants(&steps) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+}
