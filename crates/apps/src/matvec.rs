@@ -103,8 +103,8 @@ impl SpmdProgram for MatVec {
                             let mut payload = Vec::with_capacity(rows.len() + 1);
                             payload.push(range.start as f64);
                             payload.extend_from_slice(rows);
-                            ctx.send(q, TAG_ROWS, codec::encode_f64s(&payload));
-                            ctx.send(q, TAG_X, codec::encode_f64s(&self.x));
+                            ctx.send(q, TAG_ROWS, &codec::encode_f64s(&payload));
+                            ctx.send(q, TAG_X, &codec::encode_f64s(&self.x));
                         }
                     }
                 }
@@ -115,11 +115,11 @@ impl SpmdProgram for MatVec {
                 for m in ctx.messages() {
                     match m.tag {
                         TAG_ROWS => {
-                            let payload = codec::decode_f64s(&m.payload);
+                            let payload = codec::decode_f64s(m.payload);
                             state.row_offset = payload[0] as usize;
                             state.rows = payload[1..].to_vec();
                         }
-                        TAG_X => state.x = codec::decode_f64s(&m.payload),
+                        TAG_X => state.x = codec::decode_f64s(m.payload),
                         _ => {}
                     }
                 }
@@ -136,7 +136,7 @@ impl SpmdProgram for MatVec {
                     let off = y_part[0] as usize;
                     state.y[off..off + y_part.len() - 1].copy_from_slice(&y_part[1..]);
                 } else {
-                    ctx.send(root, TAG_Y, codec::encode_f64s(&y_part));
+                    ctx.send(root, TAG_Y, &codec::encode_f64s(&y_part));
                 }
                 StepOutcome::Continue(SyncScope::global(&env.tree))
             }
@@ -145,7 +145,7 @@ impl SpmdProgram for MatVec {
                 if env.pid == root {
                     for m in ctx.messages() {
                         if m.tag == TAG_Y {
-                            let payload = codec::decode_f64s(&m.payload);
+                            let payload = codec::decode_f64s(m.payload);
                             let off = payload[0] as usize;
                             state.y[off..off + payload.len() - 1].copy_from_slice(&payload[1..]);
                         }

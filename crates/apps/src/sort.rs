@@ -105,7 +105,7 @@ impl SpmdProgram for SampleSort {
                         if q == root {
                             state.run = piece.items;
                         } else {
-                            ctx.send(q, TAG_SHARE, encode_bundle(&[piece]));
+                            ctx.send(q, TAG_SHARE, &encode_bundle(&[piece]));
                         }
                     }
                 }
@@ -115,7 +115,7 @@ impl SpmdProgram for SampleSort {
             1 => {
                 for m in ctx.messages() {
                     if m.tag == TAG_SHARE {
-                        state.run = decode_bundle(&m.payload)
+                        state.run = decode_bundle(m.payload)
                             .expect("own wire format")
                             .pop()
                             .expect("one share")
@@ -137,7 +137,7 @@ impl SpmdProgram for SampleSort {
                     // until the pool is complete.
                     state.splitters = samples;
                 } else {
-                    ctx.send(root, TAG_SAMPLES, codec::encode_u32s(&samples));
+                    ctx.send(root, TAG_SAMPLES, &codec::encode_u32s(&samples));
                 }
                 state.run = run;
                 StepOutcome::Continue(SyncScope::global(&env.tree))
@@ -148,7 +148,7 @@ impl SpmdProgram for SampleSort {
                     let mut pool = std::mem::take(&mut state.splitters);
                     for m in ctx.messages() {
                         if m.tag == TAG_SAMPLES {
-                            pool.extend(codec::decode_u32s(&m.payload));
+                            pool.extend(codec::decode_u32s(m.payload));
                         }
                     }
                     ctx.charge(sort_work(pool.len()));
@@ -163,7 +163,7 @@ impl SpmdProgram for SampleSort {
                         if q == root {
                             state.splitters = splitters.clone();
                         } else {
-                            ctx.send(q, TAG_SPLITTERS, codec::encode_u32s(&splitters));
+                            ctx.send(q, TAG_SPLITTERS, &codec::encode_u32s(&splitters));
                         }
                     }
                 }
@@ -173,7 +173,7 @@ impl SpmdProgram for SampleSort {
             3 => {
                 for m in ctx.messages() {
                     if m.tag == TAG_SPLITTERS {
-                        state.splitters = codec::decode_u32s(&m.payload);
+                        state.splitters = codec::decode_u32s(m.payload);
                     }
                 }
                 let run = std::mem::take(&mut state.run);
@@ -200,7 +200,7 @@ impl SpmdProgram for SampleSort {
                     if q == env.pid {
                         state.bucket = bucket.to_vec();
                     } else {
-                        ctx.send(q, TAG_BUCKET, codec::encode_u32s(bucket));
+                        ctx.send(q, TAG_BUCKET, &codec::encode_u32s(bucket));
                     }
                 }
                 StepOutcome::Continue(SyncScope::global(&env.tree))
@@ -210,7 +210,7 @@ impl SpmdProgram for SampleSort {
                 let mut runs: Vec<Vec<u32>> = vec![std::mem::take(&mut state.bucket)];
                 for m in ctx.messages() {
                     if m.tag == TAG_BUCKET {
-                        runs.push(codec::decode_u32s(&m.payload));
+                        runs.push(codec::decode_u32s(m.payload));
                     }
                 }
                 let total: usize = runs.iter().map(Vec::len).sum();

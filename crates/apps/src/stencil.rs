@@ -120,7 +120,7 @@ impl SpmdProgram for Stencil {
         if step < self.iterations {
             // Absorb halos from the previous exchange.
             for m in ctx.messages() {
-                let v = codec::decode_f64s(&m.payload)[0];
+                let v = codec::decode_f64s(m.payload)[0];
                 match m.tag {
                     // The right neighbour sent its leftmost cell.
                     TAG_HALO_LEFT => state.right_halo = v,
@@ -148,13 +148,13 @@ impl SpmdProgram for Stencil {
             // neighbours (owners of the adjacent cells). Boundary-facing
             // sides keep their fixed halo.
             if let Some(left) = state.left_neighbor {
-                ctx.send(left, TAG_HALO_LEFT, codec::encode_f64s(&[state.cells[0]]));
+                ctx.send(left, TAG_HALO_LEFT, &codec::encode_f64s(&[state.cells[0]]));
             }
             if let Some(right) = state.right_neighbor {
                 ctx.send(
                     right,
                     TAG_HALO_RIGHT,
-                    codec::encode_f64s(&[*state.cells.last().unwrap()]),
+                    &codec::encode_f64s(&[*state.cells.last().unwrap()]),
                 );
             }
             return StepOutcome::Continue(SyncScope::global(&env.tree));
@@ -166,7 +166,7 @@ impl SpmdProgram for Stencil {
                 let mut payload = Vec::with_capacity(state.cells.len() + 1);
                 payload.push(state.offset as f64);
                 payload.extend_from_slice(&state.cells);
-                ctx.send(root, TAG_RESULT, codec::encode_f64s(&payload));
+                ctx.send(root, TAG_RESULT, &codec::encode_f64s(&payload));
             }
             return StepOutcome::Continue(SyncScope::global(&env.tree));
         }
@@ -177,7 +177,7 @@ impl SpmdProgram for Stencil {
             field[state.offset..state.offset + state.cells.len()].copy_from_slice(&state.cells);
             for m in ctx.messages() {
                 if m.tag == TAG_RESULT {
-                    let payload = codec::decode_f64s(&m.payload);
+                    let payload = codec::decode_f64s(m.payload);
                     let off = payload[0] as usize;
                     field[off..off + payload.len() - 1].copy_from_slice(&payload[1..]);
                 }

@@ -11,13 +11,31 @@
 //!
 //! ```text
 //! cargo bench -p hbsp-bench --bench engine_overhead -- \
-//!     [--json PATH] [--check BASELINE [--tolerance 0.05]] [--quick]
+//!     [--json PATH] [--check BASELINE [--tolerance 0.05]] [--quick] \
+//!     [--procs 32,64]
 //! ```
 //!
-//! `--json` writes the medians as a machine-readable baseline;
-//! `--check` compares this run's probe-off medians against a committed
-//! baseline (see `BENCH_engine_overhead.json`) and exits non-zero when
-//! any regresses by more than the tolerance.
+//! `--json` writes the per-config medians (and MADs) as a
+//! machine-readable baseline; `--check` compares this run's probe-off
+//! medians against a committed baseline (see
+//! `BENCH_engine_overhead.json`) and exits non-zero when any regresses
+//! by more than the tolerance; `--procs` restricts the matrix to a
+//! comma-separated subset of processor counts (the CI gate uses this to
+//! focus on the largest machines).
+//!
+//! # Methodology
+//!
+//! Every runtime configuration is built **once**, then warmed with one
+//! untimed run, and the sample loop **interleaves** configurations:
+//! sample round `i` measures every configuration once before round
+//! `i+1` starts. Block scheduling (all samples of config A, then all of
+//! B) lets slow machine-wide drift — thermal state, co-running daemons,
+//! page-cache churn — land entirely on whichever configs run last and
+//! masquerade as an algorithmic difference; interleaving spreads any
+//! drift uniformly across the matrix. Per config the reported statistic
+//! is the median, with the median absolute deviation (MAD) as the
+//! dispersion measure; both are robust to the occasional
+//! scheduler-induced outlier that the mean would smear into the result.
 //!
 //! Machines are two-level HBSP^2 trees in clusters of at most 4, so the
 //! hierarchical barrier's combining tree has real interior nodes to
@@ -33,6 +51,7 @@ use std::process::exit;
 use std::sync::Arc;
 
 const ROUNDS: usize = 200;
+const ALL_PROCS: [usize; 6] = [2, 4, 8, 16, 32, 64];
 
 /// `ROUNDS` empty globally-synchronized supersteps (plus the drain).
 struct Spin;
@@ -68,17 +87,36 @@ fn clustered(p: usize) -> Arc<MachineTree> {
     Arc::new(TreeBuilder::two_level(1.0, 50.0, &clusters).expect("valid machine"))
 }
 
-/// Median wall nanoseconds per superstep over `samples` runs.
-fn median_ns_per_step(rt: &ThreadedRuntime, samples: usize) -> f64 {
+/// One built runtime configuration plus its collected samples.
+struct Config {
+    p: usize,
+    barrier: &'static str,
+    probe: &'static str,
+    rt: ThreadedRuntime,
+    samples_ns: Vec<f64>,
+}
+
+/// One wall-clock measurement: ns per superstep for a single run.
+fn sample_ns_per_step(rt: &ThreadedRuntime) -> f64 {
     let steps = (ROUNDS + 1) as f64;
-    let mut measured: Vec<f64> = (0..samples)
-        .map(|_| {
-            let out = rt.run(&Spin).expect("spin program runs");
-            out.wall.as_nanos() as f64 / steps
-        })
-        .collect();
-    measured.sort_by(f64::total_cmp);
-    measured[measured.len() / 2]
+    let out = rt.run(&Spin).expect("spin program runs");
+    out.wall.as_nanos() as f64 / steps
+}
+
+/// Median of a sample set (sorted copy; even sizes take the upper
+/// middle, as the original baseline did).
+fn median(samples: &[f64]) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    s[s.len() / 2]
+}
+
+/// Median absolute deviation from the median — the dispersion figure
+/// reported next to each median.
+fn mad(samples: &[f64]) -> f64 {
+    let m = median(samples);
+    let dev: Vec<f64> = samples.iter().map(|&v| (v - m).abs()).collect();
+    median(&dev)
 }
 
 struct Row {
@@ -86,11 +124,13 @@ struct Row {
     barrier: &'static str,
     probe: &'static str,
     ns: f64,
+    mad_ns: f64,
 }
 
-fn run_matrix(samples: usize) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for p in [2usize, 4, 8, 16] {
+fn run_matrix(samples: usize, procs: &[usize]) -> Vec<Row> {
+    // Build every configuration up front, once.
+    let mut configs: Vec<Config> = Vec::new();
+    for &p in procs {
         let tree = clustered(p);
         for (barrier, kind) in [
             ("central", BarrierKind::Central),
@@ -101,31 +141,62 @@ fn run_matrix(samples: usize) -> Vec<Row> {
                 if probe == "on" {
                     rt = rt.probe(Arc::new(Recorder::new()));
                 }
-                let ns = median_ns_per_step(&rt, samples);
-                println!("p={p:>2} barrier={barrier:<12} probe={probe:<3} {ns:>10.0} ns/superstep");
-                rows.push(Row {
+                configs.push(Config {
                     p,
                     barrier,
                     probe,
-                    ns,
+                    rt,
+                    samples_ns: Vec::with_capacity(samples),
                 });
             }
         }
     }
-    rows
+
+    // One untimed warmup run per config, then interleaved sampling:
+    // each round measures every configuration once, so machine-wide
+    // drift spreads across the matrix instead of biasing whole blocks.
+    for cfg in &configs {
+        let _ = sample_ns_per_step(&cfg.rt);
+    }
+    for _round in 0..samples {
+        for cfg in &mut configs {
+            let ns = sample_ns_per_step(&cfg.rt);
+            cfg.samples_ns.push(ns);
+        }
+    }
+
+    configs
+        .iter()
+        .map(|cfg| {
+            let ns = median(&cfg.samples_ns);
+            let mad_ns = mad(&cfg.samples_ns);
+            println!(
+                "p={:>2} barrier={:<12} probe={:<3} {:>10.0} ns/superstep (±{:.0} MAD)",
+                cfg.p, cfg.barrier, cfg.probe, ns, mad_ns
+            );
+            Row {
+                p: cfg.p,
+                barrier: cfg.barrier,
+                probe: cfg.probe,
+                ns,
+                mad_ns,
+            }
+        })
+        .collect()
 }
 
 fn to_json(rows: &[Row], samples: usize) -> String {
     let mut out = String::from("{\"bench\":\"engine_overhead\",");
     out.push_str(&format!("\"rounds\":{ROUNDS},\"samples\":{samples},"));
+    out.push_str("\"scheduling\":\"interleaved\",");
     out.push_str("\"results\":[");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"p\":{},\"barrier\":\"{}\",\"probe\":\"{}\",\"ns_per_superstep\":{:.1}}}",
-            r.p, r.barrier, r.probe, r.ns
+            "{{\"p\":{},\"barrier\":\"{}\",\"probe\":\"{}\",\"ns_per_superstep\":{:.1},\"mad_ns\":{:.1}}}",
+            r.p, r.barrier, r.probe, r.ns, r.mad_ns
         ));
     }
     out.push_str("]}\n");
@@ -196,6 +267,7 @@ fn main() {
     let mut check: Option<String> = None;
     let mut tolerance = 0.05f64;
     let mut samples = 15usize;
+    let mut procs: Vec<usize> = ALL_PROCS.to_vec();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -207,6 +279,16 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--tolerance takes a fraction, e.g. 0.05")
             }
+            "--procs" => {
+                procs = it
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|n| n.trim().parse().expect("--procs takes e.g. 32,64"))
+                            .collect()
+                    })
+                    .expect("--procs takes a comma-separated list")
+            }
             "--quick" => samples = 5,
             // `cargo bench` passes --bench; ignore it and any filter.
             "--bench" => {}
@@ -214,7 +296,7 @@ fn main() {
         }
     }
 
-    let rows = run_matrix(samples);
+    let rows = run_matrix(samples, &procs);
 
     if let Some(path) = &json_out {
         std::fs::write(path, to_json(&rows, samples)).expect("write json baseline");

@@ -372,7 +372,7 @@ pub fn barrier_scope_ablation(
             if members.len() > 1 {
                 let me = members.iter().position(|&m| m == env.pid).expect("member");
                 let next = members[(me + 1) % members.len()];
-                ctx.send(next, 0, vec![0u8; 512]);
+                ctx.send(next, 0, &[0u8; 512]);
             }
             ctx.charge(200.0);
             StepOutcome::Continue(SyncScope::Level(self.scope_level))

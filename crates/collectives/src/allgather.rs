@@ -53,7 +53,7 @@ impl SpmdProgram for FlatAllGather {
                 for j in 0..env.nprocs {
                     let q = ProcId(j as u32);
                     if q != env.pid {
-                        ctx.send(q, TAG_ALLGATHER, bundle.clone());
+                        ctx.send(q, TAG_ALLGATHER, &bundle);
                     }
                 }
                 StepOutcome::Continue(SyncScope::global(&env.tree))
@@ -61,7 +61,7 @@ impl SpmdProgram for FlatAllGather {
             _ => {
                 let mut pieces = vec![self.shares[env.pid.rank()].clone()];
                 for m in ctx.messages() {
-                    pieces.extend(decode_bundle(&m.payload).expect("own wire format"));
+                    pieces.extend(decode_bundle(m.payload).expect("own wire format"));
                 }
                 *state = reassemble(&pieces);
                 StepOutcome::Done

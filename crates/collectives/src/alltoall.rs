@@ -66,14 +66,14 @@ impl SpmdProgram for AllToAll {
                             offset: me as u32,
                             items: self.blocks[me][j].clone(),
                         };
-                        ctx.send(ProcId(j as u32), TAG_A2A, encode_bundle(&[piece]));
+                        ctx.send(ProcId(j as u32), TAG_A2A, &encode_bundle(&[piece]));
                     }
                 }
                 StepOutcome::Continue(SyncScope::global(&env.tree))
             }
             _ => {
                 for m in ctx.messages() {
-                    for piece in decode_bundle(&m.payload).expect("own wire format") {
+                    for piece in decode_bundle(m.payload).expect("own wire format") {
                         state[piece.offset as usize] = piece.items;
                     }
                 }
@@ -136,13 +136,13 @@ impl SpmdProgram for HierarchicalAllToAll {
                         state[me] = self.blocks[me][me].clone();
                     } else if members.contains(&dst) {
                         let piece = pack_block(p, me, j, &self.blocks[me][j]);
-                        ctx.send(dst, TAG_A2A, encode_bundle(&[piece]));
+                        ctx.send(dst, TAG_A2A, &encode_bundle(&[piece]));
                     } else if env.pid == my_coord {
                         // Coordinator keeps its own foreign blocks for
                         // stage 2 — no self-send.
                     } else {
                         let piece = pack_block(p, me, j, &self.blocks[me][j]);
-                        ctx.send(my_coord, TAG_A2A, encode_bundle(&[piece]));
+                        ctx.send(my_coord, TAG_A2A, &encode_bundle(&[piece]));
                     }
                 }
                 StepOutcome::Continue(SyncScope::Level(1))
@@ -152,7 +152,7 @@ impl SpmdProgram for HierarchicalAllToAll {
             1 => {
                 let mut foreign: Vec<Piece> = Vec::new();
                 for m in ctx.messages() {
-                    for piece in decode_bundle(&m.payload).expect("own wire format") {
+                    for piece in decode_bundle(m.payload).expect("own wire format") {
                         let dst = piece.offset as usize % p;
                         if members.contains(&ProcId(dst as u32)) {
                             // A local block delivered directly in stage 1.
@@ -186,7 +186,7 @@ impl SpmdProgram for HierarchicalAllToAll {
                             .cloned()
                             .collect();
                         if !bundle.is_empty() {
-                            ctx.send(peer, TAG_A2A, encode_bundle(&bundle));
+                            ctx.send(peer, TAG_A2A, &encode_bundle(&bundle));
                         }
                     }
                 }
@@ -198,7 +198,7 @@ impl SpmdProgram for HierarchicalAllToAll {
                 let incoming: Vec<Piece> = ctx
                     .messages()
                     .iter()
-                    .flat_map(|m| decode_bundle(&m.payload).expect("own wire format"))
+                    .flat_map(|m| decode_bundle(m.payload).expect("own wire format"))
                     .collect();
                 for piece in incoming {
                     let src = piece.offset as usize / p;
@@ -206,7 +206,7 @@ impl SpmdProgram for HierarchicalAllToAll {
                     if dst == me {
                         state[src] = piece.items;
                     } else {
-                        ctx.send(ProcId(dst as u32), TAG_A2A, encode_bundle(&[piece]));
+                        ctx.send(ProcId(dst as u32), TAG_A2A, &encode_bundle(&[piece]));
                     }
                 }
                 StepOutcome::Continue(SyncScope::Level(1))
@@ -214,7 +214,7 @@ impl SpmdProgram for HierarchicalAllToAll {
             // Final drain.
             _ => {
                 for m in ctx.messages() {
-                    for piece in decode_bundle(&m.payload).expect("own wire format") {
+                    for piece in decode_bundle(m.payload).expect("own wire format") {
                         let src = piece.offset as usize / p;
                         state[src] = piece.items;
                     }

@@ -127,7 +127,7 @@ impl BroadcastState {
     fn absorb(&mut self, ctx: &dyn SpmdContext, n: usize) {
         for m in ctx.messages() {
             self.partial
-                .extend(decode_bundle(&m.payload).expect("own wire format"));
+                .extend(decode_bundle(m.payload).expect("own wire format"));
         }
         if self.full.is_none() {
             let have: usize = self.partial.iter().map(Piece::len).sum();
@@ -226,7 +226,7 @@ impl SpmdProgram for FlatBroadcast {
                     }]);
                     for &q in &everyone {
                         if q != env.pid {
-                            ctx.send(q, TAG_BCAST, bundle.clone());
+                            ctx.send(q, TAG_BCAST, &bundle);
                         }
                     }
                 }
@@ -241,7 +241,7 @@ impl SpmdProgram for FlatBroadcast {
                         if q == env.pid {
                             state.assigned = Some(piece);
                         } else {
-                            ctx.send(q, TAG_BCAST, encode_bundle(&[piece]));
+                            ctx.send(q, TAG_BCAST, &encode_bundle(&[piece]));
                         }
                     }
                 }
@@ -257,7 +257,7 @@ impl SpmdProgram for FlatBroadcast {
                     state.assigned = ctx
                         .messages()
                         .iter()
-                        .flat_map(|m| decode_bundle(&m.payload).expect("own wire format"))
+                        .flat_map(|m| decode_bundle(m.payload).expect("own wire format"))
                         .next();
                 }
                 if let Some(piece) = state.assigned.clone() {
@@ -269,7 +269,7 @@ impl SpmdProgram for FlatBroadcast {
                     let bundle = encode_bundle(&[piece]);
                     for &q in &everyone {
                         if q != env.pid {
-                            ctx.send(q, TAG_BCAST, bundle.clone());
+                            ctx.send(q, TAG_BCAST, &bundle);
                         }
                     }
                 }
@@ -417,7 +417,7 @@ impl SpmdProgram for HierarchicalBroadcast {
                         }]);
                         for q in child_reps(tree, my_cluster) {
                             if q != env.pid {
-                                ctx.send(q, TAG_BCAST, bundle.clone());
+                                ctx.send(q, TAG_BCAST, &bundle);
                             }
                         }
                     }
@@ -434,7 +434,7 @@ impl SpmdProgram for HierarchicalBroadcast {
                                 if q == env.pid {
                                     state.assigned = Some(piece);
                                 } else {
-                                    ctx.send(q, TAG_BCAST, encode_bundle(&[piece]));
+                                    ctx.send(q, TAG_BCAST, &encode_bundle(&[piece]));
                                 }
                             }
                         }
@@ -452,7 +452,7 @@ impl SpmdProgram for HierarchicalBroadcast {
                         state.assigned = ctx
                             .messages()
                             .iter()
-                            .flat_map(|m| decode_bundle(&m.payload).expect("own wire format"))
+                            .flat_map(|m| decode_bundle(m.payload).expect("own wire format"))
                             .next();
                     }
                     if let Some(piece) = state.assigned.take() {
@@ -467,7 +467,7 @@ impl SpmdProgram for HierarchicalBroadcast {
                         let bundle = encode_bundle(&[piece]);
                         for &q in &reps {
                             if q != env.pid {
-                                ctx.send(q, TAG_BCAST, bundle.clone());
+                                ctx.send(q, TAG_BCAST, &bundle);
                             }
                         }
                     }

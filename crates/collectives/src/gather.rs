@@ -231,7 +231,7 @@ impl SpmdProgram for FlatGather {
                     // only non-roots transmit; the root's own share stays
                     // put.
                     let piece = state.held.remove(0);
-                    ctx.send(self.root, TAG_GATHER, encode_bundle(&[piece]));
+                    ctx.send(self.root, TAG_GATHER, &encode_bundle(&[piece]));
                 }
                 StepOutcome::Continue(SyncScope::global(&env.tree))
             }
@@ -240,7 +240,7 @@ impl SpmdProgram for FlatGather {
                     for m in ctx.messages() {
                         state
                             .held
-                            .extend(decode_bundle(&m.payload).expect("own wire format"));
+                            .extend(decode_bundle(m.payload).expect("own wire format"));
                     }
                 }
                 StepOutcome::Done
@@ -286,7 +286,7 @@ impl SpmdProgram for HierarchicalGather {
         for m in ctx.messages() {
             state
                 .held
-                .extend(decode_bundle(&m.payload).expect("own wire format"));
+                .extend(decode_bundle(m.payload).expect("own wire format"));
         }
         if step as u32 >= k {
             return StepOutcome::Done;
@@ -309,7 +309,7 @@ impl SpmdProgram for HierarchicalGather {
                 .expect("representative is a leaf");
             if dest != env.pid {
                 let bundle = std::mem::take(&mut state.held);
-                ctx.send(dest, TAG_GATHER, encode_bundle(&bundle));
+                ctx.send(dest, TAG_GATHER, &encode_bundle(&bundle));
             }
         }
         StepOutcome::Continue(SyncScope::Level(level))

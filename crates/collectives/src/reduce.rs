@@ -93,7 +93,7 @@ impl SpmdProgram for FlatReduce {
         match step {
             0 => {
                 if env.pid != self.root {
-                    ctx.send(self.root, TAG_REDUCE, codec::encode_u32s(state));
+                    ctx.send(self.root, TAG_REDUCE, &codec::encode_u32s(state));
                 }
                 StepOutcome::Continue(SyncScope::global(&env.tree))
             }
@@ -102,7 +102,7 @@ impl SpmdProgram for FlatReduce {
                     let incoming: Vec<Vec<u32>> = ctx
                         .messages()
                         .iter()
-                        .map(|m| codec::decode_u32s(&m.payload))
+                        .map(|m| codec::decode_u32s(m.payload))
                         .collect();
                     for v in incoming {
                         ctx.charge(v.len() as f64 * COMBINE_COST);
@@ -150,7 +150,7 @@ impl SpmdProgram for HierarchicalReduce {
         let incoming: Vec<Vec<u32>> = ctx
             .messages()
             .iter()
-            .map(|m| codec::decode_u32s(&m.payload))
+            .map(|m| codec::decode_u32s(m.payload))
             .collect();
         for v in incoming {
             ctx.charge(v.len() as f64 * COMBINE_COST);
@@ -173,7 +173,7 @@ impl SpmdProgram for HierarchicalReduce {
                 .proc_id()
                 .expect("leaf");
             if dest != env.pid {
-                ctx.send(dest, TAG_REDUCE, codec::encode_u32s(state));
+                ctx.send(dest, TAG_REDUCE, &codec::encode_u32s(state));
             }
         }
         StepOutcome::Continue(SyncScope::Level(level))

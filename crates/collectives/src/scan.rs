@@ -46,7 +46,7 @@ impl SpmdProgram for Scan {
         match step {
             0 => {
                 for j in env.pid.rank() + 1..env.nprocs {
-                    ctx.send(ProcId(j as u32), TAG_SCAN, codec::encode_u32s(state));
+                    ctx.send(ProcId(j as u32), TAG_SCAN, &codec::encode_u32s(state));
                 }
                 StepOutcome::Continue(SyncScope::global(&env.tree))
             }
@@ -58,7 +58,7 @@ impl SpmdProgram for Scan {
                 let mut contribs: Vec<(ProcId, Vec<u32>)> = ctx
                     .messages()
                     .iter()
-                    .map(|m| (m.src, codec::decode_u32s(&m.payload)))
+                    .map(|m| (m.src, codec::decode_u32s(m.payload)))
                     .collect();
                 contribs.sort_by_key(|(src, _)| *src);
                 for (_, v) in contribs {

@@ -49,7 +49,7 @@ impl SpmdProgram for Scatter {
                     for (j, piece) in self.shares.iter().enumerate() {
                         let q = ProcId(j as u32);
                         if q != env.pid {
-                            ctx.send(q, TAG_SCATTER, encode_bundle(std::slice::from_ref(piece)));
+                            ctx.send(q, TAG_SCATTER, &encode_bundle(std::slice::from_ref(piece)));
                         }
                     }
                 }
@@ -59,7 +59,7 @@ impl SpmdProgram for Scatter {
                 if env.pid != self.root {
                     let mut pieces = Vec::new();
                     for m in ctx.messages() {
-                        pieces.extend(decode_bundle(&m.payload).expect("own wire format"));
+                        pieces.extend(decode_bundle(m.payload).expect("own wire format"));
                     }
                     assert_eq!(pieces.len(), 1, "scatter delivers exactly one piece");
                     *state = pieces.pop();

@@ -288,13 +288,13 @@ impl ScheduleState {
             .collect()
     }
 
-    fn absorb(&mut self, op: Option<ReduceOp>, messages: &[hbsp_core::Message]) {
+    fn absorb(&mut self, op: Option<ReduceOp>, messages: &hbsp_core::MsgBatch) {
         // Partials fold in src order for determinism (all ops are
         // commutative, but keep the legacy programs' order anyway).
         let mut partials: Vec<(ProcId, Vec<u32>)> = Vec::new();
         for m in messages {
             match m.tag {
-                TAG_PIECE => match Piece::decode(&m.payload) {
+                TAG_PIECE => match Piece::decode(m.payload) {
                     Ok(p) => {
                         self.store
                             .insert(UnitId::new(p.offset, p.len() as u32), p.items);
@@ -303,7 +303,7 @@ impl ScheduleState {
                         self.error.get_or_insert(e);
                     }
                 },
-                TAG_BUNDLE => match decode_bundle(&m.payload) {
+                TAG_BUNDLE => match decode_bundle(m.payload) {
                     Ok(pieces) => {
                         for p in pieces {
                             self.store
@@ -314,7 +314,7 @@ impl ScheduleState {
                         self.error.get_or_insert(e);
                     }
                 },
-                TAG_PARTIAL => partials.push((m.src, codec::decode_u32s(&m.payload))),
+                TAG_PARTIAL => partials.push((m.src, codec::decode_u32s(m.payload))),
                 other => panic!("schedule interpreter received foreign tag {other:#x}"),
             }
         }
@@ -433,7 +433,7 @@ impl SpmdProgram for ScheduleProgram {
                         ),
                     ),
                 };
-                ctx.send(t.dst, tag, payload);
+                ctx.send(t.dst, tag, &payload);
             }
         }
         match sched_step.scope {
@@ -499,7 +499,7 @@ pub fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hbsp_core::{Message, TreeBuilder};
+    use hbsp_core::TreeBuilder;
 
     fn unit(offset: u32, items: &[u32]) -> (UnitId, Vec<u32>) {
         (UnitId::new(offset, items.len() as u32), items.to_vec())
@@ -554,7 +554,7 @@ mod tests {
     fn malformed_payload_is_recorded_not_panicked() {
         // Drive one interpreter step by hand with a hostile message.
         struct Ctx {
-            messages: Vec<Message>,
+            messages: hbsp_core::MsgBatch,
         }
         impl SpmdContext for Ctx {
             fn pid(&self) -> ProcId {
@@ -566,10 +566,10 @@ mod tests {
             fn tree(&self) -> &MachineTree {
                 unreachable!()
             }
-            fn messages(&self) -> &[Message] {
+            fn messages(&self) -> &hbsp_core::MsgBatch {
                 &self.messages
             }
-            fn send(&mut self, _: ProcId, _: u32, _: Vec<u8>) {
+            fn send_with(&mut self, _: ProcId, _: u32, _: usize, _: &mut dyn FnMut(&mut [u8])) {
                 panic!("a poisoned processor must go quiet");
             }
             fn charge(&mut self, _: f64) {
@@ -589,7 +589,11 @@ mod tests {
         };
         let mut state = prog.init(&env);
         let mut ctx = Ctx {
-            messages: vec![Message::new(ProcId(0), ProcId(0), TAG_BUNDLE, Vec::new())],
+            messages: {
+                let mut b = hbsp_core::MsgBatch::new();
+                b.push(ProcId(0), ProcId(0), TAG_BUNDLE, &[]);
+                b
+            },
         };
         let out = prog.step(0, &env, &mut state, &mut ctx);
         assert_eq!(out, StepOutcome::Done);

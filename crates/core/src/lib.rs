@@ -60,7 +60,8 @@ pub use hrelation::{hrelation, HRelation, Traffic};
 pub use ids::{Level, MachineId, NodeIdx, ProcId};
 pub use params::{NodeParams, DEFAULT_G};
 pub use spmd::{
-    Message, PreflightError, ProcEnv, SpmdContext, SpmdProgram, StepOutcome, SyncScope,
+    Message, MsgBatch, MsgView, PreflightError, ProcEnv, SpmdContext, SpmdProgram, StepOutcome,
+    SyncScope,
 };
 pub use tree::{MachineTree, Node, NodeKind};
 pub use workload::{apportion, Partition};

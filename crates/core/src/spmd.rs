@@ -48,6 +48,279 @@ impl Message {
     }
 }
 
+/// Per-message routing row of a [`MsgBatch`]: everything about one
+/// message except its payload bytes, which live at `[off, off + len)`
+/// in the batch's shared byte arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MsgMeta {
+    src: ProcId,
+    dst: ProcId,
+    tag: u32,
+    off: u32,
+    len: u32,
+}
+
+/// A borrowed view of one message inside a [`MsgBatch`].
+///
+/// This is what programs see when they iterate received messages: the
+/// same `src`/`dst`/`tag`/`payload` shape as an owned [`Message`], but
+/// with the payload borrowing the batch's arena instead of owning a
+/// heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgView<'a> {
+    /// Sending processor.
+    pub src: ProcId,
+    /// Destination processor.
+    pub dst: ProcId,
+    /// Program-defined tag for demultiplexing.
+    pub tag: u32,
+    /// Raw payload bytes, borrowed from the batch arena.
+    pub payload: &'a [u8],
+}
+
+impl MsgView<'_> {
+    /// Number of 32-bit words charged by the cost model (see
+    /// [`Message::words`]).
+    pub fn words(&self) -> u64 {
+        (self.payload.len() as u64).div_ceil(4)
+    }
+
+    /// Copy into an owned [`Message`].
+    pub fn to_message(&self) -> Message {
+        Message::new(self.src, self.dst, self.tag, self.payload.to_vec())
+    }
+}
+
+/// A flat struct-of-arrays batch of messages: one shared byte arena for
+/// every payload plus an offset table of `MsgMeta` rows.
+///
+/// This is the engines' per-superstep message representation. Posting a
+/// message appends bytes to the arena and one row to the table — no
+/// per-message heap allocation — and moving a whole batch (gathering
+/// per-processor sends, handing an inbox to a processor) is two `Vec`
+/// appends or a pointer swap, never a per-message move loop. Batches
+/// are reused across supersteps via [`MsgBatch::clear`], which keeps
+/// both allocations, so a steady-state superstep allocates nothing on
+/// the message path.
+#[derive(Debug, Clone, Default)]
+pub struct MsgBatch {
+    bytes: Vec<u8>,
+    meta: Vec<MsgMeta>,
+}
+
+impl MsgBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        MsgBatch::default()
+    }
+
+    /// Empty batch with room for `msgs` messages carrying `bytes`
+    /// payload bytes in total.
+    pub fn with_capacity(msgs: usize, bytes: usize) -> Self {
+        MsgBatch {
+            bytes: Vec::with_capacity(bytes),
+            meta: Vec::with_capacity(msgs),
+        }
+    }
+
+    /// Number of messages in the batch.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// True if the batch holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Bytes currently used in the payload arena (holes left by
+    /// [`MsgBatch::retain`] / [`MsgBatch::truncate_payload`] included).
+    pub fn arena_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn reserve_payload(&mut self, len: usize) -> u32 {
+        let off = self.bytes.len();
+        assert!(
+            off + len <= u32::MAX as usize,
+            "message batch arena exceeds u32 offsets"
+        );
+        off as u32
+    }
+
+    /// Append a message, copying `payload` into the arena.
+    pub fn push(&mut self, src: ProcId, dst: ProcId, tag: u32, payload: &[u8]) {
+        let off = self.reserve_payload(payload.len());
+        self.bytes.extend_from_slice(payload);
+        self.meta.push(MsgMeta {
+            src,
+            dst,
+            tag,
+            off,
+            len: payload.len() as u32,
+        });
+    }
+
+    /// Append a message of `len` zero-initialized payload bytes and let
+    /// `fill` write them in place — the allocation-free way to post an
+    /// encoded payload without building it in a temporary buffer first.
+    pub fn push_with(
+        &mut self,
+        src: ProcId,
+        dst: ProcId,
+        tag: u32,
+        len: usize,
+        fill: &mut dyn FnMut(&mut [u8]),
+    ) {
+        let off = self.reserve_payload(len);
+        self.bytes.resize(off as usize + len, 0);
+        fill(&mut self.bytes[off as usize..]);
+        self.meta.push(MsgMeta {
+            src,
+            dst,
+            tag,
+            off,
+            len: len as u32,
+        });
+    }
+
+    /// Append a copy of an owned [`Message`].
+    pub fn push_msg(&mut self, m: &Message) {
+        self.push(m.src, m.dst, m.tag, &m.payload);
+    }
+
+    /// View of message `i` (insertion order).
+    pub fn get(&self, i: usize) -> MsgView<'_> {
+        let m = &self.meta[i];
+        MsgView {
+            src: m.src,
+            dst: m.dst,
+            tag: m.tag,
+            payload: &self.bytes[m.off as usize..(m.off + m.len) as usize],
+        }
+    }
+
+    /// Iterate the messages in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = MsgView<'_>> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Drop every message but keep both allocations for reuse.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.meta.clear();
+    }
+
+    /// Move every message of `other` onto the end of `self` (two bulk
+    /// appends, no per-message loop), leaving `other` empty with its
+    /// capacity intact.
+    pub fn append(&mut self, other: &mut MsgBatch) {
+        if self.is_empty() && self.bytes.is_empty() {
+            std::mem::swap(self, other);
+            other.clear();
+            return;
+        }
+        let shift = self.reserve_payload(other.bytes.len());
+        self.bytes.extend_from_slice(&other.bytes);
+        self.meta.extend(other.meta.iter().map(|m| MsgMeta {
+            off: m.off + shift,
+            ..*m
+        }));
+        other.clear();
+    }
+
+    /// Append a copy of `other`'s message `i` (one bounded byte copy
+    /// plus one offset-table row).
+    pub fn push_from(&mut self, other: &MsgBatch, i: usize) {
+        let m = other.meta[i];
+        let off = self.reserve_payload(m.len as usize);
+        self.bytes
+            .extend_from_slice(&other.bytes[m.off as usize..(m.off + m.len) as usize]);
+        self.meta.push(MsgMeta { off, ..m });
+    }
+
+    /// Keep only the messages `f` accepts, preserving order. Payload
+    /// bytes of dropped messages stay in the arena as holes until the
+    /// next [`MsgBatch::clear`] — removal is an offset-table edit, not
+    /// a compaction.
+    pub fn retain(&mut self, mut f: impl FnMut(MsgView<'_>) -> bool) {
+        let bytes = &self.bytes;
+        self.meta.retain(|m| {
+            f(MsgView {
+                src: m.src,
+                dst: m.dst,
+                tag: m.tag,
+                payload: &bytes[m.off as usize..(m.off + m.len) as usize],
+            })
+        });
+    }
+
+    /// Cut message `i`'s payload to at most `max_bytes` (fault
+    /// injection's truncation). An offset-table edit: the spare bytes
+    /// become an arena hole.
+    pub fn truncate_payload(&mut self, i: usize, max_bytes: usize) {
+        let m = &mut self.meta[i];
+        m.len = m.len.min(max_bytes as u32);
+    }
+
+    /// Copies of every message, in order (test/diagnostic convenience).
+    pub fn to_messages(&self) -> Vec<Message> {
+        self.iter().map(|v| v.to_message()).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a MsgBatch {
+    type Item = MsgView<'a>;
+    type IntoIter = MsgBatchIter<'a>;
+    fn into_iter(self) -> MsgBatchIter<'a> {
+        MsgBatchIter { batch: self, i: 0 }
+    }
+}
+
+/// Iterator over a [`MsgBatch`]'s messages.
+pub struct MsgBatchIter<'a> {
+    batch: &'a MsgBatch,
+    i: usize,
+}
+
+impl<'a> Iterator for MsgBatchIter<'a> {
+    type Item = MsgView<'a>;
+    fn next(&mut self) -> Option<MsgView<'a>> {
+        if self.i < self.batch.len() {
+            self.i += 1;
+            Some(self.batch.get(self.i - 1))
+        } else {
+            None
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.batch.len() - self.i;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for MsgBatchIter<'_> {}
+
+/// Logical equality: same messages in the same order (arena holes and
+/// capacities are representation details).
+impl PartialEq for MsgBatch {
+    fn eq(&self, other: &MsgBatch) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for MsgBatch {}
+
+impl FromIterator<Message> for MsgBatch {
+    fn from_iter<T: IntoIterator<Item = Message>>(iter: T) -> MsgBatch {
+        let mut b = MsgBatch::new();
+        for m in iter {
+            b.push_msg(&m);
+        }
+        b
+    }
+}
+
 /// Where a superstep's closing barrier synchronizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyncScope {
@@ -128,12 +401,22 @@ pub trait SpmdContext {
 
     /// Messages delivered at the end of the previous superstep, in
     /// deterministic (arrival, src) order.
-    fn messages(&self) -> &[Message];
+    fn messages(&self) -> &MsgBatch;
 
     /// Queue a message for delivery at the start of the next superstep
     /// (the BSP guarantee). Sending to self is a local move: delivered,
-    /// but free of communication cost.
-    fn send(&mut self, dst: ProcId, tag: u32, payload: Vec<u8>);
+    /// but free of communication cost. The payload is copied into the
+    /// engine's outgoing batch arena — no per-message allocation.
+    fn send(&mut self, dst: ProcId, tag: u32, payload: &[u8]) {
+        self.send_with(dst, tag, payload.len(), &mut |buf| {
+            buf.copy_from_slice(payload)
+        });
+    }
+
+    /// Queue a message whose `len` payload bytes are written in place
+    /// by `fill` — lets typed encoders serialize straight into the
+    /// engine's batch arena without an intermediate `Vec`.
+    fn send_with(&mut self, dst: ProcId, tag: u32, len: usize, fill: &mut dyn FnMut(&mut [u8]));
 
     /// Charge `units` of local computation (units are at fastest-machine
     /// speed; engines divide by this processor's speed).
@@ -220,6 +503,91 @@ mod tests {
         assert_eq!(empty.words(), 0);
         let exact = Message::new(ProcId(0), ProcId(1), 0, vec![0; 8]);
         assert_eq!(exact.words(), 2);
+    }
+
+    #[test]
+    fn batch_push_get_iter_round_trip() {
+        let mut b = MsgBatch::new();
+        b.push(ProcId(0), ProcId(1), 7, &[1, 2, 3]);
+        b.push(ProcId(2), ProcId(0), 9, &[]);
+        b.push_with(ProcId(1), ProcId(2), 3, 4, &mut |buf| {
+            buf.copy_from_slice(&42u32.to_le_bytes())
+        });
+        assert_eq!(b.len(), 3);
+        let v = b.get(0);
+        assert_eq!(
+            (v.src, v.dst, v.tag, v.payload),
+            (ProcId(0), ProcId(1), 7, &[1u8, 2, 3][..])
+        );
+        assert_eq!(v.words(), 1);
+        assert_eq!(b.get(1).payload, &[] as &[u8]);
+        assert_eq!(b.get(2).payload, 42u32.to_le_bytes());
+        let tags: Vec<u32> = b.iter().map(|m| m.tag).collect();
+        assert_eq!(tags, vec![7, 9, 3]);
+        // `for m in &batch` works like the old slice iteration.
+        let mut n = 0;
+        for m in &b {
+            n += m.payload.len();
+        }
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn batch_clear_keeps_capacity_and_append_bulk_moves() {
+        let mut a = MsgBatch::new();
+        a.push(ProcId(0), ProcId(1), 0, &[1; 64]);
+        a.clear();
+        assert!(a.is_empty() && a.arena_len() == 0);
+
+        let mut gather = MsgBatch::new();
+        let mut b = MsgBatch::new();
+        b.push(ProcId(0), ProcId(1), 1, &[0xAA; 8]);
+        let mut c = MsgBatch::new();
+        c.push(ProcId(1), ProcId(0), 2, &[0xBB; 4]);
+        c.push(ProcId(1), ProcId(1), 3, &[0xCC; 2]);
+        gather.append(&mut b);
+        gather.append(&mut c);
+        assert!(b.is_empty() && c.is_empty());
+        assert_eq!(gather.len(), 3);
+        // Offsets were shifted: payloads survive the bulk move intact.
+        assert_eq!(gather.get(1).payload, &[0xBB; 4]);
+        assert_eq!(gather.get(2).payload, &[0xCC; 2]);
+    }
+
+    #[test]
+    fn batch_retain_and_truncate_edit_the_offset_table() {
+        let mut b = MsgBatch::new();
+        b.push(ProcId(0), ProcId(1), 0, &[1; 8]);
+        b.push(ProcId(1), ProcId(1), 0, &[2; 8]);
+        b.push(ProcId(2), ProcId(1), 0, &[3; 8]);
+        b.retain(|m| m.src != ProcId(1));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(1).payload, &[3; 8]);
+        b.truncate_payload(0, 4);
+        assert_eq!(b.get(0).payload, &[1; 4]);
+        assert_eq!(b.get(0).words(), 1);
+        // Truncating longer than the payload is a no-op.
+        b.truncate_payload(1, 1000);
+        assert_eq!(b.get(1).payload.len(), 8);
+        // Logical equality ignores the arena holes left behind.
+        let mut fresh = MsgBatch::new();
+        fresh.push(ProcId(0), ProcId(1), 0, &[1; 4]);
+        fresh.push(ProcId(2), ProcId(1), 0, &[3; 8]);
+        assert_eq!(b, fresh);
+    }
+
+    #[test]
+    fn batch_push_from_copies_one_message() {
+        let mut a = MsgBatch::new();
+        a.push(ProcId(0), ProcId(1), 5, &[9, 9]);
+        a.push(ProcId(1), ProcId(0), 6, &[8]);
+        let mut inbox = MsgBatch::new();
+        inbox.push_from(&a, 1);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(
+            inbox.get(0).to_message(),
+            Message::new(ProcId(1), ProcId(0), 6, vec![8])
+        );
     }
 
     #[test]

@@ -228,27 +228,22 @@ impl MachineTree {
     /// cheapest network that connects them. Communication between two
     /// processors crosses every tree edge up to (and back down from)
     /// their LCA.
-    pub fn lca(&self, a: NodeIdx, b: NodeIdx) -> NodeIdx {
-        let mut pa = self.path_to_root(a);
-        let mut pb = self.path_to_root(b);
-        let mut lca = self.root;
-        while let (Some(x), Some(y)) = (pa.pop(), pb.pop()) {
-            if x == y {
-                lca = x;
+    pub fn lca(&self, mut a: NodeIdx, mut b: NodeIdx) -> NodeIdx {
+        // Walk the deeper node up until levels match, then walk both up
+        // until they meet. Allocation-free: this runs once (or more) per
+        // message on the engines' superstep hot path.
+        while a != b {
+            let (la, lb) = (self.node(a).level, self.node(b).level);
+            if la < lb {
+                a = self.node(a).parent.expect("non-root node has a parent");
+            } else if lb < la {
+                b = self.node(b).parent.expect("non-root node has a parent");
             } else {
-                break;
+                a = self.node(a).parent.expect("non-root node has a parent");
+                b = self.node(b).parent.expect("non-root node has a parent");
             }
         }
-        lca
-    }
-
-    fn path_to_root(&self, mut n: NodeIdx) -> Vec<NodeIdx> {
-        let mut path = vec![n];
-        while let Some(p) = self.node(n).parent {
-            path.push(p);
-            n = p;
-        }
-        path
+        a
     }
 
     /// The fastest leaf of the whole machine — the paper's `P_f`, which

@@ -13,6 +13,19 @@ pub fn encode_u32s(values: &[u32]) -> Vec<u8> {
     out
 }
 
+/// Encode a `u32` slice directly into `out` (exactly `4 * values.len()`
+/// bytes) — the allocation-free variant for
+/// [`hbsp_core::SpmdContext::send_with`] payload fills.
+///
+/// # Panics
+/// Panics if `out` is not exactly the encoded length.
+pub fn write_u32s(values: &[u32], out: &mut [u8]) {
+    assert_eq!(out.len(), values.len() * 4, "destination length mismatch");
+    for (v, chunk) in values.iter().zip(out.chunks_exact_mut(4)) {
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
 /// Decode little-endian bytes into `u32`s.
 ///
 /// # Panics
@@ -37,6 +50,18 @@ pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
         out.extend_from_slice(&v.to_le_bytes());
     }
     out
+}
+
+/// Encode a `u64` slice directly into `out` (exactly `8 * values.len()`
+/// bytes); see [`write_u32s`].
+///
+/// # Panics
+/// Panics if `out` is not exactly the encoded length.
+pub fn write_u64s(values: &[u64], out: &mut [u8]) {
+    assert_eq!(out.len(), values.len() * 8, "destination length mismatch");
+    for (v, chunk) in values.iter().zip(out.chunks_exact_mut(8)) {
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
 }
 
 /// Decode little-endian bytes into `u64`s.
@@ -64,6 +89,18 @@ pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
     out
 }
 
+/// Encode an `f64` slice directly into `out` (exactly `8 * values.len()`
+/// bytes); see [`write_u32s`].
+///
+/// # Panics
+/// Panics if `out` is not exactly the encoded length.
+pub fn write_f64s(values: &[f64], out: &mut [u8]) {
+    assert_eq!(out.len(), values.len() * 8, "destination length mismatch");
+    for (v, chunk) in values.iter().zip(out.chunks_exact_mut(8)) {
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
 /// Decode little-endian bytes into `f64`s.
 ///
 /// # Panics
@@ -89,6 +126,30 @@ mod tests {
         let v = vec![0, 1, u32::MAX, 0xDEAD_BEEF];
         assert_eq!(decode_u32s(&encode_u32s(&v)), v);
         assert!(decode_u32s(&[]).is_empty());
+    }
+
+    #[test]
+    fn in_place_writers_match_the_allocating_encoders() {
+        let u32s = [0u32, 1, u32::MAX, 0xDEAD_BEEF];
+        let mut buf = vec![0u8; u32s.len() * 4];
+        write_u32s(&u32s, &mut buf);
+        assert_eq!(buf, encode_u32s(&u32s));
+
+        let u64s = [0u64, u64::MAX, 42];
+        let mut buf = vec![0u8; u64s.len() * 8];
+        write_u64s(&u64s, &mut buf);
+        assert_eq!(buf, encode_u64s(&u64s));
+
+        let f64s = [0.0f64, -0.0, f64::INFINITY, std::f64::consts::PI];
+        let mut buf = vec![0u8; f64s.len() * 8];
+        write_f64s(&f64s, &mut buf);
+        assert_eq!(buf, encode_f64s(&f64s));
+    }
+
+    #[test]
+    #[should_panic(expected = "destination length mismatch")]
+    fn in_place_writer_rejects_wrong_length() {
+        write_u32s(&[1, 2], &mut [0u8; 7]);
     }
 
     #[test]

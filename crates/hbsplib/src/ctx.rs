@@ -3,7 +3,7 @@
 use crate::codec;
 use crate::enquiry::TreeEnquiry;
 use hbsp_core::{
-    Level, MachineTree, Message, ProcEnv, ProcId, SpmdContext, StepOutcome, SyncScope,
+    Level, MachineTree, MsgBatch, MsgView, ProcEnv, ProcId, SpmdContext, StepOutcome, SyncScope,
 };
 
 /// Ergonomic, typed wrapper over the raw engine context. Construct one
@@ -76,27 +76,34 @@ impl<'a> Ctx<'a> {
     // ----- message passing ----------------------------------------------
 
     /// Send raw bytes.
-    pub fn send_bytes(&mut self, dst: ProcId, tag: u32, payload: Vec<u8>) {
+    pub fn send_bytes(&mut self, dst: ProcId, tag: u32, payload: &[u8]) {
         self.raw.send(dst, tag, payload);
     }
 
-    /// Send a `u32` buffer.
+    /// Send a `u32` buffer, encoded straight into the outbox arena (no
+    /// temporary buffer).
     pub fn send_u32s(&mut self, dst: ProcId, tag: u32, values: &[u32]) {
-        self.raw.send(dst, tag, codec::encode_u32s(values));
+        self.raw.send_with(dst, tag, values.len() * 4, &mut |buf| {
+            codec::write_u32s(values, buf)
+        });
     }
 
-    /// Send a `u64` buffer.
+    /// Send a `u64` buffer, encoded straight into the outbox arena.
     pub fn send_u64s(&mut self, dst: ProcId, tag: u32, values: &[u64]) {
-        self.raw.send(dst, tag, codec::encode_u64s(values));
+        self.raw.send_with(dst, tag, values.len() * 8, &mut |buf| {
+            codec::write_u64s(values, buf)
+        });
     }
 
-    /// Send an `f64` buffer.
+    /// Send an `f64` buffer, encoded straight into the outbox arena.
     pub fn send_f64s(&mut self, dst: ProcId, tag: u32, values: &[f64]) {
-        self.raw.send(dst, tag, codec::encode_f64s(values));
+        self.raw.send_with(dst, tag, values.len() * 8, &mut |buf| {
+            codec::write_f64s(values, buf)
+        });
     }
 
     /// All messages delivered for this superstep (arrival order).
-    pub fn messages(&self) -> &[Message] {
+    pub fn messages(&self) -> &MsgBatch {
         self.raw.messages()
     }
 
@@ -105,7 +112,7 @@ impl<'a> Ctx<'a> {
     pub fn recv_all_u32s(&self) -> Vec<u32> {
         let mut out = Vec::new();
         for m in self.raw.messages() {
-            out.extend(codec::decode_u32s(&m.payload));
+            out.extend(codec::decode_u32s(m.payload));
         }
         out
     }
@@ -117,12 +124,12 @@ impl<'a> Ctx<'a> {
             .messages()
             .iter()
             .filter(|m| m.tag == tag)
-            .map(|m| (m.src, codec::decode_u32s(&m.payload)))
+            .map(|m| (m.src, codec::decode_u32s(m.payload)))
             .collect()
     }
 
     /// The payload from `src` with `tag`, if any (first match).
-    pub fn recv_from(&self, src: ProcId, tag: u32) -> Option<&Message> {
+    pub fn recv_from(&self, src: ProcId, tag: u32) -> Option<MsgView<'_>> {
         self.raw
             .messages()
             .iter()

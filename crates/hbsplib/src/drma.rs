@@ -84,20 +84,20 @@ impl Region {
     /// Takes effect on the target after the next sync, once the target
     /// calls [`Region::apply`].
     pub fn put(ctx: &mut dyn SpmdContext, dst: ProcId, offset: usize, values: &[u32]) {
-        let mut words = Vec::with_capacity(values.len() + 1);
-        words.push(offset as u32);
-        words.extend_from_slice(values);
-        ctx.send(dst, TAG_PUT, codec::encode_u32s(&words));
+        // Header word (the offset) plus the values, encoded straight
+        // into the outbox arena — no temporary buffer.
+        ctx.send_with(dst, TAG_PUT, (values.len() + 1) * 4, &mut |buf| {
+            buf[..4].copy_from_slice(&(offset as u32).to_le_bytes());
+            codec::write_u32s(values, &mut buf[4..]);
+        });
     }
 
     /// Request `len` words from `src`'s region at `offset`. The reply
     /// arrives two syncs later, carrying `token`.
     pub fn get(ctx: &mut dyn SpmdContext, src: ProcId, offset: usize, len: usize, token: u32) {
-        ctx.send(
-            src,
-            TAG_GET_REQ,
-            codec::encode_u32s(&[token, offset as u32, len as u32]),
-        );
+        ctx.send_with(src, TAG_GET_REQ, 12, &mut |buf| {
+            codec::write_u32s(&[token, offset as u32, len as u32], buf)
+        });
     }
 
     /// Process this superstep's incoming DRMA traffic: apply puts to
@@ -117,7 +117,7 @@ impl Region {
         for m in ctx.messages() {
             match m.tag {
                 TAG_PUT => {
-                    let words = codec::decode_u32s(&m.payload);
+                    let words = codec::decode_u32s(m.payload);
                     let offset = words[0] as usize;
                     let values = &words[1..];
                     assert!(
@@ -131,7 +131,7 @@ impl Region {
                     self.data[offset..offset + values.len()].copy_from_slice(values);
                 }
                 TAG_GET_REQ => {
-                    let words = codec::decode_u32s(&m.payload);
+                    let words = codec::decode_u32s(m.payload);
                     let (token, offset, len) = (words[0], words[1] as usize, words[2] as usize);
                     assert!(
                         offset + len <= self.data.len(),
@@ -144,7 +144,7 @@ impl Region {
                     requests.push((m.src, token, offset, len));
                 }
                 TAG_GET_REP => {
-                    let words = codec::decode_u32s(&m.payload);
+                    let words = codec::decode_u32s(m.payload);
                     replies.push(GetReply {
                         token: words[0],
                         src: m.src,
@@ -158,10 +158,11 @@ impl Region {
         // same superstep as a put to the same words sees the put — the
         // BSPlib ordering).
         for (requester, token, offset, len) in requests {
-            let mut words = Vec::with_capacity(len + 1);
-            words.push(token);
-            words.extend_from_slice(&self.data[offset..offset + len]);
-            ctx.send(requester, TAG_GET_REP, codec::encode_u32s(&words));
+            let served = &self.data[offset..offset + len];
+            ctx.send_with(requester, TAG_GET_REP, (len + 1) * 4, &mut |buf| {
+                buf[..4].copy_from_slice(&token.to_le_bytes());
+                codec::write_u32s(served, &mut buf[4..]);
+            });
         }
         replies
     }

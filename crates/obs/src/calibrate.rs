@@ -183,10 +183,10 @@ pub fn calibrate(steps: &[StepTrace]) -> Result<Calibration, String> {
     let mut sent_words = vec![0u64; procs];
     for st in steps {
         for i in 0..st.procs() {
-            work_units[i] += st.work[i];
-            compute_time[i] += st.compute_done[i] - st.starts[i];
-            send_time[i] += st.send_done[i] - st.compute_done[i];
-            sent_words[i] += st.sent_words[i];
+            work_units[i] += st.work()[i];
+            compute_time[i] += st.compute_done()[i] - st.starts()[i];
+            send_time[i] += st.send_done()[i] - st.compute_done()[i];
+            sent_words[i] += st.sent_words()[i];
         }
     }
     let mut speed_by_proc: Vec<f64> = (0..procs)
@@ -261,22 +261,21 @@ mod tests {
             .collect();
         let w = (0..p).map(|i| work[i] / speeds[i]).fold(0.0f64, f64::max);
         let release = t0 + w + g * h + l;
-        let finish = send_done.clone();
-        StepTrace {
+        StepTrace::from_record(&crate::probe::StepRecord {
             step,
             barrier: Some(level),
-            starts,
-            compute_done,
-            send_done,
-            finish,
-            releases: vec![release; p],
-            words_by_level: vec![0, words.iter().sum()],
-            messages_by_level: vec![0, p as u64],
+            starts: &starts,
+            compute_done: &compute_done,
+            send_done: &send_done,
+            finish: &send_done,
+            releases: &vec![release; p],
+            words_by_level: &[0, words.iter().sum()],
+            messages_by_level: &[0, p as u64],
             hrelation: h,
-            work: work.to_vec(),
-            sent_words: words.to_vec(),
+            work,
+            sent_words: words,
             wall: None,
-        }
+        })
     }
 
     #[test]
@@ -296,7 +295,7 @@ mod tests {
             let work = [30.0, 20.0, 10.0];
             let words = [50u64, 20, 5];
             let st = synth_step(i, level, g, l, h, &work, &speeds, &rs, &words, t0);
-            t0 = st.releases[0];
+            t0 = st.releases()[0];
             steps.push(st);
         }
         let cal = calibrate(&steps).expect("fit succeeds");

@@ -163,21 +163,21 @@ mod tests {
     use hbsp_core::Level;
 
     fn trace(step: usize, dur: f64, h: f64) -> StepTrace {
-        StepTrace {
+        StepTrace::from_record(&crate::probe::StepRecord {
             step,
             barrier: Some(1),
-            starts: vec![0.0],
-            compute_done: vec![0.0],
-            send_done: vec![0.0],
-            finish: vec![dur],
-            releases: vec![dur],
-            words_by_level: vec![],
-            messages_by_level: vec![],
+            starts: &[0.0],
+            compute_done: &[0.0],
+            send_done: &[0.0],
+            finish: &[dur],
+            releases: &[dur],
+            words_by_level: &[],
+            messages_by_level: &[],
             hrelation: h,
-            work: vec![0.0],
-            sent_words: vec![0],
+            work: &[0.0],
+            sent_words: &[0],
             wall: None,
-        }
+        })
     }
 
     fn cost(level: Level, w: f64, h: f64, comm: f64, sync: f64) -> SuperstepCost {

@@ -50,7 +50,7 @@ fn push_span_events(
 /// Render recorded steps as a Chrome trace-event JSON document.
 pub fn chrome_trace(steps: &[StepTrace]) -> String {
     let procs = steps.iter().map(StepTrace::procs).max().unwrap_or(0);
-    let has_wall = steps.iter().any(|s| s.wall.is_some());
+    let has_wall = steps.iter().any(|s| s.wall().is_some());
 
     let mut events = Vec::new();
     for st in steps {
@@ -179,22 +179,22 @@ pub fn jsonl(
             num(st.duration()),
             st.total_words(),
             st.total_messages(),
-            jsonl_f64s(&st.starts),
-            jsonl_f64s(&st.compute_done),
-            jsonl_f64s(&st.send_done),
-            jsonl_f64s(&st.finish),
-            jsonl_f64s(&st.releases),
-            jsonl_u64s(&st.words_by_level),
-            jsonl_u64s(&st.messages_by_level),
-            jsonl_f64s(&st.work),
-            jsonl_u64s(&st.sent_words),
+            jsonl_f64s(st.starts()),
+            jsonl_f64s(st.compute_done()),
+            jsonl_f64s(st.send_done()),
+            jsonl_f64s(st.finish()),
+            jsonl_f64s(st.releases()),
+            jsonl_u64s(st.words_by_level()),
+            jsonl_u64s(st.messages_by_level()),
+            jsonl_f64s(st.work()),
+            jsonl_u64s(st.sent_words()),
         );
-        if let Some(w) = &st.wall {
+        if let Some(w) = st.wall() {
             let _ = write!(
                 out,
                 ",\"wall\":{{\"body_start_ns\":{},\"body_end_ns\":{},\"leader_done_ns\":{}}}",
-                jsonl_u64s(&w.body_start_ns),
-                jsonl_u64s(&w.body_end_ns),
+                jsonl_u64s(w.body_start_ns),
+                jsonl_u64s(w.body_end_ns),
                 w.leader_done_ns
             );
         }
@@ -378,28 +378,28 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
 mod tests {
     use super::*;
     use crate::metrics::{MetricSample, MetricValue};
-    use crate::record::StepWallTrace;
+    use crate::probe::{StepRecord, StepWall};
 
     fn step(i: usize, t0: f64, wall: bool) -> StepTrace {
-        StepTrace {
+        StepTrace::from_record(&StepRecord {
             step: i,
             barrier: Some(0),
-            starts: vec![t0, t0],
-            compute_done: vec![t0 + 1.0, t0 + 2.0],
-            send_done: vec![t0 + 1.5, t0 + 2.0],
-            finish: vec![t0 + 2.0, t0 + 2.5],
-            releases: vec![t0 + 3.0, t0 + 3.0],
-            words_by_level: vec![0, 4],
-            messages_by_level: vec![0, 1],
+            starts: &[t0, t0],
+            compute_done: &[t0 + 1.0, t0 + 2.0],
+            send_done: &[t0 + 1.5, t0 + 2.0],
+            finish: &[t0 + 2.0, t0 + 2.5],
+            releases: &[t0 + 3.0, t0 + 3.0],
+            words_by_level: &[0, 4],
+            messages_by_level: &[0, 1],
             hrelation: 4.0,
-            work: vec![1.0, 2.0],
-            sent_words: vec![4, 0],
-            wall: wall.then(|| StepWallTrace {
-                body_start_ns: vec![10, 20],
-                body_end_ns: vec![400, 600],
+            work: &[1.0, 2.0],
+            sent_words: &[4, 0],
+            wall: wall.then_some(StepWall {
+                body_start_ns: &[10, 20],
+                body_end_ns: &[400, 600],
                 leader_done_ns: 900,
             }),
-        }
+        })
     }
 
     #[test]

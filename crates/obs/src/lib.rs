@@ -40,5 +40,5 @@ pub use drift::{DriftReport, DriftRow};
 pub use export::{chrome_trace, jsonl, validate_chrome_trace, TraceCheck};
 pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, Registry};
 pub use probe::{noop, NoopProbe, ObsEvent, Probe, StepRecord, StepWall};
-pub use record::{check_span_invariants, EventTrace, Recorder, StepTrace, StepWallTrace};
+pub use record::{check_span_invariants, EventTrace, Recorder, StepTrace};
 pub use span::{Span, SpanKind};

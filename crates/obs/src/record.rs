@@ -3,7 +3,7 @@
 //! the exporters, the drift report, and the calibrator.
 
 use crate::metrics::{self, CounterId, HistogramId, MetricSample, Registry};
-use crate::probe::{ObsEvent, Probe, StepRecord};
+use crate::probe::{ObsEvent, Probe, StepRecord, StepWall};
 use crate::span::{Span, SpanKind};
 use hbsp_core::{Level, ProcId};
 use std::sync::Mutex;
@@ -12,79 +12,185 @@ use std::sync::Mutex;
 /// deeper traffic still lands in the aggregate counters.
 pub const MAX_TRACKED_LEVELS: usize = 8;
 
+/// Number of per-processor `f64` columns in the arena.
+const F_COLS: usize = 6;
+
 /// Owned mirror of a [`StepRecord`]: everything observed about one
 /// executed superstep.
+///
+/// All per-processor and per-level columns live in two flat arenas —
+/// one `f64`, one `u64` — so recording a step costs two allocations
+/// however many columns the schema carries (the old per-field `Vec`s
+/// cost ten or more). Columns are exposed as slices through accessor
+/// methods.
+///
+/// Arena layout, for `p` processors and `L` traffic levels:
+///
+/// ```text
+/// f: [starts | compute_done | send_done | finish | releases | work]  6·p
+/// u: [sent_words]                                                      p
+///    [words_by_level | messages_by_level]                            2·L
+///    [body_start_ns | body_end_ns]                  2·p, wall runs only
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepTrace {
     /// Superstep index.
     pub step: usize,
     /// Barrier level; `None` for the final drain step.
     pub barrier: Option<Level>,
-    /// Per-processor start times.
-    pub starts: Vec<f64>,
-    /// Per-processor compute-done times.
-    pub compute_done: Vec<f64>,
-    /// Per-processor send-done times.
-    pub send_done: Vec<f64>,
-    /// Per-processor finish times.
-    pub finish: Vec<f64>,
-    /// Per-processor release times.
-    pub releases: Vec<f64>,
-    /// Words per hierarchy level (index 0 = self-sends).
-    pub words_by_level: Vec<u64>,
-    /// Messages per hierarchy level (index 0 = self-sends).
-    pub messages_by_level: Vec<u64>,
     /// Observed h-relation.
     pub hrelation: f64,
-    /// Per-processor charged work units.
-    pub work: Vec<f64>,
-    /// Per-processor outgoing words.
-    pub sent_words: Vec<u64>,
-    /// Wall-clock marks (threaded engine only).
-    pub wall: Option<StepWallTrace>,
-}
-
-/// Owned mirror of [`crate::probe::StepWall`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct StepWallTrace {
-    /// Per-processor body start, ns since the run began.
-    pub body_start_ns: Vec<u64>,
-    /// Per-processor body end (barrier arrival), ns.
-    pub body_end_ns: Vec<u64>,
-    /// Leader-section completion, ns.
-    pub leader_done_ns: u64,
+    procs: usize,
+    levels: usize,
+    has_wall: bool,
+    leader_done_ns: u64,
+    f: Box<[f64]>,
+    u: Box<[u64]>,
 }
 
 impl StepTrace {
+    /// Copy a borrowed [`StepRecord`] into one owned arena.
+    pub fn from_record(r: &StepRecord<'_>) -> StepTrace {
+        let p = r.starts.len();
+        let levels = r.words_by_level.len();
+        assert_eq!(r.compute_done.len(), p);
+        assert_eq!(r.send_done.len(), p);
+        assert_eq!(r.finish.len(), p);
+        assert_eq!(r.releases.len(), p);
+        assert_eq!(r.work.len(), p);
+        assert_eq!(r.sent_words.len(), p);
+        assert_eq!(r.messages_by_level.len(), levels);
+        let f_total = F_COLS * p;
+        let u_total = p + 2 * levels + if r.wall.is_some() { 2 * p } else { 0 };
+        let mut f = Vec::with_capacity(f_total);
+        for col in [
+            r.starts,
+            r.compute_done,
+            r.send_done,
+            r.finish,
+            r.releases,
+            r.work,
+        ] {
+            f.extend_from_slice(col);
+        }
+        let mut u = Vec::with_capacity(u_total);
+        u.extend_from_slice(r.sent_words);
+        u.extend_from_slice(r.words_by_level);
+        u.extend_from_slice(r.messages_by_level);
+        if let Some(w) = &r.wall {
+            assert_eq!(w.body_start_ns.len(), p);
+            assert_eq!(w.body_end_ns.len(), p);
+            u.extend_from_slice(w.body_start_ns);
+            u.extend_from_slice(w.body_end_ns);
+        }
+        debug_assert_eq!((f.len(), u.len()), (f_total, u_total));
+        StepTrace {
+            step: r.step,
+            barrier: r.barrier,
+            hrelation: r.hrelation,
+            procs: p,
+            levels,
+            has_wall: r.wall.is_some(),
+            leader_done_ns: r.wall.as_ref().map(|w| w.leader_done_ns).unwrap_or(0),
+            f: f.into_boxed_slice(),
+            u: u.into_boxed_slice(),
+        }
+    }
+
+    /// The `i`-th per-processor `f64` column.
+    fn fcol(&self, i: usize) -> &[f64] {
+        &self.f[i * self.procs..(i + 1) * self.procs]
+    }
+
+    /// Per-processor start times.
+    pub fn starts(&self) -> &[f64] {
+        self.fcol(0)
+    }
+
+    /// Per-processor compute-done times.
+    pub fn compute_done(&self) -> &[f64] {
+        self.fcol(1)
+    }
+
+    /// Per-processor send-done times.
+    pub fn send_done(&self) -> &[f64] {
+        self.fcol(2)
+    }
+
+    /// Per-processor finish times.
+    pub fn finish(&self) -> &[f64] {
+        self.fcol(3)
+    }
+
+    /// Per-processor release times.
+    pub fn releases(&self) -> &[f64] {
+        self.fcol(4)
+    }
+
+    /// Per-processor charged work units.
+    pub fn work(&self) -> &[f64] {
+        self.fcol(5)
+    }
+
+    /// Per-processor outgoing words.
+    pub fn sent_words(&self) -> &[u64] {
+        &self.u[..self.procs]
+    }
+
+    /// Words per hierarchy level (index 0 = self-sends).
+    pub fn words_by_level(&self) -> &[u64] {
+        &self.u[self.procs..self.procs + self.levels]
+    }
+
+    /// Messages per hierarchy level (index 0 = self-sends).
+    pub fn messages_by_level(&self) -> &[u64] {
+        let base = self.procs + self.levels;
+        &self.u[base..base + self.levels]
+    }
+
+    /// Wall-clock marks (threaded engine only).
+    pub fn wall(&self) -> Option<StepWall<'_>> {
+        if !self.has_wall {
+            return None;
+        }
+        let base = self.procs + 2 * self.levels;
+        let p = self.procs;
+        Some(StepWall {
+            body_start_ns: &self.u[base..base + p],
+            body_end_ns: &self.u[base + p..base + 2 * p],
+            leader_done_ns: self.leader_done_ns,
+        })
+    }
+
     /// Number of processors observed.
     pub fn procs(&self) -> usize {
-        self.starts.len()
+        self.procs
     }
 
     /// Step duration in virtual time: `max(release) - min(start)`.
     pub fn duration(&self) -> f64 {
-        let start = self.starts.iter().copied().fold(f64::INFINITY, f64::min);
-        let release = self.releases.iter().copied().fold(0.0f64, f64::max);
+        let start = self.starts().iter().copied().fold(f64::INFINITY, f64::min);
+        let release = self.releases().iter().copied().fold(0.0f64, f64::max);
         release - start
     }
 
     /// Largest per-processor compute interval — the observed `w` term.
     pub fn observed_work_time(&self) -> f64 {
-        self.starts
+        self.starts()
             .iter()
-            .zip(&self.compute_done)
+            .zip(self.compute_done())
             .map(|(s, c)| c - s)
             .fold(0.0f64, f64::max)
     }
 
     /// Total words moved (self-sends included).
     pub fn total_words(&self) -> u64 {
-        self.words_by_level.iter().sum()
+        self.words_by_level().iter().sum()
     }
 
     /// Total messages (self-sends included).
     pub fn total_messages(&self) -> u64 {
-        self.messages_by_level.iter().sum()
+        self.messages_by_level().iter().sum()
     }
 
     /// Virtual-time spans for processor `pid`, in time order. Same
@@ -99,14 +205,22 @@ impl StepTrace {
                 out.push(Span { kind, start, end });
             }
         };
-        push(SpanKind::Compute, self.starts[pid], self.compute_done[pid]);
-        push(SpanKind::Send, self.compute_done[pid], self.send_done[pid]);
-        push(SpanKind::Unpack, self.send_done[pid], self.finish[pid]);
-        if self.barrier.is_some() || self.releases[pid] > self.finish[pid] {
+        push(
+            SpanKind::Compute,
+            self.starts()[pid],
+            self.compute_done()[pid],
+        );
+        push(
+            SpanKind::Send,
+            self.compute_done()[pid],
+            self.send_done()[pid],
+        );
+        push(SpanKind::Unpack, self.send_done()[pid], self.finish()[pid]);
+        if self.barrier.is_some() || self.releases()[pid] > self.finish()[pid] {
             out.push(Span {
                 kind: SpanKind::BarrierWait,
-                start: self.finish[pid],
-                end: self.releases[pid],
+                start: self.finish()[pid],
+                end: self.releases()[pid],
             });
         }
         out
@@ -116,7 +230,7 @@ impl StepTrace {
     /// (labelled [`SpanKind::Compute`]) then [`SpanKind::BarrierWait`]
     /// until the leader section completed. Empty on the simulator.
     pub fn wall_spans(&self, pid: usize) -> Vec<Span> {
-        let Some(wall) = &self.wall else {
+        let Some(wall) = self.wall() else {
             return Vec::new();
         };
         let body_start = wall.body_start_ns[pid] as f64;
@@ -346,25 +460,7 @@ impl Probe for Recorder {
 
     fn on_step(&self, r: &StepRecord<'_>) {
         self.record_metrics(r);
-        let trace = StepTrace {
-            step: r.step,
-            barrier: r.barrier,
-            starts: r.starts.to_vec(),
-            compute_done: r.compute_done.to_vec(),
-            send_done: r.send_done.to_vec(),
-            finish: r.finish.to_vec(),
-            releases: r.releases.to_vec(),
-            words_by_level: r.words_by_level.to_vec(),
-            messages_by_level: r.messages_by_level.to_vec(),
-            hrelation: r.hrelation,
-            work: r.work.to_vec(),
-            sent_words: r.sent_words.to_vec(),
-            wall: r.wall.map(|w| StepWallTrace {
-                body_start_ns: w.body_start_ns.to_vec(),
-                body_end_ns: w.body_end_ns.to_vec(),
-                leader_done_ns: w.leader_done_ns,
-            }),
-        };
+        let trace = StepTrace::from_record(r);
         self.steps.lock().expect("recorder lock").push(trace);
     }
 
@@ -414,14 +510,14 @@ pub fn check_span_invariants(steps: &[StepTrace]) -> Result<(), String> {
             let spans = st.spans(pid);
             let step = st.step;
             if let Some(prev) = prev_release {
-                if st.starts[pid] != prev {
+                if st.starts()[pid] != prev {
                     return Err(format!(
                         "proc {pid} step {step}: starts at {} but previous release was {prev}",
-                        st.starts[pid]
+                        st.starts()[pid]
                     ));
                 }
             }
-            let mut cursor = st.starts[pid];
+            let mut cursor = st.starts()[pid];
             for (si, span) in spans.iter().enumerate() {
                 if span.start != cursor {
                     return Err(format!(
@@ -437,10 +533,10 @@ pub fn check_span_invariants(steps: &[StepTrace]) -> Result<(), String> {
                 }
                 cursor = span.end;
             }
-            if cursor != st.releases[pid] {
+            if cursor != st.releases()[pid] {
                 return Err(format!(
                     "proc {pid} step {step}: spans end at {cursor}, release is {}",
-                    st.releases[pid]
+                    st.releases()[pid]
                 ));
             }
             if st.barrier.is_some() {
@@ -454,7 +550,7 @@ pub fn check_span_invariants(steps: &[StepTrace]) -> Result<(), String> {
                     }
                 }
             }
-            prev_release = Some(st.releases[pid]);
+            prev_release = Some(st.releases()[pid]);
         }
     }
     Ok(())
@@ -464,43 +560,59 @@ pub fn check_span_invariants(steps: &[StepTrace]) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    /// Reborrow an owned trace as the record it came from.
+    fn record_of(st: &StepTrace) -> StepRecord<'_> {
+        StepRecord {
+            step: st.step,
+            barrier: st.barrier,
+            starts: st.starts(),
+            compute_done: st.compute_done(),
+            send_done: st.send_done(),
+            finish: st.finish(),
+            releases: st.releases(),
+            words_by_level: st.words_by_level(),
+            messages_by_level: st.messages_by_level(),
+            hrelation: st.hrelation,
+            work: st.work(),
+            sent_words: st.sent_words(),
+            wall: st.wall(),
+        }
+    }
+
     fn synthetic_step(step: usize, barrier: Option<Level>, t0: f64) -> StepTrace {
-        StepTrace {
+        synthetic_step_released(step, barrier, t0, [t0 + 6.0, t0 + 6.0])
+    }
+
+    /// Like [`synthetic_step`] but with explicit release times (pass
+    /// the finish times to exercise zero-length barrier waits).
+    fn synthetic_step_released(
+        step: usize,
+        barrier: Option<Level>,
+        t0: f64,
+        releases: [f64; 2],
+    ) -> StepTrace {
+        StepTrace::from_record(&StepRecord {
             step,
             barrier,
-            starts: vec![t0, t0],
-            compute_done: vec![t0 + 2.0, t0 + 4.0],
-            send_done: vec![t0 + 3.0, t0 + 4.0],
-            finish: vec![t0 + 3.5, t0 + 5.0],
-            releases: vec![t0 + 6.0, t0 + 6.0],
-            words_by_level: vec![0, 8],
-            messages_by_level: vec![0, 2],
+            starts: &[t0, t0],
+            compute_done: &[t0 + 2.0, t0 + 4.0],
+            send_done: &[t0 + 3.0, t0 + 4.0],
+            finish: &[t0 + 3.5, t0 + 5.0],
+            releases: &releases,
+            words_by_level: &[0, 8],
+            messages_by_level: &[0, 2],
             hrelation: 8.0,
-            work: vec![2.0, 4.0],
-            sent_words: vec![4, 4],
+            work: &[2.0, 4.0],
+            sent_words: &[4, 4],
             wall: None,
-        }
+        })
     }
 
     #[test]
     fn recorder_owns_steps_and_counts_metrics() {
         let rec = Recorder::new();
         let st = synthetic_step(0, Some(1), 0.0);
-        rec.on_step(&StepRecord {
-            step: st.step,
-            barrier: st.barrier,
-            starts: &st.starts,
-            compute_done: &st.compute_done,
-            send_done: &st.send_done,
-            finish: &st.finish,
-            releases: &st.releases,
-            words_by_level: &st.words_by_level,
-            messages_by_level: &st.messages_by_level,
-            hrelation: st.hrelation,
-            work: &st.work,
-            sent_words: &st.sent_words,
-            wall: None,
-        });
+        rec.on_step(&record_of(&st));
         assert_eq!(rec.steps(), vec![st]);
         let text = rec.metrics_text();
         assert!(text.contains("hbsp_steps_total 1\n"), "{text}");
@@ -556,8 +668,7 @@ mod tests {
 
     #[test]
     fn zero_length_barrier_wait_is_still_emitted() {
-        let mut st = synthetic_step(0, Some(1), 0.0);
-        st.releases = st.finish.clone();
+        let st = synthetic_step_released(0, Some(1), 0.0, [3.5, 5.0]);
         let spans = st.spans(1);
         let last = spans.last().unwrap();
         assert_eq!(last.kind, SpanKind::BarrierWait);
@@ -574,10 +685,8 @@ mod tests {
         let err = check_span_invariants(&[a.clone(), b]).unwrap_err();
         assert!(err.contains("previous release"), "{err}");
 
-        // Release beyond the last span on a drain step.
-        let mut c = synthetic_step(0, None, 0.0);
-        c.finish = vec![3.5, 5.0];
-        c.releases = vec![3.5, 5.0];
+        // Releases matching the finishes on a drain step are legal.
+        let c = synthetic_step_released(0, None, 0.0, [3.5, 5.0]);
         assert!(check_span_invariants(&[c]).is_ok());
     }
 
@@ -586,21 +695,7 @@ mod tests {
         let rec = Recorder::new();
         for (i, t0) in [(0usize, 0.0), (1usize, 6.0)] {
             let st = synthetic_step(i, Some(1), t0);
-            rec.on_step(&StepRecord {
-                step: st.step,
-                barrier: st.barrier,
-                starts: &st.starts,
-                compute_done: &st.compute_done,
-                send_done: &st.send_done,
-                finish: &st.finish,
-                releases: &st.releases,
-                words_by_level: &st.words_by_level,
-                messages_by_level: &st.messages_by_level,
-                hrelation: st.hrelation,
-                work: &st.work,
-                sent_words: &st.sent_words,
-                wall: None,
-            });
+            rec.on_step(&record_of(&st));
         }
         let tls = rec.timelines();
         assert_eq!(tls.len(), 2);
@@ -613,11 +708,14 @@ mod tests {
 
     #[test]
     fn wall_spans_decompose_into_body_and_wait() {
-        let mut st = synthetic_step(0, Some(1), 0.0);
-        st.wall = Some(StepWallTrace {
-            body_start_ns: vec![100, 150],
-            body_end_ns: vec![300, 500],
-            leader_done_ns: 650,
+        let base = synthetic_step(0, Some(1), 0.0);
+        let st = StepTrace::from_record(&StepRecord {
+            wall: Some(StepWall {
+                body_start_ns: &[100, 150],
+                body_end_ns: &[300, 500],
+                leader_done_ns: 650,
+            }),
+            ..record_of(&base)
         });
         let spans = st.wall_spans(0);
         assert_eq!(spans.len(), 2);

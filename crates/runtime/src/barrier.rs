@@ -38,9 +38,61 @@
 //! cascade `PoisonError` panics through surviving waiters.
 
 use hbsp_core::MachineTree;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Process-global census of runtime threads that compete with barrier
+/// parties for cores: every live [`HierBarrier`] contributes its party
+/// count, and auxiliary threads (probes, monitors, co-running test
+/// harnesses) can add themselves via [`register_extra_thread`]. The
+/// spin/park policy consults this census — both at construction and
+/// periodically from the leader section — so a barrier stops spinning
+/// when the process becomes oversubscribed *after* it was built.
+static RUNTIME_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII registration of `n` runtime threads in the process census.
+pub struct ThreadCensusGuard {
+    n: usize,
+}
+
+impl Drop for ThreadCensusGuard {
+    fn drop(&mut self) {
+        RUNTIME_THREADS.fetch_sub(self.n, Ordering::Relaxed);
+    }
+}
+
+fn register_threads(n: usize) -> ThreadCensusGuard {
+    RUNTIME_THREADS.fetch_add(n, Ordering::Relaxed);
+    ThreadCensusGuard { n }
+}
+
+/// Register one auxiliary thread (a probe flusher, a watchdog, a
+/// co-running harness thread) with the barrier spin policy for the
+/// lifetime of the returned guard. While any extra thread is
+/// registered, barriers whose parties plus extras exceed the host's
+/// cores park immediately instead of spinning — a spinning waiter
+/// would only steal cycles from the thread everyone is waiting for.
+pub fn register_extra_thread() -> ThreadCensusGuard {
+    register_threads(1)
+}
+
+fn census_threads() -> usize {
+    RUNTIME_THREADS.load(Ordering::Relaxed)
+}
+
+/// The pure spin policy: how many generation-poll iterations a waiter
+/// runs before yielding/parking, given the host's core count, the
+/// barrier's party count, and how many *other* runtime threads are
+/// live in the process. Spinning is only ever profitable when every
+/// party (and every co-running thread) can hold a core simultaneously.
+fn spin_iters(cores: usize, parties: usize, extra: usize) -> u32 {
+    if cores >= parties + extra {
+        SPIN_LIMIT
+    } else {
+        0
+    }
+}
 
 /// Poison-tolerant lock: a panic in some other thread while it held
 /// the mutex must not take the survivors down with it. Shared with the
@@ -158,12 +210,37 @@ impl CentralBarrier {
     }
 }
 
-/// Pad to two cache lines so neighbouring slots never false-share (128
-/// covers adjacent-line prefetch on common x86 parts).
+/// The arrival counter of a combining node, alone on its own pair of
+/// cache lines (128 covers adjacent-line prefetch on common x86
+/// parts): the hammered `fetch_add` line must not be shared with the
+/// node's gate or with a neighbouring node's counter.
 #[repr(align(128))]
-struct Padded<T>(T);
+struct ArriveLine {
+    /// Arrivals so far in the current generation.
+    count: AtomicUsize,
+}
 
-/// One combining node: a cluster of the machine tree.
+/// The wait state of a combining node, on its own pair of cache lines
+/// for the same reason: parked-waiter bookkeeping must not false-share
+/// with the arrival counter one field over.
+#[repr(align(128))]
+struct WaitLine {
+    /// Gate the node's waiters park behind: threads whose arrival
+    /// stopped at this node block here, so wait queues are as wide as a
+    /// cluster, and the leader releases with one broadcast per cluster.
+    /// The guarded count is the number of waiters parked (or committed
+    /// to parking) behind the gate — the leader skips the broadcast
+    /// entirely for gates nobody is parked behind, which on the
+    /// yield-resolved fast path makes release syscall-free.
+    gate: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// One combining node: a cluster of the machine tree. `repr(C)` pins
+/// the layout so the const assertions below can verify that the three
+/// concurrently-touched regions (cold topology metadata, the arrival
+/// counter, the wait gate) sit on disjoint cache lines.
+#[repr(C)]
 struct TreeNode {
     /// Parent combining node, `None` for the root.
     parent: Option<usize>,
@@ -171,14 +248,19 @@ struct TreeNode {
     /// processor child arrives itself; a sub-cluster child is
     /// represented by its own last arriver).
     expected: usize,
-    /// Arrivals so far in the current generation.
-    count: Padded<AtomicUsize>,
-    /// Gate the node's waiters park behind: threads whose arrival
-    /// stopped at this node block here, so wait queues are as wide as a
-    /// cluster, and the leader releases with one broadcast per cluster.
-    gate: Mutex<()>,
-    cv: Condvar,
+    arrive: ArriveLine,
+    wait: WaitLine,
 }
+
+// Layout audit: metadata, arrival counter, and wait gate each own a
+// disjoint 128-byte slot, and nodes tile an array without bleeding
+// into each other's lines.
+const _: () = {
+    assert!(std::mem::align_of::<TreeNode>() == 128);
+    assert!(std::mem::offset_of!(TreeNode, arrive) == 128);
+    assert!(std::mem::offset_of!(TreeNode, wait) == 256);
+    assert!(std::mem::size_of::<TreeNode>() == 384);
+};
 
 /// Iterations of generation-polling before a waiter parks, when the
 /// host has a core per thread. Kept short: superstep leader sections do
@@ -187,6 +269,21 @@ struct TreeNode {
 /// at all — a spinning waiter then *delays* the very threads it is
 /// waiting for, so parking immediately is strictly better.
 const SPIN_LIMIT: u32 = 64;
+
+/// Bounded `yield_now` rounds between spinning and parking. On an
+/// oversubscribed host each yield hands the core to the very threads
+/// the waiter is blocked on, and the generation flip usually lands
+/// within a few reschedules — resolving the barrier without any
+/// futex wait/wake round-trip. Bounded so a genuinely stalled peer
+/// still drives waiters into the parked state where the watchdog
+/// deadline is honored.
+const YIELD_LIMIT: u32 = 64;
+
+/// The leader re-reads the core count and thread census every this
+/// many generations, so the spin policy tracks oversubscription drift
+/// (another runtime starting in-process, cgroup cpu masks shrinking)
+/// instead of staying frozen at construction time.
+const SPIN_REEVAL_PERIOD: u64 = 256;
 
 /// A hierarchical sense-reversing barrier whose combining tree mirrors
 /// a machine tree's cluster structure.
@@ -209,14 +306,21 @@ pub struct HierBarrier {
     /// generations: a release flip happens-after every arrival of its
     /// generation.
     generation: AtomicU64,
-    /// Generation-poll iterations before parking ([`SPIN_LIMIT`] with a
-    /// core per thread, 0 when oversubscribed).
-    spin: u32,
+    /// Generation-poll iterations before yielding/parking
+    /// ([`SPIN_LIMIT`] with a core per thread and no co-running
+    /// threads, 0 when oversubscribed). Re-evaluated by the leader
+    /// every [`SPIN_REEVAL_PERIOD`] generations against the live core
+    /// count and thread census, never frozen at construction.
+    spin: AtomicU32,
     /// Watchdog state: [`ABORT_LIVE`] → [`ABORT_CLAIMED`] (one timed-out
     /// waiter won the CAS and is running its `on_timeout`) →
     /// [`ABORT_DEAD`] (abort effects published; every wait returns
     /// `None` immediately).
     abort: AtomicU8,
+    /// This barrier's own parties, registered in the process census
+    /// for its lifetime so concurrently-running barriers see each
+    /// other as oversubscription.
+    _census: ThreadCensusGuard,
 }
 
 const ABORT_LIVE: u8 = 0;
@@ -236,9 +340,13 @@ impl HierBarrier {
                 nodes.push(TreeNode {
                     parent: None,
                     expected: n.num_children(),
-                    count: Padded(AtomicUsize::new(0)),
-                    gate: Mutex::new(()),
-                    cv: Condvar::new(),
+                    arrive: ArriveLine {
+                        count: AtomicUsize::new(0),
+                    },
+                    wait: WaitLine {
+                        gate: Mutex::new(0),
+                        cv: Condvar::new(),
+                    },
                 });
             }
         }
@@ -249,28 +357,49 @@ impl HierBarrier {
                 }
             }
         }
-        let start = tree
+        let start: Vec<Option<usize>> = tree
             .leaves()
             .iter()
             .map(|&leaf| tree.node(leaf).parent().map(|par| map[par.index()]))
             .collect();
+        let parties = start.len();
+        // Register our parties first so the census (and any barrier
+        // built concurrently) counts them, then size the spin budget
+        // against cores minus everyone else's threads.
+        let census = register_threads(parties);
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let extra = census_threads().saturating_sub(parties);
         HierBarrier {
             nodes,
             start,
             generation: AtomicU64::new(0),
-            spin: if cores >= tree.num_procs() {
-                SPIN_LIMIT
-            } else {
-                0
-            },
+            spin: AtomicU32::new(spin_iters(cores, parties, extra)),
             abort: AtomicU8::new(ABORT_LIVE),
+            _census: census,
         }
     }
 
     /// Number of participating threads (one per leaf processor).
     pub fn parties(&self) -> usize {
         self.start.len()
+    }
+
+    /// The current spin budget: generation-poll iterations a waiter
+    /// runs before yielding and parking. Zero whenever the process's
+    /// thread census exceeds the host's cores.
+    pub fn spin_budget(&self) -> u32 {
+        self.spin.load(Ordering::Relaxed)
+    }
+
+    /// Re-derive the spin budget from the live core count and thread
+    /// census. Called by the root leader every [`SPIN_REEVAL_PERIOD`]
+    /// generations.
+    fn reevaluate_spin(&self) {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let parties = self.start.len();
+        let extra = census_threads().saturating_sub(parties);
+        self.spin
+            .store(spin_iters(cores, parties, extra), Ordering::Relaxed);
     }
 
     /// Wait for every rank. The thread that completes the root arrival
@@ -317,17 +446,20 @@ impl HierBarrier {
             // AcqRel chains every earlier arriver's writes (its
             // contribution slot, its subtree's counts) into this
             // thread's view before it proceeds upward.
-            if n.count.0.fetch_add(1, Ordering::AcqRel) + 1 == n.expected {
+            if n.arrive.count.fetch_add(1, Ordering::AcqRel) + 1 == n.expected {
                 // Last arriver of this cluster: reset for the next
                 // generation (safe: nobody re-arrives here until after
                 // the release flip, which happens-after this store) and
                 // represent the cluster one level up.
-                n.count.0.store(0, Ordering::Relaxed);
+                n.arrive.count.store(0, Ordering::Relaxed);
                 match n.parent {
                     Some(parent) => node = parent,
                     None => {
                         let result = leader();
-                        self.generation.fetch_add(1, Ordering::AcqRel);
+                        let done = self.generation.fetch_add(1, Ordering::AcqRel);
+                        if done.is_multiple_of(SPIN_REEVAL_PERIOD) {
+                            self.reevaluate_spin();
+                        }
                         self.release_all();
                         return Some(result);
                     }
@@ -344,13 +476,25 @@ impl HierBarrier {
         self.wait_leader(rank, || ());
     }
 
-    /// Park behind the gate of the combining node our arrival stopped
-    /// at. No lost wakeup is possible: the generation is re-checked
-    /// under the gate mutex, and the leader takes (and drops) the same
-    /// mutex after flipping the generation but before broadcasting — so
-    /// either we entered `cv.wait` before the leader's broadcast (and
-    /// it wakes us), or our lock acquisition ordered after the leader's
-    /// unlock made the flip visible and we never wait.
+    /// Wait out the generation flip in three escalating phases:
+    ///
+    /// 1. **Spin** for the current spin budget (zero on an
+    ///    oversubscribed host) — cheapest when every thread has a core.
+    /// 2. **Yield** up to [`YIELD_LIMIT`] reschedules: on an
+    ///    oversubscribed host this donates the core to the threads we
+    ///    are waiting for, and the flip usually lands here with no
+    ///    futex traffic in either direction.
+    /// 3. **Park** behind the gate of the combining node our arrival
+    ///    stopped at, counting ourselves in the gate's parked tally so
+    ///    the leader broadcasts only to gates that hold sleepers.
+    ///
+    /// No lost wakeup is possible: the parked tally is incremented and
+    /// the generation re-checked under the gate mutex, and the leader
+    /// reads the tally under the same mutex after flipping the
+    /// generation — so either we entered `cv.wait` before the leader
+    /// read a nonzero tally (and its broadcast wakes us), or the
+    /// leader's lock acquisition ordered after ours made the flip
+    /// visible to our re-check and we never wait.
     fn wait_for_flip(
         &self,
         gen: u64,
@@ -358,23 +502,39 @@ impl HierBarrier {
         timeout: Option<Duration>,
         on_timeout: impl FnOnce(),
     ) {
-        for _ in 0..self.spin {
+        for _ in 0..self.spin.load(Ordering::Relaxed) {
             if self.generation.load(Ordering::Acquire) != gen {
                 return;
             }
             std::hint::spin_loop();
         }
-        let n = &self.nodes[node];
-        let mut deadline = timeout.map(|t| Instant::now() + t);
-        let mut guard = lock_anyway(&n.gate);
-        loop {
+        for _ in 0..YIELD_LIMIT {
             if self.generation.load(Ordering::Acquire) != gen
                 || self.abort.load(Ordering::Acquire) == ABORT_DEAD
             {
                 return;
             }
+            std::thread::yield_now();
+        }
+        let n = &self.nodes[node];
+        let mut deadline = timeout.map(|t| Instant::now() + t);
+        let mut guard = lock_anyway(&n.wait.gate);
+        *guard += 1;
+        loop {
+            if self.generation.load(Ordering::Acquire) != gen
+                || self.abort.load(Ordering::Acquire) == ABORT_DEAD
+            {
+                *guard -= 1;
+                return;
+            }
             match deadline {
-                None => guard = n.cv.wait(guard).unwrap_or_else(PoisonError::into_inner),
+                None => {
+                    guard = n
+                        .wait
+                        .cv
+                        .wait(guard)
+                        .unwrap_or_else(PoisonError::into_inner)
+                }
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
@@ -391,6 +551,7 @@ impl HierBarrier {
                             // Claim won: publish the abort effects
                             // before any waiter can observe the dead
                             // barrier (they park until `release_all`).
+                            *guard -= 1;
                             drop(guard);
                             on_timeout();
                             self.abort.store(ABORT_DEAD, Ordering::Release);
@@ -402,24 +563,30 @@ impl HierBarrier {
                         deadline = None;
                         continue;
                     }
-                    guard =
-                        n.cv.wait_timeout(guard, d - now)
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .0;
+                    guard = n
+                        .wait
+                        .cv
+                        .wait_timeout(guard, d - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
                 }
             }
         }
     }
 
-    /// Release every waiter: one broadcast per combining node (a
-    /// waiter's queue is its cluster's, so there are as many broadcasts
-    /// as clusters, not as threads).
+    /// Release every parked waiter: at most one broadcast per combining
+    /// node (a waiter's queue is its cluster's), and none at all for
+    /// gates whose parked tally is zero — which is every gate when the
+    /// waiters resolved the flip in their spin or yield phase, making
+    /// the steady-state release entirely syscall-free.
     fn release_all(&self) {
         for n in &self.nodes {
-            // Lock-then-broadcast pairs with the waiter's locked
-            // re-check (see `wait_for_flip`).
-            drop(lock_anyway(&n.gate));
-            n.cv.notify_all();
+            // Lock-then-read pairs with the waiter's locked increment
+            // and re-check (see `wait_for_flip`).
+            let parked = *lock_anyway(&n.wait.gate);
+            if parked > 0 {
+                n.wait.cv.notify_all();
+            }
         }
     }
 }
@@ -708,6 +875,66 @@ mod tests {
         });
         assert_eq!(aborts.load(Ordering::SeqCst), 0);
         assert_eq!(leads.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn spin_policy_requires_a_core_per_thread() {
+        // Spinning is only profitable when parties + co-running threads
+        // all fit on cores; any deficit means a spinning waiter steals
+        // cycles from the thread it waits for.
+        assert_eq!(spin_iters(16, 16, 0), SPIN_LIMIT);
+        assert_eq!(spin_iters(16, 8, 8), SPIN_LIMIT);
+        assert_eq!(spin_iters(16, 16, 1), 0, "one extra thread disables spin");
+        assert_eq!(spin_iters(8, 16, 0), 0, "oversubscribed parties");
+        assert_eq!(spin_iters(1, 2, 0), 0);
+        assert_eq!(spin_iters(1, 1, 0), SPIN_LIMIT);
+    }
+
+    /// Regression: the spin decision used to be frozen at construction
+    /// from `available_parallelism() >= parties` alone, ignoring every
+    /// other runtime thread in the process. An oversubscribed barrier
+    /// must never spin — neither at construction nor after the leader's
+    /// periodic re-evaluation.
+    #[test]
+    fn oversubscribed_barrier_never_spins() {
+        // Register far more extra threads than any host has cores.
+        let _guards: Vec<ThreadCensusGuard> = (0..1024).map(|_| register_extra_thread()).collect();
+        let t = clustered();
+        let b = HierBarrier::new(&t);
+        assert_eq!(
+            b.spin_budget(),
+            0,
+            "census of co-running threads must veto spinning at construction"
+        );
+
+        // Drift case: a barrier that decided to spin must drop to 0
+        // once the leader re-evaluates against the live census. Force a
+        // stale nonzero budget, run one generation (generation 0
+        // triggers re-evaluation), and observe the corrected budget.
+        b.spin.store(SPIN_LIMIT, Ordering::Relaxed);
+        let p = b.parties();
+        std::thread::scope(|s| {
+            for rank in 0..p {
+                let b = &b;
+                s.spawn(move || {
+                    b.wait_leader(rank, || ());
+                });
+            }
+        });
+        assert_eq!(
+            b.spin_budget(),
+            0,
+            "leader re-evaluation must track oversubscription drift"
+        );
+    }
+
+    #[test]
+    fn tree_node_isolates_hot_lines() {
+        // The const asserts enforce this at compile time; restate the
+        // intent where a failing layout change will name the test.
+        assert_eq!(std::mem::size_of::<TreeNode>(), 384);
+        assert_eq!(std::mem::offset_of!(TreeNode, arrive), 128);
+        assert_eq!(std::mem::offset_of!(TreeNode, wait), 256);
     }
 
     #[test]

@@ -18,10 +18,10 @@
 
 use crate::barrier::{lock_anyway, BarrierKind, StepBarrier};
 use crate::mailbox::Mailbox;
-use hbsp_core::{MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome};
+use hbsp_core::{MachineTree, MsgBatch, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome};
 use hbsp_obs::{ObsEvent, Probe, StepRecord, StepWall};
-use hbsp_sim::step::{analyze, delivery_order, resolve_outcomes};
-use hbsp_sim::timing::{barrier_release, superstep_timing_faulted};
+use hbsp_sim::step::{analyze_into, delivery_order_into, resolve_outcomes, StepAnalysis};
+use hbsp_sim::timing::{barrier_release, superstep_timing_faulted_into, StepTiming, TimingScratch};
 use hbsp_sim::trace::{step_spans, ProcTimeline};
 use hbsp_sim::{FaultPlan, NetConfig, SimError, SimOutcome, StepStats};
 use std::cell::UnsafeCell;
@@ -116,8 +116,14 @@ impl ProcSlot {
 struct SlotData {
     /// Charged work units of the current step.
     work: f64,
-    /// Messages posted in the current step, in posting order.
-    sends: Vec<Message>,
+    /// This step's drained inbox: swapped out of the mailbox at body
+    /// start, swapped back (empty) as the next delivery buffer. Owned
+    /// by the processor thread; the leader never reads it.
+    inbox: MsgBatch,
+    /// Messages posted in the current step, in posting order — a flat
+    /// batch the body's `send` writes into directly and the leader
+    /// bulk-moves out, so a steady-state step allocates nothing here.
+    sends: MsgBatch,
     /// The step body's outcome; consumed by the leader.
     outcome: Option<StepOutcome>,
     /// A contained panic, recorded with the step it happened in. Only
@@ -157,6 +163,64 @@ struct LeaderState {
     timelines: Option<Vec<ProcTimeline>>,
     /// Set when the SPMD discipline is violated; threads bail out.
     error: Option<SimError>,
+    // --- per-step scratch, reused so a steady-state superstep does no
+    // per-message heap allocation (the buffers grow once, then cycle).
+    /// Charged work gathered from the slots.
+    work: Vec<f64>,
+    /// Step outcomes gathered from the slots.
+    outcomes: Vec<StepOutcome>,
+    /// All posted messages of the step, gathered in pid order — the
+    /// exact posting order the simulator sees.
+    sends: MsgBatch,
+    /// Validated communication analysis of the step.
+    analysis: StepAnalysis,
+    /// Virtual-time decomposition of the step.
+    timing: StepTiming,
+    /// The timing algebra's internal queues.
+    timing_scratch: TimingScratch,
+    /// Delivery permutation of the step's messages.
+    order: Vec<usize>,
+    /// Per-destination delivery batches; each is swapped into its
+    /// receiver's mailbox and the receiver's drained buffer is swapped
+    /// back, so the same allocations circulate all run.
+    dests: Vec<MsgBatch>,
+}
+
+impl LeaderState {
+    fn new(p: usize, trace: bool) -> Self {
+        LeaderState {
+            starts: vec![0.0; p],
+            finish: vec![0.0; p],
+            steps: Vec::new(),
+            delivered: 0,
+            timelines: trace.then(|| {
+                (0..p)
+                    .map(|i| ProcTimeline {
+                        pid: ProcId(i as u32),
+                        spans: Vec::new(),
+                    })
+                    .collect()
+            }),
+            error: None,
+            work: Vec::with_capacity(p),
+            outcomes: Vec::with_capacity(p),
+            sends: MsgBatch::new(),
+            analysis: StepAnalysis {
+                intents: Vec::new(),
+                traffic: Vec::new(),
+                hrelation: 0.0,
+            },
+            timing: StepTiming {
+                compute_done: Vec::new(),
+                send_done: Vec::new(),
+                messages: Vec::new(),
+                finish: Vec::new(),
+            },
+            timing_scratch: TimingScratch::default(),
+            order: Vec::new(),
+            dests: (0..p).map(|_| MsgBatch::new()).collect(),
+        }
+    }
 }
 
 impl ThreadedRuntime {
@@ -277,21 +341,7 @@ impl ThreadedRuntime {
         let barrier = StepBarrier::new(self.barrier_kind, &self.tree);
         let mailboxes: Vec<Mailbox> = (0..p).map(|_| Mailbox::new()).collect();
         let slots: Vec<ProcSlot> = (0..p).map(|_| ProcSlot::new()).collect();
-        let leader_state = Mutex::new(LeaderState {
-            starts: vec![0.0; p],
-            finish: vec![0.0; p],
-            steps: Vec::new(),
-            delivered: 0,
-            timelines: self.trace.then(|| {
-                (0..p)
-                    .map(|i| ProcTimeline {
-                        pid: ProcId(i as u32),
-                        spans: Vec::new(),
-                    })
-                    .collect()
-            }),
-            error: None,
-        });
+        let leader_state = Mutex::new(LeaderState::new(p, self.trace));
         let finished = AtomicBool::new(false);
         let failed = AtomicBool::new(false);
         // Arrival board: rank `i` stores `step + 1` right before its
@@ -368,31 +418,32 @@ impl ThreadedRuntime {
                             // the other threads at the barrier: contain
                             // it, report a typed error, and let
                             // everyone unwind together.
+                            // SAFETY: this thread owns slot `i` outside
+                            // the leader section (ProcSlot protocol).
+                            let slot = unsafe { slots[i].slot() };
                             if observing {
-                                // SAFETY: this thread owns slot `i`
-                                // outside the leader section (ProcSlot
-                                // protocol).
-                                unsafe { slots[i].slot() }.body_start_ns =
-                                    began.elapsed().as_nanos() as u64;
+                                slot.body_start_ns = began.elapsed().as_nanos() as u64;
                             }
+                            // Swap the inbox out of the mailbox: the
+                            // drained buffer left behind becomes the
+                            // leader's next delivery batch, so the same
+                            // allocations circulate all run.
+                            mailboxes[i].take_into(&mut slot.inbox);
                             let mut ctx = ThreadCtx {
                                 env: &env,
-                                inbox: mailboxes[i].take(),
-                                outbox: Vec::new(),
+                                inbox: &slot.inbox,
+                                outbox: &mut slot.sends,
                                 work: 0.0,
                             };
                             let body =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     prog.step(step, &env, &mut state, &mut ctx)
                                 }));
-                            // SAFETY: this thread owns slot `i` outside
-                            // the leader section (ProcSlot protocol).
-                            let slot = unsafe { slots[i].slot() };
+                            let work = ctx.work;
+                            slot.work = work;
                             if observing {
                                 slot.body_end_ns = began.elapsed().as_nanos() as u64;
                             }
-                            slot.work = ctx.work;
-                            slot.sends = ctx.outbox;
                             slot.outcome = Some(match body {
                                 Ok(o) => o,
                                 Err(_) => {
@@ -645,56 +696,58 @@ fn leader_step(
 
     // Gather contributions: flatten sends in pid order — the exact
     // posting order the simulator sees when it runs processors
-    // sequentially. Messages are *moved* out of the per-proc buffers;
-    // payload bytes are never copied on the delivery path.
-    let mut work = vec![0.0f64; p];
-    let mut sends: Vec<Message> = Vec::new();
-    let mut outcomes: Vec<StepOutcome> = Vec::with_capacity(p);
-    for (i, w) in work.iter_mut().enumerate() {
+    // sequentially. Each slot batch is bulk-moved (two appends) into
+    // the shared gather batch; payload bytes are copied once into the
+    // flat arena and never boxed per message.
+    ls.work.clear();
+    ls.outcomes.clear();
+    ls.sends.clear();
+    for s in slots.iter().take(p) {
         // SAFETY: leader section — the leader owns every slot.
-        let slot = unsafe { slots[i].slot() };
-        *w = slot.work;
+        let slot = unsafe { s.slot() };
+        ls.work.push(slot.work);
         slot.work = 0.0;
-        sends.append(&mut slot.sends);
-        outcomes.push(slot.outcome.take().expect("all contributions in"));
+        ls.sends.append(&mut slot.sends);
+        ls.outcomes
+            .push(slot.outcome.take().expect("all contributions in"));
     }
 
     // Network faults hit the posted messages before validation and
     // costing, exactly like the simulator's per-step order.
-    let sends = faults.corrupt_sends(step, sends);
+    faults.corrupt_batch(step, &mut ls.sends);
 
-    let scope = match resolve_outcomes(step, &outcomes) {
+    let scope = match resolve_outcomes(step, &ls.outcomes) {
         Ok(s) => s,
         Err(e) => {
             abort_step(e, mailboxes, slots, ls, failed);
             return;
         }
     };
-    let analysis = match analyze(tree, step, scope, &sends) {
-        Ok(a) => a,
-        Err(e) => {
-            abort_step(e, mailboxes, slots, ls, failed);
-            return;
-        }
-    };
+    if let Err(e) = analyze_into(tree, step, scope, &ls.sends, &mut ls.analysis) {
+        abort_step(e, mailboxes, slots, ls, failed);
+        return;
+    }
     let r_scale = faults
         .straggles_at(step)
         .then(|| faults.r_multipliers(step, p));
-    let timing = superstep_timing_faulted(
+    superstep_timing_faulted_into(
         tree,
         cfg,
         &ls.starts,
-        &work,
-        &analysis.intents,
+        &ls.work,
+        &ls.analysis.intents,
         r_scale.as_deref(),
+        &mut ls.timing_scratch,
+        &mut ls.timing,
     );
-    let finish_max = timing
+    let finish_max = ls
+        .timing
         .finish
         .iter()
         .cloned()
         .fold(f64::NEG_INFINITY, f64::max);
     let start_min = ls.starts.iter().cloned().fold(f64::INFINITY, f64::min);
-    let work_units: f64 = work.iter().sum();
+    let work_units: f64 = ls.work.iter().sum();
 
     match scope {
         None => {
@@ -703,10 +756,10 @@ fn leader_step(
                 step,
                 None,
                 &ls.starts,
-                &timing,
-                &timing.finish,
-                &analysis,
-                &work,
+                &ls.timing,
+                &ls.timing.finish,
+                &ls.analysis,
+                &ls.work,
                 slots,
                 began,
             );
@@ -716,31 +769,33 @@ fn leader_step(
                 start_min,
                 finish_max,
                 release_max: finish_max,
-                traffic: analysis.traffic,
-                hrelation: analysis.hrelation,
+                traffic: ls.analysis.traffic.clone(),
+                hrelation: ls.analysis.hrelation,
                 work_units,
             });
             if let Some(tls) = ls.timelines.as_mut() {
-                step_spans(tls, &ls.starts, &timing, &timing.finish);
+                step_spans(tls, &ls.starts, &ls.timing, &ls.timing.finish);
             }
-            ls.finish = timing.finish;
+            ls.finish.clear();
+            let LeaderState { finish, timing, .. } = ls;
+            finish.extend_from_slice(&timing.finish);
             finished.store(true, Ordering::Release);
         }
         Some(s) => {
-            let releases = barrier_release(tree, s, &timing.finish);
+            let releases = barrier_release(tree, s, &ls.timing.finish);
             let release_max = releases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             if let Some(tls) = ls.timelines.as_mut() {
-                step_spans(tls, &ls.starts, &timing, &releases);
+                step_spans(tls, &ls.starts, &ls.timing, &releases);
             }
             emit_step_record(
                 probe,
                 step,
                 Some(s.level()),
                 &ls.starts,
-                &timing,
+                &ls.timing,
                 &releases,
-                &analysis,
-                &work,
+                &ls.analysis,
+                &ls.work,
                 slots,
                 began,
             );
@@ -750,27 +805,31 @@ fn leader_step(
                 start_min,
                 finish_max,
                 release_max,
-                traffic: analysis.traffic,
-                hrelation: analysis.hrelation,
+                traffic: ls.analysis.traffic.clone(),
+                hrelation: ls.analysis.hrelation,
                 work_units,
             });
-            // Deliver in (arrival, posting index) order, moving each
-            // message into a per-destination batch so every mailbox is
-            // locked once per superstep rather than once per message.
-            let mut batches: Vec<Vec<Message>> = (0..p).map(|_| Vec::new()).collect();
-            let mut sends: Vec<Option<Message>> = sends.into_iter().map(Some).collect();
-            for mi in delivery_order(&timing.messages) {
-                let m = sends[mi].take().expect("each message delivered once");
-                batches[m.dst.rank()].push(m);
+            // Deliver in (arrival, posting index) order: each message
+            // is one bounded byte-copy from the gather arena into its
+            // destination's flat batch — no per-message move loop over
+            // boxed payloads — and each mailbox is locked exactly once
+            // per superstep (a batch pointer swap, in the common case).
+            delivery_order_into(&ls.timing.messages, &mut ls.order);
+            for &mi in &ls.order {
+                let dst = ls.sends.get(mi).dst;
+                ls.dests[dst.rank()].push_from(&ls.sends, mi);
                 ls.delivered += 1;
             }
-            for (q, batch) in batches.into_iter().enumerate() {
+            for (q, batch) in ls.dests.iter_mut().enumerate().take(p) {
                 if !batch.is_empty() {
                     mailboxes[q].deposit_batch(batch);
                 }
             }
-            ls.finish = timing.finish;
-            ls.starts = releases;
+            ls.finish.clear();
+            let LeaderState { finish, timing, .. } = ls;
+            finish.extend_from_slice(&timing.finish);
+            ls.starts.clear();
+            ls.starts.extend_from_slice(&releases);
         }
     }
 }
@@ -832,11 +891,13 @@ fn emit_step_record(
     });
 }
 
-/// The runtime's per-processor superstep context.
+/// The runtime's per-processor superstep context: reads the thread's
+/// drained inbox batch, writes sends directly into the thread's slot
+/// batch — no per-message allocation on either side.
 struct ThreadCtx<'a> {
     env: &'a ProcEnv,
-    inbox: Vec<Message>,
-    outbox: Vec<Message>,
+    inbox: &'a MsgBatch,
+    outbox: &'a mut MsgBatch,
     work: f64,
 }
 
@@ -850,12 +911,11 @@ impl SpmdContext for ThreadCtx<'_> {
     fn tree(&self) -> &MachineTree {
         &self.env.tree
     }
-    fn messages(&self) -> &[Message] {
-        &self.inbox
+    fn messages(&self) -> &MsgBatch {
+        self.inbox
     }
-    fn send(&mut self, dst: ProcId, tag: u32, payload: Vec<u8>) {
-        self.outbox
-            .push(Message::new(self.env.pid, dst, tag, payload));
+    fn send_with(&mut self, dst: ProcId, tag: u32, len: usize, fill: &mut dyn FnMut(&mut [u8])) {
+        self.outbox.push_with(self.env.pid, dst, tag, len, fill);
     }
     fn charge(&mut self, units: f64) {
         assert!(
@@ -869,7 +929,7 @@ impl SpmdContext for ThreadCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hbsp_core::{SyncScope, TreeBuilder};
+    use hbsp_core::{Message, SyncScope, TreeBuilder};
     use hbsp_sim::Simulator;
 
     /// Total-exchange program: every processor sends its pid (as bytes)
@@ -899,7 +959,7 @@ mod tests {
             ctx.charge(10.0);
             for q in 0..env.nprocs {
                 if q != env.pid.rank() {
-                    ctx.send(ProcId(q as u32), 7, env.pid.0.to_le_bytes().to_vec());
+                    ctx.send(ProcId(q as u32), 7, &env.pid.0.to_le_bytes());
                 }
             }
             StepOutcome::Continue(SyncScope::global(&env.tree))
@@ -1025,8 +1085,7 @@ mod tests {
         for (i, s) in slots.iter().enumerate() {
             // SAFETY: single-threaded test — no concurrent slot holder.
             let slot = unsafe { s.slot() };
-            slot.sends
-                .push(Message::new(ProcId(i as u32), ProcId(0), 0, vec![9; 16]));
+            slot.sends.push(ProcId(i as u32), ProcId(0), 0, &[9; 16]);
             // Mixed outcomes: a termination mismatch.
             slot.outcome = Some(if i == 0 {
                 StepOutcome::Done
@@ -1034,14 +1093,7 @@ mod tests {
                 StepOutcome::Continue(SyncScope::global(&tree))
             });
         }
-        let mut ls = LeaderState {
-            starts: vec![0.0; p],
-            finish: vec![0.0; p],
-            steps: Vec::new(),
-            delivered: 0,
-            timelines: None,
-            error: None,
-        };
+        let mut ls = LeaderState::new(p, false);
         let finished = AtomicBool::new(false);
         let failed = AtomicBool::new(false);
         leader_step(

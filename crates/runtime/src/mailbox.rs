@@ -8,6 +8,13 @@
 //! send/receive contention within a superstep — this is the BSP
 //! delivery guarantee made concrete.
 //!
+//! The inbox is a flat [`MsgBatch`] (one byte arena + one offset
+//! table), and both ends exchange whole batches by pointer swap: the
+//! leader's per-destination delivery batch becomes the inbox, and the
+//! thread's drained buffer from last step becomes the leader's next
+//! delivery batch. In steady state the same few allocations circulate
+//! forever — no per-message boxes, no per-superstep growth.
+//!
 //! Every lock here is poison-tolerant (`barrier::lock_anyway`):
 //! a peer that panicked while a mailbox was locked must not cascade
 //! `PoisonError` panics through the surviving threads — the panic
@@ -15,13 +22,13 @@
 //! engine, and the abort drains every mailbox anyway.
 
 use crate::barrier::lock_anyway;
-use hbsp_core::Message;
+use hbsp_core::{Message, MsgBatch};
 use std::sync::Mutex;
 
 /// One processor's incoming-message buffer.
 #[derive(Default)]
 pub struct Mailbox {
-    inbox: Mutex<Vec<Message>>,
+    inbox: Mutex<MsgBatch>,
 }
 
 impl Mailbox {
@@ -30,28 +37,39 @@ impl Mailbox {
         Mailbox::default()
     }
 
-    /// Deposit a message (leader section only).
+    /// Deposit a single message (leader section only; tests and abort
+    /// bookkeeping — the superstep hot path uses [`Self::deposit_batch`]).
     pub fn deposit(&self, m: Message) {
-        lock_anyway(&self.inbox).push(m);
+        lock_anyway(&self.inbox).push(m.src, m.dst, m.tag, &m.payload);
     }
 
     /// Deposit a whole superstep's worth of messages for this receiver,
-    /// preserving their order, with a single lock acquisition. The
-    /// leader batches deliveries per destination so each mailbox is
-    /// locked once per superstep rather than once per message.
-    pub fn deposit_batch(&self, mut batch: Vec<Message>) {
+    /// preserving their order, with a single lock acquisition. When the
+    /// receiver drained last step's inbox (the common case), the batch
+    /// is *swapped* in — no message moves — and the caller gets the
+    /// drained-but-capacitied old inbox back to refill next superstep.
+    /// Otherwise the batch is appended and cleared (capacity kept).
+    pub fn deposit_batch(&self, batch: &mut MsgBatch) {
         let mut inbox = lock_anyway(&self.inbox);
         if inbox.is_empty() {
-            // Common case: the receiver drained last step's inbox, so
-            // the batch becomes the inbox without copying any message.
-            *inbox = batch;
+            std::mem::swap(&mut *inbox, batch);
+            batch.clear();
         } else {
-            inbox.append(&mut batch);
+            inbox.append(batch);
         }
     }
 
+    /// Take the entire inbox by swapping it with `out` (which is
+    /// cleared first): the caller's old buffer becomes the empty inbox,
+    /// so the two batches circulate between thread and leader without
+    /// ever reallocating in steady state.
+    pub fn take_into(&self, out: &mut MsgBatch) {
+        out.clear();
+        std::mem::swap(&mut *lock_anyway(&self.inbox), out);
+    }
+
     /// Take the entire inbox, leaving it empty.
-    pub fn take(&self) -> Vec<Message> {
+    pub fn take(&self) -> MsgBatch {
         std::mem::take(&mut *lock_anyway(&self.inbox))
     }
 
@@ -108,7 +126,9 @@ mod tests {
         assert!(mb.inbox.is_poisoned(), "the mutex really was poisoned");
         assert_eq!(mb.len(), 1, "len survives poisoning");
         mb.deposit(Message::new(ProcId(2), ProcId(1), 0, vec![2]));
-        mb.deposit_batch(vec![Message::new(ProcId(3), ProcId(1), 0, vec![3])]);
+        let mut batch = MsgBatch::new();
+        batch.push(ProcId(3), ProcId(1), 0, &[3]);
+        mb.deposit_batch(&mut batch);
         let msgs = mb.take();
         assert_eq!(msgs.len(), 3, "deposits and takes survive poisoning");
         assert!(mb.is_empty());
@@ -117,21 +137,33 @@ mod tests {
     #[test]
     fn batch_deposit_preserves_order_and_appends() {
         let mb = Mailbox::new();
-        mb.deposit_batch(
-            (0..3)
-                .map(|i| Message::new(ProcId(i), ProcId(0), i, vec![]))
-                .collect(),
-        );
+        let mut batch = MsgBatch::new();
+        for i in 0..3u32 {
+            batch.push(ProcId(i), ProcId(0), i, &[]);
+        }
+        mb.deposit_batch(&mut batch);
         assert_eq!(mb.len(), 3);
+        assert!(batch.is_empty(), "deposited batch is handed back empty");
         // A second batch lands after the first.
-        mb.deposit_batch(
-            (3..5)
-                .map(|i| Message::new(ProcId(i), ProcId(0), i, vec![]))
-                .collect(),
-        );
+        for i in 3..5u32 {
+            batch.push(ProcId(i), ProcId(0), i, &[]);
+        }
+        mb.deposit_batch(&mut batch);
         let msgs = mb.take();
         let srcs: Vec<u32> = msgs.iter().map(|m| m.src.0).collect();
         assert_eq!(srcs, vec![0, 1, 2, 3, 4]);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn take_into_swaps_buffers() {
+        let mb = Mailbox::new();
+        mb.deposit(Message::new(ProcId(0), ProcId(1), 9, vec![7, 7, 7, 7]));
+        let mut buf = MsgBatch::new();
+        buf.push(ProcId(5), ProcId(5), 0, &[0]); // stale contents
+        mb.take_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.get(0).tag, 9, "stale contents were cleared first");
         assert!(mb.is_empty());
     }
 }

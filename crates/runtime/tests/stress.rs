@@ -130,7 +130,7 @@ impl SpmdProgram for Chatter {
         for k in 1..=2usize {
             let dst = (env.pid.rank() + step * k + k) % p;
             if dst != env.pid.rank() {
-                ctx.send(ProcId(dst as u32), 0, vec![0u8; (step % 7 + 1) * 4]);
+                ctx.send(ProcId(dst as u32), 0, &vec![0u8; (step % 7 + 1) * 4]);
             }
         }
         ctx.charge((step % 5) as f64);
@@ -227,7 +227,7 @@ fn abort_paths_drain_cleanly_under_the_hierarchical_barrier() {
             ctx.send(
                 ProcId(((env.pid.rank() + 1) % env.nprocs) as u32),
                 0,
-                vec![0; 8],
+                &[0; 8],
             );
             if step == 3 {
                 return StepOutcome::Done;

@@ -5,11 +5,11 @@ use crate::config::NetConfig;
 use crate::error::SimError;
 use crate::faults::FaultPlan;
 use crate::stats::StepStats;
-use crate::step::{analyze, delivery_order, resolve_outcomes};
-use crate::timing::{barrier_release, superstep_timing_faulted};
+use crate::step::{analyze_into, delivery_order_into, resolve_outcomes, StepAnalysis};
+use crate::timing::{barrier_release, superstep_timing_faulted_into, StepTiming, TimingScratch};
 use crate::trace::{step_spans, ProcTimeline};
 use hbsp_core::{
-    MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope,
+    MachineTree, MsgBatch, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope,
 };
 use hbsp_obs::{ObsEvent, Probe, StepRecord};
 use std::sync::Arc;
@@ -57,7 +57,7 @@ impl SimOutcome {
 ///     fn step(&self, step: usize, env: &ProcEnv, got: &mut usize,
 ///             ctx: &mut dyn SpmdContext) -> StepOutcome {
 ///         if step == 0 {
-///             if env.pid == ProcId(1) { ctx.send(ProcId(0), 0, vec![1, 2, 3, 4]); }
+///             if env.pid == ProcId(1) { ctx.send(ProcId(0), 0, &[1, 2, 3, 4]); }
 ///             StepOutcome::Continue(SyncScope::global(&env.tree))
 ///         } else {
 ///             *got = ctx.messages().len();
@@ -197,7 +197,27 @@ impl Simulator {
             .collect();
         let mut states: Vec<P::State> = envs.iter().map(|e| prog.init(e)).collect();
         let mut starts = vec![0.0f64; p];
-        let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); p];
+        // Persistent per-superstep buffers: once warmed to a program's
+        // steady-state message volume, the loop below performs no
+        // per-message heap allocation (asserted by the repo's
+        // counting-allocator test).
+        let mut inboxes: Vec<MsgBatch> = (0..p).map(|_| MsgBatch::new()).collect();
+        let mut sends = MsgBatch::new();
+        let mut work = vec![0.0f64; p];
+        let mut outcomes: Vec<StepOutcome> = Vec::with_capacity(p);
+        let mut analysis = StepAnalysis {
+            intents: Vec::new(),
+            traffic: Vec::new(),
+            hrelation: 0.0,
+        };
+        let mut timing = StepTiming {
+            compute_done: Vec::new(),
+            send_done: Vec::new(),
+            finish: Vec::new(),
+            messages: Vec::new(),
+        };
+        let mut timing_scratch = TimingScratch::default();
+        let mut order: Vec<usize> = Vec::new();
         let mut steps: Vec<StepStats> = Vec::new();
         let mut delivered = 0u64;
         let mut timelines: Option<Vec<ProcTimeline>> = self.trace.then(|| {
@@ -235,44 +255,50 @@ impl Simulator {
                 });
             }
 
-            // Run every processor's superstep body.
-            let mut sends: Vec<Message> = Vec::new();
-            let mut work = vec![0.0f64; p];
-            let mut outcomes: Vec<StepOutcome> = Vec::with_capacity(p);
+            // Run every processor's superstep body. All bodies post
+            // into one shared SoA outbox batch; running them in pid
+            // order keeps posting order identical to the threaded
+            // runtime's pid-ordered gather.
+            sends.clear();
+            outcomes.clear();
             for i in 0..p {
                 let mut ctx = SimCtx {
                     env: &envs[i],
-                    inbox: std::mem::take(&mut inboxes[i]),
-                    outbox: Vec::new(),
+                    inbox: &inboxes[i],
+                    outbox: &mut sends,
                     work: 0.0,
                 };
                 let outcome = prog.step(step, &envs[i], &mut states[i], &mut ctx);
                 work[i] = ctx.work;
-                sends.extend(ctx.outbox);
                 outcomes.push(outcome);
+            }
+            for inbox in &mut inboxes {
+                inbox.clear();
             }
 
             // The network faults hit posted messages before validation
             // and costing, exactly like the runtime's leader section.
-            let sends = self.faults.corrupt_sends(step, sends);
+            self.faults.corrupt_batch(step, &mut sends);
 
             // SPMD discipline + message validation (shared with the
             // threaded runtime).
             let scope = resolve_outcomes(step, &outcomes)?;
-            let analysis = analyze(&self.tree, step, scope, &sends)?;
+            analyze_into(&self.tree, step, scope, &sends, &mut analysis)?;
 
             // Timing, with any scripted stragglers inflating r.
             let r_scale = self
                 .faults
                 .straggles_at(step)
                 .then(|| self.faults.r_multipliers(step, p));
-            let timing = superstep_timing_faulted(
+            superstep_timing_faulted_into(
                 &self.tree,
                 &self.cfg,
                 &starts,
                 &work,
                 &analysis.intents,
                 r_scale.as_deref(),
+                &mut timing_scratch,
+                &mut timing,
             );
             let finish_max = timing
                 .finish
@@ -320,7 +346,7 @@ impl Simulator {
                         start_min,
                         finish_max,
                         release_max: finish_max,
-                        traffic: analysis.traffic,
+                        traffic: analysis.traffic.clone(),
                         hrelation,
                         work_units: work.iter().sum(),
                     });
@@ -330,7 +356,7 @@ impl Simulator {
                     return Ok((
                         SimOutcome {
                             total_time: finish_max,
-                            proc_finish: timing.finish,
+                            proc_finish: std::mem::take(&mut timing.finish),
                             steps,
                             messages_delivered: delivered,
                             timelines,
@@ -359,18 +385,19 @@ impl Simulator {
                         start_min,
                         finish_max,
                         release_max,
-                        traffic: analysis.traffic,
+                        traffic: analysis.traffic.clone(),
                         hrelation,
                         work_units: work.iter().sum(),
                     });
                     // Deliver messages for the next superstep, ordered
-                    // by (arrival, posting index) per receiver. Moved,
-                    // not cloned: each payload travels sender → inbox
-                    // without being copied.
-                    let mut sends: Vec<Option<Message>> = sends.into_iter().map(Some).collect();
-                    for mi in delivery_order(&timing.messages) {
-                        let m = sends[mi].take().expect("each message delivered once");
-                        inboxes[m.dst.rank()].push(m);
+                    // by (arrival, posting index) per receiver: one
+                    // offset-table-guided bulk copy per message into
+                    // the receiver's persistent inbox arena — no
+                    // per-message allocation or `Vec` shuffling.
+                    delivery_order_into(&timing.messages, &mut order);
+                    for &mi in &order {
+                        let dst = sends.get(mi).dst;
+                        inboxes[dst.rank()].push_from(&sends, mi);
                         delivered += 1;
                     }
                     starts = releases;
@@ -427,11 +454,14 @@ impl Simulator {
     }
 }
 
-/// The simulator's per-processor superstep context.
+/// The simulator's per-processor superstep context: a read-only view
+/// of the processor's persistent inbox batch plus write access to the
+/// step's shared SoA outbox (bodies run sequentially, so pid order ==
+/// posting order).
 struct SimCtx<'a> {
     env: &'a ProcEnv,
-    inbox: Vec<Message>,
-    outbox: Vec<Message>,
+    inbox: &'a MsgBatch,
+    outbox: &'a mut MsgBatch,
     work: f64,
 }
 
@@ -445,12 +475,11 @@ impl SpmdContext for SimCtx<'_> {
     fn tree(&self) -> &MachineTree {
         &self.env.tree
     }
-    fn messages(&self) -> &[Message] {
-        &self.inbox
+    fn messages(&self) -> &MsgBatch {
+        self.inbox
     }
-    fn send(&mut self, dst: ProcId, tag: u32, payload: Vec<u8>) {
-        self.outbox
-            .push(Message::new(self.env.pid, dst, tag, payload));
+    fn send_with(&mut self, dst: ProcId, tag: u32, len: usize, fill: &mut dyn FnMut(&mut [u8])) {
+        self.outbox.push_with(self.env.pid, dst, tag, len, fill);
     }
     fn charge(&mut self, units: f64) {
         assert!(
@@ -491,7 +520,7 @@ mod tests {
                 return StepOutcome::Done;
             }
             let next = ProcId(((env.pid.0 as usize + 1) % env.nprocs) as u32);
-            ctx.send(next, 0, vec![1, 2, 3, 4]);
+            ctx.send(next, 0, &[1, 2, 3, 4]);
             StepOutcome::Continue(SyncScope::global(&env.tree))
         }
     }
@@ -617,7 +646,7 @@ mod tests {
             }
             if env.pid.0 == 0 {
                 // P0 is in cluster 0; the last proc is in cluster 1.
-                ctx.send(ProcId(env.nprocs as u32 - 1), 0, vec![0; 4]);
+                ctx.send(ProcId(env.nprocs as u32 - 1), 0, &[0; 4]);
             }
             StepOutcome::Continue(SyncScope::Level(1))
         }
@@ -822,7 +851,7 @@ mod tests {
                 _st: &mut (),
                 ctx: &mut dyn SpmdContext,
             ) -> StepOutcome {
-                ctx.send(ProcId(99), 0, vec![]);
+                ctx.send(ProcId(99), 0, &[]);
                 StepOutcome::Continue(SyncScope::global(&env.tree))
             }
         }

@@ -13,7 +13,7 @@
 //! `u64` seed through an in-crate SplitMix64 generator — no external
 //! RNG dependency, and the same seed always yields the same plan.
 
-use hbsp_core::{MachineTree, Message, ProcId};
+use hbsp_core::{MachineTree, MsgBatch, ProcId};
 
 /// One scripted fault event.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,33 +229,33 @@ impl FaultPlan {
             .any(|f| matches!(f, Fault::Straggle { step: s, .. } if *s == step))
     }
 
-    /// Apply this step's drop/truncate faults to a batch of posted
-    /// messages (keyed by each message's `src`). Returns the surviving
-    /// messages in their original relative order.
-    pub fn corrupt_sends(&self, step: usize, sends: Vec<Message>) -> Vec<Message> {
+    /// Apply this step's drop/truncate faults, in place, to a batch of
+    /// posted messages (keyed by each message's `src`). Survivors keep
+    /// their original relative order; on the fault-free hot path (no
+    /// drop/truncate scripted at `step`) this touches nothing and
+    /// allocates nothing.
+    pub fn corrupt_batch(&self, step: usize, sends: &mut MsgBatch) {
         if !self.faults.iter().any(|f| {
             f.step() == step && matches!(f, Fault::DropMsgs { .. } | Fault::Truncate { .. })
         }) {
-            return sends;
+            return;
         }
-        sends
-            .into_iter()
-            .filter_map(|mut m| {
-                for f in &self.faults {
-                    if f.step() != step || f.pid() != m.src {
-                        continue;
-                    }
-                    match *f {
-                        Fault::DropMsgs { .. } => return None,
-                        Fault::Truncate { max_words, .. } => {
-                            m.payload.truncate(max_words * 4);
-                        }
-                        _ => {}
-                    }
-                }
-                Some(m)
+        sends.retain(|m| {
+            !self.faults.iter().any(|f| {
+                f.step() == step && f.pid() == m.src && matches!(f, Fault::DropMsgs { .. })
             })
-            .collect()
+        });
+        for i in 0..sends.len() {
+            let src = sends.get(i).src;
+            for f in &self.faults {
+                if f.step() != step || f.pid() != src {
+                    continue;
+                }
+                if let Fault::Truncate { max_words, .. } = *f {
+                    sends.truncate_payload(i, max_words * 4);
+                }
+            }
+        }
     }
 
     /// Rewrite the plan for a degraded machine: `rank_map[old]` gives
@@ -357,22 +357,24 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_sends_drops_and_truncates_by_source() {
+    fn corrupt_batch_drops_and_truncates_by_source() {
         let plan = FaultPlan::new()
             .drop_msgs(ProcId(0), 2)
             .truncate(ProcId(1), 2, 1);
-        let sends = vec![
-            Message::new(ProcId(0), ProcId(2), 0, vec![9; 8]),
-            Message::new(ProcId(1), ProcId(2), 0, vec![7; 12]),
-            Message::new(ProcId(2), ProcId(0), 0, vec![5; 8]),
-        ];
-        let out = plan.corrupt_sends(2, sends.clone());
+        let mut sends = MsgBatch::new();
+        sends.push(ProcId(0), ProcId(2), 0, &[9; 8]);
+        sends.push(ProcId(1), ProcId(2), 0, &[7; 12]);
+        sends.push(ProcId(2), ProcId(0), 0, &[5; 8]);
+        let pristine = sends.clone();
+        let mut out = sends.clone();
+        plan.corrupt_batch(2, &mut out);
         assert_eq!(out.len(), 2, "P0's message dropped");
-        assert_eq!(out[0].src, ProcId(1));
-        assert_eq!(out[0].payload.len(), 4, "truncated to one word");
-        assert_eq!(out[1].payload.len(), 8, "P2 untouched");
+        assert_eq!(out.get(0).src, ProcId(1));
+        assert_eq!(out.get(0).payload.len(), 4, "truncated to one word");
+        assert_eq!(out.get(1).payload.len(), 8, "P2 untouched");
         // Wrong step: everything passes through unchanged.
-        assert_eq!(plan.corrupt_sends(0, sends.clone()), sends);
+        plan.corrupt_batch(0, &mut sends);
+        assert_eq!(sends, pristine);
     }
 
     #[test]

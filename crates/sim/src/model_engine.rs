@@ -23,7 +23,7 @@
 use crate::error::SimError;
 use crate::step::{analyze, resolve_outcomes};
 use hbsp_core::{
-    CostReport, MachineTree, Message, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome,
+    CostReport, MachineTree, MsgBatch, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome,
     SuperstepCost, SyncScope,
 };
 use std::sync::Arc;
@@ -64,11 +64,12 @@ impl ModelEvaluator {
             })
             .collect();
         let mut states: Vec<P::State> = envs.iter().map(|e| prog.init(e)).collect();
-        let mut inboxes: Vec<Vec<Message>> = vec![Vec::new(); p];
+        let mut inboxes: Vec<MsgBatch> = (0..p).map(|_| MsgBatch::new()).collect();
+        let mut sends = MsgBatch::new();
         let mut report = CostReport::new();
 
         for step in 0..self.step_limit {
-            let mut sends: Vec<Message> = Vec::new();
+            sends.clear();
             let mut outcomes: Vec<StepOutcome> = Vec::with_capacity(p);
             // The paper's w_i: the largest local computation, at each
             // machine's own speed.
@@ -76,14 +77,16 @@ impl ModelEvaluator {
             for i in 0..p {
                 let mut ctx = ModelCtx {
                     env: &envs[i],
-                    inbox: std::mem::take(&mut inboxes[i]),
-                    outbox: Vec::new(),
+                    inbox: &inboxes[i],
+                    outbox: &mut sends,
                     work: 0.0,
                 };
                 let outcome = prog.step(step, &envs[i], &mut states[i], &mut ctx);
                 w_max = w_max.max(ctx.work / envs[i].speed());
-                sends.extend(ctx.outbox);
                 outcomes.push(outcome);
+            }
+            for inbox in &mut inboxes {
+                inbox.clear();
             }
             let scope = resolve_outcomes(step, &outcomes)?;
             let analysis = analyze(&self.tree, step, scope, &sends)?;
@@ -106,12 +109,12 @@ impl ModelEvaluator {
                 None => return Ok((report, states)),
                 Some(_) => {
                     // Deliver in deterministic (src, posting) order —
-                    // the model has no arrival times.
-                    for m in sends {
-                        inboxes[m.dst.rank()].push(m);
-                    }
-                    for inbox in &mut inboxes {
-                        inbox.sort_by_key(|m| m.src);
+                    // the model has no arrival times. Bodies run in pid
+                    // order into one shared outbox, so posting order is
+                    // already src-sorted.
+                    for i in 0..sends.len() {
+                        let dst = sends.get(i).dst;
+                        inboxes[dst.rank()].push_from(&sends, i);
                     }
                 }
             }
@@ -140,8 +143,8 @@ impl ModelEvaluator {
 
 struct ModelCtx<'a> {
     env: &'a ProcEnv,
-    inbox: Vec<Message>,
-    outbox: Vec<Message>,
+    inbox: &'a MsgBatch,
+    outbox: &'a mut MsgBatch,
     work: f64,
 }
 
@@ -155,12 +158,11 @@ impl SpmdContext for ModelCtx<'_> {
     fn tree(&self) -> &MachineTree {
         &self.env.tree
     }
-    fn messages(&self) -> &[Message] {
-        &self.inbox
+    fn messages(&self) -> &MsgBatch {
+        self.inbox
     }
-    fn send(&mut self, dst: ProcId, tag: u32, payload: Vec<u8>) {
-        self.outbox
-            .push(Message::new(self.env.pid, dst, tag, payload));
+    fn send_with(&mut self, dst: ProcId, tag: u32, len: usize, fill: &mut dyn FnMut(&mut [u8])) {
+        self.outbox.push_with(self.env.pid, dst, tag, len, fill);
     }
     fn charge(&mut self, units: f64) {
         assert!(
@@ -196,7 +198,7 @@ mod tests {
                 0 => {
                     ctx.charge(120.0);
                     if env.pid.0 != 0 {
-                        ctx.send(ProcId(0), 0, vec![0u8; self.words * 4]);
+                        ctx.send(ProcId(0), 0, &vec![0u8; self.words * 4]);
                     }
                     StepOutcome::Continue(SyncScope::global(&env.tree))
                 }
@@ -269,7 +271,7 @@ mod tests {
                 for &leaf in &members {
                     let q = env.tree.node(leaf).proc_id().unwrap();
                     if q != env.pid {
-                        ctx.send(q, 0, vec![0u8; 4]);
+                        ctx.send(q, 0, &[0u8; 4]);
                     }
                 }
                 StepOutcome::Continue(SyncScope::Level(1))

@@ -5,7 +5,7 @@
 use crate::error::SimError;
 use crate::stats::LevelTraffic;
 use crate::timing::{MsgTiming, SendIntent};
-use hbsp_core::{HRelation, MachineTree, Message, StepOutcome, SyncScope};
+use hbsp_core::{HRelation, MachineTree, MsgBatch, StepOutcome, SyncScope};
 
 /// The validated, cost-relevant view of one superstep's communication.
 #[derive(Debug, Clone)]
@@ -65,14 +65,22 @@ pub fn resolve_outcomes(
 /// section, where a panic would strand every other processor thread at
 /// the barrier forever.
 pub fn delivery_order(messages: &[MsgTiming]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..messages.len()).collect();
+    let mut order = Vec::new();
+    delivery_order_into(messages, &mut order);
+    order
+}
+
+/// [`delivery_order`] writing into a caller-owned buffer (cleared and
+/// refilled), so the hot path allocates nothing once it has grown.
+pub fn delivery_order_into(messages: &[MsgTiming], order: &mut Vec<usize>) {
+    order.clear();
+    order.extend(0..messages.len());
     order.sort_by(|&a, &b| {
         messages[a]
             .arrival
             .total_cmp(&messages[b].arrival)
             .then(a.cmp(&b))
     });
-    order
 }
 
 /// Validate every message of a superstep against the machine and the
@@ -82,13 +90,35 @@ pub fn analyze(
     tree: &MachineTree,
     step: usize,
     scope: Option<SyncScope>,
-    msgs: &[Message],
+    msgs: &MsgBatch,
 ) -> Result<StepAnalysis, SimError> {
+    let mut out = StepAnalysis {
+        intents: Vec::new(),
+        traffic: Vec::new(),
+        hrelation: 0.0,
+    };
+    analyze_into(tree, step, scope, msgs, &mut out)?;
+    Ok(out)
+}
+
+/// [`analyze`] writing into a caller-owned [`StepAnalysis`] whose
+/// vectors are cleared and refilled, so a steady-state superstep
+/// performs no per-message heap allocation.
+pub fn analyze_into(
+    tree: &MachineTree,
+    step: usize,
+    scope: Option<SyncScope>,
+    msgs: &MsgBatch,
+    out: &mut StepAnalysis,
+) -> Result<(), SimError> {
     let p = tree.num_procs();
-    let mut traffic = vec![LevelTraffic::default(); tree.height() as usize + 1];
+    out.traffic.clear();
+    out.traffic
+        .resize(tree.height() as usize + 1, LevelTraffic::default());
+    out.intents.clear();
+    out.intents.reserve(msgs.len());
     let mut hr = HRelation::new();
-    let mut intents = Vec::with_capacity(msgs.len());
-    for m in msgs {
+    for m in msgs.iter() {
         if m.dst.rank() >= p {
             return Err(SimError::NoSuchProc { step, dst: m.dst });
         }
@@ -105,7 +135,7 @@ pub fn analyze(
                 });
             }
         }
-        let t = &mut traffic[lca_level as usize];
+        let t = &mut out.traffic[lca_level as usize];
         t.words += m.words();
         t.messages += 1;
         if m.src != m.dst {
@@ -115,18 +145,14 @@ pub fn analyze(
                 m.words(),
             );
         }
-        intents.push(SendIntent {
+        out.intents.push(SendIntent {
             src: m.src,
             dst: m.dst,
             words: m.words(),
         });
     }
-    let hrelation = hr.h_on(tree);
-    Ok(StepAnalysis {
-        intents,
-        traffic,
-        hrelation,
-    })
+    out.hrelation = hr.h_on(tree);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -172,10 +198,9 @@ mod tests {
     #[test]
     fn analyze_counts_traffic_and_h() {
         let t = TreeBuilder::flat(1.0, 0.0, &[(1.0, 1.0), (2.0, 0.5)]).unwrap();
-        let msgs = vec![
-            Message::new(ProcId(1), ProcId(0), 0, vec![0; 40]), // 10 words, slow sender
-            Message::new(ProcId(0), ProcId(0), 0, vec![0; 8]),  // self-send
-        ];
+        let mut msgs = MsgBatch::new();
+        msgs.push(ProcId(1), ProcId(0), 0, &[0; 40]); // 10 words, slow sender
+        msgs.push(ProcId(0), ProcId(0), 0, &[0; 8]); // self-send
         let a = analyze(&t, 0, Some(SyncScope::Level(1)), &msgs).unwrap();
         assert_eq!(a.intents.len(), 2);
         assert_eq!(a.traffic[1].words, 10);
@@ -223,7 +248,8 @@ mod tests {
             &[(0.0, vec![(1.0, 1.0)]), (0.0, vec![(2.0, 0.5)])],
         )
         .unwrap();
-        let msgs = vec![Message::new(ProcId(0), ProcId(1), 0, vec![0; 4])];
+        let mut msgs = MsgBatch::new();
+        msgs.push(ProcId(0), ProcId(1), 0, &[0; 4]);
         assert!(matches!(
             analyze(&t, 2, Some(SyncScope::Level(1)), &msgs),
             Err(SimError::CrossClusterSend { step: 2, .. })

@@ -102,37 +102,90 @@ pub fn superstep_timing_faulted(
     sends: &[SendIntent],
     r_scale: Option<&[f64]>,
 ) -> StepTiming {
+    let mut scratch = TimingScratch::default();
+    let mut out = StepTiming {
+        compute_done: Vec::new(),
+        send_done: Vec::new(),
+        finish: Vec::new(),
+        messages: Vec::new(),
+    };
+    superstep_timing_faulted_into(
+        tree,
+        cfg,
+        starts,
+        work_units,
+        sends,
+        r_scale,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// Reusable internal buffers for [`superstep_timing_faulted_into`].
+///
+/// Both engines call the timing algebra once per superstep; holding one
+/// of these across steps means the hot path performs no heap
+/// allocation once the buffers have grown to the step's message count.
+#[derive(Default)]
+pub struct TimingScratch {
+    // (msg index, sender done, wire time, latency, segment node).
+    posted: Vec<(usize, f64, f64, f64, usize)>,
+    // (segment node, wire-free time); linear scan — a step touches only
+    // a handful of distinct segments.
+    wire_free: Vec<(usize, f64)>,
+    // Per-destination arrival queues, drained every step.
+    inbox: Vec<TimeQueue<(usize, f64)>>,
+}
+
+/// [`superstep_timing_faulted`] writing into caller-owned buffers.
+///
+/// `out`'s vectors are cleared and refilled; `scratch` is an opaque
+/// bundle of internal buffers reused across calls. Results are bit
+/// identical to the allocating wrapper.
+#[allow(clippy::too_many_arguments)]
+pub fn superstep_timing_faulted_into(
+    tree: &MachineTree,
+    cfg: &NetConfig,
+    starts: &[f64],
+    work_units: &[f64],
+    sends: &[SendIntent],
+    r_scale: Option<&[f64]>,
+    scratch: &mut TimingScratch,
+    out: &mut StepTiming,
+) {
     let p = tree.num_procs();
     let scale = |pid: ProcId| r_scale.map_or(1.0, |s| s[pid.rank()]);
     assert_eq!(starts.len(), p);
     assert_eq!(work_units.len(), p);
     let g = tree.g();
 
-    let compute_done: Vec<f64> = (0..p)
-        .map(|i| {
-            let leaf = tree.leaf(ProcId(i as u32));
-            starts[i] + work_units[i] / leaf.params().speed
-        })
-        .collect();
+    out.compute_done.clear();
+    out.compute_done.extend((0..p).map(|i| {
+        let leaf = tree.leaf(ProcId(i as u32));
+        starts[i] + work_units[i] / leaf.params().speed
+    }));
 
-    // Phase 2: serial pack+post per sender.
-    let mut cursor = compute_done.clone();
-    let mut messages = vec![
+    // Phase 2: serial pack+post per sender. `send_done` doubles as the
+    // per-sender cursor while posting.
+    out.send_done.clear();
+    out.send_done.extend_from_slice(&out.compute_done);
+    out.messages.clear();
+    out.messages.resize(
+        sends.len(),
         MsgTiming {
             arrival: 0.0,
-            unpack_done: 0.0
-        };
-        sends.len()
-    ];
-    // (msg index, sender done, wire time, latency, segment node).
-    let mut posted: Vec<(usize, f64, f64, f64, usize)> = Vec::with_capacity(sends.len());
+            unpack_done: 0.0,
+        },
+    );
+    scratch.posted.clear();
     for (mi, s) in sends.iter().enumerate() {
         let src_leaf = tree.leaf(s.src);
         if s.src == s.dst {
             // Local move: available as soon as the sender computed it.
-            messages[mi] = MsgTiming {
-                arrival: compute_done[s.src.rank()],
-                unpack_done: compute_done[s.src.rank()],
+            out.messages[mi] = MsgTiming {
+                arrival: out.compute_done[s.src.rank()],
+                unpack_done: out.compute_done[s.src.rank()],
             };
             continue;
         }
@@ -142,32 +195,47 @@ pub fn superstep_timing_faulted(
         let bw = cfg.bandwidth_factor(level);
         let send_cost = cfg.msg_overhead
             + cfg.send_word_cost * src_leaf.params().r * scale(s.src) * g * s.words as f64 * bw;
-        let done = cursor[s.src.rank()] + send_cost;
-        cursor[s.src.rank()] = done;
+        let done = out.send_done[s.src.rank()] + send_cost;
+        out.send_done[s.src.rank()] = done;
         let wire = cfg.medium_word_cost * g * s.words as f64 * bw;
-        posted.push((mi, done, wire, cfg.latency(level), segment.index()));
+        scratch
+            .posted
+            .push((mi, done, wire, cfg.latency(level), segment.index()));
     }
-    let send_done = cursor.clone();
 
     // Phase 3: every message transits its segment's shared medium.
     // Each cluster's network is one wire: messages meeting at the same
     // LCA node serialize through it in sender-completion order (ties by
     // posting index), like the testbed's shared Ethernet.
-    let mut inbox: Vec<TimeQueue<(usize, f64)>> = (0..p).map(|_| TimeQueue::new()).collect();
+    if scratch.inbox.len() < p {
+        scratch.inbox.resize_with(p, TimeQueue::new);
+    }
     // total_cmp, not partial_cmp().unwrap(): a NaN completion time is
     // an upstream bug, but it must not panic mid-coordination (in the
     // threaded runtime this algebra runs inside the barrier's leader
     // section, where a panic strands every other thread).
-    posted.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-    let mut wire_free: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
-    for (mi, done, wire, latency, segment) in posted {
+    scratch
+        .posted
+        .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    scratch.wire_free.clear();
+    for &(mi, done, wire, latency, segment) in &scratch.posted {
         let s = &sends[mi];
-        let free = wire_free.entry(segment).or_insert(f64::NEG_INFINITY);
-        let xmit_start = done.max(*free);
+        let slot = match scratch
+            .wire_free
+            .iter_mut()
+            .find(|(seg, _)| *seg == segment)
+        {
+            Some((_, free)) => free,
+            None => {
+                scratch.wire_free.push((segment, f64::NEG_INFINITY));
+                &mut scratch.wire_free.last_mut().unwrap().1
+            }
+        };
+        let xmit_start = done.max(*slot);
         let xmit_done = xmit_start + wire;
-        *free = xmit_done;
+        *slot = xmit_done;
         let arrival = xmit_done + latency;
-        messages[mi].arrival = arrival;
+        out.messages[mi].arrival = arrival;
         let dst_leaf = tree.leaf(s.dst);
         let level = tree
             .node(tree.lca(tree.leaf(s.src).idx(), dst_leaf.idx()))
@@ -175,24 +243,18 @@ pub fn superstep_timing_faulted(
         let bw = cfg.bandwidth_factor(level);
         let unpack_cost =
             cfg.recv_word_cost * dst_leaf.params().r * scale(s.dst) * g * s.words as f64 * bw;
-        inbox[s.dst.rank()].push(arrival, (mi, unpack_cost));
+        scratch.inbox[s.dst.rank()].push(arrival, (mi, unpack_cost));
     }
 
     // Phase 4: unpack in arrival order after own compute+sends.
-    let mut finish = cursor;
-    for (q, queue) in inbox.iter_mut().enumerate() {
+    out.finish.clear();
+    out.finish.extend_from_slice(&out.send_done);
+    for (q, queue) in scratch.inbox.iter_mut().enumerate().take(p) {
         while let Some((arrival, (mi, unpack_cost))) = queue.pop() {
-            let start = finish[q].max(arrival);
-            finish[q] = start + unpack_cost;
-            messages[mi].unpack_done = finish[q];
+            let start = out.finish[q].max(arrival);
+            out.finish[q] = start + unpack_cost;
+            out.messages[mi].unpack_done = out.finish[q];
         }
-    }
-
-    StepTiming {
-        compute_done,
-        send_done,
-        finish,
-        messages,
     }
 }
 

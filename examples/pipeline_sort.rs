@@ -73,7 +73,7 @@ impl Program for ParallelSort {
                             // the next step.
                             *state = piece.items;
                         } else {
-                            ctx.send_bytes(q, TAG_SHARE, encode_bundle(&[piece]));
+                            ctx.send_bytes(q, TAG_SHARE, &encode_bundle(&[piece]));
                         }
                     }
                 }
@@ -83,7 +83,7 @@ impl Program for ParallelSort {
             1 => {
                 let mut run = std::mem::take(state);
                 for m in ctx.messages() {
-                    let mut pieces = decode_bundle(&m.payload).expect("own wire format");
+                    let mut pieces = decode_bundle(m.payload).expect("own wire format");
                     run = pieces.pop().expect("exactly one share").items;
                 }
                 ctx.charge(sort_work(run.len()));
@@ -91,7 +91,7 @@ impl Program for ParallelSort {
                 if ctx.pid() == root {
                     *state = run;
                 } else {
-                    ctx.send_bytes(root, TAG_RUN, codec::encode_u32s(&run));
+                    ctx.send_bytes(root, TAG_RUN, &codec::encode_u32s(&run));
                 }
                 ctx.sync_global()
             }
@@ -100,7 +100,7 @@ impl Program for ParallelSort {
                 if ctx.pid() == root {
                     let mut runs: Vec<Vec<u32>> = vec![std::mem::take(state)];
                     for m in ctx.messages() {
-                        runs.push(codec::decode_u32s(&m.payload));
+                        runs.push(codec::decode_u32s(m.payload));
                     }
                     let total: usize = runs.iter().map(Vec::len).sum();
                     ctx.charge(sort_work(total) / 2.0); // merge pass

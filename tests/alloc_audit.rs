@@ -1,0 +1,173 @@
+//! Heap-allocation audit of the per-superstep hot path.
+//!
+//! The engines batch every superstep's traffic into flat SoA arenas
+//! (`MsgBatch`) that are reused across steps, so in steady state the
+//! cost of a superstep must not scale allocations with the number of
+//! messages: posting a message appends bytes into an existing arena,
+//! delivery moves offset-table entries between reused batches, and the
+//! mailbox circulates whole buffers by pointer swap.
+//!
+//! This test pins that property with a counting global allocator: the
+//! same program run with 8× the messages per step must allocate (to
+//! within a small constant for one-time arena growth) exactly as often
+//! as the 1-message-per-step run. Any per-message allocation that
+//! sneaks back into the engine, the mailbox, or the codec multiplies
+//! with `messages × steps` and blows the bound by orders of magnitude.
+//!
+//! Everything lives in one `#[test]` so no concurrent test pollutes
+//! the process-wide counter.
+
+use hbsp_core::{ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope, TreeBuilder};
+use hbsp_runtime::ThreadedRuntime;
+use hbsp_sim::Simulator;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Serializes the tests in this binary: the allocation counter is
+/// process-wide, so a concurrently-running test would pollute it.
+static AUDIT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Counts every heap allocation (alloc and realloc) in the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const STEPS: usize = 400;
+
+/// Every processor sends `k` fixed-size messages per step around a
+/// ring, then drains its inbox; payload size is constant so arena
+/// capacities stabilize after the first few steps.
+struct Ring {
+    k: usize,
+}
+
+impl SpmdProgram for Ring {
+    type State = u64;
+    fn init(&self, _env: &ProcEnv) -> u64 {
+        0
+    }
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        digest: &mut u64,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        for m in ctx.messages() {
+            *digest = digest
+                .wrapping_mul(31)
+                .wrapping_add(m.src.0 as u64 + m.payload[0] as u64);
+        }
+        if step == STEPS {
+            return StepOutcome::Done;
+        }
+        let p = env.nprocs;
+        let next = ProcId(((env.pid.rank() + 1) % p) as u32);
+        for i in 0..self.k {
+            ctx.send_with(next, i as u32, 16, &mut |buf| {
+                buf.fill((step % 251) as u8);
+            });
+        }
+        StepOutcome::Continue(SyncScope::global(&env.tree))
+    }
+}
+
+fn machine() -> Arc<hbsp_core::MachineTree> {
+    Arc::new(
+        TreeBuilder::flat(
+            1.0,
+            20.0,
+            &[(1.0, 1.0), (1.3, 0.8), (1.9, 0.55), (2.4, 0.4)],
+        )
+        .unwrap(),
+    )
+}
+
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+#[test]
+fn steady_state_supersteps_allocate_nothing_per_message() {
+    let _serial = AUDIT_LOCK.lock().unwrap();
+    let tree = machine();
+
+    // Warmup both engines once so lazily-initialized process state
+    // (thread-pool bookkeeping, panic machinery, statics) is paid for
+    // outside the measured runs.
+    Simulator::new(Arc::clone(&tree))
+        .run_with_states(&Ring { k: 8 })
+        .unwrap();
+    ThreadedRuntime::new(Arc::clone(&tree))
+        .run_with_states(&Ring { k: 8 })
+        .unwrap();
+
+    // One-time arena growth may differ between the k=1 and k=8 runs
+    // (larger batches take a few more capacity doublings); a
+    // per-message allocation would instead differ by at least
+    // 7 messages × 400 steps × 4 procs = 11200.
+    const SLACK: usize = 512;
+
+    for engine in ["simulator", "threaded"] {
+        let run = |k: usize| {
+            let prog = Ring { k };
+            let tree = Arc::clone(&tree);
+            match engine {
+                "simulator" => {
+                    allocs_during(|| Simulator::new(tree).run_with_states(&prog).unwrap().1)
+                }
+                _ => allocs_during(|| ThreadedRuntime::new(tree).run_with_states(&prog).unwrap().1),
+            }
+        };
+        let (a1, _) = run(1);
+        let (a8, states) = run(8);
+        assert!(!states.iter().all(|&d| d == 0), "program really ran");
+        assert!(
+            a8 <= a1 + SLACK,
+            "{engine}: k=8 run allocated {a8} times vs {a1} for k=1 — \
+             more than {SLACK} extra means a per-message allocation is back \
+             on the hot path"
+        );
+    }
+}
+
+/// The two engines agree bit-for-bit on the audited program — the SoA
+/// delivery path preserves ordering exactly.
+#[test]
+fn audited_program_is_bit_identical_across_engines() {
+    let _serial = AUDIT_LOCK.lock().unwrap();
+    let tree = machine();
+    for k in [1usize, 8] {
+        let prog = Ring { k };
+        let (sim, sim_states) = Simulator::new(Arc::clone(&tree))
+            .run_with_states(&prog)
+            .unwrap();
+        let (thr, thr_states) = ThreadedRuntime::new(Arc::clone(&tree))
+            .run_with_states(&prog)
+            .unwrap();
+        assert_eq!(sim_states, thr_states, "k={k}");
+        assert_eq!(sim.total_time, thr.virtual_outcome.total_time, "k={k}");
+    }
+}

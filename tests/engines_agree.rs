@@ -48,7 +48,7 @@ impl Program for ShiftExchange {
         let p = env.nprocs;
         let dst = ProcId(((env.pid.rank() + self.shift) % p) as u32);
         if dst != env.pid {
-            ctx.send(dst, 0, vec![step as u8; self.payload]);
+            ctx.send(dst, 0, &vec![step as u8; self.payload]);
         }
         StepOutcome::Continue(SyncScope::global(&env.tree))
     }
@@ -130,7 +130,7 @@ impl Program for RandomProgram {
             let h = mix(base ^ (j << 8));
             let dst = peers[(h % peers.len() as u64) as usize];
             let len = (mix(h) % 96) as usize;
-            ctx.send(dst, (h % 17) as u32, vec![(h >> 32) as u8; len]);
+            ctx.send(dst, (h % 17) as u32, &vec![(h >> 32) as u8; len]);
         }
         ctx.charge((base % 1000) as f64 / 8.0);
         StepOutcome::Continue(scope)

@@ -41,7 +41,7 @@ impl Program for Gossip {
         }
         for p in 0..env.nprocs {
             if p != env.pid.rank() {
-                ctx.send(ProcId(p as u32), 0, vec![0xA5; 8]);
+                ctx.send(ProcId(p as u32), 0, &[0xA5; 8]);
             }
         }
         StepOutcome::Continue(SyncScope::global(&env.tree))

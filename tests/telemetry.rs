@@ -44,7 +44,7 @@ impl Program for Exchange {
         }
         ctx.charge(10.0 * (env.pid.rank() + 1) as f64);
         let peer = ProcId(((env.pid.rank() + 1) % env.nprocs) as u32);
-        ctx.send(peer, 7, vec![0xAB; 8 * (step + 1) * (env.pid.rank() + 1)]);
+        ctx.send(peer, 7, &vec![0xAB; 8 * (step + 1) * (env.pid.rank() + 1)]);
         StepOutcome::Continue(SyncScope::global(&env.tree))
     }
 }
@@ -102,19 +102,19 @@ fn engines_emit_identical_virtual_telemetry() {
         // The whole virtual-time record matches field by field.
         assert_eq!(s.step, t.step);
         assert_eq!(s.barrier, t.barrier);
-        assert_eq!(s.starts, t.starts);
-        assert_eq!(s.compute_done, t.compute_done);
-        assert_eq!(s.send_done, t.send_done);
-        assert_eq!(s.finish, t.finish);
-        assert_eq!(s.releases, t.releases);
-        assert_eq!(s.words_by_level, t.words_by_level);
-        assert_eq!(s.messages_by_level, t.messages_by_level);
+        assert_eq!(s.starts(), t.starts());
+        assert_eq!(s.compute_done(), t.compute_done());
+        assert_eq!(s.send_done(), t.send_done());
+        assert_eq!(s.finish(), t.finish());
+        assert_eq!(s.releases(), t.releases());
+        assert_eq!(s.words_by_level(), t.words_by_level());
+        assert_eq!(s.messages_by_level(), t.messages_by_level());
         assert_eq!(s.hrelation, t.hrelation);
-        assert_eq!(s.work, t.work);
-        assert_eq!(s.sent_words, t.sent_words);
+        assert_eq!(s.work(), t.work());
+        assert_eq!(s.sent_words(), t.sent_words());
         // Wall marks are the engines' one legitimate difference.
-        assert!(s.wall.is_none(), "simulator has no wall clock");
-        let wall = t.wall.as_ref().expect("threaded runtime records wall");
+        assert!(s.wall().is_none(), "simulator has no wall clock");
+        let wall = t.wall().expect("threaded runtime records wall");
         assert_eq!(wall.body_start_ns.len(), t.procs());
         assert!(t.wall_spans(0).last().unwrap().kind == SpanKind::BarrierWait);
     }
