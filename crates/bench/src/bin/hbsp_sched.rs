@@ -1,0 +1,352 @@
+//! `hbsp_sched` — replay a job-graph file on a shared machine tree
+//! through the multi-tenant scheduler, or generate one.
+//!
+//! ```text
+//! hbsp_sched --machine <machine.hbsp> --jobs <graph.jobs>
+//!            [--engine sim|threads|both] [--serial] [--trace out.json]
+//! hbsp_sched --generate N [--seed S]
+//! ```
+//!
+//! Job-graph files are line-oriented: one job per line, `#` comments
+//! and blank lines ignored.
+//!
+//! ```text
+//! <name> <kind> n=<words> [procs=<min>] [after=<id>,<id>,...] [seed=<u64>]
+//! ```
+//!
+//! `<kind>` is any of the seven collectives (`gather`, `broadcast`,
+//! `scatter`, `allgather`, `alltoall`, `reduce`, `scan`); `after`
+//! references 0-based job ids, i.e. line positions among job lines.
+//! The scheduler validates the DAG, so forward or cyclic references are
+//! reported, not crashed on.
+//!
+//! With `--engine both` the graph is drained once per engine and the
+//! two runs are compared for bit-identical per-job results and virtual
+//! makespan — the scheduler's determinism contract.
+//!
+//! Exit status: 0 when every run is clean (and, for `both`, the engines
+//! agree), 1 on scheduling/execution errors or dirty reports, 2 on
+//! usage errors.
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run -p hbsp-bench --bin hbsp_sched -- --generate 1000 --seed 42 > fixtures/jobs_1000.jobs
+//! cargo run -p hbsp-bench --bin hbsp_sched -- --machine machines/campus.hbsp \
+//!     --jobs fixtures/jobs_1000.jobs --engine both
+//! ```
+
+use hbsp_core::topology;
+use hbsp_sched::{CollectiveKind, Engine, Job, JobId, RunOptions, SchedReport, Scheduler};
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hbsp_sched --machine <file> --jobs <file> [--engine sim|threads|both]\n\
+         \x20                [--serial] [--trace out.json]\n\
+         \x20      hbsp_sched --generate N [--seed S]\n\
+         \x20 --machine F   machine description (.hbsp topology file)\n\
+         \x20 --jobs F      job-graph file (see --help-format in the bin docs)\n\
+         \x20 --engine E    sim (default), threads, or both (compare bit-identically)\n\
+         \x20 --serial      one job per admission round (the batching control arm)\n\
+         \x20 --trace F     write the job timeline as a Chrome trace JSON file\n\
+         \x20 --generate N  print a deterministic N-job workflow graph to stdout\n\
+         \x20 --seed S      seed for --generate (default 42)"
+    );
+    exit(2)
+}
+
+struct Args {
+    machine: Option<String>,
+    jobs: Option<String>,
+    engine: String,
+    serial: bool,
+    trace: Option<String>,
+    generate: Option<usize>,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        machine: None,
+        jobs: None,
+        engine: "sim".to_string(),
+        serial: false,
+        trace: None,
+        generate: None,
+        seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    let val = |it: &mut std::slice::Iter<String>| -> String {
+        it.next().cloned().unwrap_or_else(|| usage())
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--machine" => a.machine = Some(val(&mut it)),
+            "--jobs" => a.jobs = Some(val(&mut it)),
+            "--engine" => a.engine = val(&mut it),
+            "--serial" => a.serial = true,
+            "--trace" => a.trace = Some(val(&mut it)),
+            "--generate" => a.generate = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--seed" => a.seed = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    a
+}
+
+// ---- job-graph file parsing -----------------------------------------
+
+fn parse_jobs(path: &str) -> Vec<Job> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read job-graph file `{path}`: {e}");
+        exit(1)
+    });
+    let mut jobs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |msg: &str| -> ! {
+            eprintln!("{path}:{}: {msg}", lineno + 1);
+            exit(1)
+        };
+        let mut tokens = line.split_whitespace();
+        let name = tokens.next().unwrap_or_else(|| fail("missing job name"));
+        let kind_tok = tokens
+            .next()
+            .unwrap_or_else(|| fail("missing collective kind"));
+        let kind = CollectiveKind::parse(kind_tok)
+            .unwrap_or_else(|| fail(&format!("unknown collective `{kind_tok}`")));
+        let mut n: Option<u64> = None;
+        let mut job = Job::collective(name, kind, 0);
+        for tok in tokens {
+            let (key, value) = tok
+                .split_once('=')
+                .unwrap_or_else(|| fail(&format!("expected key=value, got `{tok}`")));
+            match key {
+                "n" => {
+                    n = Some(
+                        value
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("bad size `{value}`"))),
+                    )
+                }
+                "procs" => {
+                    job = job.with_min_procs(
+                        value
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("bad procs `{value}`"))),
+                    )
+                }
+                "seed" => {
+                    job = job.with_seed(
+                        value
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("bad seed `{value}`"))),
+                    )
+                }
+                "after" => {
+                    let deps: Vec<JobId> = value
+                        .split(',')
+                        .map(|d| {
+                            JobId(
+                                d.parse()
+                                    .unwrap_or_else(|_| fail(&format!("bad dependency id `{d}`"))),
+                            )
+                        })
+                        .collect();
+                    job = job.after(&deps);
+                }
+                other => fail(&format!("unknown key `{other}`")),
+            }
+        }
+        let n = n.unwrap_or_else(|| fail("missing n=<words>"));
+        if let hbsp_sched::JobWork::Collective { n: slot, .. } = &mut job.work {
+            *slot = n;
+        }
+        jobs.push(job);
+    }
+    jobs
+}
+
+// ---- deterministic graph generation ---------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // splitmix64: full-period, seed-stable across platforms.
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[(self.next() % xs.len() as u64) as usize]
+    }
+}
+
+/// Emit `count` jobs as fork-join blocks interleaved with the five
+/// basic workflow patterns (fan, sequence, diamond, pipeline pairs,
+/// independent singles), every `after` edge pointing backwards.
+fn generate(count: usize, seed: u64) -> String {
+    let mut rng = Rng(seed);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# {count} jobs generated by `hbsp_sched --generate {count} --seed {seed}`\n\
+         # <name> <kind> n=<words> [procs=<min>] [after=<ids>] [seed=<u64>]\n"
+    ));
+    fn emit(out: &mut String, rng: &mut Rng, id: &mut usize, after: &[usize]) -> usize {
+        const SIZES: [u64; 4] = [8, 16, 32, 64];
+        let kind = CollectiveKind::ALL[(rng.next() % 7) as usize];
+        let n = rng.pick(&SIZES);
+        let my = *id;
+        out.push_str(&format!("j{my} {kind} n={n} seed={}", rng.next() % 1000));
+        if !after.is_empty() {
+            let ids: Vec<String> = after.iter().map(|d| d.to_string()).collect();
+            out.push_str(&format!(" after={}", ids.join(",")));
+        }
+        out.push('\n');
+        *id += 1;
+        my
+    }
+    let mut id = 0usize;
+    let mut block = 0usize;
+    while id < count {
+        let room = count - id;
+        match block % 5 {
+            // Fork-join: src -> {m1, m2, m3} -> join.
+            0 if room >= 5 => {
+                let src = emit(&mut out, &mut rng, &mut id, &[]);
+                let mids: Vec<usize> = (0..3)
+                    .map(|_| emit(&mut out, &mut rng, &mut id, &[src]))
+                    .collect();
+                emit(&mut out, &mut rng, &mut id, &mids);
+            }
+            // Fan: one source, three dependents.
+            1 if room >= 4 => {
+                let src = emit(&mut out, &mut rng, &mut id, &[]);
+                for _ in 0..3 {
+                    emit(&mut out, &mut rng, &mut id, &[src]);
+                }
+            }
+            // Sequence: a four-stage chain.
+            2 if room >= 4 => {
+                let mut prev = emit(&mut out, &mut rng, &mut id, &[]);
+                for _ in 0..3 {
+                    prev = emit(&mut out, &mut rng, &mut id, &[prev]);
+                }
+            }
+            // Diamond: a -> {b, c} -> d.
+            3 if room >= 4 => {
+                let a = emit(&mut out, &mut rng, &mut id, &[]);
+                let b = emit(&mut out, &mut rng, &mut id, &[a]);
+                let c = emit(&mut out, &mut rng, &mut id, &[a]);
+                emit(&mut out, &mut rng, &mut id, &[b, c]);
+            }
+            // Pipeline pairs: two independent two-stage chains.
+            4 if room >= 4 => {
+                let a = emit(&mut out, &mut rng, &mut id, &[]);
+                emit(&mut out, &mut rng, &mut id, &[a]);
+                let b = emit(&mut out, &mut rng, &mut id, &[]);
+                emit(&mut out, &mut rng, &mut id, &[b]);
+            }
+            // Tail: independent singles until the count is exact.
+            _ => {
+                emit(&mut out, &mut rng, &mut id, &[]);
+            }
+        }
+        block += 1;
+    }
+    out
+}
+
+// ---- replay ----------------------------------------------------------
+
+fn drain(sched: &Scheduler, engine: Engine, serial: bool, label: &str) -> SchedReport {
+    let report = sched
+        .run(&RunOptions { engine, serial })
+        .unwrap_or_else(|e| {
+            eprintln!("hbsp_sched: {label}: {e}");
+            exit(1)
+        });
+    if !report.clean() {
+        eprintln!("hbsp_sched: {label}: report not clean (a job decoded garbage)");
+        exit(1);
+    }
+    println!(
+        "{label}: {} jobs in {} batches, makespan {:.0}, report clean",
+        report.jobs.len(),
+        report.batches.len(),
+        report.total_time
+    );
+    report
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(count) = args.generate {
+        print!("{}", generate(count, args.seed));
+        return;
+    }
+    let (Some(machine), Some(jobs_file)) = (&args.machine, &args.jobs) else {
+        usage();
+    };
+    let text = std::fs::read_to_string(machine).unwrap_or_else(|e| {
+        eprintln!("cannot read machine file `{machine}`: {e}");
+        exit(1)
+    });
+    let tree = topology::parse(&text).unwrap_or_else(|e| {
+        eprintln!("invalid machine description `{machine}`: {e}");
+        exit(1)
+    });
+    println!(
+        "{machine}: HBSP^{}, {} processors",
+        tree.height(),
+        tree.num_procs()
+    );
+
+    let mut sched = Scheduler::new(Arc::new(tree));
+    for job in parse_jobs(jobs_file) {
+        sched.submit(job);
+    }
+
+    let report = match args.engine.as_str() {
+        "sim" => drain(&sched, Engine::Simulator, args.serial, "sim"),
+        "threads" => drain(&sched, Engine::Threads, args.serial, "threads"),
+        "both" => {
+            let sim = drain(&sched, Engine::Simulator, args.serial, "sim");
+            let thr = drain(&sched, Engine::Threads, args.serial, "threads");
+            let states_agree = sim
+                .jobs
+                .iter()
+                .zip(&thr.jobs)
+                .all(|(a, b)| a.states == b.states && a.leaves == b.leaves);
+            if !states_agree || sim.total_time != thr.total_time {
+                eprintln!("hbsp_sched: engines disagree (determinism contract broken)");
+                exit(1);
+            }
+            println!("engines agree: bit-identical per-job results and makespan");
+            sim
+        }
+        _ => usage(),
+    };
+
+    if let Some(path) = &args.trace {
+        let trace = hbsp_obs::jobs_chrome_trace(&report.spans);
+        std::fs::write(path, &trace).unwrap_or_else(|e| {
+            eprintln!("cannot write trace `{path}`: {e}");
+            exit(1)
+        });
+        println!(
+            "{path}: job timeline written ({} spans)",
+            report.spans.len()
+        );
+    }
+}

@@ -16,6 +16,11 @@
 //!    parameter rules (fastest `r = 1`, `c` fractions partition each
 //!    cluster, coordinator fastest in its subtree, positive `L` and `g`,
 //!    declared `k` matches tree height) as span-tagged diagnostics.
+//! 4. **Job-graph validation** ([`verify_dag`], [`verify_claims`],
+//!    [`lint_carved`]): the multi-tenant scheduler's structural rules —
+//!    `blocked_by` edges form a DAG, concurrent sub-tree claims are
+//!    leaf-disjoint, and every carved sub-tree is itself a valid
+//!    Table-1 machine.
 //!
 //! Every finding is a typed [`Violation`] carrying the step index,
 //! offending transfer, and a fix hint in its `Display` rendering.
@@ -29,10 +34,12 @@
 
 #![forbid(unsafe_code)]
 
+mod dag;
 mod machine;
 mod schedule;
 mod violation;
 
+pub use dag::{lint_carved, verify_claims, verify_dag};
 pub use machine::{lint_machine, lint_with_spans, Diagnostic};
 pub use schedule::{
     implied_hrelation, verify_dataflow, verify_schedule, Payload, ProcHoldings, ScheduleView,

@@ -236,6 +236,49 @@ pub enum Violation {
         /// Actual tree height.
         actual: Level,
     },
+
+    // ---- job graphs ---------------------------------------------------
+    /// A job that lists itself in its own `blocked_by` set: it can never
+    /// become ready.
+    SelfDependency {
+        /// The self-blocking job.
+        job: usize,
+    },
+    /// A `blocked_by` edge naming a job id the graph does not contain.
+    DependencyOutOfRange {
+        /// The job carrying the edge.
+        job: usize,
+        /// The nonexistent prerequisite.
+        dep: usize,
+        /// Number of jobs in the graph (valid ids are `0..num_jobs`).
+        num_jobs: usize,
+    },
+    /// The dependency graph contains a cycle: none of the listed jobs
+    /// can ever become ready, so the scheduler would stall.
+    DependencyCycle {
+        /// One concrete cycle, in edge order (each job is blocked by the
+        /// next; the last is blocked by the first).
+        cycle: Vec<usize>,
+    },
+    /// Two concurrently running jobs claim sub-trees that share a leaf
+    /// processor: the leaf would execute two supersteps at once.
+    ClaimOverlap {
+        /// First claimant.
+        job_a: usize,
+        /// Second claimant.
+        job_b: usize,
+        /// A leaf both claims contain.
+        leaf: ProcId,
+    },
+    /// A claim names a node index outside the shared tree's arena.
+    ClaimOutOfRange {
+        /// The claiming job.
+        job: usize,
+        /// The raw arena index claimed.
+        idx: usize,
+        /// Number of nodes in the shared tree.
+        num_nodes: usize,
+    },
 }
 
 impl Violation {
@@ -408,6 +451,35 @@ impl fmt::Display for Violation {
                 f,
                 "file declares k = {declared} but the tree has height {actual}; fix the k \
                  header or the nesting depth"
+            ),
+            SelfDependency { job } => write!(
+                f,
+                "job {job} is blocked by itself and can never become ready; remove the \
+                 self-edge"
+            ),
+            DependencyOutOfRange { job, dep, num_jobs } => write!(
+                f,
+                "job {job} is blocked by job {dep} but the graph has only {num_jobs} jobs \
+                 (ids 0..{num_jobs}); fix the dependency id"
+            ),
+            DependencyCycle { cycle } => write!(
+                f,
+                "dependency cycle {cycle:?}: each job waits on the next and the last on the \
+                 first, so none can ever become ready — break one edge"
+            ),
+            ClaimOverlap { job_a, job_b, leaf } => write!(
+                f,
+                "jobs {job_a} and {job_b} both claim sub-trees containing {leaf}; concurrent \
+                 claims must be leaf-disjoint — serialize the jobs or claim sibling sub-trees"
+            ),
+            ClaimOutOfRange {
+                job,
+                idx,
+                num_nodes,
+            } => write!(
+                f,
+                "job {job} claims node n{idx} but the shared tree has only {num_nodes} nodes; \
+                 claims must name nodes of the tree being carved"
             ),
         }
     }

@@ -63,5 +63,8 @@ pub use error::CollectiveError;
 pub use plan::{PhasePolicy, RankOutOfRange, RootPolicy, Strategy, WorkloadPolicy};
 pub use predict::predict;
 pub use schedule::{CommSchedule, Role, ScheduleProgram, ScheduleStep, Transfer, UnitId};
-pub use tune::{best_broadcast, best_strategy, rank_broadcast, Candidate, TuneError};
+pub use tune::{
+    best_broadcast, best_plan, best_strategy, rank_broadcast, rank_plans, Candidate,
+    CollectiveKind, PlanChoice, TuneError,
+};
 pub use verify::Violation;

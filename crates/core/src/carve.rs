@@ -1,0 +1,301 @@
+//! Sub-tree carving: turn any node of a machine into a standalone,
+//! fully renormalized HBSP^j machine.
+//!
+//! The paper treats clusters as the natural units of data placement and
+//! synchronization; carving extends that to *tenancy*. A scheduler that
+//! wants to run a job on one cluster of a shared machine needs that
+//! cluster as a machine in its own right — validated, with the Table-1
+//! normalizations re-established locally:
+//!
+//! * **unit-normalized `r`** — Table 1 fixes the fastest machine at
+//!   `r = 1`. The carved sub-tree's fastest communicator may have had
+//!   `r > 1` globally, so every carved `r` is rescaled by the subtree
+//!   minimum and `g` absorbs the factor (`g' = g·min_r`), keeping each
+//!   processor's absolute per-word cost `r·g` bit-identical — the same
+//!   exactness argument as [`MachineTree::degrade`];
+//! * **coordinator-fastest** — representatives are re-elected within
+//!   the carved tree (minimal `r`, ties to higher speed, then lower
+//!   rank), since the old coordinators may not have been carved in;
+//! * **balanced workload** — the `c` fractions are renormalized over
+//!   the carved leaves, speed-proportional at every level
+//!   ([`crate::workload::hierarchical_fractions`]).
+//!
+//! Carving is structure-preserving below `idx`: clusters keep their
+//! names, `L` parameters, and child order. Carving the root is an
+//! identity rebuild (the tree is already normalized, so `min_r = 1`);
+//! carving a leaf yields a single-processor HBSP^0 machine.
+
+use crate::builder::TreeBuilder;
+use crate::degrade::elect_by_min_r;
+use crate::ids::{NodeIdx, ProcId};
+use crate::tree::MachineTree;
+use crate::workload::hierarchical_fractions;
+use crate::NodeParams;
+
+/// A sub-tree carved out of a larger machine.
+#[derive(Debug, Clone)]
+pub struct Carved {
+    /// The carved machine: validated, unit-normalized, coordinators
+    /// re-elected, fractions renormalized.
+    pub tree: MachineTree,
+    /// Carved rank → original [`ProcId`]: `leaves[j]` is the processor
+    /// of the parent machine that plays rank `j` in the carved one.
+    /// Carved ranks preserve the parent's relative order.
+    pub leaves: Vec<ProcId>,
+}
+
+impl Carved {
+    /// The original (parent-machine) processor behind carved rank `pid`.
+    ///
+    /// # Panics
+    /// Panics if `pid` is not a carved rank.
+    pub fn original(&self, pid: ProcId) -> ProcId {
+        self.leaves[pid.rank()]
+    }
+
+    /// The carved rank of original processor `orig`, if it was carved
+    /// in.
+    pub fn carved_rank(&self, orig: ProcId) -> Option<ProcId> {
+        self.leaves
+            .iter()
+            .position(|&p| p == orig)
+            .map(|i| ProcId(i as u32))
+    }
+}
+
+impl MachineTree {
+    /// Carve the subtree rooted at `idx` into a standalone machine per
+    /// the paper's rules (see the [module docs](self)). The original
+    /// tree is untouched; [`Carved::leaves`] maps carved ranks back to
+    /// the parent machine's processors.
+    ///
+    /// # Panics
+    /// Panics if `idx` did not come from this tree (like
+    /// [`MachineTree::node`]).
+    pub fn carve(&self, idx: NodeIdx) -> Carved {
+        // Unit normalization local to the subtree: its minimum r becomes
+        // 1 and g absorbs the factor, preserving every carved
+        // processor's absolute per-word cost r·g exactly (x/x == 1.0 in
+        // IEEE arithmetic for the new fastest machine).
+        let mut leaf_idxs = Vec::new();
+        self.subtree_leaves_into(idx, &mut leaf_idxs);
+        let min_r = leaf_idxs
+            .iter()
+            .map(|&l| self.node(l).params().r)
+            .fold(f64::INFINITY, f64::min);
+
+        // Structure-preserving rebuild: DFS from `idx` keeping child
+        // order. Clusters keep name and L.
+        let mut b = TreeBuilder::new(self.g() * min_r);
+        let root = self.node(idx);
+        let new_root = if root.is_proc() {
+            b.proc_root(
+                root.name(),
+                NodeParams::proc(root.params().r / min_r, root.params().speed),
+            )
+        } else {
+            b.cluster(root.name(), NodeParams::cluster(root.params().l_sync))
+        };
+        let mut stack: Vec<(NodeIdx, NodeIdx)> = root
+            .children()
+            .iter()
+            .rev()
+            .map(|&c| (c, new_root))
+            .collect();
+        while let Some((old_idx, new_parent)) = stack.pop() {
+            let node = self.node(old_idx);
+            if node.is_proc() {
+                b.child_proc(
+                    new_parent,
+                    node.name(),
+                    NodeParams::proc(node.params().r / min_r, node.params().speed),
+                );
+            } else {
+                let new_idx = b.child_cluster(
+                    new_parent,
+                    node.name(),
+                    NodeParams::cluster(node.params().l_sync),
+                );
+                for &c in node.children().iter().rev() {
+                    stack.push((c, new_idx));
+                }
+            }
+        }
+        let mut tree = b
+            .build()
+            .expect("a structure-preserving rebuild of a valid subtree stays valid");
+
+        // Coordinator-fastest in its Table-1 sense (minimal r), and
+        // speed-proportional fractions over the carved leaves.
+        elect_by_min_r(&mut tree);
+        let fractions = hierarchical_fractions(&tree);
+        tree.set_fractions(&fractions);
+        debug_assert!(tree.validate().is_ok());
+
+        // Carved rank → original ProcId: both rank assignments come from
+        // the same DFS sweep, so relative order is preserved.
+        let leaves = leaf_idxs
+            .iter()
+            .map(|&l| self.node(l).proc_id().expect("leaf"))
+            .collect();
+        Carved { tree, leaves }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::MachineId;
+    use crate::TreeBuilder;
+
+    /// Two asymmetric LANs under one campus; cluster 1's fastest
+    /// *communicator* (P3, r=1.6) is not its fastest *computer* (P3 is
+    /// both here) while cluster 0 mixes them (P1 computes faster, P2
+    /// communicates faster once carved without P0).
+    fn campus_like() -> MachineTree {
+        TreeBuilder::two_level(
+            2.0,
+            1000.0,
+            &[
+                (50.0, vec![(1.0, 1.0), (2.4, 0.9), (2.0, 0.5)]),
+                (60.0, vec![(1.6, 0.8), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn carving_the_root_is_an_identity_rebuild() {
+        let t = campus_like();
+        let c = t.carve(t.root());
+        c.tree.validate().unwrap();
+        assert_eq!(c.tree.num_procs(), 5);
+        assert_eq!(c.tree.height(), 2);
+        assert_eq!(c.tree.g(), t.g(), "min_r is already 1 at the root");
+        assert_eq!(
+            c.leaves,
+            (0..5).map(ProcId).collect::<Vec<_>>(),
+            "identity rank map"
+        );
+        for i in 0..5 {
+            let pid = ProcId(i);
+            assert_eq!(c.tree.leaf(pid).params().r, t.leaf(pid).params().r);
+            assert_eq!(c.tree.leaf(pid).name(), t.leaf(pid).name());
+        }
+    }
+
+    #[test]
+    fn carving_a_cluster_renormalizes_r_and_g_exactly() {
+        let t = campus_like();
+        // Cluster 1 holds P3 (r=1.6) and P4 (r=3.0): its local min is 1.6.
+        let c1 = t.cluster_of(ProcId(3), 1).unwrap();
+        let c = t.carve(c1);
+        c.tree.validate().unwrap();
+        assert_eq!(c.tree.num_procs(), 2);
+        assert_eq!(c.tree.height(), 1);
+        assert_eq!(c.leaves, vec![ProcId(3), ProcId(4)]);
+        assert_eq!(c.tree.leaf(ProcId(0)).params().r, 1.0, "exactly 1");
+        assert_eq!(c.tree.g(), 2.0 * 1.6, "g absorbs the factor");
+        // Absolute per-word cost r·g is preserved for every carved leaf.
+        for (old, new) in [(3usize, 0usize), (4, 1)] {
+            let before = t.leaf(ProcId(old as u32)).params().r * t.g();
+            let after = c.tree.leaf(ProcId(new as u32)).params().r * c.tree.g();
+            assert!((before - after).abs() < 1e-12, "{old}->{new}");
+        }
+    }
+
+    #[test]
+    fn carved_coordinator_is_the_fastest_communicator() {
+        let t = campus_like();
+        let c0 = t.cluster_of(ProcId(0), 1).unwrap();
+        let c = t.carve(c0);
+        // All three of cluster 0 carved: P0 (r=1) stays coordinator.
+        let rep = c.tree.node(c.tree.node(c.tree.root()).representative());
+        assert_eq!(rep.proc_id(), Some(ProcId(0)));
+        assert_eq!(c.tree.node(c.tree.root()).params().r, 1.0);
+    }
+
+    #[test]
+    fn carved_fractions_are_speed_proportional() {
+        let t = campus_like();
+        let c1 = t.cluster_of(ProcId(3), 1).unwrap();
+        let c = t.carve(c1);
+        let total: f64 = (0..2).map(|i| c.tree.leaf(ProcId(i)).params().speed).sum();
+        let mut sum = 0.0;
+        for i in 0..2 {
+            let leaf = c.tree.leaf(ProcId(i));
+            let frac = leaf.params().c.expect("carve assigns fractions");
+            assert!((frac - leaf.params().speed / total).abs() < 1e-12);
+            sum += frac;
+        }
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carving_a_leaf_yields_a_single_proc_machine() {
+        let t = campus_like();
+        let leaf = t.leaves()[4]; // P4: r=3.0, speed=0.3
+        let c = t.carve(leaf);
+        c.tree.validate().unwrap();
+        assert_eq!(c.tree.height(), 0);
+        assert_eq!(c.tree.num_procs(), 1);
+        assert_eq!(c.leaves, vec![ProcId(4)]);
+        assert_eq!(c.tree.leaf(ProcId(0)).params().r, 1.0);
+        assert_eq!(c.tree.g(), 2.0 * 3.0);
+    }
+
+    #[test]
+    fn rank_maps_round_trip() {
+        let t = campus_like();
+        let c0 = t.cluster_of(ProcId(1), 1).unwrap();
+        let c = t.carve(c0);
+        assert_eq!(c.original(ProcId(1)), ProcId(1));
+        assert_eq!(c.carved_rank(ProcId(2)), Some(ProcId(2)));
+        assert_eq!(c.carved_rank(ProcId(4)), None, "not carved in");
+    }
+
+    #[test]
+    fn sibling_carves_are_leaf_disjoint() {
+        let t = campus_like();
+        let a = t.carve(t.cluster_of(ProcId(0), 1).unwrap());
+        let b = t.carve(t.cluster_of(ProcId(3), 1).unwrap());
+        assert!(a.leaves.iter().all(|p| !b.leaves.contains(p)));
+        assert_eq!(a.leaves.len() + b.leaves.len(), t.num_procs());
+    }
+
+    #[test]
+    fn carve_composes_with_itself() {
+        // Carve a mid-level cluster out of an HBSP^3 machine, then carve
+        // a LAN out of the carved campus: r stays unit-normalized and
+        // r·g absolute costs survive both hops.
+        let mut b = TreeBuilder::new(1.5);
+        let root = b.cluster("wan", NodeParams::cluster(5000.0));
+        let campus = b.child_cluster(root, "campus", NodeParams::cluster(500.0));
+        let lan0 = b.child_cluster(campus, "lan0", NodeParams::cluster(50.0));
+        b.child_proc(lan0, "a", NodeParams::proc(2.0, 0.9));
+        b.child_proc(lan0, "b", NodeParams::proc(4.0, 0.5));
+        let lan1 = b.child_cluster(campus, "lan1", NodeParams::cluster(60.0));
+        b.child_proc(lan1, "c", NodeParams::proc(3.0, 0.4));
+        let other = b.child_cluster(root, "other", NodeParams::cluster(70.0));
+        b.child_proc(other, "d", NodeParams::proc(1.0, 1.0));
+        let t = b.build().unwrap();
+
+        let campus_idx = t.resolve(MachineId::new(2, 0)).unwrap();
+        let carved_campus = t.carve(campus_idx);
+        carved_campus.tree.validate().unwrap();
+        assert_eq!(carved_campus.tree.g(), 1.5 * 2.0);
+
+        let lan_idx = carved_campus.tree.resolve(MachineId::new(1, 0)).unwrap();
+        let carved_lan = carved_campus.tree.carve(lan_idx);
+        carved_lan.tree.validate().unwrap();
+        // Absolute cost of "b" (original r=4.0): through both carves.
+        let cost = carved_lan.tree.leaf(ProcId(1)).params().r * carved_lan.tree.g();
+        assert!((cost - 4.0 * 1.5).abs() < 1e-12);
+        // Rank maps compose: carved_lan rank 1 is carved_campus rank 1,
+        // which is original rank 1 ("b").
+        assert_eq!(
+            carved_campus.original(carved_lan.original(ProcId(1))),
+            ProcId(1)
+        );
+    }
+}

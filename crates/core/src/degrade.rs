@@ -184,8 +184,10 @@ impl MachineTree {
 
 /// Overwrite every cluster's representative (and its inherited
 /// `r`/`speed`) with its subtree's best *communicator*: minimal `r`,
-/// ties to maximal speed, then lowest rank.
-fn elect_by_min_r(tree: &mut MachineTree) {
+/// ties to maximal speed, then lowest rank. Shared with
+/// [`crate::carve`], which rebuilds sub-machines under the same
+/// coordinator-fastest rule.
+pub(crate) fn elect_by_min_r(tree: &mut MachineTree) {
     // Leaves before parents: process nodes in decreasing level order so
     // a cluster can rely on its children's already-final choices.
     let mut order: Vec<usize> = (0..tree.nodes.len()).collect();

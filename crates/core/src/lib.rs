@@ -28,7 +28,9 @@
 //! * [`workload`] — balanced workload partitioning (the `c_{i,j}` feature);
 //! * [`classes`] — the machine-class hierarchy HBSP^0 ⊂ HBSP^1 ⊂ … ⊂ HBSP^k;
 //! * [`degrade`] — graceful degradation: rebuild a machine around dead
-//!   processors, re-electing coordinators and renormalizing `r`/`c`.
+//!   processors, re-electing coordinators and renormalizing `r`/`c`;
+//! * [`carve`] — sub-tree carving: any node as a standalone,
+//!   renormalized machine (the unit of spatial multi-tenancy).
 //!
 //! Execution engines live in the sibling crates `hbsp-sim` (discrete-event
 //! simulator) and `hbsp-runtime` (threaded runtime); the programming API in
@@ -38,6 +40,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod carve;
 pub mod classes;
 pub mod cost;
 pub mod degrade;
@@ -52,6 +55,7 @@ pub mod workload;
 
 pub use analysis::{heterogeneity, Heterogeneity, Penalty};
 pub use builder::TreeBuilder;
+pub use carve::Carved;
 pub use classes::MachineClass;
 pub use cost::{CostModel, CostReport, SuperstepCost};
 pub use degrade::{DegradeError, Degraded};

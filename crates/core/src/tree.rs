@@ -187,18 +187,32 @@ impl MachineTree {
     /// order.
     pub fn subtree_leaves(&self, idx: NodeIdx) -> Vec<NodeIdx> {
         let mut out = Vec::new();
-        let mut stack = vec![idx];
-        while let Some(n) = stack.pop() {
-            let node = self.node(n);
-            if node.is_proc() {
-                out.push(n);
-            } else {
-                // Push in reverse so leaves come out left-to-right.
-                stack.extend(node.children.iter().rev().copied());
+        self.subtree_leaves_into(idx, &mut out);
+        out
+    }
+
+    /// [`MachineTree::subtree_leaves`] into a caller-owned buffer: the
+    /// buffer is cleared and refilled, so a hot loop (e.g. a scheduler
+    /// probing many candidate sub-trees per admission round) allocates
+    /// only until the buffer's capacity plateaus.
+    pub fn subtree_leaves_into(&self, idx: NodeIdx, out: &mut Vec<NodeIdx>) {
+        out.clear();
+        self.collect_subtree_leaves(idx, out);
+        // Leaves are appended in DFS (left-to-right) order, which the
+        // builder also uses to assign ranks — but sort anyway so the
+        // contract holds for any arena. Unstable sort: allocation-free.
+        out.sort_unstable_by_key(|&n| self.node(n).proc_id);
+    }
+
+    fn collect_subtree_leaves(&self, idx: NodeIdx, out: &mut Vec<NodeIdx>) {
+        let node = self.node(idx);
+        if node.is_proc() {
+            out.push(idx);
+        } else {
+            for &c in &node.children {
+                self.collect_subtree_leaves(c, out);
             }
         }
-        out.sort_by_key(|&n| self.node(n).proc_id);
-        out
     }
 
     /// The ancestor of `idx` sitting on `level` (or `idx` itself if it is

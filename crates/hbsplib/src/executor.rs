@@ -209,6 +209,50 @@ impl Executor {
         &self.tree
     }
 
+    /// Build the configured engine once and keep it for many
+    /// submissions. This is the seam a scheduler drives: one engine
+    /// instance per machine, [`ExecSession::submit`] per job batch,
+    /// instead of one throwaway engine per `run()`.
+    pub fn session(&self) -> ExecSession {
+        self.session_on(self.tree.clone(), self.faults.clone())
+    }
+
+    /// Build a session for an explicit tree and fault plan (recovery
+    /// rebuilds engines on degraded trees through this).
+    fn session_on(&self, tree: Arc<MachineTree>, faults: FaultPlan) -> ExecSession {
+        let engine = match self.kind {
+            EngineKind::Simulator => {
+                let mut sim = match &self.cfg {
+                    Some(cfg) => Simulator::with_config(tree.clone(), cfg.clone()),
+                    None => Simulator::new(tree.clone()),
+                };
+                sim = sim.trace(self.trace).faults(faults);
+                if let Some(chk) = self.check {
+                    sim = sim.check(chk);
+                }
+                if let Some(p) = &self.probe {
+                    sim = sim.probe(p.clone());
+                }
+                EngineInstance::Simulator(sim)
+            }
+            EngineKind::Threads => {
+                let mut rt = match &self.cfg {
+                    Some(cfg) => ThreadedRuntime::with_config(tree.clone(), cfg.clone()),
+                    None => ThreadedRuntime::new(tree.clone()),
+                };
+                rt = rt.trace(self.trace).faults(faults);
+                if let Some(chk) = self.check {
+                    rt = rt.check(chk);
+                }
+                if let Some(p) = &self.probe {
+                    rt = rt.probe(p.clone());
+                }
+                EngineInstance::Threads(rt)
+            }
+        };
+        ExecSession { tree, engine }
+    }
+
     /// Run `prog` once on `tree` with `faults`, building a fresh engine
     /// from this configuration.
     fn run_once<P: SpmdProgram>(
@@ -217,50 +261,7 @@ impl Executor {
         faults: &FaultPlan,
         prog: &P,
     ) -> Result<(ExecOutcome, Vec<P::State>), SimError> {
-        match self.kind {
-            EngineKind::Simulator => {
-                let mut sim = match &self.cfg {
-                    Some(cfg) => Simulator::with_config(tree.clone(), cfg.clone()),
-                    None => Simulator::new(tree.clone()),
-                };
-                sim = sim.trace(self.trace).faults(faults.clone());
-                if let Some(chk) = self.check {
-                    sim = sim.check(chk);
-                }
-                if let Some(p) = &self.probe {
-                    sim = sim.probe(p.clone());
-                }
-                let (out, states) = sim.run_with_states(prog)?;
-                Ok((
-                    ExecOutcome {
-                        sim: out,
-                        wall: None,
-                    },
-                    states,
-                ))
-            }
-            EngineKind::Threads => {
-                let mut rt = match &self.cfg {
-                    Some(cfg) => ThreadedRuntime::with_config(tree.clone(), cfg.clone()),
-                    None => ThreadedRuntime::new(tree.clone()),
-                };
-                rt = rt.trace(self.trace).faults(faults.clone());
-                if let Some(chk) = self.check {
-                    rt = rt.check(chk);
-                }
-                if let Some(p) = &self.probe {
-                    rt = rt.probe(p.clone());
-                }
-                let (out, states) = rt.run_with_states(prog)?;
-                Ok((
-                    ExecOutcome {
-                        sim: out.virtual_outcome,
-                        wall: Some(out.wall),
-                    },
-                    states,
-                ))
-            }
-        }
+        self.session_on(tree.clone(), faults.clone()).submit(prog)
     }
 
     /// Run `prog` to completion; returns the outcome and every
@@ -355,6 +356,70 @@ impl Executor {
     }
 }
 
+/// One engine, built once from an [`Executor`]'s configuration.
+enum EngineInstance {
+    Simulator(Simulator),
+    Threads(ThreadedRuntime),
+}
+
+/// A built engine accepting many program submissions — the executor
+/// seam for schedulers. [`Executor::run`] is "configure, build, run
+/// once"; a multi-tenant scheduler instead calls
+/// [`Executor::session`] once and [`ExecSession::submit`]s every job
+/// batch against the same engine instance, so per-submission cost is
+/// the program, not engine construction.
+///
+/// Submissions are sequential (`submit` takes `&self` but each call
+/// runs its program to completion before returning); the engines'
+/// determinism guarantees make a session's outcomes identical to the
+/// equivalent sequence of one-shot [`Executor::run`] calls.
+pub struct ExecSession {
+    tree: Arc<MachineTree>,
+    engine: EngineInstance,
+}
+
+impl ExecSession {
+    /// The machine this session's engine runs on.
+    pub fn tree(&self) -> &Arc<MachineTree> {
+        &self.tree
+    }
+
+    /// True if this session drives the threaded runtime (and so reports
+    /// wall-clock durations).
+    pub fn is_threaded(&self) -> bool {
+        matches!(self.engine, EngineInstance::Threads(_))
+    }
+
+    /// Run one program to completion on this session's engine.
+    pub fn submit<P: SpmdProgram>(
+        &self,
+        prog: &P,
+    ) -> Result<(ExecOutcome, Vec<P::State>), SimError> {
+        match &self.engine {
+            EngineInstance::Simulator(sim) => {
+                let (out, states) = sim.run_with_states(prog)?;
+                Ok((
+                    ExecOutcome {
+                        sim: out,
+                        wall: None,
+                    },
+                    states,
+                ))
+            }
+            EngineInstance::Threads(rt) => {
+                let (out, states) = rt.run_with_states(prog)?;
+                Ok((
+                    ExecOutcome {
+                        sim: out.virtual_outcome,
+                        wall: Some(out.wall),
+                    },
+                    states,
+                ))
+            }
+        }
+    }
+}
+
 /// Price `prog` with the pure HBSP^k cost model (no microcosts): runs
 /// the program's supersteps through [`hbsp_sim::ModelEvaluator`] and
 /// returns the `Σ (w + g·h + L)` report. The analytic counterpart of
@@ -407,6 +472,23 @@ mod tests {
         assert_eq!(sim_out.total_time(), thr_out.total_time());
         assert!(sim_out.wall.is_none());
         assert!(thr_out.wall.is_some());
+    }
+
+    #[test]
+    fn one_session_accepts_many_submissions() {
+        for exec in [Executor::simulator(tree()), Executor::threads(tree())] {
+            let session = exec.session();
+            let (first, states1) = session.submit(&PingPong).unwrap();
+            let (second, states2) = session.submit(&PingPong).unwrap();
+            // The engine is reused, not rebuilt: outcomes stay
+            // deterministic and identical to one-shot runs.
+            assert_eq!(states1, states2);
+            assert_eq!(first.total_time(), second.total_time());
+            let (oneshot, oneshot_states) = exec.run(&PingPong).unwrap();
+            assert_eq!(states1, oneshot_states);
+            assert_eq!(first.total_time(), oneshot.total_time());
+            assert_eq!(session.is_threaded(), first.wall.is_some());
+        }
     }
 
     #[test]

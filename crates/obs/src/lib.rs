@@ -21,6 +21,11 @@
 //!   per-level `L`, per-processor speeds and `r` from an observed run
 //!   (the closed loop on §5's benchmark-then-predict methodology).
 //!
+//! * **[`jobs`]** — the scheduler's tenant axis: per-job occupancy
+//!   spans ([`JobSpan`]), the `hbsp_jobs_*` metric family
+//!   ([`JobMetrics`]), and a job-track Chrome-trace exporter
+//!   ([`jobs_chrome_trace`]).
+//!
 //! [`Span`]/[`SpanKind`] live here and are re-exported by `hbsp-sim`,
 //! so both engines and the exporters agree on one span schema.
 
@@ -29,6 +34,7 @@
 pub mod calibrate;
 pub mod drift;
 pub mod export;
+pub mod jobs;
 pub mod json;
 pub mod metrics;
 pub mod probe;
@@ -38,6 +44,7 @@ pub mod span;
 pub use calibrate::{calibrate, Calibration};
 pub use drift::{DriftReport, DriftRow};
 pub use export::{chrome_trace, jsonl, validate_chrome_trace, TraceCheck};
+pub use jobs::{jobs_chrome_trace, JobMetrics, JobSpan};
 pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, Registry};
 pub use probe::{noop, NoopProbe, ObsEvent, Probe, StepRecord, StepWall};
 pub use record::{check_span_invariants, EventTrace, Recorder, StepTrace};

@@ -1,0 +1,602 @@
+//! Multi-tenant job scheduler for HBSP^k machines: a DAG of collectives
+//! (and custom programs) on one shared machine tree.
+//!
+//! The layers below this crate answer "how does *one* program run on
+//! *one* machine": `hbsp-collectives` lowers and prices a collective,
+//! `hbsplib`'s [`Executor`] drives it on either engine. This crate adds
+//! the tenancy axis the paper's campus scenario implies — many users
+//! share the machine tree, each holding a *sub-tree* of it:
+//!
+//! 1. **Submission.** Users [`Scheduler::submit`] [`Job`]s: a
+//!    [`CollectiveKind`] plus size hint (auto-tuned per placement), or a
+//!    pre-lowered [`JobWork::Custom`] schedule. `blocked_by` edges form
+//!    a DAG; fork-join is the core topology.
+//! 2. **Carving.** For each ready job the scheduler probes every
+//!    sub-tree of the shared machine via [`MachineTree::carve`] — the
+//!    exact renormalization `degrade` uses (unit-normalized r, `g`
+//!    absorbing the factor, coordinator-fastest re-election) — and
+//!    prices the job there with `best_plan` / [`predict()`]. The job
+//!    claims the cheapest adequate sub-tree whose leaves are still
+//!    free; claims within a batch are leaf-disjoint by construction and
+//!    re-checked with [`hbsp_check::verify_claims`].
+//! 3. **Batched admission.** All claims of a round merge into *one*
+//!    program on the shared tree (the `merge` module documents the
+//!    shared-barrier containment argument): per superstep one shared
+//!    barrier at the maximum claimed level, so co-scheduled tenants
+//!    amortize synchronization instead of paying it serially. A round
+//!    costs the *max* of its members, not the sum — the whole point of
+//!    sharing the tree.
+//! 4. **Draining.** Rounds repeat until the DAG is drained; the typed
+//!    [`SchedReport`] carries per-job placements, predicted-vs-observed
+//!    costs ([`hbsp_obs::DriftReport`] per batch), occupancy spans and
+//!    the `hbsp_jobs_*` metric family.
+//!
+//! Determinism: job input data is generated from a splitmix-seeded
+//! stream of the job's id, and both engines agree on virtual time, so a
+//! job graph replays **bit-identically** on the [`Engine::Simulator`]
+//! and [`Engine::Threads`], batched or serial.
+
+pub mod job;
+mod lower;
+mod merge;
+pub mod report;
+
+pub use job::{Job, JobId, JobWork};
+pub use report::{BatchReport, JobReport, SchedError, SchedReport};
+
+/// Re-exported so job graphs can be described without importing
+/// `hbsp_collectives` directly.
+pub use hbsp_collectives::CollectiveKind;
+
+use crate::lower::{lower_on, LoweredJob};
+use hbsp_check::{verify_claims, verify_dag};
+use hbsp_collectives::reduce::ReduceOp;
+use hbsp_collectives::schedule::ScheduleState;
+use hbsp_collectives::tune::best_plan;
+use hbsp_collectives::{predict, ScheduleProgram};
+use hbsp_core::{MachineTree, NodeIdx, ProcId};
+use hbsp_obs::{DriftReport, JobMetrics, JobSpan, Recorder};
+use hbsplib::Executor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which engine drains the graph. Virtual-time outcomes are
+/// bit-identical across the two; threads additionally reports wall
+/// durations to any probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The event-driven simulator.
+    #[default]
+    Simulator,
+    /// The threaded runtime (one OS thread per processor).
+    Threads,
+}
+
+/// Knobs for one [`Scheduler::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Engine choice.
+    pub engine: Engine,
+    /// Admit one job per round instead of batching compatible ready
+    /// jobs. Same placements, same per-job results — only the barrier
+    /// sharing differs, which is what makes this the control arm of the
+    /// batching experiment.
+    pub serial: bool,
+}
+
+/// A sub-tree of the shared machine a job may claim.
+struct Candidate {
+    idx: NodeIdx,
+    /// Global leaf ranks under `idx`, ascending.
+    leaves: Vec<ProcId>,
+}
+
+/// The multi-tenant scheduler: owns the shared [`MachineTree`] and the
+/// submitted job graph; [`Scheduler::run`] drains it.
+#[derive(Debug)]
+pub struct Scheduler {
+    tree: Arc<MachineTree>,
+    jobs: Vec<Job>,
+}
+
+impl Scheduler {
+    /// A scheduler owning `tree` with an empty job graph.
+    pub fn new(tree: Arc<MachineTree>) -> Scheduler {
+        Scheduler {
+            tree,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The shared machine.
+    pub fn tree(&self) -> &Arc<MachineTree> {
+        &self.tree
+    }
+
+    /// Add a job to the graph. Ids are dense and ordered by submission;
+    /// `blocked_by` edges may reference any id, validation happens at
+    /// [`Scheduler::run`].
+    pub fn submit(&mut self, job: Job) -> JobId {
+        self.jobs.push(job);
+        JobId(self.jobs.len() - 1)
+    }
+
+    /// The submitted jobs, in id order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Drain the job graph: repeatedly place every ready job on the
+    /// cheapest adequate free sub-tree, merge the round's claims into
+    /// one shared-barrier program, and execute it on the chosen engine.
+    ///
+    /// Virtual time is the scheduler's clock: each round advances it by
+    /// the round's [`hbsplib::ExecOutcome::total_time`], and the
+    /// report's `total_time` is the makespan of the whole graph.
+    pub fn run(&self, opts: &RunOptions) -> Result<SchedReport, SchedError> {
+        let n = self.jobs.len();
+        let tree = &self.tree;
+        let p = tree.num_procs();
+
+        // Graph validation up front: nothing runs on a broken DAG.
+        let edges: Vec<(usize, usize)> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, j)| j.blocked_by.iter().map(move |d| (i, d.0)))
+            .collect();
+        let violations = verify_dag(n, &edges);
+        if !violations.is_empty() {
+            return Err(SchedError::InvalidGraph(violations));
+        }
+        for (i, job) in self.jobs.iter().enumerate() {
+            if let JobWork::Custom { schedule, .. } = &job.work {
+                let steps = &schedule.steps;
+                let body_ok = steps
+                    .iter()
+                    .enumerate()
+                    .all(|(s, st)| (s + 1 == steps.len()) == st.scope.is_none());
+                if steps.is_empty() || !body_ok {
+                    return Err(SchedError::MalformedCustom { job: JobId(i) });
+                }
+            }
+        }
+
+        // Every node of the shared tree is a placement candidate; the
+        // leaf sets are collected once through a reused scratch buffer
+        // (`subtree_leaves_into`), so the admission loop below never
+        // walks the tree again.
+        let mut scratch = Vec::new();
+        let candidates: Vec<Candidate> = tree
+            .nodes()
+            .map(|node| {
+                let idx = node.idx();
+                tree.subtree_leaves_into(idx, &mut scratch);
+                Candidate {
+                    idx,
+                    leaves: scratch
+                        .iter()
+                        .map(|&l| tree.node(l).proc_id().expect("subtree leaf is a proc"))
+                        .collect(),
+                }
+            })
+            .collect();
+
+        let recorder = Arc::new(Recorder::new());
+        let exec = match opts.engine {
+            Engine::Simulator => Executor::simulator(tree.clone()),
+            Engine::Threads => Executor::threads(tree.clone()),
+        }
+        .probe(recorder.clone());
+        let session = exec.session();
+        let metrics = JobMetrics::new();
+        metrics.submitted(n as u64);
+
+        let mut done = vec![false; n];
+        let mut num_done = 0usize;
+        let mut clock = 0.0f64;
+        let mut job_reports: Vec<Option<JobReport>> = (0..n).map(|_| None).collect();
+        let mut batches = Vec::new();
+        let mut spans = Vec::new();
+        // Placement prices are pure functions of (collective, size,
+        // node) — or (job, node) for custom work — so a graph of
+        // repeated shapes prices each shape once.
+        let mut prices: HashMap<(u8, u64, u32), Option<f64>> = HashMap::new();
+        let mut recorded = 0usize;
+        let max_batch = if opts.serial { 1 } else { usize::MAX };
+
+        while num_done < n {
+            let ready: Vec<usize> = (0..n)
+                .filter(|&i| !done[i] && self.jobs[i].blocked_by.iter().all(|d| done[d.0]))
+                .collect();
+            debug_assert!(!ready.is_empty(), "acyclic graph always has a ready job");
+
+            // Claim phase: ready jobs in submission order each take the
+            // cheapest adequate sub-tree whose leaves are still free.
+            let mut free = vec![true; p];
+            let mut batch_op: Option<ReduceOp> = None;
+            let mut lowered: Vec<LoweredJob> = Vec::new();
+            let mut claims: Vec<(usize, NodeIdx)> = Vec::new();
+            for &i in &ready {
+                if lowered.len() >= max_batch {
+                    break;
+                }
+                let job = &self.jobs[i];
+                // One ReduceOp per merged program: defer jobs that would
+                // impose a different operator to a later round.
+                if let (Some(a), Some(b)) = (batch_op, job.op()) {
+                    if a != b {
+                        continue;
+                    }
+                }
+                let mut best: Option<(f64, usize, u32)> = None;
+                let mut best_cand: Option<&Candidate> = None;
+                for cand in &candidates {
+                    let adequate = match job.exact_procs() {
+                        None => cand.leaves.len() >= job.min_procs,
+                        Some(k) => cand.leaves.len() == k,
+                    };
+                    if !adequate || !cand.leaves.iter().all(|pid| free[pid.rank()]) {
+                        continue;
+                    }
+                    let key = price_key(job, i, cand.idx);
+                    let price = *prices
+                        .entry(key)
+                        .or_insert_with(|| price_on(tree, job, cand.idx));
+                    let Some(cost) = price else { continue };
+                    let entry = (cost, cand.leaves.len(), cand.idx.index() as u32);
+                    let beats = match best {
+                        None => true,
+                        Some(b) => {
+                            entry
+                                .0
+                                .total_cmp(&b.0)
+                                .then_with(|| entry.1.cmp(&b.1).then(entry.2.cmp(&b.2)))
+                                == std::cmp::Ordering::Less
+                        }
+                    };
+                    if beats {
+                        best = Some(entry);
+                        best_cand = Some(cand);
+                    }
+                }
+                match best_cand {
+                    Some(cand) => {
+                        let lj = lower_on(tree.carve(cand.idx), job, i, cand.idx)?;
+                        for pid in &cand.leaves {
+                            free[pid.rank()] = false;
+                        }
+                        if batch_op.is_none() {
+                            batch_op = job.op();
+                        }
+                        claims.push((i, cand.idx));
+                        lowered.push(lj);
+                    }
+                    // An empty batch means every leaf is free and no op
+                    // constraint is active — if the job still fits
+                    // nowhere, no future round can do better.
+                    None if lowered.is_empty() => {
+                        return Err(SchedError::Unplaceable {
+                            job: JobId(i),
+                            name: job.name.clone(),
+                            needed: job.exact_procs().unwrap_or(job.min_procs),
+                            available: p,
+                        });
+                    }
+                    None => {}
+                }
+            }
+
+            // Defense in depth: the claim loop's free-leaf bookkeeping
+            // should make this vacuous; a violation here is a scheduler
+            // bug and must not reach tenant data.
+            let overlaps = verify_claims(tree, &claims);
+            if !overlaps.is_empty() {
+                return Err(SchedError::ClaimOverlap(overlaps));
+            }
+
+            let batch_index = batches.len();
+            let merged = merge::merge(tree, &lowered);
+            let schedule = Arc::new(merged.schedule);
+            let predicted = predict(tree, &schedule);
+            let prog = ScheduleProgram::new(schedule, Arc::new(merged.init), merged.op);
+            let (outcome, states) = session.submit(&prog)?;
+            let duration = outcome.total_time();
+            let (start, end) = (clock, clock + duration);
+            clock = end;
+
+            let all_steps = recorder.steps();
+            let drift = DriftReport::new(&all_steps[recorded..], predicted.steps()).ok();
+            recorded = all_steps.len();
+
+            for l in &lowered {
+                let i = l.job;
+                done[i] = true;
+                num_done += 1;
+                let job_states: Vec<ScheduleState> = l
+                    .carved
+                    .leaves
+                    .iter()
+                    .map(|pid| states[pid.rank()].clone())
+                    .collect();
+                if job_states.iter().any(|s| s.error().is_some()) {
+                    metrics.failed();
+                } else {
+                    metrics.completed(duration);
+                }
+                spans.push(JobSpan {
+                    job: i,
+                    name: self.jobs[i].name.clone(),
+                    batch: batch_index,
+                    start,
+                    end,
+                    leaves: l
+                        .carved
+                        .leaves
+                        .iter()
+                        .map(|pid| pid.rank() as u32)
+                        .collect(),
+                });
+                job_reports[i] = Some(JobReport {
+                    id: JobId(i),
+                    name: self.jobs[i].name.clone(),
+                    batch: batch_index,
+                    node: l.node,
+                    machine: tree.node(l.node).machine_id(),
+                    leaves: l.carved.leaves.clone(),
+                    root: l.root.map(|r| l.carved.leaves[r.rank()]),
+                    predicted: l.predicted,
+                    start,
+                    end,
+                    states: job_states,
+                });
+            }
+            metrics.batch();
+            batches.push(BatchReport {
+                index: batch_index,
+                jobs: lowered.iter().map(|l| JobId(l.job)).collect(),
+                start,
+                end,
+                predicted: predicted.total(),
+                drift,
+            });
+        }
+
+        Ok(SchedReport {
+            jobs: job_reports
+                .into_iter()
+                .map(|r| r.expect("every job ran"))
+                .collect(),
+            batches,
+            total_time: clock,
+            spans,
+            metrics: metrics.snapshot(),
+        })
+    }
+}
+
+/// Price cache key: collective jobs share entries by shape, custom jobs
+/// get per-job entries (discriminant 255 cannot collide with the
+/// `CollectiveKind` discriminants).
+fn price_key(job: &Job, id: usize, idx: NodeIdx) -> (u8, u64, u32) {
+    match &job.work {
+        JobWork::Collective { kind, n } => (*kind as u8, *n, idx.index() as u32),
+        JobWork::Custom { .. } => (255, id as u64, idx.index() as u32),
+    }
+}
+
+/// Price `job` on the machine carved at `idx`, or `None` if the carved
+/// machine cannot host it (no plan, or a custom schedule's scopes
+/// exceed the carved height).
+fn price_on(tree: &MachineTree, job: &Job, idx: NodeIdx) -> Option<f64> {
+    let carved = tree.carve(idx);
+    match &job.work {
+        JobWork::Collective { kind, n } => best_plan(&carved.tree, *kind, *n).ok().map(|p| p.cost),
+        JobWork::Custom { schedule, .. } => {
+            let max_scope = schedule
+                .steps
+                .iter()
+                .filter_map(|s| s.scope.map(|sc| sc.level()))
+                .max()
+                .unwrap_or(0);
+            if carved.tree.height() < max_scope {
+                return None;
+            }
+            Some(predict(&carved.tree, schedule).total())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbsp_collectives::schedule::ProcInit;
+    use hbsp_collectives::{CommSchedule, Role, ScheduleStep, Transfer, UnitId};
+    use hbsp_core::{SyncScope, TreeBuilder};
+
+    /// Two unequal LANs under a campus root, 4 processors.
+    fn campus_like() -> Arc<MachineTree> {
+        Arc::new(
+            TreeBuilder::two_level(
+                1.0,
+                50.0,
+                &[
+                    (10.0, vec![(1.0, 1.0), (2.0, 0.5)]),
+                    (10.0, vec![(1.5, 0.8), (3.0, 0.4)]),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn run(sched: &Scheduler, engine: Engine, serial: bool) -> SchedReport {
+        sched
+            .run(&RunOptions { engine, serial })
+            .expect("graph drains")
+    }
+
+    #[test]
+    fn single_job_is_bit_identical_across_engines() {
+        let mut s = Scheduler::new(campus_like());
+        s.submit(Job::collective("g", CollectiveKind::Gather, 16).with_seed(7));
+        let sim = run(&s, Engine::Simulator, false);
+        let thr = run(&s, Engine::Threads, false);
+        assert!(sim.clean() && thr.clean());
+        assert_eq!(sim.jobs[0].states, thr.jobs[0].states);
+        assert_eq!(sim.jobs[0].leaves, thr.jobs[0].leaves);
+        assert_eq!(sim.total_time, thr.total_time);
+        assert_eq!(sim.jobs[0].root, thr.jobs[0].root);
+    }
+
+    #[test]
+    fn fork_join_runs_dependencies_in_earlier_batches() {
+        let mut s = Scheduler::new(campus_like());
+        let src = s.submit(Job::collective("fork", CollectiveKind::Broadcast, 8));
+        let a = s.submit(Job::collective("a", CollectiveKind::Gather, 8).after(&[src]));
+        let b = s.submit(Job::collective("b", CollectiveKind::Gather, 8).after(&[src]));
+        let join = s.submit(Job::collective("join", CollectiveKind::Allgather, 8).after(&[a, b]));
+        let rep = run(&s, Engine::Simulator, false);
+        assert!(rep.clean());
+        let batch = |id: JobId| rep.jobs[id.0].batch;
+        assert!(batch(src) < batch(a));
+        assert!(batch(src) < batch(b));
+        assert!(batch(a) < batch(join));
+        assert!(batch(b) < batch(join));
+        // The two independent middle jobs share a round.
+        assert_eq!(batch(a), batch(b));
+        assert_eq!(rep.batches.len(), 3);
+    }
+
+    #[test]
+    fn batching_beats_serial_and_preserves_results() {
+        let mut s = Scheduler::new(campus_like());
+        for i in 0..4 {
+            s.submit(Job::collective(format!("g{i}"), CollectiveKind::Gather, 32).with_seed(i));
+        }
+        let batched = run(&s, Engine::Simulator, false);
+        let serial = run(&s, Engine::Simulator, true);
+        assert!(batched.clean() && serial.clean());
+        assert_eq!(serial.batches.len(), 4);
+        assert!(batched.batches.len() < serial.batches.len());
+        assert!(
+            batched.total_time < serial.total_time,
+            "batched {} vs serial {}",
+            batched.total_time,
+            serial.total_time
+        );
+        // Admission policy changes the clock, not the answers.
+        for (b, s) in batched.jobs.iter().zip(&serial.jobs) {
+            assert_eq!(b.states, s.states);
+        }
+    }
+
+    #[test]
+    fn concurrent_claims_are_leaf_disjoint() {
+        let mut s = Scheduler::new(campus_like());
+        for i in 0..6 {
+            s.submit(Job::collective(format!("g{i}"), CollectiveKind::Gather, 8).with_seed(i));
+        }
+        let rep = run(&s, Engine::Simulator, false);
+        assert!(rep.clean());
+        for batch in &rep.batches {
+            let mut seen = std::collections::HashSet::new();
+            for &id in &batch.jobs {
+                for leaf in &rep.jobs[id.0].leaves {
+                    assert!(seen.insert(*leaf), "leaf {leaf} claimed twice in a batch");
+                }
+            }
+        }
+    }
+
+    /// A 2-processor hand-lowered program: rank 0 ships its unit to
+    /// rank 1.
+    fn ship_right(op: Option<ReduceOp>) -> Job {
+        let uid = UnitId::new(0, 4);
+        let mut sched = CommSchedule::new();
+        let mut step = ScheduleStep::at(SyncScope::Level(1));
+        step.transfers.push(Transfer {
+            src: ProcId(0),
+            dst: ProcId(1),
+            words: 4,
+            role: Role::Piece(uid),
+        });
+        sched.push(step);
+        sched.push(ScheduleStep::drain());
+        let mut init = vec![ProcInit::default(), ProcInit::default()];
+        init[0].units.push((uid, vec![1, 2, 3, 4]));
+        Job::custom("ship", sched, init, op)
+    }
+
+    #[test]
+    fn custom_jobs_merge_and_run() {
+        let mut s = Scheduler::new(campus_like());
+        s.submit(ship_right(None));
+        s.submit(Job::collective("g", CollectiveKind::Gather, 8));
+        let rep = run(&s, Engine::Simulator, false);
+        assert!(rep.clean());
+        assert_eq!(rep.batches.len(), 1, "custom and collective share a round");
+        let ship = &rep.jobs[0];
+        assert_eq!(ship.leaves.len(), 2);
+        assert_eq!(ship.states[1].unit(UnitId::new(0, 4)), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn conflicting_reduce_ops_defer_to_a_later_batch() {
+        let mut s = Scheduler::new(campus_like());
+        let r = s.submit(Job::collective("sum", CollectiveKind::Reduce, 8));
+        let m = s.submit(ship_right(Some(ReduceOp::Min)));
+        let rep = run(&s, Engine::Simulator, false);
+        assert!(rep.clean());
+        assert_ne!(
+            rep.jobs[r.0].batch, rep.jobs[m.0].batch,
+            "jobs with different reduce ops must not share a merged program"
+        );
+    }
+
+    #[test]
+    fn oversized_job_is_unplaceable() {
+        let mut s = Scheduler::new(campus_like());
+        s.submit(Job::collective("big", CollectiveKind::Gather, 8).with_min_procs(64));
+        match s.run(&RunOptions::default()) {
+            Err(SchedError::Unplaceable {
+                needed, available, ..
+            }) => {
+                assert_eq!(needed, 64);
+                assert_eq!(available, 4);
+            }
+            other => panic!("expected Unplaceable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_is_rejected() {
+        let mut s = Scheduler::new(campus_like());
+        let a = s.submit(Job::collective("a", CollectiveKind::Gather, 8));
+        s.submit(Job::collective("b", CollectiveKind::Gather, 8).after(&[a, JobId(1)]));
+        match s.run(&RunOptions::default()) {
+            Err(SchedError::InvalidGraph(v)) => assert!(!v.is_empty()),
+            other => panic!("expected InvalidGraph, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_carries_spans_metrics_and_drift() {
+        let mut s = Scheduler::new(campus_like());
+        let a = s.submit(Job::collective("a", CollectiveKind::Gather, 16));
+        s.submit(Job::collective("b", CollectiveKind::Scan, 16).after(&[a]));
+        let rep = run(&s, Engine::Simulator, false);
+        assert!(rep.clean());
+        assert_eq!(rep.spans.len(), 2);
+        assert!(rep.spans.iter().all(|sp| sp.duration() > 0.0));
+        let completed = rep
+            .metrics
+            .iter()
+            .find(|m| m.name == "hbsp_jobs_completed_total")
+            .expect("jobs metric present");
+        assert!(matches!(completed.value, hbsp_obs::MetricValue::Counter(2)));
+        assert!(rep.batches.iter().all(|b| b.predicted > 0.0));
+        let trace = hbsp_obs::jobs_chrome_trace(&rep.spans);
+        hbsp_obs::validate_chrome_trace(&trace).expect("job trace validates");
+        assert!(!rep.render_text().is_empty());
+    }
+}

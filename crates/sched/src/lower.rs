@@ -1,0 +1,134 @@
+//! Lowering a placed job onto its carved machine: pick the cheapest
+//! plan, generate the job's deterministic input data, and build the
+//! initial holdings the collective's schedule expects.
+//!
+//! Data is produced by a splitmix-style generator seeded from the job's
+//! seed and id, so a job graph replays bit-identically on either engine
+//! and across serial/batched admission.
+
+use crate::job::{Job, JobId, JobWork};
+use crate::report::SchedError;
+use hbsp_collectives::predict;
+use hbsp_collectives::reduce::ReduceOp;
+use hbsp_collectives::schedule::{share_inits, ProcInit};
+use hbsp_collectives::tune::best_plan;
+use hbsp_collectives::{CollectiveKind, CommSchedule, UnitId};
+use hbsp_core::{Carved, NodeIdx, ProcId};
+
+/// One job lowered for the sub-tree it claimed this batch. Everything
+/// here is in carved-local ranks; `carved.leaves` maps back to the
+/// shared tree.
+pub(crate) struct LoweredJob {
+    /// Index of the job in the scheduler's submission order.
+    pub job: usize,
+    /// The claimed node of the shared tree.
+    pub node: NodeIdx,
+    /// The carved, renormalized machine of that node.
+    pub carved: Carved,
+    /// The job's schedule in carved-local ranks.
+    pub schedule: CommSchedule,
+    /// Initial holdings per carved-local rank.
+    pub init: Vec<ProcInit>,
+    /// Reduction operator, if the schedule sends partials.
+    pub op: Option<ReduceOp>,
+    /// Predicted cost of the schedule on the carved machine alone.
+    pub predicted: f64,
+    /// Carved-local root/result rank, for rooted collectives.
+    pub root: Option<ProcId>,
+}
+
+/// Mix the job id into the user seed so default-seeded jobs still get
+/// distinct data (splitmix64 finalizer).
+pub(crate) fn job_seed(seed: u64, id: usize) -> u64 {
+    let mut z = seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `len` deterministic words from `seed`.
+pub(crate) fn words(seed: u64, len: usize) -> Vec<u32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 32) as u32
+        })
+        .collect()
+}
+
+/// Lower `job` (with submission index `id`) onto the machine carved at
+/// `node`. The caller has already checked the sub-tree is adequate.
+pub(crate) fn lower_on(
+    carved: Carved,
+    job: &Job,
+    id: usize,
+    node: NodeIdx,
+) -> Result<LoweredJob, SchedError> {
+    let seed = job_seed(job.seed, id);
+    match &job.work {
+        JobWork::Collective { kind, n } => {
+            let plan =
+                best_plan(&carved.tree, *kind, *n).map_err(|e| SchedError::Tune(JobId(id), e))?;
+            let p = carved.tree.num_procs();
+            let n_items = *n as usize;
+            let mut init = vec![ProcInit::default(); p];
+            let mut op = None;
+            match kind {
+                CollectiveKind::Gather | CollectiveKind::Allgather => {
+                    init = share_inits(&carved.tree, &words(seed, n_items), plan.workload);
+                }
+                CollectiveKind::Broadcast | CollectiveKind::Scatter => {
+                    let root = plan.root.expect("rooted collective resolves a root");
+                    init[root.rank()]
+                        .units
+                        .push((UnitId::new(0, *n as u32), words(seed, n_items)));
+                }
+                CollectiveKind::Alltoall => {
+                    for (src, pi) in init.iter_mut().enumerate() {
+                        for dst in 0..p {
+                            if src == dst {
+                                continue;
+                            }
+                            pi.units.push((
+                                UnitId::new((src * p + dst) as u32, *n as u32),
+                                words(seed ^ ((src * p + dst) as u64), n_items),
+                            ));
+                        }
+                    }
+                }
+                CollectiveKind::Reduce | CollectiveKind::Scan => {
+                    for (rank, pi) in init.iter_mut().enumerate() {
+                        pi.acc = Some(words(seed ^ rank as u64, n_items));
+                    }
+                    op = Some(ReduceOp::Sum);
+                }
+            }
+            Ok(LoweredJob {
+                job: id,
+                node,
+                carved,
+                predicted: plan.cost,
+                root: plan.root,
+                schedule: plan.schedule,
+                init,
+                op,
+            })
+        }
+        JobWork::Custom { schedule, init, op } => {
+            let predicted = predict(&carved.tree, schedule).total();
+            Ok(LoweredJob {
+                job: id,
+                node,
+                carved,
+                schedule: (**schedule).clone(),
+                init: (**init).clone(),
+                op: *op,
+                predicted,
+                root: None,
+            })
+        }
+    }
+}

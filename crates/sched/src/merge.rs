@@ -1,0 +1,89 @@
+//! Merging a batch of lowered jobs into one shared-tree program.
+//!
+//! Each lowered job's schedule is expressed in its carved machine's
+//! local ranks; merging remaps every work charge and transfer through
+//! `Carved::leaves` onto the shared tree and zips the jobs' supersteps
+//! together, so the whole batch runs under **one barrier per step**
+//! instead of one barrier sequence per tenant.
+//!
+//! Correctness of the shared barrier: merged step `s` closes at
+//! `Level(max level of any active job's claimed node)`. A claim at
+//! level `ℓ` is itself a level-`ℓ` cluster, every transfer of that job
+//! stays inside it, and any node of the sub-tree sits at level `≤ ℓ` —
+//! so each transfer's crossing level is contained by the merged scope,
+//! and the engines' scope check accepts the merged program wherever it
+//! accepted the tenants individually. Unit-id spaces may collide across
+//! jobs, but stores are per-processor and concurrent claims are
+//! leaf-disjoint, so no processor ever sees two tenants' units.
+
+use crate::lower::LoweredJob;
+use hbsp_collectives::reduce::ReduceOp;
+use hbsp_collectives::schedule::ProcInit;
+use hbsp_collectives::{CommSchedule, ScheduleStep, Transfer};
+use hbsp_core::{MachineTree, SyncScope};
+
+/// A batch's single shared-tree program, ready for `ScheduleProgram`.
+pub(crate) struct MergedBatch {
+    /// The zipped schedule over the shared tree.
+    pub schedule: CommSchedule,
+    /// Holdings per shared-tree rank (idle processors hold nothing).
+    pub init: Vec<ProcInit>,
+    /// The batch's single reduction operator (admission guarantees all
+    /// member operators agree).
+    pub op: Option<ReduceOp>,
+}
+
+/// Zip the batch members into one program on `tree`.
+pub(crate) fn merge(tree: &MachineTree, lowered: &[LoweredJob]) -> MergedBatch {
+    let p = tree.num_procs();
+    let mut init = vec![ProcInit::default(); p];
+    for l in lowered {
+        for (rank, pi) in l.init.iter().enumerate() {
+            init[l.carved.leaves[rank].rank()] = pi.clone();
+        }
+    }
+    let op = lowered.iter().find_map(|l| l.op);
+
+    // Every schedule ends with its drain; the merged body is as long as
+    // the longest member body, followed by one shared drain.
+    let body_of = |l: &LoweredJob| l.schedule.num_steps().saturating_sub(1);
+    let body = lowered.iter().map(body_of).max().unwrap_or(0);
+    let mut schedule = CommSchedule::new();
+    for s in 0..body {
+        let scope = lowered
+            .iter()
+            .filter(|l| s < body_of(l))
+            .map(|l| tree.node(l.node).level())
+            .max()
+            .expect("some member is active at every body step");
+        let mut step = ScheduleStep::at(SyncScope::Level(scope));
+        for l in lowered {
+            if s >= body_of(l) {
+                continue;
+            }
+            let src = &l.schedule.steps[s];
+            for &(pid, units) in &src.work {
+                step.work.push((l.carved.leaves[pid.rank()], units));
+            }
+            for t in &src.transfers {
+                step.transfers.push(Transfer {
+                    src: l.carved.leaves[t.src.rank()],
+                    dst: l.carved.leaves[t.dst.rank()],
+                    words: t.words,
+                    role: t.role.clone(),
+                });
+            }
+        }
+        schedule.push(step);
+    }
+    let mut drain = ScheduleStep::drain();
+    for l in lowered {
+        if let Some(last) = l.schedule.steps.last() {
+            for &(pid, units) in &last.work {
+                drain.work.push((l.carved.leaves[pid.rank()], units));
+            }
+        }
+    }
+    schedule.push(drain);
+    MergedBatch { schedule, init, op }
+}

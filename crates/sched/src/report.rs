@@ -1,0 +1,217 @@
+//! Typed results of draining a job graph, and the scheduler's errors.
+
+use crate::job::JobId;
+use hbsp_check::Violation;
+use hbsp_collectives::schedule::ScheduleState;
+use hbsp_collectives::{DecodeError, TuneError};
+use hbsp_core::{MachineId, NodeIdx, ProcId};
+use hbsp_obs::metrics::MetricSample;
+use hbsp_obs::{DriftReport, JobSpan};
+use hbsp_sim::SimError;
+use std::fmt;
+
+/// One job's outcome: where it ran, what it cost, and its final
+/// per-processor states (carved-rank order) for result extraction and
+/// cross-engine comparison.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job.
+    pub id: JobId,
+    /// Its submitted name.
+    pub name: String,
+    /// Admission batch it ran in (0-based).
+    pub batch: usize,
+    /// Claimed node of the shared tree.
+    pub node: NodeIdx,
+    /// The claim's `M_{i,j}` coordinates.
+    pub machine: MachineId,
+    /// Global ranks of the claimed leaves, in carved-rank order.
+    pub leaves: Vec<ProcId>,
+    /// Global rank of the result root, for rooted collectives.
+    pub root: Option<ProcId>,
+    /// Predicted cost of the job alone on its carved machine.
+    pub predicted: f64,
+    /// Virtual time the job's batch started.
+    pub start: f64,
+    /// Virtual time the job's batch finished.
+    pub end: f64,
+    /// Final interpreter states of the claimed leaves, carved order.
+    pub states: Vec<ScheduleState>,
+}
+
+impl JobReport {
+    /// Observed virtual time: the batch window the job occupied.
+    pub fn observed(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// First malformed payload seen by any of the job's processors.
+    pub fn error(&self) -> Option<DecodeError> {
+        self.states.iter().find_map(ScheduleState::error)
+    }
+}
+
+/// One admission round: the jobs that shared its barriers and the
+/// predicted-vs-observed cost of the merged program.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Batch index (0-based).
+    pub index: usize,
+    /// Members, in admission order.
+    pub jobs: Vec<JobId>,
+    /// Virtual start time.
+    pub start: f64,
+    /// Virtual end time.
+    pub end: f64,
+    /// Predicted cost of the merged program on the shared tree.
+    pub predicted: f64,
+    /// Per-step drift of the merged program (when the engine's probe
+    /// steps pair up with the prediction).
+    pub drift: Option<DriftReport>,
+}
+
+impl BatchReport {
+    /// Observed virtual time of the round.
+    pub fn observed(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The drained graph: every job's outcome, every batch, and the run's
+/// job-axis telemetry.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// Per-job outcomes in job-id order.
+    pub jobs: Vec<JobReport>,
+    /// Admission rounds in execution order.
+    pub batches: Vec<BatchReport>,
+    /// Virtual makespan: the sum of round durations.
+    pub total_time: f64,
+    /// Per-job occupancy spans (feed [`hbsp_obs::jobs_chrome_trace`]).
+    pub spans: Vec<JobSpan>,
+    /// Snapshot of the `hbsp_jobs_*` metrics.
+    pub metrics: Vec<MetricSample>,
+}
+
+impl SchedReport {
+    /// True when every job completed without a decode error.
+    pub fn clean(&self) -> bool {
+        self.jobs.iter().all(|j| j.error().is_none())
+    }
+
+    /// Human-readable run summary.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} jobs in {} batches, makespan {:.0}",
+            self.jobs.len(),
+            self.batches.len(),
+            self.total_time
+        );
+        for b in &self.batches {
+            let members: Vec<String> = b.jobs.iter().map(|j| j.0.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "  batch {}: jobs [{}]  T = {:.0} (predicted {:.0})",
+                b.index,
+                members.join(","),
+                b.observed(),
+                b.predicted
+            );
+        }
+        for j in &self.jobs {
+            let _ = writeln!(
+                out,
+                "  {}: {} on {} ({} leaves), batch {}, predicted {:.0}, window {:.0}",
+                j.id,
+                j.name,
+                j.machine,
+                j.leaves.len(),
+                j.batch,
+                j.predicted,
+                j.observed()
+            );
+        }
+        out
+    }
+}
+
+/// Why a run could not proceed.
+#[derive(Debug)]
+pub enum SchedError {
+    /// The `blocked_by` graph is broken (cycle, self-edge, dangling
+    /// dependency) — nothing ran.
+    InvalidGraph(Vec<Violation>),
+    /// Internal invariant breach: a batch's claims were not
+    /// leaf-disjoint. Always a scheduler bug, surfaced typed instead of
+    /// corrupting tenant data.
+    ClaimOverlap(Vec<Violation>),
+    /// A ready job fits no sub-tree of the machine even when idle.
+    Unplaceable {
+        /// The job.
+        job: JobId,
+        /// Its name.
+        name: String,
+        /// Leaves it needs.
+        needed: usize,
+        /// Leaves the whole machine has.
+        available: usize,
+    },
+    /// A custom job's schedule is structurally invalid (empty, or a
+    /// drain step before the end).
+    MalformedCustom {
+        /// The job.
+        job: JobId,
+    },
+    /// Plan selection failed for a job on its carved machine.
+    Tune(JobId, TuneError),
+    /// An engine rejected or failed the merged program.
+    Exec(SimError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidGraph(v) => {
+                write!(f, "invalid job graph ({} violations):", v.len())?;
+                for x in v {
+                    write!(f, "\n  {x}")?;
+                }
+                Ok(())
+            }
+            SchedError::ClaimOverlap(v) => {
+                write!(f, "batch claims overlap ({} violations):", v.len())?;
+                for x in v {
+                    write!(f, "\n  {x}")?;
+                }
+                Ok(())
+            }
+            SchedError::Unplaceable {
+                job,
+                name,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{job} ({name}) needs {needed} processors but the machine has {available}; \
+                 no sub-tree can ever host it"
+            ),
+            SchedError::MalformedCustom { job } => write!(
+                f,
+                "{job} submitted a custom schedule that is empty or has a non-final drain step"
+            ),
+            SchedError::Tune(job, e) => write!(f, "{job}: plan selection failed: {e}"),
+            SchedError::Exec(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<SimError> for SchedError {
+    fn from(e: SimError) -> Self {
+        SchedError::Exec(e)
+    }
+}

@@ -24,7 +24,10 @@
 //! * [`hbsp_bench`] (`hbsp::bench`) — the experiment harness regenerating every
 //!   figure and analysis of the paper;
 //! * [`hbsp_apps`] (`hbsp::apps`) — complete heterogeneous applications (sample
-//!   sort, matrix–vector multiply) built on the collectives.
+//!   sort, matrix–vector multiply) built on the collectives;
+//! * [`hbsp_sched`] (`hbsp::sched`) — a multi-tenant job scheduler: a DAG of
+//!   collectives on a shared machine tree, with carved sub-tree placement
+//!   and batched shared-barrier admission.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@ pub use hbsp_collectives as collectives;
 pub use hbsp_core as core;
 pub use hbsp_obs as obs;
 pub use hbsp_runtime as runtime;
+pub use hbsp_sched as sched;
 pub use hbsp_sim as sim;
 pub use hbsplib as lib;
 
@@ -70,6 +74,7 @@ pub mod prelude {
         TreeBuilder,
     };
     pub use hbsp_obs::{Probe, Recorder};
+    pub use hbsp_sched::{Job, JobId, RunOptions, SchedReport, Scheduler};
     pub use hbsp_sim::{FaultPlan, SimError};
     pub use hbsplib::{
         Ctx, Executor, Message, ProcEnv, Program, RecoveryPolicy, SpmdContext, StepOutcome,

@@ -1,0 +1,91 @@
+//! Property tests for carving sub-trees out of a shared machine — the
+//! invariants the multi-tenant scheduler's placements lean on:
+//!
+//! 1. every carved machine passes the Table-1 lints (`lint_carved`);
+//! 2. renormalization preserves each processor's absolute per-word cost
+//!    `r·g` (bit-exactly for the carved machine's fastest processor);
+//! 3. sibling sub-trees are leaf-disjoint and partition their parent's
+//!    leaves, so concurrent sibling claims can never share a processor.
+
+mod common;
+
+use common::arb_machine;
+use hbsp::check::{lint_carved, verify_claims};
+use hbsp::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn every_carved_subtree_lints_clean(tree in arb_machine()) {
+        let idxs: Vec<NodeIdx> = tree.nodes().map(|n| n.idx()).collect();
+        for idx in idxs {
+            let violations = lint_carved(&tree, idx);
+            prop_assert!(
+                violations.is_empty(),
+                "carving {:?} broke Table-1 invariants: {violations:?}",
+                tree.node(idx).machine_id()
+            );
+        }
+    }
+
+    #[test]
+    fn carving_preserves_absolute_per_word_cost(tree in arb_machine()) {
+        let idxs: Vec<NodeIdx> = tree.nodes().map(|n| n.idx()).collect();
+        for idx in idxs {
+            let carved = tree.carve(idx);
+            let fastest = carved
+                .tree
+                .leaves()
+                .iter()
+                .map(|&l| carved.tree.node(l).params().r)
+                .fold(f64::INFINITY, f64::min);
+            for (rank, &leaf) in carved.tree.leaves().iter().enumerate() {
+                let node = carved.tree.node(leaf);
+                let orig = carved.leaves[rank];
+                let orig_leaf = tree.leaves()[orig.rank()];
+                let before = tree.node(orig_leaf).params().r * tree.g();
+                let after = node.params().r * carved.tree.g();
+                if node.params().r == fastest {
+                    // The new unit machine: x/x == 1.0 exactly in IEEE
+                    // arithmetic, so its cost must be preserved bit-for-bit.
+                    prop_assert_eq!(after, before, "fastest carved leaf drifted");
+                } else {
+                    prop_assert!(
+                        (after - before).abs() <= 1e-9 * before,
+                        "carved r·g {after} vs original {before}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_claims_partition_the_parent(tree in arb_machine()) {
+        let idxs: Vec<NodeIdx> = tree.nodes().map(|n| n.idx()).collect();
+        for idx in idxs {
+            let children = tree.node(idx).children().to_vec();
+            if children.is_empty() {
+                continue;
+            }
+            // One pretend job per child: disjointness is exactly what
+            // the scheduler's claim checker enforces.
+            let claims: Vec<(usize, NodeIdx)> =
+                children.iter().copied().enumerate().collect();
+            let violations = verify_claims(&tree, &claims);
+            prop_assert!(
+                violations.is_empty(),
+                "sibling sub-trees of {:?} overlap: {violations:?}",
+                tree.node(idx).machine_id()
+            );
+            let child_leaves: usize = children
+                .iter()
+                .map(|&c| tree.subtree_leaves(c).len())
+                .sum();
+            prop_assert_eq!(
+                child_leaves,
+                tree.subtree_leaves(idx).len(),
+                "children must partition the parent's leaves"
+            );
+        }
+    }
+}
