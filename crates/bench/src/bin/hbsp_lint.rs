@@ -1,0 +1,186 @@
+//! `hbsp_lint` — repo-specific concurrency lints, run in CI.
+//!
+//! ```text
+//! hbsp_lint [<crates-dir>]
+//! ```
+//!
+//! Three rules, all motivated by bugs the model checker can only catch
+//! if the runtime's synchronization actually flows through its facade:
+//!
+//! 1. **Facade bypass** — inside `crates/runtime/src/` (except
+//!    `sync.rs` itself, which *is* the facade), `std::sync::atomic` and
+//!    `std::thread` must not be referenced: every atomic, park, yield,
+//!    spawn, or sleep must go through `crate::sync` so the `model`
+//!    feature can interpose the `weave` checker. A raw `std` atomic is
+//!    invisible to exploration — its races simply don't exist there.
+//!
+//! 2. **Bare `.lock().unwrap()`** — runtime locks must use
+//!    `lock_anyway` (poison-tolerant, records the recovery in
+//!    telemetry): a panicking thread elsewhere must not cascade
+//!    `PoisonError` panics through surviving waiters.
+//!
+//! 3. **NaN-unsafe comparison** — `partial_cmp(..).unwrap()` on one
+//!    line: cost aggregation works in `f64`, and a NaN must surface as
+//!    a typed violation, not a panic deep in a sort. Use `total_cmp`.
+//!
+//! Test code (everything at or after the first `#[cfg(test)]` line of
+//! a file, and files under `tests/` directories) is exempt from rules
+//! 1–2: tests may exercise raw `std` primitives deliberately. Line
+//! comments are stripped before matching so prose about the forbidden
+//! patterns doesn't trip the lint.
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage errors.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    message: String,
+}
+
+/// Strip a line comment (`// ...`), ignoring `//` inside string
+/// literals — good enough for lint purposes on this codebase.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, files);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+fn lint_file(path: &Path, out: &mut Vec<Violation>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        out.push(Violation {
+            file: path.to_path_buf(),
+            line: 0,
+            message: "cannot read file".into(),
+        });
+        return;
+    };
+    let rel = path.to_string_lossy().replace('\\', "/");
+    if rel.ends_with("/hbsp_lint.rs") {
+        return; // the rule definitions spell out the forbidden patterns
+    }
+    let in_tests_dir = rel.contains("/tests/") || rel.contains("/benches/");
+    let in_runtime_src = rel.contains("crates/runtime/src/");
+    let is_facade = in_runtime_src && rel.ends_with("/sync.rs");
+    let mut in_test_mod = false;
+    for (idx, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            in_test_mod = true;
+        }
+        let line = strip_comment(raw);
+        let lineno = idx + 1;
+        let exempt = in_test_mod || in_tests_dir;
+        if in_runtime_src && !is_facade && !exempt {
+            if line.contains("std::sync::atomic") {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: lineno,
+                    message: "raw `std::sync::atomic` in the runtime — use `crate::sync::atomic` \
+                              so the model checker can interpose"
+                        .into(),
+                });
+            }
+            if line.contains("std::thread") {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: lineno,
+                    message: "raw `std::thread` in the runtime — use `crate::sync::thread` \
+                              so parks/yields/spawns are model transitions"
+                        .into(),
+                });
+            }
+        }
+        if !exempt && line.contains(".lock().unwrap()") {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: lineno,
+                message: "bare `.lock().unwrap()` — use `lock_anyway` (poison-tolerant, \
+                          records the recovery)"
+                    .into(),
+            });
+        }
+        if line.contains("partial_cmp") && line.contains(".unwrap()") {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: lineno,
+                message: "NaN-unsafe `partial_cmp(..).unwrap()` — use `f64::total_cmp`".into(),
+            });
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => {
+            // crates/bench/src/bin → workspace root → crates/
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .map(|r| r.join("crates"))
+                .filter(|p| p.is_dir())
+                .unwrap_or_else(|| {
+                    eprintln!("hbsp_lint: cannot locate the crates/ directory");
+                    exit(2)
+                })
+        }
+        [dir] if !dir.starts_with('-') => PathBuf::from(dir),
+        _ => {
+            eprintln!("usage: hbsp_lint [<crates-dir>]");
+            exit(2)
+        }
+    };
+    let mut files = Vec::new();
+    walk(&root, &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!("hbsp_lint: no .rs files under {}", root.display());
+        exit(2);
+    }
+    let mut violations = Vec::new();
+    for f in &files {
+        lint_file(f, &mut violations);
+    }
+    for v in &violations {
+        eprintln!("{}:{}: lint: {}", v.file.display(), v.line, v.message);
+    }
+    if violations.is_empty() {
+        println!(
+            "hbsp_lint: {} files clean (facade, lock_anyway, total_cmp)",
+            files.len()
+        );
+    } else {
+        eprintln!("hbsp_lint: {} violation(s) found", violations.len());
+        exit(1);
+    }
+}

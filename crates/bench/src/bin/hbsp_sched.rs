@@ -37,7 +37,7 @@
 //! ```
 
 use hbsp_core::topology;
-use hbsp_sched::{CollectiveKind, Engine, Job, JobId, RunOptions, SchedReport, Scheduler};
+use hbsp_sched::{CollectiveKind, Engine, Job, RunOptions, SchedReport, Scheduler};
 use std::process::exit;
 use std::sync::Arc;
 
@@ -99,78 +99,19 @@ fn parse_args() -> Args {
 
 // ---- job-graph file parsing -----------------------------------------
 
+/// Parse via the shared [`hbsp_bench::jobfile`] parser (the same one
+/// `hbsp_check --jobs` lints with), exiting on the first diagnostic.
 fn parse_jobs(path: &str) -> Vec<Job> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read job-graph file `{path}`: {e}");
         exit(1)
     });
-    let mut jobs = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let fail = |msg: &str| -> ! {
-            eprintln!("{path}:{}: {msg}", lineno + 1);
-            exit(1)
-        };
-        let mut tokens = line.split_whitespace();
-        let name = tokens.next().unwrap_or_else(|| fail("missing job name"));
-        let kind_tok = tokens
-            .next()
-            .unwrap_or_else(|| fail("missing collective kind"));
-        let kind = CollectiveKind::parse(kind_tok)
-            .unwrap_or_else(|| fail(&format!("unknown collective `{kind_tok}`")));
-        let mut n: Option<u64> = None;
-        let mut job = Job::collective(name, kind, 0);
-        for tok in tokens {
-            let (key, value) = tok
-                .split_once('=')
-                .unwrap_or_else(|| fail(&format!("expected key=value, got `{tok}`")));
-            match key {
-                "n" => {
-                    n = Some(
-                        value
-                            .parse()
-                            .unwrap_or_else(|_| fail(&format!("bad size `{value}`"))),
-                    )
-                }
-                "procs" => {
-                    job = job.with_min_procs(
-                        value
-                            .parse()
-                            .unwrap_or_else(|_| fail(&format!("bad procs `{value}`"))),
-                    )
-                }
-                "seed" => {
-                    job = job.with_seed(
-                        value
-                            .parse()
-                            .unwrap_or_else(|_| fail(&format!("bad seed `{value}`"))),
-                    )
-                }
-                "after" => {
-                    let deps: Vec<JobId> = value
-                        .split(',')
-                        .map(|d| {
-                            JobId(
-                                d.parse()
-                                    .unwrap_or_else(|_| fail(&format!("bad dependency id `{d}`"))),
-                            )
-                        })
-                        .collect();
-                    job = job.after(&deps);
-                }
-                other => fail(&format!("unknown key `{other}`")),
-            }
-        }
-        let n = n.unwrap_or_else(|| fail("missing n=<words>"));
-        if let hbsp_sched::JobWork::Collective { n: slot, .. } = &mut job.work {
-            *slot = n;
-        }
-        jobs.push(job);
+    let (jobs, errors) = hbsp_bench::jobfile::parse(&text);
+    if let Some(e) = errors.first() {
+        eprintln!("{path}:{e}");
+        exit(1)
     }
-    jobs
+    jobs.into_iter().map(|pj| pj.job).collect()
 }
 
 // ---- deterministic graph generation ---------------------------------

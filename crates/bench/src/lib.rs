@@ -24,6 +24,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod jobfile;
 pub mod testbed;
 
 pub use experiments::{

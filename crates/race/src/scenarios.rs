@@ -1,0 +1,311 @@
+//! Exploration scenarios: the runtime's risky protocols packaged as
+//! re-runnable closures for [`weave::explore`].
+//!
+//! Each function is one *execution body*: it builds fresh runtime
+//! objects, spawns one model thread per party with
+//! [`weave::thread::scope_join`], drives the protocol under test, and
+//! asserts functional correctness (leader exclusivity, publication
+//! visibility, message conservation). The model checker supplies the
+//! adversarial part — every interleaving within the preemption bound,
+//! with vector-clock race detection on every [`RacyCell`] access.
+
+use crate::RacyCell;
+use hbsp_core::{
+    MachineTree, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome, SyncScope, TreeBuilder,
+};
+use hbsp_runtime::{BarrierKind, CentralBarrier, HierBarrier, Mailbox, ThreadedRuntime};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Machine shapes the barrier scenarios run on, sized for exhaustive
+/// exploration (2–3 model threads).
+#[derive(Debug, Clone, Copy)]
+pub enum Machine {
+    /// Two processors under one cluster: one combining node, the
+    /// smallest tree with real arrival contention.
+    Flat2,
+    /// Three processors in two clusters (2 + 1): a two-level combining
+    /// tree, so the last arriver of the pair propagates upward and
+    /// sense reversal crosses levels.
+    Clustered3,
+}
+
+/// Build the machine tree for a scenario shape.
+pub fn machine(m: Machine) -> MachineTree {
+    match m {
+        Machine::Flat2 => TreeBuilder::flat(1.0, 10.0, &[(1.0, 1.0), (1.0, 1.0)]).unwrap(),
+        Machine::Clustered3 => TreeBuilder::two_level(
+            1.0,
+            50.0,
+            &[
+                (10.0, vec![(1.0, 1.0), (1.0, 1.0)]),
+                (10.0, vec![(1.0, 1.0)]),
+            ],
+        )
+        .unwrap(),
+    }
+}
+
+/// The core barrier protocol under race detection: every rank writes
+/// its own slot cell, arrives; the leader (exclusively) sums all slots
+/// into a result cell; after release every rank reads the result.
+///
+/// This exercises exactly the `ProcSlot` ownership protocol the engine
+/// relies on: owner-phase writes must happen-before the leader's
+/// reads (the arrival/combine chain), and the leader's write must
+/// happen-before the owners' post-release reads (the generation flip
+/// and its acquire polls). `rounds > 1` adds sense reversal: stale
+/// generation values must never release a waiter early.
+pub fn barrier_publish(kind: BarrierKind, m: Machine, rounds: usize) {
+    enum B {
+        C(CentralBarrier),
+        H(HierBarrier),
+    }
+    let tree = machine(m);
+    let p = tree.num_procs();
+    let b = match kind {
+        BarrierKind::Central => B::C(CentralBarrier::new(p)),
+        BarrierKind::Hierarchical => B::H(HierBarrier::new(&tree)),
+    };
+    let slots: Vec<RacyCell> = (0..p).map(|_| RacyCell::new(0)).collect();
+    let result = RacyCell::new(0);
+    let tasks: Vec<_> = (0..p)
+        .map(|rank| {
+            let (b, slots, result) = (&b, &slots, &result);
+            move || {
+                for round in 0..rounds {
+                    let mine = (round * p + rank + 1) as u64;
+                    // SAFETY: owner phase — slot `rank` is this
+                    // thread's until its barrier arrival.
+                    unsafe { slots[rank].write(mine) };
+                    let leader = || {
+                        // SAFETY: leader section — every rank arrived,
+                        // none released; all slots are the leader's.
+                        let sum: u64 = (0..p).map(|i| unsafe { slots[i].read() }).sum();
+                        unsafe { result.write(sum) };
+                        sum
+                    };
+                    let led = match b {
+                        B::C(c) => c.wait_leader(leader),
+                        B::H(h) => h.wait_leader(rank, leader),
+                    };
+                    let expect: u64 = (0..p).map(|i| (round * p + i + 1) as u64).sum();
+                    // SAFETY: read phase — the leader's write of
+                    // `result` happened in this generation's leader
+                    // section, before any release.
+                    assert_eq!(
+                        unsafe { result.read() },
+                        expect,
+                        "every released thread sees the leader's publication"
+                    );
+                    if let Some(sum) = led {
+                        assert_eq!(sum, expect);
+                    }
+                }
+            }
+        })
+        .collect();
+    for r in weave::thread::scope_join(tasks) {
+        if let Err(e) = r {
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+/// The watchdog abort protocol, focused on the barrier-internal
+/// happens-before edge it must provide: rank 0 never arrives for
+/// generation 0, so the barrier can never complete and a timed-out
+/// waiter always claims the abort (exactly once), records an error in
+/// a cell, publishes `ABORT_DEAD`, and wakes everyone. Rank 0 then
+/// arrives *late*: the entry check must reject it with `None`, and
+/// that Acquire load of `ABORT_DEAD` is the **only** happens-before
+/// edge ordering the claimant's error write before rank 0's read —
+/// the same shape as the engine's drain-and-fail path, where a
+/// processor that finds the barrier dead reads state the watchdog
+/// wrote. (A `None` return alone proves nothing: followers of a
+/// normal release return `None` too, and an abort can race a normal
+/// completion — the engine covers those reads with its own
+/// Release/Acquire `failed` flag.)
+///
+/// Run under `eager_timeouts` so deadlines race normal progress.
+pub fn watchdog_races_release(m: Machine) {
+    use std::sync::atomic::Ordering;
+    let tree = machine(m);
+    let p = tree.num_procs();
+    let b = HierBarrier::new(&tree);
+    let error = RacyCell::new(0);
+    // Value-only gate (Relaxed on purpose): tells rank 0 *that* the
+    // barrier is dead, while the happens-before edge for reading
+    // `error` must come from the barrier's own abort publication.
+    let dead = weave::atomic::AtomicBool::new(false);
+    let claims = weave::atomic::AtomicUsize::new(0);
+    let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..p)
+        .map(|rank| -> Box<dyn FnOnce() + Send> {
+            let (b, error, dead, claims) = (&b, &error, &dead, &claims);
+            if rank == 0 {
+                Box::new(move || {
+                    while !dead.load(Ordering::Relaxed) {
+                        weave::thread::yield_now();
+                    }
+                    let led = b.wait_leader_watched(0, None, || unreachable!(), || 0u64);
+                    assert!(led.is_none(), "a dead barrier rejects new arrivals");
+                    // SAFETY: the entry check observed `ABORT_DEAD`,
+                    // which the claimant published after its writes.
+                    assert_eq!(unsafe { error.read() }, 0xDEAD);
+                })
+            } else {
+                Box::new(move || {
+                    let mut claimed = false;
+                    let led = b.wait_leader_watched(
+                        rank,
+                        Some(Duration::from_millis(10)),
+                        || {
+                            claims.fetch_add(1, Ordering::Relaxed);
+                            claimed = true;
+                            // SAFETY: the abort claim is won exactly
+                            // once; `ABORT_DEAD` publishes this write.
+                            unsafe { error.write(0xDEAD) };
+                        },
+                        || 0u64,
+                    );
+                    assert!(led.is_none(), "generation 0 can never complete");
+                    if claimed {
+                        // Only *after* the watched wait returned: by
+                        // now this thread has published `ABORT_DEAD`,
+                        // so the flag never leads rank 0 to an
+                        // entry check that still reads `claimed`.
+                        dead.store(true, Ordering::Relaxed);
+                    }
+                })
+            }
+        })
+        .collect();
+    for r in weave::thread::scope_join(tasks) {
+        if let Err(e) = r {
+            std::panic::resume_unwind(e);
+        }
+    }
+    // Whatever the interleaving, the abort fired exactly once.
+    assert_eq!(claims.into_inner(), 1, "exactly one abort claimant");
+}
+
+/// Mailbox batch circulation: a depositor moving tagged batches in
+/// (exercising both the swap-when-drained and append-when-behind
+/// paths of `deposit_batch`) racing a drainer that takes the whole
+/// inbox each round via buffer swap. Asserts conservation and global
+/// FIFO order; the model checks the lock protocol underneath.
+pub fn mailbox_circulation(rounds: usize, per_round: u32) {
+    let mb = Mailbox::new();
+    let produced = rounds as u32 * per_round;
+    let tasks: Vec<Box<dyn FnOnce() -> Vec<u64> + Send>> = vec![
+        Box::new({
+            let mb = &mb;
+            move || {
+                let mut batch = hbsp_core::MsgBatch::new();
+                let mut tag = 0u32;
+                for _ in 0..rounds {
+                    for _ in 0..per_round {
+                        batch.push(ProcId(0), ProcId(1), tag, &tag.to_le_bytes());
+                        tag += 1;
+                    }
+                    mb.deposit_batch(&mut batch);
+                    assert!(batch.is_empty(), "deposit hands the buffer back empty");
+                }
+                Vec::new()
+            }
+        }),
+        Box::new({
+            let mb = &mb;
+            move || {
+                let mut inbox = hbsp_core::MsgBatch::new();
+                let mut seen = Vec::new();
+                for _ in 0..rounds + 1 {
+                    mb.take_into(&mut inbox);
+                    for msg in inbox.iter() {
+                        seen.push(msg.tag as u64);
+                    }
+                }
+                seen
+            }
+        }),
+    ];
+    let mut results = weave::thread::scope_join(tasks);
+    let drained = match results.remove(1) {
+        Ok(v) => v,
+        Err(e) => std::panic::resume_unwind(e),
+    };
+    if let Err(e) = results.remove(0) {
+        std::panic::resume_unwind(e);
+    }
+    let mut all = drained;
+    for msg in mb.take().iter() {
+        all.push(msg.tag as u64);
+    }
+    assert_eq!(
+        all.len(),
+        produced as usize,
+        "no message lost or duplicated"
+    );
+    assert!(
+        all.windows(2).all(|w| w[0] < w[1]),
+        "batch swap/append preserves global FIFO order"
+    );
+}
+
+/// Total-exchange program for the whole-engine scenario: both
+/// processors send their pid to each other every round, checking
+/// receipt the following superstep.
+struct Exchange {
+    rounds: usize,
+}
+
+impl SpmdProgram for Exchange {
+    type State = u32;
+    fn init(&self, _env: &ProcEnv) -> u32 {
+        0
+    }
+    fn step(
+        &self,
+        step: usize,
+        env: &ProcEnv,
+        state: &mut u32,
+        ctx: &mut dyn SpmdContext,
+    ) -> StepOutcome {
+        for m in ctx.messages() {
+            assert_ne!(m.src, env.pid);
+            *state += 1;
+        }
+        if step == self.rounds {
+            return StepOutcome::Done;
+        }
+        ctx.charge(1.0);
+        for q in 0..env.nprocs {
+            if q != env.pid.rank() {
+                ctx.send(ProcId(q as u32), 7, &env.pid.0.to_le_bytes());
+            }
+        }
+        StepOutcome::Continue(SyncScope::global(&env.tree))
+    }
+}
+
+/// The full engine on a two-processor machine: superstep bodies, slot
+/// writes, leader gather/deliver, mailbox swaps, and run teardown all
+/// under the model. Too many decision points for exhaustive DFS — the
+/// tests drive this with seeded random walks.
+pub fn engine_smoke(rounds: usize) {
+    let tree = Arc::new(machine(Machine::Flat2));
+    let rt = ThreadedRuntime::new(Arc::clone(&tree));
+    let (out, states) = rt.run_with_states(&Exchange { rounds }).unwrap();
+    assert_eq!(out.virtual_outcome.num_steps(), rounds + 1);
+    assert_eq!(
+        out.virtual_outcome.messages_delivered,
+        rounds as u64 * tree.num_procs() as u64,
+        "every posted message delivered exactly once"
+    );
+    for st in states {
+        assert_eq!(
+            st as usize, rounds,
+            "each peer's message arrived each round"
+        );
+    }
+}

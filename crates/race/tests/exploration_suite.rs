@@ -1,0 +1,154 @@
+//! The unmutated runtime under exhaustive exploration: every barrier,
+//! watchdog, and mailbox protocol must be free of data races, lost
+//! wakeups, deadlocks, and runaway spins across *all* interleavings
+//! within the preemption bound (2–3 threads), and the whole engine
+//! must stay clean under seeded random walks.
+//!
+//! Each test prints the explored interleaving count and seed so CI
+//! logs show the actual coverage.
+
+use hbsp_race::scenarios::{self, Machine};
+use hbsp_runtime::BarrierKind;
+
+fn exhaustive() -> weave::Config {
+    weave::Config {
+        max_executions: 400_000,
+        ..weave::Config::default()
+    }
+}
+
+fn report(what: &str, out: &weave::Outcome) {
+    println!(
+        "{what}: {} interleavings (exhausted: {}, max depth {}, seed {:#x})",
+        out.stats.executions, out.stats.exhausted, out.stats.max_depth, out.stats.seed
+    );
+}
+
+#[test]
+fn hier_barrier_flat2_is_clean_exhaustively() {
+    let out = weave::explore(&exhaustive(), || {
+        scenarios::barrier_publish(BarrierKind::Hierarchical, Machine::Flat2, 1)
+    });
+    report("hier flat2 x1", &out);
+    out.assert_clean("hier barrier, 2 threads, 1 generation");
+    assert!(out.stats.exhausted, "2-thread barrier must be exhaustible");
+}
+
+#[test]
+fn hier_barrier_sense_reversal_is_clean_exhaustively() {
+    // Two generations: a waiter of generation 1 must never be
+    // released by a stale generation-0 flip (sense reversal).
+    let out = weave::explore(&exhaustive(), || {
+        scenarios::barrier_publish(BarrierKind::Hierarchical, Machine::Flat2, 2)
+    });
+    report("hier flat2 x2", &out);
+    out.assert_clean("hier barrier, 2 threads, 2 generations");
+    assert!(
+        out.stats.exhausted,
+        "2-generation barrier must be exhaustible"
+    );
+}
+
+#[test]
+#[ignore = "~50k interleavings; run via the CI race job (--include-ignored)"]
+fn hier_barrier_clustered3_is_clean_exhaustively() {
+    // Three threads across two combining levels: the last arriver of
+    // the pair cluster re-arrives at the root.
+    let out = weave::explore(&exhaustive(), || {
+        scenarios::barrier_publish(BarrierKind::Hierarchical, Machine::Clustered3, 1)
+    });
+    report("hier clustered3 x1", &out);
+    out.assert_clean("hier barrier, 3 threads, 2 levels");
+}
+
+#[test]
+fn central_barrier_is_clean_exhaustively() {
+    let out = weave::explore(&exhaustive(), || {
+        scenarios::barrier_publish(BarrierKind::Central, Machine::Flat2, 2)
+    });
+    report("central flat2 x2", &out);
+    out.assert_clean("central barrier, 2 threads, 2 generations");
+    assert!(out.stats.exhausted, "central barrier must be exhaustible");
+}
+
+#[test]
+fn central_barrier_three_parties_is_clean() {
+    let out = weave::explore(&exhaustive(), || {
+        scenarios::barrier_publish(BarrierKind::Central, Machine::Clustered3, 1)
+    });
+    report("central clustered3 x1", &out);
+    out.assert_clean("central barrier, 3 threads");
+}
+
+#[test]
+fn park_only_policy_is_clean_exhaustively() {
+    // One modeled core: the spin budget is zero (`spin_iters` sees an
+    // oversubscribed host), so waiters go straight to yield → park —
+    // the opposite end of the spin↔park policy from the default
+    // 64-core model.
+    let cfg = weave::Config {
+        cores: 1,
+        ..exhaustive()
+    };
+    let out = weave::explore(&cfg, || {
+        scenarios::barrier_publish(BarrierKind::Hierarchical, Machine::Flat2, 2)
+    });
+    report("hier flat2 x2 (park-only)", &out);
+    out.assert_clean("hier barrier with parking-only waiters");
+    assert!(out.stats.exhausted, "park-only policy must be exhaustible");
+}
+
+#[test]
+fn watchdog_abort_racing_release_is_clean() {
+    // Eager timeouts: the watchdog deadline genuinely races healthy
+    // arrival, so both the normal-release and the claimed-abort
+    // branches (and their interleavings) are explored.
+    let cfg = weave::Config {
+        eager_timeouts: true,
+        ..exhaustive()
+    };
+    let out = weave::explore(&cfg, || scenarios::watchdog_races_release(Machine::Flat2));
+    report("watchdog flat2", &out);
+    out.assert_clean("watchdog abort vs normal release, 2 threads");
+    assert!(out.stats.exhausted, "watchdog race must be exhaustible");
+}
+
+#[test]
+#[ignore = "~280k interleavings; run via the CI race job (--include-ignored)"]
+fn watchdog_abort_three_parties_is_clean() {
+    let cfg = weave::Config {
+        eager_timeouts: true,
+        ..exhaustive()
+    };
+    let out = weave::explore(&cfg, || {
+        scenarios::watchdog_races_release(Machine::Clustered3)
+    });
+    report("watchdog clustered3", &out);
+    out.assert_clean("watchdog abort vs normal release, 3 threads");
+}
+
+#[test]
+fn mailbox_circulation_is_clean_exhaustively() {
+    let out = weave::explore(&exhaustive(), || scenarios::mailbox_circulation(2, 2));
+    report("mailbox 2x2", &out);
+    out.assert_clean("mailbox deposit_batch vs drain");
+    assert!(out.stats.exhausted, "2-thread mailbox must be exhaustible");
+}
+
+#[test]
+fn engine_smoke_is_clean_under_random_walks() {
+    // The full engine has far too many decision points for exhaustive
+    // DFS; seeded random walks still drive slot writes, leader
+    // gather, delivery, and teardown through hundreds of distinct
+    // interleavings.
+    let cfg = weave::Config {
+        max_executions: 1,
+        random_walks: 150,
+        seed: 0xB5B5_0001,
+        max_steps: 200_000,
+        ..weave::Config::default()
+    };
+    let out = weave::explore(&cfg, || scenarios::engine_smoke(2));
+    report("engine smoke p=2 x2", &out);
+    out.assert_clean("threaded engine, 2 processors, 2 supersteps");
+}

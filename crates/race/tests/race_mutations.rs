@@ -1,0 +1,147 @@
+//! Ordering-mutation tests: weaken one labeled `site_ord!` site at a
+//! time and assert the checker detects a data race *and names the
+//! weakened site*. This is the evidence that each ordering in
+//! `docs/ordering_audit.md` is load-bearing — and that the checker
+//! would catch a regression that weakened it.
+//!
+//! Sites whose orderings are *not* mutation-tested here are the ones
+//! the audit documents as redundant edges (`hier.generation.pin`) or
+//! double-covered by a mutex clock (the engine's `failed` / `finished`
+//! flags); weakening those cannot produce an observable race.
+
+use hbsp_race::scenarios::{self, Machine};
+use hbsp_runtime::BarrierKind;
+use std::sync::atomic::Ordering;
+
+/// Exploration budget for finding a seeded race: exhaustive DFS first,
+/// seeded random walks as a backstop for the deeper interleavings.
+fn mutated(label: &str, ord: Ordering) -> weave::Config {
+    weave::Config {
+        overrides: vec![(label.to_string(), ord)],
+        max_executions: 200_000,
+        random_walks: 500,
+        seed: 0x5EED_0001,
+        ..weave::Config::default()
+    }
+}
+
+/// The failure must be a data race, name the mutated site, and carry a
+/// replayable trace + schedule.
+fn assert_names_site(out: &weave::Outcome, label: &str) {
+    let f = out.expect_failure(&format!("weakened `{label}` must be detected"));
+    assert_eq!(
+        f.kind,
+        weave::FailureKind::DataRace,
+        "failure: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains(label),
+        "race report must name the weakened site `{label}`; got: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("scenarios.rs") || f.trace.contains("scenarios.rs"),
+        "race report must point at the racing accesses; got: {}\n{}",
+        f.message,
+        f.trace
+    );
+    assert!(
+        !f.schedule.is_empty(),
+        "failure must carry a replayable schedule"
+    );
+    assert!(!f.trace.is_empty(), "failure must carry an event trace");
+    println!(
+        "`{label}` -> {:?} detected on execution {} ({} schedule steps)",
+        f.kind,
+        f.execution,
+        f.schedule.len()
+    );
+}
+
+#[test]
+fn weakened_arrive_combine_is_detected() {
+    // `hier.arrive.combine` (AcqRel fetch_add) carries the owner-phase
+    // slot writes up the combining tree to the leader. Relaxed severs
+    // the release side: the leader's gather reads race the owners'
+    // writes.
+    let label = "hier.arrive.combine";
+    let out = weave::explore(&mutated(label, Ordering::Relaxed), || {
+        scenarios::barrier_publish(BarrierKind::Hierarchical, Machine::Flat2, 1)
+    });
+    assert_names_site(&out, label);
+}
+
+#[test]
+fn acquire_only_arrive_combine_is_detected() {
+    // Direction sensitivity: keeping only the acquire half still
+    // loses the arrival's publication — the leader races the owners.
+    let label = "hier.arrive.combine";
+    let out = weave::explore(&mutated(label, Ordering::Acquire), || {
+        scenarios::barrier_publish(BarrierKind::Hierarchical, Machine::Flat2, 1)
+    });
+    assert_names_site(&out, label);
+}
+
+#[test]
+fn weakened_generation_flip_is_detected() {
+    // `hier.generation.flip` (AcqRel fetch_add) publishes the leader
+    // section to spin/yield waiters polling the generation. Relaxed
+    // means a poll-released waiter reads `result` without ordering.
+    // (Parked waiters are masked by the condvar's own clock — the
+    // checker must find the spin-release interleaving.)
+    let label = "hier.generation.flip";
+    let out = weave::explore(&mutated(label, Ordering::Relaxed), || {
+        scenarios::barrier_publish(BarrierKind::Hierarchical, Machine::Flat2, 1)
+    });
+    assert_names_site(&out, label);
+}
+
+#[test]
+fn weakened_generation_poll_is_detected() {
+    // The acquire side of the same edge: a Relaxed poll observes the
+    // flipped generation without joining the leader's clock.
+    let label = "hier.generation.poll";
+    let out = weave::explore(&mutated(label, Ordering::Relaxed), || {
+        scenarios::barrier_publish(BarrierKind::Hierarchical, Machine::Flat2, 1)
+    });
+    assert_names_site(&out, label);
+}
+
+#[test]
+fn weakened_abort_publish_is_detected() {
+    // `hier.abort.publish` (Release store of ABORT_DEAD) publishes the
+    // abort claimant's error recording to late arrivers that observe
+    // the dead barrier on entry. Relaxed clears the store's release
+    // clock, so the late arriver's error read races the claimant's
+    // write. Eager timeouts let the abort win while rank 0 straggles.
+    let label = "hier.abort.publish";
+    let cfg = weave::Config {
+        eager_timeouts: true,
+        ..mutated(label, Ordering::Relaxed)
+    };
+    let out = weave::explore(&cfg, || scenarios::watchdog_races_release(Machine::Flat2));
+    assert_names_site(&out, label);
+}
+
+#[test]
+fn unmutated_control_is_clean() {
+    // Sanity: the same scenarios under the same budgets, with no
+    // override, are clean — the failures above come from the mutation,
+    // not from the scenario or budget.
+    let cfg = weave::Config {
+        max_executions: 200_000,
+        ..weave::Config::default()
+    };
+    weave::explore(&cfg, || {
+        scenarios::barrier_publish(BarrierKind::Hierarchical, Machine::Flat2, 1)
+    })
+    .assert_clean("unmutated barrier publish");
+    let cfg = weave::Config {
+        eager_timeouts: true,
+        max_executions: 200_000,
+        ..weave::Config::default()
+    };
+    weave::explore(&cfg, || scenarios::watchdog_races_release(Machine::Flat2))
+        .assert_clean("unmutated watchdog");
+}

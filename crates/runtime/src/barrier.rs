@@ -37,10 +37,11 @@
 //! locks are poison-tolerant: a panicking thread elsewhere must not
 //! cascade `PoisonError` panics through surviving waiters.
 
+use crate::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use crate::sync::{site_ord, Condvar, Instant, Mutex, MutexGuard};
 use hbsp_core::MachineTree;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::sync::PoisonError;
+use std::time::Duration;
 
 /// Process-global census of runtime threads that compete with barrier
 /// parties for cores: every live [`HierBarrier`] contributes its party
@@ -88,10 +89,30 @@ fn census_threads() -> usize {
 /// party (and every co-running thread) can hold a core simultaneously.
 fn spin_iters(cores: usize, parties: usize, extra: usize) -> u32 {
     if cores >= parties + extra {
-        SPIN_LIMIT
+        model_scaled(SPIN_LIMIT)
     } else {
         0
     }
+}
+
+/// Scale a spin/yield budget down when running inside a model
+/// exploration: every poll iteration there is a scheduler decision
+/// point, so the real budgets would blow up the interleaving space
+/// without exercising any additional behavior (one spin round and one
+/// yield round cover the spin→yield→park escalation). Identity in
+/// normal builds and outside explorations.
+#[cfg(feature = "model")]
+fn model_scaled(limit: u32) -> u32 {
+    if weave::is_modeling() {
+        limit.min(1)
+    } else {
+        limit
+    }
+}
+
+#[cfg(not(feature = "model"))]
+fn model_scaled(limit: u32) -> u32 {
+    limit
 }
 
 /// Poison-tolerant lock: a panic in some other thread while it held
@@ -367,7 +388,7 @@ impl HierBarrier {
         // built concurrently) counts them, then size the spin budget
         // against cores minus everyone else's threads.
         let census = register_threads(parties);
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cores = crate::sync::thread::available_parallelism().map_or(1, |n| n.get());
         let extra = census_threads().saturating_sub(parties);
         HierBarrier {
             nodes,
@@ -395,7 +416,7 @@ impl HierBarrier {
     /// census. Called by the root leader every [`SPIN_REEVAL_PERIOD`]
     /// generations.
     fn reevaluate_spin(&self) {
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cores = crate::sync::thread::available_parallelism().map_or(1, |n| n.get());
         let parties = self.start.len();
         let extra = census_threads().saturating_sub(parties);
         self.spin
@@ -425,19 +446,26 @@ impl HierBarrier {
         on_timeout: impl FnOnce(),
         leader: impl FnOnce() -> R,
     ) -> Option<R> {
-        if self.abort.load(Ordering::Acquire) == ABORT_DEAD {
+        if self
+            .abort
+            .load(site_ord!("hier.abort.check", Ordering::Acquire))
+            == ABORT_DEAD
+        {
             return None;
         }
         // Pin the generation *before* arriving: the flip can only
         // happen after this thread's own arrival reaches the root.
-        let gen = self.generation.load(Ordering::Acquire);
+        let gen = self
+            .generation
+            .load(site_ord!("hier.generation.pin", Ordering::Acquire));
         let mut node = match self.start[rank] {
             Some(n) => n,
             None => {
                 // Single-processor machine: the lone thread is always
                 // the leader.
                 let result = leader();
-                self.generation.fetch_add(1, Ordering::AcqRel);
+                self.generation
+                    .fetch_add(1, site_ord!("hier.generation.flip", Ordering::AcqRel));
                 return Some(result);
             }
         };
@@ -446,17 +474,26 @@ impl HierBarrier {
             // AcqRel chains every earlier arriver's writes (its
             // contribution slot, its subtree's counts) into this
             // thread's view before it proceeds upward.
-            if n.arrive.count.fetch_add(1, Ordering::AcqRel) + 1 == n.expected {
+            if n.arrive
+                .count
+                .fetch_add(1, site_ord!("hier.arrive.combine", Ordering::AcqRel))
+                + 1
+                == n.expected
+            {
                 // Last arriver of this cluster: reset for the next
                 // generation (safe: nobody re-arrives here until after
                 // the release flip, which happens-after this store) and
                 // represent the cluster one level up.
-                n.arrive.count.store(0, Ordering::Relaxed);
+                n.arrive
+                    .count
+                    .store(0, site_ord!("hier.arrive.reset", Ordering::Relaxed));
                 match n.parent {
                     Some(parent) => node = parent,
                     None => {
                         let result = leader();
-                        let done = self.generation.fetch_add(1, Ordering::AcqRel);
+                        let done = self
+                            .generation
+                            .fetch_add(1, site_ord!("hier.generation.flip", Ordering::AcqRel));
                         if done.is_multiple_of(SPIN_REEVAL_PERIOD) {
                             self.reevaluate_spin();
                         }
@@ -503,26 +540,42 @@ impl HierBarrier {
         on_timeout: impl FnOnce(),
     ) {
         for _ in 0..self.spin.load(Ordering::Relaxed) {
-            if self.generation.load(Ordering::Acquire) != gen {
-                return;
-            }
-            std::hint::spin_loop();
-        }
-        for _ in 0..YIELD_LIMIT {
-            if self.generation.load(Ordering::Acquire) != gen
-                || self.abort.load(Ordering::Acquire) == ABORT_DEAD
+            if self
+                .generation
+                .load(site_ord!("hier.generation.poll", Ordering::Acquire))
+                != gen
             {
                 return;
             }
-            std::thread::yield_now();
+            crate::sync::hint::spin_loop();
+        }
+        for _ in 0..model_scaled(YIELD_LIMIT) {
+            if self
+                .generation
+                .load(site_ord!("hier.generation.poll", Ordering::Acquire))
+                != gen
+                || self
+                    .abort
+                    .load(site_ord!("hier.abort.check", Ordering::Acquire))
+                    == ABORT_DEAD
+            {
+                return;
+            }
+            crate::sync::thread::yield_now();
         }
         let n = &self.nodes[node];
         let mut deadline = timeout.map(|t| Instant::now() + t);
         let mut guard = lock_anyway(&n.wait.gate);
         *guard += 1;
         loop {
-            if self.generation.load(Ordering::Acquire) != gen
-                || self.abort.load(Ordering::Acquire) == ABORT_DEAD
+            if self
+                .generation
+                .load(site_ord!("hier.generation.poll", Ordering::Acquire))
+                != gen
+                || self
+                    .abort
+                    .load(site_ord!("hier.abort.check", Ordering::Acquire))
+                    == ABORT_DEAD
             {
                 *guard -= 1;
                 return;
@@ -543,7 +596,7 @@ impl HierBarrier {
                             .compare_exchange(
                                 ABORT_LIVE,
                                 ABORT_CLAIMED,
-                                Ordering::AcqRel,
+                                site_ord!("hier.abort.claim", Ordering::AcqRel),
                                 Ordering::Acquire,
                             )
                             .is_ok()
@@ -554,7 +607,10 @@ impl HierBarrier {
                             *guard -= 1;
                             drop(guard);
                             on_timeout();
-                            self.abort.store(ABORT_DEAD, Ordering::Release);
+                            self.abort.store(
+                                ABORT_DEAD,
+                                site_ord!("hier.abort.publish", Ordering::Release),
+                            );
                             self.release_all();
                             return;
                         }

@@ -18,16 +18,16 @@
 
 use crate::barrier::{lock_anyway, BarrierKind, StepBarrier};
 use crate::mailbox::Mailbox;
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{hb_assert, site_ord, Instant, Mutex, UnsafeCell};
 use hbsp_core::{MachineTree, MsgBatch, ProcEnv, ProcId, SpmdContext, SpmdProgram, StepOutcome};
 use hbsp_obs::{ObsEvent, Probe, StepRecord, StepWall};
 use hbsp_sim::step::{analyze_into, delivery_order_into, resolve_outcomes, StepAnalysis};
 use hbsp_sim::timing::{barrier_release, superstep_timing_faulted_into, StepTiming, TimingScratch};
 use hbsp_sim::trace::{step_spans, ProcTimeline};
 use hbsp_sim::{FaultPlan, NetConfig, SimError, SimOutcome, StepStats};
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
 
 /// Watchdog armed at any step with a *scripted* barrier stall: peers
 /// need not wait for a user deadline (possibly unlimited) to diagnose
@@ -105,6 +105,13 @@ impl ProcSlot {
     /// it is the leader inside the leader section.
     #[allow(clippy::mut_from_ref)]
     unsafe fn slot(&self) -> &mut SlotData {
+        // The model-checkable form of this function's safety contract:
+        // every prior access to the cell must happen-before this one.
+        hb_assert!(
+            self.data,
+            "ProcSlot protocol: the caller is the slot's unique holder \
+             for the current barrier phase"
+        );
         // SAFETY: per this function's contract the caller is the slot's
         // unique holder for the current barrier phase, so no other
         // reference into the cell exists while this one lives.
@@ -352,9 +359,8 @@ impl ThreadedRuntime {
         let arrived: Vec<AtomicUsize> = (0..p).map(|_| AtomicUsize::new(0)).collect();
 
         let began = Instant::now();
-        let states: Vec<Result<P::State, SimError>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for i in 0..p {
+        let tasks: Vec<_> = (0..p)
+            .map(|i| {
                 let env = ProcEnv {
                     pid: ProcId(i as u32),
                     nprocs: p,
@@ -374,7 +380,7 @@ impl ThreadedRuntime {
                 let observing = self.probe.enabled();
                 let step_limit = self.step_limit;
                 let user_deadline = self.step_deadline;
-                handles.push(scope.spawn(move || {
+                move || -> Result<P::State, SimError> {
                     let mut state = prog.init(&env);
                     for step in 0..step_limit {
                         // Scripted stall: never arrive at this step's
@@ -383,7 +389,8 @@ impl ThreadedRuntime {
                         // converts the absence into a typed timeout.
                         if faults.stalls(env.pid, step) {
                             let give_up = Instant::now() + STALL_SELF_REPORT;
-                            while !failed.load(Ordering::Acquire) {
+                            while !failed.load(site_ord!("engine.failed.check", Ordering::Acquire))
+                            {
                                 if Instant::now() >= give_up {
                                     record_timeout(
                                         faults.stalled_at(step),
@@ -395,7 +402,7 @@ impl ThreadedRuntime {
                                     );
                                     break;
                                 }
-                                std::thread::sleep(Duration::from_millis(1));
+                                crate::sync::thread::sleep(Duration::from_millis(1));
                             }
                             let e = lock_anyway(leader_state)
                                 .error
@@ -455,7 +462,10 @@ impl ThreadedRuntime {
                                 }
                             });
                         }
-                        arrived[i].store(step + 1, Ordering::Release);
+                        arrived[i].store(
+                            step + 1,
+                            site_ord!("engine.arrival.board", Ordering::Release),
+                        );
                         // Watchdog: at a step with a scripted stall the
                         // plan *guarantees* a missing peer, so a short
                         // internal deadline applies even when the user
@@ -479,7 +489,12 @@ impl ThreadedRuntime {
                                     faults.stalled_at(step)
                                 } else {
                                     (0..p)
-                                        .filter(|&j| arrived[j].load(Ordering::Acquire) != step + 1)
+                                        .filter(|&j| {
+                                            arrived[j].load(site_ord!(
+                                                "engine.arrival.scan",
+                                                Ordering::Acquire
+                                            )) != step + 1
+                                        })
                                         .map(|j| ProcId(j as u32))
                                         .collect()
                                 };
@@ -500,7 +515,13 @@ impl ThreadedRuntime {
                                             // A watchdog abort raced us
                                             // here: don't stack step
                                             // work on a dying run.
-                                            failed.store(true, Ordering::Release);
+                                            failed.store(
+                                                true,
+                                                site_ord!(
+                                                    "engine.failed.publish",
+                                                    Ordering::Release
+                                                ),
+                                            );
                                             return;
                                         }
                                         leader_step(
@@ -517,29 +538,32 @@ impl ThreadedRuntime {
                                     for mb in mailboxes {
                                         mb.take();
                                     }
-                                    failed.store(true, Ordering::Release);
+                                    failed.store(
+                                        true,
+                                        site_ord!("engine.failed.publish", Ordering::Release),
+                                    );
                                 }
                             },
                         );
-                        if failed.load(Ordering::Acquire) {
+                        if failed.load(site_ord!("engine.failed.check", Ordering::Acquire)) {
                             let e = lock_anyway(leader_state)
                                 .error
                                 .clone()
                                 .expect("failed implies a recorded error");
                             return Err(e);
                         }
-                        if finished.load(Ordering::Acquire) {
+                        if finished.load(site_ord!("engine.finished.check", Ordering::Acquire)) {
                             return Ok(state);
                         }
                     }
                     Err(SimError::StepLimit { limit: step_limit })
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("processor thread panicked"))
-                .collect()
-        });
+                }
+            })
+            .collect();
+        let states: Vec<Result<P::State, SimError>> = crate::sync::thread::scope_join(tasks)
+            .into_iter()
+            .map(|h| h.expect("processor thread panicked"))
+            .collect();
         let wall = began.elapsed();
 
         let mut out_states = Vec::with_capacity(p);
@@ -601,7 +625,7 @@ fn record_timeout(
     for mb in mailboxes {
         mb.take();
     }
-    failed.store(true, Ordering::Release);
+    failed.store(true, site_ord!("engine.failed.publish", Ordering::Release));
 }
 
 /// Record `error` and scrub every queue: an aborted step must leave no
@@ -627,7 +651,7 @@ fn abort_step(
     for mb in mailboxes {
         mb.take();
     }
-    failed.store(true, Ordering::Release);
+    failed.store(true, site_ord!("engine.failed.publish", Ordering::Release));
 }
 
 /// The per-superstep sequential coordination, identical in effect to
@@ -779,7 +803,10 @@ fn leader_step(
             ls.finish.clear();
             let LeaderState { finish, timing, .. } = ls;
             finish.extend_from_slice(&timing.finish);
-            finished.store(true, Ordering::Release);
+            finished.store(
+                true,
+                site_ord!("engine.finished.publish", Ordering::Release),
+            );
         }
         Some(s) => {
             let releases = barrier_release(tree, s, &ls.timing.finish);

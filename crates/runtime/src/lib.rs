@@ -28,6 +28,7 @@
 pub mod barrier;
 pub mod engine;
 pub mod mailbox;
+pub mod sync;
 
 pub use barrier::{BarrierKind, CentralBarrier, HierBarrier};
 pub use engine::{RunOutcome, ThreadedRuntime};

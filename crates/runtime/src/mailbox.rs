@@ -22,8 +22,8 @@
 //! engine, and the abort drains every mailbox anyway.
 
 use crate::barrier::lock_anyway;
+use crate::sync::Mutex;
 use hbsp_core::{Message, MsgBatch};
-use std::sync::Mutex;
 
 /// One processor's incoming-message buffer.
 #[derive(Default)]

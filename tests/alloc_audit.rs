@@ -153,6 +153,49 @@ fn steady_state_supersteps_allocate_nothing_per_message() {
     }
 }
 
+/// The runtime's sync facade (`hbsp_runtime::sync`) is free on the
+/// hot path: in a normal (non-exploration) build every primitive —
+/// atomics, mutex lock/unlock, condvar notify, `Instant::now` —
+/// forwards straight to `std` and performs zero heap allocations in
+/// steady state. This holds even when the `model` feature is unified
+/// into the build (workspace `cargo test` builds `hbsp-runtime` with
+/// it via `hbsp-race`): outside `weave::explore` the facade passes
+/// through, and the model metadata is allocated lazily only inside an
+/// exploration. The engine-level cost is pinned by
+/// `steady_state_supersteps_allocate_nothing_per_message`, which runs
+/// the whole ported runtime (barrier, engine, mailbox) through the
+/// facade.
+#[test]
+fn sync_facade_adds_no_allocations_to_hot_primitives() {
+    use hbsp_runtime::sync::atomic::{AtomicU64, Ordering as O};
+    use hbsp_runtime::sync::{Condvar, Instant, Mutex};
+    let _serial = AUDIT_LOCK.lock().unwrap();
+    let m = Mutex::new(0u64);
+    let cv = Condvar::new();
+    let a = AtomicU64::new(0);
+    // One warmup round so any lazily-initialized std state (e.g. the
+    // first clock read) is paid for outside the measured loop.
+    *m.lock().unwrap() += Instant::now().elapsed().as_nanos() as u64;
+    cv.notify_one();
+    let (n, _) = allocs_during(|| {
+        for i in 0..10_000u64 {
+            a.fetch_add(i, O::Release);
+            a.load(O::Acquire);
+            let mut g = m.lock().unwrap();
+            *g = g.wrapping_add(i);
+            drop(g);
+            cv.notify_one();
+            std::hint::black_box(Instant::now());
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "facade primitives allocated {n} times in 10k iterations — the \
+         facade must be a zero-cost forwarder outside explorations"
+    );
+    assert!(!hbsp_runtime::sync::is_modeling());
+}
+
 /// The two engines agree bit-for-bit on the audited program — the SoA
 /// delivery path preserves ordering exactly.
 #[test]

@@ -1,0 +1,275 @@
+//! Model-aware atomics.
+//!
+//! Outside an exploration these are thin wrappers over
+//! `std::sync::atomic` (a single thread-local check per operation).
+//! Inside one, every operation is a scheduler decision point and
+//! updates the happens-before state:
+//!
+//! * a **Release**-class store publishes the writing thread's vector
+//!   clock as the atomic's *release clock*;
+//! * a **Relaxed** pure store *clears* the release clock — it starts a
+//!   new release sequence headed by a relaxed store, which synchronizes
+//!   with nobody (this is exactly the C++20 rule that makes
+//!   `Release→Relaxed` weakening on a flag a detectable bug);
+//! * an RMW (`fetch_add`, `swap`, successful `compare_exchange`)
+//!   *joins* into the release clock instead of replacing it — RMWs
+//!   continue the release sequence regardless of their own ordering;
+//! * an **Acquire**-class load joins the release clock into the
+//!   loading thread's clock.
+//!
+//! `SeqCst` is treated as `AcqRel` (we check happens-before, not
+//! sequential-consistency anomalies; executions themselves are
+//! sequentially consistent because the scheduler serializes them).
+
+use crate::clock::VClock;
+use crate::sched::{ctx, Meta};
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+
+fn acquires(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Happens-before state of one atomic location.
+#[derive(Default)]
+pub(crate) struct AtomicMeta {
+    /// The clock published by the head of the current release
+    /// sequence (⊥ after a relaxed pure store).
+    rel: VClock,
+}
+
+macro_rules! atomic_type {
+    ($name:ident, $std:ident, $ty:ty) => {
+        /// Model-aware drop-in for the matching `std::sync::atomic` type.
+        pub struct $name {
+            std: std::sync::atomic::$std,
+            meta: Meta<AtomicMeta>,
+        }
+
+        impl $name {
+            /// Create a new atomic (usable in `const`/`static` position).
+            pub const fn new(v: $ty) -> Self {
+                $name {
+                    std: std::sync::atomic::$std::new(v),
+                    meta: Meta::new(),
+                }
+            }
+
+            /// Mutable access when exclusively borrowed (no decision point).
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.std.get_mut()
+            }
+
+            /// Consume and return the value (no decision point).
+            pub fn into_inner(self) -> $ty {
+                self.std.into_inner()
+            }
+
+            #[track_caller]
+            pub fn load(&self, order: Ordering) -> $ty {
+                let site = Location::caller();
+                match ctx() {
+                    None => self.std.load(order),
+                    Some(c) => {
+                        c.exec.switch(c.tid, None, "atomic.load", "", site, false);
+                        c.exec.with_state(|st| {
+                            let meta = self.meta.get(c.exec.gen);
+                            if acquires(order) {
+                                let rel = meta.rel.clone();
+                                crate::sched::Exec::clock_of(st, c.tid).join(&rel);
+                            }
+                            crate::sched::Exec::clock_of(st, c.tid).tick(c.tid);
+                            self.std.load(order)
+                        })
+                    }
+                }
+            }
+
+            #[track_caller]
+            pub fn store(&self, val: $ty, order: Ordering) {
+                let site = Location::caller();
+                match ctx() {
+                    None => self.std.store(val, order),
+                    Some(c) => {
+                        c.exec.switch(c.tid, None, "atomic.store", "", site, false);
+                        c.exec.with_state(|st| {
+                            crate::sched::Exec::clock_of(st, c.tid).tick(c.tid);
+                            let thread_clock = crate::sched::Exec::clock_of(st, c.tid).clone();
+                            let meta = self.meta.get(c.exec.gen);
+                            if releases(order) {
+                                meta.rel = thread_clock;
+                            } else {
+                                // A relaxed pure store heads a new
+                                // release sequence that publishes
+                                // nothing.
+                                meta.rel.clear();
+                            }
+                            self.std.store(val, order);
+                        })
+                    }
+                }
+            }
+
+            /// Shared RMW bookkeeping: acquire side, tick, release side
+            /// (join — the release sequence continues through RMWs).
+            fn rmw<R>(
+                &self,
+                order: Ordering,
+                op: impl FnOnce() -> R,
+                site: &'static Location<'static>,
+                desc: &'static str,
+            ) -> R {
+                match ctx() {
+                    None => op(),
+                    Some(c) => {
+                        c.exec.switch(c.tid, None, desc, "", site, false);
+                        c.exec.with_state(|st| {
+                            {
+                                let meta = self.meta.get(c.exec.gen);
+                                if acquires(order) {
+                                    let rel = meta.rel.clone();
+                                    crate::sched::Exec::clock_of(st, c.tid).join(&rel);
+                                }
+                            }
+                            crate::sched::Exec::clock_of(st, c.tid).tick(c.tid);
+                            let out = op();
+                            if releases(order) {
+                                let thread_clock = crate::sched::Exec::clock_of(st, c.tid).clone();
+                                self.meta.get(c.exec.gen).rel.join(&thread_clock);
+                            }
+                            out
+                        })
+                    }
+                }
+            }
+
+            #[track_caller]
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(
+                    order,
+                    || self.std.swap(val, order),
+                    Location::caller(),
+                    "atomic.swap",
+                )
+            }
+
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                let site = Location::caller();
+                match ctx() {
+                    None => self.std.compare_exchange(current, new, success, failure),
+                    Some(c) => {
+                        c.exec
+                            .switch(c.tid, None, "atomic.compare_exchange", "", site, false);
+                        c.exec.with_state(|st| {
+                            let out = self.std.compare_exchange(current, new, success, failure);
+                            let order = if out.is_ok() { success } else { failure };
+                            {
+                                let meta = self.meta.get(c.exec.gen);
+                                if acquires(order) {
+                                    let rel = meta.rel.clone();
+                                    crate::sched::Exec::clock_of(st, c.tid).join(&rel);
+                                }
+                            }
+                            crate::sched::Exec::clock_of(st, c.tid).tick(c.tid);
+                            if out.is_ok() && releases(success) {
+                                let thread_clock = crate::sched::Exec::clock_of(st, c.tid).clone();
+                                self.meta.get(c.exec.gen).rel.join(&thread_clock);
+                            }
+                            out
+                        })
+                    }
+                }
+            }
+
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                // The model never fails spuriously; weak == strong.
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.std.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+    };
+    ($name:ident, $std:ident, $ty:ty, int) => {
+        atomic_type!($name, $std, $ty);
+
+        impl $name {
+            #[track_caller]
+            pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(
+                    order,
+                    || self.std.fetch_add(val, order),
+                    Location::caller(),
+                    "atomic.fetch_add",
+                )
+            }
+
+            #[track_caller]
+            pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(
+                    order,
+                    || self.std.fetch_sub(val, order),
+                    Location::caller(),
+                    "atomic.fetch_sub",
+                )
+            }
+
+            #[track_caller]
+            pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(
+                    order,
+                    || self.std.fetch_max(val, order),
+                    Location::caller(),
+                    "atomic.fetch_max",
+                )
+            }
+        }
+    };
+}
+
+atomic_type!(AtomicBool, AtomicBool, bool);
+atomic_type!(AtomicU8, AtomicU8, u8, int);
+atomic_type!(AtomicU32, AtomicU32, u32, int);
+atomic_type!(AtomicU64, AtomicU64, u64, int);
+atomic_type!(AtomicUsize, AtomicUsize, usize, int);
+
+impl AtomicBool {
+    #[track_caller]
+    pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+        self.rmw(
+            order,
+            || self.std.fetch_or(val, order),
+            Location::caller(),
+            "atomic.fetch_or",
+        )
+    }
+}

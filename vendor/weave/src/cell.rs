@@ -1,0 +1,228 @@
+//! Model-aware `UnsafeCell`: the point where data races are actually
+//! detected.
+//!
+//! The runtime's `ProcSlot`s hand out `&mut` references from an
+//! `UnsafeCell` based on a barrier-mediated ownership protocol that
+//! the compiler cannot see. Under the model, every `get()` registers
+//! a conservative *write* access stamped with the calling thread's
+//! vector clock; an access that is not ordered (happens-before) with
+//! every previous access since the last write is a data race, and the
+//! checker reports both sites plus the interleaving that got there.
+//!
+//! `hb_assert` is the checkable form of a SAFETY comment: it verifies
+//! the ownership claim ("all prior accesses happen-before me") at a
+//! point *without* becoming an access itself.
+
+use crate::sched::{ctx, Exec, FailureKind, Meta};
+use std::panic::Location;
+
+/// One recorded access: which thread, its clock stamp, and where.
+#[derive(Clone, Copy)]
+struct Access {
+    tid: usize,
+    stamp: u64,
+    site: &'static Location<'static>,
+}
+
+#[derive(Default)]
+pub(crate) struct CellMeta {
+    last_write: Option<Access>,
+    reads: Vec<Access>,
+}
+
+/// Model-aware drop-in for `std::cell::UnsafeCell`.
+pub struct UnsafeCell<T: ?Sized> {
+    meta: Meta<CellMeta>,
+    std: std::cell::UnsafeCell<T>,
+}
+
+// Note: like `std::cell::UnsafeCell`, this type is deliberately
+// !Sync; containers (e.g. ProcSlot) opt in with their own
+// `unsafe impl Sync` carrying the protocol argument — which is
+// exactly what the model checks.
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        UnsafeCell::new(T::default())
+    }
+}
+
+impl<T> UnsafeCell<T> {
+    /// Create a new cell (usable in `const`/`static` position).
+    pub const fn new(value: T) -> Self {
+        UnsafeCell {
+            meta: Meta::new(),
+            std: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the cell, returning the value (no access check —
+    /// exclusive by ownership).
+    pub fn into_inner(self) -> T {
+        self.std.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Raw pointer to the contents.
+    ///
+    /// Under the model this registers a conservative **write** access
+    /// at the caller's location and reports a data race if any prior
+    /// access since the last write is not ordered before this one.
+    #[track_caller]
+    pub fn get(&self) -> *mut T {
+        if let Some(c) = ctx() {
+            let site = Location::caller();
+            c.exec.switch(c.tid, None, "cell.access", "", site, false);
+            let race: Option<(Access, &'static Location<'static>)> = c.exec.with_state(|st| {
+                let me_clock = Exec::clock_of(st, c.tid).clone();
+                let meta = self.meta.get(c.exec.gen);
+                let mut conflict = None;
+                if let Some(w) = meta.last_write {
+                    if w.tid != c.tid && !me_clock.covers(w.tid, w.stamp) {
+                        conflict = Some((w, site));
+                    }
+                }
+                if conflict.is_none() {
+                    for r in &meta.reads {
+                        if r.tid != c.tid && !me_clock.covers(r.tid, r.stamp) {
+                            conflict = Some((*r, site));
+                            break;
+                        }
+                    }
+                }
+                if conflict.is_none() {
+                    let tc = Exec::clock_of(st, c.tid);
+                    tc.tick(c.tid);
+                    let stamp = tc.get(c.tid);
+                    meta.last_write = Some(Access {
+                        tid: c.tid,
+                        stamp,
+                        site,
+                    });
+                    meta.reads.clear();
+                }
+                conflict
+            });
+            if let Some((prior, here)) = race {
+                c.exec.fail(
+                    FailureKind::DataRace,
+                    format!(
+                        "unsynchronized UnsafeCell accesses: thread {} at {}:{} is not ordered with thread {} at {}:{} — no happens-before edge between them",
+                        prior.tid,
+                        prior.site.file(),
+                        prior.site.line(),
+                        c.tid,
+                        here.file(),
+                        here.line()
+                    ),
+                );
+            }
+        }
+        self.std.get()
+    }
+
+    /// Raw const pointer to the contents, registering a **read**
+    /// access: a read races only with an unordered *write*; two
+    /// unordered reads are fine (e.g. every released waiter reading a
+    /// value the leader published before the barrier release).
+    #[track_caller]
+    pub fn get_read(&self) -> *const T {
+        if let Some(c) = ctx() {
+            let site = Location::caller();
+            c.exec.switch(c.tid, None, "cell.read", "", site, false);
+            let race: Option<(Access, &'static Location<'static>)> = c.exec.with_state(|st| {
+                let me_clock = Exec::clock_of(st, c.tid).clone();
+                let meta = self.meta.get(c.exec.gen);
+                let mut conflict = None;
+                if let Some(w) = meta.last_write {
+                    if w.tid != c.tid && !me_clock.covers(w.tid, w.stamp) {
+                        conflict = Some((w, site));
+                    }
+                }
+                if conflict.is_none() {
+                    let tc = Exec::clock_of(st, c.tid);
+                    tc.tick(c.tid);
+                    let stamp = tc.get(c.tid);
+                    let access = Access {
+                        tid: c.tid,
+                        stamp,
+                        site,
+                    };
+                    // Keep one (latest) read per thread: a later read
+                    // by the same thread covers the earlier one.
+                    match meta.reads.iter_mut().find(|r| r.tid == c.tid) {
+                        Some(r) => *r = access,
+                        None => meta.reads.push(access),
+                    }
+                }
+                conflict
+            });
+            if let Some((prior, here)) = race {
+                c.exec.fail(
+                    FailureKind::DataRace,
+                    format!(
+                        "unsynchronized UnsafeCell accesses: write by thread {} at {}:{} is not ordered with read by thread {} at {}:{} — no happens-before edge between them",
+                        prior.tid,
+                        prior.site.file(),
+                        prior.site.line(),
+                        c.tid,
+                        here.file(),
+                        here.line()
+                    ),
+                );
+            }
+        }
+        self.std.get() as *const T
+    }
+
+    /// Exclusive access without a decision point (compiler-proved
+    /// exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.std.get_mut()
+    }
+
+    /// Checkable SAFETY comment: assert that every recorded access to
+    /// this cell happens-before the current thread's present point,
+    /// i.e. the caller could safely take `&mut` now. Does not record
+    /// an access. No-op outside the model.
+    #[track_caller]
+    pub fn hb_assert(&self, claim: &str) {
+        if let Some(c) = ctx() {
+            let site = Location::caller();
+            c.exec.switch(c.tid, None, "hb_assert", "", site, false);
+            let stale: Option<Access> = c.exec.with_state(|st| {
+                let me_clock = Exec::clock_of(st, c.tid).clone();
+                let meta = self.meta.get(c.exec.gen);
+                if let Some(w) = meta.last_write {
+                    if w.tid != c.tid && !me_clock.covers(w.tid, w.stamp) {
+                        return Some(w);
+                    }
+                }
+                meta.reads
+                    .iter()
+                    .find(|r| r.tid != c.tid && !me_clock.covers(r.tid, r.stamp))
+                    .copied()
+            });
+            if let Some(prior) = stale {
+                c.exec.fail(
+                    FailureKind::HbViolation,
+                    format!(
+                        "hb_assert failed at {}:{} — claim \"{claim}\": access by thread {} at {}:{} does not happen-before this point",
+                        site.file(),
+                        site.line(),
+                        prior.tid,
+                        prior.site.file(),
+                        prior.site.line()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug + Copy> std::fmt::Debug for UnsafeCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnsafeCell").finish_non_exhaustive()
+    }
+}

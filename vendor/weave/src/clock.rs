@@ -1,0 +1,95 @@
+//! Vector clocks: the partial order the race detector checks against.
+//!
+//! Every model thread carries a [`VClock`]; every synchronization
+//! object (atomic, mutex, condvar-via-mutex, spawn/join edge) carries
+//! the clock its last release-class operation published. An acquire
+//! joins the object's clock into the thread's; a release joins the
+//! thread's into the object's. Two accesses to the same location are
+//! *ordered* iff one's clock entry for the other's thread is at least
+//! the other's timestamp at access time — otherwise they race.
+
+/// A vector clock over model thread ids. Index = thread id, value =
+/// that thread's logical timestamp. Missing entries are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u64>,
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// This clock's entry for `tid`.
+    pub fn get(&self, tid: usize) -> u64 {
+        self.ticks.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Set this clock's entry for `tid`.
+    pub fn set(&mut self, tid: usize, v: u64) {
+        if self.ticks.len() <= tid {
+            self.ticks.resize(tid + 1, 0);
+        }
+        self.ticks[tid] = v;
+    }
+
+    /// Advance `tid`'s own component (a local step).
+    pub fn tick(&mut self, tid: usize) {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+    }
+
+    /// Pointwise maximum: after `self.join(other)`, everything ordered
+    /// before `other` is ordered before `self`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (s, o) in self.ticks.iter_mut().zip(&other.ticks) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// Forget everything: the clock becomes ⊥ (published-by-nobody).
+    /// Used when a plain store breaks an atomic's release sequence.
+    pub fn clear(&mut self) {
+        self.ticks.clear();
+    }
+
+    /// True when the event stamped `(tid, at)` happens-before (or is)
+    /// the point this clock describes: the clock has seen `tid` reach
+    /// at least `at`.
+    pub fn covers(&self, tid: usize, at: u64) -> bool {
+        self.get(tid) >= at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VClock::new();
+        b.set(0, 1);
+        b.set(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn covers_tracks_happens_before() {
+        let mut a = VClock::new();
+        a.set(1, 4);
+        assert!(a.covers(1, 4));
+        assert!(a.covers(1, 3));
+        assert!(!a.covers(1, 5));
+        assert!(a.covers(7, 0), "everything covers the zero event");
+    }
+}

@@ -1,0 +1,77 @@
+//! `weave` — an offline, loom-style concurrency model checker.
+//!
+//! Vendored like the repo's `proptest`/`criterion` shims: a small,
+//! dependency-free subset of the idea, built for checking
+//! `hbsp-runtime`'s hand-rolled synchronization (sense-reversing
+//! barriers, `UnsafeCell` processor slots, watchdog abort paths).
+//!
+//! ## How it works
+//!
+//! Code under test uses `weave`'s drop-in primitives ([`Mutex`],
+//! [`Condvar`], [`UnsafeCell`], [`atomic`], [`thread`], [`time`]).
+//! Outside an exploration they forward to `std` after one
+//! thread-local check — so a binary that links the model build but
+//! never calls [`explore`] behaves exactly like plain `std`.
+//!
+//! [`explore`] runs a closure repeatedly under a controlled scheduler:
+//! real OS threads, exactly one runnable at a time, every
+//! synchronization operation a decision point. Interleavings are
+//! enumerated by bounded-preemption DFS (most concurrency bugs need
+//! only a couple of preemptions) plus seeded random walks. Vector
+//! clocks track happens-before with release-sequence-faithful
+//! semantics — a `Relaxed` store really does break the chain — so
+//! weakened orderings surface as the races they are. Failures
+//! (data race, deadlock / lost wakeup, livelock / runaway spin,
+//! `hb_assert` violation, panic) come with the full interleaving
+//! trace and a decision schedule that [`replay`] reproduces
+//! deterministically.
+//!
+//! ```
+//! let cfg = weave::Config::default();
+//! let out = weave::explore(&cfg, || {
+//!     static FLAG: weave::atomic::AtomicBool =
+//!         weave::atomic::AtomicBool::new(false);
+//!     FLAG.store(false, std::sync::atomic::Ordering::Relaxed);
+//!     // … spawn threads with weave::thread::scope_join, sync them …
+//! });
+//! out.assert_clean("example");
+//! ```
+
+pub mod atomic;
+pub mod cell;
+pub mod clock;
+pub mod mutation;
+mod mutex;
+mod sched;
+pub mod thread;
+pub mod time;
+
+pub use cell::UnsafeCell;
+pub use mutex::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+pub use sched::{explore, replay, Config, Failure, FailureKind, Outcome, Stats};
+
+/// Model-aware `std::hint` subset.
+pub mod hint {
+    use crate::sched::ctx;
+    use std::panic::Location;
+
+    /// Spin-loop hint: under the model, a decision point that counts
+    /// toward the runaway-spin budget ([`crate::Config::max_spins`]).
+    #[track_caller]
+    pub fn spin_loop() {
+        match ctx() {
+            None => std::hint::spin_loop(),
+            Some(c) => {
+                c.exec
+                    .switch(c.tid, None, "hint.spin", "", Location::caller(), true);
+            }
+        }
+    }
+}
+
+/// True while the calling thread participates in a model execution.
+/// The runtime uses this to scale constants (spin budgets) that would
+/// otherwise blow up the exploration space.
+pub fn is_modeling() -> bool {
+    sched::is_active()
+}

@@ -1,0 +1,31 @@
+//! Ordering-mutation support: the hook behind the runtime's
+//! `site_ord!` macro.
+//!
+//! Each tunable atomic site in the runtime is named with a stable
+//! label (e.g. `"hier.generation.flip"`). In normal builds the label
+//! compiles away and the site uses its declared ordering. Under the
+//! model, [`resolve`] consults the active exploration's
+//! [`crate::Config::overrides`] so a mutation test can weaken exactly
+//! one site (say `AcqRel → Relaxed`) and assert the checker reports
+//! the resulting race — proof the declared ordering is load-bearing.
+
+use crate::sched::ctx;
+use std::sync::atomic::Ordering;
+
+/// The ordering to use at the named site: the declared `default`,
+/// unless the active exploration overrides it. Overrides that fire
+/// are recorded and appear in any failure report, so a reported race
+/// names the mutation that caused it.
+pub fn resolve(label: &'static str, default: Ordering) -> Ordering {
+    if let Some(c) = ctx() {
+        for (l, o) in &c.exec.cfg.overrides {
+            if l == label {
+                let o = *o;
+                c.exec
+                    .with_state(|st| crate::sched::note_mutation(st, label));
+                return o;
+            }
+        }
+    }
+    default
+}

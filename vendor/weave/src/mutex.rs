@@ -1,0 +1,472 @@
+//! Model-aware `Mutex` + `Condvar`, mirroring the `std::sync` API
+//! (including poisoning).
+//!
+//! Inside an exploration, lock ownership is tracked by the scheduler:
+//! a contended `lock()` parks the thread as a model transition rather
+//! than an OS wait, every acquisition/notification is a decision
+//! point, and the lock carries a vector clock (an acquire joins the
+//! clock of *all* prior critical sections — lock order is total, so
+//! this is the exact happens-before edge). Condvar waits release the
+//! lock and park atomically with respect to the scheduler, so a
+//! notify that finds no parked waiter is genuinely lost — which is
+//! how lost-wakeup bugs become reproducible deadlock reports.
+//!
+//! The user data always lives in a real `std::sync::Mutex`; model
+//! ownership guarantees `try_lock` on it never contends, and poison
+//! semantics fall out of `std` unchanged.
+
+use crate::clock::VClock;
+use crate::sched::{ctx, BlockOn, Ctx, Exec, Meta};
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+use std::time::Duration;
+
+/// Model-object ids (shared counter for mutexes and condvars; the
+/// `BlockOn` variant disambiguates).
+static NEXT_OBJECT: AtomicUsize = AtomicUsize::new(1);
+
+fn fresh_id() -> usize {
+    NEXT_OBJECT.fetch_add(1, StdOrdering::Relaxed)
+}
+
+#[derive(Default)]
+struct MutexMeta {
+    id: Option<usize>,
+    owner: Option<usize>,
+    /// Join of every prior unlocker's clock.
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct CvMeta {
+    id: Option<usize>,
+    /// Join of every notifier's clock.
+    clock: VClock,
+}
+
+/// Model-aware drop-in for `std::sync::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    meta: Meta<MutexMeta>,
+    std: std::sync::Mutex<T>,
+}
+
+/// Guard mirroring `std::sync::MutexGuard`.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    /// Present when the guard was acquired inside a model execution.
+    model: Option<Ctx>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex (usable in `const`/`static` position).
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            meta: Meta::new(),
+            std: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consume the mutex, returning the data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.std.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Mutable access when exclusively borrowed (no decision point).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.std.get_mut()
+    }
+
+    /// Whether the mutex is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.std.is_poisoned()
+    }
+
+    /// Acquire model ownership, parking until it is free. Must run on
+    /// the active model thread.
+    fn model_acquire(&self, c: &Ctx, site: &'static Location<'static>) {
+        loop {
+            let (got, id) = c.exec.with_state(|st| {
+                let meta = self.meta.get(c.exec.gen);
+                let id = *meta.id.get_or_insert_with(fresh_id);
+                if meta.owner.is_none() {
+                    meta.owner = Some(c.tid);
+                    let rel = meta.clock.clone();
+                    let tc = Exec::clock_of(st, c.tid);
+                    tc.join(&rel);
+                    tc.tick(c.tid);
+                    (true, id)
+                } else {
+                    (false, id)
+                }
+            });
+            if got {
+                return;
+            }
+            c.exec.switch(
+                c.tid,
+                Some((BlockOn::Mutex(id), None)),
+                "mutex.blocked",
+                "",
+                site,
+                false,
+            );
+        }
+    }
+
+    /// Release model ownership and wake waiters. Must run on the
+    /// active model thread, *after* the `std` guard is dropped.
+    fn model_release(&self, c: &Ctx) {
+        c.exec.with_state(|st| {
+            Exec::clock_of(st, c.tid).tick(c.tid);
+            let tc = Exec::clock_of(st, c.tid).clone();
+            let meta = self.meta.get(c.exec.gen);
+            meta.owner = None;
+            meta.clock.join(&tc);
+            if let Some(id) = meta.id {
+                Exec::wake_all(st, BlockOn::Mutex(id));
+            }
+        });
+    }
+
+    /// Wrap the (guaranteed-uncontended) `std` lock into a guard,
+    /// preserving poison.
+    fn finish_model_lock(&self, c: Ctx) -> LockResult<MutexGuard<'_, T>> {
+        match self.std.try_lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                std: Some(g),
+                model: Some(c),
+            }),
+            Err(TryLockError::Poisoned(pe)) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                std: Some(pe.into_inner()),
+                model: Some(c),
+            })),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model owns the mutex but the std lock is contended")
+            }
+        }
+    }
+
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match ctx() {
+            None => match self.std.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    std: Some(g),
+                    model: None,
+                }),
+                Err(pe) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    std: Some(pe.into_inner()),
+                    model: None,
+                })),
+            },
+            Some(c) => {
+                let site = Location::caller();
+                c.exec.switch(c.tid, None, "mutex.lock", "", site, false);
+                self.model_acquire(&c, site);
+                self.finish_model_lock(c)
+            }
+        }
+    }
+
+    #[track_caller]
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match ctx() {
+            None => match self.std.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    std: Some(g),
+                    model: None,
+                }),
+                Err(TryLockError::Poisoned(pe)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                        lock: self,
+                        std: Some(pe.into_inner()),
+                        model: None,
+                    })))
+                }
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            },
+            Some(c) => {
+                let site = Location::caller();
+                c.exec
+                    .switch(c.tid, None, "mutex.try_lock", "", site, false);
+                let got = c.exec.with_state(|st| {
+                    let meta = self.meta.get(c.exec.gen);
+                    meta.id.get_or_insert_with(fresh_id);
+                    if meta.owner.is_none() {
+                        meta.owner = Some(c.tid);
+                        let rel = meta.clock.clone();
+                        let tc = Exec::clock_of(st, c.tid);
+                        tc.join(&rel);
+                        tc.tick(c.tid);
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if got {
+                    self.finish_model_lock(c).map_err(TryLockError::Poisoned)
+                } else {
+                    Err(TryLockError::WouldBlock)
+                }
+            }
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.std.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_deref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_deref_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then the model ownership —
+        // waiters retry only after the scheduler hands them the token,
+        // which cannot happen before this Drop returns.
+        drop(self.std.take());
+        if let Some(c) = self.model.take() {
+            self.lock.model_release(&c);
+        }
+    }
+}
+
+/// Result of a timed condvar wait (mirrors
+/// `std::sync::WaitTimeoutResult`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Model-aware drop-in for `std::sync::Condvar`.
+pub struct Condvar {
+    meta: Meta<CvMeta>,
+    std: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    /// Create a new condvar (usable in `const`/`static` position).
+    pub const fn new() -> Condvar {
+        Condvar {
+            meta: Meta::new(),
+            std: std::sync::Condvar::new(),
+        }
+    }
+
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match ctx() {
+            None => {
+                let (lock, std_guard) = dismantle(guard);
+                match self.std.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        std: Some(g),
+                        model: None,
+                    }),
+                    Err(pe) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        std: Some(pe.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some(c) => self
+                .model_wait(guard, None, c)
+                .map(|(g, _)| g)
+                .map_err(|pe| {
+                    let (g, _) = pe.into_inner();
+                    PoisonError::new(g)
+                }),
+        }
+    }
+
+    #[track_caller]
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match ctx() {
+            None => {
+                let (lock, std_guard) = dismantle(guard);
+                match self.std.wait_timeout(std_guard, dur) {
+                    Ok((g, r)) => Ok((
+                        MutexGuard {
+                            lock,
+                            std: Some(g),
+                            model: None,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )),
+                    Err(pe) => {
+                        let (g, r) = pe.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock,
+                                std: Some(g),
+                                model: None,
+                            },
+                            WaitTimeoutResult {
+                                timed_out: r.timed_out(),
+                            },
+                        )))
+                    }
+                }
+            }
+            Some(c) => self
+                .model_wait(guard, Some(dur), c)
+                .map(|(g, t)| (g, WaitTimeoutResult { timed_out: t }))
+                .map_err(|pe| {
+                    let (g, t) = pe.into_inner();
+                    PoisonError::new((g, WaitTimeoutResult { timed_out: t }))
+                }),
+        }
+    }
+
+    /// Shared model wait path. Releases the lock and parks atomically
+    /// with respect to the scheduler, wakes on notify or (with a
+    /// deadline) a timeout transition, then reacquires.
+    #[track_caller]
+    fn model_wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Option<Duration>,
+        c: Ctx,
+    ) -> LockResult<(MutexGuard<'a, T>, bool)> {
+        let site = Location::caller();
+        let (lock, std_guard) = dismantle(guard);
+        drop(std_guard);
+        let (cv_id, deadline) = c.exec.with_state(|st| {
+            let meta = self.meta.get(c.exec.gen);
+            let id = *meta.id.get_or_insert_with(fresh_id);
+            let deadline = dur.map(|d| Exec::vnow(st).saturating_add(d.as_nanos() as u64));
+            (id, deadline)
+        });
+        lock.model_release(&c);
+        let timed_out = c.exec.switch(
+            c.tid,
+            Some((BlockOn::Condvar(cv_id), deadline)),
+            "condvar.wait",
+            "",
+            site,
+            false,
+        );
+        if !timed_out {
+            // Synchronize with the notifier. A timeout wakeup carries
+            // no happens-before edge — exactly why data published
+            // "before notify" is not visible to a timed-out waiter.
+            c.exec.with_state(|st| {
+                let cv_clock = self.meta.get(c.exec.gen).clock.clone();
+                Exec::clock_of(st, c.tid).join(&cv_clock);
+            });
+        }
+        lock.model_acquire(&c, site);
+        match lock.finish_model_lock(c) {
+            Ok(g) => Ok((g, timed_out)),
+            Err(pe) => Err(PoisonError::new((pe.into_inner(), timed_out))),
+        }
+    }
+
+    #[track_caller]
+    pub fn notify_one(&self) {
+        match ctx() {
+            None => self.std.notify_one(),
+            Some(c) => {
+                let site = Location::caller();
+                c.exec
+                    .switch(c.tid, None, "condvar.notify_one", "", site, false);
+                c.exec.with_state(|st| {
+                    Exec::clock_of(st, c.tid).tick(c.tid);
+                    let tc = Exec::clock_of(st, c.tid).clone();
+                    let meta = self.meta.get(c.exec.gen);
+                    meta.clock.join(&tc);
+                    if let Some(id) = meta.id {
+                        Exec::wake_one(st, BlockOn::Condvar(id));
+                    }
+                });
+            }
+        }
+    }
+
+    #[track_caller]
+    pub fn notify_all(&self) {
+        match ctx() {
+            None => self.std.notify_all(),
+            Some(c) => {
+                let site = Location::caller();
+                c.exec
+                    .switch(c.tid, None, "condvar.notify_all", "", site, false);
+                c.exec.with_state(|st| {
+                    Exec::clock_of(st, c.tid).tick(c.tid);
+                    let tc = Exec::clock_of(st, c.tid).clone();
+                    let meta = self.meta.get(c.exec.gen);
+                    meta.clock.join(&tc);
+                    if let Some(id) = meta.id {
+                        Exec::wake_all(st, BlockOn::Condvar(id));
+                    }
+                });
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Take a guard apart without running its Drop (the caller assumes
+/// responsibility for both the std guard and model ownership).
+fn dismantle<'a, T: ?Sized>(
+    mut guard: MutexGuard<'a, T>,
+) -> (&'a Mutex<T>, std::sync::MutexGuard<'a, T>) {
+    let lock = guard.lock;
+    let std_guard = guard.std.take().expect("guard already released");
+    guard.model.take();
+    (lock, std_guard)
+}

@@ -1,0 +1,1035 @@
+//! The controlled scheduler: one OS thread runs at a time, every
+//! synchronization operation is a *decision point*, and the choice of
+//! which thread runs next is driven either by a depth-first enumerator
+//! (bounded-preemption systematic exploration) or a seeded random walk.
+//!
+//! Threads participating in a model execution are real OS threads; the
+//! scheduler serializes them with one mutex + condvar: exactly one
+//! thread owns the "active" token, and every blocking primitive parks
+//! its caller until the scheduler hands the token back. Because real
+//! primitives execute underneath, values are always coherent — the
+//! checker detects *ordering* bugs (missing happens-before edges) via
+//! vector clocks, the way a happens-before race detector does, while
+//! the enumerator supplies the adversarial interleavings.
+//!
+//! ## Decision points and exploration
+//!
+//! Every atomic operation, lock acquisition, condvar wait, spawn,
+//! join, yield, sleep, and spin hint yields to the scheduler first.
+//! The enabled set at a decision point is: every runnable thread
+//! (a `Resume` transition), plus — for threads blocked with a
+//! deadline — a `Timeout` transition. Timeouts are *lazy* by default
+//! (enabled only when nothing else can run, modeling "timeouts are
+//! slow compared to healthy progress"); [`Config::eager_timeouts`]
+//! makes them compete with normal transitions so a watchdog firing
+//! can race a healthy release.
+//!
+//! The DFS enumerator replays a chosen prefix of decisions and takes
+//! the default continuation after it (stay on the current thread when
+//! possible — the non-preemptive schedule), then backtracks to the
+//! deepest decision with an unexplored alternative whose preemption
+//! count stays within [`Config::preemption_bound`]. This is the
+//! classic bounded-preemption reduction: most concurrency bugs
+//! manifest with very few preemptions, and the bound turns an
+//! exponential tree into a polynomial one.
+
+use crate::clock::VClock;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Panic payload used to tear an execution down after a failure has
+/// been recorded. User code may `catch_unwind` it mid-flight; every
+/// subsequent scheduler interaction re-raises it until the thread
+/// exits.
+pub(crate) struct ModelAbort;
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum preemptive context switches per execution explored by
+    /// the DFS enumerator (`None` = unbounded). A switch is preemptive
+    /// when the previously running thread was still runnable.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on DFS executions; hitting it ends exploration with
+    /// `exhausted = false`.
+    pub max_executions: usize,
+    /// Seeded random-walk executions run after (or instead of) DFS.
+    pub random_walks: usize,
+    /// Seed for the random walks (printed in reports for replay).
+    pub seed: u64,
+    /// Per-execution cap on decision points; exceeding it reports a
+    /// livelock (a non-terminating spin loop shows up here).
+    pub max_steps: usize,
+    /// Consecutive `spin_loop` hints by one thread before the checker
+    /// reports a non-terminating spin loop.
+    pub max_spins: usize,
+    /// What `available_parallelism()` reports inside the model — the
+    /// knob that drives spin-vs-park policy scenarios.
+    pub cores: usize,
+    /// Make `Timeout` transitions compete with normal ones instead of
+    /// firing only when the system is otherwise stuck.
+    pub eager_timeouts: bool,
+    /// Memory-ordering mutations: `(site label, weakened ordering)`
+    /// consulted by [`crate::mutation::resolve`]. This is how the
+    /// mutation tests weaken one ordering at a time without touching
+    /// source.
+    pub overrides: Vec<(String, std::sync::atomic::Ordering)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(2),
+            max_executions: 50_000,
+            random_walks: 0,
+            seed: 0,
+            max_steps: 20_000,
+            max_spins: 10_000,
+            cores: 64,
+            eager_timeouts: false,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+/// What kind of defect a failed exploration found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Two unordered conflicting accesses to the same `UnsafeCell`.
+    DataRace,
+    /// An explicit `hb_assert` did not hold.
+    HbViolation,
+    /// No thread can make progress (includes lost wakeups: a waiter
+    /// parked on a condvar nobody will ever signal).
+    Deadlock,
+    /// The execution exceeded its step or spin budget without
+    /// terminating.
+    Livelock,
+    /// User code panicked (an assertion inside the scenario).
+    Panic,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureKind::DataRace => "data race",
+            FailureKind::HbViolation => "happens-before violation",
+            FailureKind::Deadlock => "deadlock / lost wakeup",
+            FailureKind::Livelock => "livelock / non-terminating spin",
+            FailureKind::Panic => "panic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A reported defect: what, where, and the exact interleaving that
+/// produced it ([`Failure::schedule`] replays it via
+/// [`crate::replay`]).
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Defect class.
+    pub kind: FailureKind,
+    /// Human-readable description naming the sites involved.
+    pub message: String,
+    /// The interleaving trace: one line per decision point, most
+    /// recent last.
+    pub trace: String,
+    /// The decision sequence (index into each decision's enabled set);
+    /// feed to [`crate::replay`] to reproduce deterministically.
+    pub schedule: Vec<usize>,
+    /// Which execution (0-based) of the exploration failed.
+    pub execution: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}: {}", self.kind, self.message)?;
+        writeln!(
+            f,
+            "schedule (execution {}): {:?}",
+            self.execution, self.schedule
+        )?;
+        write!(f, "interleaving trace:\n{}", self.trace)
+    }
+}
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Executions (distinct interleavings) actually run.
+    pub executions: usize,
+    /// True when the DFS frontier was fully drained within the bounds.
+    pub exhausted: bool,
+    /// Deepest decision sequence observed.
+    pub max_depth: usize,
+    /// The random-walk seed (for reproducing reports).
+    pub seed: u64,
+}
+
+/// Result of an exploration: statistics plus the first failure, if any.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// How much was explored.
+    pub stats: Stats,
+    /// The first defect found, or `None` when every explored
+    /// interleaving was clean.
+    pub failure: Option<Failure>,
+}
+
+impl Outcome {
+    /// Panic with the full report if the exploration found a defect.
+    pub fn assert_clean(&self, what: &str) {
+        if let Some(f) = &self.failure {
+            panic!("{what}: model checking failed\n{f}");
+        }
+    }
+
+    /// The failure, or a panic naming `what` if the exploration was
+    /// clean (used by mutation tests, which *expect* a defect).
+    pub fn expect_failure(&self, what: &str) -> &Failure {
+        self.failure
+            .as_ref()
+            .unwrap_or_else(|| panic!("{what}: expected the checker to find a defect, but {} interleavings were clean (exhausted: {})", self.stats.executions, self.stats.exhausted))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+/// What a blocked thread is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BlockOn {
+    /// Mutex acquisition (object id).
+    Mutex(usize),
+    /// Condvar wait (object id).
+    Condvar(usize),
+    /// Joining thread `tid`.
+    Join(usize),
+    /// `thread::sleep` / a pure timed wait.
+    Sleep,
+    /// `thread::park` without a pending permit.
+    Park,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Can run (or is running, when it is the active thread).
+    Ready,
+    /// Blocked until some event marks it ready.
+    Blocked(BlockOn),
+    /// Blocked, but with a virtual-time deadline: a `Timeout`
+    /// transition can wake it.
+    Timed(BlockOn, u64),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+    /// Set when the last wakeup came from a `Timeout` transition.
+    wake_timed_out: bool,
+    /// Consecutive `spin_loop` hints with no other operation.
+    spin_streak: usize,
+    /// `thread::park` permit (an unpark with no parked thread).
+    park_permit: bool,
+    /// Clock the pending permit's unparker published.
+    park_permit_clock: VClock,
+    /// Where this thread last blocked (deadlock reports).
+    blocked_at: Option<&'static Location<'static>>,
+}
+
+/// One entry of the interleaving trace.
+struct Event {
+    tid: usize,
+    desc: &'static str,
+    /// Mutation-site label, when the operation carries one.
+    label: &'static str,
+    site: &'static Location<'static>,
+}
+
+/// One recorded decision: enough to replay it and to enumerate its
+/// unexplored alternatives under the preemption bound.
+struct ChoiceRec {
+    chosen: usize,
+    enabled: usize,
+    /// Whether the previously-active thread was still runnable here.
+    /// Any non-default choice at such a point diverges from the fair
+    /// schedule and consumes preemption budget (this is what keeps
+    /// spin/yield loops from spawning unbounded subtrees).
+    prev_runnable: bool,
+    /// Cumulative preemptions *including* this decision.
+    preemptions: usize,
+}
+
+#[derive(Clone)]
+enum Driver {
+    /// Replay `prefix`, then take default (non-preemptive)
+    /// continuations.
+    Replay(Vec<usize>),
+    /// Uniform random choice, seeded.
+    Random(u64),
+}
+
+/// A `Resume` or `Timeout` transition in an enabled set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transition {
+    Resume(usize),
+    Timeout(usize, u64),
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadState>,
+    active: usize,
+    steps: usize,
+    /// Virtual clock, nanoseconds. Advances one tick per decision and
+    /// jumps to the deadline on a `Timeout` transition.
+    vnow: u64,
+    driver: Driver,
+    replay_pos: usize,
+    choices: Vec<ChoiceRec>,
+    trace: Vec<Event>,
+    failure: Option<Failure>,
+    aborted: bool,
+    /// Mutation-site labels whose ordering override actually fired
+    /// (named in failure reports).
+    mutations_hit: Vec<&'static str>,
+    execution_index: usize,
+}
+
+/// Record that an ordering override fired at `label` (deduplicated).
+pub(crate) fn note_mutation(st: &mut ExecState, label: &'static str) {
+    if !st.mutations_hit.contains(&label) {
+        st.mutations_hit.push(label);
+    }
+}
+
+/// True while the calling thread participates in a model execution.
+pub(crate) fn is_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// One model execution: the shared scheduler handle every
+/// participating thread holds (via thread-local context).
+pub(crate) struct Exec {
+    mu: Mutex<ExecState>,
+    cv: Condvar,
+    pub(crate) cfg: Config,
+    /// Generation stamp: per-object metadata tagged with an older
+    /// generation is reset on first touch.
+    pub(crate) gen: u64,
+}
+
+fn lock_state(e: &Exec) -> MutexGuard<'_, ExecState> {
+    e.mu.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+static EXEC_GEN: AtomicU64 = AtomicU64::new(1);
+
+// ---------------------------------------------------------------------
+// Thread-local context
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The current thread's model context, if it participates in an
+/// active execution. `None` ⇒ every primitive passes straight through
+/// to `std`.
+pub(crate) fn ctx() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(c: Option<Ctx>) {
+    CURRENT.with(|cell| *cell.borrow_mut() = c);
+}
+
+fn abort_now() -> ! {
+    std::panic::panic_any(ModelAbort)
+}
+
+// ---------------------------------------------------------------------
+// The scheduler
+// ---------------------------------------------------------------------
+
+impl Exec {
+    fn new(cfg: Config, driver: Driver, execution_index: usize) -> Arc<Exec> {
+        let root = ThreadState {
+            status: Status::Ready,
+            clock: VClock::new(),
+            wake_timed_out: false,
+            spin_streak: 0,
+            park_permit: false,
+            park_permit_clock: VClock::new(),
+            blocked_at: None,
+        };
+        Arc::new(Exec {
+            mu: Mutex::new(ExecState {
+                threads: vec![root],
+                active: 0,
+                steps: 0,
+                vnow: 0,
+                driver,
+                replay_pos: 0,
+                choices: Vec::new(),
+                trace: Vec::new(),
+                failure: None,
+                aborted: false,
+                mutations_hit: Vec::new(),
+                execution_index,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            gen: EXEC_GEN.fetch_add(1, StdOrdering::Relaxed),
+        })
+    }
+
+    pub(crate) fn virtual_now(&self) -> u64 {
+        lock_state(self).vnow
+    }
+
+    /// The core decision point. `me` must be the active thread.
+    ///
+    /// `block`: `None` = plain yield (stay runnable); `Some((what,
+    /// deadline))` = park until woken (deadline makes the park
+    /// timeout-wakeable). Returns `true` when the wakeup was a
+    /// timeout.
+    pub(crate) fn switch(
+        &self,
+        me: usize,
+        block: Option<(BlockOn, Option<u64>)>,
+        desc: &'static str,
+        label: &'static str,
+        site: &'static Location<'static>,
+        is_spin: bool,
+    ) -> bool {
+        if std::thread::panicking() {
+            // Already unwinding (model teardown or a scenario panic):
+            // destructors along the unwind path — census guards, lock
+            // guards — must run to completion, not re-enter the
+            // scheduler and double-panic. The thread keeps the token
+            // until `thread_end` (or `run_once`) hands it onward.
+            return false;
+        }
+        let mut st = lock_state(self);
+        if st.aborted {
+            drop(st);
+            abort_now();
+        }
+        st.trace.push(Event {
+            tid: me,
+            desc,
+            label,
+            site,
+        });
+        st.steps += 1;
+        if st.steps > self.cfg.max_steps {
+            self.fail_locked(
+                &mut st,
+                FailureKind::Livelock,
+                format!(
+                    "execution exceeded {} decision points without terminating (last op: {desc} by thread {me} at {site})",
+                    self.cfg.max_steps
+                ),
+            );
+            drop(st);
+            abort_now();
+        }
+        {
+            let t = &mut st.threads[me];
+            if is_spin {
+                t.spin_streak += 1;
+            } else {
+                t.spin_streak = 0;
+            }
+            if t.spin_streak > self.cfg.max_spins {
+                let streak = t.spin_streak;
+                self.fail_locked(
+                    &mut st,
+                    FailureKind::Livelock,
+                    format!(
+                        "thread {me} spun {streak} times without progress at {site} — non-terminating spin loop"
+                    ),
+                );
+                drop(st);
+                abort_now();
+            }
+        }
+        match block {
+            None => st.threads[me].status = Status::Ready,
+            Some((what, deadline)) => {
+                st.threads[me].blocked_at = Some(site);
+                st.threads[me].status = match deadline {
+                    None => Status::Blocked(what),
+                    Some(d) => Status::Timed(what, d),
+                };
+            }
+        }
+        self.pick_next(&mut st, me, is_spin || desc == "thread.yield");
+        // Wait until the token comes back to us (immediately, if we
+        // picked ourselves).
+        loop {
+            if st.aborted {
+                drop(st);
+                abort_now();
+            }
+            if st.active == me && st.threads[me].status == Status::Ready {
+                let timed_out = std::mem::take(&mut st.threads[me].wake_timed_out);
+                return timed_out;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Choose and install the next active thread. Records the decision
+    /// for the enumerator. Must be called with the state lock held; on
+    /// a dead end records a deadlock and aborts the execution (without
+    /// panicking — callable from drop guards).
+    fn pick_next(&self, st: &mut ExecState, prev_active: usize, voluntary: bool) {
+        if st.aborted {
+            self.cv.notify_all();
+            return;
+        }
+        // Order the enabled set so that index 0 is the *default
+        // continuation* — then "alternatives > chosen" enumerates every
+        // other option and the DFS is complete. Default: stay on the
+        // current thread, unless it yielded voluntarily (yield/spin
+        // deprioritize it, which is also what keeps spin-wait loops
+        // from starving their peers under the default schedule).
+        let mut enabled: Vec<Transition> = Vec::new();
+        let prev_ready = st.threads[prev_active].status == Status::Ready;
+        if prev_ready && !voluntary {
+            enabled.push(Transition::Resume(prev_active));
+        }
+        for (tid, t) in st.threads.iter().enumerate() {
+            if tid != prev_active && t.status == Status::Ready {
+                enabled.push(Transition::Resume(tid));
+            }
+        }
+        let have_resume = !enabled.is_empty() || prev_ready;
+        if self.cfg.eager_timeouts || !have_resume {
+            for (tid, t) in st.threads.iter().enumerate() {
+                if let Status::Timed(_, d) = t.status {
+                    enabled.push(Transition::Timeout(tid, d));
+                }
+            }
+        }
+        if prev_ready && voluntary {
+            // A voluntary yield (or spin) donates the core, so under
+            // eager timeouts a pending deadline outranks re-running
+            // the yielder — the default schedule lets a value-polling
+            // yield loop terminate instead of spinning forever.
+            enabled.push(Transition::Resume(prev_active));
+        }
+        if enabled.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                // Clean end of the execution.
+                self.cv.notify_all();
+                return;
+            }
+            let mut msg = String::from("no runnable thread; blocked:");
+            let mut lost_wakeup = false;
+            for (tid, t) in st.threads.iter().enumerate() {
+                if let Status::Blocked(what) | Status::Timed(what, _) = t.status {
+                    if matches!(what, BlockOn::Condvar(_)) {
+                        lost_wakeup = true;
+                    }
+                    let site = t
+                        .blocked_at
+                        .map(|l| format!("{}:{}", l.file(), l.line()))
+                        .unwrap_or_else(|| "?".into());
+                    msg.push_str(&format!(" [thread {tid}: {what:?} at {site}]"));
+                }
+            }
+            if lost_wakeup {
+                msg.push_str(" — a condvar waiter nobody will signal (lost wakeup?)");
+            }
+            self.fail_locked(st, FailureKind::Deadlock, msg);
+            return;
+        }
+
+        // Decide.
+        let prev_runnable = enabled
+            .iter()
+            .any(|t| *t == Transition::Resume(prev_active));
+        let idx = match &mut st.driver {
+            Driver::Replay(prefix) => {
+                if st.replay_pos < prefix.len() {
+                    let i = prefix[st.replay_pos].min(enabled.len() - 1);
+                    st.replay_pos += 1;
+                    i
+                } else {
+                    // Default continuation (see enabled-set ordering).
+                    0
+                }
+            }
+            Driver::Random(seed) => {
+                // splitmix64 stream.
+                *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = *seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z % enabled.len() as u64) as usize
+            }
+        };
+        let preemptive = idx != 0 && prev_runnable;
+        let preemptions = st.choices.last().map_or(0, |c| c.preemptions) + usize::from(preemptive);
+        st.choices.push(ChoiceRec {
+            chosen: idx,
+            enabled: enabled.len(),
+            prev_runnable,
+            preemptions,
+        });
+
+        st.vnow += 1;
+        match enabled[idx] {
+            Transition::Resume(tid) => st.active = tid,
+            Transition::Timeout(tid, d) => {
+                st.vnow = st.vnow.max(d);
+                let t = &mut st.threads[tid];
+                t.status = Status::Ready;
+                t.wake_timed_out = true;
+                st.active = tid;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Record a failure (first one wins), render the trace, and mark
+    /// the execution aborted. Never panics.
+    pub(crate) fn fail_locked(&self, st: &mut ExecState, kind: FailureKind, message: String) {
+        if st.failure.is_none() {
+            let mut message = message;
+            if !st.mutations_hit.is_empty() {
+                message.push_str(&format!(
+                    " (ordering mutations in effect: {})",
+                    st.mutations_hit.join(", ")
+                ));
+            }
+            let mut trace = String::new();
+            // The full interleaving, most recent last; cap the render
+            // at the final 120 events to keep reports readable.
+            let skip = st.trace.len().saturating_sub(120);
+            if skip > 0 {
+                trace.push_str(&format!("  … {skip} earlier events elided …\n"));
+            }
+            for e in &st.trace[skip..] {
+                let label = if e.label.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", e.label)
+                };
+                trace.push_str(&format!(
+                    "  T{} {}{} @ {}:{}\n",
+                    e.tid,
+                    e.desc,
+                    label,
+                    e.site.file(),
+                    e.site.line()
+                ));
+            }
+            st.failure = Some(Failure {
+                kind,
+                message,
+                trace,
+                schedule: st.choices.iter().map(|c| c.chosen).collect(),
+                execution: st.execution_index,
+            });
+        }
+        st.aborted = true;
+        // Wake everyone so they can unwind.
+        for t in &mut st.threads {
+            if t.status != Status::Finished {
+                t.status = Status::Ready;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Report a failure from the currently active thread and abort.
+    pub(crate) fn fail(&self, kind: FailureKind, message: String) -> ! {
+        let mut st = lock_state(self);
+        self.fail_locked(&mut st, kind, message);
+        drop(st);
+        abort_now()
+    }
+
+    /// Run `f` on the execution state (clock updates, metadata
+    /// bookkeeping) without a decision point. The caller must be the
+    /// active thread.
+    pub(crate) fn with_state<R>(&self, f: impl FnOnce(&mut ExecState) -> R) -> R {
+        let mut st = lock_state(self);
+        f(&mut st)
+    }
+
+    // -- state helpers used by the primitives (all called on the
+    //    active thread, under `with_state` or inline) ------------------
+
+    pub(crate) fn clock_of(st: &mut ExecState, tid: usize) -> &mut VClock {
+        &mut st.threads[tid].clock
+    }
+
+    /// Mark every thread blocked on `what` runnable.
+    pub(crate) fn wake_all(st: &mut ExecState, what: BlockOn) {
+        for t in &mut st.threads {
+            match t.status {
+                Status::Blocked(w) | Status::Timed(w, _) if w == what => {
+                    t.status = Status::Ready;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Mark the lowest-tid thread blocked on `what` runnable; returns
+    /// its tid.
+    pub(crate) fn wake_one(st: &mut ExecState, what: BlockOn) -> Option<usize> {
+        for (tid, t) in st.threads.iter_mut().enumerate() {
+            match t.status {
+                Status::Blocked(w) | Status::Timed(w, _) if w == what => {
+                    t.status = Status::Ready;
+                    return Some(tid);
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    pub(crate) fn vnow(st: &ExecState) -> u64 {
+        st.vnow
+    }
+
+    /// Consume a pending park permit (joining its unparker's clock);
+    /// returns whether one was pending.
+    pub(crate) fn try_consume_permit(st: &mut ExecState, tid: usize) -> bool {
+        if !st.threads[tid].park_permit {
+            return false;
+        }
+        st.threads[tid].park_permit = false;
+        let pc = std::mem::take(&mut st.threads[tid].park_permit_clock);
+        st.threads[tid].clock.join(&pc);
+        st.threads[tid].clock.tick(tid);
+        true
+    }
+
+    /// Unpark `target` (waking it, or leaving a permit), publishing
+    /// `from`'s clock as the wakeup edge.
+    pub(crate) fn unpark(st: &mut ExecState, from: usize, target: usize) {
+        st.threads[from].clock.tick(from);
+        let fc = st.threads[from].clock.clone();
+        let t = &mut st.threads[target];
+        match t.status {
+            Status::Blocked(BlockOn::Park) | Status::Timed(BlockOn::Park, _) => {
+                t.clock.join(&fc);
+                t.status = Status::Ready;
+            }
+            _ => {
+                t.park_permit = true;
+                t.park_permit_clock.join(&fc);
+            }
+        }
+    }
+
+    // -- thread lifecycle ---------------------------------------------
+
+    /// Register a child thread: the child is runnable from the spawn
+    /// point on, and inherits the parent's clock (the spawn edge).
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = lock_state(self);
+        let mut clock = st.threads[parent].clock.clone();
+        let tid = st.threads.len();
+        clock.tick(tid);
+        st.threads[parent].clock.tick(parent);
+        st.threads.push(ThreadState {
+            status: Status::Ready,
+            clock,
+            wake_timed_out: false,
+            spin_streak: 0,
+            park_permit: false,
+            park_permit_clock: VClock::new(),
+            blocked_at: None,
+        });
+        tid
+    }
+
+    /// Called by a freshly spawned OS thread: wait until the scheduler
+    /// hands it the token for the first time.
+    pub(crate) fn thread_begin(&self, me: usize) {
+        let mut st = lock_state(self);
+        loop {
+            if st.aborted {
+                drop(st);
+                abort_now();
+            }
+            if st.active == me && st.threads[me].status == Status::Ready {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Called when a model thread's closure returns or unwinds. Wakes
+    /// joiners and hands the token onward. Never panics (runs in a
+    /// drop guard).
+    pub(crate) fn thread_end(&self, me: usize) {
+        let mut st = lock_state(self);
+        st.threads[me].clock.tick(me);
+        st.threads[me].status = Status::Finished;
+        Exec::wake_all(&mut st, BlockOn::Join(me));
+        if st.active == me {
+            self.pick_next(&mut st, me, false);
+        }
+    }
+
+    /// Join edge: the joiner's clock absorbs the target's final clock.
+    pub(crate) fn join_thread(&self, me: usize, target: usize, site: &'static Location<'static>) {
+        loop {
+            {
+                let mut st = lock_state(self);
+                if st.aborted {
+                    drop(st);
+                    abort_now();
+                }
+                if st.threads[target].status == Status::Finished {
+                    let target_clock = st.threads[target].clock.clone();
+                    st.threads[me].clock.join(&target_clock);
+                    st.threads[me].clock.tick(me);
+                    return;
+                }
+            }
+            self.switch(
+                me,
+                Some((BlockOn::Join(target), None)),
+                "join",
+                "",
+                site,
+                false,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------
+
+/// Serializes explorations process-wide: model objects may be
+/// `static`s shared between tests, and their per-execution metadata
+/// must never be touched by two explorations at once.
+static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Suppress the default panic-hook noise for [`ModelAbort`] teardown
+/// panics while an exploration runs.
+fn with_quiet_aborts<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<ModelAbort>().is_none() {
+            // Not ours: keep the location line, drop the backtrace
+            // advice (explorations intentionally panic a lot).
+            eprintln!("{info}");
+        } else if std::env::var_os("WEAVE_TRACE_ABORTS").is_some() {
+            eprintln!("[weave] ModelAbort at {:?}", info.location());
+        }
+    }));
+    let out = f();
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(prev);
+    out
+}
+
+struct RunResult {
+    choices: Vec<ChoiceRec>,
+    failure: Option<Failure>,
+}
+
+/// Run one execution of `f` under `driver`.
+fn run_once(cfg: &Config, driver: Driver, index: usize, f: &(dyn Fn() + Sync)) -> RunResult {
+    let exec = Exec::new(cfg.clone(), driver, index);
+    set_ctx(Some(Ctx {
+        exec: Arc::clone(&exec),
+        tid: 0,
+    }));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    set_ctx(None);
+    let mut st = lock_state(&exec);
+    if let Err(payload) = result {
+        if payload.downcast_ref::<ModelAbort>().is_none() && st.failure.is_none() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".into());
+            exec.fail_locked(&mut st, FailureKind::Panic, msg);
+        }
+    }
+    RunResult {
+        choices: std::mem::take(&mut st.choices),
+        failure: st.failure.clone(),
+    }
+}
+
+/// Find the deepest decision in `recs` with an unexplored alternative
+/// permitted by the preemption bound, and return the new prefix.
+fn next_prefix(recs: &[ChoiceRec], bound: Option<usize>) -> Option<Vec<usize>> {
+    for i in (0..recs.len()).rev() {
+        let r = &recs[i];
+        let before = if i == 0 { 0 } else { recs[i - 1].preemptions };
+        for alt in (r.chosen + 1)..r.enabled {
+            // alt >= 1 is always a non-default choice.
+            let preemptive = r.prev_runnable;
+            if let Some(b) = bound {
+                if before + usize::from(preemptive) > b {
+                    continue;
+                }
+            }
+            let mut prefix: Vec<usize> = recs[..i].iter().map(|c| c.chosen).collect();
+            prefix.push(alt);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Systematically explore interleavings of `f`: bounded-preemption DFS
+/// first, then `cfg.random_walks` seeded random walks. Stops at the
+/// first failure.
+pub fn explore(cfg: &Config, f: impl Fn() + Sync) -> Outcome {
+    let _serial = EXPLORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    with_quiet_aborts(|| {
+        let mut stats = Stats {
+            seed: cfg.seed,
+            ..Stats::default()
+        };
+        let mut prefix: Vec<usize> = Vec::new();
+        loop {
+            let r = run_once(cfg, Driver::Replay(prefix.clone()), stats.executions, &f);
+            stats.executions += 1;
+            stats.max_depth = stats.max_depth.max(r.choices.len());
+            if r.failure.is_some() {
+                return Outcome {
+                    stats,
+                    failure: r.failure,
+                };
+            }
+            match next_prefix(&r.choices, cfg.preemption_bound) {
+                Some(p) if stats.executions < cfg.max_executions => prefix = p,
+                Some(_) => break, // budget exhausted with work left
+                None => {
+                    stats.exhausted = true;
+                    break;
+                }
+            }
+        }
+        for walk in 0..cfg.random_walks {
+            let seed = cfg
+                .seed
+                .wrapping_add(walk as u64)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let r = run_once(cfg, Driver::Random(seed | 1), stats.executions, &f);
+            stats.executions += 1;
+            stats.max_depth = stats.max_depth.max(r.choices.len());
+            if r.failure.is_some() {
+                return Outcome {
+                    stats,
+                    failure: r.failure,
+                };
+            }
+        }
+        Outcome {
+            stats,
+            failure: None,
+        }
+    })
+}
+
+/// Replay one recorded schedule (from [`Failure::schedule`])
+/// deterministically.
+pub fn replay(cfg: &Config, schedule: &[usize], f: impl Fn() + Sync) -> Outcome {
+    let _serial = EXPLORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    with_quiet_aborts(|| {
+        let r = run_once(cfg, Driver::Replay(schedule.to_vec()), 0, &f);
+        Outcome {
+            stats: Stats {
+                executions: 1,
+                exhausted: false,
+                max_depth: r.choices.len(),
+                seed: cfg.seed,
+            },
+            failure: r.failure,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Per-object metadata plumbing
+// ---------------------------------------------------------------------
+
+/// Metadata attached lazily to a model object (atomic, mutex, cell).
+/// Tagged with the execution generation; stale metadata is reset on
+/// first touch of a new execution. All access happens on the active
+/// thread, serialized by the scheduler, under the exec state lock.
+pub(crate) struct Meta<T> {
+    ptr: std::sync::atomic::AtomicPtr<(u64, T)>,
+}
+
+impl<T: Default> Meta<T> {
+    pub(crate) const fn new() -> Self {
+        Meta {
+            ptr: std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Get the metadata for the current execution, resetting stale
+    /// state from a previous one. Must only be called while the state
+    /// lock is held (i.e. inside `Exec::with_state`).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) fn get(&self, gen: u64) -> &mut T {
+        let mut p = self.ptr.load(StdOrdering::Acquire);
+        if p.is_null() {
+            let fresh = Box::into_raw(Box::new((gen, T::default())));
+            match self.ptr.compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                StdOrdering::AcqRel,
+                StdOrdering::Acquire,
+            ) {
+                Ok(_) => p = fresh,
+                Err(existing) => {
+                    // SAFETY: we just created `fresh` and nobody else
+                    // saw it.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    p = existing;
+                }
+            }
+        }
+        // SAFETY: the pointer is live for the life of `self` (freed
+        // only in Drop) and mutation is serialized by the exploration
+        // lock + scheduler token.
+        let slot = unsafe { &mut *p };
+        if slot.0 != gen {
+            slot.0 = gen;
+            slot.1 = T::default();
+        }
+        &mut slot.1
+    }
+}
+
+impl<T> Drop for Meta<T> {
+    fn drop(&mut self) {
+        let p = self.ptr.load(StdOrdering::Acquire);
+        if !p.is_null() {
+            // SAFETY: exclusive in Drop; allocated via Box above.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Model-aware threading: spawn/join (as `scope_join`), yield, sleep,
+//! park/unpark, and `available_parallelism`.
+//!
+//! `sleep` and `park_timeout` become *timed transitions*: under the
+//! default lazy-timeout policy they wake only when nothing else can
+//! run (modeling "timeouts are slow compared to healthy progress"),
+//! so a watchdog never fires spuriously in a live system — unless the
+//! exploration opts into [`crate::Config::eager_timeouts`], which
+//! lets the timeout race healthy progress.
+
+use crate::sched::{ctx, set_ctx, BlockOn, Ctx, Exec};
+use std::num::NonZeroUsize;
+use std::panic::Location;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Model-aware yield: a plain decision point.
+#[track_caller]
+pub fn yield_now() {
+    match ctx() {
+        None => std::thread::yield_now(),
+        Some(c) => {
+            c.exec
+                .switch(c.tid, None, "thread.yield", "", Location::caller(), false);
+        }
+    }
+}
+
+/// Model-aware sleep: advances virtual time via a timed transition.
+#[track_caller]
+pub fn sleep(dur: Duration) {
+    match ctx() {
+        None => std::thread::sleep(dur),
+        Some(c) => {
+            let deadline = c
+                .exec
+                .with_state(|st| Exec::vnow(st).saturating_add(dur.as_nanos() as u64));
+            c.exec.switch(
+                c.tid,
+                Some((BlockOn::Sleep, Some(deadline))),
+                "thread.sleep",
+                "",
+                Location::caller(),
+                false,
+            );
+        }
+    }
+}
+
+/// What the model reports as the core count ([`crate::Config::cores`]),
+/// or the real value outside an exploration.
+pub fn available_parallelism() -> std::io::Result<NonZeroUsize> {
+    match ctx() {
+        None => std::thread::available_parallelism(),
+        Some(c) => Ok(NonZeroUsize::new(c.exec.cfg.cores.max(1)).expect("max(1) is non-zero")),
+    }
+}
+
+/// Park the current thread until unparked (or a pending permit is
+/// consumed).
+#[track_caller]
+pub fn park() {
+    match ctx() {
+        None => std::thread::park(),
+        Some(c) => {
+            if c.exec.with_state(|st| Exec::try_consume_permit(st, c.tid)) {
+                return;
+            }
+            c.exec.switch(
+                c.tid,
+                Some((BlockOn::Park, None)),
+                "thread.park",
+                "",
+                Location::caller(),
+                false,
+            );
+        }
+    }
+}
+
+/// Park with a timeout (a timed transition under the model).
+#[track_caller]
+pub fn park_timeout(dur: Duration) {
+    match ctx() {
+        None => std::thread::park_timeout(dur),
+        Some(c) => {
+            if c.exec.with_state(|st| Exec::try_consume_permit(st, c.tid)) {
+                return;
+            }
+            let deadline = c
+                .exec
+                .with_state(|st| Exec::vnow(st).saturating_add(dur.as_nanos() as u64));
+            c.exec.switch(
+                c.tid,
+                Some((BlockOn::Park, Some(deadline))),
+                "thread.park_timeout",
+                "",
+                Location::caller(),
+                false,
+            );
+        }
+    }
+}
+
+enum ThreadInner {
+    Os(std::thread::Thread),
+    Model(Ctx),
+}
+
+/// A handle to a thread, for `unpark` (mirrors `std::thread::Thread`
+/// where the runtime needs it).
+pub struct Thread {
+    inner: ThreadInner,
+}
+
+impl Thread {
+    /// Wake the thread from `park`, or leave a permit.
+    #[track_caller]
+    pub fn unpark(&self) {
+        match &self.inner {
+            ThreadInner::Os(t) => t.unpark(),
+            ThreadInner::Model(target) => {
+                let me = ctx().expect("unparking a model thread from outside its exploration");
+                me.exec
+                    .switch(me.tid, None, "thread.unpark", "", Location::caller(), false);
+                me.exec
+                    .with_state(|st| Exec::unpark(st, me.tid, target.tid));
+            }
+        }
+    }
+}
+
+/// Handle to the current thread.
+pub fn current() -> Thread {
+    Thread {
+        inner: match ctx() {
+            None => ThreadInner::Os(std::thread::current()),
+            Some(c) => ThreadInner::Model(c),
+        },
+    }
+}
+
+struct EndGuard {
+    exec: Arc<crate::sched::Exec>,
+    tid: usize,
+}
+
+impl Drop for EndGuard {
+    fn drop(&mut self) {
+        self.exec.thread_end(self.tid);
+    }
+}
+
+/// Spawn every task on its own thread and join them in order,
+/// returning each task's result (or its panic payload).
+///
+/// This is the structured-concurrency shape the runtime needs from
+/// `std::thread::scope`, packaged so the model can interpose: under
+/// an exploration each spawn registers a schedulable model thread
+/// (runnable from the spawn point — the scheduler may run the child
+/// before the parent's next step), each join is a blocking model
+/// transition carrying the child's final vector clock, and panics
+/// (including model teardown) surface through the returned `Result`s
+/// exactly as `std` join handles do.
+#[track_caller]
+pub fn scope_join<T, F>(tasks: Vec<F>) -> Vec<std::thread::Result<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let site = Location::caller();
+    match ctx() {
+        None => std::thread::scope(|s| {
+            let handles: Vec<_> = tasks.into_iter().map(|f| s.spawn(f)).collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        }),
+        Some(c) => std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(tasks.len());
+            for f in tasks {
+                let tid = c.exec.register_thread(c.tid);
+                let exec = Arc::clone(&c.exec);
+                let handle = s.spawn(move || {
+                    set_ctx(Some(Ctx {
+                        exec: Arc::clone(&exec),
+                        tid,
+                    }));
+                    // Ends the model thread on return *or* unwind, so
+                    // joiners and the scheduler never wait on a corpse.
+                    let _end = EndGuard {
+                        exec: Arc::clone(&exec),
+                        tid,
+                    };
+                    exec.thread_begin(tid);
+                    f()
+                });
+                handles.push((tid, handle));
+                // The spawn itself is a decision point: the child is
+                // enabled from here on.
+                c.exec.switch(c.tid, None, "thread.spawn", "", site, false);
+            }
+            handles
+                .into_iter()
+                .map(|(tid, h)| {
+                    c.exec.join_thread(c.tid, tid, site);
+                    h.join()
+                })
+                .collect()
+        }),
+    }
+}

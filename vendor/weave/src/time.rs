@@ -1,0 +1,104 @@
+//! Model-aware `Instant`: wall-clock outside an exploration, the
+//! scheduler's virtual clock (nanoseconds, advanced one tick per
+//! decision and jumped forward by timeout transitions) inside one.
+//! Deadlines computed from it are therefore deterministic and
+//! replayable.
+
+use crate::sched::ctx;
+use std::time::Duration;
+
+/// Drop-in for `std::time::Instant`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Instant {
+    /// A real wall-clock reading (taken outside any exploration).
+    Real(std::time::Instant),
+    /// A virtual-clock reading, in nanoseconds since execution start.
+    Virtual(u64),
+}
+
+impl Instant {
+    /// The current instant — virtual when the calling thread is part
+    /// of a model execution.
+    pub fn now() -> Instant {
+        match ctx() {
+            None => Instant::Real(std::time::Instant::now()),
+            Some(c) => Instant::Virtual(c.exec.virtual_now()),
+        }
+    }
+
+    /// Time elapsed since this instant (saturating at zero).
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().saturating_duration_since(*self)
+    }
+
+    /// `self - earlier`, saturating at zero. Mixing a virtual and a
+    /// real instant yields zero (it is a logic error, but one the
+    /// runtime never commits: an object lives entirely inside or
+    /// entirely outside an exploration).
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        match (self, earlier) {
+            (Instant::Real(a), Instant::Real(b)) => a.saturating_duration_since(b),
+            (Instant::Virtual(a), Instant::Virtual(b)) => Duration::from_nanos(a.saturating_sub(b)),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// `self - earlier` (saturating, matching modern `std` behavior).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.saturating_duration_since(earlier)
+    }
+
+    /// `self + d`, or `None` on overflow.
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        match self {
+            Instant::Real(a) => a.checked_add(d).map(Instant::Real),
+            Instant::Virtual(a) => a
+                .checked_add(u64::try_from(d.as_nanos()).ok()?)
+                .map(Instant::Virtual),
+        }
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, d: Duration) -> Instant {
+        self.checked_add(d)
+            .expect("overflow when adding duration to instant")
+    }
+}
+
+impl std::ops::AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, earlier: Instant) -> Duration {
+        self.saturating_duration_since(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_instants_behave_like_std() {
+        let a = Instant::now();
+        let b = a + Duration::from_millis(5);
+        assert_eq!(b.saturating_duration_since(a), Duration::from_millis(5));
+        assert_eq!(a.saturating_duration_since(b), Duration::ZERO);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn virtual_arithmetic() {
+        let a = Instant::Virtual(1_000);
+        let b = a + Duration::from_nanos(500);
+        assert_eq!(b, Instant::Virtual(1_500));
+        assert_eq!(b - a, Duration::from_nanos(500));
+        assert_eq!(a.duration_since(b), Duration::ZERO);
+    }
+}

@@ -1,0 +1,561 @@
+//! Self-tests for the weave model checker: known-racy programs must
+//! be caught (with the right failure kind), known-correct ones must
+//! survive exhaustive exploration, and failures must replay.
+
+use std::sync::atomic::Ordering;
+use weave::atomic::{AtomicBool, AtomicUsize};
+use weave::{explore, replay, Condvar, Config, FailureKind, Mutex};
+
+fn cfg() -> Config {
+    Config {
+        max_executions: 20_000,
+        ..Config::default()
+    }
+}
+
+/// Test stand-in for ProcSlot: shares a `weave::UnsafeCell` across
+/// threads, claiming (sometimes falsely — that's the point) that a
+/// protocol orders the accesses.
+struct RacyCell(weave::UnsafeCell<u64>);
+
+// SAFETY: scenario-dependent; exactly what the model checks.
+unsafe impl Sync for RacyCell {}
+
+impl RacyCell {
+    fn new(v: u64) -> Self {
+        RacyCell(weave::UnsafeCell::new(v))
+    }
+}
+
+impl std::ops::Deref for RacyCell {
+    type Target = weave::UnsafeCell<u64>;
+    fn deref(&self) -> &weave::UnsafeCell<u64> {
+        &self.0
+    }
+}
+
+type UnsafeCell = RacyCell;
+
+/// Two threads publish/consume through a flag. With Release/Acquire
+/// the cell accesses are ordered; exhaustive exploration is clean.
+#[test]
+fn release_acquire_publication_is_clean() {
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let flag = AtomicBool::new(false);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                // SAFETY: model-checked — the consumer only touches the
+                // cell after observing flag == true via Acquire.
+                unsafe { *cell.get() = 42 };
+                flag.store(true, Ordering::Release);
+            }),
+            Box::new(|| {
+                if flag.load(Ordering::Acquire) {
+                    let v = unsafe { *cell.get() };
+                    assert_eq!(v, 42);
+                }
+            }),
+        ];
+        weave::thread::scope_join(tasks)
+            .into_iter()
+            .for_each(|r| r.unwrap());
+    });
+    out.assert_clean("release/acquire publication");
+    assert!(
+        out.stats.exhausted,
+        "2-thread flag protocol should be exhaustible"
+    );
+    assert!(
+        out.stats.executions > 1,
+        "must explore more than one interleaving"
+    );
+}
+
+/// Same program with a Relaxed flag: the consumer can observe the
+/// flag without an ordering edge to the write — a data race the
+/// checker must find and attribute to both cell sites.
+#[test]
+fn relaxed_publication_races() {
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let flag = AtomicBool::new(false);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                unsafe { *cell.get() = 42 };
+                flag.store(true, Ordering::Relaxed);
+            }),
+            Box::new(|| {
+                if flag.load(Ordering::Relaxed) {
+                    unsafe {
+                        let _ = *cell.get();
+                    }
+                }
+            }),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    let f = out.expect_failure("relaxed publication");
+    assert_eq!(f.kind, FailureKind::DataRace);
+    assert!(
+        f.message.contains("model.rs"),
+        "race report must name the access sites: {}",
+        f.message
+    );
+    assert!(
+        !f.trace.is_empty(),
+        "failure must carry an interleaving trace"
+    );
+
+    // The recorded schedule must reproduce the same failure.
+    let again = replay(&cfg(), &f.schedule, || {
+        let cell = UnsafeCell::new(0u64);
+        let flag = AtomicBool::new(false);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                unsafe { *cell.get() = 42 };
+                flag.store(true, Ordering::Relaxed);
+            }),
+            Box::new(|| {
+                if flag.load(Ordering::Relaxed) {
+                    unsafe {
+                        let _ = *cell.get();
+                    }
+                }
+            }),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    let rf = again.expect_failure("replayed relaxed publication");
+    assert_eq!(rf.kind, FailureKind::DataRace);
+}
+
+/// A Relaxed pure store breaks the release sequence: thread A
+/// publishes with Release, thread B overwrites the flag Relaxed, and
+/// a consumer acquiring from the relaxed head gets no edge to A's
+/// write. fetch_add (an RMW) must NOT break the sequence.
+#[test]
+fn relaxed_store_breaks_release_sequence_but_rmw_continues_it() {
+    // RMW in the middle: still ordered, clean.
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let gen = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                unsafe { *cell.get() = 7 };
+                gen.store(1, Ordering::Release);
+                // Relaxed RMW continues the release sequence headed by
+                // the store above.
+                gen.fetch_add(1, Ordering::Relaxed);
+            }),
+            Box::new(|| {
+                if gen.load(Ordering::Acquire) == 2 {
+                    unsafe {
+                        let _ = *cell.get();
+                    }
+                }
+            }),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    out.assert_clean("release sequence through RMW");
+
+    // Relaxed pure store in the middle: sequence broken, race.
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let gen = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                unsafe { *cell.get() = 7 };
+                gen.store(1, Ordering::Release);
+                gen.store(2, Ordering::Relaxed);
+            }),
+            Box::new(|| {
+                if gen.load(Ordering::Acquire) == 2 {
+                    unsafe {
+                        let _ = *cell.get();
+                    }
+                }
+            }),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    let f = out.expect_failure("broken release sequence");
+    assert_eq!(f.kind, FailureKind::DataRace);
+}
+
+/// Classic ABBA deadlock: must be reported as a deadlock naming the
+/// blocked sites, not hang the test.
+#[test]
+fn abba_deadlock_is_reported() {
+    let out = explore(&cfg(), || {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            }),
+            Box::new(|| {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    let f = out.expect_failure("ABBA");
+    assert_eq!(f.kind, FailureKind::Deadlock);
+    assert!(f.message.contains("blocked"), "message: {}", f.message);
+}
+
+/// Check-then-wait without re-checking under the lock: the notify can
+/// land between the check and the wait — a lost wakeup the scheduler
+/// must be able to drive to a deadlock report.
+#[test]
+fn lost_wakeup_is_reported() {
+    let out = explore(&cfg(), || {
+        let ready = Mutex::new(false);
+        let cv = Condvar::new();
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                *ready.lock().unwrap() = true;
+                cv.notify_one();
+            }),
+            Box::new(|| {
+                // BUG: takes the lock *after* deciding to wait, and
+                // never re-checks the predicate.
+                let flag_now = { *ready.lock().unwrap() };
+                if !flag_now {
+                    let g = ready.lock().unwrap();
+                    let _g = cv.wait(g).unwrap();
+                }
+            }),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    let f = out.expect_failure("lost wakeup");
+    assert_eq!(f.kind, FailureKind::Deadlock);
+    assert!(
+        f.message.contains("lost wakeup"),
+        "deadlock with a condvar waiter should mention lost wakeup: {}",
+        f.message
+    );
+
+    // The correct protocol — wait in a predicate loop under the lock —
+    // survives the same exploration.
+    let out = explore(&cfg(), || {
+        let ready = Mutex::new(false);
+        let cv = Condvar::new();
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                *ready.lock().unwrap() = true;
+                cv.notify_one();
+            }),
+            Box::new(|| {
+                let mut g = ready.lock().unwrap();
+                while !*g {
+                    g = cv.wait(g).unwrap();
+                }
+            }),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    out.assert_clean("predicate-loop wait");
+}
+
+/// Mutex-protected counter: every interleaving must end at the right
+/// total, and the lock's clock edges keep the cell access ordered.
+#[test]
+fn mutex_counter_is_clean_and_correct() {
+    let out = explore(&cfg(), || {
+        let n = Mutex::new(0u32);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| *n.lock().unwrap() += 1),
+            Box::new(|| *n.lock().unwrap() += 1),
+            Box::new(|| *n.lock().unwrap() += 1),
+        ];
+        weave::thread::scope_join(tasks)
+            .into_iter()
+            .for_each(|r| r.unwrap());
+        assert_eq!(*n.lock().unwrap(), 3);
+    });
+    out.assert_clean("mutex counter");
+}
+
+/// A spin loop that can never exit must be reported as a livelock,
+/// not hang the exploration.
+#[test]
+fn runaway_spin_is_reported_as_livelock() {
+    let out = explore(
+        &Config {
+            max_spins: 50,
+            max_steps: 500,
+            ..cfg()
+        },
+        || {
+            let flag = AtomicBool::new(false);
+            // Nobody ever sets the flag.
+            while !flag.load(Ordering::Acquire) {
+                weave::hint::spin_loop();
+            }
+        },
+    );
+    let f = out.expect_failure("runaway spin");
+    assert_eq!(f.kind, FailureKind::Livelock);
+}
+
+/// wait_timeout with no notifier: under lazy timeouts the system gets
+/// stuck, the timeout transition fires, and the waiter sees
+/// timed_out() — no deadlock report.
+#[test]
+fn timed_wait_times_out_instead_of_deadlocking() {
+    let out = explore(&cfg(), || {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = m.lock().unwrap();
+        let (_g, res) = cv
+            .wait_timeout(g, std::time::Duration::from_millis(5))
+            .unwrap();
+        assert!(res.timed_out());
+    });
+    out.assert_clean("timed wait with no notifier");
+}
+
+/// Virtual time: sleeping advances Instant::now() by at least the
+/// requested duration.
+#[test]
+fn virtual_time_advances_across_sleep() {
+    let out = explore(&cfg(), || {
+        let t0 = weave::time::Instant::now();
+        weave::thread::sleep(std::time::Duration::from_millis(3));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(3));
+    });
+    out.assert_clean("virtual sleep");
+}
+
+/// park/unpark: the unpark edge orders the cell write before the
+/// parked thread's read; a pre-delivered permit is consumed.
+#[test]
+fn park_unpark_carries_happens_before() {
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let parked = Mutex::new(Option::<weave::thread::Thread>::None);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                *parked.lock().unwrap() = Some(weave::thread::current());
+                weave::thread::park();
+                unsafe {
+                    let _ = *cell.get();
+                }
+            }),
+            Box::new(|| {
+                unsafe { *cell.get() = 9 };
+                loop {
+                    if let Some(t) = parked.lock().unwrap().take() {
+                        t.unpark();
+                        break;
+                    }
+                    weave::thread::yield_now();
+                }
+            }),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    out.assert_clean("park/unpark edge");
+}
+
+/// Ordering overrides: a clean Release store weakened to Relaxed via
+/// the mutation table must produce a race whose report names the
+/// mutation label.
+#[test]
+fn ordering_override_injects_named_race() {
+    const SITE: &str = "test.flag.publish";
+    let run = |overrides: Vec<(String, Ordering)>| {
+        explore(&Config { overrides, ..cfg() }, || {
+            let cell = UnsafeCell::new(0u64);
+            let flag = AtomicBool::new(false);
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+                Box::new(|| {
+                    unsafe { *cell.get() = 1 };
+                    flag.store(true, weave::mutation::resolve(SITE, Ordering::Release));
+                }),
+                Box::new(|| {
+                    if flag.load(Ordering::Acquire) {
+                        unsafe {
+                            let _ = *cell.get();
+                        }
+                    }
+                }),
+            ];
+            let _ = weave::thread::scope_join(tasks);
+        })
+    };
+    run(Vec::new()).assert_clean("unmutated publish");
+    let mutated = run(vec![(SITE.to_string(), Ordering::Relaxed)]);
+    let f = mutated.expect_failure("mutated publish");
+    assert_eq!(f.kind, FailureKind::DataRace);
+    assert!(
+        f.message.contains(SITE),
+        "failure must name the mutated site: {}",
+        f.message
+    );
+}
+
+/// hb_assert: holds when the barrier edge exists, fails (as
+/// HbViolation) when the claimed edge is absent.
+#[test]
+fn hb_assert_checks_ownership_claims() {
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let flag = AtomicBool::new(false);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                unsafe { *cell.get() = 3 };
+                flag.store(true, Ordering::Release);
+            }),
+            Box::new(|| {
+                if flag.load(Ordering::Acquire) {
+                    cell.hb_assert("writer ordered before checker via flag");
+                }
+            }),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    out.assert_clean("hb_assert with edge");
+
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| unsafe { *cell.get() = 3 }),
+            Box::new(|| cell.hb_assert("no edge exists — must fail")),
+        ];
+        let _ = weave::thread::scope_join(tasks);
+    });
+    let f = out.expect_failure("hb_assert without edge");
+    assert_eq!(f.kind, FailureKind::HbViolation);
+}
+
+/// Outside an exploration every primitive passes through to std: this
+/// test exercises them on a plain test thread.
+#[test]
+fn passthrough_outside_exploration() {
+    let flag = AtomicBool::new(false);
+    flag.store(true, Ordering::Release);
+    assert!(flag.load(Ordering::Acquire));
+    let m = Mutex::new(5u32);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+    let cv = Condvar::new();
+    let (g, res) = cv
+        .wait_timeout(m.lock().unwrap(), std::time::Duration::from_millis(1))
+        .unwrap();
+    assert!(res.timed_out());
+    drop(g);
+    let cell = UnsafeCell::new(1);
+    unsafe { *cell.get() = 2 };
+    cell.hb_assert("no-op outside the model");
+    let t0 = weave::time::Instant::now();
+    assert!(t0.elapsed() < std::time::Duration::from_secs(5));
+    let results = weave::thread::scope_join(vec![|| 1u32, || 2u32]);
+    let sum: u32 = results.into_iter().map(|r| r.unwrap()).sum();
+    assert_eq!(sum, 3);
+    assert_eq!(
+        weave::mutation::resolve("any.site", Ordering::AcqRel),
+        Ordering::AcqRel
+    );
+}
+
+/// Random walks explore too: a race found only through preemption
+/// shows up in walk mode even with DFS disabled.
+#[test]
+fn random_walks_find_races() {
+    let out = explore(
+        &Config {
+            max_executions: 1, // effectively no DFS beyond the first run
+            random_walks: 300,
+            seed: 0xB5F,
+            ..Config::default()
+        },
+        || {
+            let cell = UnsafeCell::new(0u64);
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+                Box::new(|| unsafe { *cell.get() = 1 }),
+                Box::new(|| unsafe { *cell.get() = 2 }),
+            ];
+            let _ = weave::thread::scope_join(tasks);
+        },
+    );
+    let f = out.expect_failure("unsynchronized writers");
+    assert_eq!(f.kind, FailureKind::DataRace);
+}
+
+/// Read accesses (`get_read`) race with unordered writes but not with
+/// each other: many released readers of one published value is clean,
+/// while a reader concurrent with the writer is still caught.
+#[test]
+fn concurrent_reads_are_clean_but_read_write_races() {
+    // Clean: writer publishes via Release, three readers all Acquire
+    // then read concurrently — reads don't conflict with reads.
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let flag = AtomicBool::new(false);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(|| {
+            // SAFETY: model-checked publication protocol.
+            unsafe { *cell.get() = 7 };
+            flag.store(true, Ordering::Release);
+        })];
+        for _ in 0..2 {
+            tasks.push(Box::new(|| {
+                if flag.load(Ordering::Acquire) {
+                    // SAFETY: ordered after the write by the Acquire load.
+                    assert_eq!(unsafe { *cell.get_read() }, 7);
+                }
+            }));
+        }
+        weave::thread::scope_join(tasks)
+            .into_iter()
+            .for_each(|r| r.unwrap());
+    });
+    out.assert_clean("concurrent acquire-ordered readers");
+    assert!(out.stats.exhausted);
+
+    // Racy: same shape but the reader ignores the flag.
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            // SAFETY: deliberately wrong — that's the test.
+            Box::new(|| unsafe { *cell.get() = 7 }),
+            Box::new(|| {
+                let _ = unsafe { *cell.get_read() };
+            }),
+        ];
+        weave::thread::scope_join(tasks)
+            .into_iter()
+            .for_each(|r| r.unwrap());
+    });
+    let f = out.expect_failure("unordered read/write must race");
+    assert_eq!(f.kind, FailureKind::DataRace);
+
+    // Racy the other way: a write must be ordered after prior reads.
+    let out = explore(&cfg(), || {
+        let cell = UnsafeCell::new(0u64);
+        let flag = AtomicBool::new(false);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {
+                let _ = unsafe { *cell.get_read() };
+                flag.store(true, Ordering::Relaxed);
+            }),
+            Box::new(|| {
+                if flag.load(Ordering::Relaxed) {
+                    // SAFETY: deliberately unordered with the read.
+                    unsafe { *cell.get() = 9 };
+                }
+            }),
+        ];
+        weave::thread::scope_join(tasks)
+            .into_iter()
+            .for_each(|r| r.unwrap());
+    });
+    let f = out.expect_failure("write after unordered read must race");
+    assert_eq!(f.kind, FailureKind::DataRace);
+}
