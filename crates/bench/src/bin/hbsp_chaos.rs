@@ -2,12 +2,13 @@
 //! stack.
 //!
 //! ```text
-//! hbsp_chaos [--seed S] [--runs N] [--json] <machine.hbsp>...
+//! hbsp_chaos [--seed S] [--runs N] [--ramps N] [--json] <machine.hbsp>...
 //!
 //! options:
-//!   --seed S   base seed for fault-plan generation   (default 0)
-//!   --runs N   fault plans per machine               (default 64)
-//!   --json     one JSONL record per machine × seed on stdout
+//!   --seed S    base seed for fault-plan generation   (default 0)
+//!   --runs N    fault plans per machine               (default 64)
+//!   --ramps N   straggler-ramp plans per machine      (default 8)
+//!   --json      one JSONL record per machine × seed on stdout
 //! ```
 //!
 //! For every machine × seed, a deterministic random [`FaultPlan`]
@@ -23,6 +24,12 @@
 //!    [`RecoveryPolicy::Degrade`] must either complete on a survivor
 //!    machine whose tree passes the `hbsp_check` machine lints, or
 //!    refuse with a typed error (e.g. a cluster lost every leaf).
+//!
+//! `--ramps` additionally scripts deterministic *straggler-ramp* plans
+//! (one processor's communication slows by a growing factor, the shape
+//! the adaptive executor is built to detect) through the same two
+//! properties — ramps never kill anyone, so these runs must complete
+//! with bit-identical virtual times on both engines.
 //!
 //! Exit status: 0 when every run terminated with a verified outcome,
 //! 1 on any property violation, 2 on usage errors.
@@ -42,12 +49,26 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hbsp_chaos [--seed S] [--runs N] [--json] <machine.hbsp>...\n\
-         \x20 --seed S   base seed for fault-plan generation (default 0)\n\
-         \x20 --runs N   fault plans per machine (default 64)\n\
-         \x20 --json     one JSONL record per machine × seed on stdout"
+        "usage: hbsp_chaos [--seed S] [--runs N] [--ramps N] [--json] <machine.hbsp>...\n\
+         \x20 --seed S    base seed for fault-plan generation (default 0)\n\
+         \x20 --runs N    fault plans per machine (default 64)\n\
+         \x20 --ramps N   straggler-ramp plans per machine (default 8)\n\
+         \x20 --json      one JSONL record per machine × seed on stdout"
     );
     exit(2)
+}
+
+/// A deterministic straggler-ramp plan: one seeded processor slows by
+/// a growing factor over a seeded window. Never lethal — both engines
+/// must complete it with identical virtual times.
+fn ramp_plan(seed: u64, tree: &MachineTree) -> FaultPlan {
+    let mut rng = hbsp_sim::SplitMix64::new(seed ^ 0x5742_A4B1_7E11_AA02);
+    let pid = ProcId(rng.below(tree.num_procs() as u64) as u32);
+    let start = rng.below(3) as usize;
+    let steps = 2 + rng.below(6) as usize;
+    let factor = 2.0 + rng.below(5) as f64;
+    let factor_step = 0.5 * (1 + rng.below(4)) as f64;
+    FaultPlan::new().straggle_ramp(pid, start, steps, factor, factor_step)
 }
 
 /// The chaos workload: every processor gossips a word to every peer for
@@ -113,9 +134,10 @@ struct ChaosRecord {
     steps: usize,
 }
 
-/// One machine × one seed.
-fn chaos_run(tree: &Arc<MachineTree>, seed: u64) -> ChaosRecord {
-    let plan = FaultPlan::random(seed, tree);
+/// One machine × one plan. `must_complete` marks plans with no lethal
+/// fault (straggler ramps): both engines have to finish them, an error
+/// outcome is itself a violation.
+fn chaos_run(tree: &Arc<MachineTree>, plan: &FaultPlan, must_complete: bool) -> ChaosRecord {
     let mut rec_out = ChaosRecord {
         violation: None,
         recovery_events: 0,
@@ -139,6 +161,14 @@ fn chaos_run(tree: &Arc<MachineTree>, seed: u64) -> ChaosRecord {
             "engine divergence under plan {plan:?}: simulator {sim:?} vs threads {thr:?}"
         ));
         return rec_out;
+    }
+    if must_complete {
+        if let RunDigest::Failed(e) = &sim {
+            rec_out.violation = Some(format!(
+                "non-lethal plan {plan:?} failed instead of completing: {e}"
+            ));
+            return rec_out;
+        }
     }
 
     // Property 2: degradation either verifiably completes or refuses
@@ -172,6 +202,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 0;
     let mut runs: u64 = 64;
+    let mut ramps: u64 = 8;
     let mut json = false;
     let mut files = Vec::new();
     let mut it = args.iter();
@@ -186,6 +217,12 @@ fn main() {
             }
             "--runs" => {
                 runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--ramps" => {
+                ramps = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -213,9 +250,15 @@ fn main() {
             }
         };
         let mut ok_runs = 0u64;
-        for i in 0..runs {
+        let total = runs + ramps;
+        for i in 0..total {
             let s = seed.wrapping_add(i);
-            let rec = chaos_run(&tree, s);
+            let (plan, shape, must_complete) = if i < runs {
+                (FaultPlan::random(s, &tree), "random", false)
+            } else {
+                (ramp_plan(s, &tree), "ramp", true)
+            };
+            let rec = chaos_run(&tree, &plan, must_complete);
             if json {
                 use hbsp_obs::json::escape;
                 let (outcome, viol) = match &rec.violation {
@@ -224,8 +267,8 @@ fn main() {
                 };
                 println!(
                     "{{\"kind\":\"chaos\",\"machine\":\"{}\",\"seed\":{s},\
-                     \"outcome\":\"{outcome}\"{viol},\"recovery_events\":{},\
-                     \"attempts\":{},\"steps\":{}}}",
+                     \"plan\":\"{shape}\",\"outcome\":\"{outcome}\"{viol},\
+                     \"recovery_events\":{},\"attempts\":{},\"steps\":{}}}",
                     escape(file),
                     rec.recovery_events,
                     rec.attempts,
@@ -233,7 +276,7 @@ fn main() {
                 );
             }
             if let Some(v) = rec.violation {
-                eprintln!("{file}: seed {s}: VIOLATION: {v}");
+                eprintln!("{file}: seed {s} ({shape}): VIOLATION: {v}");
                 violations += 1;
             } else {
                 ok_runs += 1;
@@ -241,8 +284,8 @@ fn main() {
         }
         if !json {
             println!(
-                "{file}: {ok_runs}/{runs} chaos runs terminated with verified outcomes \
-                 (HBSP^{}, {} processors)",
+                "{file}: {ok_runs}/{total} chaos runs ({runs} random, {ramps} straggler ramps) \
+                 terminated with verified outcomes (HBSP^{}, {} processors)",
                 tree.height(),
                 tree.num_procs()
             );

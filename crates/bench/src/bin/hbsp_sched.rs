@@ -212,7 +212,11 @@ fn generate(count: usize, seed: u64) -> String {
 
 fn drain(sched: &Scheduler, engine: Engine, serial: bool, label: &str) -> SchedReport {
     let report = sched
-        .run(&RunOptions { engine, serial })
+        .run(&RunOptions {
+            engine,
+            serial,
+            adapt: None,
+        })
         .unwrap_or_else(|e| {
             eprintln!("hbsp_sched: {label}: {e}");
             exit(1)

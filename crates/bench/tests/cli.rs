@@ -73,9 +73,12 @@ fn chaos(args: &[&str]) -> (String, String, bool) {
 #[test]
 fn chaos_terminates_with_verified_outcomes_on_shipped_machines() {
     let campus = concat!(env!("CARGO_MANIFEST_DIR"), "/../../machines/campus.hbsp");
-    let (stdout, stderr, ok) = chaos(&["--seed", "7", "--runs", "8", campus]);
+    let (stdout, stderr, ok) = chaos(&["--seed", "7", "--runs", "8", "--ramps", "4", campus]);
     assert!(ok, "{stderr}");
-    assert!(stdout.contains("8/8 chaos runs terminated"), "{stdout}");
+    assert!(
+        stdout.contains("12/12 chaos runs (8 random, 4 straggler ramps)"),
+        "{stdout}"
+    );
 }
 
 #[test]

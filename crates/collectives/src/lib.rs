@@ -42,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod allgather;
 pub mod alltoall;
 pub mod broadcast;
@@ -58,13 +59,14 @@ pub mod schedule;
 pub mod tune;
 pub mod verify;
 
+pub use adaptive::RepeatedCollective;
 pub use data::{decode_bundle, encode_bundle, reassemble, shares_for, DecodeError, Piece};
 pub use error::CollectiveError;
 pub use plan::{PhasePolicy, RankOutOfRange, RootPolicy, Strategy, WorkloadPolicy};
 pub use predict::predict;
 pub use schedule::{CommSchedule, Role, ScheduleProgram, ScheduleStep, Transfer, UnitId};
 pub use tune::{
-    best_broadcast, best_plan, best_strategy, rank_broadcast, rank_plans, Candidate,
-    CollectiveKind, PlanChoice, TuneError,
+    best_broadcast, best_plan, best_strategy, rank_broadcast, rank_plans, retune, Candidate,
+    CollectiveKind, PlanChoice, Retuned, TuneError,
 };
 pub use verify::Violation;

@@ -327,6 +327,45 @@ pub fn best_plan(
         .expect("rank_plans errors instead of returning an empty ranking"))
 }
 
+/// The outcome of re-tuning a mid-job residual plan on a fresh
+/// (typically re-calibrated) machine: the plan to continue with, and
+/// whether the tuner switched away from the incumbent.
+#[derive(Debug, Clone)]
+pub struct Retuned {
+    /// The plan the remaining work should run under.
+    pub plan: PlanChoice,
+    /// True when `plan` differs from the incumbent's schedule.
+    pub switched: bool,
+    /// The incumbent schedule's predicted cost on the fresh tree.
+    pub incumbent_cost: f64,
+}
+
+/// Re-tune a collective mid-job: re-price the incumbent plan's schedule
+/// on `tree` (whose parameters have typically drifted since the
+/// incumbent was chosen), rank every candidate afresh, and keep the
+/// incumbent unless a challenger is strictly cheaper. The incumbent's
+/// cost is refreshed either way, so the caller's predictions stay
+/// consistent with the tree it plans on.
+pub fn retune(tree: &MachineTree, n: u64, incumbent: &PlanChoice) -> Result<Retuned, TuneError> {
+    let incumbent_cost = predict(tree, &incumbent.schedule).total();
+    let best = best_plan(tree, incumbent.kind, n)?;
+    if best.cost < incumbent_cost {
+        Ok(Retuned {
+            plan: best,
+            switched: true,
+            incumbent_cost,
+        })
+    } else {
+        let mut kept = incumbent.clone();
+        kept.cost = incumbent_cost;
+        Ok(Retuned {
+            plan: kept,
+            switched: false,
+            incumbent_cost,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +472,36 @@ mod tests {
             let best = best_plan(&t, kind, 64).unwrap();
             assert_eq!(best.cost, 0.0, "{kind}: nothing moves on one proc");
         }
+    }
+
+    #[test]
+    fn retune_keeps_the_incumbent_when_nothing_drifted() {
+        let t = clustered();
+        let plan = best_plan(&t, CollectiveKind::Broadcast, 2000).unwrap();
+        let re = retune(&t, 2000, &plan).unwrap();
+        assert!(!re.switched, "same tree, same winner");
+        assert_eq!(re.plan.cost, plan.cost);
+        assert_eq!(re.incumbent_cost, plan.cost);
+    }
+
+    #[test]
+    fn retune_switches_when_observation_moves_the_optimum() {
+        let t = clustered();
+        // Tune on a belief where communication is nearly free: flat
+        // one-phase broadcast wins (no forwarding work).
+        let cheap = hbsp_core::reparam::ObservedParams {
+            g: Some(1e-6),
+            ..Default::default()
+        };
+        let belief = t.reparameterize(&cheap).unwrap();
+        let incumbent = best_plan(&belief, CollectiveKind::Broadcast, 5000).unwrap();
+        // Observation: the gap is actually 400× that belief. Re-tuning
+        // on the corrected tree must price the incumbent honestly and
+        // beat it if any candidate is cheaper there.
+        let re = retune(&t, 5000, &incumbent).unwrap();
+        let best_now = best_plan(&t, CollectiveKind::Broadcast, 5000).unwrap();
+        assert_eq!(re.plan.cost, best_now.cost.min(re.incumbent_cost));
+        assert!(re.plan.cost <= re.incumbent_cost);
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //! * [`classes`] — the machine-class hierarchy HBSP^0 ⊂ HBSP^1 ⊂ … ⊂ HBSP^k;
 //! * [`degrade`] — graceful degradation: rebuild a machine around dead
 //!   processors, re-electing coordinators and renormalizing `r`/`c`;
+//! * [`reparam`] — reparameterization: rebuild a machine with observed
+//!   (back-calibrated) parameters, the belief tree of adaptive execution;
 //! * [`carve`] — sub-tree carving: any node as a standalone,
 //!   renormalized machine (the unit of spatial multi-tenancy).
 //!
@@ -48,6 +50,7 @@ pub mod error;
 pub mod hrelation;
 pub mod ids;
 pub mod params;
+pub mod reparam;
 pub mod spmd;
 pub mod topology;
 pub mod tree;
@@ -63,6 +66,7 @@ pub use error::ModelError;
 pub use hrelation::{hrelation, HRelation, Traffic};
 pub use ids::{Level, MachineId, NodeIdx, ProcId};
 pub use params::{NodeParams, DEFAULT_G};
+pub use reparam::{ObservedParams, ReparamError};
 pub use spmd::{
     Message, MsgBatch, MsgView, PreflightError, ProcEnv, SpmdContext, SpmdProgram, StepOutcome,
     SyncScope,

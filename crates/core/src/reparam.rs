@@ -1,0 +1,358 @@
+//! Reparameterization: rebuild a machine with freshly *observed*
+//! parameters — the structural half of closed-loop adaptive execution.
+//!
+//! [`MachineTree::degrade`] rebuilds a tree around dead leaves;
+//! [`MachineTree::reparameterize`] rebuilds around *drifted* ones: same
+//! topology, same processors, but with per-processor `r`/speed, the
+//! gap `g`, and per-level `L` replaced by estimates back-fitted from
+//! telemetry (see `hbsp-obs`'s `calibrate`). The result is a "belief
+//! tree": planners price and lower schedules against it, while
+//! execution stays on the physical machine — valid because both trees
+//! share structure and processor ids.
+//!
+//! The rebuild re-applies the paper's own normalization rules exactly
+//! as degrade does:
+//!
+//! * **unit-normalized `r`** — the minimum observed `r` becomes
+//!   exactly 1 and `g` absorbs the factor (`g' = ĝ·min_r`), preserving
+//!   each processor's absolute per-word cost `r·g`;
+//! * **speed ∈ (0, 1]** — observed speeds renormalize so the fastest
+//!   is exactly 1 (Table 1's convention);
+//! * **coordinator-fastest** — cluster coordinators are re-elected by
+//!   minimal observed `r` (ties to speed, then rank);
+//! * **balanced workload** — `c_{i,j}` fractions are recomputed
+//!   speed-proportionally at every level, which is the incremental
+//!   re-partition rule: faster-observed machines get proportionally
+//!   more of the remaining work.
+//!
+//! Unobserved entries (an estimate of `0`, the calibrator's "no data"
+//! marker) keep the current belief, so partial telemetry never zeroes
+//! a parameter.
+
+use crate::builder::TreeBuilder;
+use crate::degrade::elect_by_min_r;
+use crate::ids::{Level, NodeIdx};
+use crate::tree::MachineTree;
+use crate::workload::hierarchical_fractions;
+use crate::NodeParams;
+use std::fmt;
+
+/// Freshly observed machine parameters, in the calibrator's normalized
+/// conventions (relative `r` with minimum 1, relative speed with
+/// maximum 1, `0` marking an unobserved processor).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObservedParams {
+    /// Observed communication gap `ĝ`; `None` keeps the current `g`.
+    pub g: Option<f64>,
+    /// Per-rank observed relative `r` (`0` = unobserved → keep).
+    pub r_by_proc: Vec<f64>,
+    /// Per-rank observed relative speed (`0` = unobserved → keep).
+    pub speed_by_proc: Vec<f64>,
+    /// Observed per-level synchronization cost `L̂`; levels absent
+    /// here keep their current `L`.
+    pub l_by_level: Vec<(Level, f64)>,
+}
+
+/// Why a machine could not be reparameterized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReparamError {
+    /// An estimate vector's length disagrees with the machine's
+    /// processor count.
+    WrongProcCount { expected: usize, got: usize },
+    /// A supplied estimate was non-finite or non-positive where the
+    /// model requires a positive number.
+    BadEstimate { what: &'static str, value: f64 },
+}
+
+impl fmt::Display for ReparamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReparamError::WrongProcCount { expected, got } => {
+                write!(
+                    f,
+                    "estimate vector has {got} entries for {expected} processors"
+                )
+            }
+            ReparamError::BadEstimate { what, value } => {
+                write!(
+                    f,
+                    "estimated {what} = {value} is not a positive finite number"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReparamError {}
+
+impl MachineTree {
+    /// Rebuild this machine with `observed` parameters folded in (see
+    /// the [module docs](self)). The original tree is untouched;
+    /// structure, names, child order, and processor ids are preserved,
+    /// so any schedule valid on one tree is valid on the other.
+    pub fn reparameterize(&self, observed: &ObservedParams) -> Result<MachineTree, ReparamError> {
+        let p = self.num_procs();
+        for (what, v) in [
+            ("r", &observed.r_by_proc),
+            ("speed", &observed.speed_by_proc),
+        ] {
+            if !v.is_empty() && v.len() != p {
+                return Err(ReparamError::WrongProcCount {
+                    expected: p,
+                    got: v.len(),
+                });
+            }
+            if let Some(&bad) = v.iter().find(|x| !x.is_finite() || **x < 0.0) {
+                return Err(ReparamError::BadEstimate { what, value: bad });
+            }
+        }
+        let g_hat = observed.g.unwrap_or_else(|| self.g());
+        if !g_hat.is_finite() || g_hat <= 0.0 {
+            return Err(ReparamError::BadEstimate {
+                what: "g",
+                value: g_hat,
+            });
+        }
+        for &(_, l) in &observed.l_by_level {
+            if !l.is_finite() {
+                return Err(ReparamError::BadEstimate {
+                    what: "L",
+                    value: l,
+                });
+            }
+        }
+
+        // Merge: observed value when present, current belief otherwise.
+        let pick = |est: &[f64], rank: usize, current: f64| -> f64 {
+            match est.get(rank) {
+                Some(&v) if v > 0.0 => v,
+                _ => current,
+            }
+        };
+        let merged_r: Vec<f64> = self
+            .leaves()
+            .iter()
+            .map(|&l| {
+                let node = self.node(l);
+                let rank = node.proc_id().expect("leaf").rank();
+                pick(&observed.r_by_proc, rank, node.params().r)
+            })
+            .collect();
+        let merged_speed: Vec<f64> = self
+            .leaves()
+            .iter()
+            .map(|&l| {
+                let node = self.node(l);
+                let rank = node.proc_id().expect("leaf").rank();
+                pick(&observed.speed_by_proc, rank, node.params().speed)
+            })
+            .collect();
+
+        // Table-1 normalization: min r exactly 1 (g absorbs the
+        // factor), max speed exactly 1.
+        let min_r = merged_r.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_speed = merged_speed.iter().copied().fold(0.0f64, f64::max);
+        let l_at = |level: Level, current: f64| -> f64 {
+            observed
+                .l_by_level
+                .iter()
+                .find(|(l, _)| *l == level)
+                .map(|&(_, v)| v.max(0.0))
+                .unwrap_or(current)
+        };
+
+        // Structure-preserving rebuild, mirroring degrade's DFS.
+        let rank_of = |idx: NodeIdx| -> usize {
+            self.leaves()
+                .iter()
+                .position(|&l| l == idx)
+                .expect("proc node is a leaf")
+        };
+        let mut b = TreeBuilder::new(g_hat * min_r);
+        let root = self.node(self.root());
+        let new_root = if root.is_proc() {
+            let i = rank_of(self.root());
+            b.proc_root(
+                root.name(),
+                NodeParams::proc(merged_r[i] / min_r, merged_speed[i] / max_speed),
+            )
+        } else {
+            b.cluster(
+                root.name(),
+                NodeParams::cluster(l_at(root.level(), root.params().l_sync)),
+            )
+        };
+        let mut stack: Vec<(NodeIdx, NodeIdx)> = root
+            .children()
+            .iter()
+            .rev()
+            .map(|&c| (c, new_root))
+            .collect();
+        while let Some((old_idx, new_parent)) = stack.pop() {
+            let node = self.node(old_idx);
+            if node.is_proc() {
+                let i = rank_of(old_idx);
+                b.child_proc(
+                    new_parent,
+                    node.name(),
+                    NodeParams::proc(merged_r[i] / min_r, merged_speed[i] / max_speed),
+                );
+            } else {
+                let new_idx = b.child_cluster(
+                    new_parent,
+                    node.name(),
+                    NodeParams::cluster(l_at(node.level(), node.params().l_sync)),
+                );
+                for &c in node.children().iter().rev() {
+                    stack.push((c, new_idx));
+                }
+            }
+        }
+        let mut tree = b
+            .build()
+            .expect("a structure-preserving rebuild of a valid machine stays valid");
+        elect_by_min_r(&mut tree);
+        let fractions = hierarchical_fractions(&tree);
+        tree.set_fractions(&fractions);
+        debug_assert!(tree.validate().is_ok());
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcId;
+
+    fn campus_like() -> MachineTree {
+        TreeBuilder::two_level(
+            2.0,
+            1000.0,
+            &[
+                (50.0, vec![(1.0, 1.0), (2.4, 0.9), (2.0, 0.5)]),
+                (60.0, vec![(1.6, 0.8), (3.0, 0.3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_observation_is_an_identity_up_to_fractions() {
+        let t = campus_like();
+        let u = t.reparameterize(&ObservedParams::default()).unwrap();
+        assert_eq!(u.g(), t.g());
+        assert_eq!(u.num_procs(), t.num_procs());
+        assert_eq!(u.height(), t.height());
+        for i in 0..t.num_procs() {
+            let pid = ProcId(i as u32);
+            assert_eq!(u.leaf(pid).name(), t.leaf(pid).name());
+            assert_eq!(u.leaf(pid).params().r, t.leaf(pid).params().r);
+            assert_eq!(u.leaf(pid).params().speed, t.leaf(pid).params().speed);
+        }
+        u.validate().unwrap();
+    }
+
+    #[test]
+    fn observed_r_inflation_renormalizes_and_reelects() {
+        let t = campus_like();
+        // P0 (the old fastest communicator) is observed 5× slower on
+        // the wire; everyone else matches belief.
+        let obs = ObservedParams {
+            g: None,
+            r_by_proc: vec![5.0, 2.4, 2.0, 1.6, 3.0],
+            speed_by_proc: vec![],
+            l_by_level: vec![],
+        };
+        let u = t.reparameterize(&obs).unwrap();
+        u.validate().unwrap();
+        // New min r = 1.6 (P3): exactly 1 after renormalization, with
+        // g absorbing the factor.
+        assert_eq!(u.leaf(ProcId(3)).params().r, 1.0);
+        assert!((u.g() - 2.0 * 1.6).abs() < 1e-12);
+        // Absolute per-word costs match the observation.
+        assert!((u.leaf(ProcId(0)).params().r * u.g() - 5.0 * 2.0).abs() < 1e-12);
+        // Cluster 0's coordinator is no longer P0: P2 (r=2.0) beats
+        // P1 (r=2.4) and the straggling P0.
+        let cluster0 = u.node(u.leaf(ProcId(0)).parent().unwrap());
+        assert_eq!(
+            u.node(cluster0.representative()).proc_id(),
+            Some(ProcId(2)),
+            "coordinator re-elected away from the straggler"
+        );
+    }
+
+    #[test]
+    fn observed_speeds_rebalance_fractions() {
+        let t = campus_like();
+        // P0 observed at half its believed speed.
+        let obs = ObservedParams {
+            g: None,
+            r_by_proc: vec![],
+            speed_by_proc: vec![0.5, 0.9, 0.5, 0.8, 0.3],
+            l_by_level: vec![],
+        };
+        let u = t.reparameterize(&obs).unwrap();
+        // Max observed speed is 0.9 → renormalized so P1 is exactly 1.
+        assert_eq!(u.leaf(ProcId(1)).params().speed, 1.0);
+        let total: f64 = (0..5).map(|i| u.leaf(ProcId(i)).params().speed).sum();
+        for i in 0..5 {
+            let leaf = u.leaf(ProcId(i));
+            let c = leaf.params().c.expect("fractions assigned");
+            assert!(
+                (c - leaf.params().speed / total).abs() < 1e-12,
+                "speed-proportional after reparameterization"
+            );
+        }
+    }
+
+    #[test]
+    fn unobserved_zero_entries_keep_belief() {
+        let t = campus_like();
+        let obs = ObservedParams {
+            g: Some(3.0),
+            r_by_proc: vec![0.0, 0.0, 0.0, 0.0, 0.0],
+            speed_by_proc: vec![0.0; 5],
+            l_by_level: vec![(1, 75.0)],
+        };
+        let u = t.reparameterize(&obs).unwrap();
+        assert_eq!(u.g(), 3.0, "g updated");
+        assert_eq!(u.leaf(ProcId(1)).params().r, 2.4, "r kept");
+        // Both level-1 clusters adopt the fitted L̂.
+        for i in [0u32, 3] {
+            let cluster = u.node(u.leaf(ProcId(i)).parent().unwrap());
+            assert_eq!(cluster.params().l_sync, 75.0);
+        }
+    }
+
+    #[test]
+    fn bad_estimates_are_typed_errors() {
+        let t = campus_like();
+        let short = ObservedParams {
+            r_by_proc: vec![1.0, 2.0],
+            ..Default::default()
+        };
+        assert!(matches!(
+            t.reparameterize(&short).unwrap_err(),
+            ReparamError::WrongProcCount {
+                expected: 5,
+                got: 2
+            }
+        ));
+        let nan = ObservedParams {
+            speed_by_proc: vec![1.0, f64::NAN, 1.0, 1.0, 1.0],
+            ..Default::default()
+        };
+        assert!(matches!(
+            t.reparameterize(&nan).unwrap_err(),
+            ReparamError::BadEstimate { what: "speed", .. }
+        ));
+        let bad_g = ObservedParams {
+            g: Some(-1.0),
+            ..Default::default()
+        };
+        assert!(matches!(
+            t.reparameterize(&bad_g).unwrap_err(),
+            ReparamError::BadEstimate { what: "g", .. }
+        ));
+    }
+}

@@ -21,7 +21,7 @@ use hbsp_core::degrade::Degraded;
 use hbsp_core::{MachineTree, ProcId, SpmdProgram};
 use hbsp_obs::{ObsEvent, Probe};
 use hbsp_runtime::ThreadedRuntime;
-use hbsp_sim::{FaultPlan, NetConfig, SimError, SimOutcome, Simulator};
+use hbsp_sim::{FaultPlan, NetConfig, SimError, SimOutcome, Simulator, SplitMix64};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -49,7 +49,7 @@ enum EngineKind {
 }
 
 /// What to do when a run dies with a fault-typed error.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RecoveryPolicy {
     /// Surface the typed error to the caller (the default).
     #[default]
@@ -57,6 +57,20 @@ pub enum RecoveryPolicy {
     /// Degrade the machine around the dead processors and re-run from
     /// the superstep boundary ([`Executor::run_recovering`]).
     Degrade,
+    /// Treat barrier stalls as *transient*: up to `max_attempts` times,
+    /// clear the stall faults that just fired from the plan, charge a
+    /// deterministically-seeded exponential backoff (base `backoff`,
+    /// recorded in [`FaultReport::backoff_total`]), and replay from the
+    /// superstep boundary on the *same* machine. A crash, a stall with
+    /// no budget left, or a timeout the plan cannot explain escalates
+    /// to the [`RecoveryPolicy::Degrade`] behavior.
+    Retry {
+        /// Replays allowed before a stall escalates to degradation.
+        max_attempts: usize,
+        /// Base backoff charge per retry; retry `k` charges
+        /// `backoff · 2^(k-1)` scaled by a seeded jitter in `[0.5, 1)`.
+        backoff: f64,
+    },
 }
 
 /// One recovery step taken by [`Executor::run_recovering`].
@@ -85,6 +99,13 @@ pub struct FaultReport {
     /// restarts from superstep 0, so the steps completed before each
     /// detection are replayed on the surviving machine.
     pub steps_replayed: usize,
+    /// Replays performed under [`RecoveryPolicy::Retry`] (stalls
+    /// cleared as transient instead of degrading the machine).
+    pub retries: usize,
+    /// Total backoff charged across all retries (virtual-time units;
+    /// deterministic for a given fault plan, identical on both
+    /// engines).
+    pub backoff_total: f64,
 }
 
 impl FaultReport {
@@ -209,6 +230,18 @@ impl Executor {
         &self.tree
     }
 
+    /// The configured fault plan (the adaptive executor re-bases it
+    /// per segment).
+    pub(crate) fn faults_ref(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The configured probe, if any (the adaptive executor forwards
+    /// its re-plan events there).
+    pub(crate) fn probe_ref(&self) -> Option<&Arc<dyn Probe>> {
+        self.probe.as_ref()
+    }
+
     /// Build the configured engine once and keep it for many
     /// submissions. This is the seam a scheduler drives: one engine
     /// instance per machine, [`ExecSession::submit`] per job batch,
@@ -295,11 +328,15 @@ impl Executor {
             faults_injected: self.faults.faults().len(),
             ..FaultReport::default()
         };
-        // Each degradation removes at least one processor, so p
-        // attempts is a hard bound; the loop normally exits far
-        // earlier.
+        // Each degradation removes at least one processor and each
+        // retry spends budget, so p + max_attempts runs is a hard
+        // bound; the loop normally exits far earlier.
         let observing = self.probe.as_ref().is_some_and(|p| p.enabled());
-        for _ in 0..=self.tree.num_procs() {
+        let retry_budget = match self.recovery {
+            RecoveryPolicy::Retry { max_attempts, .. } => max_attempts,
+            _ => 0,
+        };
+        for _ in 0..=self.tree.num_procs() + retry_budget {
             let prog = factory(&tree)?;
             report.attempts += 1;
             if observing && report.attempts > 1 {
@@ -318,41 +355,86 @@ impl Executor {
                         tree,
                     });
                 }
-                Err(err) if self.recovery == RecoveryPolicy::Degrade => {
-                    let (dead, step) = match &err {
-                        SimError::ProcCrashed { pids, step } => (pids.clone(), *step),
-                        SimError::BarrierTimeout { missing, step } => (missing.clone(), *step),
-                        _ => return Err(err),
-                    };
-                    let Degraded {
-                        tree: survivor,
-                        rank_map,
-                    } = tree.degrade(&dead).map_err(|de| SimError::DegradeFailed {
-                        message: de.to_string(),
-                    })?;
-                    faults = faults.remap(&rank_map);
-                    report.steps_replayed += step;
-                    if observing {
-                        if let Some(p) = &self.probe {
-                            p.on_event(&ObsEvent::Degraded {
-                                step,
-                                dead: &dead,
-                                remaining: survivor.num_procs(),
-                            });
+                Err(err) => match self.recovery {
+                    RecoveryPolicy::FailFast => return Err(err),
+                    RecoveryPolicy::Retry {
+                        max_attempts,
+                        backoff,
+                    } => {
+                        if let SimError::BarrierTimeout { missing, step } = &err {
+                            let cleared = faults.without_stalls_at(missing, *step);
+                            if report.retries < max_attempts && cleared != faults {
+                                // The timeout is explained by scripted
+                                // stalls: treat them as transient,
+                                // charge a seeded backoff, and replay
+                                // on the same machine.
+                                report.retries += 1;
+                                let mut rng = SplitMix64::new(
+                                    0x7E7C_ACE5 ^ ((*step as u64) << 20) ^ report.retries as u64,
+                                );
+                                let jitter = 0.5 + rng.below(1_000) as f64 / 2_000.0;
+                                let exp = (report.retries - 1).min(30) as u32;
+                                report.backoff_total +=
+                                    backoff.max(0.0) * (1u64 << exp) as f64 * jitter;
+                                report.steps_replayed += step;
+                                faults = cleared;
+                                continue;
+                            }
                         }
+                        // Budget exhausted, an unexplained timeout, or
+                        // a crash: escalate to degradation.
+                        self.degrade_around(&mut tree, &mut faults, &mut report, err, observing)?;
                     }
-                    report.events.push(RecoveryEvent {
-                        step,
-                        error: err,
-                        dead,
-                        remaining: survivor.num_procs(),
-                    });
-                    tree = Arc::new(survivor);
-                }
-                Err(err) => return Err(err),
+                    RecoveryPolicy::Degrade => {
+                        self.degrade_around(&mut tree, &mut faults, &mut report, err, observing)?;
+                    }
+                },
             }
         }
-        unreachable!("each degradation removes a processor, so p+1 attempts cannot all fail");
+        unreachable!("each degradation removes a processor and each retry spends budget");
+    }
+
+    /// The shared escalation path of [`Executor::run_recovering`]: drop
+    /// the dead processors from `tree`, remap `faults`, record the
+    /// event, and report it to the probe.
+    fn degrade_around(
+        &self,
+        tree: &mut Arc<MachineTree>,
+        faults: &mut FaultPlan,
+        report: &mut FaultReport,
+        err: SimError,
+        observing: bool,
+    ) -> Result<(), SimError> {
+        let (dead, step) = match &err {
+            SimError::ProcCrashed { pids, step } => (pids.clone(), *step),
+            SimError::BarrierTimeout { missing, step } => (missing.clone(), *step),
+            _ => return Err(err),
+        };
+        let Degraded {
+            tree: survivor,
+            rank_map,
+        } = tree.degrade(&dead).map_err(|de| SimError::DegradeFailed {
+            message: de.to_string(),
+        })?;
+        *faults = faults.remap(&rank_map);
+        report.steps_replayed += step;
+        if observing {
+            if let Some(p) = &self.probe {
+                p.on_event(&ObsEvent::Degraded {
+                    step,
+                    dead: &dead,
+                    remaining: survivor.num_procs(),
+                });
+            }
+        }
+        report.events.push(RecoveryEvent {
+            step,
+            error: err,
+            dead,
+            remaining: survivor.num_procs(),
+        });
+        *tree = Arc::new(survivor);
+        Ok(())
     }
 }
 
@@ -664,6 +746,87 @@ mod tests {
             }
             other => panic!("expected DegradeFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn retry_clears_a_transient_stall_without_degrading() {
+        let plan = FaultPlan::new().stall(ProcId(3), 0);
+        for exec in [
+            Executor::simulator(clustered()),
+            Executor::threads(clustered()),
+        ] {
+            let rec = exec
+                .faults(plan.clone())
+                .recovery(RecoveryPolicy::Retry {
+                    max_attempts: 2,
+                    backoff: 10.0,
+                })
+                .run_recovering(|_| Ok(Gossip { rounds: 2 }))
+                .unwrap();
+            assert_eq!(rec.tree.num_procs(), 4, "nobody degraded");
+            assert!(rec.report.events.is_empty());
+            assert_eq!(rec.report.attempts, 2);
+            assert_eq!(rec.report.retries, 1);
+            assert!(rec.report.backoff_total > 0.0);
+            // Full machine: every survivor hears 3 peers for 2 rounds.
+            assert!(rec.states.iter().all(|&s| s == 6));
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhausted_escalates_to_degrade() {
+        // Two stalls on P3 but only one retry allowed: the first
+        // timeout is retried, the second degrades P3 away.
+        let plan = FaultPlan::new().stall(ProcId(3), 0).stall(ProcId(3), 1);
+        let rec = Executor::simulator(clustered())
+            .faults(plan)
+            .recovery(RecoveryPolicy::Retry {
+                max_attempts: 1,
+                backoff: 5.0,
+            })
+            .run_recovering(|_| Ok(Gossip { rounds: 3 }))
+            .unwrap();
+        assert_eq!(rec.report.retries, 1);
+        assert_eq!(rec.report.events.len(), 1, "second stall degraded P3");
+        assert_eq!(rec.tree.num_procs(), 3);
+        rec.tree.validate().unwrap();
+    }
+
+    #[test]
+    fn retry_escalates_crashes_immediately() {
+        let rec = Executor::simulator(clustered())
+            .faults(FaultPlan::new().crash(ProcId(1), 1))
+            .recovery(RecoveryPolicy::Retry {
+                max_attempts: 3,
+                backoff: 1.0,
+            })
+            .run_recovering(|_| Ok(Gossip { rounds: 3 }))
+            .unwrap();
+        assert_eq!(rec.report.retries, 0, "crashes are not transient");
+        assert_eq!(rec.report.events.len(), 1);
+        assert_eq!(rec.tree.num_procs(), 3);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_engine_agnostic() {
+        let plan = FaultPlan::new().stall(ProcId(0), 1);
+        let run = |exec: Executor| {
+            exec.faults(plan.clone())
+                .recovery(RecoveryPolicy::Retry {
+                    max_attempts: 2,
+                    backoff: 7.0,
+                })
+                .run_recovering(|_| Ok(Gossip { rounds: 2 }))
+                .unwrap()
+                .report
+        };
+        let a = run(Executor::simulator(clustered()));
+        let b = run(Executor::simulator(clustered()));
+        let c = run(Executor::threads(clustered()));
+        assert!(a.backoff_total > 0.0);
+        assert_eq!(a.backoff_total.to_bits(), b.backoff_total.to_bits());
+        assert_eq!(a.backoff_total.to_bits(), c.backoff_total.to_bits());
+        assert_eq!(a.steps_replayed, 1);
     }
 
     #[test]

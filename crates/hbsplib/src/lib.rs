@@ -60,6 +60,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod closure;
 pub mod codec;
 pub mod ctx;
@@ -68,6 +69,10 @@ pub mod enquiry;
 pub mod executor;
 pub mod hetero;
 
+pub use adaptive::{
+    recalibrated, Action, AdaptiveConfig, AdaptiveError, AdaptiveExecutor, AdaptiveOutcome,
+    AdaptivePlan, Decision, Planned,
+};
 pub use closure::ClosureProgram;
 pub use ctx::Ctx;
 pub use drma::{GetReply, Region};

@@ -233,6 +233,24 @@ pub fn jsonl(
                     "{{\"kind\":\"event\",\"event\":\"recovery_attempt\",\"attempt\":{attempt}}}"
                 );
             }
+            EventTrace::Replan {
+                segment,
+                step,
+                drift,
+                strategy,
+                predicted,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"event\",\"event\":\"replan\",\"segment\":{},\"step\":{},\
+                     \"drift\":{},\"strategy\":\"{}\",\"predicted\":{}}}",
+                    segment,
+                    step,
+                    num(if drift.is_finite() { *drift } else { -1.0 }),
+                    escape(strategy),
+                    num(*predicted)
+                );
+            }
         }
     }
     for m in metrics {

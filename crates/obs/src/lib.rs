@@ -41,7 +41,9 @@ pub mod probe;
 pub mod record;
 pub mod span;
 
-pub use calibrate::{calibrate, Calibration};
+pub use calibrate::{
+    calibrate, calibrate_robust, proc_estimates, Calibration, ProcEstimates, RobustCalibration,
+};
 pub use drift::{DriftReport, DriftRow};
 pub use export::{chrome_trace, jsonl, validate_chrome_trace, TraceCheck};
 pub use jobs::{jobs_chrome_trace, JobMetrics, JobSpan};

@@ -94,6 +94,23 @@ pub enum ObsEvent<'a> {
         /// Attempt number.
         attempt: usize,
     },
+    /// The adaptive controller re-planned the remaining work: drift
+    /// between observed and predicted step times exceeded the
+    /// threshold, the cost model was re-calibrated, and the residual
+    /// schedule was re-tuned on the updated belief tree.
+    Replan {
+        /// Adaptive segment index (0-based) that triggered the re-plan.
+        segment: usize,
+        /// Global superstep count executed before the re-plan.
+        step: usize,
+        /// Observed drift (mean |observed−predicted|/predicted over the
+        /// trailing window) that tripped the threshold.
+        drift: f64,
+        /// Human-readable strategy tag of the new plan.
+        strategy: &'a str,
+        /// Predicted virtual time of the re-planned remainder.
+        predicted: f64,
+    },
 }
 
 /// One observation interface for both engines.

@@ -277,6 +277,19 @@ pub enum EventTrace {
         /// Attempt number (1-based).
         attempt: usize,
     },
+    /// The adaptive controller re-planned the remaining work.
+    Replan {
+        /// Adaptive segment index (0-based).
+        segment: usize,
+        /// Global supersteps executed before the re-plan.
+        step: usize,
+        /// Observed drift that tripped the threshold.
+        drift: f64,
+        /// Strategy tag of the new plan.
+        strategy: String,
+        /// Predicted virtual time of the re-planned remainder.
+        predicted: f64,
+    },
 }
 
 /// Handles for the stable metric set a [`Recorder`] maintains.
@@ -290,6 +303,8 @@ struct StdMetrics {
     watchdog_firings: CounterId,
     degrade_events: CounterId,
     recovery_attempts: CounterId,
+    adaptive_replans: CounterId,
+    adaptive_drift: HistogramId,
     barrier_wait_virtual: HistogramId,
     hrelation: HistogramId,
     step_duration_virtual: HistogramId,
@@ -333,6 +348,8 @@ impl Recorder {
             watchdog_firings: registry.counter("hbsp_watchdog_firings_total"),
             degrade_events: registry.counter("hbsp_degrade_events_total"),
             recovery_attempts: registry.counter("hbsp_recovery_attempts_total"),
+            adaptive_replans: registry.counter("hbsp_adaptive_replans_total"),
+            adaptive_drift: registry.histogram("hbsp_adaptive_drift"),
             barrier_wait_virtual: registry.histogram("hbsp_barrier_wait_virtual"),
             hrelation: registry.histogram("hbsp_hrelation_observed"),
             step_duration_virtual: registry.histogram("hbsp_step_duration_virtual"),
@@ -488,6 +505,28 @@ impl Probe for Recorder {
             ObsEvent::RecoveryAttempt { attempt } => {
                 self.registry.c(self.std.recovery_attempts).inc();
                 EventTrace::RecoveryAttempt { attempt: *attempt }
+            }
+            ObsEvent::Replan {
+                segment,
+                step,
+                drift,
+                strategy,
+                predicted,
+            } => {
+                self.registry.c(self.std.adaptive_replans).inc();
+                // Forced re-plans report infinite drift (a structural
+                // mismatch, not a measurement); keep the histogram sums
+                // finite.
+                if drift.is_finite() {
+                    self.registry.h(self.std.adaptive_drift).record(*drift);
+                }
+                EventTrace::Replan {
+                    segment: *segment,
+                    step: *step,
+                    drift: *drift,
+                    strategy: (*strategy).to_string(),
+                    predicted: *predicted,
+                }
             }
         };
         self.events.lock().expect("recorder lock").push(owned);

@@ -55,7 +55,8 @@ use hbsp_collectives::schedule::ScheduleState;
 use hbsp_collectives::tune::best_plan;
 use hbsp_collectives::{predict, ScheduleProgram};
 use hbsp_core::{MachineTree, NodeIdx, ProcId};
-use hbsp_obs::{DriftReport, JobMetrics, JobSpan, Recorder};
+use hbsp_obs::{DriftReport, JobMetrics, JobSpan, ObsEvent, Probe, Recorder};
+use hbsp_sim::FaultPlan;
 use hbsplib::Executor;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -82,6 +83,14 @@ pub struct RunOptions {
     /// sharing differs, which is what makes this the control arm of the
     /// batching experiment.
     pub serial: bool,
+    /// Closed-loop adaptation threshold. When set, the scheduler
+    /// prices and lowers on a *belief* copy of the machine; after any
+    /// batch whose mean absolute per-step drift exceeds the threshold
+    /// it re-calibrates the belief from that batch's telemetry
+    /// ([`hbsplib::recalibrated`]), clears the price cache, and
+    /// re-places the remaining jobs on the updated belief. `None`
+    /// (default) is the open-loop scheduler.
+    pub adapt: Option<f64>,
 }
 
 /// A sub-tree of the shared machine a job may claim.
@@ -97,6 +106,7 @@ struct Candidate {
 pub struct Scheduler {
     tree: Arc<MachineTree>,
     jobs: Vec<Job>,
+    faults: FaultPlan,
 }
 
 impl Scheduler {
@@ -105,7 +115,17 @@ impl Scheduler {
         Scheduler {
             tree,
             jobs: Vec::new(),
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// Inject a fault plan into every admitted batch program. Engine
+    /// step indices restart at 0 for each batch, so the plan describes
+    /// the *shape* of interference each round sees (e.g. a persistent
+    /// straggler), not one global timeline.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The shared machine.
@@ -187,6 +207,7 @@ impl Scheduler {
             Engine::Simulator => Executor::simulator(tree.clone()),
             Engine::Threads => Executor::threads(tree.clone()),
         }
+        .faults(self.faults.clone())
         .probe(recorder.clone());
         let session = exec.session();
         let metrics = JobMetrics::new();
@@ -203,7 +224,16 @@ impl Scheduler {
         // repeated shapes prices each shape once.
         let mut prices: HashMap<(u8, u64, u32), Option<f64>> = HashMap::new();
         let mut recorded = 0usize;
+        let mut recorded_events = 0usize;
         let max_batch = if opts.serial { 1 } else { usize::MAX };
+        // Closed loop: placement prices and lowerings come from the
+        // belief tree; execution stays on the physical tree (same
+        // shape and pids, so lowered programs transfer). Open-loop
+        // runs never move the belief, so both paths price identically.
+        let mut belief = tree.clone();
+        let mut replans = 0usize;
+        // Same trimming budget the adaptive executor defaults to.
+        let adapt_trim = hbsplib::AdaptiveConfig::default().calibration_trim;
 
         while num_done < n {
             let ready: Vec<usize> = (0..n)
@@ -242,7 +272,7 @@ impl Scheduler {
                     let key = price_key(job, i, cand.idx);
                     let price = *prices
                         .entry(key)
-                        .or_insert_with(|| price_on(tree, job, cand.idx));
+                        .or_insert_with(|| price_on(&belief, job, cand.idx));
                     let Some(cost) = price else { continue };
                     let entry = (cost, cand.leaves.len(), cand.idx.index() as u32);
                     let beats = match best {
@@ -262,7 +292,7 @@ impl Scheduler {
                 }
                 match best_cand {
                     Some(cand) => {
-                        let lj = lower_on(tree.carve(cand.idx), job, i, cand.idx)?;
+                        let lj = lower_on(belief.carve(cand.idx), job, i, cand.idx)?;
                         for pid in &cand.leaves {
                             free[pid.rank()] = false;
                         }
@@ -298,7 +328,10 @@ impl Scheduler {
             let batch_index = batches.len();
             let merged = merge::merge(tree, &lowered);
             let schedule = Arc::new(merged.schedule);
-            let predicted = predict(tree, &schedule);
+            // Predictions come from the belief: batch drift then
+            // measures how wrong the *current* belief is, which is
+            // exactly the statistic the adaptive loop thresholds.
+            let predicted = predict(&belief, &schedule);
             let prog = ScheduleProgram::new(schedule, Arc::new(merged.init), merged.op);
             let (outcome, states) = session.submit(&prog)?;
             let duration = outcome.total_time();
@@ -306,8 +339,12 @@ impl Scheduler {
             clock = end;
 
             let all_steps = recorder.steps();
-            let drift = DriftReport::new(&all_steps[recorded..], predicted.steps()).ok();
+            let all_events = recorder.events();
+            let batch_steps = &all_steps[recorded..];
+            let batch_events = &all_events[recorded_events..];
+            let drift = DriftReport::new(batch_steps, predicted.steps()).ok();
             recorded = all_steps.len();
+            recorded_events = all_events.len();
 
             for l in &lowered {
                 let i = l.job;
@@ -352,6 +389,40 @@ impl Scheduler {
                 });
             }
             metrics.batch();
+
+            // Detect → Replan: fold a drifty batch's telemetry into
+            // the belief so every remaining job is re-priced and
+            // re-placed on it. A structural mismatch (the program did
+            // not execute the schedule the belief priced) is infinite
+            // drift. The price cache keys say nothing about the
+            // belief, so it must be dropped wholesale.
+            let mut replanned = false;
+            if let Some(threshold) = opts.adapt {
+                let batch_drift = drift
+                    .as_ref()
+                    .map(DriftReport::mean_abs_rel_error)
+                    .unwrap_or(f64::INFINITY);
+                if num_done < n && batch_drift > threshold {
+                    if let Some(updated) =
+                        hbsplib::recalibrated(&belief, batch_steps, batch_events, adapt_trim)
+                    {
+                        belief = updated;
+                        prices.clear();
+                        replans += 1;
+                        replanned = true;
+                        if recorder.enabled() {
+                            recorder.on_event(&ObsEvent::Replan {
+                                segment: batch_index,
+                                step: recorded,
+                                drift: batch_drift,
+                                strategy: "sched/re-place",
+                                predicted: predicted.total(),
+                            });
+                        }
+                    }
+                }
+            }
+
             batches.push(BatchReport {
                 index: batch_index,
                 jobs: lowered.iter().map(|l| JobId(l.job)).collect(),
@@ -359,6 +430,7 @@ impl Scheduler {
                 end,
                 predicted: predicted.total(),
                 drift,
+                replanned,
             });
         }
 
@@ -371,6 +443,7 @@ impl Scheduler {
             total_time: clock,
             spans,
             metrics: metrics.snapshot(),
+            replans,
         })
     }
 }
@@ -431,7 +504,11 @@ mod tests {
 
     fn run(sched: &Scheduler, engine: Engine, serial: bool) -> SchedReport {
         sched
-            .run(&RunOptions { engine, serial })
+            .run(&RunOptions {
+                engine,
+                serial,
+                adapt: None,
+            })
             .expect("graph drains")
     }
 
@@ -576,6 +653,73 @@ mod tests {
         match s.run(&RunOptions::default()) {
             Err(SchedError::InvalidGraph(v)) => assert!(!v.is_empty()),
             other => panic!("expected InvalidGraph, got {other:?}"),
+        }
+    }
+
+    /// Closed-loop re-placement: a persistent straggler on P0 makes
+    /// the initially-cheapest sub-tree (the LAN holding the fastest
+    /// processors) the wrong home for every broadcast in a chain. The
+    /// open-loop scheduler keeps placing there; the adaptive scheduler
+    /// re-calibrates after the first drifty batch, re-prices on the
+    /// belief, and moves later jobs off the straggler.
+    #[test]
+    fn adaptive_rescheduling_moves_later_jobs_off_a_straggler() {
+        let build =
+            || {
+                let mut s = Scheduler::new(campus_like())
+                    .with_faults(FaultPlan::new().straggle_ramp(ProcId(0), 0, 4, 12.0, 0.0));
+                let mut prev: Option<JobId> = None;
+                for i in 0..4 {
+                    let mut job = Job::collective(format!("b{i}"), CollectiveKind::Broadcast, 256)
+                        .with_seed(i);
+                    if let Some(p) = prev {
+                        job = job.after(&[p]);
+                    }
+                    prev = Some(s.submit(job));
+                }
+                s
+            };
+        let drain = |s: &Scheduler, engine: Engine, adapt: Option<f64>| {
+            s.run(&RunOptions {
+                engine,
+                serial: false,
+                adapt,
+            })
+            .expect("graph drains")
+        };
+        let s = build();
+        let open = drain(&s, Engine::Simulator, None);
+        let adapt = drain(&s, Engine::Simulator, Some(0.5));
+        assert!(open.clean() && adapt.clean());
+        assert_eq!(open.replans, 0);
+        assert!(open.batches.iter().all(|b| !b.replanned));
+        assert!(adapt.replans > 0, "report:\n{}", adapt.render_text());
+        assert!(adapt.batches.iter().any(|b| b.replanned));
+        assert!(
+            adapt.total_time < open.total_time,
+            "adaptive {} !< open-loop {}\n{}",
+            adapt.total_time,
+            open.total_time,
+            adapt.render_text()
+        );
+        // The belief shift actually moved later work: some job after
+        // the first re-plan occupies different leaves (or a different
+        // root) than its open-loop twin.
+        let moved = open
+            .jobs
+            .iter()
+            .zip(&adapt.jobs)
+            .any(|(o, a)| a.batch > 0 && (o.leaves != a.leaves || o.root != a.root));
+        assert!(moved, "no job moved:\n{}", adapt.render_text());
+        // The closed loop is engine-agnostic: bit-identical makespan
+        // and the same re-plan count on the threaded runtime.
+        let thr = drain(&s, Engine::Threads, Some(0.5));
+        assert_eq!(thr.total_time, adapt.total_time);
+        assert_eq!(thr.replans, adapt.replans);
+        for (a, b) in adapt.jobs.iter().zip(&thr.jobs) {
+            assert_eq!(a.leaves, b.leaves);
+            assert_eq!(a.root, b.root);
+            assert_eq!(a.states, b.states);
         }
     }
 

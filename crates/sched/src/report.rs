@@ -68,6 +68,10 @@ pub struct BatchReport {
     /// Per-step drift of the merged program (when the engine's probe
     /// steps pair up with the prediction).
     pub drift: Option<DriftReport>,
+    /// True when this batch's drift tripped the adaptive threshold and
+    /// the scheduler folded its telemetry into the belief tree (later
+    /// batches were re-priced and re-placed on the updated belief).
+    pub replanned: bool,
 }
 
 impl BatchReport {
@@ -91,6 +95,9 @@ pub struct SchedReport {
     pub spans: Vec<JobSpan>,
     /// Snapshot of the `hbsp_jobs_*` metrics.
     pub metrics: Vec<MetricSample>,
+    /// Closed-loop re-plans performed ([`crate::RunOptions::adapt`]);
+    /// always 0 for open-loop runs.
+    pub replans: usize,
 }
 
 impl SchedReport {
@@ -105,20 +112,26 @@ impl SchedReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{} jobs in {} batches, makespan {:.0}",
+            "{} jobs in {} batches, makespan {:.0}{}",
             self.jobs.len(),
             self.batches.len(),
-            self.total_time
+            self.total_time,
+            if self.replans > 0 {
+                format!(", {} re-plans", self.replans)
+            } else {
+                String::new()
+            }
         );
         for b in &self.batches {
             let members: Vec<String> = b.jobs.iter().map(|j| j.0.to_string()).collect();
             let _ = writeln!(
                 out,
-                "  batch {}: jobs [{}]  T = {:.0} (predicted {:.0})",
+                "  batch {}: jobs [{}]  T = {:.0} (predicted {:.0}){}",
                 b.index,
                 members.join(","),
                 b.observed(),
-                b.predicted
+                b.predicted,
+                if b.replanned { "  [replanned]" } else { "" }
             );
         }
         for j in &self.jobs {

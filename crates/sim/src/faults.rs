@@ -145,6 +145,154 @@ impl FaultPlan {
         })
     }
 
+    /// Script a straggler whose slowdown *ramps*: starting at
+    /// `start_step`, `pid`'s `r` is scaled by `factor` for `steps`
+    /// consecutive supersteps, with the factor growing by `factor_step`
+    /// each superstep. This is the canonical drift workload for the
+    /// adaptive executor: a machine that keeps getting slower until a
+    /// re-plan routes traffic around it.
+    pub fn straggle_ramp(
+        mut self,
+        pid: ProcId,
+        start_step: usize,
+        steps: usize,
+        factor: f64,
+        factor_step: f64,
+    ) -> Self {
+        let mut f = factor;
+        for i in 0..steps {
+            self = self.straggle(pid, start_step + i, f);
+            f += factor_step;
+        }
+        self
+    }
+
+    /// The plan re-based onto a later window: faults scheduled before
+    /// superstep `offset` are dropped (they already fired — or never
+    /// will), the rest have `offset` subtracted from their step. Used
+    /// by segmented execution, where each segment restarts the engine's
+    /// step counter at zero.
+    pub fn shifted(&self, offset: usize) -> FaultPlan {
+        let faults = self
+            .faults
+            .iter()
+            .filter(|f| f.step() >= offset)
+            .map(|f| {
+                let mut f = f.clone();
+                match &mut f {
+                    Fault::Crash { step, .. }
+                    | Fault::Stall { step, .. }
+                    | Fault::Straggle { step, .. }
+                    | Fault::DropMsgs { step, .. }
+                    | Fault::Truncate { step, .. } => *step -= offset,
+                }
+                f
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// The highest step any fault fires at, if the plan is non-empty.
+    pub fn last_step(&self) -> Option<usize> {
+        self.faults.iter().map(Fault::step).max()
+    }
+
+    /// The plan minus the stall faults that target one of `missing` at
+    /// `step` — the faults a retrying executor treats as *transient*:
+    /// having just watched them fire as a `BarrierTimeout`, it clears
+    /// them from the script before replaying.
+    pub fn without_stalls_at(&self, missing: &[ProcId], step: usize) -> FaultPlan {
+        let faults = self
+            .faults
+            .iter()
+            .filter(|f| {
+                !(matches!(f, Fault::Stall { .. })
+                    && f.step() == step
+                    && missing.contains(&f.pid()))
+            })
+            .cloned()
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// Render the plan in the committed-fixture text format: one fault
+    /// per line, `kind P<pid> @<step> [arg]`. [`FaultPlan::parse`]
+    /// round-trips this exactly.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for f in &self.faults {
+            match *f {
+                Fault::Crash { pid, step } => writeln!(out, "crash P{} @{step}", pid.0),
+                Fault::Stall { pid, step } => writeln!(out, "stall P{} @{step}", pid.0),
+                Fault::Straggle { pid, step, factor } => {
+                    writeln!(out, "straggle P{} @{step} x{factor}", pid.0)
+                }
+                Fault::DropMsgs { pid, step } => writeln!(out, "drop P{} @{step}", pid.0),
+                Fault::Truncate {
+                    pid,
+                    step,
+                    max_words,
+                } => writeln!(out, "truncate P{} @{step} w{max_words}", pid.0),
+            }
+            .expect("write to String cannot fail");
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`FaultPlan::render`]. Blank
+    /// lines and `#` comments are ignored. Factors print with Rust's
+    /// shortest-roundtrip `f64` formatting, so parse∘render is the
+    /// identity on any plan.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}: {raw:?}", lineno + 1);
+            let mut tok = line.split_whitespace();
+            let kind = tok.next().unwrap_or("");
+            let pid = tok
+                .next()
+                .and_then(|t| t.strip_prefix('P'))
+                .and_then(|t| t.parse::<u32>().ok())
+                .map(ProcId)
+                .ok_or_else(|| err("expected P<pid>"))?;
+            let step = tok
+                .next()
+                .and_then(|t| t.strip_prefix('@'))
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or_else(|| err("expected @<step>"))?;
+            let arg = tok.next();
+            if tok.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+            plan = match (kind, arg) {
+                ("crash", None) => plan.crash(pid, step),
+                ("stall", None) => plan.stall(pid, step),
+                ("drop", None) => plan.drop_msgs(pid, step),
+                ("straggle", Some(a)) => {
+                    let factor = a
+                        .strip_prefix('x')
+                        .and_then(|t| t.parse::<f64>().ok())
+                        .ok_or_else(|| err("expected x<factor>"))?;
+                    plan.straggle(pid, step, factor)
+                }
+                ("truncate", Some(a)) => {
+                    let words = a
+                        .strip_prefix('w')
+                        .and_then(|t| t.parse::<usize>().ok())
+                        .ok_or_else(|| err("expected w<max_words>"))?;
+                    plan.truncate(pid, step, words)
+                }
+                _ => return Err(err("unknown fault line")),
+            };
+        }
+        Ok(plan)
+    }
+
     /// A randomized plan derived deterministically from `seed` for the
     /// given machine: 1–3 faults over the first few supersteps, with
     /// every fault kind reachable. The same `(seed, machine shape)`
@@ -297,19 +445,23 @@ impl FaultPlan {
     }
 }
 
-/// SplitMix64: tiny, high-quality, dependency-free PRNG. Used only to
-/// expand chaos seeds into fault plans — never for anything
-/// cryptographic.
-struct SplitMix64 {
+/// SplitMix64: tiny, high-quality, dependency-free PRNG. Used to
+/// expand chaos seeds into fault plans and to derive deterministic
+/// retry-backoff jitter — never for anything cryptographic.
+pub struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    fn next(&mut self) -> u64 {
+    /// The next 64-bit output. Not an `Iterator`: the stream is
+    /// infinite and `below` is the intended surface.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -318,7 +470,7 @@ impl SplitMix64 {
     }
 
     /// Uniform in `0..bound` (bound > 0).
-    fn below(&mut self, bound: u64) -> u64 {
+    pub fn below(&mut self, bound: u64) -> u64 {
         self.next() % bound
     }
 }
@@ -396,6 +548,93 @@ mod tests {
             FaultPlan::random(1, &tree),
             "different seeds diverge"
         );
+    }
+
+    #[test]
+    fn shifted_drops_fired_faults_and_rebases_the_rest() {
+        let plan = FaultPlan::new()
+            .crash(ProcId(0), 1)
+            .straggle(ProcId(1), 4, 2.0)
+            .stall(ProcId(2), 6);
+        let shifted = plan.shifted(4);
+        assert_eq!(
+            shifted.faults(),
+            &[
+                Fault::Straggle {
+                    pid: ProcId(1),
+                    step: 0,
+                    factor: 2.0
+                },
+                Fault::Stall {
+                    pid: ProcId(2),
+                    step: 2
+                },
+            ]
+        );
+        assert_eq!(plan.shifted(0), plan, "zero offset is the identity");
+        assert!(plan.shifted(100).is_empty());
+        assert_eq!(plan.last_step(), Some(6));
+        assert_eq!(FaultPlan::new().last_step(), None);
+    }
+
+    #[test]
+    fn straggle_ramp_expands_to_per_step_straggles() {
+        let plan = FaultPlan::new().straggle_ramp(ProcId(1), 2, 3, 2.0, 0.5);
+        assert_eq!(plan.r_multipliers(2, 2), vec![1.0, 2.0]);
+        assert_eq!(plan.r_multipliers(3, 2), vec![1.0, 2.5]);
+        assert_eq!(plan.r_multipliers(4, 2), vec![1.0, 3.0]);
+        assert_eq!(plan.r_multipliers(5, 2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn text_format_round_trips() {
+        let plan = FaultPlan::new()
+            .crash(ProcId(2), 3)
+            .stall(ProcId(1), 0)
+            .straggle(ProcId(0), 6, 4.25)
+            .drop_msgs(ProcId(3), 2)
+            .truncate(ProcId(1), 2, 1)
+            .straggle_ramp(ProcId(0), 4, 2, 2.0, 1.0);
+        let text = plan.render();
+        let parsed = FaultPlan::parse(&text).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_rejects_junk() {
+        let plan = FaultPlan::parse(
+            "# a drifting straggler\n\nstraggle P0 @6 x4 # ramps up\ncrash P2 @3\n",
+        )
+        .unwrap();
+        assert_eq!(plan.faults().len(), 2);
+        assert!(
+            FaultPlan::parse("straggle P0 @6").is_err(),
+            "missing factor"
+        );
+        assert!(
+            FaultPlan::parse("crash P2 @3 x9").is_err(),
+            "trailing token"
+        );
+        assert!(FaultPlan::parse("melt P0 @1").is_err(), "unknown kind");
+        assert!(FaultPlan::parse("crash 2 @3").is_err(), "missing P prefix");
+    }
+
+    #[test]
+    fn without_stalls_at_strips_only_the_named_transients() {
+        let plan = FaultPlan::new()
+            .stall(ProcId(1), 2)
+            .stall(ProcId(2), 2)
+            .stall(ProcId(1), 5)
+            .straggle(ProcId(1), 2, 3.0);
+        let cleared = plan.without_stalls_at(&[ProcId(1)], 2);
+        // Only P1's stall at step 2 goes; its later stall, P2's stall,
+        // and the straggle all survive.
+        assert_eq!(cleared.faults().len(), 3);
+        assert!(!cleared.stalls(ProcId(1), 2));
+        assert!(cleared.stalls(ProcId(2), 2));
+        assert!(cleared.stalls(ProcId(1), 5));
+        assert!(cleared.straggles_at(2));
     }
 
     #[test]

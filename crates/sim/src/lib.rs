@@ -44,7 +44,7 @@ pub use config::NetConfig;
 pub use engine::{SimOutcome, Simulator};
 pub use error::SimError;
 pub use event::TimeQueue;
-pub use faults::{Fault, FaultPlan};
+pub use faults::{Fault, FaultPlan, SplitMix64};
 pub use model_engine::ModelEvaluator;
 pub use stats::{LevelTraffic, StepStats};
 pub use step::{analyze, delivery_order, resolve_outcomes, StepAnalysis};

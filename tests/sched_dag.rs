@@ -115,18 +115,21 @@ fn campus_workflow_dag_is_deterministic_isolated_and_batching_wins() {
         .run(&RunOptions {
             engine: Engine::Simulator,
             serial: false,
+            adapt: None,
         })
         .expect("simulator drains the graph");
     let thr = sched
         .run(&RunOptions {
             engine: Engine::Threads,
             serial: false,
+            adapt: None,
         })
         .expect("threaded runtime drains the graph");
     let serial = sched
         .run(&RunOptions {
             engine: Engine::Simulator,
             serial: true,
+            adapt: None,
         })
         .expect("serial control arm drains the graph");
 
