@@ -7,21 +7,31 @@
 //! rendezvous, leader-section coordination, release, and (in the
 //! probe-on rows) telemetry assembly. The probe-off column is the
 //! regression guard for the no-op probe path: attaching a disabled
-//! probe must not put telemetry on the hot path.
+//! probe must not put telemetry on the hot path. The probe-on rows
+//! attach an armed [`FlightRecorder`] — the always-on production
+//! probe — so they price the full flight-recorder tax: record
+//! assembly in the leader section plus the ring write and streaming
+//! anomaly detector.
 //!
 //! ```text
 //! cargo bench -p hbsp-bench --bench engine_overhead -- \
-//!     [--json PATH] [--check BASELINE [--tolerance 0.05]] [--quick] \
-//!     [--procs 32,64]
+//!     [--json PATH] [--check BASELINE [--tolerance 0.05]] \
+//!     [--max-ratio 1.2] [--quick] [--procs 32,64]
 //! ```
 //!
 //! `--json` writes the per-config medians (and MADs) as a
 //! machine-readable baseline; `--check` compares this run's probe-off
-//! medians against a committed baseline (see
+//! **and probe-on** medians against a committed baseline (see
 //! `BENCH_engine_overhead.json`) and exits non-zero when any regresses
-//! by more than the tolerance; `--procs` restricts the matrix to a
-//! comma-separated subset of processor counts (the CI gate uses this to
-//! focus on the largest machines).
+//! by more than the tolerance. A `--check` also enforces the **probe
+//! tax bound** on the committed baseline itself: every (p, barrier)
+//! pair's probe-on median must be at most `--max-ratio` (default
+//! 1.20×) its probe-off median. That bound is checked against the
+//! committed numbers, not this run's samples, so it is deterministic
+//! in CI — regenerating the baseline is where the bound bites.
+//! `--procs` restricts the matrix to a comma-separated subset of
+//! processor counts (the CI gate uses this to focus on the largest
+//! machines).
 //!
 //! # Methodology
 //!
@@ -45,7 +55,7 @@ use hbsp_core::{
     MachineTree, ProcEnv, SpmdContext, SpmdProgram, StepOutcome, SyncScope, TreeBuilder,
 };
 use hbsp_obs::json::{parse, Value};
-use hbsp_obs::Recorder;
+use hbsp_obs::FlightRecorder;
 use hbsp_runtime::{BarrierKind, ThreadedRuntime};
 use std::process::exit;
 use std::sync::Arc;
@@ -139,7 +149,10 @@ fn run_matrix(samples: usize, procs: &[usize]) -> Vec<Row> {
             for probe in ["off", "on"] {
                 let mut rt = ThreadedRuntime::new(Arc::clone(&tree)).barrier(kind);
                 if probe == "on" {
-                    rt = rt.probe(Arc::new(Recorder::new()));
+                    // The warmup run arms the recorder's arena, so
+                    // every timed sample sees the steady-state path:
+                    // no allocation, no locks.
+                    rt = rt.probe(Arc::new(FlightRecorder::new()));
                 }
                 configs.push(Config {
                     p,
@@ -203,8 +216,20 @@ fn to_json(rows: &[Row], samples: usize) -> String {
     out
 }
 
-/// Compare this run's probe-off medians against a committed baseline;
-/// returns the regressions found.
+/// Find the baseline median for one (p, barrier, probe) cell.
+fn baseline_ns(results: &[Value], p: usize, barrier: &str, probe: &str) -> Option<f64> {
+    results.iter().find_map(|v| {
+        let bp = v.get("p").and_then(Value::as_f64)? as usize;
+        let bb = v.get("barrier").and_then(Value::as_str)?;
+        let bpr = v.get("probe").and_then(Value::as_str)?;
+        (bp == p && bb == barrier && bpr == probe)
+            .then(|| v.get("ns_per_superstep").and_then(Value::as_f64))
+            .flatten()
+    })
+}
+
+/// Compare this run's medians (both probe columns) against a committed
+/// baseline; returns the regressions found.
 fn check_against(rows: &[Row], baseline: &Value, tolerance: f64) -> Vec<String> {
     let mut regressions = Vec::new();
     let empty = Vec::new();
@@ -212,28 +237,22 @@ fn check_against(rows: &[Row], baseline: &Value, tolerance: f64) -> Vec<String> 
         .get("results")
         .and_then(Value::as_arr)
         .unwrap_or(&empty);
-    for row in rows.iter().filter(|r| r.probe == "off") {
-        let base = results.iter().find_map(|v| {
-            let p = v.get("p").and_then(Value::as_f64)? as usize;
-            let barrier = v.get("barrier").and_then(Value::as_str)?;
-            let probe = v.get("probe").and_then(Value::as_str)?;
-            (p == row.p && barrier == row.barrier && probe == "off")
-                .then(|| v.get("ns_per_superstep").and_then(Value::as_f64))
-                .flatten()
-        });
-        let Some(base) = base else {
+    for row in rows {
+        let Some(base) = baseline_ns(results, row.p, row.barrier, row.probe) else {
             regressions.push(format!(
-                "baseline has no probe-off entry for p={} barrier={}",
-                row.p, row.barrier
+                "baseline has no probe-{} entry for p={} barrier={}",
+                row.probe, row.p, row.barrier
             ));
             continue;
         };
         let limit = base * (1.0 + tolerance);
         if row.ns > limit {
             regressions.push(format!(
-                "p={} barrier={}: {:.0} ns/superstep exceeds baseline {:.0} by more than {:.0}%",
+                "p={} barrier={} probe={}: {:.0} ns/superstep exceeds baseline {:.0} \
+                 by more than {:.0}%",
                 row.p,
                 row.barrier,
+                row.probe,
                 row.ns,
                 base,
                 tolerance * 100.0
@@ -241,6 +260,37 @@ fn check_against(rows: &[Row], baseline: &Value, tolerance: f64) -> Vec<String> 
         }
     }
     regressions
+}
+
+/// Enforce the probe-tax bound on the committed baseline itself: for
+/// every (p, barrier) pair present, probe-on must cost at most
+/// `max_ratio` × probe-off. Deterministic — it reads the file, not
+/// this run's samples.
+fn check_probe_tax(baseline: &Value, max_ratio: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let empty = Vec::new();
+    let results = baseline
+        .get("results")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty);
+    for &p in &ALL_PROCS {
+        for barrier in ["central", "hierarchical"] {
+            let (Some(off), Some(on)) = (
+                baseline_ns(results, p, barrier, "off"),
+                baseline_ns(results, p, barrier, "on"),
+            ) else {
+                continue;
+            };
+            if on > off * max_ratio {
+                violations.push(format!(
+                    "p={p} barrier={barrier}: probe-on {on:.0} ns is {:.2}x probe-off \
+                     {off:.0} ns (bound {max_ratio:.2}x)",
+                    on / off
+                ));
+            }
+        }
+    }
+    violations
 }
 
 /// `cargo bench` runs with the package directory as cwd; resolve
@@ -266,6 +316,7 @@ fn main() {
     let mut json_out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut tolerance = 0.05f64;
+    let mut max_ratio = 1.2f64;
     let mut samples = 15usize;
     let mut procs: Vec<usize> = ALL_PROCS.to_vec();
     let mut it = args.iter();
@@ -278,6 +329,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--tolerance takes a fraction, e.g. 0.05")
+            }
+            "--max-ratio" => {
+                max_ratio = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-ratio takes a factor, e.g. 1.2")
             }
             "--procs" => {
                 procs = it
@@ -305,14 +362,15 @@ fn main() {
     if let Some(path) = &check {
         let text = std::fs::read_to_string(resolve(path)).expect("read baseline");
         let baseline = parse(&text).expect("baseline parses as JSON");
-        let regressions = check_against(&rows, &baseline, tolerance);
-        if regressions.is_empty() {
+        let mut failures = check_against(&rows, &baseline, tolerance);
+        failures.extend(check_probe_tax(&baseline, max_ratio));
+        if failures.is_empty() {
             println!(
-                "probe-off medians within {:.0}% of {path}",
+                "medians within {:.0}% of {path}; baseline probe tax within {max_ratio:.2}x",
                 tolerance * 100.0
             );
         } else {
-            for r in &regressions {
+            for r in &failures {
                 eprintln!("REGRESSION: {r}");
             }
             exit(1);

@@ -13,6 +13,9 @@
 //!   --threshold T              drift threshold for re-plans  (default 0.6)
 //!   --faults FILE              fault plan to inject (FaultPlan text format)
 //!   --log FILE                 write the adaptive decision log to FILE
+//!   --postmortem DIR           on a failed run, dump the attached
+//!                              PostmortemBundle to DIR as JSONL
+//!                              (inspect with hbsp_postmortem)
 //!   --require-win              exit 1 unless adaptive beats static on
 //!                              every selected engine
 //!   --json                     one JSONL record per engine on stdout
@@ -56,6 +59,7 @@ fn usage() -> ! {
          \x20 --threshold T              drift threshold (default 0.6)\n\
          \x20 --faults FILE              inject a fault plan\n\
          \x20 --log FILE                 write the decision log to FILE\n\
+         \x20 --postmortem DIR           dump crash bundles to DIR on failure\n\
          \x20 --require-win              exit 1 unless adaptive beats static\n\
          \x20 --json                     JSONL records on stdout"
     );
@@ -68,6 +72,23 @@ struct EngineResult {
     static_arm: AdaptiveOutcome,
 }
 
+/// Write the crash bundle attached to a failed run (if any) to
+/// `DIR/postmortem_adapt_<arm>_<engine>.jsonl` for `hbsp_postmortem`.
+fn dump_bundle(dir: &Option<String>, engine: &str, arm: &str, err: &hbsplib::AdaptiveError) {
+    let (Some(dir), Some(bundle)) = (dir, err.bundle()) else {
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("hbsp_adapt: {dir}: {e}");
+        return;
+    }
+    let path = format!("{dir}/postmortem_adapt_{arm}_{engine}.jsonl");
+    match std::fs::write(&path, bundle.to_jsonl()) {
+        Ok(()) => eprintln!("hbsp_adapt: postmortem bundle written to {path}"),
+        Err(e) => eprintln!("hbsp_adapt: {path}: {e}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut engine = "both".to_string();
@@ -78,6 +99,7 @@ fn main() {
     let mut threshold: f64 = 0.6;
     let mut faults = FaultPlan::new();
     let mut log_file: Option<String> = None;
+    let mut postmortem: Option<String> = None;
     let mut require_win = false;
     let mut json = false;
     let mut machine: Option<String> = None;
@@ -106,6 +128,7 @@ fn main() {
                 });
             }
             "--log" => log_file = Some(value()),
+            "--postmortem" => postmortem = Some(value()),
             "--require-win" => require_win = true,
             "--json" => json = true,
             "--help" | "-h" => usage(),
@@ -150,10 +173,12 @@ fn main() {
         let runner = AdaptiveExecutor::new(exec).config(cfg);
         let adaptive = runner.run(&job, rounds).unwrap_or_else(|e| {
             eprintln!("hbsp_adapt: {name}: adaptive run failed: {e}");
+            dump_bundle(&postmortem, name, "adaptive", &e);
             exit(1)
         });
         let static_arm = runner.run_static(&job, rounds).unwrap_or_else(|e| {
             eprintln!("hbsp_adapt: {name}: static run failed: {e}");
+            dump_bundle(&postmortem, name, "static", &e);
             exit(1)
         });
         let win = adaptive.total_time < static_arm.total_time;

@@ -2,13 +2,16 @@
 //! stack.
 //!
 //! ```text
-//! hbsp_chaos [--seed S] [--runs N] [--ramps N] [--json] <machine.hbsp>...
+//! hbsp_chaos [--seed S] [--runs N] [--ramps N] [--json]
+//!            [--postmortem DIR] <machine.hbsp>...
 //!
 //! options:
-//!   --seed S    base seed for fault-plan generation   (default 0)
-//!   --runs N    fault plans per machine               (default 64)
-//!   --ramps N   straggler-ramp plans per machine      (default 8)
-//!   --json      one JSONL record per machine × seed on stdout
+//!   --seed S          base seed for fault-plan generation   (default 0)
+//!   --runs N          fault plans per machine               (default 64)
+//!   --ramps N         straggler-ramp plans per machine      (default 8)
+//!   --json            one JSONL record per machine × seed on stdout
+//!   --postmortem DIR  dump a PostmortemBundle (one per engine) for
+//!                     every failed or violating run into DIR
 //! ```
 //!
 //! For every machine × seed, a deterministic random [`FaultPlan`]
@@ -42,6 +45,7 @@
 
 use hbsp_check::lint_machine;
 use hbsp_core::{topology, MachineTree, ProcEnv, ProcId, SpmdContext, StepOutcome, SyncScope};
+use hbsp_obs::FlightRecorder;
 use hbsp_sim::{FaultPlan, SimError};
 use hbsplib::{Executor, Program, RecoveryPolicy};
 use std::process::exit;
@@ -49,11 +53,14 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hbsp_chaos [--seed S] [--runs N] [--ramps N] [--json] <machine.hbsp>...\n\
-         \x20 --seed S    base seed for fault-plan generation (default 0)\n\
-         \x20 --runs N    fault plans per machine (default 64)\n\
-         \x20 --ramps N   straggler-ramp plans per machine (default 8)\n\
-         \x20 --json      one JSONL record per machine × seed on stdout"
+        "usage: hbsp_chaos [--seed S] [--runs N] [--ramps N] [--json] \
+         [--postmortem DIR] <machine.hbsp>...\n\
+         \x20 --seed S          base seed for fault-plan generation (default 0)\n\
+         \x20 --runs N          fault plans per machine (default 64)\n\
+         \x20 --ramps N         straggler-ramp plans per machine (default 8)\n\
+         \x20 --json            one JSONL record per machine × seed on stdout\n\
+         \x20 --postmortem DIR  dump a PostmortemBundle per engine for every\n\
+         \x20                   failed or violating run into DIR"
     );
     exit(2)
 }
@@ -132,41 +139,105 @@ struct ChaosRecord {
     attempts: usize,
     /// Supersteps of the final successful attempt (0 on refusal).
     steps: usize,
+    /// Postmortem bundle files written (with `--postmortem`).
+    dumps: Vec<String>,
+}
+
+/// Write both engines' flight-recorder bundles for a dead or
+/// violating run; returns the file paths written.
+fn dump_bundles(
+    dir: &str,
+    stem: &str,
+    seed: u64,
+    reason: &str,
+    tree: &MachineTree,
+    plan: &FaultPlan,
+    recorders: &[(&str, &FlightRecorder)],
+) -> Vec<String> {
+    let machine = tree.to_string();
+    let faults = plan.render();
+    let mut written = Vec::new();
+    for (engine, fr) in recorders {
+        let bundle = fr.bundle(reason, engine, &machine, &faults);
+        let path = format!("{dir}/postmortem_{stem}_s{seed}_{engine}.jsonl");
+        match std::fs::write(&path, bundle.to_jsonl()) {
+            Ok(()) => written.push(path),
+            Err(e) => eprintln!("hbsp_chaos: cannot write {path}: {e}"),
+        }
+    }
+    written
 }
 
 /// One machine × one plan. `must_complete` marks plans with no lethal
 /// fault (straggler ramps): both engines have to finish them, an error
-/// outcome is itself a violation.
-fn chaos_run(tree: &Arc<MachineTree>, plan: &FaultPlan, must_complete: bool) -> ChaosRecord {
+/// outcome is itself a violation. With `postmortem` set, any failed or
+/// violating run dumps each engine's [`FlightRecorder`] as a
+/// `PostmortemBundle` JSONL file into that directory.
+fn chaos_run(
+    tree: &Arc<MachineTree>,
+    plan: &FaultPlan,
+    must_complete: bool,
+    postmortem: Option<(&str, &str, u64)>,
+) -> ChaosRecord {
     let mut rec_out = ChaosRecord {
         violation: None,
         recovery_events: 0,
         attempts: 0,
         steps: 0,
+        dumps: Vec::new(),
     };
 
-    // Property 1: both engines fail fast with identical outcomes.
+    // Property 1: both engines fail fast with identical outcomes. Both
+    // run under an armed flight recorder — the always-on probe is part
+    // of the configuration chaos exercises, and it is what a failed
+    // run's forensics come from.
+    let sim_fr = Arc::new(FlightRecorder::new());
+    let thr_fr = Arc::new(FlightRecorder::new());
     let sim = digest(
         Executor::simulator(tree.clone())
             .faults(plan.clone())
+            .probe(sim_fr.clone())
             .run(&Gossip),
     );
     let thr = digest(
         Executor::threads(tree.clone())
             .faults(plan.clone())
+            .probe(thr_fr.clone())
             .run(&Gossip),
     );
+    let dump = |reason: &str| {
+        postmortem
+            .map(|(dir, stem, seed)| {
+                dump_bundles(
+                    dir,
+                    stem,
+                    seed,
+                    reason,
+                    tree,
+                    plan,
+                    &[("sim", &sim_fr), ("threads", &thr_fr)],
+                )
+            })
+            .unwrap_or_default()
+    };
     if sim != thr {
         rec_out.violation = Some(format!(
             "engine divergence under plan {plan:?}: simulator {sim:?} vs threads {thr:?}"
         ));
+        rec_out.dumps = dump("engine divergence");
         return rec_out;
     }
-    if must_complete {
-        if let RunDigest::Failed(e) = &sim {
+    if let RunDigest::Failed(e) = &sim {
+        if must_complete {
             rec_out.violation = Some(format!(
                 "non-lethal plan {plan:?} failed instead of completing: {e}"
             ));
+        }
+        // A fail-fast death is a verified outcome for random plans,
+        // but it is exactly when forensics matter: dump both engines'
+        // bundles (bit-identical for the same seeded failure).
+        rec_out.dumps = dump(&e.to_string());
+        if rec_out.violation.is_some() {
             return rec_out;
         }
     }
@@ -204,11 +275,15 @@ fn main() {
     let mut runs: u64 = 64;
     let mut ramps: u64 = 8;
     let mut json = false;
+    let mut postmortem: Option<String> = None;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--postmortem" => {
+                postmortem = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
             "--seed" => {
                 seed = it
                     .next()
@@ -235,8 +310,15 @@ fn main() {
     if files.is_empty() {
         usage();
     }
+    if let Some(dir) = &postmortem {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("hbsp_chaos: cannot create {dir}: {e}");
+            exit(2);
+        }
+    }
 
     let mut violations = 0usize;
+    let mut dumped = 0usize;
     for file in &files {
         let tree = match std::fs::read_to_string(file)
             .map_err(|e| e.to_string())
@@ -258,7 +340,23 @@ fn main() {
             } else {
                 (ramp_plan(s, &tree), "ramp", true)
             };
-            let rec = chaos_run(&tree, &plan, must_complete);
+            let stem: String = std::path::Path::new(file)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("machine")
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                .collect();
+            let rec = chaos_run(
+                &tree,
+                &plan,
+                must_complete,
+                postmortem.as_deref().map(|dir| (dir, stem.as_str(), s)),
+            );
+            for path in &rec.dumps {
+                eprintln!("{file}: seed {s} ({shape}): postmortem bundle: {path}");
+            }
+            dumped += rec.dumps.len();
             if json {
                 use hbsp_obs::json::escape;
                 let (outcome, viol) = match &rec.violation {
@@ -290,6 +388,9 @@ fn main() {
                 tree.num_procs()
             );
         }
+    }
+    if dumped > 0 {
+        eprintln!("hbsp_chaos: {dumped} postmortem bundle(s) written");
     }
     if violations > 0 {
         eprintln!("hbsp_chaos: {violations} violation(s) found");

@@ -1,4 +1,5 @@
-//! End-to-end tests of the `hbsp_run` and `hbsp_chaos` CLI binaries.
+//! End-to-end tests of the `hbsp_run`, `hbsp_chaos`, and
+//! `hbsp_postmortem` CLI binaries.
 
 use std::process::Command;
 
@@ -89,6 +90,76 @@ fn chaos_usage_and_bad_files_exit_nonzero() {
     let (_, stderr, ok) = chaos(&["/nonexistent/machine.hbsp"]);
     assert!(!ok);
     assert!(stderr.contains("error"), "{stderr}");
+}
+
+fn postmortem(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hbsp_postmortem"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// The forensics acceptance path end to end: a seeded chaos crash
+/// dumps one `PostmortemBundle` per engine, `hbsp_postmortem`
+/// validates and renders them, and the two bundles are bit-identical
+/// except for the self-identifying engine header.
+#[test]
+fn chaos_crashes_dump_bundles_that_postmortem_validates_and_diffs_clean() {
+    let campus = concat!(env!("CARGO_MANIFEST_DIR"), "/../../machines/campus.hbsp");
+    let dir = std::env::temp_dir().join(format!("hbsp_pm_cli_{}", std::process::id()));
+    let dir_s = dir.to_str().expect("utf-8 temp dir");
+    // Seed 0 on campus produces crashing fault plans within a few runs.
+    let (stdout, stderr, ok) =
+        chaos(&["--seed", "0", "--runs", "6", "--postmortem", dir_s, campus]);
+    assert!(ok, "{stderr}");
+    let _ = stdout;
+    assert!(stderr.contains("postmortem bundle(s) written"), "{stderr}");
+
+    let mut pairs = 0;
+    for entry in std::fs::read_dir(&dir).expect("dump dir exists") {
+        let path = entry.expect("dir entry").path();
+        let p = path.to_str().expect("utf-8 path");
+        if !p.ends_with("_sim.jsonl") {
+            continue;
+        }
+        pairs += 1;
+        let other = p.replace("_sim.jsonl", "_threads.jsonl");
+        // Validate + summarize both.
+        let (stdout, stderr, ok) = postmortem(&[p]);
+        assert!(ok, "{stderr}");
+        assert!(stdout.contains("sim bundle at step"), "{stdout}");
+        // Without --ignore-engine the engine header differs: exit 1.
+        let (_, stderr, ok) = postmortem(&[p, "--diff", &other]);
+        assert!(!ok, "engine headers must differ");
+        assert!(stderr.contains("engine:"), "{stderr}");
+        // With it, the bundles are bit-identical.
+        let (stdout, stderr, ok) = postmortem(&[p, "--diff", &other, "--ignore-engine"]);
+        assert!(ok, "{stderr}");
+        assert!(stdout.contains("bundles agree"), "{stdout}");
+        // And the re-rendered Chrome trace validates before writing.
+        let trace = format!("{p}.trace.json");
+        let (stdout, stderr, ok) = postmortem(&[p, "--chrome", &trace]);
+        assert!(ok, "{stderr}");
+        assert!(stdout.contains("chrome trace written"), "{stdout}");
+        assert!(std::fs::metadata(&trace).expect("trace file").len() > 0);
+    }
+    assert!(pairs > 0, "seeded chaos produced no crash bundles");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn postmortem_usage_and_bad_input_exit_nonzero() {
+    let (_, stderr, ok) = postmortem(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (_, stderr, ok) = postmortem(&["/nonexistent/bundle.jsonl"]);
+    assert!(!ok);
+    assert!(stderr.contains("No such file"), "{stderr}");
 }
 
 #[test]

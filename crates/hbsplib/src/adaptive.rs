@@ -43,7 +43,10 @@
 
 use crate::executor::Executor;
 use hbsp_core::{MachineTree, ObservedParams, SuperstepCost};
-use hbsp_obs::{calibrate_robust, proc_estimates, DriftReport, EventTrace, ObsEvent, Recorder};
+use hbsp_obs::{
+    calibrate_robust, proc_estimates, CausalKind, CausalSpan, CausalTree, DriftReport, EventTrace,
+    ObsEvent, PostmortemBundle, Recorder,
+};
 use hbsp_sim::SimError;
 use std::fmt;
 use std::sync::Arc;
@@ -115,15 +118,28 @@ pub enum AdaptiveError {
     /// The planner could not lower a segment (e.g. the collective
     /// does not support repetition).
     Plan(String),
-    /// An engine run died with a typed error.
-    Exec(SimError),
+    /// An engine run died with a typed error. The attached
+    /// [`PostmortemBundle`] (when the dying segment had telemetry)
+    /// carries the segment's step records, events, metrics, the
+    /// decision log up to the failure, and the causal span tree.
+    Exec(SimError, Option<Box<PostmortemBundle>>),
+}
+
+impl AdaptiveError {
+    /// The forensics bundle captured at the failing segment, if any.
+    pub fn bundle(&self) -> Option<&PostmortemBundle> {
+        match self {
+            AdaptiveError::Exec(_, Some(b)) => Some(b),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AdaptiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AdaptiveError::Plan(msg) => write!(f, "adaptive planning failed: {msg}"),
-            AdaptiveError::Exec(err) => write!(f, "adaptive execution failed: {err}"),
+            AdaptiveError::Exec(err, _) => write!(f, "adaptive execution failed: {err}"),
         }
     }
 }
@@ -132,7 +148,7 @@ impl std::error::Error for AdaptiveError {}
 
 impl From<SimError> for AdaptiveError {
     fn from(err: SimError) -> Self {
-        AdaptiveError::Exec(err)
+        AdaptiveError::Exec(err, None)
     }
 }
 
@@ -218,6 +234,12 @@ pub struct AdaptiveOutcome {
     /// The final belief tree (the physical tree re-parameterized by
     /// every accepted calibration).
     pub belief: Arc<MachineTree>,
+    /// Causal span tree of the run: one [`CausalKind::Segment`] span
+    /// per segment (offset by the cumulative virtual time, since each
+    /// engine run restarts its clock) containing one
+    /// [`CausalKind::Superstep`] span per retained step. Supersteps
+    /// discarded by the per-segment telemetry bound are not spanned.
+    pub spans: Vec<CausalSpan>,
 }
 
 impl AdaptiveOutcome {
@@ -295,6 +317,7 @@ impl AdaptiveExecutor {
         let mut wall = Duration::ZERO;
         let mut saw_wall = false;
         let mut decisions: Vec<Decision> = Vec::new();
+        let mut causal = CausalTree::new();
         let mut replans = 0usize;
         let mut segment = 0usize;
         while rounds_done < total_rounds {
@@ -307,14 +330,33 @@ impl AdaptiveExecutor {
             // hbsp-check preflight on every re-lowered schedule, and
             // the fault plan is re-based so faults scripted against
             // global superstep indices fire in the right segment.
-            let recorder = Arc::new(Recorder::new());
+            // The recorder is bounded at the planned step count: a
+            // well-behaved segment drops nothing, and a runaway one
+            // stops accumulating memory (and reads as infinite drift
+            // below).
+            let recorder = Arc::new(Recorder::new().keep_last(planned.predicted.len().max(1)));
             let seg_exec = self
                 .exec
                 .clone()
                 .faults(full_faults.shifted(steps_done))
                 .check(true)
                 .probe(recorder.clone());
-            let (outcome, _states) = seg_exec.run(&planned.prog)?;
+            let seg_offset = total_time;
+            let (outcome, _states) = match seg_exec.run(&planned.prog) {
+                Ok(ok) => ok,
+                Err(err) => {
+                    let bundle = self.segment_bundle(
+                        &err,
+                        &full_faults,
+                        &recorder,
+                        &causal,
+                        &decisions,
+                        segment,
+                        seg_offset,
+                    );
+                    return Err(AdaptiveError::Exec(err, Some(Box::new(bundle))));
+                }
+            };
             total_time += outcome.total_time();
             if let Some(w) = outcome.wall {
                 wall += w;
@@ -325,11 +367,26 @@ impl AdaptiveExecutor {
             let seg_steps = steps.len();
             steps_done += seg_steps;
             rounds_done += seg_rounds;
-            // Detect. A structural mismatch (step counts disagree —
-            // the program did not execute the schedule the planner
-            // priced) is infinite drift: always over any finite
-            // threshold.
-            let (drift, predicted_total, observed_total) =
+            let seg_span = causal.push(
+                CausalKind::Segment,
+                format!("segment {segment}"),
+                None,
+                seg_offset,
+                seg_offset + outcome.total_time(),
+            );
+            causal.push_steps(Some(seg_span), &steps, seg_offset);
+            // Detect. A structural mismatch — step counts disagree
+            // with the plan, or the bounded recorder had to discard
+            // steps (the program did not execute the schedule the
+            // planner priced) — is infinite drift: always over any
+            // finite threshold.
+            let (drift, predicted_total, observed_total) = if recorder.dropped() > 0 {
+                (
+                    f64::INFINITY,
+                    planned.predicted.iter().map(SuperstepCost::total).sum(),
+                    outcome.total_time(),
+                )
+            } else {
                 match DriftReport::new(&steps, &planned.predicted) {
                     Ok(rep) => (
                         rep.mean_abs_rel_error(),
@@ -341,7 +398,8 @@ impl AdaptiveExecutor {
                         planned.predicted.iter().map(SuperstepCost::total).sum(),
                         outcome.total_time(),
                     ),
-                };
+                }
+            };
             // Replan: only when drift trips the threshold and work
             // remains. (`inf > inf` is false, so the static arm never
             // re-plans, even on structural mismatch.)
@@ -391,7 +449,65 @@ impl AdaptiveExecutor {
             replans,
             decisions,
             belief,
+            spans: causal.into_spans(),
         })
+    }
+
+    /// Snapshot forensics for a segment that died mid-run: the
+    /// segment recorder's retained steps/events/metrics, the decision
+    /// log up to the failure, and the causal span tree so far plus a
+    /// span for the dying segment (ending at its last retained
+    /// release).
+    #[allow(clippy::too_many_arguments)]
+    fn segment_bundle(
+        &self,
+        err: &SimError,
+        full_faults: &hbsp_sim::FaultPlan,
+        recorder: &Recorder,
+        causal: &CausalTree,
+        decisions: &[Decision],
+        segment: usize,
+        seg_offset: f64,
+    ) -> PostmortemBundle {
+        let steps = recorder.steps();
+        let mut spans = causal.spans().to_vec();
+        let mut tail = CausalTree::new();
+        let seg_end = seg_offset
+            + steps
+                .iter()
+                .flat_map(|s| s.releases().iter().copied())
+                .fold(0.0f64, f64::max);
+        let seg_span = tail.push(
+            CausalKind::Segment,
+            format!("segment {segment}"),
+            None,
+            seg_offset,
+            seg_end,
+        );
+        tail.push_steps(Some(seg_span), &steps, seg_offset);
+        let base = spans.len();
+        for mut cs in tail.into_spans() {
+            cs.id += base;
+            cs.parent = cs.parent.map(|p| p + base);
+            spans.push(cs);
+        }
+        let mut decision_log = String::new();
+        for d in decisions {
+            decision_log.push_str(&d.render());
+            decision_log.push('\n');
+        }
+        PostmortemBundle {
+            reason: err.to_string(),
+            engine: self.exec.engine_name().to_string(),
+            step: steps.last().map(|s| s.step).unwrap_or(0),
+            machine: self.exec.tree().to_string(),
+            fault_plan: full_faults.render(),
+            steps,
+            events: recorder.events(),
+            decision_log,
+            metrics: recorder.metrics(),
+            spans,
+        }
     }
 }
 
@@ -600,6 +716,70 @@ mod tests {
         let physical = clustered();
         assert_eq!(out.belief.num_procs(), physical.num_procs());
         out.belief.validate().unwrap();
+    }
+
+    #[test]
+    fn causal_spans_nest_and_match_across_engines() {
+        let faults = FaultPlan::new().straggle_ramp(ProcId(3), 2, 6, 2.0, 1.0);
+        let run = |exec: Executor| {
+            AdaptiveExecutor::new(exec.faults(faults.clone()))
+                .config(AdaptiveConfig {
+                    window: 3,
+                    drift_threshold: 0.4,
+                    calibration_trim: 0.25,
+                })
+                .run(&GossipPlan, 9)
+                .unwrap()
+        };
+        let sim = run(Executor::simulator(clustered()));
+        let thr = run(Executor::threads(clustered()));
+        hbsp_obs::check_causal_spans(&sim.spans).unwrap();
+        assert_eq!(sim.spans, thr.spans);
+        // One segment span per segment, each a root; supersteps nest
+        // inside them.
+        let seg_spans: Vec<_> = sim
+            .spans
+            .iter()
+            .filter(|s| s.kind == CausalKind::Segment)
+            .collect();
+        assert_eq!(seg_spans.len(), sim.segments);
+        assert!(seg_spans.iter().all(|s| s.parent.is_none()));
+        assert!(sim
+            .spans
+            .iter()
+            .filter(|s| s.kind == CausalKind::Superstep)
+            .all(|s| s.parent.is_some()));
+        // Segments tile the cumulative clock: the last ends at
+        // total_time.
+        let last = seg_spans.last().unwrap();
+        assert!((last.end - sim.total_time).abs() < 1e-9 * (1.0 + sim.total_time));
+    }
+
+    #[test]
+    fn failed_segment_attaches_a_postmortem_bundle() {
+        // P2 crashes at (global) step 4 — inside the second segment —
+        // and the executor's default recovery policy is fail-fast.
+        let faults = FaultPlan::new().crash(ProcId(2), 4);
+        let err = AdaptiveExecutor::new(Executor::simulator(clustered()).faults(faults))
+            .config(AdaptiveConfig {
+                window: 3,
+                drift_threshold: 0.4,
+                calibration_trim: 0.25,
+            })
+            .run(&GossipPlan, 9)
+            .unwrap_err();
+        let bundle = err.bundle().expect("exec failure carries a bundle");
+        bundle.validate().unwrap();
+        assert_eq!(bundle.engine, "sim");
+        assert!(!bundle.reason.is_empty());
+        assert!(bundle.machine.contains("cluster") || !bundle.machine.is_empty());
+        assert!(bundle.fault_plan.contains("crash"), "{}", bundle.fault_plan);
+        // Segment 0 completed, so its decision is in the log.
+        assert!(bundle.decision_log.contains("segment=0"));
+        // The bundle round-trips and renders as a Chrome trace.
+        let reparsed = hbsp_obs::PostmortemBundle::parse(&bundle.to_jsonl()).unwrap();
+        assert_eq!(&reparsed, bundle);
+        hbsp_obs::validate_chrome_trace(&bundle.chrome_trace()).unwrap();
     }
 
     #[test]

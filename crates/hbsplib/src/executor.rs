@@ -230,6 +230,41 @@ impl Executor {
         &self.tree
     }
 
+    /// Stable engine name for forensics (`sim` or `threads`).
+    pub fn engine_name(&self) -> &'static str {
+        match self.kind {
+            EngineKind::Simulator => "sim",
+            EngineKind::Threads => "threads",
+        }
+    }
+
+    /// Snapshot a post-mortem bundle from `flight`: the flight
+    /// recorder's retained steps, events, and metrics, stamped with
+    /// this executor's engine name, rendered machine tree, and
+    /// rendered fault plan. Call it when a run dies to capture
+    /// forensics before the error propagates:
+    ///
+    /// ```ignore
+    /// let flight = Arc::new(FlightRecorder::new());
+    /// let exec = Executor::threads(tree).probe(flight.clone());
+    /// if let Err(e) = exec.run(&prog) {
+    ///     let bundle = exec.postmortem(&format!("{e}"), &flight);
+    ///     std::fs::write("postmortem.jsonl", bundle.to_jsonl())?;
+    /// }
+    /// ```
+    pub fn postmortem(
+        &self,
+        reason: &str,
+        flight: &hbsp_obs::FlightRecorder,
+    ) -> hbsp_obs::PostmortemBundle {
+        flight.bundle(
+            reason,
+            self.engine_name(),
+            &self.tree.to_string(),
+            &self.faults.render(),
+        )
+    }
+
     /// The configured fault plan (the adaptive executor re-bases it
     /// per segment).
     pub(crate) fn faults_ref(&self) -> &FaultPlan {

@@ -10,21 +10,26 @@
 
 use crate::json::{escape, num};
 use crate::record::{EventTrace, StepTrace};
-use crate::span::Span;
+use crate::span::{causal_depth, CausalSpan, Span};
 use std::fmt::Write as _;
 
 /// Synthetic pid for the virtual-time timeline.
 pub const PID_VIRTUAL: u64 = 1;
 /// Synthetic pid for the wall-clock timeline.
 pub const PID_WALL: u64 = 2;
+/// Synthetic pid for the causal span tree (pid 3 is the scheduler's
+/// job track, see [`crate::jobs`]).
+pub const PID_CAUSAL: u64 = 4;
 
 struct XEvent {
-    name: &'static str,
+    name: String,
+    cat: &'static str,
     ts: f64,
     dur: f64,
     pid: u64,
     tid: usize,
-    step: usize,
+    /// Pre-rendered `args` object fragment (without braces).
+    args: String,
 }
 
 fn push_span_events(
@@ -37,18 +42,27 @@ fn push_span_events(
 ) {
     for span in spans {
         out.push(XEvent {
-            name: span.kind.name(),
+            name: span.kind.name().to_string(),
+            cat: "superstep",
             ts: span.start * scale,
             dur: span.duration() * scale,
             pid,
             tid,
-            step,
+            args: format!("\"step\":{step}"),
         });
     }
 }
 
 /// Render recorded steps as a Chrome trace-event JSON document.
 pub fn chrome_trace(steps: &[StepTrace]) -> String {
+    chrome_trace_with_causal(steps, &[])
+}
+
+/// Like [`chrome_trace`], with an extra track (pid [`PID_CAUSAL`])
+/// carrying a causal span tree: one complete event per span, `tid` =
+/// depth in the tree, `args` carrying the span's `id` and `parent`
+/// link so consumers can rebuild the hierarchy.
+pub fn chrome_trace_with_causal(steps: &[StepTrace], causal: &[CausalSpan]) -> String {
     let procs = steps.iter().map(StepTrace::procs).max().unwrap_or(0);
     let has_wall = steps.iter().any(|s| s.wall().is_some());
 
@@ -66,6 +80,21 @@ pub fn chrome_trace(steps: &[StepTrace]) -> String {
                 1e-3,
             );
         }
+    }
+    for cs in causal {
+        let parent = match cs.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        events.push(XEvent {
+            name: format!("{}:{}", cs.kind.name(), cs.label),
+            cat: "causal",
+            ts: cs.start,
+            dur: cs.end - cs.start,
+            pid: PID_CAUSAL,
+            tid: causal_depth(causal, cs.id),
+            args: format!("\"id\":{},\"parent\":{}", cs.id, parent),
+        });
     }
     events.sort_by(|a, b| {
         a.ts.total_cmp(&b.ts)
@@ -102,6 +131,16 @@ pub fn chrome_trace(steps: &[StepTrace]) -> String {
             ),
         );
     }
+    if !causal.is_empty() {
+        meta(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_CAUSAL},\"tid\":0,\
+                 \"args\":{{\"name\":\"causal spans (batch > job > segment > superstep)\"}}}}"
+            ),
+        );
+    }
     for pid in 0..procs {
         meta(
             &mut out,
@@ -127,14 +166,15 @@ pub fn chrome_trace(steps: &[StepTrace]) -> String {
             &mut out,
             &mut first,
             format!(
-                "{{\"name\":\"{}\",\"cat\":\"superstep\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                 \"pid\":{},\"tid\":{},\"args\":{{\"step\":{}}}}}",
-                escape(e.name),
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+                escape(&e.name),
+                e.cat,
                 num(e.ts),
                 num(e.dur.max(0.0)),
                 e.pid,
                 e.tid,
-                e.step
+                e.args
             ),
         );
     }
@@ -152,43 +192,37 @@ fn jsonl_f64s(vals: &[f64]) -> String {
     format!("[{}]", items.join(","))
 }
 
-/// Render recorded steps, events, and metrics as JSONL: one
-/// self-describing record per line (`"kind"` ∈ `step`, `event`,
-/// `metric`).
-pub fn jsonl(
-    steps: &[StepTrace],
-    events: &[EventTrace],
-    metrics: &[crate::metrics::MetricSample],
-) -> String {
-    use crate::metrics::MetricValue;
-    let mut out = String::new();
-    for st in steps {
-        let barrier = match st.barrier {
-            Some(l) => l.to_string(),
-            None => "null".to_string(),
-        };
-        let _ = write!(
-            out,
-            "{{\"kind\":\"step\",\"step\":{},\"barrier\":{},\"hrelation\":{},\
-             \"duration\":{},\"words\":{},\"messages\":{},\
-             \"starts\":{},\"compute_done\":{},\"send_done\":{},\"finish\":{},\"releases\":{},\
-             \"words_by_level\":{},\"messages_by_level\":{},\"work\":{},\"sent_words\":{}",
-            st.step,
-            barrier,
-            num(st.hrelation),
-            num(st.duration()),
-            st.total_words(),
-            st.total_messages(),
-            jsonl_f64s(st.starts()),
-            jsonl_f64s(st.compute_done()),
-            jsonl_f64s(st.send_done()),
-            jsonl_f64s(st.finish()),
-            jsonl_f64s(st.releases()),
-            jsonl_u64s(st.words_by_level()),
-            jsonl_u64s(st.messages_by_level()),
-            jsonl_f64s(st.work()),
-            jsonl_u64s(st.sent_words()),
-        );
+/// Append one `"kind":"step"` JSONL line for `st`. Wall-clock fields
+/// are included only when `include_wall` is set — post-mortem bundles
+/// omit them so bundles compare bit-identically across engines.
+pub(crate) fn jsonl_step_line(out: &mut String, st: &StepTrace, include_wall: bool) {
+    let barrier = match st.barrier {
+        Some(l) => l.to_string(),
+        None => "null".to_string(),
+    };
+    let _ = write!(
+        out,
+        "{{\"kind\":\"step\",\"step\":{},\"barrier\":{},\"hrelation\":{},\
+         \"duration\":{},\"words\":{},\"messages\":{},\
+         \"starts\":{},\"compute_done\":{},\"send_done\":{},\"finish\":{},\"releases\":{},\
+         \"words_by_level\":{},\"messages_by_level\":{},\"work\":{},\"sent_words\":{}",
+        st.step,
+        barrier,
+        num(st.hrelation),
+        num(st.duration()),
+        st.total_words(),
+        st.total_messages(),
+        jsonl_f64s(st.starts()),
+        jsonl_f64s(st.compute_done()),
+        jsonl_f64s(st.send_done()),
+        jsonl_f64s(st.finish()),
+        jsonl_f64s(st.releases()),
+        jsonl_u64s(st.words_by_level()),
+        jsonl_u64s(st.messages_by_level()),
+        jsonl_f64s(st.work()),
+        jsonl_u64s(st.sent_words()),
+    );
+    if include_wall {
         if let Some(w) = st.wall() {
             let _ = write!(
                 out,
@@ -198,90 +232,135 @@ pub fn jsonl(
                 w.leader_done_ns
             );
         }
-        out.push_str("}\n");
     }
-    for ev in events {
-        match ev {
-            EventTrace::WatchdogFired { step, missing } => {
-                let pids: Vec<String> = missing.iter().map(|p| p.rank().to_string()).collect();
-                let _ = writeln!(
-                    out,
-                    "{{\"kind\":\"event\",\"event\":\"watchdog_fired\",\"step\":{},\
-                     \"missing\":[{}]}}",
-                    step,
-                    pids.join(",")
-                );
-            }
-            EventTrace::Degraded {
+    out.push_str("}\n");
+}
+
+/// Append one `"kind":"event"` JSONL line for `ev`.
+pub(crate) fn jsonl_event_line(out: &mut String, ev: &EventTrace) {
+    match ev {
+        EventTrace::WatchdogFired { step, missing } => {
+            let pids: Vec<String> = missing.iter().map(|p| p.rank().to_string()).collect();
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"event\",\"event\":\"watchdog_fired\",\"step\":{},\
+                 \"missing\":[{}]}}",
                 step,
-                dead,
-                remaining,
-            } => {
-                let pids: Vec<String> = dead.iter().map(|p| p.rank().to_string()).collect();
-                let _ = writeln!(
-                    out,
-                    "{{\"kind\":\"event\",\"event\":\"degraded\",\"step\":{},\"dead\":[{}],\
-                     \"remaining\":{}}}",
-                    step,
-                    pids.join(","),
-                    remaining
-                );
-            }
-            EventTrace::RecoveryAttempt { attempt } => {
-                let _ = writeln!(
-                    out,
-                    "{{\"kind\":\"event\",\"event\":\"recovery_attempt\",\"attempt\":{attempt}}}"
-                );
-            }
-            EventTrace::Replan {
+                pids.join(",")
+            );
+        }
+        EventTrace::Degraded {
+            step,
+            dead,
+            remaining,
+        } => {
+            let pids: Vec<String> = dead.iter().map(|p| p.rank().to_string()).collect();
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"event\",\"event\":\"degraded\",\"step\":{},\"dead\":[{}],\
+                 \"remaining\":{}}}",
+                step,
+                pids.join(","),
+                remaining
+            );
+        }
+        EventTrace::RecoveryAttempt { attempt } => {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"event\",\"event\":\"recovery_attempt\",\"attempt\":{attempt}}}"
+            );
+        }
+        EventTrace::Replan {
+            segment,
+            step,
+            drift,
+            strategy,
+            predicted,
+        } => {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"event\",\"event\":\"replan\",\"segment\":{},\"step\":{},\
+                 \"drift\":{},\"strategy\":\"{}\",\"predicted\":{}}}",
                 segment,
                 step,
-                drift,
-                strategy,
-                predicted,
-            } => {
-                let _ = writeln!(
-                    out,
-                    "{{\"kind\":\"event\",\"event\":\"replan\",\"segment\":{},\"step\":{},\
-                     \"drift\":{},\"strategy\":\"{}\",\"predicted\":{}}}",
-                    segment,
-                    step,
-                    num(if drift.is_finite() { *drift } else { -1.0 }),
-                    escape(strategy),
-                    num(*predicted)
-                );
-            }
+                num(if drift.is_finite() { *drift } else { -1.0 }),
+                escape(strategy),
+                num(*predicted)
+            );
+        }
+        EventTrace::Anomaly {
+            step,
+            pid,
+            metric,
+            zscore,
+            value,
+            mean,
+        } => {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"event\",\"event\":\"anomaly\",\"step\":{},\"pid\":{},\
+                 \"metric\":\"{}\",\"zscore\":{},\"value\":{},\"mean\":{}}}",
+                step,
+                pid.rank(),
+                escape(metric),
+                num(*zscore),
+                num(*value),
+                num(*mean)
+            );
         }
     }
-    for m in metrics {
-        match &m.value {
-            MetricValue::Counter(v) => {
-                let _ = writeln!(
-                    out,
-                    "{{\"kind\":\"metric\",\"name\":\"{}\",\"type\":\"counter\",\"value\":{}}}",
-                    escape(&m.name),
-                    v
-                );
-            }
-            MetricValue::Gauge(v) => {
-                let _ = writeln!(
-                    out,
-                    "{{\"kind\":\"metric\",\"name\":\"{}\",\"type\":\"gauge\",\"value\":{}}}",
-                    escape(&m.name),
-                    num(*v)
-                );
-            }
-            MetricValue::Histogram { count, sum } => {
-                let _ = writeln!(
-                    out,
-                    "{{\"kind\":\"metric\",\"name\":\"{}\",\"type\":\"histogram\",\
-                     \"count\":{},\"sum\":{}}}",
-                    escape(&m.name),
-                    count,
-                    num(*sum)
-                );
-            }
+}
+
+/// Append one `"kind":"metric"` JSONL line for `m`.
+pub(crate) fn jsonl_metric_line(out: &mut String, m: &crate::metrics::MetricSample) {
+    use crate::metrics::MetricValue;
+    match &m.value {
+        MetricValue::Counter(v) => {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"metric\",\"name\":\"{}\",\"type\":\"counter\",\"value\":{}}}",
+                escape(&m.name),
+                v
+            );
         }
+        MetricValue::Gauge(v) => {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"metric\",\"name\":\"{}\",\"type\":\"gauge\",\"value\":{}}}",
+                escape(&m.name),
+                num(*v)
+            );
+        }
+        MetricValue::Histogram { count, sum } => {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"metric\",\"name\":\"{}\",\"type\":\"histogram\",\
+                 \"count\":{},\"sum\":{}}}",
+                escape(&m.name),
+                count,
+                num(*sum)
+            );
+        }
+    }
+}
+
+/// Render recorded steps, events, and metrics as JSONL: one
+/// self-describing record per line (`"kind"` ∈ `step`, `event`,
+/// `metric`).
+pub fn jsonl(
+    steps: &[StepTrace],
+    events: &[EventTrace],
+    metrics: &[crate::metrics::MetricSample],
+) -> String {
+    let mut out = String::new();
+    for st in steps {
+        jsonl_step_line(&mut out, st, true);
+    }
+    for ev in events {
+        jsonl_event_line(&mut out, ev);
+    }
+    for m in metrics {
+        jsonl_metric_line(&mut out, m);
     }
     out
 }

@@ -25,29 +25,49 @@
 //!   spans ([`JobSpan`]), the `hbsp_jobs_*` metric family
 //!   ([`JobMetrics`]), and a job-track Chrome-trace exporter
 //!   ([`jobs_chrome_trace`]).
+//! * **[`FlightRecorder`]** — the always-on probe: a lock-free,
+//!   allocation-free ring of the last N step records plus a streaming
+//!   [`anomaly`] detector, cheap enough to leave armed in production.
+//!   On a fault it snapshots into a [`PostmortemBundle`] — machine
+//!   tree, fault plan, last-N steps, events, decision log, metrics,
+//!   and the causal span tree — serialized as JSONL and bit-identical
+//!   across engines for the same seeded failure.
 //!
 //! [`Span`]/[`SpanKind`] live here and are re-exported by `hbsp-sim`,
 //! so both engines and the exporters agree on one span schema.
 
 #![forbid(unsafe_code)]
 
+pub mod anomaly;
 pub mod calibrate;
 pub mod drift;
 pub mod export;
+pub mod flight;
 pub mod jobs;
 pub mod json;
 pub mod metrics;
+pub mod postmortem;
 pub mod probe;
 pub mod record;
 pub mod span;
 
+pub use anomaly::{
+    welford_update, zscore, Anomaly, AnomalyConfig, AnomalyDetector, METRIC_BARRIER_SKEW,
+    METRIC_DURATION_DRIFT,
+};
 pub use calibrate::{
     calibrate, calibrate_robust, proc_estimates, Calibration, ProcEstimates, RobustCalibration,
 };
 pub use drift::{DriftReport, DriftRow};
-pub use export::{chrome_trace, jsonl, validate_chrome_trace, TraceCheck};
+pub use export::{
+    chrome_trace, chrome_trace_with_causal, jsonl, validate_chrome_trace, TraceCheck,
+};
+pub use flight::FlightRecorder;
 pub use jobs::{jobs_chrome_trace, JobMetrics, JobSpan};
 pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, Registry};
+pub use postmortem::{PostmortemBundle, BUNDLE_VERSION};
 pub use probe::{noop, NoopProbe, ObsEvent, Probe, StepRecord, StepWall};
 pub use record::{check_span_invariants, EventTrace, Recorder, StepTrace};
-pub use span::{Span, SpanKind};
+pub use span::{
+    causal_depth, check_causal_spans, CausalKind, CausalSpan, CausalTree, Span, SpanKind,
+};

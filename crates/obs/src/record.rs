@@ -290,6 +290,21 @@ pub enum EventTrace {
         /// Predicted virtual time of the re-planned remainder.
         predicted: f64,
     },
+    /// The streaming anomaly detector flagged an outlier.
+    Anomaly {
+        /// Superstep the outlier was observed at.
+        step: usize,
+        /// Flagged processor.
+        pid: ProcId,
+        /// Statistic name (`barrier_skew` or `duration_drift`).
+        metric: String,
+        /// Signed z-score of the observation.
+        zscore: f64,
+        /// The observed value.
+        value: f64,
+        /// The trailing mean it was compared against.
+        mean: f64,
+    },
 }
 
 /// Handles for the stable metric set a [`Recorder`] maintains.
@@ -304,6 +319,7 @@ struct StdMetrics {
     degrade_events: CounterId,
     recovery_attempts: CounterId,
     adaptive_replans: CounterId,
+    anomaly_events: CounterId,
     adaptive_drift: HistogramId,
     barrier_wait_virtual: HistogramId,
     hrelation: HistogramId,
@@ -320,6 +336,11 @@ struct StdMetrics {
 pub struct Recorder {
     steps: Mutex<Vec<StepTrace>>,
     events: Mutex<Vec<EventTrace>>,
+    /// `Some(n)`: keep only the last `n` steps (see
+    /// [`Recorder::keep_last`]).
+    bound: Option<usize>,
+    /// Steps discarded by the bound.
+    dropped: std::sync::atomic::AtomicU64,
     registry: Registry,
     std: StdMetrics,
     poison_base: u64,
@@ -349,6 +370,7 @@ impl Recorder {
             degrade_events: registry.counter("hbsp_degrade_events_total"),
             recovery_attempts: registry.counter("hbsp_recovery_attempts_total"),
             adaptive_replans: registry.counter("hbsp_adaptive_replans_total"),
+            anomaly_events: registry.counter("hbsp_anomaly_events_total"),
             adaptive_drift: registry.histogram("hbsp_adaptive_drift"),
             barrier_wait_virtual: registry.histogram("hbsp_barrier_wait_virtual"),
             hrelation: registry.histogram("hbsp_hrelation_observed"),
@@ -358,10 +380,28 @@ impl Recorder {
         Recorder {
             steps: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
+            bound: None,
+            dropped: std::sync::atomic::AtomicU64::new(0),
             registry,
             std,
             poison_base: metrics::poison_recoveries(),
         }
+    }
+
+    /// Bound memory: keep only the last `n` recorded steps (min 1),
+    /// discarding the oldest as new ones arrive. Metrics still count
+    /// every step; [`Recorder::dropped`] reports how many full
+    /// [`StepTrace`]s were discarded. The adaptive executor bounds
+    /// each window's recorder this way so long runs stop accumulating
+    /// every trace.
+    pub fn keep_last(mut self, n: usize) -> Recorder {
+        self.bound = Some(n.max(1));
+        self
+    }
+
+    /// Steps discarded by the [`Recorder::keep_last`] bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Copy of the recorded steps, in execution order. Steps from
@@ -478,7 +518,15 @@ impl Probe for Recorder {
     fn on_step(&self, r: &StepRecord<'_>) {
         self.record_metrics(r);
         let trace = StepTrace::from_record(r);
-        self.steps.lock().expect("recorder lock").push(trace);
+        let mut steps = self.steps.lock().expect("recorder lock");
+        if let Some(bound) = self.bound {
+            if steps.len() >= bound {
+                steps.remove(0);
+                self.dropped
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        steps.push(trace);
     }
 
     fn on_event(&self, ev: &ObsEvent<'_>) {
@@ -526,6 +574,24 @@ impl Probe for Recorder {
                     drift: *drift,
                     strategy: (*strategy).to_string(),
                     predicted: *predicted,
+                }
+            }
+            ObsEvent::Anomaly {
+                step,
+                pid,
+                metric,
+                zscore,
+                value,
+                mean,
+            } => {
+                self.registry.c(self.std.anomaly_events).inc();
+                EventTrace::Anomaly {
+                    step: *step,
+                    pid: *pid,
+                    metric: (*metric).to_string(),
+                    zscore: *zscore,
+                    value: *value,
+                    mean: *mean,
                 }
             }
         };
@@ -743,6 +809,49 @@ mod tests {
         assert_eq!(spans.len(), 8, "two steps × four spans for proc 0");
         assert_eq!(spans[0].start, 0.0);
         assert_eq!(spans.last().unwrap().end, 12.0);
+    }
+
+    #[test]
+    fn keep_last_bounds_memory_but_not_metrics() {
+        let rec = Recorder::new().keep_last(3);
+        for i in 0..10 {
+            let st = synthetic_step(i, Some(1), i as f64 * 6.0);
+            rec.on_step(&record_of(&st));
+        }
+        let steps = rec.steps();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(
+            steps.iter().map(|s| s.step).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(rec.dropped(), 7);
+        // Metrics still saw every step.
+        assert!(rec.metrics_text().contains("hbsp_steps_total 10\n"));
+        // Unbounded recorders report zero drops.
+        assert_eq!(Recorder::new().dropped(), 0);
+    }
+
+    #[test]
+    fn anomaly_events_are_recorded_and_counted() {
+        let rec = Recorder::new();
+        rec.on_event(&ObsEvent::Anomaly {
+            step: 7,
+            pid: ProcId(2),
+            metric: "barrier_skew",
+            zscore: 4.5,
+            value: 50.0,
+            mean: 1.0,
+        });
+        match &rec.events()[0] {
+            EventTrace::Anomaly {
+                step, pid, metric, ..
+            } => {
+                assert_eq!((*step, *pid), (7, ProcId(2)));
+                assert_eq!(metric, "barrier_skew");
+            }
+            other => panic!("expected anomaly, got {other:?}"),
+        }
+        assert!(rec.metrics_text().contains("hbsp_anomaly_events_total 1\n"));
     }
 
     #[test]

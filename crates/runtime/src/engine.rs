@@ -191,6 +191,21 @@ struct LeaderState {
     /// receiver's mailbox and the receiver's drained buffer is swapped
     /// back, so the same allocations circulate all run.
     dests: Vec<MsgBatch>,
+    /// Probe-record assembly buffers, reused across steps so an
+    /// enabled probe costs no per-superstep allocation either.
+    emit: EmitScratch,
+}
+
+/// Reusable buffers for assembling a [`StepRecord`]: the probe-on
+/// path clears and refills these instead of allocating fresh vectors
+/// every superstep.
+#[derive(Default)]
+struct EmitScratch {
+    words: Vec<u64>,
+    messages: Vec<u64>,
+    sent: Vec<u64>,
+    body_start_ns: Vec<u64>,
+    body_end_ns: Vec<u64>,
 }
 
 impl LeaderState {
@@ -226,6 +241,7 @@ impl LeaderState {
             timing_scratch: TimingScratch::default(),
             order: Vec::new(),
             dests: (0..p).map(|_| MsgBatch::new()).collect(),
+            emit: EmitScratch::default(),
         }
     }
 }
@@ -775,18 +791,29 @@ fn leader_step(
 
     match scope {
         None => {
-            emit_step_record(
-                probe,
-                step,
-                None,
-                &ls.starts,
-                &ls.timing,
-                &ls.timing.finish,
-                &ls.analysis,
-                &ls.work,
-                slots,
-                began,
-            );
+            {
+                let LeaderState {
+                    starts,
+                    timing,
+                    analysis,
+                    work,
+                    emit,
+                    ..
+                } = &mut *ls;
+                emit_step_record(
+                    probe,
+                    step,
+                    None,
+                    starts,
+                    timing,
+                    &timing.finish,
+                    analysis,
+                    work,
+                    slots,
+                    began,
+                    emit,
+                );
+            }
             ls.steps.push(StepStats {
                 step,
                 scope: hbsp_core::SyncScope::global(tree),
@@ -814,18 +841,29 @@ fn leader_step(
             if let Some(tls) = ls.timelines.as_mut() {
                 step_spans(tls, &ls.starts, &ls.timing, &releases);
             }
-            emit_step_record(
-                probe,
-                step,
-                Some(s.level()),
-                &ls.starts,
-                &ls.timing,
-                &releases,
-                &ls.analysis,
-                &ls.work,
-                slots,
-                began,
-            );
+            {
+                let LeaderState {
+                    starts,
+                    timing,
+                    analysis,
+                    work,
+                    emit,
+                    ..
+                } = &mut *ls;
+                emit_step_record(
+                    probe,
+                    step,
+                    Some(s.level()),
+                    starts,
+                    timing,
+                    &releases,
+                    analysis,
+                    work,
+                    slots,
+                    began,
+                    emit,
+                );
+            }
             ls.steps.push(StepStats {
                 step,
                 scope: s,
@@ -865,7 +903,9 @@ fn leader_step(
 /// shared virtual-time decomposition with this engine's wall-clock
 /// marks. Runs inside the leader section (the body marks in the slots
 /// are leader-readable there); when the probe is disabled nothing is
-/// assembled at all, keeping telemetry off the per-step cost.
+/// assembled at all, and when it is enabled assembly refills the
+/// reused [`EmitScratch`] buffers — probe-on costs no per-superstep
+/// allocation either way.
 #[allow(clippy::too_many_arguments)]
 fn emit_step_record(
     probe: &dyn Probe,
@@ -878,24 +918,32 @@ fn emit_step_record(
     work: &[f64],
     slots: &[ProcSlot],
     began: Instant,
+    scratch: &mut EmitScratch,
 ) {
     if !probe.enabled() {
         return;
     }
     let p = starts.len();
-    let words: Vec<u64> = analysis.traffic.iter().map(|t| t.words).collect();
-    let messages: Vec<u64> = analysis.traffic.iter().map(|t| t.messages).collect();
-    let mut sent = vec![0u64; p];
+    scratch.words.clear();
+    scratch
+        .words
+        .extend(analysis.traffic.iter().map(|t| t.words));
+    scratch.messages.clear();
+    scratch
+        .messages
+        .extend(analysis.traffic.iter().map(|t| t.messages));
+    scratch.sent.clear();
+    scratch.sent.resize(p, 0);
     for intent in &analysis.intents {
-        sent[intent.src.rank()] += intent.words;
+        scratch.sent[intent.src.rank()] += intent.words;
     }
-    let mut body_start_ns = vec![0u64; p];
-    let mut body_end_ns = vec![0u64; p];
-    for (i, slot) in slots.iter().enumerate().take(p) {
+    scratch.body_start_ns.clear();
+    scratch.body_end_ns.clear();
+    for slot in slots.iter().take(p) {
         // SAFETY: leader section — the leader owns every slot.
         let slot = unsafe { slot.slot() };
-        body_start_ns[i] = slot.body_start_ns;
-        body_end_ns[i] = slot.body_end_ns;
+        scratch.body_start_ns.push(slot.body_start_ns);
+        scratch.body_end_ns.push(slot.body_end_ns);
     }
     probe.on_step(&StepRecord {
         step,
@@ -905,14 +953,14 @@ fn emit_step_record(
         send_done: &timing.send_done,
         finish: &timing.finish,
         releases,
-        words_by_level: &words,
-        messages_by_level: &messages,
+        words_by_level: &scratch.words,
+        messages_by_level: &scratch.messages,
         hrelation: analysis.hrelation,
         work,
-        sent_words: &sent,
+        sent_words: &scratch.sent,
         wall: Some(StepWall {
-            body_start_ns: &body_start_ns,
-            body_end_ns: &body_end_ns,
+            body_start_ns: &scratch.body_start_ns,
+            body_end_ns: &scratch.body_end_ns,
             leader_done_ns: began.elapsed().as_nanos() as u64,
         }),
     });

@@ -55,7 +55,10 @@ use hbsp_collectives::schedule::ScheduleState;
 use hbsp_collectives::tune::best_plan;
 use hbsp_collectives::{predict, ScheduleProgram};
 use hbsp_core::{MachineTree, NodeIdx, ProcId};
-use hbsp_obs::{DriftReport, JobMetrics, JobSpan, ObsEvent, Probe, Recorder};
+use hbsp_obs::{
+    CausalKind, CausalTree, DriftReport, JobMetrics, JobSpan, ObsEvent, PostmortemBundle, Probe,
+    Recorder,
+};
 use hbsp_sim::FaultPlan;
 use hbsplib::Executor;
 use std::collections::HashMap;
@@ -217,8 +220,13 @@ impl Scheduler {
         let mut num_done = 0usize;
         let mut clock = 0.0f64;
         let mut job_reports: Vec<Option<JobReport>> = (0..n).map(|_| None).collect();
-        let mut batches = Vec::new();
+        let mut batches: Vec<BatchReport> = Vec::new();
         let mut spans = Vec::new();
+        let mut causal = CausalTree::new();
+        let engine_name = match opts.engine {
+            Engine::Simulator => "sim",
+            Engine::Threads => "threads",
+        };
         // Placement prices are pure functions of (collective, size,
         // node) — or (job, node) for custom work — so a graph of
         // repeated shapes prices each shape once.
@@ -333,7 +341,67 @@ impl Scheduler {
             // exactly the statistic the adaptive loop thresholds.
             let predicted = predict(&belief, &schedule);
             let prog = ScheduleProgram::new(schedule, Arc::new(merged.init), merged.op);
-            let (outcome, states) = session.submit(&prog)?;
+            // On an engine failure, snapshot forensics before
+            // surfacing the typed error: the dying batch's telemetry,
+            // the batch log so far, and the causal span tree with the
+            // partial batch appended (ending at its last retained
+            // release).
+            let (outcome, states) = match session.submit(&prog) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    let all_steps = recorder.steps();
+                    let fail_steps = all_steps[recorded.min(all_steps.len())..].to_vec();
+                    let fail_end = clock
+                        + fail_steps
+                            .iter()
+                            .flat_map(|s| s.releases().iter().copied())
+                            .fold(0.0f64, f64::max);
+                    let b = causal.push(
+                        CausalKind::Batch,
+                        format!("batch {batch_index}"),
+                        None,
+                        clock,
+                        fail_end,
+                    );
+                    for l in &lowered {
+                        causal.push(
+                            CausalKind::Job,
+                            self.jobs[l.job].name.clone(),
+                            Some(b),
+                            clock,
+                            fail_end,
+                        );
+                    }
+                    causal.push_steps(Some(b), &fail_steps, clock);
+                    let mut log = String::new();
+                    for br in &batches {
+                        use std::fmt::Write as _;
+                        let _ = writeln!(
+                            log,
+                            "batch={} jobs={} predicted={} observed={} replanned={}",
+                            br.index,
+                            br.jobs.len(),
+                            br.predicted,
+                            br.observed(),
+                            br.replanned
+                        );
+                    }
+                    let all_events = recorder.events();
+                    let bundle = PostmortemBundle {
+                        reason: e.to_string(),
+                        engine: engine_name.to_string(),
+                        step: fail_steps.last().map(|s| s.step).unwrap_or(0),
+                        machine: tree.to_string(),
+                        fault_plan: self.faults.render(),
+                        steps: fail_steps,
+                        events: all_events[recorded_events.min(all_events.len())..].to_vec(),
+                        decision_log: log,
+                        metrics: metrics.snapshot(),
+                        spans: causal.into_spans(),
+                    };
+                    return Err(SchedError::Exec(e, Some(Box::new(bundle))));
+                }
+            };
             let duration = outcome.total_time();
             let (start, end) = (clock, clock + duration);
             clock = end;
@@ -345,6 +413,24 @@ impl Scheduler {
             let drift = DriftReport::new(batch_steps, predicted.steps()).ok();
             recorded = all_steps.len();
             recorded_events = all_events.len();
+
+            let batch_span = causal.push(
+                CausalKind::Batch,
+                format!("batch {batch_index}"),
+                None,
+                start,
+                end,
+            );
+            for l in &lowered {
+                causal.push(
+                    CausalKind::Job,
+                    self.jobs[l.job].name.clone(),
+                    Some(batch_span),
+                    start,
+                    end,
+                );
+            }
+            causal.push_steps(Some(batch_span), batch_steps, start);
 
             for l in &lowered {
                 let i = l.job;
@@ -444,6 +530,7 @@ impl Scheduler {
             spans,
             metrics: metrics.snapshot(),
             replans,
+            causal: causal.into_spans(),
         })
     }
 }
@@ -721,6 +808,50 @@ mod tests {
             assert_eq!(a.root, b.root);
             assert_eq!(a.states, b.states);
         }
+    }
+
+    #[test]
+    fn causal_tree_nests_batches_jobs_and_steps() {
+        let mut s = Scheduler::new(campus_like());
+        let a = s.submit(Job::collective("a", CollectiveKind::Gather, 16));
+        s.submit(Job::collective("b", CollectiveKind::Scan, 16).after(&[a]));
+        let sim = run(&s, Engine::Simulator, false);
+        let thr = run(&s, Engine::Threads, false);
+        hbsp_obs::check_causal_spans(&sim.causal).unwrap();
+        assert_eq!(sim.causal, thr.causal, "causal tree is engine-agnostic");
+        let count = |k| sim.causal.iter().filter(|c| c.kind == k).count();
+        assert_eq!(count(CausalKind::Batch), sim.batches.len());
+        assert_eq!(count(CausalKind::Job), sim.jobs.len());
+        assert!(count(CausalKind::Superstep) > 0);
+        // Batch roots tile the makespan; everything else nests.
+        assert!(sim
+            .causal
+            .iter()
+            .all(|c| (c.kind == CausalKind::Batch) == c.parent.is_none()));
+        hbsp_obs::validate_chrome_trace(&sim.chrome_trace()).unwrap();
+    }
+
+    #[test]
+    fn engine_failure_attaches_a_postmortem_bundle() {
+        let mut s = Scheduler::new(campus_like()).with_faults(FaultPlan::new().crash(ProcId(0), 0));
+        let a = s.submit(Job::collective("a", CollectiveKind::Gather, 16));
+        s.submit(Job::collective("b", CollectiveKind::Scan, 16).after(&[a]));
+        let err = s.run(&RunOptions::default()).unwrap_err();
+        let bundle = match &err {
+            SchedError::Exec(_, Some(b)) => b,
+            other => panic!("expected Exec with bundle, got {other:?}"),
+        };
+        assert_eq!(err.bundle().unwrap(), &**bundle);
+        bundle.validate().unwrap();
+        assert_eq!(bundle.engine, "sim");
+        assert!(bundle.fault_plan.contains("crash"), "{}", bundle.fault_plan);
+        // The dying batch is spanned even though it never completed.
+        assert!(bundle
+            .spans
+            .iter()
+            .any(|c| c.kind == hbsp_obs::CausalKind::Batch));
+        let reparsed = hbsp_obs::PostmortemBundle::parse(&bundle.to_jsonl()).unwrap();
+        assert_eq!(&reparsed, &**bundle);
     }
 
     #[test]

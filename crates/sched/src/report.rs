@@ -6,7 +6,7 @@ use hbsp_collectives::schedule::ScheduleState;
 use hbsp_collectives::{DecodeError, TuneError};
 use hbsp_core::{MachineId, NodeIdx, ProcId};
 use hbsp_obs::metrics::MetricSample;
-use hbsp_obs::{DriftReport, JobSpan};
+use hbsp_obs::{chrome_trace_with_causal, CausalSpan, DriftReport, JobSpan, PostmortemBundle};
 use hbsp_sim::SimError;
 use std::fmt;
 
@@ -98,12 +98,25 @@ pub struct SchedReport {
     /// Closed-loop re-plans performed ([`crate::RunOptions::adapt`]);
     /// always 0 for open-loop runs.
     pub replans: usize,
+    /// Causal span tree of the run: one [`hbsp_obs::CausalKind::Batch`]
+    /// root per admission round containing one
+    /// [`hbsp_obs::CausalKind::Job`] span per member and one
+    /// [`hbsp_obs::CausalKind::Superstep`] span per merged-program
+    /// step, all on the scheduler's cumulative virtual clock.
+    pub causal: Vec<CausalSpan>,
 }
 
 impl SchedReport {
     /// True when every job completed without a decode error.
     pub fn clean(&self) -> bool {
         self.jobs.iter().all(|j| j.error().is_none())
+    }
+
+    /// Chrome-trace rendering of the causal span tree (batch → job →
+    /// superstep); loads in Perfetto next to
+    /// [`hbsp_obs::jobs_chrome_trace`]'s occupancy view.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_with_causal(&[], &self.causal)
     }
 
     /// Human-readable run summary.
@@ -180,8 +193,21 @@ pub enum SchedError {
     },
     /// Plan selection failed for a job on its carved machine.
     Tune(JobId, TuneError),
-    /// An engine rejected or failed the merged program.
-    Exec(SimError),
+    /// An engine rejected or failed the merged program. The attached
+    /// [`PostmortemBundle`] (when the dying batch had telemetry)
+    /// carries the batch's step records, events, metrics, the batch
+    /// log up to the failure, and the causal span tree.
+    Exec(SimError, Option<Box<PostmortemBundle>>),
+}
+
+impl SchedError {
+    /// The forensics bundle captured at the failing batch, if any.
+    pub fn bundle(&self) -> Option<&PostmortemBundle> {
+        match self {
+            SchedError::Exec(_, Some(b)) => Some(b),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SchedError {
@@ -216,7 +242,7 @@ impl fmt::Display for SchedError {
                 "{job} submitted a custom schedule that is empty or has a non-final drain step"
             ),
             SchedError::Tune(job, e) => write!(f, "{job}: plan selection failed: {e}"),
-            SchedError::Exec(e) => write!(f, "engine error: {e}"),
+            SchedError::Exec(e, _) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -225,6 +251,6 @@ impl std::error::Error for SchedError {}
 
 impl From<SimError> for SchedError {
     fn from(e: SimError) -> Self {
-        SchedError::Exec(e)
+        SchedError::Exec(e, None)
     }
 }

@@ -217,6 +217,7 @@ impl Simulator {
             messages: Vec::new(),
         };
         let mut timing_scratch = TimingScratch::default();
+        let mut emit_scratch = EmitScratch::default();
         let mut order: Vec<usize> = Vec::new();
         let mut steps: Vec<StepStats> = Vec::new();
         let mut delivered = 0u64;
@@ -339,6 +340,7 @@ impl Simulator {
                         &timing.finish,
                         &analysis,
                         &work,
+                        &mut emit_scratch,
                     );
                     steps.push(StepStats {
                         step,
@@ -377,6 +379,7 @@ impl Simulator {
                         &releases,
                         &analysis,
                         &work,
+                        &mut emit_scratch,
                     );
                     let release_max = releases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                     steps.push(StepStats {
@@ -415,7 +418,9 @@ impl Simulator {
     }
 
     /// Assemble and emit one [`StepRecord`] — only when the probe asks
-    /// for it, keeping the disabled path allocation-free.
+    /// for it, refilling the reused scratch buffers so probe-on costs
+    /// no per-superstep allocation (the disabled path assembles
+    /// nothing at all).
     #[allow(clippy::too_many_arguments)]
     fn emit_step_record(
         &self,
@@ -426,15 +431,23 @@ impl Simulator {
         releases: &[f64],
         analysis: &crate::step::StepAnalysis,
         work: &[f64],
+        scratch: &mut EmitScratch,
     ) {
         if !self.probe.enabled() {
             return;
         }
-        let words: Vec<u64> = analysis.traffic.iter().map(|t| t.words).collect();
-        let messages: Vec<u64> = analysis.traffic.iter().map(|t| t.messages).collect();
-        let mut sent = vec![0u64; starts.len()];
+        scratch.words.clear();
+        scratch
+            .words
+            .extend(analysis.traffic.iter().map(|t| t.words));
+        scratch.messages.clear();
+        scratch
+            .messages
+            .extend(analysis.traffic.iter().map(|t| t.messages));
+        scratch.sent.clear();
+        scratch.sent.resize(starts.len(), 0);
         for intent in &analysis.intents {
-            sent[intent.src.rank()] += intent.words;
+            scratch.sent[intent.src.rank()] += intent.words;
         }
         self.probe.on_step(&StepRecord {
             step,
@@ -444,14 +457,22 @@ impl Simulator {
             send_done: &timing.send_done,
             finish: &timing.finish,
             releases,
-            words_by_level: &words,
-            messages_by_level: &messages,
+            words_by_level: &scratch.words,
+            messages_by_level: &scratch.messages,
             hrelation: analysis.hrelation,
             work,
-            sent_words: &sent,
+            sent_words: &scratch.sent,
             wall: None,
         });
     }
+}
+
+/// Reusable probe-record assembly buffers (see `emit_step_record`).
+#[derive(Default)]
+struct EmitScratch {
+    words: Vec<u64>,
+    messages: Vec<u64>,
+    sent: Vec<u64>,
 }
 
 /// The simulator's per-processor superstep context: a read-only view

@@ -196,6 +196,62 @@ fn sync_facade_adds_no_allocations_to_hot_primitives() {
     assert!(!hbsp_runtime::sync::is_modeling());
 }
 
+/// Arming the flight recorder must not put allocations back on the
+/// per-superstep hot path: its ring is a fixed arena of atomics sized
+/// at arm time, and `on_step` only stores into it. The probe-on run
+/// therefore may allocate only a constant amount more than probe-off
+/// (the arena itself plus one-time probe bookkeeping) — never
+/// per-step. A per-step allocation in the probe path multiplies with
+/// 400 steps and blows the bound immediately.
+#[test]
+fn armed_flight_recorder_allocates_nothing_per_superstep() {
+    use hbsp_obs::FlightRecorder;
+    let _serial = AUDIT_LOCK.lock().unwrap();
+    let tree = machine();
+    let prog = Ring { k: 8 };
+
+    // Arena growth inside the engines is already paid for by warmup;
+    // the recorder's own arena is allocated at arm time (the warmup
+    // run arms it), so the measured deltas compare like with like.
+    const SLACK: usize = 512;
+
+    for engine in ["simulator", "threaded"] {
+        let rec = Arc::new(FlightRecorder::new());
+        let run = |probe: Option<Arc<FlightRecorder>>| {
+            let tree = Arc::clone(&tree);
+            match engine {
+                "simulator" => {
+                    let mut sim = Simulator::new(tree);
+                    if let Some(p) = probe {
+                        sim = sim.probe(p);
+                    }
+                    allocs_during(|| sim.run_with_states(&prog).unwrap().1)
+                }
+                _ => {
+                    let mut rt = ThreadedRuntime::new(tree);
+                    if let Some(p) = probe {
+                        rt = rt.probe(p);
+                    }
+                    allocs_during(|| rt.run_with_states(&prog).unwrap().1)
+                }
+            }
+        };
+        // Warmup arms the recorder (first on_step sizes the arena) and
+        // pays the engines' one-time costs.
+        run(Some(rec.clone()));
+        let (off, _) = run(None);
+        let (on, states) = run(Some(rec.clone()));
+        assert!(!states.iter().all(|&d| d == 0), "program really ran");
+        assert!(rec.recorded() > 0, "recorder saw the run");
+        assert!(
+            on <= off + SLACK,
+            "{engine}: probe-on run allocated {on} times vs {off} probe-off — \
+             more than {SLACK} extra means the armed flight recorder \
+             allocates on the per-superstep hot path"
+        );
+    }
+}
+
 /// The two engines agree bit-for-bit on the audited program — the SoA
 /// delivery path preserves ordering exactly.
 #[test]
